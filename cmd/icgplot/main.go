@@ -1,0 +1,97 @@
+// Command icgplot renders the paper's waveform and sweep figures as ASCII
+// charts: Fig 5 (one ICG beat with the R/B/C/X points over the ECG) and
+// the Fig 6/7 Z0-vs-frequency curves.
+//
+// Usage:
+//
+//	icgplot [-subject 1] [-beat 3] [-fig 5|6|7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bioimp"
+	"repro/internal/dsp"
+	"repro/internal/icg"
+	"repro/internal/physio"
+	"repro/internal/plot"
+)
+
+func main() {
+	subjectID := flag.Int("subject", 1, "subject ID (1-5)")
+	beat := flag.Int("beat", 3, "beat number for fig 5")
+	fig := flag.Int("fig", 5, "figure to render: 5, 6 or 7")
+	flag.Parse()
+
+	sub, ok := physio.SubjectByID(*subjectID)
+	if !ok {
+		log.Fatalf("icgplot: no subject %d", *subjectID)
+	}
+
+	switch *fig {
+	case 5:
+		renderFig5(&sub, *beat)
+	case 6:
+		renderSweep(&sub, bioimp.TraditionalInstrument(), bioimp.PathThoracic,
+			"Fig 6: thoracic bioimpedance vs injection frequency")
+	case 7:
+		renderSweep(&sub, bioimp.TouchInstrument(), bioimp.PathHandToHand,
+			"Fig 7: device bioimpedance vs injection frequency (position 1)")
+	default:
+		log.Fatalf("icgplot: unknown figure %d", *fig)
+	}
+}
+
+func renderFig5(sub *physio.Subject, beat int) {
+	cfg := physio.DefaultGenConfig()
+	cfg.ICGNoiseStd = 0.002
+	rec := sub.Generate(cfg)
+	tr := rec.Truth
+	if beat < 0 || beat+1 >= tr.Beats() {
+		log.Fatalf("icgplot: beat %d out of range (0-%d)", beat, tr.Beats()-2)
+	}
+	filt, err := icg.DefaultFilter(rec.FS).Apply(rec.ICG)
+	if err != nil {
+		log.Fatalf("icgplot: %v", err)
+	}
+	pts, err := icg.DetectBeat(filt, tr.RPeaks[beat], tr.RPeaks[beat+1], -1, icg.DefaultDetect(rec.FS))
+	if err != nil {
+		log.Fatalf("icgplot: %v", err)
+	}
+	lo := tr.RPeaks[beat] - int(0.1*rec.FS)
+	hi := tr.RPeaks[beat+1]
+	if lo < 0 {
+		lo = 0
+	}
+	fmt.Printf("Fig 5 — subject %d, beat %d: ICG (-dZ/dt) with detected points\n\n", sub.ID, beat)
+	markers := []plot.Marker{
+		{Index: pts.R - lo, Label: 'R'},
+		{Index: pts.B - lo, Label: 'B'},
+		{Index: pts.C - lo, Label: 'C'},
+		{Index: pts.X - lo, Label: 'X'},
+	}
+	fmt.Print(plot.Render(filt[lo:hi], markers, plot.DefaultConfig()))
+	fmt.Println("\nECG of the same beat:")
+	rMark := []plot.Marker{{Index: pts.R - lo, Label: 'R'}}
+	fmt.Print(plot.Render(rec.ECG[lo:hi], rMark, plot.DefaultConfig()))
+	pep := float64(pts.B-pts.R) / rec.FS
+	lvet := float64(pts.X-pts.B) / rec.FS
+	fmt.Printf("\nPEP = %.0f ms (truth %.0f), LVET = %.0f ms (truth %.0f)\n",
+		pep*1000, tr.PEP[beat]*1000, lvet*1000, tr.LVET[beat]*1000)
+}
+
+func renderSweep(sub *physio.Subject, ins bioimp.Instrument, path bioimp.Path, title string) {
+	freqs := dsp.Linspace(1e3, 120e3, 60)
+	mags := make([]float64, len(freqs))
+	for i, f := range freqs {
+		mags[i] = bioimp.MeasuredZ0(sub, ins, path, f)
+	}
+	fmt.Printf("%s — subject %d\n\n", title, sub.ID)
+	fmt.Print(plot.RenderSeries(freqs, mags, plot.DefaultConfig()))
+	fmt.Println("x-axis: 1 kHz .. 120 kHz (the measured Z0 peaks near 10 kHz)")
+	for _, f := range bioimp.StudyFrequencies() {
+		fmt.Printf("  %6.0f kHz: %.2f Ohm\n", f/1000, bioimp.MeasuredZ0(sub, ins, path, f))
+	}
+}

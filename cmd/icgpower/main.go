@@ -1,0 +1,70 @@
+// Command icgpower reproduces the paper's power analysis: Table I
+// (component currents), the battery-life computation (106 hours on
+// 710 mAh with the MCU at 50% duty and the radio at 1%), the measured
+// pipeline duty cycle on the STM32L151 model, and the PMU operating-point
+// trade-offs.
+//
+// Usage:
+//
+//	icgpower [-sweep]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hw/mcu"
+	"repro/internal/hw/power"
+	"repro/internal/hw/radio"
+	"repro/internal/physio"
+)
+
+func main() {
+	sweep := flag.Bool("sweep", false, "print a battery-life sweep over MCU duty cycles")
+	flag.Parse()
+
+	fmt.Println("=== Table I: component current consumption ===")
+	budget := power.PaperScenario()
+	fmt.Println(budget.Report())
+
+	bat := power.DeviceBattery()
+	hours := bat.LifetimeHours(budget.AverageCurrentMA())
+	fmt.Printf("battery life (710 mAh, MCU 50%%, radio 1%%): %.1f h (paper: 106 h)\n", hours)
+	b01 := power.PaperScenario().Set(power.Radio, 0.001)
+	fmt.Printf("battery life with 0.1%% radio duty:          %.1f h\n\n",
+		bat.LifetimeHours(b01.AverageCurrentMA()))
+
+	// Measured pipeline duty cycle.
+	sub, _ := physio.SubjectByID(1)
+	dev, err := core.NewDevice(core.DefaultConfig())
+	if err != nil {
+		log.Fatalf("icgpower: %v", err)
+	}
+	_, out, err := dev.Run(&sub, 30)
+	if err != nil {
+		log.Fatalf("icgpower: %v", err)
+	}
+	fmt.Println("=== Pipeline cycle budget (30 s window, Cortex-M3 soft float) ===")
+	fmt.Println(out.Cost.Report(mcu.CortexM3SoftFloat(), dev.Config().MCU.ClockHz, 30))
+	fmt.Printf("calibrated firmware duty cycle: %.1f%% (paper: 40-50%%)\n",
+		dev.DutyCycle(out, 30)*100)
+	fmt.Printf("radio duty for beat records at %.0f bpm: %.4f%% (paper: ~0.1-1%%)\n\n",
+		out.Summary.HR.Mean, radio.BeatStreamDuty(out.Summary.HR.Mean, radio.DefaultLink())*100)
+
+	fmt.Println("=== PMU operating points ===")
+	duty := dev.DutyCycle(out, 30)
+	for _, mode := range []core.PowerMode{core.ModeContinuous, core.ModeEco, core.ModeSpotCheck} {
+		fmt.Printf("%-12s battery life %.0f h\n", mode, core.LifetimeHours(mode, duty))
+	}
+
+	if *sweep {
+		fmt.Println("\n=== Battery-life sweep over MCU duty ===")
+		fmt.Printf("%8s %12s\n", "duty", "hours")
+		for d := 0.1; d <= 1.001; d += 0.1 {
+			b := power.PaperScenario().Set(power.MCU, d)
+			fmt.Printf("%7.0f%% %12.1f\n", d*100, bat.LifetimeHours(b.AverageCurrentMA()))
+		}
+	}
+}

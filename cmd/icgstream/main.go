@@ -1,0 +1,111 @@
+// Command icgstream demonstrates the wireless path of the system: the
+// device processes a touch recording beat by beat and streams the
+// resulting records (Z0, LVET, PEP, HR — exactly the parameter set of
+// Section V) over a TCP connection standing in for the BLE link; the
+// monitor side decodes and prints them.
+//
+// Usage:
+//
+//	icgstream [-subject 1] [-duration 30] [-loss 0.02]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hw/radio"
+	"repro/internal/physio"
+)
+
+func main() {
+	subjectID := flag.Int("subject", 1, "subject ID (1-5)")
+	duration := flag.Float64("duration", 30, "recording duration (s)")
+	loss := flag.Float64("loss", 0.02, "simulated radio loss probability")
+	flag.Parse()
+
+	sub, ok := physio.SubjectByID(*subjectID)
+	if !ok {
+		log.Fatalf("icgstream: no subject %d", *subjectID)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("icgstream: %v", err)
+	}
+	defer ln.Close()
+	fmt.Printf("monitor listening on %s\n", ln.Addr())
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	// Monitor side.
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("monitor: %v", err)
+			return
+		}
+		defer conn.Close()
+		n := 0
+		for {
+			f, err := radio.ReadFrame(conn)
+			if err != nil {
+				break // device closed the link
+			}
+			if f.Type != radio.TypeBeat {
+				continue
+			}
+			beat, err := radio.UnmarshalBeat(f.Payload)
+			if err != nil {
+				log.Printf("monitor: bad beat: %v", err)
+				continue
+			}
+			n++
+			fmt.Printf("beat %2d  t=%6.2fs  Z0=%7.2f Ohm  PEP=%5.1f ms  LVET=%5.1f ms  HR=%5.1f bpm\n",
+				n, float64(beat.TimestampMs)/1000, beat.Z0,
+				beat.PEP*1000, beat.LVET*1000, beat.HR)
+		}
+		fmt.Printf("monitor received %d beats\n", n)
+	}()
+
+	// Device side: acquire, process, transmit.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		log.Fatalf("icgstream: %v", err)
+	}
+	dev, err := core.NewDevice(core.DefaultConfig())
+	if err != nil {
+		log.Fatalf("icgstream: %v", err)
+	}
+	_, out, err := dev.Run(&sub, *duration)
+	if err != nil {
+		log.Fatalf("icgstream: %v", err)
+	}
+	link := radio.NewLink(radio.LinkConfig{
+		LossProb: *loss, MaxRetries: 3, BitRate: 1e6, Overhead: 14,
+	}, sub.Seed)
+	seq := byte(0)
+	for _, b := range out.Beats {
+		rec := radio.BeatRecord{
+			TimestampMs: uint32(b.TimeS * 1000),
+			Z0:          b.Z0, LVET: b.LVET, PEP: b.PEP, HR: b.HR,
+		}
+		f := &radio.Frame{Type: radio.TypeBeat, Seq: seq, Payload: rec.Marshal()}
+		seq++
+		if !link.Send(f) {
+			continue // lost after retries: the beat is dropped
+		}
+		if err := radio.WriteFrame(conn, f); err != nil {
+			log.Fatalf("icgstream: %v", err)
+		}
+	}
+	conn.Close()
+	wg.Wait()
+	fmt.Printf("link: sent=%d delivered=%d dropped=%d retries=%d airtime=%.1f ms (duty %.4f%%)\n",
+		link.Sent, link.Delivered, link.Dropped, link.Retries,
+		link.AirtimeS*1000, link.DutyCycle(*duration)*100)
+}

@@ -1,0 +1,54 @@
+// Command icgstudy reproduces the full evaluation of the paper: it runs
+// the 5-subject protocol and prints Tables II-IV, the data series behind
+// Figs 6-9, and the aggregate claims of the conclusions section.
+//
+// Usage:
+//
+//	icgstudy [-duration 30] [-csv fig6|fig7|fig8|fig9|tables]
+//
+// Without -csv it prints every artifact as formatted text; with -csv it
+// prints one machine-readable series to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/study"
+)
+
+func main() {
+	duration := flag.Float64("duration", 30, "recording duration per condition (s)")
+	csv := flag.String("csv", "", "emit one series as CSV: fig6|fig7|fig8|fig9|tables")
+	flag.Parse()
+
+	cfg := study.DefaultConfig()
+	cfg.Duration = *duration
+	res, err := study.Run(cfg)
+	if err != nil {
+		log.Fatalf("icgstudy: %v", err)
+	}
+
+	if *csv != "" {
+		out := res.CSV(*csv)
+		if out == "" {
+			log.Fatalf("icgstudy: unknown figure %q", *csv)
+		}
+		fmt.Print(out)
+		os.Exit(0)
+	}
+
+	fmt.Println("=== Touch-based ICG/ECG study (Sopic et al., DATE 2016) ===")
+	fmt.Println()
+	for pos := 1; pos <= 3; pos++ {
+		fmt.Println(res.CorrelationTable(pos))
+	}
+	fmt.Println(res.Fig6Table())
+	fmt.Println(res.Fig7Table())
+	fmt.Println(res.Fig8Table())
+	fmt.Println(res.Fig9Table())
+	fmt.Println("=== Aggregate claims ===")
+	fmt.Println(res.ClaimsSummary())
+}

@@ -1,0 +1,61 @@
+// Power budget: explore the battery-life trade-offs of the device — the
+// paper's 106-hour headline number, how it moves with MCU and radio duty,
+// and what the adaptive PMU policy buys at low battery or bad skin
+// contact.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	touchicg "repro"
+	"repro/internal/core"
+	"repro/internal/hw/power"
+)
+
+func main() {
+	sub, _ := touchicg.SubjectByID(2)
+	dev, err := touchicg.NewDevice(touchicg.DefaultConfig())
+	if err != nil {
+		log.Fatalf("powerbudget: %v", err)
+	}
+	_, out, err := dev.Run(&sub, 30)
+	if err != nil {
+		log.Fatalf("powerbudget: %v", err)
+	}
+	duty := dev.DutyCycle(out, 30)
+	bat := power.DeviceBattery()
+
+	fmt.Printf("measured pipeline duty cycle: %.1f%% (paper assumes worst case 50%%)\n\n", duty*100)
+
+	fmt.Println("battery life vs (MCU duty, radio duty):")
+	fmt.Printf("%10s %10s %12s\n", "mcu duty", "radio duty", "hours")
+	for _, md := range []float64{0.4, 0.5, duty} {
+		for _, rd := range []float64{0.001, 0.01} {
+			b := power.NewBudget().
+				Set(power.ECGChip, 1).
+				Set(power.ICGChip, 1).
+				Set(power.MCU, md).
+				Set(power.Radio, rd)
+			fmt.Printf("%9.1f%% %9.1f%% %12.1f\n",
+				md*100, rd*100, bat.LifetimeHours(b.AverageCurrentMA()))
+		}
+	}
+
+	fmt.Println("\nadaptive PMU decisions:")
+	pmu := core.DefaultPMU()
+	cases := []struct {
+		batteryPct, yield float64
+		label             string
+	}{
+		{90, 0.95, "fresh battery, good contact"},
+		{90, 0.30, "fresh battery, poor contact"},
+		{25, 0.95, "low battery"},
+		{8, 0.95, "critical battery"},
+	}
+	for _, c := range cases {
+		mode := pmu.Decide(c.batteryPct, c.yield)
+		fmt.Printf("  %-32s -> %-12s (%.0f h remaining at this rate)\n",
+			c.label, mode, core.LifetimeHours(mode, duty)*c.batteryPct/100)
+	}
+}

@@ -1,0 +1,37 @@
+// Quickstart: acquire a 30-second touch measurement from a synthetic
+// subject and print the beat-to-beat hemodynamic parameters — the
+// shortest possible end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	touchicg "repro"
+)
+
+func main() {
+	sub, ok := touchicg.SubjectByID(1)
+	if !ok {
+		log.Fatal("quickstart: subject 1 missing")
+	}
+	dev, err := touchicg.NewDevice(touchicg.DefaultConfig())
+	if err != nil {
+		log.Fatalf("quickstart: %v", err)
+	}
+	_, out, err := dev.Run(&sub, 30)
+	if err != nil {
+		log.Fatalf("quickstart: %v", err)
+	}
+
+	fmt.Printf("subject %s: %d beats analyzed (yield %.0f%%), Z0 = %.1f Ohm\n\n",
+		sub.Name, len(out.Beats), out.Yield*100, out.Z0)
+	fmt.Printf("%6s %8s %9s %10s %9s %9s\n", "t(s)", "HR(bpm)", "PEP(ms)", "LVET(ms)", "SV(mL)", "CO(L/m)")
+	for _, b := range out.Beats {
+		fmt.Printf("%6.2f %8.1f %9.1f %10.1f %9.1f %9.2f\n",
+			b.TimeS, b.HR, b.PEP*1000, b.LVET*1000, b.SVKub, b.CO)
+	}
+	s := out.Summary
+	fmt.Printf("\nmeans: HR %.1f bpm, PEP %.1f ms, LVET %.1f ms, SV %.1f mL, CO %.2f L/min\n",
+		s.HR.Mean, s.PEP.Mean*1000, s.LVET.Mean*1000, s.SVKub.Mean, s.COKub.Mean)
+}

@@ -1,0 +1,77 @@
+// Realtime: the firmware-style operating mode — samples arrive in small
+// chunks (as the AFE DMA would deliver them), the rolling-window streamer
+// emits each beat as soon as it is complete, the quality monitor grades
+// the session, and the beats are scheduled onto BLE connection events.
+// This is the mode that actually fits the STM32L151's 48 KB of RAM (see
+// the RAM budget printed at the end).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	touchicg "repro"
+	"repro/internal/core"
+	"repro/internal/hw/mcu"
+	"repro/internal/hw/radio"
+	"repro/internal/quality"
+)
+
+func main() {
+	sub, _ := touchicg.SubjectByID(2)
+	dev, err := touchicg.NewDevice(touchicg.DefaultConfig())
+	if err != nil {
+		log.Fatalf("realtime: %v", err)
+	}
+	acq, err := dev.Acquire(&sub, 30)
+	if err != nil {
+		log.Fatalf("realtime: %v", err)
+	}
+
+	st := dev.NewStreamer(core.DefaultStreamConfig())
+	fmt.Printf("streaming session, worst-case beat latency %.1f s\n\n", st.Latency())
+
+	// Feed 200 ms chunks, as a DMA double buffer would.
+	chunk := 50
+	var beatTimes []float64
+	count := 0
+	for pos := 0; pos < len(acq.ECG); pos += chunk {
+		end := pos + chunk
+		if end > len(acq.ECG) {
+			end = len(acq.ECG)
+		}
+		for _, b := range st.Push(acq.ECG[pos:end], acq.Z[pos:end]) {
+			count++
+			beatTimes = append(beatTimes, b.TimeS)
+			fmt.Printf("beat %2d @ %5.2fs  HR %5.1f  PEP %5.1f ms  LVET %5.1f ms\n",
+				count, b.TimeS, b.HR, b.PEP*1000, b.LVET*1000)
+		}
+	}
+	for _, b := range st.Flush() {
+		count++
+		beatTimes = append(beatTimes, b.TimeS)
+		fmt.Printf("beat %2d @ %5.2fs  HR %5.1f  PEP %5.1f ms  LVET %5.1f ms  (flush)\n",
+			count, b.TimeS, b.HR, b.PEP*1000, b.LVET*1000)
+	}
+
+	// Quality assessment over the whole session.
+	batch, err := dev.Process(acq)
+	if err != nil {
+		log.Fatalf("realtime: %v", err)
+	}
+	rep := quality.Assess(batch.CondECG, batch.ICGTrack, batch.RPeaks, acq.FS)
+	fmt.Printf("\nquality: ECG SQI %.2f, ICG SQI %.2f, usable=%v\n", rep.ECG, rep.ICG, rep.Usable())
+
+	// BLE connection-event scheduling for the emitted beats.
+	sched := radio.Schedule(beatTimes, radio.DefaultConn())
+	fmt.Printf("radio: %d beats over %d connection events, mean notification wait %.0f ms\n",
+		sched.Records, sched.EventsUsed, sched.MeanLatency*1000)
+
+	// RAM story: why this mode exists.
+	m := mcu.DefaultSTM32L151()
+	batchRAM := core.BatchRAM(acq.FS, 30)
+	streamRAM := core.StreamingRAM(acq.FS, core.DefaultStreamConfig())
+	fmt.Printf("\nRAM: batch %.1f KB (fits 48 KB: %v), streaming %.1f KB (fits: %v)\n",
+		float64(batchRAM.Total())/1024, m.FitsRAM(batchRAM.Total()),
+		float64(streamRAM.Total())/1024, m.FitsRAM(streamRAM.Total()))
+}

@@ -1,0 +1,388 @@
+package bioimp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsp"
+	"repro/internal/physio"
+)
+
+func testSubject() *physio.Subject {
+	s, _ := physio.SubjectByID(1)
+	return &s
+}
+
+func TestColeLimits(t *testing.T) {
+	c := Cole{R0: 40, RInf: 20, Tau: 2e-6, Alpha: 0.7}
+	if got := c.Magnitude(0); math.Abs(got-40) > 1e-9 {
+		t.Errorf("|Z(0)| = %g, want R0", got)
+	}
+	// At very high frequency the magnitude approaches RInf.
+	if got := c.Magnitude(1e12); math.Abs(got-20) > 0.5 {
+		t.Errorf("|Z(inf)| = %g, want ~RInf", got)
+	}
+}
+
+func TestColeMonotoneMagnitude(t *testing.T) {
+	c := Cole{R0: 40, RInf: 20, Tau: 2e-6, Alpha: 0.7}
+	prev := math.Inf(1)
+	for _, f := range dsp.Linspace(100, 1e6, 200) {
+		m := c.Magnitude(f)
+		if m > prev+1e-9 {
+			t.Fatalf("|Z| not monotone at %g Hz", f)
+		}
+		prev = m
+	}
+}
+
+func TestColeMonotoneProperty(t *testing.T) {
+	// For any valid Cole parameters the magnitude decreases with
+	// frequency (this is why the measured 10 kHz peak of Figs 6-7 must
+	// come from the instrument chain, not the tissue).
+	f := func(r0d, rinf, taud, alphad float64) bool {
+		rInf := 5 + math.Abs(rinf)
+		r0 := rInf + 1 + math.Abs(r0d)
+		tau := 1e-7 + math.Abs(taud)*1e-6
+		alpha := 0.3 + math.Mod(math.Abs(alphad), 0.69)
+		c := Cole{R0: r0, RInf: rInf, Tau: tau, Alpha: alpha}
+		if !c.Valid() {
+			return false
+		}
+		prev := math.Inf(1)
+		for _, fr := range []float64{1e2, 1e3, 1e4, 1e5, 1e6} {
+			m := c.Magnitude(fr)
+			if m > prev+1e-9 {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColeCharacteristicFreq(t *testing.T) {
+	c := Cole{R0: 40, RInf: 20, Tau: 2e-6, Alpha: 1}
+	fc := c.CharacteristicFreq()
+	want := 1 / (2 * math.Pi * 2e-6)
+	if math.Abs(fc-want) > 1 {
+		t.Errorf("fc = %g, want %g", fc, want)
+	}
+	// At fc with alpha=1, the reactance magnitude is maximal; the real
+	// part is halfway between R0 and RInf.
+	z := c.Impedance(fc)
+	if math.Abs(real(z)-30) > 0.5 {
+		t.Errorf("Re Z(fc) = %g, want ~30", real(z))
+	}
+	zero := Cole{}
+	if zero.CharacteristicFreq() != 0 {
+		t.Error("zero Tau should give 0")
+	}
+}
+
+func TestColeValid(t *testing.T) {
+	good := Cole{R0: 40, RInf: 20, Tau: 2e-6, Alpha: 0.7}
+	if !good.Valid() {
+		t.Error("good parameters rejected")
+	}
+	for _, bad := range []Cole{
+		{R0: 20, RInf: 40, Tau: 2e-6, Alpha: 0.7},
+		{R0: 40, RInf: 0, Tau: 2e-6, Alpha: 0.7},
+		{R0: 40, RInf: 20, Tau: 0, Alpha: 0.7},
+		{R0: 40, RInf: 20, Tau: 2e-6, Alpha: 0},
+		{R0: 40, RInf: 20, Tau: 2e-6, Alpha: 1.2},
+	} {
+		if bad.Valid() {
+			t.Errorf("bad parameters accepted: %+v", bad)
+		}
+	}
+}
+
+func TestElectrodeCPEFallsWithFrequency(t *testing.T) {
+	e := ElectrodeCPE{K: 9e4, Beta: 0.78}
+	lo := cmplx.Abs(e.Impedance(2e3))
+	hi := cmplx.Abs(e.Impedance(100e3))
+	if lo <= hi {
+		t.Errorf("electrode impedance should fall with frequency: %g vs %g", lo, hi)
+	}
+	if e2 := (ElectrodeCPE{}); e2.Impedance(1e3) != 0 {
+		t.Error("zero CPE should be 0")
+	}
+	// Phase is -Beta*90 degrees.
+	z := e.Impedance(1e4)
+	phase := math.Atan2(imag(z), real(z))
+	if math.Abs(phase+0.78*math.Pi/2) > 1e-9 {
+		t.Errorf("CPE phase = %g", phase)
+	}
+}
+
+func TestInstrumentGainPeaksNear10kHz(t *testing.T) {
+	for _, ins := range []Instrument{TraditionalInstrument(), TouchInstrument()} {
+		peak := ins.PeakFrequency()
+		if peak < 8e3 || peak > 13e3 {
+			t.Errorf("%s: gain peak at %g Hz, want ~10 kHz", ins.Name, peak)
+		}
+		if g := ins.Gain(ins.CalFreq); math.Abs(g-1) > 1e-12 {
+			t.Errorf("%s: calibration gain = %g, want 1", ins.Name, g)
+		}
+		if ins.Gain(0) != 0 {
+			t.Errorf("%s: DC gain should be 0", ins.Name)
+		}
+	}
+}
+
+func TestMeasuredZ0ShapeMatchesFig6(t *testing.T) {
+	// The defining shape of Figs 6-7: Z0 rises from 2 to 10 kHz, then
+	// falls through 50 and 100 kHz — for both setups and all subjects.
+	for _, sub := range physio.Subjects() {
+		s := sub
+		for _, tc := range []struct {
+			ins  Instrument
+			path Path
+		}{
+			{TraditionalInstrument(), PathThoracic},
+			{TouchInstrument(), PathHandToHand},
+		} {
+			z2 := MeasuredZ0(&s, tc.ins, tc.path, 2e3)
+			z10 := MeasuredZ0(&s, tc.ins, tc.path, 10e3)
+			z50 := MeasuredZ0(&s, tc.ins, tc.path, 50e3)
+			z100 := MeasuredZ0(&s, tc.ins, tc.path, 100e3)
+			if !(z2 < z10 && z10 > z50 && z50 > z100) {
+				t.Errorf("%s %s path %d: shape broken: %g %g %g %g",
+					s.Name, tc.ins.Name, tc.path, z2, z10, z50, z100)
+			}
+		}
+	}
+}
+
+func TestBodyImpedanceHandToHandLarger(t *testing.T) {
+	s := testSubject()
+	for _, f := range StudyFrequencies() {
+		th := cmplx.Abs(BodyImpedance(s, PathThoracic, f))
+		hh := cmplx.Abs(BodyImpedance(s, PathHandToHand, f))
+		if hh <= th {
+			t.Errorf("f=%g: hand-to-hand (%g) should exceed thoracic (%g)", f, hh, th)
+		}
+	}
+}
+
+func TestMeasureReferenceProperties(t *testing.T) {
+	s := testSubject()
+	rec := s.Generate(physio.DefaultGenConfig())
+	m := MeasureReference(s, rec, TraditionalInstrument(), 50e3)
+	if len(m.Z) != len(rec.DZ) {
+		t.Fatalf("length mismatch")
+	}
+	// Mean close to the configured base impedance.
+	if math.Abs(m.MeanZ()-m.BaseZ) > 0.3 {
+		t.Errorf("mean Z = %g, base %g", m.MeanZ(), m.BaseZ)
+	}
+	// Cardiac ripple present: std well above instrument noise.
+	if dsp.Std(m.Z) < 0.05 {
+		t.Errorf("no physiological variation in reference Z")
+	}
+	if m.Path != PathThoracic || m.Subject != s.ID {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestMeasureDeviceCorrelationCalibration(t *testing.T) {
+	// The core calibration contract: the measured correlation between
+	// the reference and device signals approximates the paper's Tables
+	// II-IV targets.
+	for _, id := range []int{1, 3, 5} {
+		sub, _ := physio.SubjectByID(id)
+		s := &sub
+		rec := s.Generate(physio.DefaultGenConfig())
+		ref := MeasureReference(s, rec, TraditionalInstrument(), 50e3)
+		for pi, pos := range Positions() {
+			dev := MeasureDevice(s, rec, TouchInstrument(), 50e3, pos)
+			r := dsp.Pearson(ref.Z, dev.Z)
+			target := s.PosCorrTarget[pi]
+			// The artifact is narrow-band (0.05-0.9 Hz), so a 30 s
+			// sample correlation carries +-0.05-0.08 of sampling
+			// variance around the calibration target.
+			if math.Abs(r-target) > 0.09 {
+				t.Errorf("subject %d %v: r = %.4f, target %.4f", id, pos, r, target)
+			}
+		}
+	}
+}
+
+func TestMeasureDeviceMeanShiftOrdering(t *testing.T) {
+	// Mean impedance per position must reproduce the Fig 8 structure:
+	// e21 largest, e31 smallest, all below 20%.
+	for _, sub := range physio.Subjects() {
+		s := sub
+		rec := s.Generate(physio.DefaultGenConfig())
+		means := make([]float64, 3)
+		for pi, pos := range Positions() {
+			m := MeasureDevice(&s, rec, TouchInstrument(), 50e3, pos)
+			means[pi] = m.MeanZ()
+		}
+		e21 := (means[1] - means[0]) / means[1]
+		e23 := (means[1] - means[2]) / means[1]
+		e31 := (means[2] - means[0]) / means[2]
+		if !(e21 > 0 && e21 < 0.20) {
+			t.Errorf("%s: e21 = %g", s.Name, e21)
+		}
+		if math.Abs(e31) >= math.Abs(e21) {
+			t.Errorf("%s: |e31| (%g) should be smaller than |e21| (%g)", s.Name, e31, e21)
+		}
+		if math.Abs(e23) >= math.Abs(e21) {
+			t.Errorf("%s: |e23| (%g) should be below |e21| (%g)", s.Name, e23, e21)
+		}
+	}
+}
+
+func TestMeasureDeviceDeterministic(t *testing.T) {
+	s := testSubject()
+	rec := s.Generate(physio.DefaultGenConfig())
+	a := MeasureDevice(s, rec, TouchInstrument(), 50e3, Position2)
+	b := MeasureDevice(s, rec, TouchInstrument(), 50e3, Position2)
+	for i := range a.Z {
+		if a.Z[i] != b.Z[i] {
+			t.Fatal("device measurement nondeterministic")
+		}
+	}
+	c := MeasureDevice(s, rec, TouchInstrument(), 50e3, Position3)
+	if dsp.Pearson(a.Z, c.Z) > 0.9999 {
+		t.Error("positions should differ")
+	}
+}
+
+func TestICGFromZRecoversCardiacSignal(t *testing.T) {
+	// Differentiating the measured Z recovers an ICG whose C peaks align
+	// with the ground-truth C points (low-noise reference measurement).
+	s := testSubject()
+	cfg := physio.DefaultGenConfig()
+	rec := s.Generate(cfg)
+	ins := TraditionalInstrument()
+	ins.NoiseStd = 0
+	m := MeasureReference(s, rec, ins, 50e3)
+	icg := ICGFromZ(m.Z, m.FS)
+	// Low-pass at 20 Hz as the device firmware does.
+	sos, _ := dsp.DesignButterLowPass(4, 20, m.FS)
+	icg = sos.FiltFilt(icg)
+	hits := 0
+	for _, c := range rec.Truth.CPoints {
+		lo, hi := c-10, c+11
+		peak := dsp.ArgMax(icg, lo, hi)
+		if d := peak - c; d >= -5 && d <= 5 {
+			hits++
+		}
+	}
+	if frac := float64(hits) / float64(len(rec.Truth.CPoints)); frac < 0.9 {
+		t.Errorf("C peaks recovered: %g, want >= 0.9", frac)
+	}
+}
+
+func TestPositionStrings(t *testing.T) {
+	if Position1.String() != "position-1" || Position3.String() != "position-3" {
+		t.Error("position names")
+	}
+	if Position(9).String() != "position-?" {
+		t.Error("unknown position name")
+	}
+	if len(Positions()) != 3 {
+		t.Error("positions count")
+	}
+}
+
+func TestStudyFrequencies(t *testing.T) {
+	fs := StudyFrequencies()
+	want := []float64{2e3, 10e3, 50e3, 100e3}
+	if len(fs) != 4 {
+		t.Fatal("frequency count")
+	}
+	for i := range want {
+		if fs[i] != want[i] {
+			t.Errorf("f[%d] = %g", i, fs[i])
+		}
+	}
+}
+
+func TestFitColeRecoversParameters(t *testing.T) {
+	truth := Cole{R0: 38, RInf: 21, Tau: 2.2e-6, Alpha: 0.66}
+	freqs := []float64{2e3, 10e3, 50e3, 100e3, 200e3, 500e3}
+	mags := make([]float64, len(freqs))
+	for i, f := range freqs {
+		mags[i] = truth.Magnitude(f)
+	}
+	res, err := FitCole(freqs, mags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual > 0.01 {
+		t.Errorf("residual = %g", res.Residual)
+	}
+	if math.Abs(res.Cole.R0-truth.R0)/truth.R0 > 0.05 {
+		t.Errorf("R0 = %g, want %g", res.Cole.R0, truth.R0)
+	}
+	if math.Abs(res.Cole.RInf-truth.RInf)/truth.RInf > 0.10 {
+		t.Errorf("RInf = %g, want %g", res.Cole.RInf, truth.RInf)
+	}
+	// The fitted model must reproduce magnitudes at unseen frequencies.
+	for _, f := range []float64{5e3, 30e3, 150e3} {
+		got := res.Cole.Magnitude(f)
+		want := truth.Magnitude(f)
+		if math.Abs(got-want)/want > 0.03 {
+			t.Errorf("interpolation at %g Hz: %g vs %g", f, got, want)
+		}
+	}
+}
+
+func TestFitColeFourPointStudySweep(t *testing.T) {
+	// The study's own 4-frequency sweep is the minimal input.
+	truth := Cole{R0: 42, RInf: 24, Tau: 2.0e-6, Alpha: 0.68}
+	freqs := StudyFrequencies()
+	mags := make([]float64, len(freqs))
+	for i, f := range freqs {
+		mags[i] = truth.Magnitude(f)
+	}
+	res, err := FitCole(freqs, mags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual > 0.02 {
+		t.Errorf("residual = %g", res.Residual)
+	}
+	if !res.Cole.Valid() {
+		t.Error("fitted model invalid")
+	}
+}
+
+func TestFitColeInputValidation(t *testing.T) {
+	if _, err := FitCole([]float64{1, 2, 3}, []float64{1, 2, 3}); err != ErrFitInput {
+		t.Errorf("too few points: %v", err)
+	}
+	if _, err := FitCole([]float64{1, 2, 3, 4}, []float64{1, 2, 3}); err != ErrFitInput {
+		t.Errorf("length mismatch: %v", err)
+	}
+	if _, err := FitCole([]float64{0, 2, 3, 4}, []float64{1, 2, 3, 4}); err != ErrFitInput {
+		t.Errorf("zero frequency: %v", err)
+	}
+}
+
+func TestComposition(t *testing.T) {
+	c := Cole{R0: 40, RInf: 20, Tau: 2e-6, Alpha: 0.7}
+	bc, ok := Composition(c)
+	if !ok {
+		t.Fatal("valid model rejected")
+	}
+	// Ri = R0*RInf/(R0-RInf) = 40*20/20 = 40.
+	if math.Abs(bc.RIntra-40) > 1e-9 {
+		t.Errorf("RIntra = %g", bc.RIntra)
+	}
+	if math.Abs(bc.Ratio-1) > 1e-9 {
+		t.Errorf("ratio = %g", bc.Ratio)
+	}
+	if _, ok := Composition(Cole{}); ok {
+		t.Error("invalid model accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Package bioimp models the human body as a frequency-dependent impedance
+// and synthesizes the bioimpedance measurements of the paper's two setups:
+// the traditional 4-electrode thoracic configuration (Fig 1) and the
+// touch-based hand-to-hand device (Fig 2).
+//
+// Tissue dispersion follows the Cole-Cole model. At low injection
+// frequencies (< 50 kHz) current flows through extracellular fluid only;
+// at high frequencies it also crosses cell membranes, so the magnitude of
+// the body impedance decreases monotonically with frequency (Section V of
+// the paper, citing Kyle et al. and Gupta et al.).
+//
+// The *measured* Z0-vs-frequency curves of the paper (Figs 6-7) are not
+// monotone: they rise to a maximum at 10 kHz and fall beyond. Pure tissue
+// dispersion cannot produce that shape; it is attributed here to the
+// band-limited injection/demodulation chain shared by both instruments
+// (AC-coupled current source, lock-in demodulator), modelled by the
+// Instrument gain G(f) normalized at the 50 kHz calibration frequency.
+// This substitution is documented per-experiment in EXPERIMENTS.md.
+package bioimp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Cole holds Cole-Cole dispersion parameters of one tissue segment:
+//
+//	Z(w) = RInf + (R0 - RInf) / (1 + (jw*Tau)^Alpha)
+type Cole struct {
+	R0    float64 // resistance at DC (Ohm)
+	RInf  float64 // resistance at infinite frequency (Ohm)
+	Tau   float64 // characteristic time constant (s)
+	Alpha float64 // dispersion broadening exponent in (0, 1]
+}
+
+// Impedance returns the complex impedance at frequency f (Hz).
+func (c Cole) Impedance(f float64) complex128 {
+	if f < 0 {
+		f = 0
+	}
+	w := 2 * math.Pi * f
+	wt := w * c.Tau
+	if wt == 0 {
+		return complex(c.R0, 0)
+	}
+	// (j*wt)^alpha = wt^alpha * exp(j*alpha*pi/2)
+	mag := math.Pow(wt, c.Alpha)
+	arg := c.Alpha * math.Pi / 2
+	jwta := complex(mag*math.Cos(arg), mag*math.Sin(arg))
+	return complex(c.RInf, 0) + complex(c.R0-c.RInf, 0)/(1+jwta)
+}
+
+// Magnitude returns |Z(f)|.
+func (c Cole) Magnitude(f float64) float64 {
+	return cmplx.Abs(c.Impedance(f))
+}
+
+// CharacteristicFreq returns the dispersion center frequency 1/(2*pi*Tau).
+func (c Cole) CharacteristicFreq() float64 {
+	if c.Tau <= 0 {
+		return 0
+	}
+	return 1 / (2 * math.Pi * c.Tau)
+}
+
+// Valid reports whether the parameters are physically meaningful.
+func (c Cole) Valid() bool {
+	return c.R0 > c.RInf && c.RInf > 0 && c.Tau > 0 && c.Alpha > 0 && c.Alpha <= 1
+}
+
+// ElectrodeCPE models electrode polarization as a constant-phase element
+// Z(f) = K / (jw)^Beta: a dry finger contact has a much larger K than a
+// gelled chest electrode, and its impedance falls with frequency.
+type ElectrodeCPE struct {
+	K    float64 // magnitude factor (Ohm * rad^Beta/s^Beta)
+	Beta float64 // phase exponent in (0, 1]
+}
+
+// Impedance returns the complex electrode impedance at frequency f.
+func (e ElectrodeCPE) Impedance(f float64) complex128 {
+	if e.K == 0 {
+		return 0
+	}
+	w := 2 * math.Pi * f
+	if w <= 0 {
+		w = 1 // avoid the DC singularity; DC is never injected
+	}
+	mag := e.K / math.Pow(w, e.Beta)
+	arg := -e.Beta * math.Pi / 2
+	return complex(mag*math.Cos(arg), mag*math.Sin(arg))
+}

@@ -1,0 +1,79 @@
+package bioimp
+
+import "math"
+
+// Instrument models the injection/demodulation chain of a bioimpedance
+// meter: a first-order high-pass (AC coupling of the current source) and a
+// first-order low-pass (demodulator bandwidth), normalized at the 50 kHz
+// calibration frequency at which hemodynamic parameters are computed
+// (Section IV-B of the paper). The product G(f) peaks near
+// sqrt(FHP*FLP), which reproduces the measured Z0-vs-frequency maximum at
+// 10 kHz seen in Figs 6-7 for both the traditional system and the device.
+type Instrument struct {
+	Name    string
+	FHP     float64 // injection high-pass corner (Hz)
+	FLP     float64 // demodulator low-pass corner (Hz)
+	CalFreq float64 // calibration frequency (Hz); gain is 1 there
+	// Electrode models for the two contact types.
+	Electrode ElectrodeCPE
+	// NoiseStd is the instrument noise on the demodulated Z (Ohm).
+	NoiseStd float64
+}
+
+// TraditionalInstrument returns the reference hospital-style system with
+// gelled chest electrodes.
+func TraditionalInstrument() Instrument {
+	return Instrument{
+		Name:      "traditional",
+		FHP:       3.2e3,
+		FLP:       38e3,
+		CalFreq:   50e3,
+		Electrode: ElectrodeCPE{K: 2.0e4, Beta: 0.75},
+		NoiseStd:  0.003,
+	}
+}
+
+// TouchInstrument returns the hand-held device chain with dry finger
+// contacts.
+func TouchInstrument() Instrument {
+	return Instrument{
+		Name:      "touch",
+		FHP:       3.6e3,
+		FLP:       34e3,
+		CalFreq:   50e3,
+		Electrode: ElectrodeCPE{K: 9.0e4, Beta: 0.78},
+		NoiseStd:  0.005,
+	}
+}
+
+// rawGain returns the unnormalized chain gain at frequency f.
+func (ins Instrument) rawGain(f float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	hp := (f / ins.FHP) / math.Sqrt(1+(f/ins.FHP)*(f/ins.FHP))
+	lp := 1 / math.Sqrt(1+(f/ins.FLP)*(f/ins.FLP))
+	return hp * lp
+}
+
+// Gain returns the chain gain normalized to 1 at the calibration
+// frequency, so measured Z at CalFreq equals the physical |Z|.
+func (ins Instrument) Gain(f float64) float64 {
+	cal := ins.rawGain(ins.CalFreq)
+	if cal == 0 {
+		return 0
+	}
+	return ins.rawGain(f) / cal
+}
+
+// PeakFrequency returns the frequency at which the chain gain is maximal,
+// sqrt(FHP*FLP) for the first-order sections used here.
+func (ins Instrument) PeakFrequency() float64 {
+	return math.Sqrt(ins.FHP * ins.FLP)
+}
+
+// StudyFrequencies returns the injected-current frequencies of the paper's
+// protocol: 2, 10, 50 and 100 kHz.
+func StudyFrequencies() []float64 {
+	return []float64{2e3, 10e3, 50e3, 100e3}
+}

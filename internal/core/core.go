@@ -1,0 +1,214 @@
+// Package core assembles the paper's device (Fig 2, Fig 3, Fig 4): a
+// touch-operated acquisition and processing pipeline that sets the
+// injection frequency, acquires ECG and ICG simultaneously, runs the
+// noise-cancellation and characteristic-point algorithms of Section IV in
+// a form suitable for the STM32L151, estimates the hemodynamic parameters,
+// and hands per-beat records to the radio. It also prices every stage in
+// CPU cycles so the paper's 40-50% duty-cycle claim (experiment E8) can be
+// reproduced.
+package core
+
+import (
+	"errors"
+
+	"repro/internal/bioimp"
+	"repro/internal/dsp"
+	"repro/internal/hemo"
+	"repro/internal/hw/afe"
+	"repro/internal/hw/imu"
+	"repro/internal/hw/mcu"
+	"repro/internal/icg"
+	"repro/internal/physio"
+)
+
+// Config selects the acquisition and processing options of Fig 3's
+// flowchart ("set frequency of the current" is InjectionFreq).
+type Config struct {
+	FS            float64         // sampling rate (Hz); the study uses 250
+	InjectionFreq float64         // carrier frequency (Hz); 50 kHz for STIs
+	Position      bioimp.Position // arm position during the measurement
+	XRule         icg.XVariant    // X-point rule (paper vs Carvalho)
+	BRule         icg.BVariant    // B-point rule (ablation A1)
+	NaiveMorph    bool            // O(n*k) morphology engine (ablation A4)
+	CausalFilters bool            // single-pass filters (ablation A5)
+	// Ensemble additionally averages all beats (R-aligned) and detects
+	// the characteristic points on the averaged beat — the classic ICG
+	// noise-reduction mode used when beat-to-beat output is not needed.
+	Ensemble    bool
+	Body        hemo.BodyConstants
+	ECGFrontEnd afe.ECGConfig
+	ICGFrontEnd afe.ICGConfig
+	MCU         mcu.STM32L151
+	OutlierK    float64 // MAD multiplier for beat rejection (default 4)
+}
+
+// DefaultConfig returns the device configuration used throughout the
+// paper's evaluation: 250 Hz sampling, 50 kHz injection, position 1.
+func DefaultConfig() Config {
+	return Config{
+		FS:            250,
+		InjectionFreq: 50e3,
+		Position:      bioimp.Position1,
+		XRule:         icg.XPaper,
+		BRule:         icg.BPaper,
+		Body:          hemo.DefaultBody(),
+		ECGFrontEnd:   afe.DefaultECG(),
+		ICGFrontEnd:   afe.DefaultICG(),
+		MCU:           mcu.DefaultSTM32L151(),
+		OutlierK:      4,
+	}
+}
+
+// Device is the assembled touch system.
+type Device struct {
+	cfg   Config
+	touch bioimp.Instrument
+}
+
+// Configuration errors.
+var (
+	ErrBadConfig = errors.New("core: invalid device configuration")
+	ErrNoECG     = errors.New("core: no QRS complexes detected")
+)
+
+// NewDevice validates the configuration and builds a device.
+func NewDevice(cfg Config) (*Device, error) {
+	if cfg.FS <= 0 {
+		return nil, ErrBadConfig
+	}
+	if cfg.InjectionFreq <= 0 {
+		return nil, ErrBadConfig
+	}
+	if cfg.ECGFrontEnd.SampleRate == 0 {
+		cfg.ECGFrontEnd = afe.DefaultECG()
+	}
+	if cfg.ICGFrontEnd.SampleRate == 0 {
+		cfg.ICGFrontEnd = afe.DefaultICG()
+	}
+	cfg.ECGFrontEnd.SampleRate = cfg.FS
+	cfg.ICGFrontEnd.SampleRate = cfg.FS
+	cfg.ICGFrontEnd.CarrierFreq = cfg.InjectionFreq
+	if err := cfg.ECGFrontEnd.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.ICGFrontEnd.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MCU.ClockHz == 0 {
+		cfg.MCU = mcu.DefaultSTM32L151()
+	}
+	if cfg.Body.BloodResistivity == 0 {
+		cfg.Body = hemo.DefaultBody()
+	}
+	if cfg.OutlierK == 0 {
+		cfg.OutlierK = 4
+	}
+	return &Device{cfg: cfg, touch: bioimp.TouchInstrument()}, nil
+}
+
+// Config returns the resolved configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Acquisition bundles the sampled channels of one touch session.
+type Acquisition struct {
+	FS   float64
+	ECG  []float64 // quantized ECG (mV)
+	Z    []float64 // quantized impedance (Ohm)
+	IMU  []imu.Sample
+	Meas *bioimp.Measurement
+	// Rec is the generating ground truth; evaluation-only, never used by
+	// Process.
+	Rec *physio.Recording
+}
+
+// VerifyPosition classifies the arm position from the acquisition's IMU
+// window (the accelerometer/gyroscope of Section III-A "distinguish
+// different positions") and reports whether it matches the configured
+// position. ok is false when the classifier is not confident.
+func (d *Device) VerifyPosition(acq *Acquisition) (detected bioimp.Position, match, ok bool) {
+	detected, ok = imu.Classify(acq.IMU)
+	return detected, ok && detected == d.cfg.Position, ok
+}
+
+// Acquire simulates a touch measurement of the given duration: the subject
+// model produces the physiology, the body model turns it into a measured
+// impedance and touch-lead ECG at the configured injection frequency and
+// position, and the front ends sample and quantize both channels.
+func (d *Device) Acquire(sub *physio.Subject, duration float64) (*Acquisition, error) {
+	gen := physio.DefaultGenConfig()
+	gen.Duration = duration
+	gen.FS = d.cfg.FS
+	rec := sub.Generate(gen)
+	meas := bioimp.MeasureDevice(sub, rec, d.touch, d.cfg.InjectionFreq, d.cfg.Position)
+	rng := physio.NewRNG(sub.Seed*31 + int64(d.cfg.Position))
+	ecgQ := d.cfg.ECGFrontEnd.Acquire(meas.ECG, rng)
+	zQ := d.cfg.ICGFrontEnd.Acquire(meas.Z, rng)
+	// Two seconds of IMU data for position verification, with the
+	// subject's position-dependent motion level.
+	imuCfg := imu.DefaultConfig()
+	pi := int(d.cfg.Position) - 1
+	if pi >= 0 && pi < 3 {
+		imuCfg.MotionLevel = sub.PosMotion[pi] - 1
+	}
+	samples := imu.Synthesize(rng, imuCfg, d.cfg.Position, int(2*imuCfg.FS))
+	return &Acquisition{FS: d.cfg.FS, ECG: ecgQ, Z: zQ, IMU: samples, Meas: meas, Rec: rec}, nil
+}
+
+// AcquireReference simulates the traditional thoracic-electrode
+// acquisition used as the study's gold standard.
+func (d *Device) AcquireReference(sub *physio.Subject, duration float64) (*Acquisition, error) {
+	gen := physio.DefaultGenConfig()
+	gen.Duration = duration
+	gen.FS = d.cfg.FS
+	rec := sub.Generate(gen)
+	ins := bioimp.TraditionalInstrument()
+	meas := bioimp.MeasureReference(sub, rec, ins, d.cfg.InjectionFreq)
+	rng := physio.NewRNG(sub.Seed * 17)
+	ecgQ := d.cfg.ECGFrontEnd.Acquire(meas.ECG, rng)
+	zQ := d.cfg.ICGFrontEnd.Acquire(meas.Z, rng)
+	return &Acquisition{FS: d.cfg.FS, ECG: ecgQ, Z: zQ, Meas: meas, Rec: rec}, nil
+}
+
+// Output is the result of processing one acquisition.
+type Output struct {
+	RPeaks   []int
+	TPeaks   []int
+	Beats    []hemo.BeatParams
+	Summary  hemo.Summary
+	Yield    float64 // fraction of RR segments successfully analyzed
+	Z0       float64 // mean measured base impedance (Ohm)
+	Cost     *mcu.Counter
+	CondECG  []float64 // conditioned ECG (after the Section IV-A chain)
+	ICGTrack []float64 // filtered ICG (-dZ/dt after 20 Hz low-pass)
+	// Ensemble carries the parameters measured on the R-aligned averaged
+	// beat when Config.Ensemble is set (RR and HR are session means).
+	Ensemble *hemo.BeatParams
+}
+
+// DutyCycle prices the processing of this output's window on the device
+// MCU, including the calibrated firmware overhead.
+func (d *Device) DutyCycle(out *Output, windowSeconds float64) float64 {
+	return d.cfg.MCU.DutyCycle(out.Cost.Cycles(mcu.CortexM3SoftFloat()), windowSeconds)
+}
+
+// RawDutyCycle is the purely algorithmic duty-cycle lower bound.
+func (d *Device) RawDutyCycle(out *Output, windowSeconds float64) float64 {
+	return d.cfg.MCU.RawDutyCycle(out.Cost.Cycles(mcu.CortexM3SoftFloat()), windowSeconds)
+}
+
+// Run acquires and processes in one call.
+func (d *Device) Run(sub *physio.Subject, duration float64) (*Acquisition, *Output, error) {
+	acq, err := d.Acquire(sub, duration)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := d.Process(acq)
+	if err != nil {
+		return acq, nil, err
+	}
+	return acq, out, nil
+}
+
+// MeanZ returns the average impedance of an acquisition (the Z0 the device
+// reports).
+func (a *Acquisition) MeanZ() float64 { return dsp.Mean(a.Z) }

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bioimp"
+	"repro/internal/ecg"
+	"repro/internal/hw/mcu"
+	"repro/internal/icg"
+	"repro/internal/physio"
+)
+
+func device(t *testing.T, mut func(*Config)) *Device {
+	t.Helper()
+	cfg := DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.FS = 0
+	if _, err := NewDevice(bad); err != ErrBadConfig {
+		t.Errorf("FS=0: %v", err)
+	}
+	bad2 := DefaultConfig()
+	bad2.InjectionFreq = -1
+	if _, err := NewDevice(bad2); err != ErrBadConfig {
+		t.Errorf("freq<0: %v", err)
+	}
+	d := device(t, nil)
+	if d.Config().OutlierK != 4 {
+		t.Error("default outlier K")
+	}
+}
+
+func TestRunEndToEndAllSubjects(t *testing.T) {
+	d := device(t, nil)
+	for _, sub := range physio.Subjects() {
+		s := sub
+		acq, out, err := d.Run(&s, 30)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		nb := len(out.Beats)
+		truthBeats := acq.Rec.Truth.Beats()
+		if float64(nb) < 0.65*float64(truthBeats) {
+			t.Errorf("%s: only %d of %d beats produced parameters", s.Name, nb, truthBeats)
+		}
+		// HR within 5 bpm of the ground truth.
+		if hr := out.Summary.HR.Mean; math.Abs(hr-acq.Rec.Truth.MeanHR()) > 5 {
+			t.Errorf("%s: HR = %.1f, truth %.1f", s.Name, hr, acq.Rec.Truth.MeanHR())
+		}
+		// PEP / LVET near the truth on average, within two documented
+		// systematic effects (EXPERIMENTS.md, E7): the paper's B-point
+		// rule marks "Bnew" at the B notch, 10-20 ms before the upstroke
+		// onset the truth annotates, and the touch channel's calibrated
+		// contact artifact adds up to ~40 ms of late bias on the
+		// fallback branch. Clean-channel accuracy is pinned tighter by
+		// the icg package tests.
+		truthPEP := mean(acq.Rec.Truth.PEP)
+		truthLVET := mean(acq.Rec.Truth.LVET)
+		if pep := out.Summary.PEP.Mean; math.Abs(pep-truthPEP) > 0.045 {
+			t.Errorf("%s: PEP = %.4f, truth %.4f", s.Name, pep, truthPEP)
+		}
+		if lvet := out.Summary.LVET.Mean; math.Abs(lvet-truthLVET) > 0.05 {
+			t.Errorf("%s: LVET = %.4f, truth %.4f", s.Name, lvet, truthLVET)
+		}
+		if pep := out.Summary.PEP.Mean; pep < 0.05 || pep > 0.18 {
+			t.Errorf("%s: PEP = %.4f outside the physiological range", s.Name, pep)
+		}
+		if lvet := out.Summary.LVET.Mean; lvet < 0.2 || lvet > 0.42 {
+			t.Errorf("%s: LVET = %.4f outside the physiological range", s.Name, lvet)
+		}
+		if out.Yield < 0.85 {
+			t.Errorf("%s: yield = %.2f", s.Name, out.Yield)
+		}
+		if out.Z0 <= 0 {
+			t.Errorf("%s: Z0 = %g", s.Name, out.Z0)
+		}
+	}
+}
+
+func mean(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	return s / float64(len(x))
+}
+
+func TestDutyCycleInPaperBand(t *testing.T) {
+	// Experiment E8: the full pipeline at 250 Hz must land in the
+	// paper's 40-50% duty band on the 32 MHz soft-float STM32L151 with
+	// the calibrated overhead factor, and well below 100% raw.
+	d := device(t, nil)
+	s, _ := physio.SubjectByID(1)
+	_, out, err := d.Run(&s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	duty := d.DutyCycle(out, 30)
+	if duty < 0.30 || duty > 0.60 {
+		t.Errorf("duty cycle = %.1f%%, want within 30-60%% (paper: 40-50%%)", duty*100)
+	}
+	raw := d.RawDutyCycle(out, 30)
+	if raw <= 0 || raw >= duty {
+		t.Errorf("raw duty %.3f should be positive and below calibrated %.3f", raw, duty)
+	}
+}
+
+func TestNaiveMorphCostsMore(t *testing.T) {
+	s, _ := physio.SubjectByID(2)
+	fast := device(t, nil)
+	slow := device(t, func(c *Config) { c.NaiveMorph = true })
+	_, outF, err := fast.Run(&s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, outS, err := slow.Run(&s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mcu.CortexM3SoftFloat()
+	if outS.Cost.Cycles(m) <= outF.Cost.Cycles(m) {
+		t.Error("naive morphology should cost more cycles")
+	}
+	// Results however must be identical (same math).
+	if len(outF.Beats) != len(outS.Beats) {
+		t.Errorf("beat counts differ: %d vs %d", len(outF.Beats), len(outS.Beats))
+	}
+}
+
+func TestCausalFiltersAblation(t *testing.T) {
+	// Ablation A5: causal (single-pass) filters halve the filter cost
+	// but bias the point timing; PEP should show a visible shift.
+	s, _ := physio.SubjectByID(3)
+	zero := device(t, nil)
+	causal := device(t, func(c *Config) { c.CausalFilters = true })
+	_, outZ, err := zero.Run(&s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, outC, err := causal.Run(&s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mcu.CortexM3SoftFloat()
+	if outC.Cost.Cycles(m) >= outZ.Cost.Cycles(m) {
+		t.Error("causal filtering should be cheaper")
+	}
+	if outC.Summary.Beats == 0 {
+		t.Fatal("causal pipeline produced no beats")
+	}
+}
+
+func TestPositionAffectsZ0(t *testing.T) {
+	s, _ := physio.SubjectByID(1)
+	d1 := device(t, nil)
+	d2 := device(t, func(c *Config) { c.Position = bioimp.Position2 })
+	a1, err := d1.Acquire(&s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := d2.Acquire(&s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.MeanZ() <= a1.MeanZ() {
+		t.Errorf("position 2 Z0 (%.1f) should exceed position 1 (%.1f)",
+			a2.MeanZ(), a1.MeanZ())
+	}
+}
+
+func TestReferenceAcquisition(t *testing.T) {
+	s, _ := physio.SubjectByID(4)
+	d := device(t, nil)
+	ref, err := d.AcquireReference(&s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.Process(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thoracic Z0 is far smaller than hand-to-hand.
+	if ref.MeanZ() > 100 {
+		t.Errorf("thoracic Z0 = %.1f, expected tens of Ohm", ref.MeanZ())
+	}
+	if out.Summary.Beats == 0 {
+		t.Fatal("no beats on the reference signal")
+	}
+	// The clean reference channel recovers the systolic time intervals
+	// with at most the definitional offset of the paper's "Bnew" rule
+	// (the 3rd-derivative B sits at the notch, 10-20 ms before the
+	// upstroke onset annotated as truth).
+	truthPEP := mean(ref.Rec.Truth.PEP)
+	truthLVET := mean(ref.Rec.Truth.LVET)
+	if pep := out.Summary.PEP.Mean; math.Abs(pep-truthPEP) > 0.025 {
+		t.Errorf("reference PEP = %.4f, truth %.4f", pep, truthPEP)
+	}
+	if lvet := out.Summary.LVET.Mean; math.Abs(lvet-truthLVET) > 0.03 {
+		t.Errorf("reference LVET = %.4f, truth %.4f", lvet, truthLVET)
+	}
+}
+
+func TestCarvalhoVariantRuns(t *testing.T) {
+	s, _ := physio.SubjectByID(1)
+	d := device(t, func(c *Config) { c.XRule = icg.XCarvalho })
+	_, out, err := d.Run(&s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.TPeaks) == 0 {
+		t.Error("Carvalho variant should compute T peaks")
+	}
+	if out.Summary.Beats == 0 {
+		t.Error("no beats")
+	}
+}
+
+func TestProcessFlatlineFails(t *testing.T) {
+	d := device(t, nil)
+	n := 250 * 10
+	acq := &Acquisition{FS: 250, ECG: make([]float64, n), Z: make([]float64, n)}
+	if _, err := d.Process(acq); err == nil {
+		t.Error("flatline should fail")
+	}
+}
+
+func TestPMUPolicy(t *testing.T) {
+	p := DefaultPMU()
+	if m := p.Decide(80, 0.9); m != ModeContinuous {
+		t.Errorf("healthy: %v", m)
+	}
+	if m := p.Decide(20, 0.9); m != ModeEco {
+		t.Errorf("low battery: %v", m)
+	}
+	if m := p.Decide(5, 0.9); m != ModeSpotCheck {
+		t.Errorf("critical battery: %v", m)
+	}
+	if m := p.Decide(80, 0.2); m != ModeEco {
+		t.Errorf("bad contact: %v", m)
+	}
+	if ModeContinuous.String() != "continuous" || PowerMode(9).String() != "mode-?" {
+		t.Error("mode names")
+	}
+}
+
+func TestPMULifetimes(t *testing.T) {
+	// Eco must beat continuous, spot-check must beat both, and
+	// continuous at 50% duty must land near the paper's 106 h.
+	cont := LifetimeHours(ModeContinuous, 0.5)
+	eco := LifetimeHours(ModeEco, 0.5)
+	spot := LifetimeHours(ModeSpotCheck, 0.5)
+	if !(spot > eco && eco > cont) {
+		t.Errorf("lifetime ordering: cont=%.0f eco=%.0f spot=%.0f", cont, eco, spot)
+	}
+	if cont < 105 || cont > 108 {
+		t.Errorf("continuous lifetime = %.1f h, want ~106", cont)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	s, _ := physio.SubjectByID(5)
+	d := device(t, nil)
+	_, o1, err := d.Run(&s, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, o2, err := d.Run(&s, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o1.Beats) != len(o2.Beats) {
+		t.Fatal("nondeterministic beat count")
+	}
+	for i := range o1.Beats {
+		if o1.Beats[i].PEP != o2.Beats[i].PEP || o1.Beats[i].LVET != o2.Beats[i].LVET {
+			t.Fatal("nondeterministic parameters")
+		}
+	}
+}
+
+func TestEctopicRhythmRobustness(t *testing.T) {
+	// An irregular rhythm (10% ectopics) must not break the pipeline:
+	// beats still come out, HR tracks the (irregular) truth, and the
+	// outlier rejection protects the STI means.
+	s, _ := physio.SubjectByID(2)
+	d := device(t, nil)
+	gen := physio.DefaultGenConfig()
+	gen.EctopicProb = 0.10
+	rec := s.Generate(gen)
+	meas := bioimp.MeasureDevice(&s, rec, bioimp.TouchInstrument(), 50e3, bioimp.Position1)
+	acq := &Acquisition{FS: 250, ECG: meas.ECG, Z: meas.Z, Meas: meas, Rec: rec}
+	out, err := d.Process(acq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Beats) < 15 {
+		t.Fatalf("only %d beats on ectopic rhythm", len(out.Beats))
+	}
+	if math.Abs(out.Summary.HR.Mean-rec.Truth.MeanHR()) > 8 {
+		t.Errorf("HR = %.1f vs truth %.1f", out.Summary.HR.Mean, rec.Truth.MeanHR())
+	}
+	if out.Summary.PEP.Mean < 0.05 || out.Summary.PEP.Mean > 0.2 {
+		t.Errorf("PEP = %.4f under ectopy", out.Summary.PEP.Mean)
+	}
+}
+
+func TestRAMBudgets(t *testing.T) {
+	m := mcu.DefaultSTM32L151()
+	batch := BatchRAM(250, 30)
+	streaming := StreamingRAM(250, DefaultStreamConfig())
+	// The batch working set must NOT fit the STM32L151 (this is why the
+	// firmware streams), while the rolling-window engine must fit.
+	if m.FitsRAM(batch.Total()) {
+		t.Errorf("batch %d bytes unexpectedly fits %d RAM", batch.Total(), m.RAMBytes)
+	}
+	if !m.FitsRAM(streaming.Total()) {
+		t.Errorf("streaming %d bytes does not fit %d RAM", streaming.Total(), m.RAMBytes)
+	}
+	if batch.Total() <= streaming.Total() {
+		t.Error("batch should dominate streaming")
+	}
+	if batch.Mode != "batch" || streaming.Mode != "streaming" {
+		t.Error("mode labels")
+	}
+}
+
+func TestNaiveQRSDegradesUnderDrift(t *testing.T) {
+	// The ablation behind using Pan-Tompkins: on a drifting, noisy ECG
+	// the fixed-threshold detector loses beats that PT keeps.
+	s, _ := physio.SubjectByID(4)
+	gen := physio.DefaultGenConfig()
+	gen.ECGBaselineDrift = 0.6
+	gen.ECGNoiseStd = 0.04
+	rec := s.Generate(gen)
+	cond, err := ecg.Clean(rec.ECG, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := ecg.DetectQRS(cond, ecg.DefaultPT(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The naive detector runs on the raw (drifting) ECG, as a firmware
+	// shortcut would.
+	naive := ecg.DetectQRSNaive(rec.ECG, 250, 0.5)
+	tol := 13
+	tpPT, _, fnPT := ecg.MatchPeaks(pt.RPeaks, rec.Truth.RPeaks, tol)
+	tpN, _, fnN := ecg.MatchPeaks(naive, rec.Truth.RPeaks, tol)
+	sePT := ecg.Sensitivity(tpPT, fnPT)
+	seN := ecg.Sensitivity(tpN, fnN)
+	if sePT < 0.95 {
+		t.Errorf("PT sensitivity = %.3f", sePT)
+	}
+	if seN >= sePT {
+		t.Errorf("naive (%.3f) should not beat Pan-Tompkins (%.3f) under drift", seN, sePT)
+	}
+}
+
+func TestVerifyPositionFromIMU(t *testing.T) {
+	s, _ := physio.SubjectByID(1)
+	for _, pos := range bioimp.Positions() {
+		d := device(t, func(c *Config) { c.Position = pos })
+		acq, err := d.Acquire(&s, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(acq.IMU) == 0 {
+			t.Fatal("no IMU samples acquired")
+		}
+		detected, match, ok := d.VerifyPosition(acq)
+		if !ok {
+			t.Errorf("%v: classifier not confident", pos)
+			continue
+		}
+		if !match || detected != pos {
+			t.Errorf("%v detected as %v", pos, detected)
+		}
+	}
+}
+
+func TestSamplingRateRobustness(t *testing.T) {
+	// The device spec allows 125 Hz - 16 kHz sampling; the pipeline is
+	// rate-generic. Verify the full chain at 125 and 500 Hz.
+	s, _ := physio.SubjectByID(1)
+	for _, fs := range []float64{125, 500} {
+		d := device(t, func(c *Config) { c.FS = fs })
+		acq, out, err := d.Run(&s, 30)
+		if err != nil {
+			t.Fatalf("fs=%g: %v", fs, err)
+		}
+		if len(out.Beats) < 15 {
+			t.Errorf("fs=%g: only %d beats", fs, len(out.Beats))
+		}
+		if hr := out.Summary.HR.Mean; math.Abs(hr-acq.Rec.Truth.MeanHR()) > 5 {
+			t.Errorf("fs=%g: HR %.1f vs truth %.1f", fs, hr, acq.Rec.Truth.MeanHR())
+		}
+		if pep := out.Summary.PEP.Mean; pep < 0.05 || pep > 0.2 {
+			t.Errorf("fs=%g: PEP %.4f", fs, pep)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/ecg"
+	"repro/internal/hw/mcu"
+)
+
+// costEstimator prices each pipeline stage in operation counts. The
+// counts model a straightforward C implementation of each algorithm on
+// the STM32L151 (soft-float Cortex-M3); mcu.CostModel converts them to
+// cycles and mcu.STM32L151.DutyCycle applies the calibrated firmware
+// overhead (experiment E8 in DESIGN.md).
+type costEstimator struct {
+	counter *mcu.Counter
+	cfg     Config
+}
+
+func newCostEstimator(cfg Config) *costEstimator {
+	return &costEstimator{counter: mcu.NewCounter(), cfg: cfg}
+}
+
+// baseline prices the morphological baseline estimation plus subtraction.
+func (c *costEstimator) baseline(n int, cfg ecg.BaselineConfig) {
+	l1 := int(cfg.L1Seconds*cfg.FS) | 1
+	l2 := int(cfg.L1Seconds*cfg.L2Factor*cfg.FS) | 1
+	nn := int64(n)
+	if cfg.Naive {
+		// Four sliding-window scans (erode+dilate, twice), each
+		// comparing k samples per output.
+		ops := nn * int64(2*l1+2*l2)
+		c.counter.Add("ecg-baseline", mcu.OpFloatCmp, ops)
+		c.counter.Add("ecg-baseline", mcu.OpMemory, ops)
+	} else {
+		// Monotonic deque: amortized ~3 comparisons/sample per scan.
+		ops := nn * 4 * 3
+		c.counter.Add("ecg-baseline", mcu.OpFloatCmp, ops)
+		c.counter.Add("ecg-baseline", mcu.OpMemory, ops*2)
+		c.counter.Add("ecg-baseline", mcu.OpBranch, ops)
+	}
+	// Subtraction pass.
+	c.counter.Add("ecg-baseline", mcu.OpFloatAdd, nn)
+	c.counter.Add("ecg-baseline", mcu.OpMemory, 2*nn)
+}
+
+// fir prices an FIR filter of the given tap count over n samples, passes
+// = 1 (causal) or 2 (forward-backward).
+func (c *costEstimator) fir(n, taps, passes int) {
+	mac := int64(n) * int64(taps) * int64(passes)
+	c.counter.Add("ecg-bandpass", mcu.OpFloatMul, mac)
+	c.counter.Add("ecg-bandpass", mcu.OpFloatAdd, mac)
+	c.counter.Add("ecg-bandpass", mcu.OpMemory, 2*mac)
+}
+
+// sos prices a biquad cascade: 5 multiplies and 4 adds per section per
+// sample.
+func (c *costEstimator) sos(n, sections, passes int) {
+	per := int64(n) * int64(sections) * int64(passes)
+	c.counter.Add("icg-lowpass", mcu.OpFloatMul, 5*per)
+	c.counter.Add("icg-lowpass", mcu.OpFloatAdd, 4*per)
+	c.counter.Add("icg-lowpass", mcu.OpMemory, 3*per)
+}
+
+// panTompkins prices the QRS detector stages.
+func (c *costEstimator) panTompkins(n int) {
+	nn := int64(n)
+	// Band-pass: two biquads, causal.
+	c.counter.Add("qrs-detect", mcu.OpFloatMul, 10*nn)
+	c.counter.Add("qrs-detect", mcu.OpFloatAdd, 8*nn)
+	// Derivative (4 adds, 2 muls), squaring (1 mul), integration
+	// (2 adds, 1 div amortized via reciprocal multiply).
+	c.counter.Add("qrs-detect", mcu.OpFloatAdd, 6*nn)
+	c.counter.Add("qrs-detect", mcu.OpFloatMul, 4*nn)
+	// Threshold logic.
+	c.counter.Add("qrs-detect", mcu.OpFloatCmp, 4*nn)
+	c.counter.Add("qrs-detect", mcu.OpBranch, 2*nn)
+	c.counter.Add("qrs-detect", mcu.OpMemory, 6*nn)
+}
+
+// derivative prices the ICG = -dZ/dt stage.
+func (c *costEstimator) derivative(n int) {
+	nn := int64(n)
+	c.counter.Add("icg-derivative", mcu.OpFloatAdd, nn)
+	c.counter.Add("icg-derivative", mcu.OpFloatMul, nn)
+	c.counter.Add("icg-derivative", mcu.OpMemory, 2*nn)
+}
+
+// pointDetect prices the per-beat B/C/X detection: median (insertion sort
+// on the segment), moving average, three derivative passes, the 40-80%
+// line fit and the directional scans.
+func (c *costEstimator) pointDetect(beats, avgBeatLen int) {
+	if beats <= 0 || avgBeatLen <= 0 {
+		return
+	}
+	m := int64(avgBeatLen)
+	b := int64(beats)
+	sortOps := int64(float64(m) * math.Log2(float64(m)+1))
+	c.counter.Add("icg-points", mcu.OpFloatCmp, b*(sortOps+4*m))
+	c.counter.Add("icg-points", mcu.OpFloatAdd, b*5*m)
+	c.counter.Add("icg-points", mcu.OpFloatMul, b*2*m)
+	c.counter.Add("icg-points", mcu.OpFloatDiv, b*8)
+	c.counter.Add("icg-points", mcu.OpMemory, b*8*m)
+	c.counter.Add("icg-points", mcu.OpBranch, b*2*m)
+}
+
+// hemo prices the parameter computation (a handful of float ops per beat).
+func (c *costEstimator) hemo(beats int) {
+	b := int64(beats)
+	c.counter.Add("hemodynamics", mcu.OpFloatMul, 12*b)
+	c.counter.Add("hemodynamics", mcu.OpFloatAdd, 8*b)
+	c.counter.Add("hemodynamics", mcu.OpFloatDiv, 6*b)
+}
+
+// radio prices beat-record marshalling and frame CRC.
+func (c *costEstimator) radio(beats int) {
+	b := int64(beats)
+	// CRC16 over ~20 bytes: 8 shifts/xors per byte.
+	c.counter.Add("radio-frames", mcu.OpIntALU, 20*8*2*b)
+	c.counter.Add("radio-frames", mcu.OpMemory, 40*b)
+}
+
+// ensemble prices R-aligned beat averaging: one resample (2 mul + 1 add
+// per output sample) and one accumulate per beat.
+func (c *costEstimator) ensemble(beats, length int) {
+	ops := int64(beats) * int64(length)
+	c.counter.Add("icg-ensemble", mcu.OpFloatMul, 2*ops)
+	c.counter.Add("icg-ensemble", mcu.OpFloatAdd, 2*ops)
+	c.counter.Add("icg-ensemble", mcu.OpMemory, 3*ops)
+}

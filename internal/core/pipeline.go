@@ -1,0 +1,146 @@
+package core
+
+import (
+	"repro/internal/bioimp"
+	"repro/internal/dsp"
+	"repro/internal/ecg"
+	"repro/internal/hemo"
+	"repro/internal/icg"
+)
+
+// Process runs the embedded pipeline of Fig 3 on an acquisition:
+//
+//	ECG: morphological baseline removal -> 32nd-order FIR band-pass
+//	     (zero-phase) -> Pan-Tompkins QRS detection
+//	ICG: Z -> -dZ/dt -> 20 Hz Butterworth low-pass (zero-phase) ->
+//	     beat segmentation at R peaks -> B/C/X detection
+//	->   beat-to-beat hemodynamic parameters (Z0, LVET, PEP, HR, SV, CO)
+//
+// Every stage also records its operation counts so the MCU duty cycle can
+// be priced (experiment E8).
+func (d *Device) Process(acq *Acquisition) (*Output, error) {
+	fs := acq.FS
+	n := len(acq.ECG)
+	cost := newCostEstimator(d.cfg)
+
+	// --- ECG conditioning.
+	blCfg := ecg.DefaultBaseline(fs)
+	blCfg.Naive = d.cfg.NaiveMorph
+	condECG := ecg.RemoveBaseline(acq.ECG, blCfg)
+	cost.baseline(n, blCfg)
+
+	bpCfg := ecg.DefaultBandPass(fs)
+	fir, err := bpCfg.Design()
+	if err != nil {
+		return nil, err
+	}
+	if d.cfg.CausalFilters {
+		condECG = fir.Apply(condECG)
+		cost.fir(n, len(fir.Taps), 1)
+	} else {
+		condECG = dsp.FiltFiltFIR(fir, condECG)
+		cost.fir(n, len(fir.Taps), 2)
+	}
+
+	// --- QRS detection.
+	ptRes, err := ecg.DetectQRS(condECG, ecg.DefaultPT(fs))
+	if err != nil {
+		return nil, err
+	}
+	cost.panTompkins(n)
+	if len(ptRes.RPeaks) < 2 {
+		return nil, ErrNoECG
+	}
+
+	// --- ICG derivation and conditioning.
+	icgRaw := bioimp.ICGFromZ(acq.Z, fs)
+	cost.derivative(n)
+	fCfg := icg.DefaultFilter(fs)
+	var icgF []float64
+	if d.cfg.CausalFilters {
+		lp, derr := dsp.DesignButterLowPass(fCfg.Order, fCfg.Cutoff, fs)
+		if derr != nil {
+			return nil, derr
+		}
+		icgF = lp.Filter(icgRaw)
+		if fCfg.HPCutoff > 0 {
+			hp, derr := dsp.DesignButterHighPass(fCfg.HPOrder, fCfg.HPCutoff, fs)
+			if derr != nil {
+				return nil, derr
+			}
+			icgF = hp.Filter(icgF)
+		}
+		cost.sos(n, 3, 1)
+	} else {
+		icgF, err = fCfg.Apply(icgRaw)
+		if err != nil {
+			return nil, err
+		}
+		cost.sos(n, 3, 2)
+	}
+
+	// --- T peaks (needed by the Carvalho X variant only).
+	var tPeaks []int
+	if d.cfg.XRule == icg.XCarvalho {
+		tPeaks = ecg.TPeaksForBeats(condECG, ptRes.RPeaks, fs)
+		cost.sos(n, 2, 2) // the 10 Hz T-wave low-pass
+	}
+
+	// --- Beat-to-beat point detection.
+	dCfg := icg.DefaultDetect(fs)
+	dCfg.XRule = d.cfg.XRule
+	dCfg.BRule = d.cfg.BRule
+	beats := icg.DetectAll(icgF, ptRes.RPeaks, tPeaks, dCfg)
+	avgBeat := 0
+	if len(ptRes.RPeaks) > 1 {
+		avgBeat = (ptRes.RPeaks[len(ptRes.RPeaks)-1] - ptRes.RPeaks[0]) / (len(ptRes.RPeaks) - 1)
+	}
+	cost.pointDetect(len(beats), avgBeat)
+
+	// --- Hemodynamic parameters. Touch-path acquisitions apply the
+	// hand-to-hand -> thoracic calibration before the volume formulas.
+	z0 := dsp.Mean(acq.Z)
+	cal := hemo.IdentityCal()
+	if acq.Meas == nil || acq.Meas.Path == bioimp.PathHandToHand {
+		cal = hemo.TouchCal()
+	}
+	params, err := hemo.Series(beats, ptRes.RPeaks, z0, fs, d.cfg.Body, cal)
+	if err != nil {
+		return nil, err
+	}
+	params = hemo.RejectOutliers(params, d.cfg.OutlierK)
+	cost.hemo(len(params))
+	cost.radio(len(params))
+
+	out := &Output{
+		RPeaks:   ptRes.RPeaks,
+		TPeaks:   tPeaks,
+		Beats:    params,
+		Summary:  hemo.Summarize(params),
+		Yield:    icg.YieldRate(beats),
+		Z0:       z0,
+		Cost:     cost.counter,
+		CondECG:  condECG,
+		ICGTrack: icgF,
+	}
+
+	// --- Optional ensemble-averaged measurement: R-aligned averaging
+	// without resampling, so the intervals on the averaged beat keep
+	// their absolute time axis.
+	if d.cfg.Ensemble {
+		meanRR := dsp.Mean(ecg.RRIntervals(ptRes.RPeaks, fs))
+		ensLen := int(0.9 * meanRR * fs)
+		if cap := int(0.9 * fs); ensLen > cap {
+			ensLen = cap
+		}
+		ens := icg.EnsembleAligned(icgF, ptRes.RPeaks, ensLen)
+		cost.ensemble(len(ptRes.RPeaks), ensLen)
+		if ens != nil {
+			if pts, derr := icg.DetectBeat(ens, 0, len(ens), -1, dCfg); derr == nil {
+				bp := hemo.FromPoints(pts, int(meanRR*fs), z0, fs, d.cfg.Body, cal)
+				out.Ensemble = &bp
+			}
+		}
+	}
+	return out, nil
+}

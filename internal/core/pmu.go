@@ -1,0 +1,107 @@
+package core
+
+import "repro/internal/hw/power"
+
+// Power management unit. Section III-A describes a PMU that "dynamically
+// tunes the system to achieve the best trade-off between energy
+// consumption and performance, taking into account the available energy in
+// the battery and requirements of the target application". The paper does
+// not specify the policy; this file implements a plausible one (and the
+// ablation A6 compares it against a fixed-duty configuration).
+
+// PowerMode is the PMU operating point.
+type PowerMode int
+
+// Operating points.
+const (
+	// ModeContinuous: full beat-to-beat processing and per-beat radio
+	// transmission (the paper's worst case: MCU ~50%, radio 1%).
+	ModeContinuous PowerMode = iota
+	// ModeEco: processing is batched (the MCU sleeps between 10-second
+	// analysis windows) and results are sent in bursts.
+	ModeEco
+	// ModeSpotCheck: the device idles and only measures on touch,
+	// assuming one 30-second spot check per 30 minutes.
+	ModeSpotCheck
+)
+
+// String names the mode.
+func (m PowerMode) String() string {
+	switch m {
+	case ModeContinuous:
+		return "continuous"
+	case ModeEco:
+		return "eco"
+	case ModeSpotCheck:
+		return "spot-check"
+	default:
+		return "mode-?"
+	}
+}
+
+// PMU decides the operating mode from battery state and signal quality.
+type PMU struct {
+	// EcoBelowPct switches to ModeEco below this battery percentage.
+	EcoBelowPct float64
+	// SpotBelowPct switches to ModeSpotCheck below this percentage.
+	SpotBelowPct float64
+	// MinYield is the beat-analysis yield below which continuing to
+	// process full waveforms is wasted energy (bad contact); the PMU
+	// drops to ModeEco until contact improves.
+	MinYield float64
+}
+
+// DefaultPMU returns the policy used by the examples.
+func DefaultPMU() PMU {
+	return PMU{EcoBelowPct: 30, SpotBelowPct: 10, MinYield: 0.5}
+}
+
+// Decide returns the operating mode for the given battery percentage
+// (0-100) and recent beat-analysis yield (0-1).
+func (p PMU) Decide(batteryPct, yield float64) PowerMode {
+	switch {
+	case batteryPct <= p.SpotBelowPct:
+		return ModeSpotCheck
+	case batteryPct <= p.EcoBelowPct:
+		return ModeEco
+	case yield < p.MinYield:
+		return ModeEco
+	default:
+		return ModeContinuous
+	}
+}
+
+// ModeBudget maps an operating mode to a component duty-cycle budget,
+// given the measured continuous-processing MCU duty.
+func ModeBudget(mode PowerMode, mcuDuty float64) *power.Budget {
+	switch mode {
+	case ModeEco:
+		// Batched processing roughly halves MCU activity; the radio
+		// sends bursts at a tenth of the per-beat rate.
+		return power.NewBudget().
+			Set(power.ECGChip, 1).
+			Set(power.ICGChip, 1).
+			Set(power.MCU, mcuDuty*0.5).
+			Set(power.Radio, 0.001)
+	case ModeSpotCheck:
+		// One 30 s measurement per 30 minutes: 1/60 activity.
+		frac := 1.0 / 60
+		return power.NewBudget().
+			Set(power.ECGChip, frac).
+			Set(power.ICGChip, frac).
+			Set(power.MCU, mcuDuty*frac).
+			Set(power.Radio, 0.0001)
+	default:
+		return power.NewBudget().
+			Set(power.ECGChip, 1).
+			Set(power.ICGChip, 1).
+			Set(power.MCU, mcuDuty).
+			Set(power.Radio, 0.01)
+	}
+}
+
+// LifetimeHours estimates battery life in the given mode.
+func LifetimeHours(mode PowerMode, mcuDuty float64) float64 {
+	b := ModeBudget(mode, mcuDuty)
+	return power.DeviceBattery().LifetimeHours(b.AverageCurrentMA())
+}

@@ -1,0 +1,70 @@
+package core
+
+// RAM budgeting. The STM32L151 of Table I has 48 KB of RAM; a 30-second
+// two-channel acquisition at 250 Hz held as 32-bit samples already needs
+// 60 KB, so the firmware cannot process sessions in batch. The streaming
+// engine (stream.go) with its 6-second rolling window is what actually
+// fits — this file quantifies both, and the tests pin the conclusion.
+
+// RAMBudget itemizes the working set of a processing mode.
+type RAMBudget struct {
+	Mode        string
+	SampleBytes int // bytes per stored sample (firmware uses float32)
+	Items       []RAMItem
+}
+
+// RAMItem is one buffer of the working set.
+type RAMItem struct {
+	Name  string
+	Bytes int
+}
+
+// Total sums the working set.
+func (r RAMBudget) Total() int {
+	t := 0
+	for _, it := range r.Items {
+		t += it.Bytes
+	}
+	return t
+}
+
+// BatchRAM returns the working set of whole-session batch processing:
+// both raw channels plus the conditioned ECG and filtered ICG tracks.
+func BatchRAM(fs, seconds float64) RAMBudget {
+	const sampleBytes = 4 // float32 on the MCU
+	n := int(fs * seconds)
+	buf := n * sampleBytes
+	return RAMBudget{
+		Mode:        "batch",
+		SampleBytes: sampleBytes,
+		Items: []RAMItem{
+			{Name: "ecg-raw", Bytes: buf},
+			{Name: "z-raw", Bytes: buf},
+			{Name: "ecg-conditioned", Bytes: buf},
+			{Name: "icg-filtered", Bytes: buf},
+			{Name: "detector-state", Bytes: 2 * 1024},
+		},
+	}
+}
+
+// StreamingRAM returns the working set of the rolling-window engine.
+func StreamingRAM(fs float64, sc StreamConfig) RAMBudget {
+	const sampleBytes = 4
+	if sc.WindowSeconds <= 0 {
+		sc = DefaultStreamConfig()
+	}
+	n := int(fs * sc.WindowSeconds)
+	buf := n * sampleBytes
+	return RAMBudget{
+		Mode:        "streaming",
+		SampleBytes: sampleBytes,
+		Items: []RAMItem{
+			{Name: "ecg-window", Bytes: buf},
+			{Name: "z-window", Bytes: buf},
+			{Name: "work-track", Bytes: buf},
+			{Name: "filter-state", Bytes: 1 * 1024},
+			{Name: "detector-state", Bytes: 2 * 1024},
+			{Name: "beat-queue", Bytes: 512},
+		},
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import "repro/internal/hw/power"
+
+// Session simulation: the PMU policy driven hour by hour against the
+// battery model, reproducing the trade-off the paper's PMU is meant to
+// manage. SimulateSession runs until the battery is empty or the horizon
+// is reached and reports the mode timeline.
+
+// SessionStep is one simulated hour.
+type SessionStep struct {
+	Hour       float64
+	Mode       PowerMode
+	BatteryPct float64
+	Yield      float64
+}
+
+// SessionResult summarizes a simulated deployment.
+type SessionResult struct {
+	Steps      []SessionStep
+	TotalHours float64
+	ModeHours  map[PowerMode]float64
+}
+
+// SimulateSession runs the PMU against the discharge model. mcuDuty is
+// the measured continuous-processing duty cycle; yieldAt returns the
+// expected beat-analysis yield at a given hour (contact quality over
+// time); horizonHours bounds the simulation.
+func SimulateSession(pmu PMU, mcuDuty float64, yieldAt func(hour float64) float64, horizonHours float64) SessionResult {
+	d := power.NewDischarge(power.DeviceBattery())
+	res := SessionResult{ModeHours: make(map[PowerMode]float64)}
+	const step = 1.0 // hours
+	for h := 0.0; h < horizonHours && !d.Empty(); h += step {
+		y := 1.0
+		if yieldAt != nil {
+			y = yieldAt(h)
+		}
+		mode := pmu.Decide(d.Percent(), y)
+		budget := ModeBudget(mode, mcuDuty)
+		d.Step(budget, step)
+		res.Steps = append(res.Steps, SessionStep{
+			Hour: h, Mode: mode, BatteryPct: d.Percent(), Yield: y,
+		})
+		res.ModeHours[mode] += step
+		res.TotalHours = h + step
+	}
+	return res
+}

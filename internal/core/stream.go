@@ -1,0 +1,171 @@
+package core
+
+import (
+	"repro/internal/bioimp"
+	"repro/internal/dsp"
+	"repro/internal/ecg"
+	"repro/internal/hemo"
+	"repro/internal/icg"
+)
+
+// Streamer processes the two channels sample by sample, the way the
+// firmware runs: samples accumulate in a rolling window, the window is
+// re-analyzed on every hop, and beats are emitted exactly once as soon as
+// their full RR segment (plus a settling margin for the zero-phase
+// filters) is available. End-to-end latency is WindowSeconds —
+// HopSeconds of buffering plus the margin; with the defaults a beat is
+// reported roughly two seconds after its X point, which is what
+// "real-time beat-to-beat" means for a hand-held spot-check device.
+type Streamer struct {
+	dev *Device
+
+	winN, hopN, marginN int
+	ecgBuf, zBuf        []float64
+	consumed            int // absolute index of ecgBuf[0]
+	lastEmittedR        int // absolute index of the last emitted beat's R
+	pushedTotal         int
+
+	body hemo.BodyConstants
+	cal  hemo.Calibration
+}
+
+// StreamConfig tunes the rolling-window analysis.
+type StreamConfig struct {
+	WindowSeconds float64 // analysis window (default 6 s)
+	HopSeconds    float64 // re-analysis period (default 1 s)
+	MarginSeconds float64 // trailing settling margin (default 1.5 s)
+	// Thoracic selects the identity calibration (direct thoracic
+	// measurement) instead of the touch-path calibration.
+	Thoracic bool
+}
+
+// DefaultStreamConfig returns the firmware defaults.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{WindowSeconds: 6, HopSeconds: 1, MarginSeconds: 1.5}
+}
+
+// NewStreamer builds a streaming front end for the device.
+func (d *Device) NewStreamer(sc StreamConfig) *Streamer {
+	if sc.WindowSeconds <= 0 {
+		sc.WindowSeconds = 6
+	}
+	if sc.HopSeconds <= 0 {
+		sc.HopSeconds = 1
+	}
+	if sc.MarginSeconds <= 0 {
+		sc.MarginSeconds = 1.5
+	}
+	fs := d.cfg.FS
+	cal := hemo.TouchCal()
+	if sc.Thoracic {
+		cal = hemo.IdentityCal()
+	}
+	return &Streamer{
+		dev:          d,
+		winN:         int(sc.WindowSeconds * fs),
+		hopN:         int(sc.HopSeconds * fs),
+		marginN:      int(sc.MarginSeconds * fs),
+		lastEmittedR: -1,
+		body:         d.cfg.Body,
+		cal:          cal,
+	}
+}
+
+// Push appends simultaneously sampled ECG and impedance samples (equal
+// lengths) and returns the beats completed by this push, in order.
+func (s *Streamer) Push(ecgSamples, zSamples []float64) []hemo.BeatParams {
+	if len(ecgSamples) != len(zSamples) {
+		panic("core: Streamer.Push requires equal-length channels")
+	}
+	s.ecgBuf = append(s.ecgBuf, ecgSamples...)
+	s.zBuf = append(s.zBuf, zSamples...)
+	s.pushedTotal += len(ecgSamples)
+
+	var out []hemo.BeatParams
+	for len(s.ecgBuf) >= s.winN {
+		out = append(out, s.analyzeWindow(false)...)
+		// Advance by one hop, keeping window-minus-hop samples of history.
+		drop := s.hopN
+		if drop > len(s.ecgBuf) {
+			drop = len(s.ecgBuf)
+		}
+		s.ecgBuf = s.ecgBuf[drop:]
+		s.zBuf = s.zBuf[drop:]
+		s.consumed += drop
+	}
+	return out
+}
+
+// Flush analyzes whatever remains in the buffer (end of session) and
+// returns the final beats.
+func (s *Streamer) Flush() []hemo.BeatParams {
+	if len(s.ecgBuf) < int(s.dev.cfg.FS) {
+		return nil
+	}
+	return s.analyzeWindow(true)
+}
+
+// Latency returns the worst-case reporting latency in seconds.
+func (s *Streamer) Latency() float64 {
+	return float64(s.hopN+s.marginN) / s.dev.cfg.FS
+}
+
+// analyzeWindow runs the batch pipeline on the current buffer and emits
+// beats that are complete, inside the stable region, and not yet emitted.
+func (s *Streamer) analyzeWindow(last bool) []hemo.BeatParams {
+	fs := s.dev.cfg.FS
+	n := len(s.ecgBuf)
+	window := n
+	if !last && window > s.winN {
+		window = s.winN
+	}
+	ecgW := s.ecgBuf[:window]
+	zW := s.zBuf[:window]
+
+	blCfg := ecg.DefaultBaseline(fs)
+	blCfg.Naive = s.dev.cfg.NaiveMorph
+	cond := ecg.RemoveBaseline(ecgW, blCfg)
+	fir, err := ecg.DefaultBandPass(fs).Design()
+	if err != nil {
+		return nil
+	}
+	cond = dsp.FiltFiltFIR(fir, cond)
+	pt, err := ecg.DetectQRS(cond, ecg.DefaultPT(fs))
+	if err != nil || len(pt.RPeaks) < 2 {
+		return nil
+	}
+	icgRaw := bioimp.ICGFromZ(zW, fs)
+	icgF, err := icg.DefaultFilter(fs).Apply(icgRaw)
+	if err != nil {
+		return nil
+	}
+	dCfg := icg.DefaultDetect(fs)
+	dCfg.XRule = s.dev.cfg.XRule
+	dCfg.BRule = s.dev.cfg.BRule
+	z0 := dsp.Mean(zW)
+
+	limit := window - s.marginN
+	if last {
+		limit = window
+	}
+	var out []hemo.BeatParams
+	for i := 0; i+1 < len(pt.RPeaks); i++ {
+		rAbs := s.consumed + pt.RPeaks[i]
+		if rAbs <= s.lastEmittedR {
+			continue // already emitted by an earlier window
+		}
+		if pt.RPeaks[i+1] >= limit {
+			break // next window will see this beat in the stable region
+		}
+		pts, err := icg.DetectBeat(icgF, pt.RPeaks[i], pt.RPeaks[i+1], -1, dCfg)
+		if err != nil {
+			s.lastEmittedR = rAbs // do not retry a truly bad beat forever
+			continue
+		}
+		bp := hemo.FromPoints(pts, pt.RPeaks[i+1], z0, fs, s.body, s.cal)
+		bp.TimeS = float64(rAbs) / fs // absolute session time
+		out = append(out, bp)
+		s.lastEmittedR = rAbs
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hemo"
+	"repro/internal/physio"
+)
+
+func TestStreamerMatchesBatch(t *testing.T) {
+	s, _ := physio.SubjectByID(1)
+	d := device(t, nil)
+	acq, err := d.Acquire(&s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := d.Process(acq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Feed the same samples in randomly sized chunks.
+	st := d.NewStreamer(DefaultStreamConfig())
+	rng := rand.New(rand.NewSource(42))
+	var streamed []hemo.BeatParams
+	for pos := 0; pos < len(acq.ECG); {
+		n := 50 + rng.Intn(400)
+		if pos+n > len(acq.ECG) {
+			n = len(acq.ECG) - pos
+		}
+		streamed = append(streamed, st.Push(acq.ECG[pos:pos+n], acq.Z[pos:pos+n])...)
+		pos += n
+	}
+	streamed = append(streamed, st.Flush()...)
+
+	if len(streamed) == 0 {
+		t.Fatal("no streamed beats")
+	}
+	// Beat count within a few beats of the batch pipeline (window edges
+	// may cost a beat or two).
+	if math.Abs(float64(len(streamed)-len(batch.Beats))) > 6 {
+		t.Errorf("streamed %d beats, batch %d", len(streamed), len(batch.Beats))
+	}
+	// Beats must be strictly ordered in time, with physiological values.
+	for i, b := range streamed {
+		if i > 0 && b.TimeS <= streamed[i-1].TimeS {
+			t.Fatalf("beats out of order at %d", i)
+		}
+		if b.HR < 40 || b.HR > 140 {
+			t.Errorf("beat %d: HR %g", i, b.HR)
+		}
+		if b.PEP <= 0 || b.LVET <= 0 {
+			t.Errorf("beat %d: non-positive STI", i)
+		}
+	}
+	// Session means close to the batch pipeline.
+	var hrS, pepS []float64
+	for _, b := range streamed {
+		hrS = append(hrS, b.HR)
+		pepS = append(pepS, b.PEP)
+	}
+	if math.Abs(mean(hrS)-batch.Summary.HR.Mean) > 3 {
+		t.Errorf("streamed HR %.1f vs batch %.1f", mean(hrS), batch.Summary.HR.Mean)
+	}
+	if math.Abs(mean(pepS)-batch.Summary.PEP.Mean) > 0.02 {
+		t.Errorf("streamed PEP %.4f vs batch %.4f", mean(pepS), batch.Summary.PEP.Mean)
+	}
+}
+
+func TestStreamerNoDuplicateBeats(t *testing.T) {
+	s, _ := physio.SubjectByID(2)
+	d := device(t, nil)
+	acq, err := d.Acquire(&s, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.NewStreamer(DefaultStreamConfig())
+	var all []hemo.BeatParams
+	// Single-sample pushes: the worst case for deduplication.
+	chunk := 25
+	for pos := 0; pos < len(acq.ECG); pos += chunk {
+		end := pos + chunk
+		if end > len(acq.ECG) {
+			end = len(acq.ECG)
+		}
+		all = append(all, st.Push(acq.ECG[pos:end], acq.Z[pos:end])...)
+	}
+	all = append(all, st.Flush()...)
+	seen := map[int]bool{}
+	for _, b := range all {
+		key := int(b.TimeS * 250)
+		for k := key - 3; k <= key+3; k++ {
+			if seen[k] {
+				t.Fatalf("duplicate beat near t=%.2f", b.TimeS)
+			}
+		}
+		seen[key] = true
+	}
+}
+
+func TestStreamerLatency(t *testing.T) {
+	d := device(t, nil)
+	st := d.NewStreamer(DefaultStreamConfig())
+	if l := st.Latency(); l <= 0 || l > 5 {
+		t.Errorf("latency = %g s", l)
+	}
+}
+
+func TestStreamerPanicsOnLengthMismatch(t *testing.T) {
+	d := device(t, nil)
+	st := d.NewStreamer(DefaultStreamConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	st.Push(make([]float64, 3), make([]float64, 4))
+}
+
+func TestStreamerFlushShortBuffer(t *testing.T) {
+	d := device(t, nil)
+	st := d.NewStreamer(DefaultStreamConfig())
+	st.Push(make([]float64, 10), make([]float64, 10))
+	if got := st.Flush(); got != nil {
+		t.Errorf("flush of tiny buffer should be nil, got %d beats", len(got))
+	}
+}
+
+func TestSimulateSessionPMUExtendsLife(t *testing.T) {
+	duty := 0.45
+	// Continuous-only policy: thresholds that never trigger.
+	always := PMU{EcoBelowPct: -1, SpotBelowPct: -2, MinYield: -1}
+	cont := SimulateSession(always, duty, nil, 400)
+	// Adaptive policy.
+	adaptive := DefaultPMU()
+	adapt := SimulateSession(adaptive, duty, nil, 400)
+	if adapt.TotalHours <= cont.TotalHours {
+		t.Errorf("adaptive (%.0f h) should outlast continuous (%.0f h)",
+			adapt.TotalHours, cont.TotalHours)
+	}
+	// Continuous at 45% duty should die near 710/6.15 ~ 115 h.
+	if cont.TotalHours < 100 || cont.TotalHours > 135 {
+		t.Errorf("continuous lifetime = %.0f h", cont.TotalHours)
+	}
+	// The adaptive run must actually visit eco and spot-check modes.
+	if adapt.ModeHours[ModeEco] == 0 || adapt.ModeHours[ModeSpotCheck] == 0 {
+		t.Errorf("mode hours: %v", adapt.ModeHours)
+	}
+}
+
+func TestSimulateSessionYieldDriven(t *testing.T) {
+	// Poor contact in the first 10 hours forces eco mode even on a full
+	// battery.
+	pmu := DefaultPMU()
+	res := SimulateSession(pmu, 0.45, func(h float64) float64 {
+		if h < 10 {
+			return 0.2
+		}
+		return 0.95
+	}, 24)
+	if res.Steps[0].Mode != ModeEco {
+		t.Errorf("hour 0 mode = %v, want eco (bad contact)", res.Steps[0].Mode)
+	}
+	if res.Steps[12].Mode != ModeContinuous {
+		t.Errorf("hour 12 mode = %v, want continuous", res.Steps[12].Mode)
+	}
+}
+
+func TestEnsembleMode(t *testing.T) {
+	s, _ := physio.SubjectByID(3)
+	d := device(t, func(c *Config) { c.Ensemble = true })
+	_, out, err := d.Run(&s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ensemble == nil {
+		t.Fatal("ensemble mode produced no averaged beat")
+	}
+	// The ensemble measurement should agree with the beat-to-beat means.
+	if math.Abs(out.Ensemble.PEP-out.Summary.PEP.Mean) > 0.025 {
+		t.Errorf("ensemble PEP %.4f vs mean %.4f", out.Ensemble.PEP, out.Summary.PEP.Mean)
+	}
+	if math.Abs(out.Ensemble.LVET-out.Summary.LVET.Mean) > 0.04 {
+		t.Errorf("ensemble LVET %.4f vs mean %.4f", out.Ensemble.LVET, out.Summary.LVET.Mean)
+	}
+	// Without the flag there is no ensemble output.
+	d2 := device(t, nil)
+	_, out2, err := d2.Run(&s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Ensemble != nil {
+		t.Error("ensemble output without the flag")
+	}
+}

@@ -1,0 +1,187 @@
+// Package dsp provides the digital signal processing substrate used by the
+// touch-based ICG/ECG acquisition pipeline: FIR and IIR filter design,
+// zero-phase filtering, morphological operators, derivatives, peak
+// detection, spectral analysis and elementary statistics.
+//
+// Everything is implemented from scratch on float64 slices so that the
+// embedded pipeline of Sopic et al. (DATE 2016) can be reproduced without
+// external dependencies. Functions never modify their inputs unless the
+// name says so (e.g. Scale vs ScaleInPlace).
+package dsp
+
+import (
+	"errors"
+	"math"
+)
+
+// Common errors returned by the design and filtering routines.
+var (
+	ErrEmptyInput   = errors.New("dsp: empty input")
+	ErrBadCutoff    = errors.New("dsp: cutoff must lie in (0, fs/2)")
+	ErrBadOrder     = errors.New("dsp: order must be positive")
+	ErrBadLength    = errors.New("dsp: bad length")
+	ErrNotPow2      = errors.New("dsp: length is not a power of two")
+	ErrShortSignal  = errors.New("dsp: signal too short for requested operation")
+	ErrBadParameter = errors.New("dsp: bad parameter")
+)
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	if x == nil {
+		return nil
+	}
+	y := make([]float64, len(x))
+	copy(y, x)
+	return y
+}
+
+// Scale returns x scaled by k.
+func Scale(x []float64, k float64) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = v * k
+	}
+	return y
+}
+
+// Offset returns x shifted by c.
+func Offset(x []float64, c float64) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = v + c
+	}
+	return y
+}
+
+// Add returns the element-wise sum of a and b, which must have equal length.
+func Add(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("dsp: Add length mismatch")
+	}
+	y := make([]float64, len(a))
+	for i := range a {
+		y[i] = a[i] + b[i]
+	}
+	return y
+}
+
+// Sub returns the element-wise difference a-b of two equal-length slices.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("dsp: Sub length mismatch")
+	}
+	y := make([]float64, len(a))
+	for i := range a {
+		y[i] = a[i] - b[i]
+	}
+	return y
+}
+
+// Mul returns the element-wise product of a and b.
+func Mul(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("dsp: Mul length mismatch")
+	}
+	y := make([]float64, len(a))
+	for i := range a {
+		y[i] = a[i] * b[i]
+	}
+	return y
+}
+
+// Reverse reverses x in place and returns it.
+func Reverse(x []float64) []float64 {
+	for i, j := 0, len(x)-1; i < j; i, j = i+1, j-1 {
+		x[i], x[j] = x[j], x[i]
+	}
+	return x
+}
+
+// Reversed returns a reversed copy of x.
+func Reversed(x []float64) []float64 {
+	return Reverse(Clone(x))
+}
+
+// Linspace returns n evenly spaced samples from a to b inclusive.
+func Linspace(a, b float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{a}
+	}
+	y := make([]float64, n)
+	step := (b - a) / float64(n-1)
+	for i := range y {
+		y[i] = a + float64(i)*step
+	}
+	y[n-1] = b
+	return y
+}
+
+// TimeVector returns n sample instants at sampling rate fs starting at 0.
+func TimeVector(n int, fs float64) []float64 {
+	t := make([]float64, n)
+	for i := range t {
+		t[i] = float64(i) / fs
+	}
+	return t
+}
+
+// Sinc computes the normalized sinc function sin(pi x)/(pi x).
+func Sinc(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	px := math.Pi * x
+	return math.Sin(px) / px
+}
+
+// NextPow2 returns the smallest power of two >= n (n >= 1).
+func NextPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// Clamp limits v to the interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClampInt limits v to the interval [lo, hi].
+func ClampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// HasNaN reports whether x contains a NaN or Inf value.
+func HasNaN(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,146 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Radix-2 FFT used for spectral inspection of the acquired signals (the
+// paper inspects the ICG spectrum to justify the 20 Hz low-pass) and for
+// the spectral synthesis of RR tachograms.
+
+// FFT computes the in-place decimation-in-time radix-2 FFT of x, whose
+// length must be a power of two. It returns x for convenience.
+func FFT(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if !IsPow2(n) {
+		return nil, ErrNotPow2
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	return x, nil
+}
+
+// IFFT computes the inverse FFT of x (length must be a power of two).
+func IFFT(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if !IsPow2(n) {
+		return nil, ErrNotPow2
+	}
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if _, err := FFT(x); err != nil {
+		return nil, err
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+	return x, nil
+}
+
+// FFTReal computes the FFT of a real signal, zero-padding to the next
+// power of two. It returns the complex spectrum and the padded length.
+func FFTReal(x []float64) ([]complex128, int) {
+	n := NextPow2(len(x))
+	c := make([]complex128, n)
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	out, _ := FFT(c) // length is a power of two by construction
+	return out, n
+}
+
+// PowerSpectrum estimates the one-sided power spectrum of x sampled at fs
+// using a Hann window and zero padding to the next power of two. It
+// returns parallel slices of frequencies (Hz) and power values.
+func PowerSpectrum(x []float64, fs float64) (freqs, power []float64) {
+	if len(x) == 0 {
+		return nil, nil
+	}
+	w := ApplyWindow(WindowHann, x)
+	spec, n := FFTReal(w)
+	half := n/2 + 1
+	freqs = make([]float64, half)
+	power = make([]float64, half)
+	for i := 0; i < half; i++ {
+		freqs[i] = float64(i) * fs / float64(n)
+		m := cmplx.Abs(spec[i])
+		power[i] = m * m / float64(n)
+	}
+	return freqs, power
+}
+
+// DominantFrequency returns the frequency (Hz) of the largest spectral
+// peak of x above minFreq.
+func DominantFrequency(x []float64, fs, minFreq float64) float64 {
+	freqs, power := PowerSpectrum(x, fs)
+	best, bestP := 0.0, math.Inf(-1)
+	for i, f := range freqs {
+		if f < minFreq {
+			continue
+		}
+		if power[i] > bestP {
+			bestP = power[i]
+			best = f
+		}
+	}
+	return best
+}
+
+// BandPower integrates the power spectrum of x between f1 and f2 (Hz).
+func BandPower(x []float64, fs, f1, f2 float64) float64 {
+	freqs, power := PowerSpectrum(x, fs)
+	sum := 0.0
+	for i, f := range freqs {
+		if f >= f1 && f <= f2 {
+			sum += power[i]
+		}
+	}
+	return sum
+}
+
+// Goertzel evaluates the power of x at a single frequency f (Hz) for
+// sampling rate fs using the Goertzel recurrence; this is how a
+// microcontroller can monitor one carrier bin without a full FFT.
+func Goertzel(x []float64, f, fs float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	w := 2 * math.Pi * f / fs
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	return power / float64(n)
+}

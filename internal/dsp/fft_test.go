@@ -1,0 +1,152 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestFFTKnownDFT(t *testing.T) {
+	// DFT of [1, 0, 0, 0] is [1, 1, 1, 1].
+	x := []complex128{1, 0, 0, 0}
+	y, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range y {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSinusoidBin(t *testing.T) {
+	// A sinusoid at exactly bin k concentrates energy in bins k and n-k.
+	n := 256
+	k := 10
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(2*math.Pi*float64(k)*float64(i)/float64(n)), 0)
+	}
+	y, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range y {
+		mag := cmplx.Abs(v)
+		if i == k || i == n-k {
+			if math.Abs(mag-float64(n)/2) > 1e-6 {
+				t.Errorf("bin %d magnitude = %g, want %g", i, mag, float64(n)/2)
+			}
+		} else if mag > 1e-6 {
+			t.Errorf("leakage at bin %d: %g", i, mag)
+		}
+	}
+}
+
+func TestFFTRejectsNonPow2(t *testing.T) {
+	if _, err := FFT(make([]complex128, 100)); err != ErrNotPow2 {
+		t.Errorf("err = %v, want ErrNotPow2", err)
+	}
+	if _, err := IFFT(make([]complex128, 3)); err != ErrNotPow2 {
+		t.Errorf("err = %v, want ErrNotPow2", err)
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	x := make([]complex128, 128)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	orig := make([]complex128, len(x))
+	copy(orig, x)
+	if _, err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IFFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip error at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n := 64
+	x := make([]complex128, n)
+	var timeEnergy float64
+	for i := range x {
+		v := r.NormFloat64()
+		x[i] = complex(v, 0)
+		timeEnergy += v * v
+	}
+	y, _ := FFT(x)
+	var freqEnergy float64
+	for _, v := range y {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy) > 1e-9*timeEnergy {
+		t.Errorf("Parseval violated: %g vs %g", timeEnergy, freqEnergy)
+	}
+}
+
+func TestDominantFrequency(t *testing.T) {
+	fs := 250.0
+	x := sine(17, fs, 2048)
+	got := DominantFrequency(x, fs, 1)
+	if math.Abs(got-17) > fs/2048*2 {
+		t.Errorf("dominant = %g, want ~17", got)
+	}
+}
+
+func TestBandPowerConcentration(t *testing.T) {
+	fs := 250.0
+	x := sine(10, fs, 4096)
+	in := BandPower(x, fs, 8, 12)
+	out := BandPower(x, fs, 30, 60)
+	if in < 100*out {
+		t.Errorf("band power not concentrated: in=%g out=%g", in, out)
+	}
+}
+
+func TestGoertzelMatchesFFTBin(t *testing.T) {
+	fs := 256.0
+	n := 256
+	x := sine(10, fs, n) // exactly bin 10
+	p := Goertzel(x, 10, fs)
+	// Expected Goertzel power for unit sinusoid at an exact bin:
+	// |X[k]|^2/n = (n/2)^2/n = n/4.
+	want := float64(n) / 4
+	if math.Abs(p-want) > 1e-6*want {
+		t.Errorf("goertzel power = %g, want %g", p, want)
+	}
+	// Off-bin frequency sees almost nothing.
+	if off := Goertzel(x, 60, fs); off > p/1000 {
+		t.Errorf("off-bin power = %g too large vs %g", off, p)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 1023: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+	if !IsPow2(64) || IsPow2(0) || IsPow2(3) {
+		t.Error("IsPow2 misbehaves")
+	}
+}
+
+func TestPowerSpectrumEmpty(t *testing.T) {
+	f, p := PowerSpectrum(nil, 250)
+	if f != nil || p != nil {
+		t.Error("empty input should return nil")
+	}
+}

@@ -1,0 +1,195 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func sine(f, fs float64, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * f * float64(i) / fs)
+	}
+	return x
+}
+
+func TestDesignLowPassDCGain(t *testing.T) {
+	f, err := DesignLowPass(32, 40, 250, WindowHamming)
+	if err != nil {
+		t.Fatalf("DesignLowPass: %v", err)
+	}
+	sum := 0.0
+	for _, tap := range f.Taps {
+		sum += tap
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("DC gain = %g, want 1", sum)
+	}
+	if got := f.FrequencyResponse(0, 250); math.Abs(got-1) > 1e-9 {
+		t.Errorf("H(0) = %g, want 1", got)
+	}
+}
+
+func TestDesignLowPassAttenuation(t *testing.T) {
+	f, err := DesignLowPass(64, 20, 250, WindowHamming)
+	if err != nil {
+		t.Fatalf("DesignLowPass: %v", err)
+	}
+	pass := f.FrequencyResponse(5, 250)
+	stop := f.FrequencyResponse(60, 250)
+	if pass < 0.9 {
+		t.Errorf("passband gain at 5 Hz = %g, want > 0.9", pass)
+	}
+	if stop > 0.05 {
+		t.Errorf("stopband gain at 60 Hz = %g, want < 0.05", stop)
+	}
+}
+
+func TestDesignHighPass(t *testing.T) {
+	f, err := DesignHighPass(64, 20, 250, WindowHamming)
+	if err != nil {
+		t.Fatalf("DesignHighPass: %v", err)
+	}
+	if dc := f.FrequencyResponse(0, 250); dc > 0.01 {
+		t.Errorf("DC gain = %g, want ~0", dc)
+	}
+	if hi := f.FrequencyResponse(80, 250); hi < 0.9 {
+		t.Errorf("gain at 80 Hz = %g, want > 0.9", hi)
+	}
+}
+
+func TestDesignBandPassPaperFilter(t *testing.T) {
+	// The paper's ECG filter: 32nd order, 0.05-40 Hz at 250 Hz.
+	f, err := DesignBandPass(32, 0.05, 40, 250, WindowHamming)
+	if err != nil {
+		t.Fatalf("DesignBandPass: %v", err)
+	}
+	if len(f.Taps) != 33 {
+		t.Fatalf("taps = %d, want 33", len(f.Taps))
+	}
+	if f.Order() != 32 {
+		t.Fatalf("order = %d, want 32", f.Order())
+	}
+	// The design is normalized at the band center (20.025 Hz).
+	center := f.FrequencyResponse((0.05+40)/2, 250)
+	if math.Abs(center-1) > 1e-9 {
+		t.Errorf("gain at band center = %g, want 1", center)
+	}
+	// With only 33 taps the lower transition band is wide (a faithful
+	// property of the paper's under-specified design); 10 Hz sits in it.
+	mid := f.FrequencyResponse(10, 250)
+	if mid < 0.7 {
+		t.Errorf("gain at 10 Hz = %g, want > 0.7", mid)
+	}
+	stop := f.FrequencyResponse(100, 250)
+	if stop > 0.15 {
+		t.Errorf("gain at 100 Hz = %g, want small", stop)
+	}
+}
+
+func TestDesignBandPassRejectsBadParams(t *testing.T) {
+	if _, err := DesignBandPass(31, 0.05, 40, 250, WindowHamming); err == nil {
+		t.Error("odd order accepted")
+	}
+	if _, err := DesignBandPass(32, 40, 0.05, 250, WindowHamming); err == nil {
+		t.Error("inverted band accepted")
+	}
+	if _, err := DesignBandPass(32, 0.05, 130, 250, WindowHamming); err == nil {
+		t.Error("cutoff above Nyquist accepted")
+	}
+	if _, err := DesignLowPass(0, 10, 250, WindowHamming); err == nil {
+		t.Error("zero order accepted")
+	}
+	if _, err := DesignHighPass(3, 10, 250, WindowHamming); err == nil {
+		t.Error("odd high-pass order accepted")
+	}
+}
+
+func TestFIRApplySinusoidGain(t *testing.T) {
+	f, err := DesignBandPass(64, 1, 40, 250, WindowHamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 10 Hz sinusoid should pass nearly unchanged.
+	x := sine(10, 250, 1000)
+	y := f.Apply(x)
+	// Compare RMS over the central region (edges have transients).
+	rx := RMS(x[200:800])
+	ry := RMS(y[200:800])
+	if math.Abs(ry/rx-1) > 0.05 {
+		t.Errorf("10 Hz gain = %g, want ~1", ry/rx)
+	}
+	// A 90 Hz sinusoid should be strongly attenuated.
+	x2 := sine(90, 250, 1000)
+	y2 := f.Apply(x2)
+	if r := RMS(y2[200:800]) / RMS(x2[200:800]); r > 0.1 {
+		t.Errorf("90 Hz gain = %g, want < 0.1", r)
+	}
+}
+
+func TestFIRApplyGroupDelayCompensation(t *testing.T) {
+	// A linear-phase filter applied with Apply should keep a slow pulse
+	// centered at the same location.
+	f, err := DesignLowPass(32, 30, 250, WindowHamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 500
+	x := make([]float64, n)
+	for i := range x {
+		d := float64(i - 250)
+		x[i] = math.Exp(-d * d / (2 * 20 * 20))
+	}
+	y := f.Apply(x)
+	if got := ArgMax(y, 0, n); got < 248 || got > 252 {
+		t.Errorf("pulse peak moved to %d, want ~250", got)
+	}
+}
+
+func TestFIRApplyCausalDelaysSignal(t *testing.T) {
+	f, err := DesignLowPass(32, 30, 250, WindowHamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 500
+	x := make([]float64, n)
+	for i := range x {
+		d := float64(i - 250)
+		x[i] = math.Exp(-d * d / (2 * 20 * 20))
+	}
+	y := f.ApplyCausal(x)
+	want := 250 + f.Order()/2
+	if got := ArgMax(y, 0, n); got < want-2 || got > want+2 {
+		t.Errorf("causal peak at %d, want ~%d", got, want)
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{0, 1, 0.5}
+	got := Convolve(a, b)
+	want := []float64{0, 1, 2.5, 4, 1.5}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("conv[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if Convolve(nil, b) != nil {
+		t.Error("nil input should give nil")
+	}
+}
+
+func TestConvolveCommutative(t *testing.T) {
+	a := []float64{1, -2, 0.5, 3}
+	b := []float64{2, 0, -1}
+	ab := Convolve(a, b)
+	ba := Convolve(b, a)
+	for i := range ab {
+		if math.Abs(ab[i]-ba[i]) > 1e-12 {
+			t.Fatalf("convolution not commutative at %d: %g vs %g", i, ab[i], ba[i])
+		}
+	}
+}

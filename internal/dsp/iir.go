@@ -1,0 +1,238 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// IIR Butterworth design via analog prototype poles and the bilinear
+// transform, emitted as a cascade of second-order sections (biquads) for
+// numerical robustness. The paper's ICG chain uses a zero-phase low-pass
+// Butterworth with 20 Hz cutoff.
+
+// Biquad is one second-order section of an IIR cascade with transfer
+// function (B0 + B1 z^-1 + B2 z^-2) / (1 + A1 z^-1 + A2 z^-2).
+type Biquad struct {
+	B0, B1, B2 float64
+	A1, A2     float64
+}
+
+// SOS is a cascade of second-order sections.
+type SOS []Biquad
+
+// butterPoles returns the left-half-plane poles of an analog Butterworth
+// low-pass prototype of order n with cutoff wc (rad/s).
+func butterPoles(n int, wc float64) []complex128 {
+	poles := make([]complex128, 0, n)
+	for k := 1; k <= n; k++ {
+		theta := math.Pi * float64(2*k+n-1) / float64(2*n)
+		p := complex(wc*math.Cos(theta), wc*math.Sin(theta))
+		poles = append(poles, p)
+	}
+	return poles
+}
+
+// bilinear maps an analog pole/zero s to the z-plane using sampling rate fs.
+func bilinear(s complex128, fs float64) complex128 {
+	k := complex(2*fs, 0)
+	return (k + s) / (k - s)
+}
+
+// DesignButterLowPass designs an order-n digital Butterworth low-pass with
+// cutoff fc (Hz) at sampling rate fs (Hz), returned as second-order
+// sections with unity DC gain.
+func DesignButterLowPass(n int, fc, fs float64) (SOS, error) {
+	if n < 1 {
+		return nil, ErrBadOrder
+	}
+	if fc <= 0 || fc >= fs/2 {
+		return nil, ErrBadCutoff
+	}
+	// Pre-warp the cutoff for the bilinear transform.
+	wc := 2 * fs * math.Tan(math.Pi*fc/fs)
+	analog := butterPoles(n, wc)
+	digital := make([]complex128, len(analog))
+	for i, p := range analog {
+		digital[i] = bilinear(p, fs)
+	}
+	return sosFromPoles(digital, -1.0, +1.0), nil
+}
+
+// DesignButterHighPass designs an order-n digital Butterworth high-pass
+// with cutoff fc (Hz) at sampling rate fs, returned as second-order
+// sections with unity gain at the Nyquist frequency.
+func DesignButterHighPass(n int, fc, fs float64) (SOS, error) {
+	if n < 1 {
+		return nil, ErrBadOrder
+	}
+	if fc <= 0 || fc >= fs/2 {
+		return nil, ErrBadCutoff
+	}
+	wc := 2 * fs * math.Tan(math.Pi*fc/fs)
+	lp := butterPoles(n, 1) // normalized prototype
+	digital := make([]complex128, len(lp))
+	for i, p := range lp {
+		// Low-pass to high-pass transform: s -> wc / s.
+		hp := complex(wc, 0) / p
+		digital[i] = bilinear(hp, fs)
+	}
+	return sosFromPoles(digital, +1.0, -1.0), nil
+}
+
+// DesignButterBandPass designs a band-pass as a cascade of an order-n
+// high-pass at f1 and an order-n low-pass at f2. This mirrors common
+// embedded practice (and Pan-Tompkins' cascaded integer filters).
+func DesignButterBandPass(n int, f1, f2, fs float64) (SOS, error) {
+	if f1 <= 0 || f2 <= f1 || f2 >= fs/2 {
+		return nil, ErrBadCutoff
+	}
+	hp, err := DesignButterHighPass(n, f1, fs)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := DesignButterLowPass(n, f2, fs)
+	if err != nil {
+		return nil, err
+	}
+	return append(hp, lp...), nil
+}
+
+// sosFromPoles groups digital poles into biquads. zeroAt is the location of
+// the transfer-function zeros (-1 for low-pass, +1 for high-pass);
+// normAt = +1 normalizes gain at DC (z=1), normAt = -1 at Nyquist (z=-1).
+func sosFromPoles(poles []complex128, zeroAt, normAt float64) SOS {
+	// Separate real poles from complex-conjugate pairs. The Butterworth
+	// prototype yields conjugate pairs plus at most one real pole (odd n).
+	var real1 []complex128
+	var pairs []complex128
+	for _, p := range poles {
+		if math.Abs(imag(p)) < 1e-12 {
+			real1 = append(real1, p)
+		} else if imag(p) > 0 {
+			pairs = append(pairs, p)
+		}
+	}
+	var sos SOS
+	for _, p := range pairs {
+		a1 := -2 * real(p)
+		a2 := real(p * cmplx.Conj(p))
+		// Numerator (1 - zeroAt*z^-1)^2.
+		b0, b1, b2 := 1.0, -2*zeroAt, 1.0
+		bq := Biquad{B0: b0, B1: b1, B2: b2, A1: a1, A2: a2}
+		sos = append(sos, normalizeBiquad(bq, normAt))
+	}
+	for _, p := range real1 {
+		a1 := -real(p)
+		// First-order section (1 - zeroAt*z^-1) / (1 + a1 z^-1).
+		bq := Biquad{B0: 1, B1: -zeroAt, B2: 0, A1: a1, A2: 0}
+		sos = append(sos, normalizeBiquad(bq, normAt))
+	}
+	return sos
+}
+
+// normalizeBiquad scales the numerator so the section has unit gain at
+// z = normAt (+1 for DC, -1 for Nyquist).
+func normalizeBiquad(bq Biquad, normAt float64) Biquad {
+	z := normAt
+	num := bq.B0 + bq.B1*z + bq.B2*z*z
+	den := 1 + bq.A1*z + bq.A2*z*z
+	if num == 0 {
+		return bq
+	}
+	g := den / num
+	bq.B0 *= g
+	bq.B1 *= g
+	bq.B2 *= g
+	return bq
+}
+
+// Filter applies the biquad cascade causally (direct form II transposed).
+func (s SOS) Filter(x []float64) []float64 {
+	y := Clone(x)
+	for _, bq := range s {
+		var z1, z2 float64
+		for i, v := range y {
+			out := bq.B0*v + z1
+			z1 = bq.B1*v - bq.A1*out + z2
+			z2 = bq.B2*v - bq.A2*out
+			y[i] = out
+		}
+	}
+	return y
+}
+
+// Order returns the total filter order of the cascade.
+func (s SOS) Order() int {
+	n := 0
+	for _, bq := range s {
+		if bq.A2 != 0 || bq.B2 != 0 {
+			n += 2
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// FrequencyResponse evaluates |H(f)| of the cascade at frequency f for
+// sampling rate fs.
+func (s SOS) FrequencyResponse(f, fs float64) float64 {
+	w := 2 * math.Pi * f / fs
+	z1 := cmplx.Exp(complex(0, -w))
+	z2 := z1 * z1
+	h := complex(1, 0)
+	for _, bq := range s {
+		num := complex(bq.B0, 0) + complex(bq.B1, 0)*z1 + complex(bq.B2, 0)*z2
+		den := complex(1, 0) + complex(bq.A1, 0)*z1 + complex(bq.A2, 0)*z2
+		h *= num / den
+	}
+	return cmplx.Abs(h)
+}
+
+// IsStable reports whether all section poles are strictly inside the unit
+// circle.
+func (s SOS) IsStable() bool {
+	for _, bq := range s {
+		// For denominator z^2 + A1 z + A2 the stability triangle is
+		// |A2| < 1 and |A1| < 1 + A2.
+		if math.Abs(bq.A2) >= 1 {
+			return false
+		}
+		if math.Abs(bq.A1) >= 1+bq.A2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Lfilter applies the rational filter with numerator b and denominator a
+// (a[0] must be non-zero; coefficients are normalized by a[0]) to x using
+// the direct form II transposed structure.
+func Lfilter(b, a, x []float64) []float64 {
+	if len(a) == 0 || a[0] == 0 {
+		panic("dsp: Lfilter requires a[0] != 0")
+	}
+	nb, na := len(b), len(a)
+	order := nb
+	if na > order {
+		order = na
+	}
+	bb := make([]float64, order)
+	aa := make([]float64, order)
+	for i := 0; i < nb; i++ {
+		bb[i] = b[i] / a[0]
+	}
+	for i := 0; i < na; i++ {
+		aa[i] = a[i] / a[0]
+	}
+	z := make([]float64, order) // z[order-1] stays zero
+	y := make([]float64, len(x))
+	for i, v := range x {
+		out := bb[0]*v + z[0]
+		for j := 1; j < order; j++ {
+			z[j-1] = bb[j]*v + z[j] - aa[j]*out
+		}
+		y[i] = out
+	}
+	return y
+}

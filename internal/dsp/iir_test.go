@@ -1,0 +1,209 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestButterLowPassDCUnity(t *testing.T) {
+	for _, order := range []int{1, 2, 3, 4, 5, 8} {
+		sos, err := DesignButterLowPass(order, 20, 250)
+		if err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+		if got := sos.FrequencyResponse(0, 250); math.Abs(got-1) > 1e-9 {
+			t.Errorf("order %d: H(0) = %g, want 1", order, got)
+		}
+		if !sos.IsStable() {
+			t.Errorf("order %d: unstable design", order)
+		}
+		if sos.Order() != order {
+			t.Errorf("order %d: Order() = %d", order, sos.Order())
+		}
+	}
+}
+
+func TestButterLowPassHalfPowerAtCutoff(t *testing.T) {
+	// Butterworth magnitude at the cutoff frequency is 1/sqrt(2)
+	// regardless of order.
+	for _, order := range []int{1, 2, 4, 6} {
+		sos, err := DesignButterLowPass(order, 20, 250)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sos.FrequencyResponse(20, 250)
+		if math.Abs(got-1/math.Sqrt2) > 1e-6 {
+			t.Errorf("order %d: |H(fc)| = %g, want %g", order, got, 1/math.Sqrt2)
+		}
+	}
+}
+
+func TestButterLowPassMonotoneRolloff(t *testing.T) {
+	sos, err := DesignButterLowPass(4, 20, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for f := 1.0; f < 125; f += 1 {
+		g := sos.FrequencyResponse(f, 250)
+		if g > prev+1e-9 {
+			t.Fatalf("magnitude not monotone at %g Hz: %g > %g", f, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestButterHighPass(t *testing.T) {
+	sos, err := DesignButterHighPass(4, 5, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc := sos.FrequencyResponse(0, 250); dc > 1e-9 {
+		t.Errorf("DC gain = %g, want 0", dc)
+	}
+	if ny := sos.FrequencyResponse(125, 250); math.Abs(ny-1) > 1e-9 {
+		t.Errorf("Nyquist gain = %g, want 1", ny)
+	}
+	if got := sos.FrequencyResponse(5, 250); math.Abs(got-1/math.Sqrt2) > 1e-6 {
+		t.Errorf("|H(fc)| = %g, want %g", got, 1/math.Sqrt2)
+	}
+	if !sos.IsStable() {
+		t.Error("unstable high-pass")
+	}
+}
+
+func TestButterBandPass(t *testing.T) {
+	sos, err := DesignButterBandPass(2, 5, 15, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := sos.FrequencyResponse(9, 250)
+	if mid < 0.8 {
+		t.Errorf("mid-band gain = %g, want > 0.8", mid)
+	}
+	if lo := sos.FrequencyResponse(0.5, 250); lo > 0.1 {
+		t.Errorf("low stopband gain = %g", lo)
+	}
+	if hi := sos.FrequencyResponse(60, 250); hi > 0.1 {
+		t.Errorf("high stopband gain = %g", hi)
+	}
+}
+
+func TestButterDesignErrors(t *testing.T) {
+	if _, err := DesignButterLowPass(0, 20, 250); err == nil {
+		t.Error("order 0 accepted")
+	}
+	if _, err := DesignButterLowPass(4, 0, 250); err == nil {
+		t.Error("zero cutoff accepted")
+	}
+	if _, err := DesignButterLowPass(4, 125, 250); err == nil {
+		t.Error("Nyquist cutoff accepted")
+	}
+	if _, err := DesignButterHighPass(4, -1, 250); err == nil {
+		t.Error("negative cutoff accepted")
+	}
+	if _, err := DesignButterBandPass(2, 15, 5, 250); err == nil {
+		t.Error("inverted band accepted")
+	}
+}
+
+func TestSOSFilterAttenuatesStopband(t *testing.T) {
+	sos, err := DesignButterLowPass(4, 20, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sine(60, 250, 2000)
+	y := sos.Filter(x)
+	if r := RMS(y[500:1500]) / RMS(x[500:1500]); r > 0.05 {
+		t.Errorf("60 Hz residual = %g, want < 0.05", r)
+	}
+	x2 := sine(5, 250, 2000)
+	y2 := sos.Filter(x2)
+	if r := RMS(y2[500:1500]) / RMS(x2[500:1500]); math.Abs(r-1) > 0.05 {
+		t.Errorf("5 Hz gain = %g, want ~1", r)
+	}
+}
+
+func TestLfilterMovingAverage(t *testing.T) {
+	// b = [0.5, 0.5] is a 2-point moving average.
+	x := []float64{1, 3, 5, 7}
+	y := Lfilter([]float64{0.5, 0.5}, []float64{1}, x)
+	want := []float64{0.5, 2, 4, 6}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Errorf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestLfilterLeakyIntegrator(t *testing.T) {
+	// y[n] = x[n] + 0.5 y[n-1]  ->  b=[1], a=[1,-0.5]; impulse response
+	// 1, 0.5, 0.25, ...
+	x := make([]float64, 6)
+	x[0] = 1
+	y := Lfilter([]float64{1}, []float64{1, -0.5}, x)
+	for i := range y {
+		want := math.Pow(0.5, float64(i))
+		if math.Abs(y[i]-want) > 1e-12 {
+			t.Errorf("impulse[%d] = %g, want %g", i, y[i], want)
+		}
+	}
+}
+
+func TestLfilterNormalizesA0(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y1 := Lfilter([]float64{1, 1}, []float64{1}, x)
+	y2 := Lfilter([]float64{2, 2}, []float64{2}, x)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-12 {
+			t.Fatalf("a0 normalization broken at %d", i)
+		}
+	}
+}
+
+func TestLfilterPanicsOnZeroA0(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for a[0] == 0")
+		}
+	}()
+	Lfilter([]float64{1}, []float64{0, 1}, []float64{1, 2})
+}
+
+func TestSOSFilterMatchesLfilterForBiquad(t *testing.T) {
+	// A single biquad must behave identically through SOS.Filter and
+	// Lfilter with expanded coefficients.
+	bq := Biquad{B0: 0.2, B1: 0.3, B2: 0.1, A1: -0.4, A2: 0.2}
+	sos := SOS{bq}
+	x := sine(7, 250, 300)
+	y1 := sos.Filter(x)
+	y2 := Lfilter([]float64{bq.B0, bq.B1, bq.B2}, []float64{1, bq.A1, bq.A2}, x)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-9 {
+			t.Fatalf("SOS vs Lfilter mismatch at %d: %g vs %g", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestButterStabilityProperty(t *testing.T) {
+	// Any valid design must be stable (quick-checked over random orders
+	// and cutoffs).
+	f := func(orderSeed uint8, cutFrac float64) bool {
+		order := int(orderSeed%8) + 1
+		frac := math.Abs(cutFrac)
+		frac -= math.Floor(frac)
+		fc := 0.01 + frac*0.97*125 // within (0, Nyquist)
+		if fc >= 125 {
+			fc = 124.9
+		}
+		sos, err := DesignButterLowPass(order, fc, 250)
+		if err != nil {
+			return false
+		}
+		return sos.IsStable()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

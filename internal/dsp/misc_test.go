@@ -1,0 +1,388 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDerivativeOfLine(t *testing.T) {
+	// d/dt of 3t+1 sampled at fs=100 is 3 everywhere.
+	fs := 100.0
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = 3*float64(i)/fs + 1
+	}
+	d := Derivative(x, fs)
+	for i, v := range d {
+		if math.Abs(v-3) > 1e-9 {
+			t.Fatalf("d[%d] = %g, want 3", i, v)
+		}
+	}
+}
+
+func TestDerivativeOfSine(t *testing.T) {
+	fs := 1000.0
+	f := 2.0
+	x := sine(f, fs, 1000)
+	d := Derivative(x, fs)
+	// Peak of derivative is 2*pi*f.
+	want := 2 * math.Pi * f
+	_, hi := MinMax(d[10 : len(d)-10])
+	if math.Abs(hi-want)/want > 0.01 {
+		t.Errorf("max derivative = %g, want %g", hi, want)
+	}
+}
+
+func TestDerivativeNOrders(t *testing.T) {
+	fs := 500.0
+	x := make([]float64, 100)
+	for i := range x {
+		ti := float64(i) / fs
+		x[i] = ti * ti // second derivative = 2
+	}
+	d2 := DerivativeN(x, fs, 2)
+	for i := 5; i < len(d2)-5; i++ {
+		if math.Abs(d2[i]-2) > 1e-6 {
+			t.Fatalf("d2[%d] = %g, want 2", i, d2[i])
+		}
+	}
+}
+
+func TestIntegrateInvertsDerivative(t *testing.T) {
+	fs := 250.0
+	x := sine(3, fs, 500)
+	d := Derivative(x, fs)
+	xi := Integrate(d, fs)
+	// Integration recovers x up to the initial value; compare interior.
+	for i := 5; i < len(x)-5; i++ {
+		if math.Abs((xi[i]+x[0])-x[i]) > 0.01 {
+			t.Fatalf("reconstruction error at %d: %g vs %g", i, xi[i]+x[0], x[i])
+		}
+	}
+}
+
+func TestMovingAverageFlattens(t *testing.T) {
+	x := []float64{1, 1, 1, 10, 1, 1, 1}
+	y := MovingAverage(x, 3)
+	if y[3] != 4 {
+		t.Errorf("center = %g, want 4", y[3])
+	}
+	if y[0] != 1 {
+		t.Errorf("edge = %g, want 1", y[0])
+	}
+}
+
+func TestCumSumDiff(t *testing.T) {
+	x := []float64{1, 2, 3}
+	cs := CumSum(x)
+	if cs[2] != 6 {
+		t.Errorf("cumsum = %v", cs)
+	}
+	d := Diff(cs)
+	if d[0] != 2 || d[1] != 3 {
+		t.Errorf("diff = %v", d)
+	}
+	if Diff([]float64{1}) != nil {
+		t.Error("short diff should be nil")
+	}
+}
+
+func TestFindPeaksBasic(t *testing.T) {
+	x := []float64{0, 1, 0, 2, 0, 3, 0}
+	peaks := FindPeaks(x, 0.5, 1)
+	want := []int{1, 3, 5}
+	if len(peaks) != len(want) {
+		t.Fatalf("peaks = %v, want %v", peaks, want)
+	}
+	for i := range want {
+		if peaks[i] != want[i] {
+			t.Errorf("peaks[%d] = %d, want %d", i, peaks[i], want[i])
+		}
+	}
+}
+
+func TestFindPeaksMinDistance(t *testing.T) {
+	x := []float64{0, 5, 0, 6, 0, 0, 0, 1, 0}
+	// Peaks at 1 (5), 3 (6) and 7 (1). With minDist=3 the peak at 1 is
+	// suppressed by the higher peak at 3; the peak at 7 is 4 away and
+	// survives.
+	peaks := FindPeaks(x, 0.5, 3)
+	if len(peaks) != 2 || peaks[0] != 3 || peaks[1] != 7 {
+		t.Fatalf("peaks = %v, want [3 7]", peaks)
+	}
+}
+
+func TestFindPeaksPlateau(t *testing.T) {
+	x := []float64{0, 1, 1, 1, 0}
+	peaks := FindPeaks(x, 0.5, 1)
+	if len(peaks) != 1 || peaks[0] != 1 {
+		t.Fatalf("plateau peaks = %v, want [1]", peaks)
+	}
+}
+
+func TestFindPeaksMinHeight(t *testing.T) {
+	x := []float64{0, 1, 0, 5, 0}
+	peaks := FindPeaks(x, 2, 1)
+	if len(peaks) != 1 || peaks[0] != 3 {
+		t.Fatalf("peaks = %v, want [3]", peaks)
+	}
+}
+
+func TestFindTroughs(t *testing.T) {
+	x := []float64{0, -3, 0, -1, 0}
+	tr := FindTroughs(x, -0.5, 1)
+	if len(tr) != 2 || tr[0] != 1 || tr[1] != 3 {
+		t.Fatalf("troughs = %v, want [1 3]", tr)
+	}
+}
+
+func TestArgMaxArgMin(t *testing.T) {
+	x := []float64{1, 9, 2, -4, 5}
+	if i := ArgMax(x, 0, len(x)); i != 1 {
+		t.Errorf("argmax = %d", i)
+	}
+	if i := ArgMin(x, 0, len(x)); i != 3 {
+		t.Errorf("argmin = %d", i)
+	}
+	if i := ArgMax(x, 2, 2); i != -1 {
+		t.Errorf("empty range should be -1, got %d", i)
+	}
+	if i := ArgMax(x, 2, 5); i != 4 {
+		t.Errorf("ranged argmax = %d", i)
+	}
+}
+
+func TestZeroCrossings(t *testing.T) {
+	x := []float64{1, -1, -2, 3, 0, 5}
+	zc := ZeroCrossings(x)
+	// Crossings between 0-1, 2-3 and at 4 (exact zero).
+	want := []int{0, 2, 4}
+	if len(zc) != len(want) {
+		t.Fatalf("zc = %v, want %v", zc, want)
+	}
+	for i := range want {
+		if zc[i] != want[i] {
+			t.Errorf("zc[%d] = %d, want %d", i, zc[i], want[i])
+		}
+	}
+}
+
+func TestPrevZeroCrossingAndMinimum(t *testing.T) {
+	x := []float64{1, -1, 2, 4, 3}
+	if i := PrevZeroCrossing(x, 3); i != 1 {
+		t.Errorf("prev zc = %d, want 1", i)
+	}
+	if i := PrevZeroCrossing(x, 1); i != 0 {
+		t.Errorf("prev zc = %d, want 0", i)
+	}
+	y := []float64{5, 1, 4, 2, 6, 7}
+	if i := PrevLocalMinimum(y, 5); i != 3 {
+		t.Errorf("prev min = %d, want 3", i)
+	}
+	if i := PrevLocalMinimum(y, 3); i != 1 {
+		t.Errorf("prev min = %d, want 1", i)
+	}
+	if i := PrevLocalMinimum(y, 1); i != -1 {
+		t.Errorf("prev min = %d, want -1", i)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x+1
+	l, ok := FitLine(xs, ys)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(l.Slope-2) > 1e-12 || math.Abs(l.Intercept-1) > 1e-12 {
+		t.Errorf("line = %+v", l)
+	}
+	x0, ok := l.XAtY(0)
+	if !ok || math.Abs(x0+0.5) > 1e-12 {
+		t.Errorf("x at y=0: %g", x0)
+	}
+	if y := l.YAt(2); math.Abs(y-5) > 1e-12 {
+		t.Errorf("YAt(2) = %g", y)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if _, ok := FitLine([]float64{1}, []float64{2}); ok {
+		t.Error("single point should fail")
+	}
+	if _, ok := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); ok {
+		t.Error("vertical line should fail")
+	}
+	l, ok := FitLine([]float64{0, 1}, []float64{3, 3})
+	if !ok {
+		t.Fatal("horizontal fit failed")
+	}
+	if _, ok := l.XAtY(0); ok {
+		t.Error("horizontal line has no x intercept")
+	}
+}
+
+func TestFitLineIndices(t *testing.T) {
+	y := []float64{0, 10, 20, 30, 40}
+	l, ok := FitLineIndices(y, []int{1, 2, 3})
+	if !ok || math.Abs(l.Slope-10) > 1e-12 {
+		t.Errorf("line = %+v ok=%v", l, ok)
+	}
+}
+
+func TestResampleLinear(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := ResampleLinear(x, 100, 200)
+	if len(y) < 9 {
+		t.Fatalf("len = %d", len(y))
+	}
+	if math.Abs(y[1]-0.5) > 1e-12 {
+		t.Errorf("y[1] = %g, want 0.5", y[1])
+	}
+	same := ResampleLinear(x, 100, 100)
+	for i := range x {
+		if same[i] != x[i] {
+			t.Error("identity resample broken")
+		}
+	}
+}
+
+func TestResampleN(t *testing.T) {
+	x := []float64{0, 2, 4}
+	y := ResampleN(x, 5)
+	want := []float64{0, 1, 2, 3, 4}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Errorf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+	if got := ResampleN([]float64{7}, 3); len(got) != 3 || got[1] != 7 {
+		t.Errorf("constant expansion = %v", got)
+	}
+}
+
+func TestDecimatePreservesSlowSignal(t *testing.T) {
+	fs := 1000.0
+	x := sine(2, fs, 4000)
+	y := Decimate(x, fs, 4)
+	if len(y) != 1000 {
+		t.Fatalf("len = %d, want 1000", len(y))
+	}
+	// Still a 2 Hz sine at 250 Hz; check amplitude is preserved.
+	if r := RMS(y[200:800]); math.Abs(r-1/math.Sqrt2) > 0.05 {
+		t.Errorf("rms = %g", r)
+	}
+}
+
+func TestLinspaceAndTimeVector(t *testing.T) {
+	l := Linspace(0, 1, 5)
+	if l[0] != 0 || l[4] != 1 || math.Abs(l[2]-0.5) > 1e-12 {
+		t.Errorf("linspace = %v", l)
+	}
+	if len(Linspace(0, 1, 0)) != 0 {
+		t.Error("n=0 should be empty")
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("n=1 linspace = %v", got)
+	}
+	tv := TimeVector(3, 100)
+	if tv[2] != 0.02 {
+		t.Errorf("time vector = %v", tv)
+	}
+}
+
+func TestCloneAndArithmetic(t *testing.T) {
+	x := []float64{1, 2}
+	y := Clone(x)
+	y[0] = 99
+	if x[0] != 1 {
+		t.Error("clone aliases input")
+	}
+	if Clone(nil) != nil {
+		t.Error("clone of nil")
+	}
+	if got := Add([]float64{1, 2}, []float64{3, 4}); got[1] != 6 {
+		t.Errorf("add = %v", got)
+	}
+	if got := Sub([]float64{5, 5}, []float64{2, 1}); got[0] != 3 || got[1] != 4 {
+		t.Errorf("sub = %v", got)
+	}
+	if got := Mul([]float64{2, 3}, []float64{4, 5}); got[0] != 8 || got[1] != 15 {
+		t.Errorf("mul = %v", got)
+	}
+	if got := Reversed([]float64{1, 2, 3}); got[0] != 3 || got[2] != 1 {
+		t.Errorf("reversed = %v", got)
+	}
+}
+
+func TestAddPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Add([]float64{1}, []float64{1, 2})
+}
+
+func TestHasNaN(t *testing.T) {
+	if HasNaN([]float64{1, 2, 3}) {
+		t.Error("clean slice flagged")
+	}
+	if !HasNaN([]float64{1, math.NaN()}) {
+		t.Error("NaN missed")
+	}
+	if !HasNaN([]float64{math.Inf(1)}) {
+		t.Error("Inf missed")
+	}
+}
+
+func TestClampHelpers(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp broken")
+	}
+	if ClampInt(5, 0, 3) != 3 || ClampInt(-1, 0, 3) != 0 {
+		t.Error("ClampInt broken")
+	}
+}
+
+func TestWindowShapes(t *testing.T) {
+	for _, kind := range []WindowKind{WindowRect, WindowHamming, WindowHann, WindowBlackman, WindowBartlett} {
+		w := Window(kind, 33)
+		if len(w) != 33 {
+			t.Fatalf("%v: len = %d", kind, len(w))
+		}
+		// Symmetry.
+		for i := 0; i < 16; i++ {
+			if math.Abs(w[i]-w[32-i]) > 1e-12 {
+				t.Errorf("%v: asymmetric at %d", kind, i)
+			}
+		}
+		// Peak at center for tapered windows.
+		if kind != WindowRect && ArgMax(w, 0, 33) != 16 {
+			t.Errorf("%v: peak not centered", kind)
+		}
+	}
+	if w := Window(WindowHann, 1); w[0] != 1 {
+		t.Error("single-point window should be 1")
+	}
+	if name := WindowHamming.String(); name != "hamming" {
+		t.Errorf("name = %q", name)
+	}
+}
+
+func TestSmoothedDerivative(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	fs := 250.0
+	x := sine(5, fs, 1000)
+	noisy := make([]float64, len(x))
+	for i := range x {
+		noisy[i] = x[i] + 0.01*r.NormFloat64()
+	}
+	raw := Derivative(noisy, fs)
+	smooth := SmoothedDerivative(noisy, fs, 5)
+	clean := Derivative(x, fs)
+	if RMSE(smooth[20:980], clean[20:980]) >= RMSE(raw[20:980], clean[20:980]) {
+		t.Error("smoothing did not reduce derivative noise")
+	}
+}

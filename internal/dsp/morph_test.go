@@ -1,0 +1,184 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSignal(r *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	return x
+}
+
+func TestErodeDilateSmallExample(t *testing.T) {
+	x := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	er := Erode(x, 3)
+	wantEr := []float64{1, 1, 1, 1, 1, 2, 2, 2}
+	for i := range wantEr {
+		if er[i] != wantEr[i] {
+			t.Errorf("erode[%d] = %g, want %g", i, er[i], wantEr[i])
+		}
+	}
+	di := Dilate(x, 3)
+	wantDi := []float64{3, 4, 4, 5, 9, 9, 9, 6}
+	for i := range wantDi {
+		if di[i] != wantDi[i] {
+			t.Errorf("dilate[%d] = %g, want %g", i, di[i], wantDi[i])
+		}
+	}
+}
+
+func TestDequeMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 5, 64, 257} {
+		for _, k := range []int{1, 2, 3, 4, 7, 50, 75} {
+			x := randomSignal(r, n)
+			for i := range x {
+				a := Erode(x, k)
+				b := ErodeNaive(x, k)
+				if a[i] != b[i] {
+					t.Fatalf("erode mismatch n=%d k=%d i=%d: %g vs %g", n, k, i, a[i], b[i])
+				}
+				c := Dilate(x, k)
+				d := DilateNaive(x, k)
+				if c[i] != d[i] {
+					t.Fatalf("dilate mismatch n=%d k=%d i=%d: %g vs %g", n, k, i, c[i], d[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDequeMatchesNaiveQuick(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		k := int(kRaw)%80 + 1
+		r := rand.New(rand.NewSource(seed))
+		x := randomSignal(r, n)
+		a, b := Erode(x, k), ErodeNaive(x, k)
+		c, d := Dilate(x, k), DilateNaive(x, k)
+		for i := range x {
+			if a[i] != b[i] || c[i] != d[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMorphologyOrderingProperty(t *testing.T) {
+	// erosion <= signal <= dilation, and opening <= signal <= closing.
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw)%60 + 1
+		r := rand.New(rand.NewSource(seed))
+		x := randomSignal(r, 120)
+		er, di := Erode(x, k), Dilate(x, k)
+		op, cl := Open(x, k), Close(x, k)
+		for i := range x {
+			if er[i] > x[i] || di[i] < x[i] {
+				return false
+			}
+			if op[i] > x[i]+1e-12 || cl[i] < x[i]-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpeningIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	x := randomSignal(r, 300)
+	for _, k := range []int{3, 9, 25} {
+		once := Open(x, k)
+		twice := Open(once, k)
+		for i := range once {
+			if math.Abs(once[i]-twice[i]) > 1e-12 {
+				t.Fatalf("opening not idempotent k=%d i=%d", k, i)
+			}
+		}
+		onceC := Close(x, k)
+		twiceC := Close(onceC, k)
+		for i := range onceC {
+			if math.Abs(onceC[i]-twiceC[i]) > 1e-12 {
+				t.Fatalf("closing not idempotent k=%d i=%d", k, i)
+			}
+		}
+	}
+}
+
+func TestOpeningRemovesNarrowPeak(t *testing.T) {
+	// A 3-sample-wide spike on a flat baseline must vanish under opening
+	// with a 7-sample element, while the baseline is preserved.
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = 1
+	}
+	x[20], x[21], x[22] = 5, 8, 5
+	y := Open(x, 7)
+	for i, v := range y {
+		if v != 1 {
+			t.Errorf("opening left %g at %d", v, i)
+		}
+	}
+}
+
+func TestClosingFillsNarrowPit(t *testing.T) {
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = 1
+	}
+	x[30], x[31] = -4, -2
+	y := Close(x, 7)
+	for i, v := range y {
+		if v != 1 {
+			t.Errorf("closing left %g at %d", v, i)
+		}
+	}
+}
+
+func TestMorphEdgeCases(t *testing.T) {
+	if Erode(nil, 3) != nil {
+		t.Error("nil input")
+	}
+	if Erode([]float64{1, 2}, 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+	one := Erode([]float64{5}, 3)
+	if len(one) != 1 || one[0] != 5 {
+		t.Errorf("single sample: %v", one)
+	}
+	// k=1 is the identity.
+	x := []float64{2, 7, 1}
+	y := Erode(x, 1)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Errorf("k=1 not identity at %d", i)
+		}
+	}
+}
+
+func TestMorphDuality(t *testing.T) {
+	// Erosion of -x equals -dilation of x (flat element duality).
+	r := rand.New(rand.NewSource(5))
+	x := randomSignal(r, 200)
+	neg := Scale(x, -1)
+	a := Erode(neg, 11)
+	b := Scale(Dilate(x, 11), -1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("duality broken at %d", i)
+		}
+	}
+}

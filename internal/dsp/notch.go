@@ -1,0 +1,28 @@
+package dsp
+
+import "math"
+
+// DesignNotch returns a biquad notch filter (RBJ audio-EQ cookbook form)
+// centered at f0 with the given quality factor Q. A 50 Hz notch is the
+// classic alternative to relying on the band-pass roll-off for powerline
+// suppression; it is exposed for the conditioning ablations.
+func DesignNotch(f0, q, fs float64) (SOS, error) {
+	if f0 <= 0 || f0 >= fs/2 {
+		return nil, ErrBadCutoff
+	}
+	if q <= 0 {
+		return nil, ErrBadParameter
+	}
+	w0 := 2 * math.Pi * f0 / fs
+	alpha := math.Sin(w0) / (2 * q)
+	cosw := math.Cos(w0)
+	a0 := 1 + alpha
+	bq := Biquad{
+		B0: 1 / a0,
+		B1: -2 * cosw / a0,
+		B2: 1 / a0,
+		A1: -2 * cosw / a0,
+		A2: (1 - alpha) / a0,
+	}
+	return SOS{bq}, nil
+}

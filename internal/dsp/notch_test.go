@@ -1,0 +1,58 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNotchKillsCenterFrequency(t *testing.T) {
+	sos, err := DesignNotch(50, 30, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sos.IsStable() {
+		t.Fatal("unstable notch")
+	}
+	if g := sos.FrequencyResponse(50, 250); g > 1e-6 {
+		t.Errorf("gain at 50 Hz = %g, want ~0", g)
+	}
+	// Pass nearby content.
+	if g := sos.FrequencyResponse(10, 250); math.Abs(g-1) > 0.05 {
+		t.Errorf("gain at 10 Hz = %g, want ~1", g)
+	}
+	if g := sos.FrequencyResponse(90, 250); math.Abs(g-1) > 0.05 {
+		t.Errorf("gain at 90 Hz = %g, want ~1", g)
+	}
+	// Unity at DC and Nyquist.
+	if g := sos.FrequencyResponse(0, 250); math.Abs(g-1) > 1e-9 {
+		t.Errorf("DC gain = %g", g)
+	}
+}
+
+func TestNotchTimeDomain(t *testing.T) {
+	sos, _ := DesignNotch(50, 30, 250)
+	mix := make([]float64, 4000)
+	for i := range mix {
+		ti := float64(i) / 250
+		mix[i] = math.Sin(2*math.Pi*10*ti) + math.Sin(2*math.Pi*50*ti)
+	}
+	y := sos.FiltFilt(mix)
+	if p := BandPower(y, 250, 48, 52); p > 0.01*BandPower(mix, 250, 48, 52) {
+		t.Errorf("50 Hz power not removed: %g", p)
+	}
+	if p := BandPower(y, 250, 8, 12); p < 0.9*BandPower(mix, 250, 8, 12) {
+		t.Errorf("10 Hz content damaged")
+	}
+}
+
+func TestNotchValidation(t *testing.T) {
+	if _, err := DesignNotch(0, 30, 250); err != ErrBadCutoff {
+		t.Errorf("f0=0: %v", err)
+	}
+	if _, err := DesignNotch(125, 30, 250); err != ErrBadCutoff {
+		t.Errorf("f0=Nyquist: %v", err)
+	}
+	if _, err := DesignNotch(50, 0, 250); err != ErrBadParameter {
+		t.Errorf("Q=0: %v", err)
+	}
+}

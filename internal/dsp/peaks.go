@@ -1,0 +1,194 @@
+package dsp
+
+import "sort"
+
+// Peak and landmark detection helpers used by the QRS detector and the
+// ICG characteristic-point rules.
+
+// Peak describes a local extremum found in a signal.
+type Peak struct {
+	Index int
+	Value float64
+}
+
+// FindPeaks returns the indices of local maxima of x that are at least
+// minHeight high and at least minDist samples apart. Plateaus report their
+// first sample. When two peaks are closer than minDist the higher one is
+// kept.
+func FindPeaks(x []float64, minHeight float64, minDist int) []int {
+	n := len(x)
+	if n < 3 {
+		return nil
+	}
+	var cands []Peak
+	for i := 1; i < n-1; i++ {
+		if x[i] < minHeight {
+			continue
+		}
+		if x[i] > x[i-1] {
+			// Walk plateaus: find the end of a run of equal values.
+			j := i
+			for j < n-1 && x[j+1] == x[i] {
+				j++
+			}
+			if j < n-1 && x[j+1] < x[i] {
+				cands = append(cands, Peak{Index: i, Value: x[i]})
+			}
+			i = j
+		}
+	}
+	if minDist <= 1 || len(cands) < 2 {
+		idx := make([]int, len(cands))
+		for i, p := range cands {
+			idx[i] = p.Index
+		}
+		return idx
+	}
+	// Greedy selection by descending height, suppressing neighbours.
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := cands[order[a]], cands[order[b]]
+		if pa.Value != pb.Value {
+			return pa.Value > pb.Value
+		}
+		return pa.Index < pb.Index
+	})
+	kept := make([]bool, len(cands))
+	removed := make([]bool, len(cands))
+	for _, oi := range order {
+		if removed[oi] {
+			continue
+		}
+		kept[oi] = true
+		for j := range cands {
+			if j == oi || removed[j] || kept[j] {
+				continue
+			}
+			d := cands[j].Index - cands[oi].Index
+			if d < 0 {
+				d = -d
+			}
+			if d < minDist {
+				removed[j] = true
+			}
+		}
+	}
+	var idx []int
+	for i, p := range cands {
+		if kept[i] {
+			idx = append(idx, p.Index)
+		}
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// FindTroughs returns the indices of local minima of x that are at most
+// maxHeight deep and at least minDist samples apart.
+func FindTroughs(x []float64, maxHeight float64, minDist int) []int {
+	neg := make([]float64, len(x))
+	for i, v := range x {
+		neg[i] = -v
+	}
+	return FindPeaks(neg, -maxHeight, minDist)
+}
+
+// ArgMax returns the index of the maximum of x[lo:hi] (hi exclusive) in
+// absolute coordinates; it returns -1 for an empty range.
+func ArgMax(x []float64, lo, hi int) int {
+	lo = ClampInt(lo, 0, len(x))
+	hi = ClampInt(hi, 0, len(x))
+	if lo >= hi {
+		return -1
+	}
+	best := lo
+	for i := lo + 1; i < hi; i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the minimum of x[lo:hi] (hi exclusive) in
+// absolute coordinates; it returns -1 for an empty range.
+func ArgMin(x []float64, lo, hi int) int {
+	lo = ClampInt(lo, 0, len(x))
+	hi = ClampInt(hi, 0, len(x))
+	if lo >= hi {
+		return -1
+	}
+	best := lo
+	for i := lo + 1; i < hi; i++ {
+		if x[i] < x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// LocalMinima returns all indices i in [lo, hi) that are local minima of x
+// (strictly smaller than both neighbours).
+func LocalMinima(x []float64, lo, hi int) []int {
+	lo = ClampInt(lo, 1, len(x))
+	hi = ClampInt(hi, 0, len(x)-1)
+	var out []int
+	for i := lo; i < hi; i++ {
+		if x[i] < x[i-1] && x[i] < x[i+1] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// LocalMaxima returns all indices i in [lo, hi) that are local maxima of x.
+func LocalMaxima(x []float64, lo, hi int) []int {
+	lo = ClampInt(lo, 1, len(x))
+	hi = ClampInt(hi, 0, len(x)-1)
+	var out []int
+	for i := lo; i < hi; i++ {
+		if x[i] > x[i-1] && x[i] > x[i+1] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ZeroCrossings returns the indices i where x crosses zero between i and
+// i+1 (sign change or exact zero at i).
+func ZeroCrossings(x []float64) []int {
+	var out []int
+	for i := 0; i+1 < len(x); i++ {
+		if x[i] == 0 || x[i]*x[i+1] < 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PrevZeroCrossing scans left from index start (exclusive) and returns the
+// last index i < start where x[i] and x[i+1] straddle zero, or -1.
+func PrevZeroCrossing(x []float64, start int) int {
+	start = ClampInt(start, 0, len(x)-1)
+	for i := start - 1; i >= 0; i-- {
+		if x[i] == 0 || x[i]*x[i+1] < 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// PrevLocalMinimum scans left from index start (exclusive) and returns the
+// nearest local-minimum index of x, or -1.
+func PrevLocalMinimum(x []float64, start int) int {
+	start = ClampInt(start, 0, len(x))
+	for i := start - 1; i >= 1 && i < len(x)-1; i-- {
+		if x[i] < x[i-1] && x[i] < x[i+1] {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,96 @@
+package dsp
+
+// Resampling helpers. The device supports sampling rates from 125 Hz to
+// 16 kHz; the study runs at 250 Hz, so recordings at other rates are
+// resampled before processing.
+
+// ResampleLinear resamples x from rate fsIn to rate fsOut using linear
+// interpolation. The output covers the same time span.
+func ResampleLinear(x []float64, fsIn, fsOut float64) []float64 {
+	n := len(x)
+	if n == 0 || fsIn <= 0 || fsOut <= 0 {
+		return nil
+	}
+	if fsIn == fsOut {
+		return Clone(x)
+	}
+	dur := float64(n-1) / fsIn
+	m := int(dur*fsOut) + 1
+	if m < 1 {
+		m = 1
+	}
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		t := float64(i) / fsOut
+		pos := t * fsIn
+		lo := int(pos)
+		if lo >= n-1 {
+			y[i] = x[n-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		y[i] = x[lo]*(1-frac) + x[lo+1]*frac
+	}
+	return y
+}
+
+// ResampleN resamples x to exactly n samples spanning the same interval,
+// using linear interpolation. Used to align beats of different lengths
+// before ensemble averaging.
+func ResampleN(x []float64, n int) []float64 {
+	if len(x) == 0 || n < 1 {
+		return nil
+	}
+	if len(x) == 1 {
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = x[0]
+		}
+		return y
+	}
+	y := make([]float64, n)
+	scale := float64(len(x)-1) / float64(maxInt(n-1, 1))
+	for i := 0; i < n; i++ {
+		pos := float64(i) * scale
+		lo := int(pos)
+		if lo >= len(x)-1 {
+			y[i] = x[len(x)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		y[i] = x[lo]*(1-frac) + x[lo+1]*frac
+	}
+	return y
+}
+
+// Decimate returns every k-th sample of x after low-pass filtering at
+// 0.8*fs/(2k) to limit aliasing.
+func Decimate(x []float64, fs float64, k int) []float64 {
+	if k <= 1 {
+		return Clone(x)
+	}
+	if len(x) == 0 {
+		return nil
+	}
+	cutoff := 0.8 * fs / (2 * float64(k))
+	sos, err := DesignButterLowPass(4, cutoff, fs)
+	var filtered []float64
+	if err != nil {
+		filtered = Clone(x)
+	} else {
+		filtered = sos.FiltFilt(x)
+	}
+	m := (len(filtered) + k - 1) / k
+	y := make([]float64, 0, m)
+	for i := 0; i < len(filtered); i += k {
+		y = append(y, filtered[i])
+	}
+	return y
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,123 @@
+package dsp
+
+// Savitzky-Golay smoothing: least-squares polynomial fitting over a
+// sliding window, the standard way to stabilize the high-order
+// derivatives the characteristic-point rules consume. Coefficients are
+// derived from the closed-form quadratic/cubic fits for symmetric
+// windows, which is the case used in practice.
+
+// SavGolKernel returns the smoothing kernel for a symmetric window of
+// half-width m (window length 2m+1) fitting a quadratic polynomial. The
+// kernel is normalized to unit sum.
+func SavGolKernel(m int) []float64 {
+	if m < 1 {
+		return []float64{1}
+	}
+	n := 2*m + 1
+	// Closed form for quadratic/cubic SG smoothing:
+	// c_i = (3*(3m^2+3m-1) - 15*i^2) / ((2m+3)*(2m+1)*(2m-1)) for i=-m..m
+	denom := float64((2*m + 3) * (2*m + 1) * (2*m - 1))
+	k := make([]float64, n)
+	sum := 0.0
+	for i := -m; i <= m; i++ {
+		v := (3*float64(3*m*m+3*m-1) - 15*float64(i*i)) / denom
+		k[i+m] = v
+		sum += v
+	}
+	// Normalize against accumulated rounding.
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// SavGolSmooth applies quadratic Savitzky-Golay smoothing with half-width
+// m, handling edges by shrinking the window.
+func SavGolSmooth(x []float64, m int) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if m < 1 {
+		return Clone(x)
+	}
+	k := SavGolKernel(m)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if i >= m && i+m < n {
+			acc := 0.0
+			for j := -m; j <= m; j++ {
+				acc += k[j+m] * x[i+j]
+			}
+			y[i] = acc
+			continue
+		}
+		// Edge: shrink to the largest symmetric window that fits.
+		mm := i
+		if n-1-i < mm {
+			mm = n - 1 - i
+		}
+		if mm < 1 {
+			y[i] = x[i]
+			continue
+		}
+		ke := SavGolKernel(mm)
+		acc := 0.0
+		for j := -mm; j <= mm; j++ {
+			acc += ke[j+mm] * x[i+j]
+		}
+		y[i] = acc
+	}
+	return y
+}
+
+// SavGolDerivative estimates the first derivative (units per second) with
+// the quadratic Savitzky-Golay derivative kernel c_i = i / (sum of i^2),
+// which is the least-squares slope over the window.
+func SavGolDerivative(x []float64, fs float64, m int) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if m < 1 {
+		return Derivative(x, fs)
+	}
+	var s2 float64
+	for i := -m; i <= m; i++ {
+		s2 += float64(i * i)
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if i < m || i+m >= n {
+			// Edges: fall back to simple differences.
+			if i == 0 && n > 1 {
+				y[i] = (x[1] - x[0]) * fs
+			} else if i == n-1 && n > 1 {
+				y[i] = (x[n-1] - x[n-2]) * fs
+			} else if n > 2 {
+				y[i] = (x[minIntSG(i+1, n-1)] - x[maxIntSG(i-1, 0)]) * fs / 2
+			}
+			continue
+		}
+		acc := 0.0
+		for j := -m; j <= m; j++ {
+			acc += float64(j) * x[i+j]
+		}
+		y[i] = acc / s2 * fs
+	}
+	return y
+}
+
+func minIntSG(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxIntSG(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSavGolKernelProperties(t *testing.T) {
+	for _, m := range []int{1, 2, 4, 8} {
+		k := SavGolKernel(m)
+		if len(k) != 2*m+1 {
+			t.Fatalf("m=%d: len %d", m, len(k))
+		}
+		sum := 0.0
+		for i := range k {
+			sum += k[i]
+			// Symmetry.
+			if math.Abs(k[i]-k[len(k)-1-i]) > 1e-12 {
+				t.Errorf("m=%d: asymmetric at %d", m, i)
+			}
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("m=%d: sum = %g", m, sum)
+		}
+		// Center weight is the largest.
+		if ArgMax(k, 0, len(k)) != m {
+			t.Errorf("m=%d: peak not centered", m)
+		}
+	}
+	if k := SavGolKernel(0); len(k) != 1 || k[0] != 1 {
+		t.Error("m=0 should be identity")
+	}
+}
+
+func TestSavGolPreservesQuadratic(t *testing.T) {
+	// A quadratic signal passes through SG smoothing unchanged (that is
+	// the defining property of the quadratic fit).
+	n := 100
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i)
+		x[i] = 0.02*ti*ti - 1.5*ti + 3
+	}
+	y := SavGolSmooth(x, 5)
+	for i := 5; i < n-5; i++ {
+		if math.Abs(y[i]-x[i]) > 1e-9 {
+			t.Fatalf("quadratic distorted at %d: %g vs %g", i, y[i], x[i])
+		}
+	}
+}
+
+func TestSavGolSmoothReducesNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	fs := 250.0
+	clean := sine(3, fs, 1000)
+	noisy := make([]float64, len(clean))
+	for i := range clean {
+		noisy[i] = clean[i] + 0.05*r.NormFloat64()
+	}
+	sm := SavGolSmooth(noisy, 4)
+	if RMSE(sm[20:980], clean[20:980]) >= RMSE(noisy[20:980], clean[20:980]) {
+		t.Error("smoothing did not reduce noise")
+	}
+}
+
+func TestSavGolDerivativeOfLine(t *testing.T) {
+	fs := 100.0
+	x := make([]float64, 60)
+	for i := range x {
+		x[i] = 2.5*float64(i)/fs - 1
+	}
+	d := SavGolDerivative(x, fs, 3)
+	for i := 3; i < len(d)-3; i++ {
+		if math.Abs(d[i]-2.5) > 1e-9 {
+			t.Fatalf("slope at %d = %g", i, d[i])
+		}
+	}
+}
+
+func TestSavGolDerivativeNoisier(t *testing.T) {
+	// On a noisy sine the SG derivative must beat plain central
+	// differences.
+	r := rand.New(rand.NewSource(9))
+	fs := 250.0
+	clean := sine(4, fs, 1200)
+	noisy := make([]float64, len(clean))
+	for i := range clean {
+		noisy[i] = clean[i] + 0.02*r.NormFloat64()
+	}
+	ref := Derivative(clean, fs)
+	plain := Derivative(noisy, fs)
+	sg := SavGolDerivative(noisy, fs, 4)
+	if RMSE(sg[30:1170], ref[30:1170]) >= RMSE(plain[30:1170], ref[30:1170]) {
+		t.Error("SG derivative not better than central differences")
+	}
+}
+
+func TestSavGolEdges(t *testing.T) {
+	if SavGolSmooth(nil, 3) != nil {
+		t.Error("nil input")
+	}
+	one := SavGolSmooth([]float64{7}, 3)
+	if len(one) != 1 || one[0] != 7 {
+		t.Error("single sample")
+	}
+	same := SavGolSmooth([]float64{1, 2, 3}, 0)
+	if same[1] != 2 {
+		t.Error("m=0 identity")
+	}
+	if SavGolDerivative(nil, 100, 2) != nil {
+		t.Error("nil derivative")
+	}
+}

@@ -1,0 +1,191 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// Elementary statistics used throughout the study harness: the evaluation
+// correlates device and reference bioimpedance signals (Tables II-IV) and
+// compares per-position means (Fig 8).
+
+// Mean returns the arithmetic mean of x (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the unbiased sample variance of x (0 for n < 2).
+func Variance(x []float64) float64 {
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(x)
+	s := 0.0
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// Std returns the unbiased sample standard deviation of x.
+func Std(x []float64) float64 {
+	return math.Sqrt(Variance(x))
+}
+
+// RMS returns the root-mean-square of x.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// MinMax returns the minimum and maximum of x; it returns (0, 0) for an
+// empty slice.
+func MinMax(x []float64) (lo, hi float64) {
+	if len(x) == 0 {
+		return 0, 0
+	}
+	lo, hi = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Median returns the median of x (0 for empty input). x is not modified.
+func Median(x []float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	s := Clone(x)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Pearson returns the Pearson correlation coefficient between equal-length
+// slices a and b. It returns 0 when either input is constant or empty.
+func Pearson(a, b []float64) float64 {
+	n := len(a)
+	if n == 0 || n != len(b) {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var sab, saa, sbb float64
+	for i := 0; i < n; i++ {
+		da := a[i] - ma
+		db := b[i] - mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+// RMSE returns the root-mean-square error between equal-length a and b.
+func RMSE(a, b []float64) float64 {
+	n := len(a)
+	if n == 0 || n != len(b) {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n))
+}
+
+// MAE returns the mean absolute error between equal-length a and b.
+func MAE(a, b []float64) float64 {
+	n := len(a)
+	if n == 0 || n != len(b) {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / float64(n)
+}
+
+// RelativeError returns (a-b)/a, the paper's displacement-error criterion
+// (equations 1-3). It returns NaN when a is 0.
+func RelativeError(a, b float64) float64 {
+	if a == 0 {
+		return math.NaN()
+	}
+	return (a - b) / a
+}
+
+// Percentile returns the p-th percentile (0..100) of x by linear
+// interpolation. x is not modified.
+func Percentile(x []float64, p float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	s := Clone(x)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[n-1]
+	}
+	pos := p / 100 * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return s[n-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Summary bundles descriptive statistics of a series.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics of x.
+func Summarize(x []float64) Summary {
+	lo, hi := MinMax(x)
+	return Summary{
+		N:      len(x),
+		Mean:   Mean(x),
+		Std:    Std(x),
+		Min:    lo,
+		Max:    hi,
+		Median: Median(x),
+	}
+}

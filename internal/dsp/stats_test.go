@@ -1,0 +1,160 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdMedian(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(x); math.Abs(m-5) > 1e-12 {
+		t.Errorf("mean = %g, want 5", m)
+	}
+	// Sample std with n-1: var = 32/7.
+	if s := Std(x); math.Abs(s-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("std = %g", s)
+	}
+	if md := Median(x); md != 4.5 {
+		t.Errorf("median = %g, want 4.5", md)
+	}
+	if md := Median([]float64{3, 1, 2}); md != 2 {
+		t.Errorf("odd median = %g, want 2", md)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+}
+
+func TestPearsonKnownValues(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if r := Pearson(a, a); math.Abs(r-1) > 1e-12 {
+		t.Errorf("self correlation = %g", r)
+	}
+	b := []float64{5, 4, 3, 2, 1}
+	if r := Pearson(a, b); math.Abs(r+1) > 1e-12 {
+		t.Errorf("anti correlation = %g", r)
+	}
+	c := []float64{1, 1, 1, 1, 1}
+	if r := Pearson(a, c); r != 0 {
+		t.Errorf("constant input correlation = %g, want 0", r)
+	}
+	if r := Pearson(a, []float64{1, 2}); r != 0 {
+		t.Errorf("length mismatch should give 0, got %g", r)
+	}
+}
+
+func TestPearsonAffineInvarianceProperty(t *testing.T) {
+	f := func(seed int64, scaleRaw, offset float64) bool {
+		scale := math.Abs(scaleRaw)
+		if scale < 1e-6 || scale > 1e6 || math.Abs(offset) > 1e6 {
+			return true // skip degenerate scales
+		}
+		r := rand.New(rand.NewSource(seed))
+		a := randomSignal(r, 50)
+		b := randomSignal(r, 50)
+		r1 := Pearson(a, b)
+		b2 := Offset(Scale(b, scale), offset)
+		r2 := Pearson(a, b2)
+		return math.Abs(r1-r2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomSignal(r, 30)
+		b := randomSignal(r, 30)
+		rho := Pearson(a, b)
+		return rho >= -1-1e-12 && rho <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonNoiseDegradation(t *testing.T) {
+	// The calibration identity used by the study harness: for independent
+	// noise, r ~= 1/sqrt(1 + sigma_n^2/sigma_s^2).
+	r := rand.New(rand.NewSource(99))
+	n := 40000
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.Sin(2 * math.Pi * float64(i) / 97)
+	}
+	sigmaS := Std(s)
+	target := 0.9
+	sigmaN := sigmaS * math.Sqrt(1/(target*target)-1)
+	noisy := make([]float64, n)
+	for i := range noisy {
+		noisy[i] = s[i] + r.NormFloat64()*sigmaN
+	}
+	got := Pearson(s, noisy)
+	if math.Abs(got-target) > 0.02 {
+		t.Errorf("correlation = %g, want ~%g", got, target)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if e := RelativeError(10, 8); math.Abs(e-0.2) > 1e-12 {
+		t.Errorf("e = %g, want 0.2", e)
+	}
+	if e := RelativeError(10, 12); math.Abs(e+0.2) > 1e-12 {
+		t.Errorf("e = %g, want -0.2", e)
+	}
+	if !math.IsNaN(RelativeError(0, 1)) {
+		t.Error("division by zero should be NaN")
+	}
+}
+
+func TestRMSEAndMAE(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 3}
+	if RMSE(a, b) != 0 || MAE(a, b) != 0 {
+		t.Error("identical slices should give 0 error")
+	}
+	c := []float64{2, 3, 4}
+	if got := RMSE(a, c); math.Abs(got-1) > 1e-12 {
+		t.Errorf("RMSE = %g, want 1", got)
+	}
+	if got := MAE(a, c); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MAE = %g, want 1", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if p := Percentile(x, 0); p != 1 {
+		t.Errorf("p0 = %g", p)
+	}
+	if p := Percentile(x, 100); p != 5 {
+		t.Errorf("p100 = %g", p)
+	}
+	if p := Percentile(x, 50); p != 3 {
+		t.Errorf("p50 = %g", p)
+	}
+	if p := Percentile(x, 25); p != 2 {
+		t.Errorf("p25 = %g", p)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Median != 2.5 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestMinMaxRMS(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Errorf("minmax = %g, %g", lo, hi)
+	}
+	if r := RMS([]float64{3, 4}); math.Abs(r-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("rms = %g", r)
+	}
+}

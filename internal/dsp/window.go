@@ -1,0 +1,69 @@
+package dsp
+
+import "math"
+
+// WindowKind selects a tapering window for FIR design and spectral analysis.
+type WindowKind int
+
+// Supported window functions.
+const (
+	WindowRect WindowKind = iota
+	WindowHamming
+	WindowHann
+	WindowBlackman
+	WindowBartlett
+)
+
+// String returns the conventional name of the window.
+func (w WindowKind) String() string {
+	switch w {
+	case WindowRect:
+		return "rect"
+	case WindowHamming:
+		return "hamming"
+	case WindowHann:
+		return "hann"
+	case WindowBlackman:
+		return "blackman"
+	case WindowBartlett:
+		return "bartlett"
+	default:
+		return "unknown"
+	}
+}
+
+// Window returns the n-point window of the given kind. The window is
+// symmetric (suitable for FIR design). n must be >= 1.
+func Window(kind WindowKind, n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	den := float64(n - 1)
+	for i := 0; i < n; i++ {
+		x := float64(i) / den
+		switch kind {
+		case WindowRect:
+			w[i] = 1
+		case WindowHamming:
+			w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*x)
+		case WindowHann:
+			w[i] = 0.5 - 0.5*math.Cos(2*math.Pi*x)
+		case WindowBlackman:
+			w[i] = 0.42 - 0.5*math.Cos(2*math.Pi*x) + 0.08*math.Cos(4*math.Pi*x)
+		case WindowBartlett:
+			w[i] = 1 - math.Abs(2*x-1)
+		default:
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// ApplyWindow multiplies x by the window of the given kind and returns a new
+// slice.
+func ApplyWindow(kind WindowKind, x []float64) []float64 {
+	w := Window(kind, len(x))
+	return Mul(x, w)
+}

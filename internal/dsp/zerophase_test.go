@@ -1,0 +1,142 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// crossCorrLag returns the lag (in samples) of the peak cross-correlation
+// between a and b over lags -maxLag..maxLag.
+func crossCorrLag(a, b []float64, maxLag int) int {
+	bestLag, best := 0, math.Inf(-1)
+	for lag := -maxLag; lag <= maxLag; lag++ {
+		s := 0.0
+		for i := range a {
+			j := i + lag
+			if j >= 0 && j < len(b) {
+				s += a[i] * b[j]
+			}
+		}
+		if s > best {
+			best = s
+			bestLag = lag
+		}
+	}
+	return bestLag
+}
+
+func TestFiltFiltZeroPhaseSOS(t *testing.T) {
+	sos, err := DesignButterLowPass(4, 20, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sine(10, 250, 2000)
+	y := sos.FiltFilt(x)
+	// Zero-phase: no lag between input and output.
+	if lag := crossCorrLag(x[500:1500], y[500:1500], 10); lag != 0 {
+		t.Errorf("filtfilt lag = %d samples, want 0", lag)
+	}
+	// Compare against causal filtering, which must show the group delay:
+	// the output is delayed, so the peak correlation sits at positive lag.
+	yc := sos.Filter(x)
+	if lag := crossCorrLag(x[500:1500], yc[500:1500], 20); lag <= 0 {
+		t.Errorf("causal filter lag = %d, want positive (delayed output)", lag)
+	}
+}
+
+func TestFiltFiltSquaredMagnitude(t *testing.T) {
+	// Forward-backward filtering applies |H|^2: a tone at the cutoff
+	// (|H| = 1/sqrt2) comes out at amplitude ~0.5.
+	sos, err := DesignButterLowPass(4, 20, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sine(20, 250, 4000)
+	y := sos.FiltFilt(x)
+	r := RMS(y[1000:3000]) / RMS(x[1000:3000])
+	if math.Abs(r-0.5) > 0.02 {
+		t.Errorf("gain at cutoff after filtfilt = %g, want ~0.5", r)
+	}
+}
+
+func TestFiltFiltFIRZeroPhase(t *testing.T) {
+	f, err := DesignBandPass(32, 0.05, 40, 250, WindowHamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sine(10, 250, 2000)
+	y := FiltFiltFIR(f, x)
+	if lag := crossCorrLag(x[500:1500], y[500:1500], 16); lag != 0 {
+		t.Errorf("FIR filtfilt lag = %d, want 0", lag)
+	}
+}
+
+func TestFiltFiltPreservesLength(t *testing.T) {
+	sos, _ := DesignButterLowPass(4, 20, 250)
+	for _, n := range []int{5, 10, 100, 1001} {
+		x := sine(5, 250, n)
+		y := sos.FiltFilt(x)
+		if len(y) != n {
+			t.Errorf("n=%d: output length %d", n, len(y))
+		}
+	}
+	if sos.FiltFilt(nil) != nil {
+		t.Error("nil input should return nil")
+	}
+}
+
+func TestFiltFiltConstantSignal(t *testing.T) {
+	// A DC signal through a unity-DC-gain low-pass must pass unchanged
+	// (edges included, thanks to odd reflection padding).
+	sos, _ := DesignButterLowPass(4, 20, 250)
+	x := make([]float64, 400)
+	for i := range x {
+		x[i] = 3.25
+	}
+	y := sos.FiltFilt(x)
+	for i, v := range y {
+		if math.Abs(v-3.25) > 1e-6 {
+			t.Fatalf("DC not preserved at %d: %g", i, v)
+		}
+	}
+}
+
+func TestOddReflectPad(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := oddReflectPad(x, 2)
+	want := []float64{-1, 0, 1, 2, 3, 4, 5, 6}
+	if len(y) != len(want) {
+		t.Fatalf("len = %d, want %d", len(y), len(want))
+	}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("pad[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestOddReflectPadClampsPad(t *testing.T) {
+	x := []float64{1, 2}
+	y := oddReflectPad(x, 10) // pad is clamped to n-1 = 1
+	if len(y) != 4 {
+		t.Fatalf("len = %d, want 4", len(y))
+	}
+	if y[0] != 0 || y[3] != 3 {
+		t.Errorf("got %v", y)
+	}
+}
+
+func TestFiltFiltRationalForm(t *testing.T) {
+	// FiltFilt with (b, a) form on a simple one-pole filter: check DC
+	// preservation and zero lag.
+	b := []float64{0.25}
+	a := []float64{1, -0.75}
+	x := sine(2, 250, 1500)
+	y := FiltFilt(b, a, x)
+	if len(y) != len(x) {
+		t.Fatalf("length mismatch")
+	}
+	if lag := crossCorrLag(x[300:1200], y[300:1200], 20); lag != 0 {
+		t.Errorf("lag = %d, want 0", lag)
+	}
+}

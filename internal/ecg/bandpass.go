@@ -1,0 +1,42 @@
+package ecg
+
+import "repro/internal/dsp"
+
+// The paper's high-frequency noise and artifact filter: a 32nd-order FIR
+// band-pass with cut-offs 0.05 Hz and 40 Hz applied zero-phase
+// (Section IV-A.1).
+
+// BandPassConfig parameterizes the FIR stage.
+type BandPassConfig struct {
+	FS     float64
+	Order  int     // filter order (taps-1); the paper uses 32
+	LowHz  float64 // lower cut-off; the paper uses 0.05 Hz
+	HighHz float64 // upper cut-off; the paper uses 40 Hz
+	Window dsp.WindowKind
+}
+
+// DefaultBandPass returns the paper's configuration.
+func DefaultBandPass(fs float64) BandPassConfig {
+	return BandPassConfig{FS: fs, Order: 32, LowHz: 0.05, HighHz: 40, Window: dsp.WindowHamming}
+}
+
+// Design builds the FIR filter.
+func (c BandPassConfig) Design() (*dsp.FIR, error) {
+	return dsp.DesignBandPass(c.Order, c.LowHz, c.HighHz, c.FS, c.Window)
+}
+
+// Apply filters x zero-phase with the configured band-pass.
+func (c BandPassConfig) Apply(x []float64) ([]float64, error) {
+	f, err := c.Design()
+	if err != nil {
+		return nil, err
+	}
+	return dsp.FiltFiltFIR(f, x), nil
+}
+
+// Clean runs the full paper ECG conditioning chain: morphological
+// baseline removal followed by the zero-phase FIR band-pass.
+func Clean(x []float64, fs float64) ([]float64, error) {
+	y := RemoveBaseline(x, DefaultBaseline(fs))
+	return DefaultBandPass(fs).Apply(y)
+}

@@ -1,0 +1,289 @@
+package ecg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/physio"
+)
+
+func cleanRecording(t *testing.T, id int, cfg physio.GenConfig) *physio.Recording {
+	t.Helper()
+	s, ok := physio.SubjectByID(id)
+	if !ok {
+		t.Fatalf("no subject %d", id)
+	}
+	return s.Generate(cfg)
+}
+
+func TestEstimateBaselineTracksDrift(t *testing.T) {
+	// A pure slow drift must be recovered almost exactly.
+	fs := 250.0
+	n := 5000
+	drift := make([]float64, n)
+	for i := range drift {
+		drift[i] = 0.8 * math.Sin(2*math.Pi*0.2*float64(i)/fs)
+	}
+	est := EstimateBaseline(drift, DefaultBaseline(fs))
+	if e := dsp.RMSE(est[500:n-500], drift[500:n-500]); e > 0.15 {
+		t.Errorf("baseline rmse on pure drift = %g", e)
+	}
+}
+
+func TestRemoveBaselinePreservesQRS(t *testing.T) {
+	s, _ := physio.SubjectByID(1)
+	cfg := physio.DefaultGenConfig()
+	cfg.ECGBaselineDrift = 0
+	cfg.ECGNoiseStd = 0
+	cfg.PowerlineAmp = 0
+	clean := s.Generate(cfg)
+
+	cfg2 := cfg
+	cfg2.ECGBaselineDrift = 0.5
+	s2, _ := physio.SubjectByID(1)
+	drifted := s2.Generate(cfg2)
+
+	corrected := RemoveBaseline(drifted.ECG, DefaultBaseline(250))
+	// After correction the signal should be much closer to the clean one
+	// than before.
+	before := dsp.RMSE(drifted.ECG, clean.ECG)
+	after := dsp.RMSE(corrected, clean.ECG)
+	if after >= before/2 {
+		t.Errorf("baseline removal weak: before=%g after=%g", before, after)
+	}
+	// R-peak amplitudes must survive: check each annotated R value.
+	for _, r := range clean.Truth.RPeaks {
+		if corrected[r] < 0.6 {
+			t.Errorf("R peak at %d flattened to %g", r, corrected[r])
+		}
+	}
+}
+
+func TestNaiveAndDequeBaselineAgree(t *testing.T) {
+	s, _ := physio.SubjectByID(2)
+	rec := s.Generate(physio.DefaultGenConfig())
+	cfg := DefaultBaseline(250)
+	fast := EstimateBaseline(rec.ECG, cfg)
+	cfg.Naive = true
+	naive := EstimateBaseline(rec.ECG, cfg)
+	for i := range fast {
+		if fast[i] != naive[i] {
+			t.Fatalf("engines disagree at %d", i)
+		}
+	}
+}
+
+func TestBandPassRemovesPowerline(t *testing.T) {
+	fs := 250.0
+	n := 4096
+	sig := make([]float64, n)
+	for i := range sig {
+		ti := float64(i) / fs
+		sig[i] = math.Sin(2*math.Pi*10*ti) + 0.5*math.Sin(2*math.Pi*50*ti)
+	}
+	out, err := DefaultBandPass(fs).Apply(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50before := dsp.BandPower(sig, fs, 48, 52)
+	p50after := dsp.BandPower(out, fs, 48, 52)
+	if p50after > 0.35*p50before {
+		t.Errorf("50 Hz power only reduced from %g to %g", p50before, p50after)
+	}
+	// 10 Hz content survives. Note the forward-backward application
+	// squares the magnitude response, and with only 33 taps the gain at
+	// 10 Hz is ~0.77, so ~0.6 amplitude (0.36 power) is the faithful
+	// passband behaviour of the paper's filter.
+	p10before := dsp.BandPower(sig, fs, 8, 12)
+	p10after := dsp.BandPower(out, fs, 8, 12)
+	if p10after < 0.3*p10before {
+		t.Errorf("10 Hz content lost: %g -> %g", p10before, p10after)
+	}
+	// And 50 Hz must be attenuated much more strongly than 10 Hz.
+	if p50after/p50before > 0.5*(p10after/p10before) {
+		t.Error("50 Hz not preferentially attenuated")
+	}
+}
+
+func TestCleanChain(t *testing.T) {
+	rec := cleanRecording(t, 1, physio.DefaultGenConfig())
+	out, err := Clean(rec.ECG, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(rec.ECG) {
+		t.Fatal("length changed")
+	}
+	if dsp.HasNaN(out) {
+		t.Fatal("NaN in cleaned ECG")
+	}
+	// Drift strongly attenuated.
+	if p := dsp.BandPower(out, 250, 0.05, 0.4); p > 0.5*dsp.BandPower(rec.ECG, 250, 0.05, 0.4) {
+		t.Error("baseline band not attenuated")
+	}
+}
+
+func TestDetectQRSCleanSignal(t *testing.T) {
+	for _, id := range []int{1, 2, 3, 4, 5} {
+		rec := cleanRecording(t, id, physio.DefaultGenConfig())
+		cond, err := Clean(rec.ECG, 250)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := DetectQRS(cond, DefaultPT(250))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := int(0.04 * 250) // 40 ms
+		tp, fp, fn := MatchPeaks(res.RPeaks, rec.Truth.RPeaks, tol)
+		se := Sensitivity(tp, fn)
+		ppv := PPV(tp, fp)
+		if se < 0.99 {
+			t.Errorf("subject %d: sensitivity = %.4f (tp=%d fn=%d)", id, se, tp, fn)
+		}
+		if ppv < 0.99 {
+			t.Errorf("subject %d: PPV = %.4f (tp=%d fp=%d)", id, ppv, tp, fp)
+		}
+	}
+}
+
+func TestDetectQRSRefinedPeaksAligned(t *testing.T) {
+	rec := cleanRecording(t, 3, physio.DefaultGenConfig())
+	cond, _ := Clean(rec.ECG, 250)
+	res, err := DetectQRS(cond, DefaultPT(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refined peaks should be within ~2 samples (8 ms) of the truth:
+	// PEP depends on this accuracy.
+	tol := 3
+	matched := 0
+	for _, tr := range rec.Truth.RPeaks {
+		for _, d := range res.RPeaks {
+			diff := d - tr
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff <= tol {
+				matched++
+				break
+			}
+		}
+	}
+	if frac := float64(matched) / float64(len(rec.Truth.RPeaks)); frac < 0.95 {
+		t.Errorf("only %.2f of R peaks within %d samples", frac, tol)
+	}
+}
+
+func TestDetectQRSNoisySignal(t *testing.T) {
+	cfg := physio.DefaultGenConfig()
+	cfg.ECGNoiseStd = 0.05
+	cfg.ECGBaselineDrift = 0.4
+	cfg.PowerlineAmp = 0.1
+	cfg.MotionBurstRate = 2
+	cfg.MotionBurstAmp = 0.3
+	rec := cleanRecording(t, 4, cfg)
+	cond, _ := Clean(rec.ECG, 250)
+	res, err := DetectQRS(cond, DefaultPT(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, fp, fn := MatchPeaks(res.RPeaks, rec.Truth.RPeaks, 13)
+	if se := Sensitivity(tp, fn); se < 0.93 {
+		t.Errorf("noisy sensitivity = %.3f", se)
+	}
+	if ppv := PPV(tp, fp); ppv < 0.93 {
+		t.Errorf("noisy PPV = %.3f", ppv)
+	}
+}
+
+func TestDetectQRSTooShort(t *testing.T) {
+	if _, err := DetectQRS(make([]float64, 10), DefaultPT(250)); err != ErrTooShort {
+		t.Errorf("err = %v, want ErrTooShort", err)
+	}
+}
+
+func TestDetectQRSFlatline(t *testing.T) {
+	res, err := DetectQRS(make([]float64, 5000), DefaultPT(250))
+	if err != nil {
+		t.Fatalf("flatline should not error: %v", err)
+	}
+	if len(res.RPeaks) > 2 {
+		t.Errorf("flatline produced %d peaks", len(res.RPeaks))
+	}
+}
+
+func TestRRAndHR(t *testing.T) {
+	fs := 250.0
+	rPeaks := []int{0, 250, 500, 750} // exactly 1 s apart -> 60 bpm
+	rr := RRIntervals(rPeaks, fs)
+	if len(rr) != 3 {
+		t.Fatal("rr count")
+	}
+	for _, v := range rr {
+		if math.Abs(v-1) > 1e-12 {
+			t.Errorf("rr = %g", v)
+		}
+	}
+	if hr := MeanHR(rPeaks, fs); math.Abs(hr-60) > 1e-9 {
+		t.Errorf("hr = %g", hr)
+	}
+	if RRIntervals([]int{5}, fs) != nil {
+		t.Error("single peak should give nil")
+	}
+	if MeanHR(nil, fs) != 0 {
+		t.Error("empty should be 0")
+	}
+}
+
+func TestMatchPeaksAccounting(t *testing.T) {
+	truth := []int{100, 200, 300}
+	det := []int{101, 205, 400}
+	tp, fp, fn := MatchPeaks(det, truth, 10)
+	if tp != 2 || fp != 1 || fn != 1 {
+		t.Errorf("tp=%d fp=%d fn=%d", tp, fp, fn)
+	}
+	if Sensitivity(0, 0) != 0 || PPV(0, 0) != 0 {
+		t.Error("empty guards")
+	}
+}
+
+func TestTPeakLocalization(t *testing.T) {
+	s, _ := physio.SubjectByID(1)
+	cfg := physio.DefaultGenConfig()
+	cfg.ECGBaselineDrift = 0
+	cfg.ECGNoiseStd = 0
+	cfg.PowerlineAmp = 0
+	rec := s.Generate(cfg)
+	tPeaks := TPeaksForBeats(rec.ECG, rec.Truth.RPeaks, 250)
+	// The synthetic T apex sits at ~0.30*sqrt(RR) after R.
+	okCount := 0
+	for i, r := range rec.Truth.RPeaks {
+		if tPeaks[i] < 0 {
+			continue
+		}
+		rr := 0.8
+		if i < len(rec.Truth.RR) {
+			rr = rec.Truth.RR[i]
+		}
+		want := r + int(physio.TPeakOffset(rr)*250)
+		d := tPeaks[i] - want
+		if d < 0 {
+			d = -d
+		}
+		if d <= int(0.06*250) {
+			okCount++
+		}
+	}
+	if frac := float64(okCount) / float64(len(rec.Truth.RPeaks)); frac < 0.9 {
+		t.Errorf("T peaks within 60 ms: %.2f", frac)
+	}
+}
+
+func TestTPeakDegenerate(t *testing.T) {
+	x := make([]float64, 100)
+	if got := TPeak(x, 95, 0.8, 250); got != -1 {
+		t.Errorf("window beyond end should return -1, got %d", got)
+	}
+}

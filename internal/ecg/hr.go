@@ -1,0 +1,92 @@
+package ecg
+
+import "repro/internal/dsp"
+
+// Heart-rate utilities on detected R peaks. The paper computes HR from
+// the ECG acquired by the device (Section V, Fig 9).
+
+// RRIntervals converts R-peak indices into RR intervals in seconds.
+func RRIntervals(rPeaks []int, fs float64) []float64 {
+	if len(rPeaks) < 2 || fs <= 0 {
+		return nil
+	}
+	rr := make([]float64, len(rPeaks)-1)
+	for i := 1; i < len(rPeaks); i++ {
+		rr[i-1] = float64(rPeaks[i]-rPeaks[i-1]) / fs
+	}
+	return rr
+}
+
+// HeartRateSeries converts R peaks into per-beat instantaneous heart rate
+// (bpm).
+func HeartRateSeries(rPeaks []int, fs float64) []float64 {
+	rr := RRIntervals(rPeaks, fs)
+	hr := make([]float64, len(rr))
+	for i, v := range rr {
+		if v > 0 {
+			hr[i] = 60 / v
+		}
+	}
+	return hr
+}
+
+// MeanHR returns the average heart rate in bpm over the detected beats.
+func MeanHR(rPeaks []int, fs float64) float64 {
+	hr := HeartRateSeries(rPeaks, fs)
+	if len(hr) == 0 {
+		return 0
+	}
+	return dsp.Mean(hr)
+}
+
+// MatchPeaks compares detected R peaks against a reference annotation with
+// the given tolerance (samples) and returns true positives, false
+// positives and false negatives. Each reference peak matches at most one
+// detection.
+func MatchPeaks(detected, truth []int, tol int) (tp, fp, fn int) {
+	used := make([]bool, len(detected))
+	for _, tr := range truth {
+		found := false
+		for i, d := range detected {
+			if used[i] {
+				continue
+			}
+			diff := d - tr
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff <= tol {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if found {
+			tp++
+		} else {
+			fn++
+		}
+	}
+	for _, u := range used {
+		if !u {
+			fp++
+		}
+	}
+	return tp, fp, fn
+}
+
+// Sensitivity returns tp/(tp+fn), guarding empty inputs.
+func Sensitivity(tp, fn int) float64 {
+	if tp+fn == 0 {
+		return 0
+	}
+	return float64(tp) / float64(tp+fn)
+}
+
+// PPV returns tp/(tp+fp), guarding empty inputs.
+func PPV(tp, fp int) float64 {
+	if tp+fp == 0 {
+		return 0
+	}
+	return float64(tp) / float64(tp+fp)
+}

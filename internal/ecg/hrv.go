@@ -1,0 +1,94 @@
+package ecg
+
+import (
+	"math"
+
+	"repro/internal/dsp"
+)
+
+// Heart-rate-variability metrics over the detected RR series. The paper's
+// introduction lists irregular heartbeat among the CHF symptoms; HRV
+// indices are the standard way to quantify it from the same R peaks the
+// pipeline already produces.
+
+// HRV bundles the classic time-domain indices.
+type HRV struct {
+	MeanRR float64 // mean RR interval (s)
+	SDNN   float64 // standard deviation of RR intervals (s)
+	RMSSD  float64 // root mean square of successive differences (s)
+	PNN50  float64 // fraction of successive differences > 50 ms
+	Beats  int
+}
+
+// ComputeHRV derives time-domain HRV from R peaks.
+func ComputeHRV(rPeaks []int, fs float64) HRV {
+	rr := RRIntervals(rPeaks, fs)
+	if len(rr) == 0 {
+		return HRV{}
+	}
+	h := HRV{MeanRR: dsp.Mean(rr), SDNN: dsp.Std(rr), Beats: len(rr)}
+	if len(rr) < 2 {
+		return h
+	}
+	var sumSq float64
+	over := 0
+	for i := 1; i < len(rr); i++ {
+		d := rr[i] - rr[i-1]
+		sumSq += d * d
+		if math.Abs(d) > 0.050 {
+			over++
+		}
+	}
+	h.RMSSD = math.Sqrt(sumSq / float64(len(rr)-1))
+	h.PNN50 = float64(over) / float64(len(rr)-1)
+	return h
+}
+
+// SpectralHRV carries the frequency-domain balance of the tachogram.
+type SpectralHRV struct {
+	LF   float64 // power in 0.04-0.15 Hz
+	HF   float64 // power in 0.15-0.40 Hz
+	LFHF float64 // sympathovagal balance
+}
+
+// ComputeSpectralHRV estimates LF/HF power by resampling the RR series to
+// 4 Hz and integrating its spectrum (the standard short-term protocol).
+func ComputeSpectralHRV(rPeaks []int, fs float64) SpectralHRV {
+	rr := RRIntervals(rPeaks, fs)
+	if len(rr) < 8 {
+		return SpectralHRV{}
+	}
+	// Beat times and linear resampling of RR(t) onto a uniform 4 Hz grid.
+	times := make([]float64, len(rr))
+	t := 0.0
+	for i, v := range rr {
+		t += v
+		times[i] = t
+	}
+	const fsT = 4.0
+	dur := times[len(times)-1]
+	n := int(dur * fsT)
+	if n < 16 {
+		return SpectralHRV{}
+	}
+	uniform := make([]float64, n)
+	j := 0
+	for i := 0; i < n; i++ {
+		ti := float64(i) / fsT
+		for j+1 < len(times) && times[j] < ti {
+			j++
+		}
+		uniform[i] = rr[j]
+	}
+	mean := dsp.Mean(uniform)
+	for i := range uniform {
+		uniform[i] -= mean
+	}
+	lf := dsp.BandPower(uniform, fsT, 0.04, 0.15)
+	hf := dsp.BandPower(uniform, fsT, 0.15, 0.40)
+	out := SpectralHRV{LF: lf, HF: hf}
+	if hf > 0 {
+		out.LFHF = lf / hf
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package ecg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/physio"
+)
+
+func TestComputeHRVRegularRhythm(t *testing.T) {
+	// Perfectly regular 1 s RR: SDNN = RMSSD = pNN50 = 0.
+	fs := 250.0
+	peaks := []int{0, 250, 500, 750, 1000}
+	h := ComputeHRV(peaks, fs)
+	if math.Abs(h.MeanRR-1) > 1e-12 {
+		t.Errorf("mean RR = %g", h.MeanRR)
+	}
+	if h.SDNN != 0 || h.RMSSD != 0 || h.PNN50 != 0 {
+		t.Errorf("regular rhythm should have zero variability: %+v", h)
+	}
+	if h.Beats != 4 {
+		t.Errorf("beats = %d", h.Beats)
+	}
+}
+
+func TestComputeHRVAlternans(t *testing.T) {
+	// RR alternating 0.9/1.1 s: every successive difference is 200 ms.
+	fs := 1000.0
+	peaks := []int{0, 900, 2000, 2900, 4000, 4900}
+	h := ComputeHRV(peaks, fs)
+	if math.Abs(h.MeanRR-0.98) > 1e-9 {
+		t.Errorf("mean RR = %g", h.MeanRR)
+	}
+	if h.PNN50 != 1 {
+		t.Errorf("pNN50 = %g, want 1", h.PNN50)
+	}
+	if math.Abs(h.RMSSD-0.2) > 1e-9 {
+		t.Errorf("RMSSD = %g, want 0.2", h.RMSSD)
+	}
+}
+
+func TestComputeHRVEmpty(t *testing.T) {
+	if h := ComputeHRV(nil, 250); h.Beats != 0 {
+		t.Error("empty input")
+	}
+	if h := ComputeHRV([]int{10, 260}, 250); h.RMSSD != 0 {
+		t.Error("single interval has no successive differences")
+	}
+}
+
+func TestComputeHRVOnSyntheticSubject(t *testing.T) {
+	// The synthesized tachogram has configured variability; detected HRV
+	// should land in the same ballpark as the ground truth RR std.
+	s, _ := physio.SubjectByID(3)
+	cfg := physio.DefaultGenConfig()
+	cfg.Duration = 60
+	rec := s.Generate(cfg)
+	h := ComputeHRV(rec.Truth.RPeaks, rec.FS)
+	if math.Abs(h.MeanRR-s.MeanRR()) > 0.05 {
+		t.Errorf("mean RR = %g, subject %g", h.MeanRR, s.MeanRR())
+	}
+	if h.SDNN < s.HRStd/2 || h.SDNN > s.HRStd*2 {
+		t.Errorf("SDNN = %g, configured %g", h.SDNN, s.HRStd)
+	}
+}
+
+func TestSpectralHRVBalance(t *testing.T) {
+	// A subject generated with high LF/HF should show LF-dominant
+	// spectral HRV and vice versa.
+	mk := func(lfhf float64) SpectralHRV {
+		rng := physio.NewRNG(11)
+		cfg := physio.TachogramConfig{MeanRR: 0.8, StdRR: 0.05, LFHF: lfhf}
+		rr := physio.RRTachogram(rng, cfg, 512)
+		peaks := make([]int, len(rr)+1)
+		tAcc := 0.0
+		for i, v := range rr {
+			tAcc += v
+			peaks[i+1] = int(tAcc * 250)
+		}
+		return ComputeSpectralHRV(peaks, 250)
+	}
+	hi := mk(5)
+	lo := mk(0.2)
+	if hi.LFHF <= lo.LFHF {
+		t.Errorf("LF/HF ordering broken: %g vs %g", hi.LFHF, lo.LFHF)
+	}
+}
+
+func TestSpectralHRVDegenerate(t *testing.T) {
+	if got := ComputeSpectralHRV([]int{0, 250}, 250); got.LF != 0 || got.HF != 0 {
+		t.Error("too few beats should give zeros")
+	}
+}

@@ -1,0 +1,23 @@
+package ecg
+
+import "repro/internal/dsp"
+
+// DetectQRSNaive is the fixed-threshold baseline detector used by the
+// ablation benches: peaks above a fraction of the global maximum with a
+// refractory period, no adaptation, no search-back, no T-wave
+// discrimination. It works on clean signals and degrades under drift and
+// amplitude variation — quantifying what the Pan-Tompkins machinery buys.
+func DetectQRSNaive(x []float64, fs, thresholdFrac float64) []int {
+	if len(x) < int(fs) {
+		return nil
+	}
+	if thresholdFrac <= 0 || thresholdFrac >= 1 {
+		thresholdFrac = 0.5
+	}
+	_, hi := dsp.MinMax(x)
+	if hi <= 0 {
+		return nil
+	}
+	refractory := int(0.2 * fs)
+	return dsp.FindPeaks(x, hi*thresholdFrac, refractory)
+}

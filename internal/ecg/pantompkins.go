@@ -1,0 +1,277 @@
+package ecg
+
+import (
+	"errors"
+
+	"repro/internal/dsp"
+)
+
+// Pan-Tompkins QRS detection (Pan & Tompkins, IEEE TBME 1985), the
+// detector the paper uses to anchor its beat-to-beat ICG analysis
+// (Section IV-C). The implementation follows the original stages —
+// band-pass, derivative, squaring, moving-window integration, dual
+// adaptive thresholds with search-back and T-wave discrimination — in a
+// sampling-rate-generic form.
+
+// PTConfig parameterizes the detector.
+type PTConfig struct {
+	FS          float64
+	BandLow     float64 // QRS band lower edge (Hz), default 5
+	BandHigh    float64 // QRS band upper edge (Hz), default 15
+	WindowMs    float64 // moving integration window (ms), default 150
+	RefractMs   float64 // refractory period (ms), default 200
+	TWaveMs     float64 // T-wave discrimination window (ms), default 360
+	SearchBack  bool    // enable missed-beat search-back
+	RefineOnRaw bool    // refine R locations on the conditioned ECG
+}
+
+// DefaultPT returns the classic configuration.
+func DefaultPT(fs float64) PTConfig {
+	return PTConfig{
+		FS: fs, BandLow: 5, BandHigh: 15,
+		WindowMs: 150, RefractMs: 200, TWaveMs: 360,
+		SearchBack: true, RefineOnRaw: true,
+	}
+}
+
+// Result carries the detection output.
+type Result struct {
+	RPeaks     []int     // R-peak sample indices (refined)
+	Integrated []float64 // moving-window-integrated feature signal
+	Filtered   []float64 // band-passed ECG used by the detector
+	SearchBack int       // beats recovered by search-back
+	TWavesVeto int       // candidates rejected as T waves
+}
+
+// ErrTooShort is returned for signals shorter than the detector warm-up.
+var ErrTooShort = errors.New("ecg: signal too short for QRS detection")
+
+// DetectQRS runs Pan-Tompkins on a conditioned ECG.
+func DetectQRS(x []float64, cfg PTConfig) (*Result, error) {
+	fs := cfg.FS
+	if fs <= 0 {
+		fs = 250
+	}
+	if len(x) < int(fs) {
+		return nil, ErrTooShort
+	}
+	if cfg.BandLow == 0 {
+		cfg.BandLow = 5
+	}
+	if cfg.BandHigh == 0 {
+		cfg.BandHigh = 15
+	}
+	if cfg.WindowMs == 0 {
+		cfg.WindowMs = 150
+	}
+	if cfg.RefractMs == 0 {
+		cfg.RefractMs = 200
+	}
+	if cfg.TWaveMs == 0 {
+		cfg.TWaveMs = 360
+	}
+
+	// Stage 1: band-pass to the QRS band.
+	sos, err := dsp.DesignButterBandPass(2, cfg.BandLow, cfg.BandHigh, fs)
+	if err != nil {
+		return nil, err
+	}
+	filtered := sos.Filter(x)
+
+	// Stage 2: five-point derivative.
+	deriv := fivePointDerivative(filtered, fs)
+
+	// Stage 3: squaring.
+	squared := make([]float64, len(deriv))
+	for i, v := range deriv {
+		squared[i] = v * v
+	}
+
+	// Stage 4: moving-window integration (causal).
+	win := int(cfg.WindowMs / 1000 * fs)
+	if win < 1 {
+		win = 1
+	}
+	integrated := causalMovingAverage(squared, win)
+
+	// Stage 5: adaptive thresholding on the integrated signal.
+	res := &Result{Integrated: integrated, Filtered: filtered}
+	refractory := int(cfg.RefractMs / 1000 * fs)
+	tWaveWin := int(cfg.TWaveMs / 1000 * fs)
+
+	peaks := dsp.FindPeaks(integrated, 0, refractory)
+	if len(peaks) == 0 {
+		return res, nil
+	}
+
+	// Initialize thresholds from the first two seconds.
+	initWin := int(2 * fs)
+	if initWin > len(integrated) {
+		initWin = len(integrated)
+	}
+	_, maxInit := dsp.MinMax(integrated[:initWin])
+	spki := 0.25 * maxInit // running signal-peak estimate
+	npki := 0.5 * dsp.Mean(integrated[:initWin])
+	threshold1 := npki + 0.25*(spki-npki)
+
+	var qrs []int
+	var rrIntervals []float64
+	lastQRS := -refractory
+	lastSlope := 0.0
+
+	acceptPeak := func(p int) {
+		if len(qrs) > 0 {
+			rrIntervals = append(rrIntervals, float64(p-lastQRS)/fs)
+			if len(rrIntervals) > 8 {
+				rrIntervals = rrIntervals[1:]
+			}
+		}
+		qrs = append(qrs, p)
+		lastQRS = p
+		lastSlope = maxSlopeAround(filtered, p, int(0.075*fs))
+	}
+
+	for _, p := range peaks {
+		pk := integrated[p]
+		if p-lastQRS < refractory {
+			npki = 0.125*pk + 0.875*npki
+			threshold1 = npki + 0.25*(spki-npki)
+			continue
+		}
+		if pk > threshold1 {
+			// T-wave discrimination: a candidate close to the previous
+			// QRS with less than half its slope is a T wave.
+			if len(qrs) > 0 && p-lastQRS < tWaveWin {
+				slope := maxSlopeAround(filtered, p, int(0.075*fs))
+				if slope < 0.5*lastSlope {
+					res.TWavesVeto++
+					npki = 0.125*pk + 0.875*npki
+					threshold1 = npki + 0.25*(spki-npki)
+					continue
+				}
+			}
+			acceptPeak(p)
+			spki = 0.125*pk + 0.875*spki
+		} else {
+			npki = 0.125*pk + 0.875*npki
+		}
+		threshold1 = npki + 0.25*(spki-npki)
+
+		// Search-back: if no QRS for 1.66x the average RR, accept the
+		// largest peak above half threshold inside the gap.
+		if cfg.SearchBack && len(rrIntervals) >= 2 && len(qrs) > 0 {
+			avgRR := dsp.Mean(rrIntervals)
+			if float64(p-lastQRS)/fs > 1.66*avgRR {
+				lo := lastQRS + refractory
+				hi := p
+				best, bestV := -1, threshold1*0.5
+				for _, q := range peaks {
+					if q <= lo || q >= hi {
+						continue
+					}
+					if integrated[q] > bestV {
+						best, bestV = q, integrated[q]
+					}
+				}
+				if best > 0 {
+					// Insert in order.
+					acceptPeakInOrder(&qrs, best)
+					lastQRS = qrs[len(qrs)-1]
+					spki = 0.25*integrated[best] + 0.75*spki
+					res.SearchBack++
+				}
+			}
+		}
+	}
+
+	// Refine R locations on the conditioned input: the integrated signal
+	// lags by roughly half the integration window plus filter delay.
+	if cfg.RefineOnRaw {
+		half := int(0.10 * fs)
+		for i, p := range qrs {
+			lo := p - win - half
+			hi := p + half
+			if m := dsp.ArgMax(x, lo, hi); m >= 0 {
+				qrs[i] = m
+			}
+		}
+		qrs = dedupeSorted(qrs, refractory)
+	}
+	res.RPeaks = qrs
+	return res, nil
+}
+
+// fivePointDerivative implements the Pan-Tompkins derivative
+// y(n) = (2x(n) + x(n-1) - x(n-3) - 2x(n-4)) / 8 * fs.
+func fivePointDerivative(x []float64, fs float64) []float64 {
+	n := len(x)
+	y := make([]float64, n)
+	for i := 4; i < n; i++ {
+		y[i] = (2*x[i] + x[i-1] - x[i-3] - 2*x[i-4]) / 8 * fs
+	}
+	return y
+}
+
+// causalMovingAverage averages the last win samples.
+func causalMovingAverage(x []float64, win int) []float64 {
+	n := len(x)
+	y := make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += x[i]
+		if i >= win {
+			acc -= x[i-win]
+		}
+		den := win
+		if i+1 < win {
+			den = i + 1
+		}
+		y[i] = acc / float64(den)
+	}
+	return y
+}
+
+// maxSlopeAround returns the maximum absolute first difference of x in a
+// window of +-r samples around p.
+func maxSlopeAround(x []float64, p, r int) float64 {
+	lo := dsp.ClampInt(p-r, 1, len(x)-1)
+	hi := dsp.ClampInt(p+r, 1, len(x)-1)
+	best := 0.0
+	for i := lo; i <= hi; i++ {
+		d := x[i] - x[i-1]
+		if d < 0 {
+			d = -d
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// acceptPeakInOrder inserts p into the sorted slice qrs.
+func acceptPeakInOrder(qrs *[]int, p int) {
+	s := *qrs
+	i := len(s)
+	for i > 0 && s[i-1] > p {
+		i--
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = p
+	*qrs = s
+}
+
+// dedupeSorted removes peaks closer than minDist, keeping the first.
+func dedupeSorted(qrs []int, minDist int) []int {
+	if len(qrs) == 0 {
+		return qrs
+	}
+	out := qrs[:1]
+	for _, p := range qrs[1:] {
+		if p-out[len(out)-1] >= minDist {
+			out = append(out, p)
+		}
+	}
+	return out
+}

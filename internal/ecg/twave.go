@@ -1,0 +1,53 @@
+package ecg
+
+import "repro/internal/dsp"
+
+// T-wave localization. The Carvalho et al. X-point variant searches the
+// ICG minimum inside [RT, 1.75*RT], where RT is the R-to-T interval; the
+// paper notes that the end of the T wave is an unreliable marker, which is
+// exactly why it replaces this rule (Section IV-C). Both variants are
+// implemented; this file provides the T peak the baseline variant needs.
+
+// TPeak locates the T-wave apex after the R peak at rIdx: the maximum of
+// the low-pass-filtered ECG inside the physiological T window
+// [0.12 s, min(0.55*RR, 0.45 s)] after R.
+func TPeak(x []float64, rIdx int, rr, fs float64) int {
+	if rr <= 0 {
+		rr = 0.8
+	}
+	lo := rIdx + int(0.12*fs)
+	hiOff := 0.55 * rr
+	if hiOff > 0.45 {
+		hiOff = 0.45
+	}
+	hi := rIdx + int(hiOff*fs)
+	if hi > len(x) {
+		hi = len(x)
+	}
+	if lo >= hi {
+		return -1
+	}
+	return dsp.ArgMax(x, lo, hi)
+}
+
+// TPeaksForBeats locates T peaks for every detected beat. The input
+// should be the conditioned ECG; a 10 Hz zero-phase low-pass isolates the
+// T wave from QRS residue. Returns -1 where no T wave was found.
+func TPeaksForBeats(x []float64, rPeaks []int, fs float64) []int {
+	sos, err := dsp.DesignButterLowPass(4, 10, fs)
+	sm := x
+	if err == nil {
+		sm = sos.FiltFilt(x)
+	}
+	out := make([]int, len(rPeaks))
+	for i, r := range rPeaks {
+		rr := 0.8
+		if i+1 < len(rPeaks) {
+			rr = float64(rPeaks[i+1]-r) / fs
+		} else if i > 0 {
+			rr = float64(r-rPeaks[i-1]) / fs
+		}
+		out[i] = TPeak(sm, r, rr, fs)
+	}
+	return out
+}

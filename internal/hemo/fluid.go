@@ -1,0 +1,100 @@
+package hemo
+
+// Thoracic fluid status classification. The introduction of the paper
+// motivates the device with early CHF-decompensation detection: fluid
+// accumulates in the thoracic cavity, Z0 falls and TFC = 1000/Z0 rises.
+// The bands below follow the impedance-cardiography literature for adult
+// TFC (1/kOhm).
+
+// FluidStatus grades the thoracic fluid content.
+type FluidStatus int
+
+// Fluid status grades.
+const (
+	FluidLow      FluidStatus = iota // dehydration range
+	FluidNormal                      // euvolemic
+	FluidElevated                    // trending toward congestion
+	FluidHigh                        // decompensation range
+)
+
+// String names the grade.
+func (f FluidStatus) String() string {
+	switch f {
+	case FluidLow:
+		return "low"
+	case FluidNormal:
+		return "normal"
+	case FluidElevated:
+		return "elevated"
+	case FluidHigh:
+		return "high"
+	default:
+		return "unknown"
+	}
+}
+
+// TFC classification thresholds (1/kOhm).
+const (
+	tfcLow      = 20.0
+	tfcElevated = 35.0
+	tfcHigh     = 45.0
+)
+
+// ClassifyTFC grades a thoracic fluid content value.
+func ClassifyTFC(tfc float64) FluidStatus {
+	switch {
+	case tfc < tfcLow:
+		return FluidLow
+	case tfc < tfcElevated:
+		return FluidNormal
+	case tfc < tfcHigh:
+		return FluidElevated
+	default:
+		return FluidHigh
+	}
+}
+
+// FluidTrend summarizes a TFC time series (one sample per day, typically).
+type FluidTrend struct {
+	Status    FluidStatus // grade of the latest measurement
+	SlopePerN float64     // TFC change per sample (linear fit)
+	Alert     bool        // sustained accumulation detected
+}
+
+// AssessFluidTrend classifies the latest value and flags a sustained
+// upward trend (slope above minSlope per sample over at least minN
+// samples).
+func AssessFluidTrend(tfcs []float64, minSlope float64, minN int) FluidTrend {
+	tr := FluidTrend{}
+	if len(tfcs) == 0 {
+		return tr
+	}
+	tr.Status = ClassifyTFC(tfcs[len(tfcs)-1])
+	if tr.Status == FluidHigh {
+		tr.Alert = true
+	}
+	if len(tfcs) < 2 {
+		return tr
+	}
+	// Least-squares slope.
+	n := float64(len(tfcs))
+	var sx, sy, sxx, sxy float64
+	for i, v := range tfcs {
+		x := float64(i)
+		sx += x
+		sy += v
+		sxx += x * x
+		sxy += x * v
+	}
+	den := n*sxx - sx*sx
+	if den != 0 {
+		tr.SlopePerN = (n*sxy - sx*sy) / den
+	}
+	if len(tfcs) >= minN && tr.SlopePerN >= minSlope {
+		tr.Alert = true
+	}
+	if tr.Status == FluidHigh {
+		tr.Alert = true
+	}
+	return tr
+}

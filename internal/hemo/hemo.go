@@ -1,0 +1,243 @@
+// Package hemo estimates hemodynamic parameters from the detected ICG
+// characteristic points, following Section IV-B of the paper: the systolic
+// time intervals LVET (B to X) and PEP (ECG R to ICG B), heart rate, and —
+// via the Kubicek and Sramek-Bernstein formulas the paper cites [25, 26] —
+// stroke volume and cardiac output. The thoracic fluid content (TFC)
+// completes the CHF-monitoring parameter set motivated in the
+// introduction.
+package hemo
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/icg"
+)
+
+// BodyConstants carries the anthropometric constants of the stroke-volume
+// formulas.
+type BodyConstants struct {
+	BloodResistivity float64 // rho, Ohm*cm (classically 135)
+	ElectrodeDist    float64 // L, cm: distance between voltage electrodes
+	Height           float64 // subject height (cm) for Sramek-Bernstein
+}
+
+// DefaultBody returns textbook constants for an adult male.
+func DefaultBody() BodyConstants {
+	return BodyConstants{BloodResistivity: 135, ElectrodeDist: 30, Height: 178}
+}
+
+// KubicekSV computes stroke volume (mL) from the Kubicek formula:
+// SV = rho * (L/Z0)^2 * LVET * (dZ/dt)max.
+func KubicekSV(b BodyConstants, z0, lvet, dzdtMax float64) float64 {
+	if z0 <= 0 {
+		return 0
+	}
+	ratio := b.ElectrodeDist / z0
+	return b.BloodResistivity * ratio * ratio * lvet * dzdtMax
+}
+
+// SramekSV computes stroke volume (mL) from the Sramek-Bernstein formula:
+// SV = ((0.17*H)^3 / 4.25) * (dZ/dt)max / Z0 * LVET.
+func SramekSV(b BodyConstants, z0, lvet, dzdtMax float64) float64 {
+	if z0 <= 0 {
+		return 0
+	}
+	vept := math.Pow(0.17*b.Height, 3) / 4.25 // volume of electrically participating tissue
+	return vept * dzdtMax / z0 * lvet
+}
+
+// TFC returns the thoracic fluid content 1000/Z0 (1/kOhm), the fluid
+// status indicator used for CHF decompensation monitoring.
+func TFC(z0 float64) float64 {
+	if z0 <= 0 {
+		return 0
+	}
+	return 1000 / z0
+}
+
+// Calibration maps touch-path (hand-to-hand) measurements onto the
+// thoracic quantities the stroke-volume formulas were derived for: the
+// hand-to-hand base impedance is dominated by the arms and contacts, and
+// only a fraction of the thoracic dZ/dt couples into the finger
+// measurement. A per-device calibration against a reference system (the
+// comparison the paper lists as future work) yields the two constants.
+type Calibration struct {
+	Z0Scale   float64 // measured Z0 -> equivalent thoracic Z0
+	DZdtScale float64 // measured (dZ/dt)max -> equivalent thoracic value
+}
+
+// IdentityCal is the calibration of a direct thoracic measurement.
+func IdentityCal() Calibration { return Calibration{Z0Scale: 1, DZdtScale: 1} }
+
+// TouchCal returns the default hand-to-hand calibration of the simulated
+// device: the body model's thorax/arm geometry puts the thoracic share of
+// the touch-path impedance near 4.5%, and 62% of the thoracic dZ/dt
+// couples into the finger measurement.
+func TouchCal() Calibration { return Calibration{Z0Scale: 0.045, DZdtScale: 1 / 0.62} }
+
+// apply returns the thoracic-equivalent z0 and dzdt.
+func (c Calibration) apply(z0, dzdt float64) (float64, float64) {
+	zs := c.Z0Scale
+	ds := c.DZdtScale
+	if zs == 0 {
+		zs = 1
+	}
+	if ds == 0 {
+		ds = 1
+	}
+	return z0 * zs, dzdt * ds
+}
+
+// BeatParams is the per-beat hemodynamic parameter set; the fields
+// {Z0, LVET, PEP, HR} are exactly what the device transmits (Section V).
+type BeatParams struct {
+	TimeS      float64 // time of the anchoring R peak (s)
+	RR         float64 // RR interval (s)
+	HR         float64 // instantaneous heart rate (bpm)
+	PEP        float64 // pre-ejection period (s)
+	LVET       float64 // left ventricular ejection time (s)
+	STR        float64 // systolic time ratio PEP/LVET
+	Z0         float64 // measured base impedance of the path (Ohm)
+	Z0Thoracic float64 // calibrated thoracic-equivalent base impedance (Ohm)
+	DZdtMax    float64 // measured C-point amplitude (Ohm/s)
+	SVKub      float64 // stroke volume, Kubicek (mL)
+	SVSram     float64 // stroke volume, Sramek-Bernstein (mL)
+	CO         float64 // cardiac output, Kubicek (L/min)
+	TFC        float64 // thoracic fluid content (1/kOhm)
+}
+
+// ErrNoBeats is returned when no analyzable beats are available.
+var ErrNoBeats = errors.New("hemo: no analyzable beats")
+
+// FromPoints converts detected beat points into hemodynamic parameters.
+// z0 is the mean measured base impedance of the recording; rNext is the
+// next beat's R peak (for the RR interval); cal maps the measurement to
+// thoracic equivalents for the volume formulas.
+func FromPoints(p *icg.BeatPoints, rNext int, z0, fs float64, body BodyConstants, cal Calibration) BeatParams {
+	rr := float64(rNext-p.R) / fs
+	hr := 0.0
+	if rr > 0 {
+		hr = 60 / rr
+	}
+	pep := float64(p.B-p.R) / fs
+	lvet := float64(p.X-p.B) / fs
+	str := 0.0
+	if lvet > 0 {
+		str = pep / lvet
+	}
+	z0Th, dzdtTh := cal.apply(z0, p.CAmp)
+	svK := KubicekSV(body, z0Th, lvet, dzdtTh)
+	svS := SramekSV(body, z0Th, lvet, dzdtTh)
+	return BeatParams{
+		TimeS:      float64(p.R) / fs,
+		RR:         rr,
+		HR:         hr,
+		PEP:        pep,
+		LVET:       lvet,
+		STR:        str,
+		Z0:         z0,
+		Z0Thoracic: z0Th,
+		DZdtMax:    p.CAmp,
+		SVKub:      svK,
+		SVSram:     svS,
+		CO:         svK * hr / 1000,
+		TFC:        TFC(z0Th),
+	}
+}
+
+// Series converts a beat sequence into parameters, skipping failed beats.
+func Series(beats []icg.BeatAnalysis, rPeaks []int, z0, fs float64, body BodyConstants, cal Calibration) ([]BeatParams, error) {
+	var out []BeatParams
+	for i, b := range beats {
+		if b.Err != nil || b.Points == nil {
+			continue
+		}
+		if i+1 >= len(rPeaks) {
+			break
+		}
+		out = append(out, FromPoints(b.Points, rPeaks[i+1], z0, fs, body, cal))
+	}
+	if len(out) == 0 {
+		return nil, ErrNoBeats
+	}
+	return out, nil
+}
+
+// Field extracts one named series from beat parameters.
+func Field(params []BeatParams, get func(BeatParams) float64) []float64 {
+	out := make([]float64, len(params))
+	for i, p := range params {
+		out[i] = get(p)
+	}
+	return out
+}
+
+// RejectOutliers removes beats whose PEP or LVET deviates from the median
+// by more than k median-absolute-deviations; physiological series use k=4.
+func RejectOutliers(params []BeatParams, k float64) []BeatParams {
+	if len(params) < 4 {
+		return params
+	}
+	peps := Field(params, func(p BeatParams) float64 { return p.PEP })
+	lvets := Field(params, func(p BeatParams) float64 { return p.LVET })
+	mp, dp := medianMAD(peps)
+	ml, dl := medianMAD(lvets)
+	var out []BeatParams
+	for _, p := range params {
+		if dp > 0 && math.Abs(p.PEP-mp) > k*dp {
+			continue
+		}
+		if dl > 0 && math.Abs(p.LVET-ml) > k*dl {
+			continue
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return params
+	}
+	return out
+}
+
+func medianMAD(x []float64) (median, mad float64) {
+	median = dsp.Median(x)
+	dev := make([]float64, len(x))
+	for i, v := range x {
+		dev[i] = math.Abs(v - median)
+	}
+	return median, dsp.Median(dev)
+}
+
+// Summary aggregates a parameter series.
+type Summary struct {
+	Beats    int
+	HR       dsp.Summary
+	PEP      dsp.Summary
+	LVET     dsp.Summary
+	Z0       float64
+	SVKub    dsp.Summary
+	COKub    dsp.Summary
+	MeanTFC  float64
+	MeanSTR  float64
+	DZdtMean float64
+}
+
+// Summarize computes descriptive statistics over the beats.
+func Summarize(params []BeatParams) Summary {
+	if len(params) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Beats:    len(params),
+		HR:       dsp.Summarize(Field(params, func(p BeatParams) float64 { return p.HR })),
+		PEP:      dsp.Summarize(Field(params, func(p BeatParams) float64 { return p.PEP })),
+		LVET:     dsp.Summarize(Field(params, func(p BeatParams) float64 { return p.LVET })),
+		Z0:       dsp.Mean(Field(params, func(p BeatParams) float64 { return p.Z0 })),
+		SVKub:    dsp.Summarize(Field(params, func(p BeatParams) float64 { return p.SVKub })),
+		COKub:    dsp.Summarize(Field(params, func(p BeatParams) float64 { return p.CO })),
+		MeanTFC:  dsp.Mean(Field(params, func(p BeatParams) float64 { return p.TFC })),
+		MeanSTR:  dsp.Mean(Field(params, func(p BeatParams) float64 { return p.STR })),
+		DZdtMean: dsp.Mean(Field(params, func(p BeatParams) float64 { return p.DZdtMax })),
+	}
+}

@@ -1,0 +1,207 @@
+package hemo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/icg"
+)
+
+func TestKubicekSVKnownValue(t *testing.T) {
+	b := DefaultBody()
+	// rho=135, L=30, Z0=30, LVET=0.3, dZdt=1.5:
+	// SV = 135*(30/30)^2*0.3*1.5 = 60.75 mL.
+	sv := KubicekSV(b, 30, 0.3, 1.5)
+	if math.Abs(sv-60.75) > 1e-9 {
+		t.Errorf("SV = %g, want 60.75", sv)
+	}
+	if KubicekSV(b, 0, 0.3, 1.5) != 0 {
+		t.Error("Z0=0 should give 0")
+	}
+}
+
+func TestSramekSVKnownValue(t *testing.T) {
+	b := DefaultBody()
+	// H=178: VEPT = (0.17*178)^3/4.25 = 30.26^3/4.25.
+	vept := math.Pow(0.17*178, 3) / 4.25
+	want := vept * 1.5 / 30 * 0.3
+	sv := SramekSV(b, 30, 0.3, 1.5)
+	if math.Abs(sv-want) > 1e-9 {
+		t.Errorf("SV = %g, want %g", sv, want)
+	}
+}
+
+func TestSVPhysiologicalRange(t *testing.T) {
+	// Across the physiological parameter grid both formulas stay within
+	// the range the ICG literature reports (~25-200 mL; typical values
+	// near 60-100 mL land mid-range).
+	b := DefaultBody()
+	for _, z0 := range []float64{22, 28, 35} {
+		for _, lvet := range []float64{0.26, 0.31} {
+			for _, dz := range []float64{1.1, 1.6, 2.0} {
+				k := KubicekSV(b, z0, lvet, dz)
+				s := SramekSV(b, z0, lvet, dz)
+				if k < 25 || k > 200 {
+					t.Errorf("Kubicek SV = %g out of plausible range (z0=%g)", k, z0)
+				}
+				if s < 25 || s > 200 {
+					t.Errorf("Sramek SV = %g out of plausible range (z0=%g)", s, z0)
+				}
+			}
+		}
+	}
+	// The canonical operating point lands in the textbook 60-100 mL band.
+	if sv := KubicekSV(b, 27, 0.30, 1.5); sv < 60 || sv > 110 {
+		t.Errorf("typical Kubicek SV = %g", sv)
+	}
+}
+
+func TestTFC(t *testing.T) {
+	if got := TFC(25); math.Abs(got-40) > 1e-12 {
+		t.Errorf("TFC = %g", got)
+	}
+	if TFC(0) != 0 {
+		t.Error("Z0=0 guard")
+	}
+}
+
+func TestFromPoints(t *testing.T) {
+	fs := 250.0
+	p := &icg.BeatPoints{R: 1000, B: 1025, C: 1050, X: 1100, CAmp: 1.5}
+	bp := FromPoints(p, 1250, 28, fs, DefaultBody(), IdentityCal())
+	if math.Abs(bp.PEP-0.1) > 1e-12 {
+		t.Errorf("PEP = %g", bp.PEP)
+	}
+	if math.Abs(bp.LVET-0.3) > 1e-12 {
+		t.Errorf("LVET = %g", bp.LVET)
+	}
+	if math.Abs(bp.RR-1.0) > 1e-12 || math.Abs(bp.HR-60) > 1e-9 {
+		t.Errorf("RR/HR = %g/%g", bp.RR, bp.HR)
+	}
+	if math.Abs(bp.STR-1.0/3) > 1e-9 {
+		t.Errorf("STR = %g", bp.STR)
+	}
+	if bp.SVKub <= 0 || bp.CO <= 0 {
+		t.Error("SV/CO must be positive")
+	}
+	// CO = SV * HR / 1000.
+	if math.Abs(bp.CO-bp.SVKub*60/1000) > 1e-9 {
+		t.Errorf("CO inconsistency")
+	}
+}
+
+func TestSeriesSkipsFailedBeats(t *testing.T) {
+	fs := 250.0
+	beats := []icg.BeatAnalysis{
+		{Points: &icg.BeatPoints{R: 0, B: 20, C: 40, X: 90, CAmp: 1.2}},
+		{Err: icg.ErrNoCPoint},
+		{Points: &icg.BeatPoints{R: 500, B: 522, C: 545, X: 595, CAmp: 1.3}},
+	}
+	rPeaks := []int{0, 250, 500, 750}
+	params, err := Series(beats, rPeaks, 30, fs, DefaultBody(), IdentityCal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(params) != 2 {
+		t.Fatalf("params = %d, want 2", len(params))
+	}
+	if _, err := Series([]icg.BeatAnalysis{{Err: icg.ErrNoCPoint}}, rPeaks, 30, fs, DefaultBody(), IdentityCal()); err != ErrNoBeats {
+		t.Errorf("all-failed: %v", err)
+	}
+}
+
+func TestRejectOutliers(t *testing.T) {
+	mk := func(pep, lvet float64) BeatParams {
+		return BeatParams{PEP: pep, LVET: lvet}
+	}
+	params := []BeatParams{
+		mk(0.095, 0.300), mk(0.100, 0.305), mk(0.097, 0.298),
+		mk(0.102, 0.303), mk(0.099, 0.301), mk(0.101, 0.299),
+		mk(0.300, 0.300), // PEP outlier
+		mk(0.098, 0.600), // LVET outlier
+	}
+	kept := RejectOutliers(params, 4)
+	if len(kept) != 6 {
+		t.Fatalf("kept %d, want 6", len(kept))
+	}
+	for _, p := range kept {
+		if p.PEP > 0.2 || p.LVET > 0.5 {
+			t.Error("outlier survived")
+		}
+	}
+	// Small series pass through untouched.
+	small := params[:3]
+	if len(RejectOutliers(small, 4)) != 3 {
+		t.Error("small series should not be filtered")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	params := []BeatParams{
+		{HR: 60, PEP: 0.1, LVET: 0.3, Z0: 30, SVKub: 60, CO: 3.6, TFC: 33.3, STR: 0.33, DZdtMax: 1.5},
+		{HR: 62, PEP: 0.102, LVET: 0.304, Z0: 30, SVKub: 62, CO: 3.8, TFC: 33.3, STR: 0.33, DZdtMax: 1.6},
+	}
+	s := Summarize(params)
+	if s.Beats != 2 {
+		t.Errorf("beats = %d", s.Beats)
+	}
+	if math.Abs(s.HR.Mean-61) > 1e-9 {
+		t.Errorf("HR mean = %g", s.HR.Mean)
+	}
+	if math.Abs(s.Z0-30) > 1e-12 {
+		t.Errorf("Z0 = %g", s.Z0)
+	}
+	empty := Summarize(nil)
+	if empty.Beats != 0 {
+		t.Error("empty summary")
+	}
+}
+
+func TestFieldExtraction(t *testing.T) {
+	params := []BeatParams{{HR: 60}, {HR: 70}}
+	hr := Field(params, func(p BeatParams) float64 { return p.HR })
+	if len(hr) != 2 || hr[1] != 70 {
+		t.Errorf("field = %v", hr)
+	}
+}
+
+func TestClassifyTFC(t *testing.T) {
+	cases := map[float64]FluidStatus{
+		15: FluidLow,
+		25: FluidNormal,
+		40: FluidElevated,
+		50: FluidHigh,
+	}
+	for tfc, want := range cases {
+		if got := ClassifyTFC(tfc); got != want {
+			t.Errorf("ClassifyTFC(%g) = %v, want %v", tfc, got, want)
+		}
+	}
+	if FluidNormal.String() != "normal" || FluidStatus(99).String() != "unknown" {
+		t.Error("status names")
+	}
+}
+
+func TestAssessFluidTrend(t *testing.T) {
+	// Rising TFC above the slope threshold triggers the alert.
+	rising := []float64{30, 30.5, 31, 31.6, 32.1, 32.8, 33.2}
+	tr := AssessFluidTrend(rising, 0.3, 5)
+	if !tr.Alert {
+		t.Errorf("rising trend should alert: %+v", tr)
+	}
+	if tr.SlopePerN <= 0 {
+		t.Errorf("slope = %g", tr.SlopePerN)
+	}
+	// Stable TFC: no alert.
+	stable := []float64{30, 30.1, 29.9, 30.0, 30.05, 29.95}
+	if tr := AssessFluidTrend(stable, 0.3, 5); tr.Alert {
+		t.Errorf("stable trend should not alert: %+v", tr)
+	}
+	// A single very high value alerts regardless of trend.
+	if tr := AssessFluidTrend([]float64{50}, 0.3, 5); !tr.Alert || tr.Status != FluidHigh {
+		t.Errorf("high TFC should alert: %+v", tr)
+	}
+	if tr := AssessFluidTrend(nil, 0.3, 5); tr.Alert {
+		t.Error("empty series")
+	}
+}

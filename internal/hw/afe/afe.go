@@ -1,0 +1,183 @@
+// Package afe models the two analog front ends of the touch device
+// (Section III-A): an ADS1291-class ECG front end and the proprietary ICG
+// sensor, which injects an adjustable-frequency carrier current and
+// recovers the body impedance by synchronous (lock-in) demodulation.
+package afe
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/dsp"
+	"repro/internal/hw/adc"
+)
+
+// ECGConfig describes the ECG acquisition chain.
+type ECGConfig struct {
+	Gain       float64    // amplifier gain applied before the ADC
+	SampleRate float64    // Hz, 125..16000 per the datasheet range
+	NoiseStd   float64    // input-referred noise (same unit as input, mV)
+	ADC        adc.Config // quantizer
+}
+
+// DefaultECG returns an ADS1291-like configuration for a +-5 mV ECG input
+// range sampled at 250 Hz with 16-bit resolution.
+func DefaultECG() ECGConfig {
+	return ECGConfig{
+		Gain:       1,
+		SampleRate: 250,
+		NoiseStd:   0.002,
+		ADC:        adc.Config{Bits: 16, FullScale: 5},
+	}
+}
+
+// Errors returned by the front ends.
+var (
+	ErrBadSampleRate = errors.New("afe: sample rate out of the 125 Hz..16 kHz range")
+	ErrBadCarrier    = errors.New("afe: carrier frequency must be positive")
+)
+
+// Validate checks the configuration against the hardware limits.
+func (c ECGConfig) Validate() error {
+	if c.SampleRate < 125 || c.SampleRate > 16000 {
+		return ErrBadSampleRate
+	}
+	return c.ADC.Validate()
+}
+
+// Acquire passes the analog ECG through gain, input-referred noise and
+// quantization. The input is assumed already sampled at SampleRate.
+func (c ECGConfig) Acquire(x []float64, rng *rand.Rand) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		s := v
+		if c.NoiseStd > 0 && rng != nil {
+			s += rng.NormFloat64() * c.NoiseStd
+		}
+		y[i] = c.ADC.Quantize(s * c.Gain)
+	}
+	return y
+}
+
+// ICGConfig describes the impedance acquisition chain. Like classic
+// impedance-cardiography front ends, the demodulated signal is split into
+// a DC path (the base impedance Z0, digitized at full range) and a
+// high-gain AC path (the cardiac/respiratory variation dZ, digitized with
+// sub-milliohm resolution): differentiating a coarsely quantized Z would
+// otherwise bury the ~1 Ohm/s C wave in quantization noise.
+type ICGConfig struct {
+	CarrierFreq float64    // injected current frequency (Hz), e.g. 50 kHz
+	CarrierAmp  float64    // injected current amplitude (mA)
+	SampleRate  float64    // demodulated output rate (Hz)
+	NoiseStd    float64    // demodulator residual noise after its output filter (Ohm)
+	DCADC       adc.Config // quantizer of the base-impedance path
+	ACADC       adc.Config // quantizer of the high-gain variation path
+}
+
+// DefaultICG returns the 50 kHz configuration used for hemodynamic
+// parameters (Section IV-B), demodulated to 250 Hz.
+func DefaultICG() ICGConfig {
+	return ICGConfig{
+		CarrierFreq: 50e3,
+		CarrierAmp:  0.4,
+		SampleRate:  250,
+		NoiseStd:    0.004,
+		DCADC:       adc.Config{Bits: 16, FullScale: 2048},
+		ACADC:       adc.Config{Bits: 16, FullScale: 8},
+	}
+}
+
+// Validate checks the configuration.
+func (c ICGConfig) Validate() error {
+	if c.CarrierFreq <= 0 {
+		return ErrBadCarrier
+	}
+	if c.SampleRate < 125 || c.SampleRate > 16000 {
+		return ErrBadSampleRate
+	}
+	if err := c.DCADC.Validate(); err != nil {
+		return err
+	}
+	return c.ACADC.Validate()
+}
+
+// Acquire converts a demodulated impedance track (Ohm, sampled at
+// SampleRate) into quantized values: the track mean goes through the DC
+// path, the variation through the high-gain AC path, and the two are
+// recombined. This is the behavioral model used by the study harness;
+// SimulateLockIn below validates the demodulation against a carrier-level
+// simulation.
+func (c ICGConfig) Acquire(z []float64, rng *rand.Rand) []float64 {
+	if len(z) == 0 {
+		return nil
+	}
+	mean := 0.0
+	for _, v := range z {
+		mean += v
+	}
+	mean /= float64(len(z))
+	z0 := c.DCADC.Quantize(mean)
+	y := make([]float64, len(z))
+	for i, v := range z {
+		s := v - mean
+		if c.NoiseStd > 0 && rng != nil {
+			s += rng.NormFloat64() * c.NoiseStd
+		}
+		y[i] = z0 + c.ACADC.Quantize(s)
+	}
+	return y
+}
+
+// SimulateLockIn runs a carrier-level simulation of the synchronous
+// demodulator: the impedance track z (sampled at fsZ) modulates a carrier
+// at fc, the product signal is sampled at fsSim, multiplied by the
+// reference carrier, low-pass filtered and decimated back to fsZ. The
+// returned track should approximate z; tests use it to validate the
+// behavioral Acquire path. fsSim must be at least 4*fc.
+func SimulateLockIn(z []float64, fsZ, fc, fsSim float64) ([]float64, error) {
+	if fc <= 0 {
+		return nil, ErrBadCarrier
+	}
+	if fsSim < 4*fc {
+		return nil, errors.New("afe: simulation rate must be >= 4x carrier")
+	}
+	if len(z) == 0 {
+		return nil, nil
+	}
+	nSim := int(float64(len(z)) * fsSim / fsZ)
+	// Body voltage = Z(t) * sin(2*pi*fc*t); demodulate with 2*sin.
+	demod := make([]float64, nSim)
+	for i := 0; i < nSim; i++ {
+		t := float64(i) / fsSim
+		// Linear interpolation of z at time t.
+		pos := t * fsZ
+		lo := int(pos)
+		var zv float64
+		if lo >= len(z)-1 {
+			zv = z[len(z)-1]
+		} else {
+			frac := pos - float64(lo)
+			zv = z[lo]*(1-frac) + z[lo+1]*frac
+		}
+		carrier := math.Sin(2 * math.Pi * fc * t)
+		demod[i] = zv * carrier * 2 * carrier // v(t) * 2*sin(wt)
+	}
+	// Low-pass well below the carrier to keep only the baseband.
+	cutoff := math.Min(fc/10, fsZ/2*0.8)
+	sos, err := dsp.DesignButterLowPass(4, cutoff, fsSim)
+	if err != nil {
+		return nil, err
+	}
+	base := sos.FiltFilt(demod)
+	// Decimate back to fsZ.
+	k := int(fsSim / fsZ)
+	out := make([]float64, 0, len(z))
+	for i := 0; i < len(base) && len(out) < len(z); i += k {
+		out = append(out, base[i])
+	}
+	for len(out) < len(z) {
+		out = append(out, base[len(base)-1])
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package afe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+func TestECGConfigValidate(t *testing.T) {
+	c := DefaultECG()
+	if err := c.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	c.SampleRate = 100
+	if err := c.Validate(); err != ErrBadSampleRate {
+		t.Errorf("low rate: %v", err)
+	}
+	c.SampleRate = 20000
+	if err := c.Validate(); err != ErrBadSampleRate {
+		t.Errorf("high rate: %v", err)
+	}
+}
+
+func TestECGAcquirePreservesSignal(t *testing.T) {
+	c := DefaultECG()
+	c.NoiseStd = 0
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 10 * float64(i) / 250)
+	}
+	y := c.Acquire(x, rng)
+	if r := dsp.Pearson(x, y); r < 0.9999 {
+		t.Errorf("correlation after acquisition = %g", r)
+	}
+	// Quantization error bounded by LSB.
+	if e := dsp.RMSE(x, y); e > c.ADC.LSB() {
+		t.Errorf("rmse = %g exceeds LSB %g", e, c.ADC.LSB())
+	}
+}
+
+func TestECGAcquireAddsConfiguredNoise(t *testing.T) {
+	c := DefaultECG()
+	c.NoiseStd = 0.05
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 20000)
+	y := c.Acquire(x, rng)
+	if s := dsp.Std(y); math.Abs(s-0.05) > 0.005 {
+		t.Errorf("noise std = %g, want ~0.05", s)
+	}
+}
+
+func TestICGConfigValidate(t *testing.T) {
+	c := DefaultICG()
+	if err := c.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	c.CarrierFreq = 0
+	if err := c.Validate(); err != ErrBadCarrier {
+		t.Errorf("carrier=0: %v", err)
+	}
+}
+
+func TestICGAcquireQuantizes(t *testing.T) {
+	c := DefaultICG()
+	c.NoiseStd = 0
+	x := []float64{480.123456, 481.5, 479.9}
+	y := c.Acquire(x, nil)
+	tol := c.DCADC.LSB() + c.ACADC.LSB()
+	for i := range x {
+		if math.Abs(y[i]-x[i]) > tol {
+			t.Errorf("sample %d error %g", i, y[i]-x[i])
+		}
+	}
+	// The AC path must resolve sub-milliohm steps: two samples 1 mOhm
+	// apart must not collapse to the same code.
+	fine := c.Acquire([]float64{480.000, 480.001, 480.002}, nil)
+	if fine[0] == fine[2] {
+		t.Error("AC path resolution too coarse")
+	}
+	if c.Acquire(nil, nil) != nil {
+		t.Error("empty input")
+	}
+}
+
+func TestSimulateLockInRecoversImpedance(t *testing.T) {
+	// A slow impedance ripple on a 2 kHz carrier, simulated at 16 kHz,
+	// must be recovered by the synchronous demodulator.
+	fsZ := 250.0
+	fc := 2000.0
+	fsSim := 16000.0
+	n := 500
+	z := make([]float64, n)
+	for i := range z {
+		ti := float64(i) / fsZ
+		z[i] = 480 + 0.5*math.Sin(2*math.Pi*1.2*ti)
+	}
+	got, err := SimulateLockIn(z, fsZ, fc, fsSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("len = %d, want %d", len(got), n)
+	}
+	// Compare interior samples (edges carry filter transients).
+	if e := dsp.RMSE(got[50:n-50], z[50:n-50]); e > 1.0 {
+		t.Errorf("lock-in recovery rmse = %g Ohm", e)
+	}
+	// The ripple must survive: correlation of the AC parts.
+	gotAC := dsp.Offset(got[50:n-50], -dsp.Mean(got[50:n-50]))
+	zAC := dsp.Offset(z[50:n-50], -dsp.Mean(z[50:n-50]))
+	if r := dsp.Pearson(gotAC, zAC); r < 0.95 {
+		t.Errorf("ripple correlation = %g", r)
+	}
+}
+
+func TestSimulateLockInValidatesInput(t *testing.T) {
+	if _, err := SimulateLockIn([]float64{1}, 250, 0, 1000); err != ErrBadCarrier {
+		t.Errorf("carrier=0: %v", err)
+	}
+	if _, err := SimulateLockIn([]float64{1}, 250, 2000, 4000); err == nil {
+		t.Error("undersampled simulation accepted")
+	}
+	got, err := SimulateLockIn(nil, 250, 2000, 16000)
+	if err != nil || got != nil {
+		t.Error("empty input should return nil, nil")
+	}
+}
+
+func TestSimulateLockInAt50kHz(t *testing.T) {
+	// The hemodynamic carrier: 50 kHz demodulated at 400 kHz simulation
+	// rate over a short window.
+	fsZ := 250.0
+	fc := 50e3
+	fsSim := 400e3
+	n := 125 // 0.5 s
+	z := make([]float64, n)
+	for i := range z {
+		ti := float64(i) / fsZ
+		z[i] = 30 + 0.2*math.Sin(2*math.Pi*2*ti)
+	}
+	got, err := SimulateLockIn(z, fsZ, fc, fsSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := dsp.RMSE(got[20:n-20], z[20:n-20]); e > 0.5 {
+		t.Errorf("50 kHz lock-in rmse = %g Ohm", e)
+	}
+}

@@ -1,0 +1,150 @@
+// Package imu models the device's accelerometer and gyroscope, which the
+// paper uses "to distinguish different positions" (Section III-A): the
+// three protocol arm positions have distinct gravity orientations in the
+// device frame, and motion episodes show up as gyroscope activity.
+package imu
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/bioimp"
+)
+
+// Sample is one 6-axis IMU reading.
+type Sample struct {
+	Ax, Ay, Az float64 // accelerometer (m/s^2), includes gravity
+	Gx, Gy, Gz float64 // gyroscope (rad/s)
+}
+
+// G is standard gravity.
+const G = 9.80665
+
+// gravity returns the nominal gravity vector in the device frame for each
+// protocol position:
+//
+//	position 1 (device held to the chest): device Y axis points up
+//	position 2 (arms stretched forward):   device Z axis points up
+//	position 3 (arms down by the sides):   device X axis points up
+func gravity(pos bioimp.Position) (x, y, z float64) {
+	switch pos {
+	case bioimp.Position1:
+		return 0, -G, 0
+	case bioimp.Position2:
+		return 0, 0, -G
+	case bioimp.Position3:
+		return -G, 0, 0
+	default:
+		return 0, -G, 0
+	}
+}
+
+// Config parameterizes the synthesizer.
+type Config struct {
+	FS          float64 // sampling rate (Hz)
+	AccelNoise  float64 // accelerometer noise std (m/s^2)
+	GyroNoise   float64 // gyroscope noise std (rad/s)
+	TremorAmp   float64 // physiological tremor acceleration amplitude (m/s^2)
+	TremorFreq  float64 // tremor frequency (Hz), typically 8-12
+	TiltWander  float64 // slow orientation wander amplitude (rad)
+	MotionLevel float64 // extra motion multiplier (position-dependent)
+}
+
+// DefaultConfig returns a typical wearable-IMU configuration at 100 Hz.
+func DefaultConfig() Config {
+	return Config{
+		FS:         100,
+		AccelNoise: 0.03,
+		GyroNoise:  0.005,
+		TremorAmp:  0.08,
+		TremorFreq: 10,
+		TiltWander: 0.05,
+	}
+}
+
+// Synthesize produces n samples of IMU data for a subject holding the
+// device in the given position.
+func Synthesize(rng *rand.Rand, cfg Config, pos bioimp.Position, n int) []Sample {
+	gx, gy, gz := gravity(pos)
+	out := make([]Sample, n)
+	phase := rng.Float64() * 2 * math.Pi
+	wanderPhase := rng.Float64() * 2 * math.Pi
+	motion := 1 + cfg.MotionLevel
+	for i := 0; i < n; i++ {
+		t := float64(i) / cfg.FS
+		// Slow tilt wander rotates gravity slightly about the device Z.
+		tilt := cfg.TiltWander * math.Sin(2*math.Pi*0.08*t+wanderPhase) * motion
+		cos, sin := math.Cos(tilt), math.Sin(tilt)
+		ax := gx*cos - gy*sin
+		ay := gx*sin + gy*cos
+		az := gz
+		// Tremor.
+		tr := cfg.TremorAmp * motion * math.Sin(2*math.Pi*cfg.TremorFreq*t+phase)
+		out[i] = Sample{
+			Ax: ax + tr + rng.NormFloat64()*cfg.AccelNoise,
+			Ay: ay + rng.NormFloat64()*cfg.AccelNoise,
+			Az: az + tr*0.5 + rng.NormFloat64()*cfg.AccelNoise,
+			Gx: rng.NormFloat64()*cfg.GyroNoise + 0.02*motion*math.Sin(2*math.Pi*0.3*t),
+			Gy: rng.NormFloat64() * cfg.GyroNoise,
+			Gz: rng.NormFloat64()*cfg.GyroNoise + tilt*0.1,
+		}
+	}
+	return out
+}
+
+// MeanAccel returns the average acceleration vector of a window.
+func MeanAccel(s []Sample) (x, y, z float64) {
+	if len(s) == 0 {
+		return 0, 0, 0
+	}
+	for _, v := range s {
+		x += v.Ax
+		y += v.Ay
+		z += v.Az
+	}
+	n := float64(len(s))
+	return x / n, y / n, z / n
+}
+
+// Classify estimates the arm position from a window of IMU samples by
+// nearest-centroid matching of the mean gravity direction. The boolean is
+// false when the best match is too far from any centroid (e.g. free fall
+// or vigorous motion).
+func Classify(s []Sample) (bioimp.Position, bool) {
+	if len(s) == 0 {
+		return bioimp.Position1, false
+	}
+	mx, my, mz := MeanAccel(s)
+	norm := math.Sqrt(mx*mx + my*my + mz*mz)
+	if norm < G/2 || norm > 2*G {
+		return bioimp.Position1, false
+	}
+	best := bioimp.Position1
+	bestDot := math.Inf(-1)
+	for _, pos := range bioimp.Positions() {
+		gx, gy, gz := gravity(pos)
+		dot := (mx*gx + my*gy + mz*gz) / (norm * G)
+		if dot > bestDot {
+			bestDot = dot
+			best = pos
+		}
+	}
+	// Require reasonable alignment (within ~45 degrees).
+	if bestDot < math.Cos(math.Pi/4) {
+		return best, false
+	}
+	return best, true
+}
+
+// MotionRMS returns the gyroscope RMS of a window, the device's motion
+// indicator used to flag unstable measurements.
+func MotionRMS(s []Sample) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v.Gx*v.Gx + v.Gy*v.Gy + v.Gz*v.Gz
+	}
+	return math.Sqrt(sum / float64(len(s)))
+}

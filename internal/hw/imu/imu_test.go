@@ -1,0 +1,110 @@
+package imu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bioimp"
+)
+
+func TestClassifyAllPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultConfig()
+	for _, pos := range bioimp.Positions() {
+		s := Synthesize(rng, cfg, pos, 200)
+		got, ok := Classify(s)
+		if !ok {
+			t.Errorf("%v: classification not confident", pos)
+		}
+		if got != pos {
+			t.Errorf("classified %v as %v", pos, got)
+		}
+	}
+}
+
+func TestClassifyRobustToNoiseAndMotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := DefaultConfig()
+	cfg.AccelNoise = 0.2
+	cfg.MotionLevel = 1.5
+	correct := 0
+	trials := 60
+	for i := 0; i < trials; i++ {
+		pos := bioimp.Positions()[i%3]
+		s := Synthesize(rng, cfg, pos, 150)
+		if got, ok := Classify(s); ok && got == pos {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(trials); acc < 0.9 {
+		t.Errorf("accuracy under noise = %g, want >= 0.9", acc)
+	}
+}
+
+func TestClassifyRejectsDegenerateInput(t *testing.T) {
+	if _, ok := Classify(nil); ok {
+		t.Error("empty window accepted")
+	}
+	// Free fall: no gravity.
+	ff := make([]Sample, 50)
+	if _, ok := Classify(ff); ok {
+		t.Error("free fall accepted")
+	}
+	// Excessive acceleration.
+	big := make([]Sample, 50)
+	for i := range big {
+		big[i] = Sample{Ax: 50}
+	}
+	if _, ok := Classify(big); ok {
+		t.Error("crash acceleration accepted")
+	}
+}
+
+func TestMeanAccelGravityMagnitude(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := Synthesize(rng, DefaultConfig(), bioimp.Position2, 500)
+	x, y, z := MeanAccel(s)
+	norm := math.Sqrt(x*x + y*y + z*z)
+	if math.Abs(norm-G) > 0.5 {
+		t.Errorf("gravity magnitude = %g, want ~%g", norm, G)
+	}
+}
+
+func TestMotionRMSGrowsWithMotionLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	calm := DefaultConfig()
+	busy := DefaultConfig()
+	busy.MotionLevel = 3
+	sc := Synthesize(rng, calm, bioimp.Position1, 400)
+	sb := Synthesize(rng, busy, bioimp.Position1, 400)
+	if MotionRMS(sb) <= MotionRMS(sc) {
+		t.Error("motion RMS should grow with motion level")
+	}
+	if MotionRMS(nil) != 0 {
+		t.Error("empty window RMS should be 0")
+	}
+}
+
+func TestSynthesizeDistinctGravityAxes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := DefaultConfig()
+	// The dominant gravity axis must differ between protocol positions.
+	axes := make(map[int]bool)
+	for _, pos := range bioimp.Positions() {
+		s := Synthesize(rng, cfg, pos, 300)
+		x, y, z := MeanAccel(s)
+		ax := 0
+		m := math.Abs(x)
+		if math.Abs(y) > m {
+			ax, m = 1, math.Abs(y)
+		}
+		if math.Abs(z) > m {
+			ax = 2
+		}
+		if axes[ax] {
+			t.Errorf("%v shares its gravity axis with another position", pos)
+		}
+		axes[ax] = true
+	}
+}

@@ -1,0 +1,236 @@
+// Package mcu models the STM32L151 microcontroller of the device
+// (Section III-A): a 32 MHz Cortex-M3 with 48 KB RAM, 384 KB flash and no
+// hardware FPU, so floating-point arithmetic runs in software. The package
+// prices the signal-processing pipeline in CPU cycles and converts it to
+// the duty-cycle figure the paper reports (40-50% for the full chain).
+package mcu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op enumerates the operation classes of the cost model.
+type Op int
+
+// Operation classes.
+const (
+	OpFloatAdd Op = iota // software float add/sub
+	OpFloatMul           // software float multiply
+	OpFloatDiv           // software float divide
+	OpFloatCmp           // software float compare
+	OpIntALU             // integer add/sub/logic
+	OpIntMul             // integer multiply
+	OpMemory             // load/store
+	OpBranch             // taken branch
+	opCount
+)
+
+// String names the operation class.
+func (o Op) String() string {
+	switch o {
+	case OpFloatAdd:
+		return "fadd"
+	case OpFloatMul:
+		return "fmul"
+	case OpFloatDiv:
+		return "fdiv"
+	case OpFloatCmp:
+		return "fcmp"
+	case OpIntALU:
+		return "ialu"
+	case OpIntMul:
+		return "imul"
+	case OpMemory:
+		return "mem"
+	case OpBranch:
+		return "branch"
+	default:
+		return "op?"
+	}
+}
+
+// CostModel maps operation classes to cycle costs.
+type CostModel [opCount]float64
+
+// CortexM3SoftFloat returns cycle costs for single-precision soft-float
+// emulation on a Cortex-M3 (no FPU), in line with published
+// __aeabi_fadd/fmul/fdiv figures.
+func CortexM3SoftFloat() CostModel {
+	var m CostModel
+	m[OpFloatAdd] = 55
+	m[OpFloatMul] = 65
+	m[OpFloatDiv] = 190
+	m[OpFloatCmp] = 30
+	m[OpIntALU] = 1
+	m[OpIntMul] = 2
+	m[OpMemory] = 2
+	m[OpBranch] = 3
+	return m
+}
+
+// CortexM4FPU returns cycle costs with a single-precision hardware FPU
+// (used as the ablation point: what the duty cycle would be on an M4F).
+func CortexM4FPU() CostModel {
+	var m CostModel
+	m[OpFloatAdd] = 1
+	m[OpFloatMul] = 1
+	m[OpFloatDiv] = 14
+	m[OpFloatCmp] = 1
+	m[OpIntALU] = 1
+	m[OpIntMul] = 1
+	m[OpMemory] = 2
+	m[OpBranch] = 3
+	return m
+}
+
+// STM32L151 describes the microcontroller of Table I.
+type STM32L151 struct {
+	ClockHz          float64
+	ActiveCurrentMA  float64
+	StandbyCurrentMA float64
+	RAMBytes         int
+	FlashBytes       int
+	// OverheadFactor multiplies algorithmic cycles to account for
+	// interrupt service, buffer management, RTOS ticks and flash wait
+	// states; calibrated against the paper's reported 40-50% duty cycle
+	// (see EXPERIMENTS.md, experiment E8).
+	OverheadFactor float64
+}
+
+// DefaultSTM32L151 returns the datasheet configuration used in Table I.
+func DefaultSTM32L151() STM32L151 {
+	return STM32L151{
+		ClockHz:          32e6,
+		ActiveCurrentMA:  10.5,
+		StandbyCurrentMA: 0.020,
+		RAMBytes:         48 * 1024,
+		FlashBytes:       384 * 1024,
+		OverheadFactor:   3.7,
+	}
+}
+
+// Counter accumulates operation counts, grouped by pipeline stage.
+type Counter struct {
+	stages map[string]*[opCount]int64
+	order  []string
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{stages: make(map[string]*[opCount]int64)}
+}
+
+// Add records n operations of class op attributed to the named stage.
+func (c *Counter) Add(stage string, op Op, n int64) {
+	s, ok := c.stages[stage]
+	if !ok {
+		s = new([opCount]int64)
+		c.stages[stage] = s
+		c.order = append(c.order, stage)
+	}
+	s[op] += n
+}
+
+// AddAll merges another counter into this one.
+func (c *Counter) AddAll(other *Counter) {
+	for _, stage := range other.order {
+		src := other.stages[stage]
+		for op := Op(0); op < opCount; op++ {
+			if src[op] != 0 {
+				c.Add(stage, op, src[op])
+			}
+		}
+	}
+}
+
+// Cycles prices the accumulated operations with the model.
+func (c *Counter) Cycles(m CostModel) float64 {
+	total := 0.0
+	for _, s := range c.stages {
+		for op := Op(0); op < opCount; op++ {
+			total += float64(s[op]) * m[op]
+		}
+	}
+	return total
+}
+
+// StageCycles returns per-stage cycle totals sorted by descending cost.
+func (c *Counter) StageCycles(m CostModel) []StageCost {
+	out := make([]StageCost, 0, len(c.stages))
+	for _, name := range c.order {
+		s := c.stages[name]
+		cycles := 0.0
+		for op := Op(0); op < opCount; op++ {
+			cycles += float64(s[op]) * m[op]
+		}
+		out = append(out, StageCost{Stage: name, Cycles: cycles})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cycles > out[j].Cycles })
+	return out
+}
+
+// StageCost is one row of the per-stage cycle report.
+type StageCost struct {
+	Stage  string
+	Cycles float64
+}
+
+// DutyCycle converts cycles consumed over a signal window of the given
+// duration into the CPU duty-cycle fraction, including the firmware
+// overhead factor.
+func (s STM32L151) DutyCycle(cycles, windowSeconds float64) float64 {
+	if windowSeconds <= 0 || s.ClockHz <= 0 {
+		return 0
+	}
+	return cycles * s.OverheadFactor / (s.ClockHz * windowSeconds)
+}
+
+// RawDutyCycle is DutyCycle without the overhead factor (the purely
+// algorithmic lower bound).
+func (s STM32L151) RawDutyCycle(cycles, windowSeconds float64) float64 {
+	if windowSeconds <= 0 || s.ClockHz <= 0 {
+		return 0
+	}
+	return cycles / (s.ClockHz * windowSeconds)
+}
+
+// AverageCurrentMA returns the MCU average current at the given duty
+// cycle, duty in [0,1].
+func (s STM32L151) AverageCurrentMA(duty float64) float64 {
+	if duty < 0 {
+		duty = 0
+	}
+	if duty > 1 {
+		duty = 1
+	}
+	return duty*s.ActiveCurrentMA + (1-duty)*s.StandbyCurrentMA
+}
+
+// FitsRAM reports whether a working set of the given bytes fits the RAM.
+func (s STM32L151) FitsRAM(bytes int) bool { return bytes <= s.RAMBytes }
+
+// Report renders a human-readable per-stage cycle table.
+func (c *Counter) Report(m CostModel, clockHz, window float64) string {
+	var b strings.Builder
+	rows := c.StageCycles(m)
+	total := 0.0
+	for _, r := range rows {
+		total += r.Cycles
+	}
+	fmt.Fprintf(&b, "%-28s %14s %8s\n", "stage", "cycles", "share")
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = r.Cycles / total * 100
+		}
+		fmt.Fprintf(&b, "%-28s %14.0f %7.1f%%\n", r.Stage, r.Cycles, share)
+	}
+	fmt.Fprintf(&b, "%-28s %14.0f %7.1f%%\n", "total", total, 100.0)
+	if clockHz > 0 && window > 0 {
+		fmt.Fprintf(&b, "algorithmic duty at %.0f MHz over %.0fs window: %.1f%%\n",
+			clockHz/1e6, window, total/(clockHz*window)*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package mcu
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCostModels(t *testing.T) {
+	soft := CortexM3SoftFloat()
+	hard := CortexM4FPU()
+	// Soft float is much more expensive than hardware float.
+	if soft[OpFloatMul] <= 10*hard[OpFloatMul] {
+		t.Errorf("soft fmul %g vs hard %g", soft[OpFloatMul], hard[OpFloatMul])
+	}
+	if soft[OpFloatDiv] <= soft[OpFloatMul] {
+		t.Error("div should cost more than mul")
+	}
+	if soft[OpIntALU] != 1 {
+		t.Error("int ALU should be single cycle")
+	}
+}
+
+func TestCounterCycles(t *testing.T) {
+	c := NewCounter()
+	c.Add("filter", OpFloatMul, 100)
+	c.Add("filter", OpFloatAdd, 100)
+	c.Add("detect", OpFloatCmp, 50)
+	m := CortexM3SoftFloat()
+	want := 100*m[OpFloatMul] + 100*m[OpFloatAdd] + 50*m[OpFloatCmp]
+	if got := c.Cycles(m); math.Abs(got-want) > 1e-9 {
+		t.Errorf("cycles = %g, want %g", got, want)
+	}
+}
+
+func TestCounterStageBreakdown(t *testing.T) {
+	c := NewCounter()
+	c.Add("cheap", OpIntALU, 10)
+	c.Add("expensive", OpFloatDiv, 1000)
+	rows := c.StageCycles(CortexM3SoftFloat())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Stage != "expensive" {
+		t.Errorf("expected descending order, got %v", rows)
+	}
+}
+
+func TestCounterAddAll(t *testing.T) {
+	a := NewCounter()
+	a.Add("s1", OpFloatAdd, 5)
+	b := NewCounter()
+	b.Add("s1", OpFloatAdd, 7)
+	b.Add("s2", OpIntALU, 3)
+	a.AddAll(b)
+	m := CortexM3SoftFloat()
+	want := 12*m[OpFloatAdd] + 3*m[OpIntALU]
+	if got := a.Cycles(m); math.Abs(got-want) > 1e-9 {
+		t.Errorf("merged cycles = %g, want %g", got, want)
+	}
+}
+
+func TestDutyCycle(t *testing.T) {
+	s := DefaultSTM32L151()
+	// 16 M cycles of work over 1 s at 32 MHz = 50% raw duty.
+	if d := s.RawDutyCycle(16e6, 1); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("raw duty = %g", d)
+	}
+	// The overhead factor scales the raw figure.
+	if d := s.DutyCycle(16e6, 1); math.Abs(d-0.5*s.OverheadFactor) > 1e-12 {
+		t.Errorf("duty = %g", d)
+	}
+	if s.DutyCycle(1e6, 0) != 0 {
+		t.Error("zero window should give 0")
+	}
+}
+
+func TestAverageCurrent(t *testing.T) {
+	s := DefaultSTM32L151()
+	// Table I figures: 50% duty -> 5.26 mA.
+	if got := s.AverageCurrentMA(0.5); math.Abs(got-5.26) > 1e-9 {
+		t.Errorf("avg current = %g, want 5.26", got)
+	}
+	if got := s.AverageCurrentMA(-1); got != s.StandbyCurrentMA {
+		t.Errorf("negative duty should clamp: %g", got)
+	}
+	if got := s.AverageCurrentMA(2); got != s.ActiveCurrentMA {
+		t.Errorf("duty > 1 should clamp: %g", got)
+	}
+}
+
+func TestFitsRAM(t *testing.T) {
+	s := DefaultSTM32L151()
+	if !s.FitsRAM(48 * 1024) {
+		t.Error("exact fit rejected")
+	}
+	if s.FitsRAM(48*1024 + 1) {
+		t.Error("overflow accepted")
+	}
+}
+
+func TestReportContainsStagesAndDuty(t *testing.T) {
+	c := NewCounter()
+	c.Add("ecg-filter", OpFloatMul, 1000)
+	c.Add("qrs", OpFloatCmp, 100)
+	rep := c.Report(CortexM3SoftFloat(), 32e6, 1)
+	for _, want := range []string{"ecg-filter", "qrs", "total", "duty"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpFloatAdd.String() != "fadd" || OpBranch.String() != "branch" {
+		t.Error("op names")
+	}
+	if Op(99).String() != "op?" {
+		t.Error("unknown op name")
+	}
+}

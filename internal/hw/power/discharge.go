@@ -1,0 +1,48 @@
+package power
+
+// Discharge tracks the battery state of charge over a simulated session,
+// so the PMU policy can be exercised against realistic multi-day
+// timelines (the paper's four-days-per-charge claim).
+type Discharge struct {
+	Battery      Battery
+	RemainingMAh float64
+}
+
+// NewDischarge returns a fully charged battery state.
+func NewDischarge(b Battery) *Discharge {
+	return &Discharge{Battery: b, RemainingMAh: b.CapacityMAh}
+}
+
+// Step drains the battery according to the budget for the given number of
+// hours and returns the charge actually consumed (clamped at empty).
+func (d *Discharge) Step(b *Budget, hours float64) float64 {
+	if hours <= 0 || d.RemainingMAh <= 0 {
+		return 0
+	}
+	drain := b.EnergyMAh(hours)
+	if drain > d.RemainingMAh {
+		drain = d.RemainingMAh
+	}
+	d.RemainingMAh -= drain
+	return drain
+}
+
+// Percent returns the state of charge in [0, 100].
+func (d *Discharge) Percent() float64 {
+	if d.Battery.CapacityMAh <= 0 {
+		return 0
+	}
+	return d.RemainingMAh / d.Battery.CapacityMAh * 100
+}
+
+// Empty reports whether the battery is exhausted.
+func (d *Discharge) Empty() bool { return d.RemainingMAh <= 1e-9 }
+
+// HoursLeft estimates the remaining runtime at the given budget.
+func (d *Discharge) HoursLeft(b *Budget) float64 {
+	avg := b.AverageCurrentMA()
+	if avg <= 0 {
+		return 0
+	}
+	return d.RemainingMAh / avg
+}

@@ -1,0 +1,146 @@
+// Package power reproduces the paper's power budget: the per-component
+// current consumption of Table I and the battery-life computation of
+// Sections V-VI (106 hours on a 710 mAh battery with the MCU at 50% duty
+// cycle and the radio transmitting 1% of the time).
+package power
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Component is one row of Table I: a part with an active and an
+// idle/standby current.
+type Component struct {
+	Name      string
+	ActiveMA  float64 // current while active (mA)
+	StandbyMA float64 // current while idle (mA); 0 if the part is off
+}
+
+// Average returns the average current at the given active-duty fraction.
+func (c Component) Average(duty float64) float64 {
+	if duty < 0 {
+		duty = 0
+	}
+	if duty > 1 {
+		duty = 1
+	}
+	return duty*c.ActiveMA + (1-duty)*c.StandbyMA
+}
+
+// Canonical component names of the device.
+const (
+	ECGChip = "ecg-chip"
+	ICGChip = "icg-chip"
+	MCU     = "stm32l151"
+	Radio   = "radio"
+	IMU     = "gyro+accel"
+)
+
+// TableI returns the component catalogue with the paper's Table I
+// currents (mA).
+func TableI() []Component {
+	return []Component{
+		{Name: ECGChip, ActiveMA: 0.400, StandbyMA: 0},
+		{Name: ICGChip, ActiveMA: 0.900, StandbyMA: 0},
+		{Name: MCU, ActiveMA: 10.500, StandbyMA: 0.020},
+		{Name: Radio, ActiveMA: 11.000, StandbyMA: 0.002},
+		{Name: IMU, ActiveMA: 3.800, StandbyMA: 0},
+	}
+}
+
+// Budget is a duty-cycle assignment over the component catalogue.
+type Budget struct {
+	Components []Component
+	Duty       map[string]float64 // active fraction per component name
+}
+
+// NewBudget returns a budget over Table I with all duties zero.
+func NewBudget() *Budget {
+	return &Budget{Components: TableI(), Duty: make(map[string]float64)}
+}
+
+// Set assigns the duty fraction of a component and returns the budget for
+// chaining. Unknown names are reported by Validate.
+func (b *Budget) Set(name string, duty float64) *Budget {
+	b.Duty[name] = duty
+	return b
+}
+
+// ErrUnknownComponent reports a duty assignment without a catalogue entry.
+var ErrUnknownComponent = errors.New("power: unknown component in duty map")
+
+// Validate checks that every duty key names a known component and that
+// all duties are in [0, 1].
+func (b *Budget) Validate() error {
+	known := make(map[string]bool, len(b.Components))
+	for _, c := range b.Components {
+		known[c.Name] = true
+	}
+	for name, d := range b.Duty {
+		if !known[name] {
+			return fmt.Errorf("%w: %q", ErrUnknownComponent, name)
+		}
+		if d < 0 || d > 1 {
+			return fmt.Errorf("power: duty %g for %q outside [0,1]", d, name)
+		}
+	}
+	return nil
+}
+
+// AverageCurrentMA returns the total average current of the budget.
+// Components without an assigned duty are idle (standby current).
+func (b *Budget) AverageCurrentMA() float64 {
+	total := 0.0
+	for _, c := range b.Components {
+		total += c.Average(b.Duty[c.Name])
+	}
+	return total
+}
+
+// Battery is an ideal battery of the given capacity.
+type Battery struct {
+	CapacityMAh float64
+}
+
+// DeviceBattery returns the paper's 710 mAh battery.
+func DeviceBattery() Battery { return Battery{CapacityMAh: 710} }
+
+// LifetimeHours returns the runtime at the given average current.
+func (bat Battery) LifetimeHours(avgMA float64) float64 {
+	if avgMA <= 0 {
+		return 0
+	}
+	return bat.CapacityMAh / avgMA
+}
+
+// PaperScenario returns the budget of the paper's battery-life claim:
+// continuous monitoring with ECG and ICG chips always on, the MCU active
+// 50% of the time, the radio transmitting 1% of the time, and the
+// IMU off (Section VI).
+func PaperScenario() *Budget {
+	return NewBudget().
+		Set(ECGChip, 1).
+		Set(ICGChip, 1).
+		Set(MCU, 0.50).
+		Set(Radio, 0.01)
+}
+
+// Report renders the component table with duties and average currents.
+func (b *Budget) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %9s %10s %6s %10s\n", "component", "active mA", "standby mA", "duty", "avg mA")
+	for _, c := range b.Components {
+		d := b.Duty[c.Name]
+		fmt.Fprintf(&sb, "%-12s %9.3f %10.3f %5.1f%% %10.4f\n",
+			c.Name, c.ActiveMA, c.StandbyMA, d*100, c.Average(d))
+	}
+	fmt.Fprintf(&sb, "%-12s %37s %10.4f\n", "total", "", b.AverageCurrentMA())
+	return sb.String()
+}
+
+// EnergyMAh returns the charge consumed over the given number of hours.
+func (b *Budget) EnergyMAh(hours float64) float64 {
+	return b.AverageCurrentMA() * hours
+}

@@ -1,0 +1,191 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIMatchesPaper(t *testing.T) {
+	want := map[string][2]float64{
+		ECGChip: {0.400, 0},
+		ICGChip: {0.900, 0},
+		MCU:     {10.500, 0.020},
+		Radio:   {11.000, 0.002},
+		IMU:     {3.800, 0},
+	}
+	comps := TableI()
+	if len(comps) != len(want) {
+		t.Fatalf("components = %d", len(comps))
+	}
+	for _, c := range comps {
+		w, ok := want[c.Name]
+		if !ok {
+			t.Errorf("unexpected component %q", c.Name)
+			continue
+		}
+		if c.ActiveMA != w[0] || c.StandbyMA != w[1] {
+			t.Errorf("%s: %g/%g, want %g/%g", c.Name, c.ActiveMA, c.StandbyMA, w[0], w[1])
+		}
+	}
+}
+
+func TestComponentAverage(t *testing.T) {
+	c := Component{Name: "x", ActiveMA: 10, StandbyMA: 1}
+	if got := c.Average(0.5); math.Abs(got-5.5) > 1e-12 {
+		t.Errorf("average = %g", got)
+	}
+	if got := c.Average(-1); got != 1 {
+		t.Errorf("negative duty: %g", got)
+	}
+	if got := c.Average(2); got != 10 {
+		t.Errorf("duty>1: %g", got)
+	}
+}
+
+func TestPaperScenarioReproduces106Hours(t *testing.T) {
+	// The headline claim of Sections V-VI: 710 mAh, MCU 50%, radio 1%,
+	// ECG+ICG on, IMU off -> 106 hours.
+	b := PaperScenario()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	avg := b.AverageCurrentMA()
+	// 0.4 + 0.9 + (0.5*10.5+0.5*0.02) + (0.01*11+0.99*0.002) = 6.67198
+	if math.Abs(avg-6.67198) > 1e-9 {
+		t.Errorf("average current = %g mA, want 6.67198", avg)
+	}
+	hours := DeviceBattery().LifetimeHours(avg)
+	if hours < 106 || hours > 107 {
+		t.Errorf("battery life = %g h, want ~106", hours)
+	}
+}
+
+func TestRadioDutyVariant(t *testing.T) {
+	// With the 0.1% radio duty quoted in Section V the lifetime rises
+	// slightly (~108 h); the budget must reflect it.
+	b := PaperScenario().Set(Radio, 0.001)
+	hours := DeviceBattery().LifetimeHours(b.AverageCurrentMA())
+	if hours < 107.5 || hours > 109 {
+		t.Errorf("battery life at 0.1%% radio = %g h, want ~108", hours)
+	}
+}
+
+func TestIMUCostsBatteryLife(t *testing.T) {
+	with := PaperScenario().Set(IMU, 1)
+	without := PaperScenario()
+	hw := DeviceBattery().LifetimeHours(with.AverageCurrentMA())
+	ho := DeviceBattery().LifetimeHours(without.AverageCurrentMA())
+	if hw >= ho {
+		t.Error("IMU on should reduce battery life")
+	}
+	if hw > 70 {
+		t.Errorf("IMU on: %g h, expected well below 70", hw)
+	}
+}
+
+func TestValidateRejectsUnknownAndOutOfRange(t *testing.T) {
+	b := NewBudget().Set("warp-core", 0.5)
+	if err := b.Validate(); err == nil {
+		t.Error("unknown component accepted")
+	}
+	b2 := NewBudget().Set(MCU, 1.5)
+	if err := b2.Validate(); err == nil {
+		t.Error("duty > 1 accepted")
+	}
+	b3 := NewBudget().Set(MCU, -0.1)
+	if err := b3.Validate(); err == nil {
+		t.Error("duty < 0 accepted")
+	}
+}
+
+func TestLifetimeMonotoneInDutyProperty(t *testing.T) {
+	// More MCU duty can never extend battery life.
+	f := func(d1, d2 float64) bool {
+		d1 = math.Abs(math.Mod(d1, 1))
+		d2 = math.Abs(math.Mod(d2, 1))
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		b1 := PaperScenario().Set(MCU, d1)
+		b2 := PaperScenario().Set(MCU, d2)
+		l1 := DeviceBattery().LifetimeHours(b1.AverageCurrentMA())
+		l2 := DeviceBattery().LifetimeHours(b2.AverageCurrentMA())
+		return l1 >= l2-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLifetimeEdgeCases(t *testing.T) {
+	if DeviceBattery().LifetimeHours(0) != 0 {
+		t.Error("zero current should return 0 (undefined lifetime)")
+	}
+	if DeviceBattery().LifetimeHours(-5) != 0 {
+		t.Error("negative current should return 0")
+	}
+}
+
+func TestEnergyMAh(t *testing.T) {
+	b := PaperScenario()
+	e := b.EnergyMAh(10)
+	if math.Abs(e-66.7198) > 1e-6 {
+		t.Errorf("energy = %g", e)
+	}
+}
+
+func TestReport(t *testing.T) {
+	rep := PaperScenario().Report()
+	for _, want := range []string{ECGChip, ICGChip, MCU, Radio, IMU, "total"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestDischargeBasics(t *testing.T) {
+	d := NewDischarge(DeviceBattery())
+	if d.Percent() != 100 {
+		t.Errorf("fresh battery = %g%%", d.Percent())
+	}
+	b := PaperScenario()
+	drained := d.Step(b, 10)
+	if math.Abs(drained-66.7198) > 1e-3 {
+		t.Errorf("drained = %g mAh", drained)
+	}
+	if d.Empty() {
+		t.Error("not empty yet")
+	}
+	// Run it flat.
+	for i := 0; i < 200 && !d.Empty(); i++ {
+		d.Step(b, 1)
+	}
+	if !d.Empty() {
+		t.Error("battery should be empty")
+	}
+	if d.Percent() > 1e-9 {
+		t.Errorf("empty percent = %g", d.Percent())
+	}
+	if d.Step(b, 1) != 0 {
+		t.Error("draining an empty battery should return 0")
+	}
+}
+
+func TestDischargeHoursLeft(t *testing.T) {
+	d := NewDischarge(DeviceBattery())
+	b := PaperScenario()
+	h := d.HoursLeft(b)
+	if math.Abs(h-106.4) > 0.5 {
+		t.Errorf("hours left = %g", h)
+	}
+	d.Step(b, 53.2) // half the lifetime
+	if math.Abs(d.HoursLeft(b)-53.2) > 0.5 {
+		t.Errorf("hours left after half = %g", d.HoursLeft(b))
+	}
+	zero := NewDischarge(Battery{})
+	if zero.Percent() != 0 {
+		t.Error("zero-capacity percent")
+	}
+}

@@ -1,0 +1,278 @@
+// Package radio models the device's Bluetooth Low Energy link (nRF8001,
+// Section III-A). The device does not stream raw waveforms: it processes
+// signals locally and transmits only the per-beat results (Z0, LVET, PEP,
+// HR), which is why the radio duty cycle stays in the 0.1-1% range used by
+// the paper's battery-life computation.
+package radio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// BLE ATT payload limit used for framing (nRF8001-era 20-byte payloads).
+const MaxPayload = 20
+
+// Frame types.
+const (
+	TypeBeat   = 0x01 // one BeatRecord
+	TypeStatus = 0x02 // device status (battery, duty cycle)
+)
+
+// Frame is one radio packet.
+type Frame struct {
+	Type    byte
+	Seq     byte
+	Payload []byte
+}
+
+// Codec errors.
+var (
+	ErrPayloadTooLarge = errors.New("radio: payload exceeds 20 bytes")
+	ErrBadSync         = errors.New("radio: bad sync byte")
+	ErrBadCRC          = errors.New("radio: CRC mismatch")
+	ErrShortFrame      = errors.New("radio: truncated frame")
+)
+
+const syncByte = 0xA5
+
+// crc16 computes CRC-16/CCITT-FALSE over data.
+func crc16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// Encode serializes a frame: sync, type, seq, len, payload, crc16.
+func (f *Frame) Encode() ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return nil, ErrPayloadTooLarge
+	}
+	buf := make([]byte, 0, 6+len(f.Payload))
+	buf = append(buf, syncByte, f.Type, f.Seq, byte(len(f.Payload)))
+	buf = append(buf, f.Payload...)
+	crc := crc16(buf[1:]) // CRC over everything after the sync byte
+	buf = binary.BigEndian.AppendUint16(buf, crc)
+	return buf, nil
+}
+
+// Decode parses one frame from buf and returns it together with the
+// number of bytes consumed.
+func Decode(buf []byte) (*Frame, int, error) {
+	if len(buf) < 6 {
+		return nil, 0, ErrShortFrame
+	}
+	if buf[0] != syncByte {
+		return nil, 0, ErrBadSync
+	}
+	plen := int(buf[3])
+	total := 6 + plen
+	if plen > MaxPayload {
+		return nil, 0, ErrPayloadTooLarge
+	}
+	if len(buf) < total {
+		return nil, 0, ErrShortFrame
+	}
+	want := binary.BigEndian.Uint16(buf[total-2 : total])
+	if crc16(buf[1:total-2]) != want {
+		return nil, 0, ErrBadCRC
+	}
+	f := &Frame{Type: buf[1], Seq: buf[2], Payload: append([]byte(nil), buf[4:4+plen]...)}
+	return f, total, nil
+}
+
+// WriteFrame encodes and writes a frame to w.
+func WriteFrame(w io.Writer, f *Frame) error {
+	buf, err := f.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame from r, resynchronizing on the sync byte.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	one := make([]byte, 1)
+	// Hunt for sync.
+	for {
+		if _, err := io.ReadFull(r, one); err != nil {
+			return nil, err
+		}
+		if one[0] == syncByte {
+			break
+		}
+	}
+	head := make([]byte, 3)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, err
+	}
+	plen := int(head[2])
+	if plen > MaxPayload {
+		return nil, ErrPayloadTooLarge
+	}
+	rest := make([]byte, plen+2)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return nil, err
+	}
+	buf := append([]byte{syncByte}, head...)
+	buf = append(buf, rest...)
+	f, _, err := Decode(buf)
+	return f, err
+}
+
+// BeatRecord is the per-beat result transmitted to the physician's side:
+// exactly the parameter set listed in Section V (Z0, LVET, PEP, HR).
+type BeatRecord struct {
+	TimestampMs uint32  // time of the R peak since session start
+	Z0          float64 // base impedance (Ohm)
+	LVET        float64 // left ventricular ejection time (s)
+	PEP         float64 // pre-ejection period (s)
+	HR          float64 // heart rate (bpm)
+}
+
+// beatPayloadLen is the fixed encoded size of a BeatRecord.
+const beatPayloadLen = 14
+
+// Marshal encodes the record into a fixed 14-byte payload with
+// fixed-point fields: Z0 in milliohm (uint32), LVET/PEP in 0.1 ms
+// (uint16), HR in 0.1 bpm (uint16).
+func (b *BeatRecord) Marshal() []byte {
+	buf := make([]byte, beatPayloadLen)
+	binary.BigEndian.PutUint32(buf[0:4], b.TimestampMs)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(clampNonNeg(b.Z0*1000)))
+	binary.BigEndian.PutUint16(buf[8:10], uint16(clamp16(b.LVET*1e4)))
+	binary.BigEndian.PutUint16(buf[10:12], uint16(clamp16(b.PEP*1e4)))
+	binary.BigEndian.PutUint16(buf[12:14], uint16(clamp16(b.HR*10)))
+	return buf
+}
+
+// UnmarshalBeat decodes a payload produced by Marshal.
+func UnmarshalBeat(buf []byte) (*BeatRecord, error) {
+	if len(buf) != beatPayloadLen {
+		return nil, fmt.Errorf("radio: beat payload length %d, want %d", len(buf), beatPayloadLen)
+	}
+	return &BeatRecord{
+		TimestampMs: binary.BigEndian.Uint32(buf[0:4]),
+		Z0:          float64(binary.BigEndian.Uint32(buf[4:8])) / 1000,
+		LVET:        float64(binary.BigEndian.Uint16(buf[8:10])) / 1e4,
+		PEP:         float64(binary.BigEndian.Uint16(buf[10:12])) / 1e4,
+		HR:          float64(binary.BigEndian.Uint16(buf[12:14])) / 10,
+	}, nil
+}
+
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 4294967295 {
+		return 4294967295
+	}
+	return v
+}
+
+func clamp16(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 65535 {
+		return 65535
+	}
+	return v
+}
+
+// LinkConfig describes the simulated BLE link.
+type LinkConfig struct {
+	LossProb   float64 // per-transmission loss probability
+	MaxRetries int     // retransmissions before giving up
+	BitRate    float64 // air bit rate (1 Mbps for BLE 4)
+	Overhead   int     // per-frame air overhead in bytes (preamble, headers)
+}
+
+// DefaultLink returns an nRF8001-like link.
+func DefaultLink() LinkConfig {
+	return LinkConfig{LossProb: 0.01, MaxRetries: 3, BitRate: 1e6, Overhead: 14}
+}
+
+// Link simulates transmissions and accounts airtime.
+type Link struct {
+	cfg LinkConfig
+	rng *rand.Rand
+
+	Sent      int
+	Delivered int
+	Dropped   int
+	Retries   int
+	AirtimeS  float64
+}
+
+// NewLink returns a link simulator with a deterministic seed.
+func NewLink(cfg LinkConfig, seed int64) *Link {
+	return &Link{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// airTime returns the on-air duration of one encoded frame.
+func (l *Link) airTime(frameBytes int) float64 {
+	if l.cfg.BitRate <= 0 {
+		return 0
+	}
+	return float64(frameBytes+l.cfg.Overhead) * 8 / l.cfg.BitRate
+}
+
+// Send attempts delivery of a frame with retransmission. It returns
+// whether the frame was delivered.
+func (l *Link) Send(f *Frame) bool {
+	buf, err := f.Encode()
+	if err != nil {
+		return false
+	}
+	l.Sent++
+	attempts := 1 + l.cfg.MaxRetries
+	for a := 0; a < attempts; a++ {
+		l.AirtimeS += l.airTime(len(buf))
+		if l.rng.Float64() >= l.cfg.LossProb {
+			l.Delivered++
+			if a > 0 {
+				l.Retries += a
+			}
+			return true
+		}
+	}
+	l.Dropped++
+	l.Retries += l.cfg.MaxRetries
+	return false
+}
+
+// DutyCycle returns the TX duty fraction over a session of the given
+// duration.
+func (l *Link) DutyCycle(sessionSeconds float64) float64 {
+	if sessionSeconds <= 0 {
+		return 0
+	}
+	return l.AirtimeS / sessionSeconds
+}
+
+// BeatStreamDuty computes the analytic TX duty cycle for beats arriving at
+// hrBPM with the given link parameters: the paper's claim that sending
+// only {Z0, LVET, PEP, HR} keeps the radio near 0.1-1% duty.
+func BeatStreamDuty(hrBPM float64, cfg LinkConfig) float64 {
+	if cfg.BitRate <= 0 {
+		return 0
+	}
+	frameBytes := 6 + beatPayloadLen + cfg.Overhead
+	perBeat := float64(frameBytes) * 8 / cfg.BitRate
+	beatsPerSecond := hrBPM / 60
+	return perBeat * beatsPerSecond
+}

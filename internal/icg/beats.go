@@ -1,0 +1,115 @@
+package icg
+
+import "repro/internal/dsp"
+
+// Beat segmentation and whole-recording analysis: the ICG between two
+// consecutive ECG R peaks is fed to the characteristic-point detector, on
+// a beat-to-beat basis (Section IV-C).
+
+// BeatAnalysis is the outcome of analyzing one beat.
+type BeatAnalysis struct {
+	Points *BeatPoints
+	Err    error
+}
+
+// DetectAll runs the beat detector on every RR segment. tPeaks may be nil
+// (required only for the Carvalho X variant); rPeaks must be sorted.
+func DetectAll(icg []float64, rPeaks []int, tPeaks []int, cfg DetectConfig) []BeatAnalysis {
+	if len(rPeaks) < 2 {
+		return nil
+	}
+	out := make([]BeatAnalysis, 0, len(rPeaks)-1)
+	for i := 0; i+1 < len(rPeaks); i++ {
+		tp := -1
+		if tPeaks != nil && i < len(tPeaks) {
+			tp = tPeaks[i]
+		}
+		pts, err := DetectBeat(icg, rPeaks[i], rPeaks[i+1], tp, cfg)
+		out = append(out, BeatAnalysis{Points: pts, Err: err})
+	}
+	return out
+}
+
+// GoodBeats filters successful detections.
+func GoodBeats(beats []BeatAnalysis) []*BeatPoints {
+	var out []*BeatPoints
+	for _, b := range beats {
+		if b.Err == nil && b.Points != nil {
+			out = append(out, b.Points)
+		}
+	}
+	return out
+}
+
+// YieldRate returns the fraction of beats that were analyzed successfully.
+func YieldRate(beats []BeatAnalysis) float64 {
+	if len(beats) == 0 {
+		return 0
+	}
+	good := 0
+	for _, b := range beats {
+		if b.Err == nil {
+			good++
+		}
+	}
+	return float64(good) / float64(len(beats))
+}
+
+// EnsembleAligned averages fixed-duration windows anchored at each R peak
+// without resampling, preserving the absolute time axis so intervals
+// measured on the averaged beat (PEP, LVET) remain meaningful. length is
+// the window in samples; windows extending past the signal are skipped.
+func EnsembleAligned(icg []float64, rPeaks []int, length int) []float64 {
+	if len(rPeaks) < 2 || length < 2 {
+		return nil
+	}
+	acc := make([]float64, length)
+	count := 0
+	for _, r := range rPeaks {
+		if r < 0 || r+length > len(icg) {
+			continue
+		}
+		for j := 0; j < length; j++ {
+			acc[j] += icg[r+j]
+		}
+		count++
+	}
+	if count == 0 {
+		return nil
+	}
+	for j := range acc {
+		acc[j] /= float64(count)
+	}
+	return acc
+}
+
+// EnsembleAverage aligns the ICG beats at their R peaks, resamples each RR
+// segment to a common length and averages them. The time axis is
+// normalized to the cardiac phase (use EnsembleAligned when absolute
+// intervals must survive); this variant is the right tool for
+// shape-consistency metrics.
+func EnsembleAverage(icg []float64, rPeaks []int, length int) []float64 {
+	if len(rPeaks) < 2 || length < 2 {
+		return nil
+	}
+	acc := make([]float64, length)
+	count := 0
+	for i := 0; i+1 < len(rPeaks); i++ {
+		lo, hi := rPeaks[i], rPeaks[i+1]
+		if lo < 0 || hi > len(icg) || hi-lo < 2 {
+			continue
+		}
+		beat := dsp.ResampleN(icg[lo:hi], length)
+		for j := range acc {
+			acc[j] += beat[j]
+		}
+		count++
+	}
+	if count == 0 {
+		return nil
+	}
+	for j := range acc {
+		acc[j] /= float64(count)
+	}
+	return acc
+}

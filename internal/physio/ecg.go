@@ -1,0 +1,92 @@
+package physio
+
+import "math"
+
+// ECG waveform synthesis. Each beat is a sum of Gaussian wave templates
+// (P, Q, R, S, T) positioned relative to the R peak; wave latencies and
+// the QT interval scale with sqrt(RR) following Bazett's correction, as in
+// the ECGSYN morphology of McSharry et al.
+
+// ECGWave describes one wave of the beat template.
+type ECGWave struct {
+	Name      string
+	Amplitude float64 // mV
+	Offset    float64 // center relative to R (s) at RR = 1 s
+	Width     float64 // Gaussian sigma (s) at RR = 1 s
+	ScaleRR   bool    // whether the offset scales with sqrt(RR)
+}
+
+// DefaultECGWaves returns the standard beat template (amplitudes in mV for
+// a chest lead; the touch measurement scales this down).
+func DefaultECGWaves() []ECGWave {
+	return []ECGWave{
+		{Name: "P", Amplitude: 0.12, Offset: -0.18, Width: 0.022, ScaleRR: true},
+		{Name: "Q", Amplitude: -0.10, Offset: -0.025, Width: 0.008, ScaleRR: false},
+		{Name: "R", Amplitude: 1.00, Offset: 0, Width: 0.009, ScaleRR: false},
+		{Name: "S", Amplitude: -0.18, Offset: 0.028, Width: 0.009, ScaleRR: false},
+		{Name: "T", Amplitude: 0.32, Offset: 0.30, Width: 0.045, ScaleRR: true},
+	}
+}
+
+// ecgBeatValue evaluates the beat template at time dt relative to the R
+// peak of a beat with the given RR interval (s).
+func ecgBeatValue(waves []ECGWave, dt, rr float64) float64 {
+	scale := math.Sqrt(rr)
+	v := 0.0
+	for _, w := range waves {
+		off := w.Offset
+		width := w.Width
+		if w.ScaleRR {
+			off *= scale
+			width *= scale
+		}
+		d := (dt - off) / width
+		if d > -6 && d < 6 {
+			v += w.Amplitude * math.Exp(-d*d/2)
+		}
+	}
+	return v
+}
+
+// synthesizeECG renders the ECG track for R peaks at rTimes with the
+// corresponding RR intervals into a signal of n samples at rate fs.
+// ampScale scales the whole template (touch leads are smaller than chest
+// leads); ampJitter is the per-beat multiplicative amplitude jitter
+// already sampled by the caller (one value per beat).
+func synthesizeECG(waves []ECGWave, rTimes, rr []float64, ampJitter []float64, n int, fs float64) []float64 {
+	ecg := make([]float64, n)
+	// Each beat only influences samples within a window around its R
+	// peak; render beat by beat for O(beats * window).
+	for b, tr := range rTimes {
+		rrB := 1.0
+		if b < len(rr) {
+			rrB = rr[b]
+		}
+		amp := 1.0
+		if b < len(ampJitter) {
+			amp = ampJitter[b]
+		}
+		// Template support: P wave starts ~0.3 s before R; T wave ends
+		// ~0.55*sqrt(rr) s after.
+		lo := int((tr - 0.35) * fs)
+		hi := int((tr + 0.65*math.Sqrt(rrB)) * fs)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for i := lo; i <= hi; i++ {
+			dt := float64(i)/fs - tr
+			ecg[i] += amp * ecgBeatValue(waves, dt, rrB)
+		}
+	}
+	return ecg
+}
+
+// TPeakOffset returns the nominal T-peak latency after R for an RR
+// interval (used by the Carvalho X-point variant, which searches near the
+// end of the T wave).
+func TPeakOffset(rr float64) float64 {
+	return 0.30 * math.Sqrt(rr)
+}

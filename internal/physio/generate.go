@@ -1,0 +1,171 @@
+package physio
+
+import (
+	"math"
+
+	"repro/internal/dsp"
+)
+
+// Generate synthesizes a complete simultaneous ECG/ICG recording for the
+// subject with exact ground-truth annotations, following the acquisition
+// flow of the paper's Fig 3 from the body's side: cardiac electrical
+// activity (ECG), the mechanical impedance response (-dZ/dt and its
+// integral), respiration, and configurable artifacts.
+func (s *Subject) Generate(cfg GenConfig) *Recording {
+	if cfg.FS <= 0 {
+		cfg.FS = 250
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30
+	}
+	rng := NewRNG(s.Seed)
+	fs := cfg.FS
+	n := int(cfg.Duration * fs)
+
+	// 1. RR tachogram: draw enough beats to cover the recording.
+	maxBeats := int(cfg.Duration/0.35) + 4
+	tc := TachogramConfig{MeanRR: s.MeanRR(), StdRR: s.HRStd, LFHF: s.LFHF}
+	rrAll := RRTachogram(rng, tc, maxBeats)
+	// Ectopy: a premature beat shortens its RR and the next beat absorbs
+	// a compensatory pause, keeping the two-beat span constant.
+	if cfg.EctopicProb > 0 {
+		for i := 0; i+1 < len(rrAll); i++ {
+			if rng.Float64() < cfg.EctopicProb {
+				frac := 0.55 + 0.20*rng.Float64()
+				cut := rrAll[i] * (1 - frac)
+				rrAll[i] *= frac
+				rrAll[i+1] += cut
+				i++ // do not stack ectopics back to back
+			}
+		}
+	}
+	// Keep beats whose full template (R-0.35s .. R+0.9s) fits.
+	start := 0.45
+	var rTimes, rr []float64
+	t := start
+	for _, v := range rrAll {
+		if t+0.9 > cfg.Duration {
+			break
+		}
+		rTimes = append(rTimes, t)
+		rr = append(rr, v)
+		t += v
+	}
+	nb := len(rTimes)
+
+	// 2. Per-beat systolic time intervals and ICG template timing.
+	beats := make([]icgBeat, nb)
+	truth := Annotations{
+		RPeaks:  make([]int, nb),
+		BPoints: make([]int, nb),
+		CPoints: make([]int, nb),
+		XPoints: make([]int, nb),
+		RR:      make([]float64, nb),
+		PEP:     make([]float64, nb),
+		LVET:    make([]float64, nb),
+	}
+	ampJitter := make([]float64, nb)
+	for i := 0; i < nb; i++ {
+		hr := 60 / rr[i]
+		pep := WeisslerPEP(hr) + (s.STI.PEPBias+rng.NormFloat64()*s.STI.PEPJitter)/1000
+		lvet := WeisslerLVET(hr) + (s.STI.LVETBias+rng.NormFloat64()*s.STI.LVETJit)/1000
+		pep = dsp.Clamp(pep, 0.040, 0.160)
+		lvet = dsp.Clamp(lvet, 0.180, 0.420)
+		amp := s.DZdtMax * (1 + 0.05*rng.NormFloat64())
+		tR := rTimes[i]
+		tB := tR + pep
+		tC := tB + 0.38*lvet
+		tX := tB + lvet
+		beats[i] = icgBeat{tR: tR, tB: tB, tC: tC, tX: tX, amp: amp, rr: rr[i]}
+		truth.RPeaks[i] = int(tR*fs + 0.5)
+		truth.BPoints[i] = int(tB*fs + 0.5)
+		truth.CPoints[i] = int(tC*fs + 0.5)
+		truth.XPoints[i] = int(tX*fs + 0.5)
+		truth.RR[i] = rr[i]
+		truth.PEP[i] = pep
+		truth.LVET[i] = lvet
+		ampJitter[i] = s.ECGScale * (1 + 0.03*rng.NormFloat64())
+	}
+
+	// 3. Clean tracks.
+	ecg := synthesizeECG(DefaultECGWaves(), rTimes, rr, ampJitter, n, fs)
+	icg := synthesizeICG(beats, n, fs)
+	balanceBeats(icg, beats, fs)
+
+	// 4. Cardiac impedance variation: dZ/dt = -ICG.
+	dz := dsp.Integrate(dsp.Scale(icg, -1), fs)
+	// Remove the residual mean so DZ oscillates around zero.
+	dz = dsp.Offset(dz, -dsp.Mean(dz))
+
+	// 5. Respiration.
+	resp := Respiration(rng, RespConfig{Rate: s.RespRate, DepthOhm: s.RespDepth}, n, fs)
+
+	// 6. Artifacts on the measured tracks.
+	if cfg.ECGBaselineDrift > 0 {
+		ecg = dsp.Add(ecg, BaselineWander(rng, n, fs, cfg.ECGBaselineDrift))
+	}
+	if cfg.PowerlineAmp > 0 {
+		ecg = dsp.Add(ecg, Powerline(rng, n, fs, cfg.PowerlineAmp))
+	}
+	if cfg.ECGNoiseStd > 0 {
+		ecg = dsp.Add(ecg, WhiteNoise(rng, n, cfg.ECGNoiseStd))
+	}
+	if cfg.MotionBurstRate > 0 && cfg.MotionBurstAmp > 0 {
+		ecg = dsp.Add(ecg, MotionBursts(rng, n, fs, cfg.MotionBurstRate, cfg.MotionBurstAmp))
+		icg = dsp.Add(icg, MotionBursts(rng, n, fs, cfg.MotionBurstRate, cfg.MotionBurstAmp))
+	}
+	if cfg.ICGNoiseStd > 0 {
+		icg = dsp.Add(icg, WhiteNoise(rng, n, cfg.ICGNoiseStd))
+	}
+
+	return &Recording{
+		FS:    fs,
+		ECG:   ecg,
+		ICG:   icg,
+		DZ:    dz,
+		Resp:  resp,
+		Truth: truth,
+	}
+}
+
+// HeartRateSeries returns the per-beat instantaneous heart rate (bpm) of
+// the ground truth.
+func (a *Annotations) HeartRateSeries() []float64 {
+	hr := make([]float64, len(a.RR))
+	for i, rr := range a.RR {
+		if rr > 0 {
+			hr[i] = 60 / rr
+		}
+	}
+	return hr
+}
+
+// MeanHR returns the mean ground-truth heart rate in bpm.
+func (a *Annotations) MeanHR() float64 {
+	if len(a.RR) == 0 {
+		return 0
+	}
+	return dsp.Mean(a.HeartRateSeries())
+}
+
+// NearestBeat returns the index of the annotated R peak nearest to the
+// given sample index, and the distance in samples.
+func (a *Annotations) NearestBeat(sample int) (beat, dist int) {
+	if len(a.RPeaks) == 0 {
+		return -1, math.MaxInt32
+	}
+	best, bestD := 0, abs(a.RPeaks[0]-sample)
+	for i, r := range a.RPeaks {
+		if d := abs(r - sample); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

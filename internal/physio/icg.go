@@ -1,0 +1,179 @@
+package physio
+
+import "math"
+
+// ICG waveform synthesis. Each beat renders the classic -dZ/dt morphology:
+// a small atrial A wave, the B notch at aortic valve opening, the steep
+// systolic upstroke to the C peak, the fall to the X trough at aortic
+// valve closure, and the diastolic O wave. Timing is driven by the
+// per-beat PEP and LVET; amplitude by the subject's (dZ/dt)max.
+//
+// Systolic time intervals follow the Weissler regressions against heart
+// rate with per-subject biases:
+//
+//	PEP  = 131 - 0.4*HR  (ms)
+//	LVET = 413 - 1.7*HR  (ms)
+
+// STIConfig parameterizes the systolic-time-interval model.
+type STIConfig struct {
+	PEPBias   float64 // added to the Weissler PEP (ms)
+	LVETBias  float64 // added to the Weissler LVET (ms)
+	PEPJitter float64 // per-beat Gaussian jitter (ms)
+	LVETJit   float64 // per-beat Gaussian jitter (ms)
+}
+
+// WeisslerPEP returns the regression pre-ejection period (s) at the given
+// heart rate (bpm).
+func WeisslerPEP(hr float64) float64 {
+	return (131 - 0.4*hr) / 1000
+}
+
+// WeisslerLVET returns the regression left-ventricular ejection time (s)
+// at the given heart rate (bpm).
+func WeisslerLVET(hr float64) float64 {
+	return (413 - 1.7*hr) / 1000
+}
+
+// skewGauss evaluates an asymmetric Gaussian with separate left/right
+// widths.
+func skewGauss(dt, sigmaL, sigmaR float64) float64 {
+	s := sigmaR
+	if dt < 0 {
+		s = sigmaL
+	}
+	d := dt / s
+	if d < -6 || d > 6 {
+		return 0
+	}
+	return math.Exp(-d * d / 2)
+}
+
+// icgBeat holds the resolved per-beat template timing (absolute seconds).
+type icgBeat struct {
+	tR, tB, tC, tX float64
+	amp            float64 // (dZ/dt)max in Ohm/s
+	rr             float64
+}
+
+// value evaluates the ICG template at absolute time t.
+func (b *icgBeat) value(t float64) float64 {
+	a := b.amp
+	v := 0.0
+	// A wave: small negative deflection from atrial systole before B.
+	v += -0.08 * a * skewGauss(t-(b.tR-0.035), 0.018, 0.018)
+	// B notch: a narrow dip right before the upstroke; it produces the
+	// (+,-,+,-) second-derivative pattern the detector looks for.
+	v += -0.06 * a * skewGauss(t-(b.tB-0.010), 0.007, 0.007)
+	// C wave: steep rise from B, slower fall toward X.
+	sigL := (b.tC - b.tB) / 2.6
+	sigR := (b.tX - b.tC) / 2.1
+	v += a * skewGauss(t-b.tC, sigL, sigR)
+	// X trough at aortic valve closure: a sharp, V-like incisura (its
+	// sharpness is what makes the 3rd-derivative refinement of the
+	// detector land next to the trough, as in real recordings).
+	xSigL := (b.tX - b.tC) / 3.4
+	if xSigL > 0.026 {
+		xSigL = 0.026
+	}
+	v += -0.42 * a * skewGauss(t-b.tX, xSigL, 0.017)
+	// O wave: diastolic positive wave (mitral opening / rapid filling).
+	v += 0.20 * a * skewGauss(t-(b.tX+0.12), 0.030, 0.045)
+	return v
+}
+
+// support returns the time span influenced by this beat's template.
+func (b *icgBeat) support() (lo, hi float64) {
+	return b.tR - 0.15, b.tX + 0.35
+}
+
+// synthesizeICG renders the clean cardiac ICG (-dZ/dt, Ohm/s) and fills
+// the B/C/X ground truth. beats must carry resolved timing.
+func synthesizeICG(beats []icgBeat, n int, fs float64) []float64 {
+	icg := make([]float64, n)
+	for i := range beats {
+		lo, hi := beats[i].support()
+		iLo := int(lo * fs)
+		iHi := int(hi * fs)
+		if iLo < 0 {
+			iLo = 0
+		}
+		if iHi > n-1 {
+			iHi = n - 1
+		}
+		for s := iLo; s <= iHi; s++ {
+			icg[s] += beats[i].value(float64(s) / fs)
+		}
+	}
+	return icg
+}
+
+// balanceBeats applies a smooth per-beat correction so the ICG integrates
+// to ~zero over every beat, keeping Z(t) bounded. Physically the thoracic
+// impedance recovers continuously (venous return runs throughout the
+// cycle), so the correction is a shallow negative offset spread over the
+// whole beat with tapered edges — never deep enough to compete with the X
+// trough, leaving the B-C-X morphology intact.
+func balanceBeats(icg []float64, beats []icgBeat, fs float64) {
+	n := len(icg)
+	taper := int(0.06 * fs) // 60 ms raised-cosine edges
+	for i := range beats {
+		var endT float64
+		if i+1 < len(beats) {
+			endT = beats[i+1].tR - 0.10
+		} else {
+			endT = beats[i].tX + 0.40
+		}
+		startT := beats[i].tR - 0.10
+		iLo := int(startT * fs)
+		iHi := int(endT * fs)
+		if iLo < 0 {
+			iLo = 0
+		}
+		if iHi > n-1 {
+			iHi = n - 1
+		}
+		if iHi-iLo < 4*taper {
+			continue
+		}
+		// Integral of this beat's span (in Ohm).
+		var integral float64
+		for s := iLo; s <= iHi; s++ {
+			integral += icg[s]
+		}
+		integral /= fs
+		// Tapered-constant weight profile: 1 in the middle, raised-cosine
+		// edges; scaled so the correction integrates to exactly integral.
+		m := iHi - iLo + 1
+		var wsum float64
+		weight := func(j int) float64 {
+			switch {
+			case j < taper:
+				return 0.5 - 0.5*mCos(float64(j)/float64(taper))
+			case j >= m-taper:
+				return 0.5 - 0.5*mCos(float64(m-1-j)/float64(taper))
+			default:
+				return 1
+			}
+		}
+		for j := 0; j < m; j++ {
+			wsum += weight(j)
+		}
+		if wsum == 0 {
+			continue
+		}
+		k := integral * fs / wsum
+		for j := 0; j < m; j++ {
+			icg[iLo+j] -= k * weight(j)
+		}
+	}
+}
+
+// mCos is cos(pi*x) for the raised-cosine taper.
+func mCos(x float64) float64 { return math.Cos(math.Pi * x) }
+
+func hannAt(j, m int) float64 {
+	if m <= 1 {
+		return 1
+	}
+	return 0.5 - 0.5*math.Cos(2*math.Pi*float64(j)/float64(m-1))
+}

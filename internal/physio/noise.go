@@ -1,0 +1,165 @@
+package physio
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dsp"
+)
+
+// Artifact and noise generators. The ICG literature (and the paper's
+// Section II) places respiration at 0.04-2 Hz and motion artifacts at
+// 0.1-10 Hz, overlapping the 0.8-20 Hz ICG band; the generators below
+// reproduce those bands.
+
+// WhiteNoise returns n samples of Gaussian noise with the given standard
+// deviation.
+func WhiteNoise(rng *rand.Rand, n int, std float64) []float64 {
+	x := make([]float64, n)
+	if std == 0 {
+		return x
+	}
+	for i := range x {
+		x[i] = rng.NormFloat64() * std
+	}
+	return x
+}
+
+// PinkNoise returns n samples of approximately 1/f noise with the given
+// standard deviation, produced by the Paul Kellet IIR shaping filter.
+func PinkNoise(rng *rand.Rand, n int, std float64) []float64 {
+	if n == 0 {
+		return nil
+	}
+	white := WhiteNoise(rng, n, 1)
+	b := []float64{0.049922035, -0.095993537, 0.050612699, -0.004408786}
+	a := []float64{1, -2.494956002, 2.017265875, -0.522189400}
+	pink := dsp.Lfilter(b, a, white)
+	return rescaleStd(pink, std)
+}
+
+// BandNoise returns n samples of Gaussian noise band-limited to [f1, f2]
+// Hz at sampling rate fs, rescaled to the given standard deviation. It is
+// the model for position-dependent contact and motion artifacts, whose
+// energy overlaps the signal band and therefore survives the acquisition
+// filters.
+func BandNoise(rng *rand.Rand, n int, fs, f1, f2, std float64) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if std == 0 {
+		return make([]float64, n)
+	}
+	white := WhiteNoise(rng, n, 1)
+	sos, err := dsp.DesignButterBandPass(2, f1, f2, fs)
+	if err != nil {
+		return rescaleStd(white, std)
+	}
+	shaped := sos.Filter(white)
+	return rescaleStd(shaped, std)
+}
+
+// BaselineWander returns a slow drift built from a few random sinusoids in
+// 0.05-0.45 Hz, with peak amplitude approximately amp.
+func BaselineWander(rng *rand.Rand, n int, fs, amp float64) []float64 {
+	x := make([]float64, n)
+	if amp == 0 {
+		return x
+	}
+	comps := 3
+	for c := 0; c < comps; c++ {
+		f := 0.05 + rng.Float64()*0.40
+		phase := rng.Float64() * 2 * math.Pi
+		a := amp * (0.4 + 0.6*rng.Float64()) / float64(comps)
+		for i := range x {
+			x[i] += a * math.Sin(2*math.Pi*f*float64(i)/fs+phase)
+		}
+	}
+	return x
+}
+
+// Powerline returns 50 Hz interference with slowly varying amplitude.
+func Powerline(rng *rand.Rand, n int, fs, amp float64) []float64 {
+	x := make([]float64, n)
+	if amp == 0 {
+		return x
+	}
+	phase := rng.Float64() * 2 * math.Pi
+	modPhase := rng.Float64() * 2 * math.Pi
+	for i := range x {
+		t := float64(i) / fs
+		mod := 1 + 0.3*math.Sin(2*math.Pi*0.1*t+modPhase)
+		x[i] = amp * mod * math.Sin(2*math.Pi*50*t+phase)
+	}
+	return x
+}
+
+// MotionBursts returns sparse motion-artifact epochs: Poisson arrivals at
+// ratePerMin, each a 0.3-1.2 s burst of band-limited (0.5-8 Hz) noise
+// with a raised-cosine envelope of the given amplitude.
+func MotionBursts(rng *rand.Rand, n int, fs, ratePerMin, amp float64) []float64 {
+	x := make([]float64, n)
+	if ratePerMin <= 0 || amp == 0 || n == 0 {
+		return x
+	}
+	dur := float64(n) / fs
+	expected := ratePerMin * dur / 60
+	bursts := poisson(rng, expected)
+	for b := 0; b < bursts; b++ {
+		center := rng.Float64() * dur
+		width := 0.3 + rng.Float64()*0.9
+		lo := int((center - width/2) * fs)
+		hi := int((center + width/2) * fs)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		if hi <= lo {
+			continue
+		}
+		m := hi - lo + 1
+		noise := BandNoise(rng, m, fs, 0.5, 8, amp)
+		for j := 0; j < m; j++ {
+			x[lo+j] += noise[j] * hannAt(j, m)
+		}
+	}
+	return x
+}
+
+// poisson draws a Poisson-distributed count with the given mean.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k
+		}
+	}
+}
+
+// rescaleStd rescales x to have exactly the requested standard deviation
+// (and zero mean).
+func rescaleStd(x []float64, std float64) []float64 {
+	cur := dsp.Std(x)
+	mean := dsp.Mean(x)
+	y := make([]float64, len(x))
+	if cur == 0 {
+		return y
+	}
+	k := std / cur
+	for i, v := range x {
+		y[i] = (v - mean) * k
+	}
+	return y
+}

@@ -1,0 +1,466 @@
+package physio
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+func TestRRTachogramStatistics(t *testing.T) {
+	rng := NewRNG(1)
+	cfg := TachogramConfig{MeanRR: 0.8, StdRR: 0.04, LFHF: 1}
+	rr := RRTachogram(rng, cfg, 600)
+	if len(rr) != 600 {
+		t.Fatalf("len = %d", len(rr))
+	}
+	if m := dsp.Mean(rr); math.Abs(m-0.8) > 0.01 {
+		t.Errorf("mean RR = %g, want ~0.8", m)
+	}
+	if s := dsp.Std(rr); math.Abs(s-0.04) > 0.01 {
+		t.Errorf("std RR = %g, want ~0.04", s)
+	}
+	for i, v := range rr {
+		if v < 0.35 || v > 2.2 {
+			t.Fatalf("rr[%d] = %g outside physiological clamp", i, v)
+		}
+	}
+}
+
+func TestRRTachogramDeterministic(t *testing.T) {
+	cfg := DefaultTachogram()
+	a := RRTachogram(NewRNG(42), cfg, 100)
+	b := RRTachogram(NewRNG(42), cfg, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+	c := RRTachogram(NewRNG(43), cfg, 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical tachograms")
+	}
+}
+
+func TestRRTachogramSpectralContent(t *testing.T) {
+	// With a large LF/HF ratio the LF band should dominate, and vice
+	// versa. Spectra are compared on the beat-sampled series.
+	rng := NewRNG(7)
+	mk := func(lfhf float64) (lf, hf float64) {
+		cfg := TachogramConfig{MeanRR: 0.8, StdRR: 0.05, LFHF: lfhf}
+		rr := RRTachogram(rng, cfg, 2048)
+		fsT := 1 / 0.8
+		lf = dsp.BandPower(rr, fsT, 0.06, 0.14)
+		hf = dsp.BandPower(rr, fsT, 0.20, 0.30)
+		return lf, hf
+	}
+	lf1, hf1 := mk(4)
+	if lf1 <= hf1 {
+		t.Errorf("LFHF=4: LF=%g should exceed HF=%g", lf1, hf1)
+	}
+	lf2, hf2 := mk(0.25)
+	if hf2 <= lf2 {
+		t.Errorf("LFHF=0.25: HF=%g should exceed LF=%g", hf2, lf2)
+	}
+}
+
+func TestRRTachogramEdgeCases(t *testing.T) {
+	if RRTachogram(NewRNG(1), DefaultTachogram(), 0) != nil {
+		t.Error("n=0 should return nil")
+	}
+	rr := RRTachogram(NewRNG(1), TachogramConfig{}, 10)
+	if len(rr) != 10 {
+		t.Fatal("zero config should use defaults")
+	}
+	for _, v := range rr {
+		if v <= 0 {
+			t.Fatal("non-positive RR")
+		}
+	}
+}
+
+func TestRTimes(t *testing.T) {
+	rr := []float64{0.8, 0.9, 1.0}
+	times := RTimes(rr, 0.5)
+	want := []float64{0.5, 1.3, 2.2}
+	for i := range want {
+		if math.Abs(times[i]-want[i]) > 1e-12 {
+			t.Errorf("times[%d] = %g, want %g", i, times[i], want[i])
+		}
+	}
+}
+
+func TestECGBeatTemplateShape(t *testing.T) {
+	waves := DefaultECGWaves()
+	// R peak dominates at dt=0.
+	r := ecgBeatValue(waves, 0, 1)
+	if r < 0.9 {
+		t.Errorf("R amplitude = %g, want ~1", r)
+	}
+	// Q and S are negative deflections around R.
+	if q := ecgBeatValue(waves, -0.025, 1); q > r {
+		t.Error("Q should be below R")
+	}
+	// T wave is positive and smaller than R.
+	tv := ecgBeatValue(waves, 0.30, 1)
+	if tv < 0.2 || tv > 0.5 {
+		t.Errorf("T amplitude = %g", tv)
+	}
+	// Baseline far from the beat is ~0.
+	if b := ecgBeatValue(waves, 0.8, 1); math.Abs(b) > 0.01 {
+		t.Errorf("baseline = %g", b)
+	}
+}
+
+func TestWeisslerRegressions(t *testing.T) {
+	// At 60 bpm: PEP = 107 ms, LVET = 311 ms.
+	if pep := WeisslerPEP(60); math.Abs(pep-0.107) > 1e-9 {
+		t.Errorf("PEP(60) = %g", pep)
+	}
+	if lvet := WeisslerLVET(60); math.Abs(lvet-0.311) > 1e-9 {
+		t.Errorf("LVET(60) = %g", lvet)
+	}
+	// Both shorten as HR rises.
+	if WeisslerPEP(90) >= WeisslerPEP(60) {
+		t.Error("PEP should shorten with HR")
+	}
+	if WeisslerLVET(90) >= WeisslerLVET(60) {
+		t.Error("LVET should shorten with HR")
+	}
+}
+
+func TestSubjectsCalibrationTable(t *testing.T) {
+	subs := Subjects()
+	if len(subs) != 5 {
+		t.Fatalf("subjects = %d, want 5", len(subs))
+	}
+	// Paper Tables II-IV, column by column.
+	wantCorr := [5][3]float64{
+		{0.9081, 0.9747, 0.9737},
+		{0.9471, 0.9497, 0.9377},
+		{0.9827, 0.9938, 0.9908},
+		{0.8451, 0.9033, 0.8531},
+		{0.9251, 0.8461, 0.6919},
+	}
+	for i, s := range subs {
+		if s.ID != i+1 {
+			t.Errorf("subject %d has ID %d", i, s.ID)
+		}
+		for p := 0; p < 3; p++ {
+			if s.PosCorrTarget[p] != wantCorr[i][p] {
+				t.Errorf("subject %d pos %d target = %g, want %g",
+					s.ID, p+1, s.PosCorrTarget[p], wantCorr[i][p])
+			}
+		}
+		// Mean-scale calibration: pos2 > pos3 >= pos1 = 1, and the
+		// implied relative errors stay below 20%.
+		if s.PosMeanScale[0] != 1 {
+			t.Errorf("subject %d: pos1 scale must be 1", s.ID)
+		}
+		if s.PosMeanScale[1] <= s.PosMeanScale[2] {
+			t.Errorf("subject %d: pos2 scale should exceed pos3", s.ID)
+		}
+		e21 := (s.PosMeanScale[1] - 1) / s.PosMeanScale[1]
+		if e21 <= 0 || e21 >= 0.20 {
+			t.Errorf("subject %d: implied e21 = %g outside (0, 0.20)", s.ID, e21)
+		}
+		if s.HeartRate < 45 || s.HeartRate > 100 {
+			t.Errorf("subject %d: HR = %g implausible", s.ID, s.HeartRate)
+		}
+		if s.ThoraxR0 <= s.ThoraxRInf {
+			t.Errorf("subject %d: Cole R0 must exceed Rinf", s.ID)
+		}
+		if s.ArmR0 <= s.ArmRInf {
+			t.Errorf("subject %d: arm Cole R0 must exceed Rinf", s.ID)
+		}
+	}
+}
+
+func TestSubjectByID(t *testing.T) {
+	s, ok := SubjectByID(3)
+	if !ok || s.ID != 3 {
+		t.Fatalf("SubjectByID(3) = %+v, %v", s, ok)
+	}
+	if _, ok := SubjectByID(9); ok {
+		t.Error("SubjectByID(9) should fail")
+	}
+	if rr := s.MeanRR(); math.Abs(rr-60.0/58) > 1e-12 {
+		t.Errorf("MeanRR = %g", rr)
+	}
+}
+
+func TestGenerateBasicProperties(t *testing.T) {
+	s, _ := SubjectByID(1)
+	rec := s.Generate(DefaultGenConfig())
+	n := int(30 * 250)
+	if len(rec.ECG) != n || len(rec.ICG) != n || len(rec.DZ) != n || len(rec.Resp) != n {
+		t.Fatalf("track lengths: %d %d %d %d", len(rec.ECG), len(rec.ICG), len(rec.DZ), len(rec.Resp))
+	}
+	if rec.Duration() != 30 {
+		t.Errorf("duration = %g", rec.Duration())
+	}
+	nb := rec.Truth.Beats()
+	// ~64 bpm for 30 s => ~30-32 beats (minus edge trimming).
+	if nb < 25 || nb > 35 {
+		t.Errorf("beats = %d, want ~30", nb)
+	}
+	if dsp.HasNaN(rec.ECG) || dsp.HasNaN(rec.ICG) || dsp.HasNaN(rec.DZ) {
+		t.Fatal("NaN in generated tracks")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s, _ := SubjectByID(2)
+	a := s.Generate(DefaultGenConfig())
+	b := s.Generate(DefaultGenConfig())
+	for i := range a.ECG {
+		if a.ECG[i] != b.ECG[i] || a.ICG[i] != b.ICG[i] {
+			t.Fatalf("nondeterministic generation at %d", i)
+		}
+	}
+}
+
+func TestGenerateTruthOrdering(t *testing.T) {
+	s, _ := SubjectByID(3)
+	rec := s.Generate(DefaultGenConfig())
+	tr := rec.Truth
+	for i := 0; i < tr.Beats(); i++ {
+		if !(tr.RPeaks[i] < tr.BPoints[i] && tr.BPoints[i] < tr.CPoints[i] && tr.CPoints[i] < tr.XPoints[i]) {
+			t.Fatalf("beat %d: ordering R=%d B=%d C=%d X=%d", i,
+				tr.RPeaks[i], tr.BPoints[i], tr.CPoints[i], tr.XPoints[i])
+		}
+		if i > 0 && tr.RPeaks[i] <= tr.RPeaks[i-1] {
+			t.Fatalf("R peaks not increasing at %d", i)
+		}
+		// PEP and LVET in physiological ranges.
+		if tr.PEP[i] < 0.04 || tr.PEP[i] > 0.16 {
+			t.Errorf("beat %d: PEP = %g", i, tr.PEP[i])
+		}
+		if tr.LVET[i] < 0.18 || tr.LVET[i] > 0.42 {
+			t.Errorf("beat %d: LVET = %g", i, tr.LVET[i])
+		}
+	}
+}
+
+func TestGenerateRPeaksAreECGMaxima(t *testing.T) {
+	s, _ := SubjectByID(1)
+	cfg := DefaultGenConfig()
+	cfg.ECGBaselineDrift = 0
+	cfg.PowerlineAmp = 0
+	cfg.ECGNoiseStd = 0
+	rec := s.Generate(cfg)
+	for i, r := range rec.Truth.RPeaks {
+		// The annotated R peak should be within 2 samples of the local
+		// ECG maximum.
+		lo, hi := r-5, r+6
+		m := dsp.ArgMax(rec.ECG, lo, hi)
+		if d := m - r; d < -2 || d > 2 {
+			t.Errorf("beat %d: R annotation off by %d samples", i, d)
+		}
+	}
+}
+
+func TestGenerateCPointsAreICGMaxima(t *testing.T) {
+	s, _ := SubjectByID(1)
+	cfg := DefaultGenConfig()
+	cfg.ICGNoiseStd = 0
+	rec := s.Generate(cfg)
+	for i, c := range rec.Truth.CPoints {
+		lo, hi := c-8, c+9
+		m := dsp.ArgMax(rec.ICG, lo, hi)
+		if d := m - c; d < -3 || d > 3 {
+			t.Errorf("beat %d: C annotation off by %d samples", i, d)
+		}
+	}
+}
+
+func TestGenerateICGIntegralBounded(t *testing.T) {
+	// The per-beat balance keeps the impedance excursion DZ bounded
+	// (no drift): max |DZ| should stay well under 1 Ohm.
+	s, _ := SubjectByID(4)
+	cfg := DefaultGenConfig()
+	cfg.ICGNoiseStd = 0
+	rec := s.Generate(cfg)
+	lo, hi := dsp.MinMax(rec.DZ)
+	if hi-lo > 1.0 {
+		t.Errorf("DZ peak-to-peak = %g Ohm, drift suspected", hi-lo)
+	}
+}
+
+func TestGenerateRespirationBand(t *testing.T) {
+	s, _ := SubjectByID(5)
+	rec := s.Generate(DefaultGenConfig())
+	f := dsp.DominantFrequency(rec.Resp, rec.FS, 0.05)
+	if math.Abs(f-s.RespRate) > 0.08 {
+		t.Errorf("respiration dominant frequency = %g, want ~%g", f, s.RespRate)
+	}
+}
+
+func TestGenerateHeartRateMatchesConfig(t *testing.T) {
+	for _, s := range Subjects() {
+		cfg := DefaultGenConfig()
+		cfg.Duration = 60
+		rec := s.Generate(cfg)
+		hr := rec.Truth.MeanHR()
+		if math.Abs(hr-s.HeartRate) > 4 {
+			t.Errorf("%s: mean HR = %g, want ~%g", s.Name, hr, s.HeartRate)
+		}
+	}
+}
+
+func TestNearestBeat(t *testing.T) {
+	a := Annotations{RPeaks: []int{100, 300, 500}}
+	b, d := a.NearestBeat(310)
+	if b != 1 || d != 10 {
+		t.Errorf("nearest = %d, %d", b, d)
+	}
+	empty := Annotations{}
+	if b, _ := empty.NearestBeat(0); b != -1 {
+		t.Error("empty annotations should return -1")
+	}
+}
+
+func TestMotionBurstsSparse(t *testing.T) {
+	rng := NewRNG(9)
+	n := 250 * 60
+	x := MotionBursts(rng, n, 250, 4, 0.5)
+	// Bursts are sparse: most samples are exactly zero.
+	zero := 0
+	for _, v := range x {
+		if v == 0 {
+			zero++
+		}
+	}
+	if frac := float64(zero) / float64(n); frac < 0.7 {
+		t.Errorf("zero fraction = %g, bursts not sparse", frac)
+	}
+	if MotionBursts(rng, n, 250, 0, 1)[0] != 0 {
+		t.Error("rate 0 should produce silence")
+	}
+}
+
+func TestNoiseGeneratorsStd(t *testing.T) {
+	rng := NewRNG(3)
+	n := 50000
+	if s := dsp.Std(WhiteNoise(rng, n, 0.5)); math.Abs(s-0.5) > 0.02 {
+		t.Errorf("white std = %g", s)
+	}
+	if s := dsp.Std(PinkNoise(rng, n, 0.5)); math.Abs(s-0.5) > 0.02 {
+		t.Errorf("pink std = %g", s)
+	}
+	if s := dsp.Std(BandNoise(rng, n, 250, 0.5, 8, 0.3)); math.Abs(s-0.3) > 0.02 {
+		t.Errorf("band noise std = %g", s)
+	}
+}
+
+func TestPinkNoiseSpectrumFallsOff(t *testing.T) {
+	rng := NewRNG(13)
+	x := PinkNoise(rng, 1<<15, 1)
+	lo := dsp.BandPower(x, 250, 1, 5)
+	hi := dsp.BandPower(x, 250, 60, 100)
+	if lo <= hi {
+		t.Errorf("pink noise should concentrate at low frequencies: %g vs %g", lo, hi)
+	}
+}
+
+func TestBandNoiseIsBandLimited(t *testing.T) {
+	rng := NewRNG(17)
+	x := BandNoise(rng, 1<<15, 250, 2, 8, 1)
+	in := dsp.BandPower(x, 250, 2, 8)
+	out := dsp.BandPower(x, 250, 40, 100)
+	if in < 10*out {
+		t.Errorf("band noise not band-limited: in=%g out=%g", in, out)
+	}
+}
+
+func TestPowerlineFrequency(t *testing.T) {
+	rng := NewRNG(23)
+	x := Powerline(rng, 1<<14, 250, 0.1)
+	f := dsp.DominantFrequency(x, 250, 10)
+	if math.Abs(f-50) > 1 {
+		t.Errorf("powerline at %g Hz", f)
+	}
+}
+
+func TestBaselineWanderIsSlow(t *testing.T) {
+	rng := NewRNG(29)
+	x := BaselineWander(rng, 1<<14, 250, 0.5)
+	slow := dsp.BandPower(x, 250, 0.01, 0.6)
+	fast := dsp.BandPower(x, 250, 5, 50)
+	if slow < 100*fast {
+		t.Errorf("baseline wander has fast content: %g vs %g", slow, fast)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := NewRNG(31)
+	total := 0
+	n := 3000
+	for i := 0; i < n; i++ {
+		total += poisson(rng, 2.5)
+	}
+	mean := float64(total) / float64(n)
+	if math.Abs(mean-2.5) > 0.15 {
+		t.Errorf("poisson mean = %g, want ~2.5", mean)
+	}
+	if poisson(rng, 0) != 0 {
+		t.Error("poisson(0) should be 0")
+	}
+}
+
+func TestTPeakOffsetScalesWithRR(t *testing.T) {
+	if TPeakOffset(1.0) <= TPeakOffset(0.6) {
+		t.Error("T peak latency should grow with RR")
+	}
+}
+
+func TestEctopicBeatsInjection(t *testing.T) {
+	s, _ := SubjectByID(1)
+	cfg := DefaultGenConfig()
+	cfg.Duration = 60
+	cfg.EctopicProb = 0.15
+	rec := s.Generate(cfg)
+	rr := rec.Truth.RR
+	// Irregularity: some RR intervals must be clearly premature (< 80% of
+	// the mean) with a compensatory longer successor.
+	m := dsp.Mean(rr)
+	short := 0
+	for i := 0; i+1 < len(rr); i++ {
+		if rr[i] < 0.8*m {
+			short++
+			if rr[i+1] < m {
+				t.Errorf("ectopic at %d lacks compensatory pause: %.3f -> %.3f", i, rr[i], rr[i+1])
+			}
+		}
+	}
+	if short == 0 {
+		t.Error("no ectopic beats injected at 15% probability over 60 s")
+	}
+	// The annotations must stay ordered.
+	for i := 1; i < rec.Truth.Beats(); i++ {
+		if rec.Truth.RPeaks[i] <= rec.Truth.RPeaks[i-1] {
+			t.Fatal("R peaks out of order under ectopy")
+		}
+	}
+	// Without the flag the rhythm stays regular.
+	cfg2 := DefaultGenConfig()
+	cfg2.Duration = 60
+	rec2 := s.Generate(cfg2)
+	short2 := 0
+	m2 := dsp.Mean(rec2.Truth.RR)
+	for _, v := range rec2.Truth.RR {
+		if v < 0.8*m2 {
+			short2++
+		}
+	}
+	if short2 > 0 {
+		t.Errorf("%d premature beats without ectopy enabled", short2)
+	}
+}

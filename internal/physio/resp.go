@@ -1,0 +1,38 @@
+package physio
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Respiration model. Breathing modulates the thoracic impedance by a few
+// hundred milliohms at 0.15-0.35 Hz; the paper cites (0.04-2) Hz as the
+// respiratory artifact band. The model is a slightly anharmonic
+// oscillation with slow frequency and depth wander.
+
+// RespConfig parameterizes the respiration generator.
+type RespConfig struct {
+	Rate     float64 // breaths per second (Hz), typically 0.2-0.3
+	DepthOhm float64 // peak impedance excursion (Ohm)
+}
+
+// Respiration returns the respiratory impedance component (Ohm) for n
+// samples at rate fs.
+func Respiration(rng *rand.Rand, cfg RespConfig, n int, fs float64) []float64 {
+	x := make([]float64, n)
+	if cfg.DepthOhm == 0 || cfg.Rate <= 0 {
+		return x
+	}
+	phase := rng.Float64() * 2 * math.Pi
+	// Slow wander of the instantaneous rate (+-8%) via a random phase
+	// modulation.
+	wanderPhase := rng.Float64() * 2 * math.Pi
+	for i := range x {
+		t := float64(i) / fs
+		inst := 2*math.Pi*cfg.Rate*t + 0.5*math.Sin(2*math.Pi*0.02*t+wanderPhase)
+		// Fundamental plus a second harmonic: expiration is faster than
+		// inspiration.
+		x[i] = cfg.DepthOhm * (math.Sin(inst+phase) + 0.25*math.Sin(2*(inst+phase)+0.6))
+	}
+	return x
+}

@@ -1,0 +1,141 @@
+package physio
+
+// Subject bundles the physiological and calibration parameters of one
+// synthetic participant. The five subjects below substitute for the five
+// male volunteers of the paper's Section V; their noise-coupling and
+// mean-shift calibration constants are *derived* from the correlations of
+// Tables II-IV and the relative-error bands of Fig 8 (see DESIGN.md,
+// "Calibration policy"), while everything the benches report is
+// re-measured by running the full pipeline on the synthesized signals.
+type Subject struct {
+	ID   int
+	Name string
+	Seed int64
+
+	// Cardiac parameters.
+	HeartRate float64 // mean heart rate (bpm)
+	HRStd     float64 // RR variability (s)
+	LFHF      float64 // tachogram LF/HF balance
+	STI       STIConfig
+	DZdtMax   float64 // (dZ/dt)max amplitude (Ohm/s)
+	ECGScale  float64 // chest-lead ECG amplitude scale
+
+	// Respiration.
+	RespRate  float64 // Hz
+	RespDepth float64 // Ohm
+
+	// Body impedance (Cole-Cole parameters consumed by internal/bioimp).
+	ThoraxR0   float64 // thoracic resistance at DC (Ohm)
+	ThoraxRInf float64 // thoracic resistance at infinite frequency (Ohm)
+	ThoraxTau  float64 // dispersion time constant (s)
+	ThoraxAlph float64 // Cole exponent
+	ArmR0      float64 // per-arm segment DC resistance (Ohm)
+	ArmRInf    float64
+	ArmTau     float64
+	ArmAlpha   float64
+	ContactR   float64 // finger-electrode series contact resistance (Ohm)
+
+	// Position calibration (index 0..2 = positions 1..3).
+	// PosCorrTarget: device-vs-thoracic correlation targets (Tables II-IV)
+	// from which the artifact intensity is derived.
+	PosCorrTarget [3]float64
+	// PosMeanScale: relative mean impedance per position (position 1 = 1).
+	PosMeanScale [3]float64
+	// PosMotion: extra relative motion-artifact level per position.
+	PosMotion [3]float64
+}
+
+// Subjects returns the five calibrated synthetic subjects.
+//
+// Correlation targets are the rows of Tables II, III and IV:
+//
+//	subject    pos1    pos2    pos3
+//	   1      0.9081  0.9747  0.9737
+//	   2      0.9471  0.9497  0.9377
+//	   3      0.9827  0.9938  0.9908
+//	   4      0.8451  0.9033  0.8531
+//	   5      0.9251  0.8461  0.6919
+//
+// Mean-shift scales are set so that e21 is the largest error family and
+// e31 the smallest, with everything below 20% (Fig 8).
+func Subjects() []Subject {
+	base := []Subject{
+		{
+			ID: 1, Name: "subject-1", Seed: 1001,
+			HeartRate: 64, HRStd: 0.035, LFHF: 1.2, DZdtMax: 1.55,
+			STI:      STIConfig{PEPBias: 4, LVETBias: -6, PEPJitter: 2.5, LVETJit: 4},
+			ThoraxR0: 38, ThoraxRInf: 21, ThoraxTau: 2.2e-6, ThoraxAlph: 0.66,
+			ArmR0: 285, ArmRInf: 165, ArmTau: 2.6e-6, ArmAlpha: 0.64,
+			ContactR: 60, RespRate: 0.24, RespDepth: 0.32,
+			PosCorrTarget: [3]float64{0.9081, 0.9747, 0.9737},
+			PosMeanScale:  [3]float64{1.00, 1.130, 1.022},
+			PosMotion:     [3]float64{1.0, 0.8, 1.1},
+		},
+		{
+			ID: 2, Name: "subject-2", Seed: 1002,
+			HeartRate: 71, HRStd: 0.030, LFHF: 0.9, DZdtMax: 1.30,
+			STI:      STIConfig{PEPBias: -3, LVETBias: 5, PEPJitter: 2.0, LVETJit: 3.5},
+			ThoraxR0: 42, ThoraxRInf: 24, ThoraxTau: 2.0e-6, ThoraxAlph: 0.68,
+			ArmR0: 310, ArmRInf: 180, ArmTau: 2.4e-6, ArmAlpha: 0.65,
+			ContactR: 75, RespRate: 0.27, RespDepth: 0.28,
+			PosCorrTarget: [3]float64{0.9471, 0.9497, 0.9377},
+			PosMeanScale:  [3]float64{1.00, 1.095, 1.015},
+			PosMotion:     [3]float64{1.0, 0.9, 1.2},
+		},
+		{
+			ID: 3, Name: "subject-3", Seed: 1003,
+			HeartRate: 58, HRStd: 0.042, LFHF: 1.5, DZdtMax: 1.85,
+			STI:      STIConfig{PEPBias: 0, LVETBias: 0, PEPJitter: 1.8, LVETJit: 3},
+			ThoraxR0: 35, ThoraxRInf: 19, ThoraxTau: 2.4e-6, ThoraxAlph: 0.64,
+			ArmR0: 260, ArmRInf: 150, ArmTau: 2.7e-6, ArmAlpha: 0.63,
+			ContactR: 45, RespRate: 0.21, RespDepth: 0.35,
+			PosCorrTarget: [3]float64{0.9827, 0.9938, 0.9908},
+			PosMeanScale:  [3]float64{1.00, 1.118, 1.018},
+			PosMotion:     [3]float64{0.7, 0.6, 0.8},
+		},
+		{
+			ID: 4, Name: "subject-4", Seed: 1004,
+			HeartRate: 77, HRStd: 0.026, LFHF: 0.8, DZdtMax: 1.10,
+			STI:      STIConfig{PEPBias: 7, LVETBias: -12, PEPJitter: 3, LVETJit: 5},
+			ThoraxR0: 46, ThoraxRInf: 27, ThoraxTau: 1.9e-6, ThoraxAlph: 0.70,
+			ArmR0: 345, ArmRInf: 205, ArmTau: 2.2e-6, ArmAlpha: 0.67,
+			ContactR: 95, RespRate: 0.30, RespDepth: 0.24,
+			PosCorrTarget: [3]float64{0.8451, 0.9033, 0.8531},
+			PosMeanScale:  [3]float64{1.00, 1.152, 1.030},
+			PosMotion:     [3]float64{1.3, 1.1, 1.4},
+		},
+		{
+			ID: 5, Name: "subject-5", Seed: 1005,
+			HeartRate: 68, HRStd: 0.033, LFHF: 1.1, DZdtMax: 1.42,
+			STI:      STIConfig{PEPBias: -5, LVETBias: 9, PEPJitter: 2.2, LVETJit: 4},
+			ThoraxR0: 40, ThoraxRInf: 22, ThoraxTau: 2.1e-6, ThoraxAlph: 0.67,
+			ArmR0: 295, ArmRInf: 172, ArmTau: 2.5e-6, ArmAlpha: 0.66,
+			ContactR: 70, RespRate: 0.25, RespDepth: 0.30,
+			PosCorrTarget: [3]float64{0.9251, 0.8461, 0.6919},
+			PosMeanScale:  [3]float64{1.00, 1.108, 1.012},
+			PosMotion:     [3]float64{1.0, 1.4, 2.2},
+		},
+	}
+	for i := range base {
+		base[i].ECGScale = 1.0
+	}
+	return base
+}
+
+// SubjectByID returns the subject with the given 1-based ID, or false.
+func SubjectByID(id int) (Subject, bool) {
+	for _, s := range Subjects() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Subject{}, false
+}
+
+// MeanRR returns the subject's mean RR interval in seconds.
+func (s *Subject) MeanRR() float64 {
+	if s.HeartRate <= 0 {
+		return 60.0 / 72
+	}
+	return 60 / s.HeartRate
+}

@@ -1,0 +1,106 @@
+package physio
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dsp"
+)
+
+// RR tachogram synthesis with the bimodal spectrum used by the ECGSYN
+// model of McSharry et al.: a low-frequency (Mayer wave, ~0.1 Hz) and a
+// high-frequency (respiratory sinus arrhythmia, ~0.25 Hz) Gaussian band.
+// The series is produced by spectral synthesis: amplitudes follow the
+// target spectrum, phases are random, and an inverse FFT yields the time
+// series, which is then rescaled to the requested mean and standard
+// deviation.
+
+// TachogramConfig parameterizes RR series generation.
+type TachogramConfig struct {
+	MeanRR float64 // mean RR interval (s)
+	StdRR  float64 // RR standard deviation (s)
+	LFHF   float64 // low/high frequency power ratio (typically 0.5-2)
+	FreqLF float64 // center of the LF band (Hz), default 0.1
+	FreqHF float64 // center of the HF band (Hz), default 0.25
+}
+
+// DefaultTachogram returns the standard configuration for a 72 bpm
+// resting subject.
+func DefaultTachogram() TachogramConfig {
+	return TachogramConfig{MeanRR: 60.0 / 72, StdRR: 0.035, LFHF: 1.0}
+}
+
+// RRTachogram generates n RR intervals (seconds). Values are clamped to
+// the physiological range [0.35, 2.2] s.
+func RRTachogram(rng *rand.Rand, cfg TachogramConfig, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if cfg.MeanRR <= 0 {
+		cfg.MeanRR = 60.0 / 72
+	}
+	if cfg.FreqLF == 0 {
+		cfg.FreqLF = 0.1
+	}
+	if cfg.FreqHF == 0 {
+		cfg.FreqHF = 0.25
+	}
+	if cfg.LFHF <= 0 {
+		cfg.LFHF = 1
+	}
+	m := dsp.NextPow2(4 * n)
+	// The tachogram is (approximately) sampled once per beat.
+	fsT := 1 / cfg.MeanRR
+	// One-sided target spectrum: two Gaussian bands.
+	cLF, cHF := 0.01, 0.01
+	pLF := cfg.LFHF / (1 + cfg.LFHF)
+	pHF := 1 / (1 + cfg.LFHF)
+	spec := make([]complex128, m)
+	for k := 1; k < m/2; k++ {
+		f := float64(k) * fsT / float64(m)
+		s := pLF*gauss(f, cfg.FreqLF, cLF) + pHF*gauss(f, cfg.FreqHF, cHF)
+		amp := math.Sqrt(s)
+		phase := rng.Float64() * 2 * math.Pi
+		v := complex(amp*math.Cos(phase), amp*math.Sin(phase))
+		spec[k] = v
+		spec[m-k] = complex(real(v), -imag(v)) // Hermitian symmetry
+	}
+	series, err := dsp.IFFT(spec)
+	if err != nil {
+		// Cannot happen: m is a power of two by construction.
+		panic(err)
+	}
+	rr := make([]float64, n)
+	raw := make([]float64, n)
+	for i := 0; i < n; i++ {
+		raw[i] = real(series[i])
+	}
+	// Rescale to the requested mean/std.
+	std := dsp.Std(raw)
+	mean := dsp.Mean(raw)
+	for i := range raw {
+		v := cfg.MeanRR
+		if std > 0 && cfg.StdRR > 0 {
+			v += (raw[i] - mean) / std * cfg.StdRR
+		}
+		rr[i] = dsp.Clamp(v, 0.35, 2.2)
+	}
+	return rr
+}
+
+func gauss(f, mu, sigma float64) float64 {
+	d := (f - mu) / sigma
+	return math.Exp(-d * d / 2)
+}
+
+// RTimes converts RR intervals into absolute R-peak times starting at
+// start seconds.
+func RTimes(rr []float64, start float64) []float64 {
+	times := make([]float64, len(rr))
+	t := start
+	for i, v := range rr {
+		times[i] = t
+		t += v
+	}
+	return times
+}

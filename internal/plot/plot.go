@@ -1,0 +1,157 @@
+// Package plot renders signals as ASCII charts, so the repository can
+// reproduce the paper's waveform figure (Fig 5: one ICG beat with the
+// B/C/X points over the corresponding ECG) without any graphics
+// dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Config sets the canvas size.
+type Config struct {
+	Width  int // columns (default 72)
+	Height int // rows (default 16)
+}
+
+// DefaultConfig returns a terminal-friendly canvas.
+func DefaultConfig() Config { return Config{Width: 72, Height: 16} }
+
+// Marker labels a sample index with a rune (e.g. 'B', 'C', 'X', 'R').
+type Marker struct {
+	Index int
+	Label rune
+}
+
+// Render draws the signal as an ASCII chart with optional markers. The
+// x-axis is sample index (resampled to the canvas width); the y-axis is
+// scaled to the signal range. Markers are drawn at their sample position
+// on the curve.
+func Render(x []float64, markers []Marker, cfg Config) string {
+	if cfg.Width <= 0 {
+		cfg.Width = 72
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 16
+	}
+	n := len(x)
+	if n == 0 {
+		return "(empty signal)\n"
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	w, h := cfg.Width, cfg.Height
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	col := func(i int) int {
+		if n == 1 {
+			return 0
+		}
+		return i * (w - 1) / (n - 1)
+	}
+	row := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(h-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= h {
+			r = h - 1
+		}
+		return r
+	}
+	// Zero axis, if zero is inside the range.
+	if lo < 0 && hi > 0 {
+		zr := row(0)
+		for c := 0; c < w; c++ {
+			grid[zr][c] = '-'
+		}
+	}
+	// Curve.
+	for i := 0; i < n; i++ {
+		grid[row(x[i])][col(i)] = '*'
+	}
+	// Markers on top.
+	for _, m := range markers {
+		if m.Index < 0 || m.Index >= n {
+			continue
+		}
+		grid[row(x[m.Index])][col(m.Index)] = m.Label
+	}
+	var b strings.Builder
+	for r := 0; r < h; r++ {
+		b.WriteString(string(grid[r]))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "min %.3g  max %.3g  n=%d\n", lo, hi, n)
+	return b.String()
+}
+
+// RenderSeries draws a labelled y-vs-x line where xs are arbitrary
+// positions (e.g. frequency sweeps); points are plotted at proportional
+// horizontal positions.
+func RenderSeries(xs, ys []float64, cfg Config) string {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return "(empty series)\n"
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = 72
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 16
+	}
+	xlo, xhi := xs[0], xs[0]
+	for _, v := range xs {
+		if v < xlo {
+			xlo = v
+		}
+		if v > xhi {
+			xhi = v
+		}
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	// Resample onto a dense index grid by linear interpolation between
+	// consecutive points (assumes xs sorted ascending).
+	dense := make([]float64, cfg.Width)
+	for c := 0; c < cfg.Width; c++ {
+		xv := xlo + (xhi-xlo)*float64(c)/float64(cfg.Width-1)
+		dense[c] = interpAt(xs, ys, xv)
+	}
+	return Render(dense, nil, cfg)
+}
+
+func interpAt(xs, ys []float64, x float64) float64 {
+	if x <= xs[0] {
+		return ys[0]
+	}
+	for i := 1; i < len(xs); i++ {
+		if x <= xs[i] {
+			span := xs[i] - xs[i-1]
+			if span == 0 {
+				return ys[i]
+			}
+			frac := (x - xs[i-1]) / span
+			return ys[i-1]*(1-frac) + ys[i]*frac
+		}
+	}
+	return ys[len(ys)-1]
+}

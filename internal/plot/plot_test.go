@@ -1,0 +1,89 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicShape(t *testing.T) {
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 100)
+	}
+	out := Render(x, nil, DefaultConfig())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Canvas rows plus the footer line.
+	if len(lines) != DefaultConfig().Height+1 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no curve drawn")
+	}
+	// A sine spanning [-1, 1] includes the zero axis.
+	if !strings.Contains(out, "---") {
+		t.Error("no zero axis drawn")
+	}
+	if !strings.Contains(lines[len(lines)-1], "n=100") {
+		t.Errorf("footer: %s", lines[len(lines)-1])
+	}
+}
+
+func TestRenderMarkers(t *testing.T) {
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	out := Render(x, []Marker{{Index: 25, Label: 'C'}, {Index: 999, Label: 'Z'}}, DefaultConfig())
+	if !strings.ContainsRune(out, 'C') {
+		t.Error("marker C missing")
+	}
+	if strings.ContainsRune(out, 'Z') {
+		t.Error("out-of-range marker drawn")
+	}
+}
+
+func TestRenderDegenerate(t *testing.T) {
+	if out := Render(nil, nil, DefaultConfig()); !strings.Contains(out, "empty") {
+		t.Error("empty signal")
+	}
+	// Constant signal must not divide by zero.
+	flat := make([]float64, 10)
+	out := Render(flat, nil, Config{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Error("flat signal should still draw")
+	}
+	one := Render([]float64{5}, nil, Config{Width: 10, Height: 4})
+	if !strings.Contains(one, "n=1") {
+		t.Error("single sample")
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	xs := []float64{2000, 10000, 50000, 100000}
+	ys := []float64{40, 58, 32, 17}
+	out := RenderSeries(xs, ys, Config{Width: 40, Height: 10})
+	if !strings.Contains(out, "*") {
+		t.Error("no curve")
+	}
+	if out := RenderSeries(nil, nil, DefaultConfig()); !strings.Contains(out, "empty") {
+		t.Error("empty series")
+	}
+	if out := RenderSeries([]float64{1}, []float64{2, 3}, DefaultConfig()); !strings.Contains(out, "empty") {
+		t.Error("mismatched series")
+	}
+}
+
+func TestInterpAt(t *testing.T) {
+	xs := []float64{0, 10}
+	ys := []float64{0, 100}
+	if v := interpAt(xs, ys, 5); math.Abs(v-50) > 1e-12 {
+		t.Errorf("interp = %g", v)
+	}
+	if v := interpAt(xs, ys, -1); v != 0 {
+		t.Errorf("below range = %g", v)
+	}
+	if v := interpAt(xs, ys, 99); v != 100 {
+		t.Errorf("above range = %g", v)
+	}
+}

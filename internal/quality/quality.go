@@ -1,0 +1,147 @@
+// Package quality computes signal-quality indices (SQIs) for the acquired
+// channels. The device's PMU (Section III-A) adapts the duty cycle to the
+// "requirements of the target application"; contact quality is the
+// dominant requirement for a touch measurement, so these indices feed the
+// PMU policy (core.PMU) and flag unusable sessions before they waste
+// radio and CPU budget.
+package quality
+
+import (
+	"repro/internal/dsp"
+)
+
+// ECGConfig parameterizes the ECG quality index.
+type ECGConfig struct {
+	FS float64
+	// QRS band and broad band for the spectral concentration ratio.
+	QRSLow, QRSHigh     float64
+	BroadLow, BroadHigh float64
+}
+
+// DefaultECG returns the standard 5-15 Hz vs 0.5-40 Hz configuration.
+func DefaultECG(fs float64) ECGConfig {
+	return ECGConfig{FS: fs, QRSLow: 5, QRSHigh: 15, BroadLow: 0.5, BroadHigh: 40}
+}
+
+// ECGSQI returns a [0,1] quality index for a conditioned ECG window: the
+// fraction of broad-band power concentrated in the QRS band. Clean resting
+// ECG concentrates 40-70% of its power there; EMG/motion-dominated
+// windows fall well below.
+func ECGSQI(x []float64, cfg ECGConfig) float64 {
+	if len(x) < int(cfg.FS) || Flatline(x) {
+		return 0
+	}
+	qrs := dsp.BandPower(x, cfg.FS, cfg.QRSLow, cfg.QRSHigh)
+	broad := dsp.BandPower(x, cfg.FS, cfg.BroadLow, cfg.BroadHigh)
+	if broad <= 0 {
+		return 0
+	}
+	r := qrs / broad
+	return dsp.Clamp(r/0.5, 0, 1) // 50% concentration and above = full marks
+}
+
+// ICGSQI returns a [0,1] quality index for a filtered ICG window with
+// known R peaks: the mean correlation of each beat against the ensemble
+// average. Consistent beat morphology gives values near 1; contact
+// artifacts destroy the consistency.
+func ICGSQI(icg []float64, rPeaks []int, fs float64) float64 {
+	if len(rPeaks) < 3 {
+		return 0
+	}
+	length := int(0.8 * fs)
+	avg := ensemble(icg, rPeaks, length)
+	if avg == nil {
+		return 0
+	}
+	var rs []float64
+	for i := 0; i+1 < len(rPeaks); i++ {
+		lo, hi := rPeaks[i], rPeaks[i+1]
+		if lo < 0 || hi > len(icg) || hi-lo < 2 {
+			continue
+		}
+		beat := dsp.ResampleN(icg[lo:hi], length)
+		rs = append(rs, dsp.Pearson(beat, avg))
+	}
+	if len(rs) == 0 {
+		return 0
+	}
+	m := dsp.Mean(rs)
+	return dsp.Clamp(m, 0, 1)
+}
+
+func ensemble(icg []float64, rPeaks []int, length int) []float64 {
+	acc := make([]float64, length)
+	count := 0
+	for i := 0; i+1 < len(rPeaks); i++ {
+		lo, hi := rPeaks[i], rPeaks[i+1]
+		if lo < 0 || hi > len(icg) || hi-lo < 2 {
+			continue
+		}
+		beat := dsp.ResampleN(icg[lo:hi], length)
+		for j := range acc {
+			acc[j] += beat[j]
+		}
+		count++
+	}
+	if count == 0 {
+		return nil
+	}
+	for j := range acc {
+		acc[j] /= float64(count)
+	}
+	return acc
+}
+
+// Flatline reports whether the window is effectively constant (lost
+// contact, lead-off).
+func Flatline(x []float64) bool {
+	if len(x) == 0 {
+		return true
+	}
+	lo, hi := dsp.MinMax(x)
+	return hi-lo < 1e-9
+}
+
+// SaturationFraction returns the fraction of samples pinned at the window
+// extremes (ADC rail hits). railTol is the distance from the extreme that
+// still counts as pinned.
+func SaturationFraction(x []float64, lo, hi, railTol float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range x {
+		if v >= hi-railTol || v <= lo+railTol {
+			n++
+		}
+	}
+	return float64(n) / float64(len(x))
+}
+
+// Report bundles the session-level quality assessment.
+type Report struct {
+	ECG        float64 // ECG spectral SQI [0,1]
+	ICG        float64 // ICG beat-consistency SQI [0,1]
+	Saturation float64 // fraction of saturated impedance samples
+	Flat       bool    // lead-off / no contact
+}
+
+// Usable applies the acceptance thresholds of the PMU policy.
+func (r Report) Usable() bool {
+	return !r.Flat && r.ECG >= 0.3 && r.ICG >= 0.5 && r.Saturation < 0.05
+}
+
+// Assess computes a full quality report for an acquisition window.
+func Assess(ecgSig, icgSig []float64, rPeaks []int, fs float64) Report {
+	rep := Report{
+		ECG:  ECGSQI(ecgSig, DefaultECG(fs)),
+		ICG:  ICGSQI(icgSig, rPeaks, fs),
+		Flat: Flatline(ecgSig) || Flatline(icgSig),
+	}
+	lo, hi := dsp.MinMax(icgSig)
+	span := hi - lo
+	if span > 0 {
+		rep.Saturation = SaturationFraction(icgSig, lo, hi, span*1e-4)
+	}
+	return rep
+}

@@ -1,0 +1,116 @@
+package quality
+
+import (
+	"testing"
+
+	"repro/internal/bioimp"
+	"repro/internal/ecg"
+	"repro/internal/icg"
+	"repro/internal/physio"
+)
+
+func cleanRecording(t *testing.T) *physio.Recording {
+	t.Helper()
+	s, _ := physio.SubjectByID(1)
+	cfgClean := physio.DefaultGenConfig()
+	cfgClean.ECGNoiseStd = 0.005
+	cfgClean.ECGBaselineDrift = 0
+	cfgClean.PowerlineAmp = 0
+	return s.Generate(cfgClean)
+}
+
+func TestECGSQIDiscriminates(t *testing.T) {
+	clean := cleanRecording(t)
+	condClean, _ := ecg.Clean(clean.ECG, 250)
+	// Bad touch contact shows up as EMG-band noise (20-95 Hz), the same
+	// disturbance MeasureDevice models.
+	rng := physio.NewRNG(3)
+	emg := physio.BandNoise(rng, len(clean.ECG), 250, 20, 95, 0.15)
+	noisyECG := make([]float64, len(clean.ECG))
+	for i := range noisyECG {
+		noisyECG[i] = clean.ECG[i] + emg[i]
+	}
+	condNoisy, _ := ecg.Clean(noisyECG, 250)
+	qc := ECGSQI(condClean, DefaultECG(250))
+	qn := ECGSQI(condNoisy, DefaultECG(250))
+	if qc <= qn {
+		t.Errorf("clean SQI %.3f should exceed noisy %.3f", qc, qn)
+	}
+	if qc < 0.5 {
+		t.Errorf("clean ECG SQI = %.3f, want >= 0.5", qc)
+	}
+}
+
+func TestECGSQIDegenerate(t *testing.T) {
+	if ECGSQI(make([]float64, 5000), DefaultECG(250)) != 0 {
+		t.Error("flatline should score 0")
+	}
+	if ECGSQI(make([]float64, 10), DefaultECG(250)) != 0 {
+		t.Error("too-short window should score 0")
+	}
+}
+
+func TestICGSQIDiscriminates(t *testing.T) {
+	clean := cleanRecording(t)
+	filt, _ := icg.DefaultFilter(250).Apply(clean.ICG)
+	qc := ICGSQI(filt, clean.Truth.RPeaks, 250)
+	if qc < 0.8 {
+		t.Errorf("clean ICG SQI = %.3f, want >= 0.8", qc)
+	}
+	// Pure noise with fake R peaks: inconsistent beats.
+	rng := physio.NewRNG(7)
+	noise := physio.BandNoise(rng, len(filt), 250, 0.5, 15, 1)
+	qn := ICGSQI(noise, clean.Truth.RPeaks, 250)
+	if qn >= qc {
+		t.Errorf("noise SQI %.3f should be below clean %.3f", qn, qc)
+	}
+}
+
+func TestICGSQIDegenerate(t *testing.T) {
+	if ICGSQI(make([]float64, 100), []int{1, 2}, 250) != 0 {
+		t.Error("too few beats should score 0")
+	}
+}
+
+func TestFlatline(t *testing.T) {
+	if !Flatline(make([]float64, 100)) {
+		t.Error("zeros are flat")
+	}
+	if !Flatline(nil) {
+		t.Error("empty is flat")
+	}
+	x := make([]float64, 100)
+	x[50] = 1
+	if Flatline(x) {
+		t.Error("pulse is not flat")
+	}
+}
+
+func TestSaturationFraction(t *testing.T) {
+	x := []float64{0, 0, 1, 1, 0.5, 0.5, 0.5, 0.5}
+	// Rails at 0 and 1 with tolerance 0.01: 4 of 8 samples pinned.
+	if f := SaturationFraction(x, 0, 1, 0.01); f != 0.5 {
+		t.Errorf("saturation = %g, want 0.5", f)
+	}
+	if SaturationFraction(nil, 0, 1, 0.01) != 0 {
+		t.Error("empty input")
+	}
+}
+
+func TestAssessUsable(t *testing.T) {
+	clean := cleanRecording(t)
+	ins := bioimp.TouchInstrument()
+	s, _ := physio.SubjectByID(1)
+	dev := bioimp.MeasureDevice(&s, clean, ins, 50e3, bioimp.Position1)
+	condECG, _ := ecg.Clean(dev.ECG, 250)
+	icgF, _ := icg.DefaultFilter(250).Apply(bioimp.ICGFromZ(dev.Z, 250))
+	rep := Assess(condECG, icgF, clean.Truth.RPeaks, 250)
+	if !rep.Usable() {
+		t.Errorf("clean device session flagged unusable: %+v", rep)
+	}
+	// A dead channel must be unusable.
+	repDead := Assess(make([]float64, len(condECG)), icgF, clean.Truth.RPeaks, 250)
+	if repDead.Usable() {
+		t.Error("flatline session flagged usable")
+	}
+}

@@ -1,0 +1,179 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Text rendering of the paper's tables and figures. The cmd/icgstudy tool
+// and the benches print these.
+
+// CorrelationTable renders Table II (pos=1), III (pos=2) or IV (pos=3):
+// correlation of the device signal in the given position against the
+// thoracic reference, next to the paper's published value.
+func (r *Results) CorrelationTable(pos int) string {
+	if pos < 1 || pos > 3 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table %s: Correlation Position %d VS Thoracic bioimpedance\n",
+		[]string{"II", "III", "IV"}[pos-1], pos)
+	fmt.Fprintf(&b, "%-10s %12s %12s\n", "subject", "measured r", "paper r")
+	for si, sub := range r.Subjects {
+		fmt.Fprintf(&b, "%-10s %12.4f %12.4f\n",
+			fmt.Sprintf("subject %d", si+1), r.Correlation[si][pos-1], sub.PosCorrTarget[pos-1])
+	}
+	return b.String()
+}
+
+// Fig6Table renders the thoracic bioimpedance vs frequency series.
+func (r *Results) Fig6Table() string {
+	var b strings.Builder
+	b.WriteString("Fig 6: Thoracic bioimpedance (traditional setup), mean Z0 (Ohm)\n")
+	fmt.Fprintf(&b, "%-10s", "subject")
+	for _, f := range r.Frequencies {
+		fmt.Fprintf(&b, " %9.0fkHz", f/1000)
+	}
+	b.WriteString("\n")
+	for si := range r.Subjects {
+		fmt.Fprintf(&b, "%-10s", fmt.Sprintf("subject %d", si+1))
+		for fi := range r.Frequencies {
+			fmt.Fprintf(&b, " %12.2f", r.RefZ0[si][fi])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig7Table renders the device bioimpedance vs frequency per position.
+func (r *Results) Fig7Table() string {
+	var b strings.Builder
+	b.WriteString("Fig 7: Device bioimpedance, mean Z0 (Ohm) per position\n")
+	for pi := 0; pi < 3; pi++ {
+		fmt.Fprintf(&b, "position %d\n", pi+1)
+		fmt.Fprintf(&b, "%-10s", "subject")
+		for _, f := range r.Frequencies {
+			fmt.Fprintf(&b, " %9.0fkHz", f/1000)
+		}
+		b.WriteString("\n")
+		for si := range r.Subjects {
+			fmt.Fprintf(&b, "%-10s", fmt.Sprintf("subject %d", si+1))
+			for fi := range r.Frequencies {
+				fmt.Fprintf(&b, " %12.2f", r.DevZ0[si][pi][fi])
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Fig8Table renders the relative position errors.
+func (r *Results) Fig8Table() string {
+	var b strings.Builder
+	b.WriteString("Fig 8: Relative error of bioimpedance between positions (%)\n")
+	families := []struct {
+		name string
+		src  *[5][4]float64
+	}{{"e21", &r.E21}, {"e23", &r.E23}, {"e31", &r.E31}}
+	for _, fam := range families {
+		fmt.Fprintf(&b, "%s\n%-10s", fam.name, "subject")
+		for _, f := range r.Frequencies {
+			fmt.Fprintf(&b, " %9.0fkHz", f/1000)
+		}
+		b.WriteString("\n")
+		for si := range r.Subjects {
+			fmt.Fprintf(&b, "%-10s", fmt.Sprintf("subject %d", si+1))
+			for fi := range r.Frequencies {
+				fmt.Fprintf(&b, " %12.2f", fam.src[si][fi]*100)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Fig9Table renders the hemodynamic parameters per subject for positions
+// 1 and 2, next to the generating ground truth.
+func (r *Results) Fig9Table() string {
+	var b strings.Builder
+	b.WriteString("Fig 9: Characteristic ICG parameters and HR (positions 1 & 2)\n")
+	for pi := 0; pi < 2; pi++ {
+		fmt.Fprintf(&b, "position %d\n", pi+1)
+		fmt.Fprintf(&b, "%-10s %10s %10s %10s %12s %12s %12s\n",
+			"subject", "HR(bpm)", "PEP(ms)", "LVET(ms)", "truthHR", "truthPEP", "truthLVET")
+		for si := range r.Subjects {
+			h := r.Hemo[si][pi]
+			tr := r.HemoTruth[si]
+			fmt.Fprintf(&b, "%-10s %10.1f %10.1f %10.1f %12.1f %12.1f %12.1f\n",
+				fmt.Sprintf("subject %d", si+1),
+				h.HR.Mean, h.PEP.Mean*1000, h.LVET.Mean*1000,
+				tr.MeanHR, tr.MeanPEP*1000, tr.MeanLVET*1000)
+		}
+	}
+	return b.String()
+}
+
+// ClaimsSummary renders the aggregate claims of the conclusions section.
+func (r *Results) ClaimsSummary() string {
+	var b strings.Builder
+	pm := r.PositionMeanCorrelation()
+	fmt.Fprintf(&b, "mean correlation overall: %.4f (paper: ~0.85, claim > 0.80)\n", r.MeanCorrelation())
+	fmt.Fprintf(&b, "mean correlation by position: p1=%.4f p2=%.4f p3=%.4f (paper: p3 lowest)\n",
+		pm[0], pm[1], pm[2])
+	fmt.Fprintf(&b, "worst-case relative error: %.2f%% (paper: always below 20%%)\n", r.WorstCaseError()*100)
+	fmt.Fprintf(&b, "mean |e21|=%.2f%% |e23|=%.2f%% |e31|=%.2f%% (paper: e21 highest, e31 lowest)\n",
+		r.MeanAbsError("e21")*100, r.MeanAbsError("e23")*100, r.MeanAbsError("e31")*100)
+	return b.String()
+}
+
+// CSV renders a machine-readable dump of one figure's series, keyed by
+// figure id ("fig6", "fig7", "fig8", "fig9", "tables").
+func (r *Results) CSV(fig string) string {
+	var b strings.Builder
+	switch fig {
+	case "fig6":
+		b.WriteString("subject,freq_hz,ref_z0_ohm\n")
+		for si := range r.Subjects {
+			for fi, f := range r.Frequencies {
+				fmt.Fprintf(&b, "%d,%.0f,%.4f\n", si+1, f, r.RefZ0[si][fi])
+			}
+		}
+	case "fig7":
+		b.WriteString("subject,position,freq_hz,dev_z0_ohm\n")
+		for si := range r.Subjects {
+			for pi := 0; pi < 3; pi++ {
+				for fi, f := range r.Frequencies {
+					fmt.Fprintf(&b, "%d,%d,%.0f,%.4f\n", si+1, pi+1, f, r.DevZ0[si][pi][fi])
+				}
+			}
+		}
+	case "fig8":
+		b.WriteString("subject,freq_hz,e21,e23,e31\n")
+		for si := range r.Subjects {
+			for fi, f := range r.Frequencies {
+				fmt.Fprintf(&b, "%d,%.0f,%.6f,%.6f,%.6f\n", si+1, f,
+					r.E21[si][fi], r.E23[si][fi], r.E31[si][fi])
+			}
+		}
+	case "fig9":
+		b.WriteString("subject,position,hr_bpm,pep_ms,lvet_ms,truth_hr,truth_pep_ms,truth_lvet_ms\n")
+		for si := range r.Subjects {
+			for pi := 0; pi < 2; pi++ {
+				h := r.Hemo[si][pi]
+				tr := r.HemoTruth[si]
+				fmt.Fprintf(&b, "%d,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n", si+1, pi+1,
+					h.HR.Mean, h.PEP.Mean*1000, h.LVET.Mean*1000,
+					tr.MeanHR, tr.MeanPEP*1000, tr.MeanLVET*1000)
+			}
+		}
+	case "tables":
+		b.WriteString("subject,position,measured_r,paper_r\n")
+		for si, sub := range r.Subjects {
+			for pi := 0; pi < 3; pi++ {
+				fmt.Fprintf(&b, "%d,%d,%.4f,%.4f\n", si+1, pi+1,
+					r.Correlation[si][pi], sub.PosCorrTarget[pi])
+			}
+		}
+	}
+	return b.String()
+}

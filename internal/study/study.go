@@ -1,0 +1,210 @@
+// Package study reproduces the paper's evaluation protocol (Section V):
+// five subjects, recordings of 30 seconds per condition, four injection
+// frequencies (2, 10, 50, 100 kHz) and three arm positions, compared
+// against the traditional thoracic-electrode setup. It produces the data
+// behind Tables II-IV (correlations), Figs 6-7 (bioimpedance vs
+// frequency), Fig 8 (relative errors between positions) and Fig 9
+// (LVET/PEP/HR per subject for positions 1 and 2).
+package study
+
+import (
+	"repro/internal/bioimp"
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/hemo"
+	"repro/internal/physio"
+)
+
+// Config parameterizes the protocol.
+type Config struct {
+	Duration float64 // seconds per recording (paper: 30)
+	FS       float64 // sampling rate (paper: 250 Hz)
+	// CorrFreq is the injection frequency at which the correlation tables
+	// are computed; the paper's hemodynamic analyses use 50 kHz.
+	CorrFreq float64
+}
+
+// DefaultConfig mirrors the paper's protocol.
+func DefaultConfig() Config {
+	return Config{Duration: 30, FS: 250, CorrFreq: 50e3}
+}
+
+// Results holds everything the evaluation section reports.
+type Results struct {
+	Cfg         Config
+	Subjects    []physio.Subject
+	Frequencies []float64
+
+	// Correlation[s][p]: Pearson r between the traditional thoracic
+	// signal and the device signal for subject s in position p+1
+	// (Tables II, III, IV are the columns p=0,1,2).
+	Correlation [5][3]float64
+
+	// RefZ0[s][f]: mean measured thoracic bioimpedance (Fig 6).
+	RefZ0 [5][4]float64
+	// DevZ0[s][p][f]: mean measured device bioimpedance (Fig 7).
+	DevZ0 [5][3][4]float64
+
+	// E21, E23, E31 [s][f]: the relative errors of equations 1-3 (Fig 8).
+	E21, E23, E31 [5][4]float64
+
+	// Hemo[s][p]: processed hemodynamics for positions 1 and 2 (Fig 9),
+	// plus the ground truth for comparison.
+	Hemo      [5][2]hemo.Summary
+	HemoTruth [5]TruthSummary
+}
+
+// TruthSummary is the generating ground truth per subject.
+type TruthSummary struct {
+	MeanHR   float64
+	MeanPEP  float64
+	MeanLVET float64
+}
+
+// Run executes the full protocol.
+func Run(cfg Config) (*Results, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30
+	}
+	if cfg.FS <= 0 {
+		cfg.FS = 250
+	}
+	if cfg.CorrFreq <= 0 {
+		cfg.CorrFreq = 50e3
+	}
+	res := &Results{
+		Cfg:         cfg,
+		Subjects:    physio.Subjects(),
+		Frequencies: bioimp.StudyFrequencies(),
+	}
+	refIns := bioimp.TraditionalInstrument()
+	devIns := bioimp.TouchInstrument()
+
+	gen := physio.DefaultGenConfig()
+	gen.Duration = cfg.Duration
+	gen.FS = cfg.FS
+
+	for si := range res.Subjects {
+		sub := res.Subjects[si]
+		rec := sub.Generate(gen)
+
+		// Ground truth for Fig 9 comparisons.
+		res.HemoTruth[si] = TruthSummary{
+			MeanHR:   rec.Truth.MeanHR(),
+			MeanPEP:  dsp.Mean(rec.Truth.PEP),
+			MeanLVET: dsp.Mean(rec.Truth.LVET),
+		}
+
+		// Frequency sweep for Figs 6-8.
+		for fi, f := range res.Frequencies {
+			ref := bioimp.MeasureReference(&sub, rec, refIns, f)
+			res.RefZ0[si][fi] = ref.MeanZ()
+			var means [3]float64
+			for pi, pos := range bioimp.Positions() {
+				dev := bioimp.MeasureDevice(&sub, rec, devIns, f, pos)
+				means[pi] = dev.MeanZ()
+				res.DevZ0[si][pi][fi] = means[pi]
+			}
+			res.E21[si][fi] = dsp.RelativeError(means[1], means[0])
+			res.E23[si][fi] = dsp.RelativeError(means[1], means[2])
+			res.E31[si][fi] = dsp.RelativeError(means[2], means[0])
+		}
+
+		// Correlations at the hemodynamic frequency (Tables II-IV).
+		ref := bioimp.MeasureReference(&sub, rec, refIns, cfg.CorrFreq)
+		for pi, pos := range bioimp.Positions() {
+			dev := bioimp.MeasureDevice(&sub, rec, devIns, cfg.CorrFreq, pos)
+			res.Correlation[si][pi] = dsp.Pearson(ref.Z, dev.Z)
+		}
+
+		// Hemodynamics for positions 1 and 2 (Fig 9: the two positions
+		// with the highest displacement error, i.e. the worst cases).
+		for pi, pos := range []bioimp.Position{bioimp.Position1, bioimp.Position2} {
+			ccfg := core.DefaultConfig()
+			ccfg.FS = cfg.FS
+			ccfg.InjectionFreq = cfg.CorrFreq
+			ccfg.Position = pos
+			dev, err := core.NewDevice(ccfg)
+			if err != nil {
+				return nil, err
+			}
+			_, out, err := dev.Run(&sub, cfg.Duration)
+			if err != nil {
+				return nil, err
+			}
+			res.Hemo[si][pi] = out.Summary
+		}
+	}
+	return res, nil
+}
+
+// MeanCorrelation returns the grand mean of all correlation entries (the
+// paper's "> 80%" / "r = 85%" claim, experiment E10).
+func (r *Results) MeanCorrelation() float64 {
+	var all []float64
+	for si := range r.Correlation {
+		for pi := range r.Correlation[si] {
+			all = append(all, r.Correlation[si][pi])
+		}
+	}
+	return dsp.Mean(all)
+}
+
+// PositionMeanCorrelation returns the mean correlation per position.
+func (r *Results) PositionMeanCorrelation() [3]float64 {
+	var out [3]float64
+	for pi := 0; pi < 3; pi++ {
+		var col []float64
+		for si := range r.Correlation {
+			col = append(col, r.Correlation[si][pi])
+		}
+		out[pi] = dsp.Mean(col)
+	}
+	return out
+}
+
+// WorstCaseError returns the maximum |relative error| across all subjects,
+// frequencies and error families (the paper's "< 20%" claim).
+func (r *Results) WorstCaseError() float64 {
+	worst := 0.0
+	for si := 0; si < 5; si++ {
+		for fi := 0; fi < 4; fi++ {
+			for _, e := range []float64{r.E21[si][fi], r.E23[si][fi], r.E31[si][fi]} {
+				if e < 0 {
+					e = -e
+				}
+				if e > worst {
+					worst = e
+				}
+			}
+		}
+	}
+	return worst
+}
+
+// MeanAbsError returns the mean |error| of one family ("e21", "e23",
+// "e31") across subjects and frequencies.
+func (r *Results) MeanAbsError(family string) float64 {
+	var src *[5][4]float64
+	switch family {
+	case "e21":
+		src = &r.E21
+	case "e23":
+		src = &r.E23
+	case "e31":
+		src = &r.E31
+	default:
+		return 0
+	}
+	var all []float64
+	for si := 0; si < 5; si++ {
+		for fi := 0; fi < 4; fi++ {
+			v := src[si][fi]
+			if v < 0 {
+				v = -v
+			}
+			all = append(all, v)
+		}
+	}
+	return dsp.Mean(all)
+}

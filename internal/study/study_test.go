@@ -1,0 +1,174 @@
+package study
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// runOnce caches the full protocol across tests (it exercises 5 subjects
+// x 4 frequencies x 3 positions plus 10 device pipelines).
+var cached *Results
+
+func results(t *testing.T) *Results {
+	t.Helper()
+	if cached == nil {
+		r, err := Run(DefaultConfig())
+		if err != nil {
+			t.Fatalf("study run: %v", err)
+		}
+		cached = r
+	}
+	return cached
+}
+
+func TestCorrelationsMatchTablesII_IV(t *testing.T) {
+	r := results(t)
+	for si, sub := range r.Subjects {
+		for pi := 0; pi < 3; pi++ {
+			got := r.Correlation[si][pi]
+			want := sub.PosCorrTarget[pi]
+			if math.Abs(got-want) > 0.10 {
+				t.Errorf("subject %d position %d: r = %.4f, paper %.4f",
+					si+1, pi+1, got, want)
+			}
+		}
+	}
+}
+
+func TestPositionOrderingMatchesPaper(t *testing.T) {
+	// Section V: "the lowest overall correlation is obtained in
+	// Position 3"; position 2 carries the highest column mean.
+	r := results(t)
+	pm := r.PositionMeanCorrelation()
+	if !(pm[2] < pm[0] && pm[2] < pm[1]) {
+		t.Errorf("position 3 should have the lowest mean correlation: %v", pm)
+	}
+}
+
+func TestOverallCorrelationClaim(t *testing.T) {
+	// Conclusions: "strong correlation (r = 85%)" / "> 80%".
+	r := results(t)
+	if m := r.MeanCorrelation(); m < 0.80 || m > 0.95 {
+		t.Errorf("mean correlation = %.4f, want ~0.85-0.92", m)
+	}
+}
+
+func TestZ0FrequencyShapeFig6Fig7(t *testing.T) {
+	// Z0 rises from 2 to 10 kHz and falls beyond, in both setups.
+	r := results(t)
+	for si := 0; si < 5; si++ {
+		z := r.RefZ0[si]
+		if !(z[0] < z[1] && z[1] > z[2] && z[2] > z[3]) {
+			t.Errorf("subject %d reference shape: %v", si+1, z)
+		}
+		for pi := 0; pi < 3; pi++ {
+			d := r.DevZ0[si][pi]
+			if !(d[0] < d[1] && d[1] > d[2] && d[2] > d[3]) {
+				t.Errorf("subject %d position %d device shape: %v", si+1, pi+1, d)
+			}
+		}
+	}
+}
+
+func TestRelativeErrorsMatchFig8(t *testing.T) {
+	r := results(t)
+	// All errors below 20% in magnitude (the paper's worst-case claim).
+	if w := r.WorstCaseError(); w >= 0.20 {
+		t.Errorf("worst-case error = %.3f, want < 0.20", w)
+	}
+	// e21 is the largest error family, e31 the smallest.
+	e21 := r.MeanAbsError("e21")
+	e23 := r.MeanAbsError("e23")
+	e31 := r.MeanAbsError("e31")
+	if !(e21 > e23 && e23 > e31) {
+		t.Errorf("error family ordering: e21=%.3f e23=%.3f e31=%.3f", e21, e23, e31)
+	}
+	if r.MeanAbsError("bogus") != 0 {
+		t.Error("unknown family should return 0")
+	}
+}
+
+func TestHemodynamicsFig9Plausible(t *testing.T) {
+	r := results(t)
+	for si := 0; si < 5; si++ {
+		for pi := 0; pi < 2; pi++ {
+			h := r.Hemo[si][pi]
+			if h.Beats < 10 {
+				t.Errorf("subject %d pos %d: only %d beats", si+1, pi+1, h.Beats)
+			}
+			if h.HR.Mean < 45 || h.HR.Mean > 100 {
+				t.Errorf("subject %d pos %d: HR = %.1f", si+1, pi+1, h.HR.Mean)
+			}
+			if h.PEP.Mean < 0.05 || h.PEP.Mean > 0.18 {
+				t.Errorf("subject %d pos %d: PEP = %.3f", si+1, pi+1, h.PEP.Mean)
+			}
+			if h.LVET.Mean < 0.18 || h.LVET.Mean > 0.42 {
+				t.Errorf("subject %d pos %d: LVET = %.3f", si+1, pi+1, h.LVET.Mean)
+			}
+			// HR must track the subject's ground truth closely.
+			if math.Abs(h.HR.Mean-r.HemoTruth[si].MeanHR) > 5 {
+				t.Errorf("subject %d pos %d: HR %.1f vs truth %.1f",
+					si+1, pi+1, h.HR.Mean, r.HemoTruth[si].MeanHR)
+			}
+		}
+	}
+}
+
+func TestRenderersProduceAllArtifacts(t *testing.T) {
+	r := results(t)
+	for pos := 1; pos <= 3; pos++ {
+		tab := r.CorrelationTable(pos)
+		if !strings.Contains(tab, "subject 5") || !strings.Contains(tab, "Thoracic") {
+			t.Errorf("correlation table %d malformed:\n%s", pos, tab)
+		}
+	}
+	if r.CorrelationTable(0) != "" || r.CorrelationTable(4) != "" {
+		t.Error("invalid position should render empty")
+	}
+	if s := r.Fig6Table(); !strings.Contains(s, "50kHz") {
+		t.Errorf("fig6:\n%s", s)
+	}
+	if s := r.Fig7Table(); !strings.Contains(s, "position 3") {
+		t.Errorf("fig7:\n%s", s)
+	}
+	if s := r.Fig8Table(); !strings.Contains(s, "e31") {
+		t.Errorf("fig8:\n%s", s)
+	}
+	if s := r.Fig9Table(); !strings.Contains(s, "LVET") {
+		t.Errorf("fig9:\n%s", s)
+	}
+	if s := r.ClaimsSummary(); !strings.Contains(s, "worst-case") {
+		t.Errorf("claims:\n%s", s)
+	}
+}
+
+func TestCSVDumps(t *testing.T) {
+	r := results(t)
+	for _, fig := range []string{"fig6", "fig7", "fig8", "fig9", "tables"} {
+		csv := r.CSV(fig)
+		lines := strings.Split(strings.TrimSpace(csv), "\n")
+		if len(lines) < 2 {
+			t.Errorf("%s: no data rows", fig)
+		}
+		header := strings.Split(lines[0], ",")
+		for i, ln := range lines[1:] {
+			if got := len(strings.Split(ln, ",")); got != len(header) {
+				t.Errorf("%s row %d: %d fields, want %d", fig, i+1, got, len(header))
+			}
+		}
+	}
+	if r.CSV("nope") != "" {
+		t.Error("unknown figure should render empty")
+	}
+}
+
+func TestRunZeroConfigDefaults(t *testing.T) {
+	r, err := Run(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cfg.Duration != 30 || r.Cfg.FS != 250 || r.Cfg.CorrFreq != 50e3 {
+		t.Errorf("defaults not applied: %+v", r.Cfg)
+	}
+}

@@ -1,0 +1,236 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrthogonalityOfFilters(t *testing.T) {
+	for _, w := range []Wavelet{Haar(), Daubechies4(), Daubechies8()} {
+		// Scaling filter must have sum sqrt(2) and unit energy.
+		var sum, energy float64
+		for _, h := range w.H {
+			sum += h
+			energy += h * h
+		}
+		if math.Abs(sum-math.Sqrt2) > 1e-12 {
+			t.Errorf("%s: sum = %g, want sqrt(2)", w.Name, sum)
+		}
+		if math.Abs(energy-1) > 1e-12 {
+			t.Errorf("%s: energy = %g, want 1", w.Name, energy)
+		}
+		// High-pass filter must be orthogonal to low-pass and sum to 0.
+		g := w.g()
+		var gsum, dot float64
+		for i := range g {
+			gsum += g[i]
+			dot += g[i] * w.H[i]
+		}
+		if math.Abs(gsum) > 1e-12 {
+			t.Errorf("%s: g sum = %g, want 0", w.Name, gsum)
+		}
+		_ = dot // orthogonality for shifted versions checked via reconstruction
+	}
+}
+
+func TestPerfectReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, w := range []Wavelet{Haar(), Daubechies4(), Daubechies8()} {
+		for _, n := range []int{8, 64, 256} {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = r.NormFloat64()
+			}
+			dec, err := Transform(w, x, 3)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", w.Name, n, err)
+			}
+			y := dec.Reconstruct()
+			if len(y) != n {
+				t.Fatalf("%s n=%d: len %d", w.Name, n, len(y))
+			}
+			for i := range x {
+				if math.Abs(x[i]-y[i]) > 1e-9 {
+					t.Fatalf("%s n=%d: reconstruction error at %d: %g vs %g",
+						w.Name, n, i, x[i], y[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPerfectReconstructionQuick(t *testing.T) {
+	w := Daubechies4()
+	f := func(seed int64, nRaw uint8) bool {
+		n := 16 + int(nRaw)%240
+		r := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		dec, err := Transform(w, x, 2)
+		if err != nil {
+			return false
+		}
+		y := dec.Reconstruct()
+		for i := range x {
+			if math.Abs(x[i]-y[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	// Orthogonal DWT preserves signal energy (Parseval) for power-of-two
+	// lengths without padding.
+	r := rand.New(rand.NewSource(5))
+	w := Daubechies4()
+	n := 128
+	x := make([]float64, n)
+	var ex float64
+	for i := range x {
+		x[i] = r.NormFloat64()
+		ex += x[i] * x[i]
+	}
+	dec, err := Transform(w, x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ec float64
+	for _, v := range dec.Approx {
+		ec += v * v
+	}
+	for _, band := range dec.Details {
+		for _, v := range band {
+			ec += v * v
+		}
+	}
+	if math.Abs(ex-ec) > 1e-9*ex {
+		t.Errorf("energy %g vs %g", ex, ec)
+	}
+}
+
+func TestDenoiseReducesNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	n := 1024
+	clean := make([]float64, n)
+	noisy := make([]float64, n)
+	for i := range clean {
+		clean[i] = math.Sin(2*math.Pi*float64(i)/128) + 0.5*math.Sin(2*math.Pi*float64(i)/64)
+		noisy[i] = clean[i] + 0.3*r.NormFloat64()
+	}
+	den, err := Denoise(Daubechies8(), noisy, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errNoisy, errDen float64
+	for i := range clean {
+		errNoisy += (noisy[i] - clean[i]) * (noisy[i] - clean[i])
+		errDen += (den[i] - clean[i]) * (den[i] - clean[i])
+	}
+	if errDen >= errNoisy {
+		t.Errorf("denoising did not help: %g vs %g", errDen, errNoisy)
+	}
+	if errDen > 0.4*errNoisy {
+		t.Errorf("denoising too weak: %g vs %g", errDen, errNoisy)
+	}
+}
+
+func TestRemoveBaseline(t *testing.T) {
+	n := 2048
+	fs := 250.0
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / fs
+		// 0.25 Hz respiration-like drift plus 10 Hz cardiac-band content.
+		x[i] = 3*math.Sin(2*math.Pi*0.25*ti) + math.Sin(2*math.Pi*10*ti)
+	}
+	// fs/2^7 ~ 2 Hz: approximation holds < 1 Hz content.
+	y, err := RemoveBaseline(Daubechies8(), x, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drift float64
+	for i := 200; i < n-200; i++ {
+		ti := float64(i) / fs
+		drift += math.Abs(y[i] - math.Sin(2*math.Pi*10*ti))
+	}
+	drift /= float64(n - 400)
+	if drift > 0.5 {
+		t.Errorf("mean residual after baseline removal = %g", drift)
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	w := Haar()
+	if _, err := Transform(w, []float64{1, 2, 3, 4}, 0); err != ErrBadLevels {
+		t.Errorf("levels=0: %v", err)
+	}
+	if _, err := Transform(w, []float64{1}, 1); err != ErrOddLength {
+		t.Errorf("n=1: %v", err)
+	}
+}
+
+func TestTransformPadsOddLengths(t *testing.T) {
+	w := Daubechies4()
+	x := []float64{1, 2, 3, 4, 5, 6, 7} // length 7, needs padding
+	dec, err := Transform(w, x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := dec.Reconstruct()
+	if len(y) != 7 {
+		t.Fatalf("len = %d, want 7", len(y))
+	}
+	for i := range x {
+		if math.Abs(x[i]-y[i]) > 1e-9 {
+			t.Fatalf("padded reconstruction error at %d", i)
+		}
+	}
+}
+
+func TestMaxLevels(t *testing.T) {
+	if MaxLevels(256) != 8 {
+		t.Errorf("MaxLevels(256) = %d", MaxLevels(256))
+	}
+	if MaxLevels(12) != 2 {
+		t.Errorf("MaxLevels(12) = %d", MaxLevels(12))
+	}
+	if MaxLevels(1) != 0 {
+		t.Errorf("MaxLevels(1) = %d", MaxLevels(1))
+	}
+}
+
+func TestSoftThreshold(t *testing.T) {
+	if softThreshold(5, 2) != 3 {
+		t.Error("positive shrink")
+	}
+	if softThreshold(-5, 2) != -3 {
+		t.Error("negative shrink")
+	}
+	if softThreshold(1, 2) != 0 {
+		t.Error("kill small")
+	}
+}
+
+func TestDecompositionLevels(t *testing.T) {
+	w := Haar()
+	x := make([]float64, 64)
+	dec, err := Transform(w, x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Levels() != 4 {
+		t.Errorf("levels = %d", dec.Levels())
+	}
+	if len(dec.Approx) != 4 {
+		t.Errorf("approx len = %d, want 4", len(dec.Approx))
+	}
+}

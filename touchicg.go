@@ -1,0 +1,93 @@
+// Package touchicg is the public facade of the reproduction of Sopic,
+// Murali, Rincón and Atienza, "Touch-Based System for Beat-to-Beat
+// Impedance Cardiogram Acquisition and Hemodynamic Parameters Estimation"
+// (DATE 2016).
+//
+// The package re-exports the device (acquisition + embedded processing
+// pipeline), the synthetic subject models that substitute for the paper's
+// five volunteers, and the evaluation protocol that regenerates every
+// table and figure of the paper. See DESIGN.md for the system inventory
+// and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Quick start:
+//
+//	sub, _ := touchicg.SubjectByID(1)
+//	dev, _ := touchicg.NewDevice(touchicg.DefaultConfig())
+//	_, out, _ := dev.Run(&sub, 30)
+//	for _, b := range out.Beats {
+//		fmt.Printf("HR %.0f bpm  PEP %.0f ms  LVET %.0f ms\n",
+//			b.HR, b.PEP*1000, b.LVET*1000)
+//	}
+package touchicg
+
+import (
+	"repro/internal/bioimp"
+	"repro/internal/core"
+	"repro/internal/hemo"
+	"repro/internal/icg"
+	"repro/internal/physio"
+	"repro/internal/study"
+)
+
+// Core device types.
+type (
+	// Device is the touch-based acquisition and processing system.
+	Device = core.Device
+	// Config selects acquisition and processing options.
+	Config = core.Config
+	// Acquisition bundles the sampled ECG and impedance channels.
+	Acquisition = core.Acquisition
+	// Output is the per-recording processing result.
+	Output = core.Output
+	// BeatParams is the per-beat hemodynamic parameter set.
+	BeatParams = hemo.BeatParams
+	// Subject is a synthetic study participant.
+	Subject = physio.Subject
+	// Recording is a synthesized ECG/ICG ground-truth recording.
+	Recording = physio.Recording
+	// Position is the protocol arm position (1, 2 or 3).
+	Position = bioimp.Position
+	// StudyConfig parameterizes the evaluation protocol.
+	StudyConfig = study.Config
+	// StudyResults carries the data behind every table and figure.
+	StudyResults = study.Results
+)
+
+// Protocol arm positions.
+const (
+	Position1 = bioimp.Position1
+	Position2 = bioimp.Position2
+	Position3 = bioimp.Position3
+)
+
+// X-point rule variants (paper Section IV-C vs the Carvalho original).
+const (
+	XPaper    = icg.XPaper
+	XCarvalho = icg.XCarvalho
+)
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation: 250 Hz sampling, 50 kHz injection, position 1.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewDevice validates the configuration and assembles a device.
+func NewDevice(cfg Config) (*Device, error) { return core.NewDevice(cfg) }
+
+// Subjects returns the five calibrated synthetic subjects standing in for
+// the paper's five volunteers.
+func Subjects() []Subject { return physio.Subjects() }
+
+// SubjectByID returns the subject with the given 1-based ID.
+func SubjectByID(id int) (Subject, bool) { return physio.SubjectByID(id) }
+
+// DefaultStudyConfig mirrors the paper's protocol (30 s recordings at
+// 250 Hz, correlations at 50 kHz).
+func DefaultStudyConfig() StudyConfig { return study.DefaultConfig() }
+
+// RunStudy executes the full evaluation protocol: 5 subjects x 3 positions
+// x 4 injection frequencies, against the traditional thoracic reference.
+func RunStudy(cfg StudyConfig) (*StudyResults, error) { return study.Run(cfg) }
+
+// StudyFrequencies returns the paper's injected-current frequencies:
+// 2, 10, 50 and 100 kHz.
+func StudyFrequencies() []float64 { return bioimp.StudyFrequencies() }

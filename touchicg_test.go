@@ -1,0 +1,100 @@
+package touchicg
+
+import (
+	"math"
+	"testing"
+)
+
+// Facade-level integration tests: the public API exercised the way the
+// README shows it.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	sub, ok := SubjectByID(1)
+	if !ok {
+		t.Fatal("subject 1 missing")
+	}
+	dev, err := NewDevice(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, out, err := dev.Run(&sub, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Beats) < 15 {
+		t.Fatalf("beats = %d", len(out.Beats))
+	}
+	for _, b := range out.Beats {
+		if b.HR < 40 || b.HR > 140 {
+			t.Errorf("HR = %g", b.HR)
+		}
+		if b.PEP <= 0 || b.LVET <= 0 {
+			t.Errorf("non-positive STI: %+v", b)
+		}
+		if b.SVKub <= 0 || b.CO <= 0 {
+			t.Errorf("non-positive SV/CO")
+		}
+	}
+}
+
+func TestPublicSubjectsAndFrequencies(t *testing.T) {
+	if len(Subjects()) != 5 {
+		t.Error("five subjects expected")
+	}
+	fs := StudyFrequencies()
+	if len(fs) != 4 || fs[0] != 2e3 || fs[3] != 100e3 {
+		t.Errorf("frequencies = %v", fs)
+	}
+	if _, ok := SubjectByID(99); ok {
+		t.Error("bogus subject accepted")
+	}
+}
+
+func TestPublicPositions(t *testing.T) {
+	dev, err := NewDevice(func() Config {
+		c := DefaultConfig()
+		c.Position = Position3
+		return c
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := SubjectByID(2)
+	acq, err := dev.Acquire(&sub, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acq.MeanZ() <= 0 {
+		t.Error("no impedance")
+	}
+}
+
+func TestPublicStudySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study in short mode")
+	}
+	cfg := DefaultStudyConfig()
+	cfg.Duration = 12
+	res, err := RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := res.MeanCorrelation(); m < 0.7 || m > 1 {
+		t.Errorf("mean correlation = %g", m)
+	}
+	if w := res.WorstCaseError(); math.Abs(w) >= 0.25 {
+		t.Errorf("worst error = %g", w)
+	}
+}
+
+func TestXVariantConstantsExposed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.XRule = XCarvalho
+	if _, err := NewDevice(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.XRule = XPaper
+	if _, err := NewDevice(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
