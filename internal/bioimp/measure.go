@@ -110,10 +110,10 @@ func MeasureReference(s *physio.Subject, rec *physio.Recording, ins Instrument, 
 	base := MeasuredZ0(s, ins, PathThoracic, freq)
 	g := ins.Gain(freq)
 	rng := physio.NewRNG(s.Seed*7907 + int64(freq))
-	noise := physio.WhiteNoise(rng, n, ins.NoiseStd)
-	z := make([]float64, n)
+	// The noise buffer is private; build the measured channel in it.
+	z := physio.WhiteNoise(rng, n, ins.NoiseStd)
 	for i := 0; i < n; i++ {
-		z[i] = base + g*(rec.DZ[i]+rec.Resp[i]) + noise[i]
+		z[i] += base + g*(rec.DZ[i]+rec.Resp[i])
 	}
 	return &Measurement{
 		Subject: s.ID, Freq: freq, Position: Position1, Path: PathThoracic,
@@ -176,17 +176,18 @@ func MeasureDevice(s *physio.Subject, rec *physio.Recording, ins Instrument, fre
 	contact := physio.BandNoise(rng, n, rec.FS, 2.0, 10.0, 0.004*s.PosMotion[pi])
 	meas := physio.WhiteNoise(rng, n, ins.NoiseStd)
 
-	z := make([]float64, n)
+	// All component buffers are private to this call; sum the channel into
+	// the signal buffer instead of allocating another full-length slice.
+	z := signal
 	for i := 0; i < n; i++ {
 		z[i] = base + signal[i] + artifact[i] + contact[i] + meas[i]
 	}
 
 	// Touch ECG: lead-I-like, smaller than the chest lead, with extra
 	// high-frequency (EMG-band) noise that grows with arm tension.
-	emg := physio.BandNoise(rng, n, rec.FS, 20, 95, 0.008*s.PosMotion[pi])
-	ecg := make([]float64, n)
+	ecg := physio.BandNoise(rng, n, rec.FS, 20, 95, 0.008*s.PosMotion[pi])
 	for i := 0; i < n; i++ {
-		ecg[i] = 0.6*rec.ECG[i] + emg[i]
+		ecg[i] += 0.6 * rec.ECG[i]
 	}
 
 	return &Measurement{
@@ -199,5 +200,18 @@ func MeasureDevice(s *physio.Subject, rec *physio.Recording, ins Instrument, fre
 // measured impedance series, exactly as the device firmware does after
 // demodulation (Section IV-B: "ICG = -dZ/dt").
 func ICGFromZ(z []float64, fs float64) []float64 {
-	return dsp.Scale(dsp.Derivative(z, fs), -1)
+	if len(z) == 0 {
+		return nil
+	}
+	return ICGFromZTo(make([]float64, len(z)), z, fs)
+}
+
+// ICGFromZTo is ICGFromZ writing into dst (grown when shorter than z; dst
+// must not alias z).
+func ICGFromZTo(dst, z []float64, fs float64) []float64 {
+	dst = dsp.DerivativeTo(dst, z, fs)
+	for i, v := range dst {
+		dst[i] = -v
+	}
+	return dst
 }

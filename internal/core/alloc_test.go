@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/physio"
+)
+
+// Allocation regression tests for the steady-state Process path. The
+// filter bank is designed once per Device and all full-length DSP
+// intermediates live in the pooled scratch arena, so a warmed-up Process
+// only allocates what the Output retains (per-beat records, the cloned
+// conditioned traces) plus the small per-beat analysis slices. The seed
+// implementation allocated ~2200 objects and ~2.6 MB per 30 s window;
+// the budgets below lock in the reduction with headroom for noise.
+func TestProcessSteadyStateAllocations(t *testing.T) {
+	sub, _ := physio.SubjectByID(1)
+	d := device(t, nil)
+	acq, err := d.Acquire(&sub, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the arena pool and the filter caches.
+	if _, err := d.Process(acq); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := d.Process(acq); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1100 {
+		t.Errorf("steady-state Process allocates %.0f objects/run, budget 1100 (seed: ~2200)", allocs)
+	}
+}
+
+// The streaming engine re-analyzes a window every hop; with the shared
+// filter bank and the streamer-owned arena, a steady-state hop must not
+// allocate full-window buffers.
+func TestStreamerSteadyStateAllocations(t *testing.T) {
+	sub, _ := physio.SubjectByID(1)
+	d := device(t, nil)
+	acq, err := d.Acquire(&sub, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.NewStreamer(DefaultStreamConfig())
+	hop := 250
+	pos := 0
+	push := func() {
+		end := pos + hop
+		if end > len(acq.ECG) {
+			pos = 0
+			end = hop
+		}
+		st.Push(acq.ECG[pos:end], acq.Z[pos:end])
+		pos = end
+	}
+	// Warm up: fill the window and run several analyses.
+	for i := 0; i < 10; i++ {
+		push()
+	}
+	allocs := testing.AllocsPerRun(10, push)
+	// One hop triggers at most one window analysis; the budget covers the
+	// emitted beats and per-beat detection scratch only.
+	if allocs > 400 {
+		t.Errorf("steady-state Push allocates %.0f objects/run, budget 400", allocs)
+	}
+}

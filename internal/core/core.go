@@ -10,9 +10,11 @@ package core
 
 import (
 	"errors"
+	"sync"
 
 	"repro/internal/bioimp"
 	"repro/internal/dsp"
+	"repro/internal/ecg"
 	"repro/internal/hemo"
 	"repro/internal/hw/afe"
 	"repro/internal/hw/imu"
@@ -59,10 +61,67 @@ func DefaultConfig() Config {
 	}
 }
 
-// Device is the assembled touch system.
+// Device is the assembled touch system. The conditioning filters of Fig 3
+// are designed once here — re-running the windowed-sinc and bilinear
+// designs on every Process call is pure waste on an MCU and dominated the
+// constant-rate allocation profile of the Go pipeline. A sync.Pool of
+// scratch arenas makes concurrent Process calls (the parallel study
+// engine) safe while keeping steady-state allocations near zero.
 type Device struct {
 	cfg   Config
 	touch bioimp.Instrument
+	bank  *filterBank
+
+	arenas sync.Pool // *dsp.Arena
+}
+
+// filterBank holds every filter the pipeline applies, designed once for
+// one sampling rate.
+type filterBank struct {
+	fs      float64
+	ecgFIR  *dsp.FIR // 32nd-order 0.05-40 Hz band-pass (Section IV-A.1)
+	icgLP   dsp.SOS  // 20 Hz Butterworth low-pass (Section IV-A.2)
+	icgHP   dsp.SOS  // band-edge high-pass; nil when disabled
+	twaveLP dsp.SOS  // 10 Hz T-wave low-pass (Carvalho X variant)
+	ptSOS   dsp.SOS  // Pan-Tompkins QRS band-pass
+}
+
+// designBank designs the full filter bank for sampling rate fs. The FIR
+// pre-builds its reversed-tap (and, when wide enough, FFT overlap-save)
+// state so steady-state filtering never mutates shared data.
+func designBank(fs float64) (*filterBank, error) {
+	b := &filterBank{fs: fs}
+	var err error
+	if b.ecgFIR, err = ecg.DefaultBandPass(fs).Design(); err != nil {
+		return nil, err
+	}
+	b.ecgFIR.Prepare()
+	if b.icgLP, b.icgHP, err = icg.DefaultFilter(fs).Design(); err != nil {
+		return nil, err
+	}
+	if b.twaveLP, err = ecg.DesignTWaveLowPass(fs); err != nil {
+		return nil, err
+	}
+	if b.ptSOS, err = ecg.DesignPTBandPass(ecg.DefaultPT(fs)); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// bankFor returns the cached filter bank, or a freshly designed one for
+// acquisitions sampled at a different rate than the device configuration.
+func (d *Device) bankFor(fs float64) (*filterBank, error) {
+	if fs == d.bank.fs {
+		return d.bank, nil
+	}
+	return designBank(fs)
+}
+
+// getArena checks a reset scratch arena out of the device pool.
+func (d *Device) getArena() *dsp.Arena {
+	a := d.arenas.Get().(*dsp.Arena)
+	a.Reset()
+	return a
 }
 
 // Configuration errors.
@@ -103,7 +162,13 @@ func NewDevice(cfg Config) (*Device, error) {
 	if cfg.OutlierK == 0 {
 		cfg.OutlierK = 4
 	}
-	return &Device{cfg: cfg, touch: bioimp.TouchInstrument()}, nil
+	d := &Device{cfg: cfg, touch: bioimp.TouchInstrument()}
+	d.arenas.New = func() any { return new(dsp.Arena) }
+	var err error
+	if d.bank, err = designBank(cfg.FS); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // Config returns the resolved configuration.

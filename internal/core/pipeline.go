@@ -18,32 +18,41 @@ import (
 //
 // Every stage also records its operation counts so the MCU duty cycle can
 // be priced (experiment E8).
+//
+// The filters were designed once at NewDevice, and all full-length
+// intermediates live in a pooled scratch arena, so the steady-state path
+// only heap-allocates what the Output retains. Process is safe for
+// concurrent use on one Device.
 func (d *Device) Process(acq *Acquisition) (*Output, error) {
 	fs := acq.FS
 	n := len(acq.ECG)
 	cost := newCostEstimator(d.cfg)
 
-	// --- ECG conditioning.
-	blCfg := ecg.DefaultBaseline(fs)
-	blCfg.Naive = d.cfg.NaiveMorph
-	condECG := ecg.RemoveBaseline(acq.ECG, blCfg)
-	cost.baseline(n, blCfg)
-
-	bpCfg := ecg.DefaultBandPass(fs)
-	fir, err := bpCfg.Design()
+	bank, err := d.bankFor(fs)
 	if err != nil {
 		return nil, err
 	}
+	ar := d.getArena()
+	defer d.arenas.Put(ar)
+
+	// --- ECG conditioning.
+	blCfg := ecg.DefaultBaseline(fs)
+	blCfg.Naive = d.cfg.NaiveMorph
+	condECG := ecg.RemoveBaselineWith(ar, acq.ECG, blCfg)
+	cost.baseline(n, blCfg)
+
 	if d.cfg.CausalFilters {
-		condECG = fir.Apply(condECG)
-		cost.fir(n, len(fir.Taps), 1)
+		condECG = bank.ecgFIR.ApplyTo(ar.F64(n), condECG)
+		cost.fir(n, len(bank.ecgFIR.Taps), 1)
 	} else {
-		condECG = dsp.FiltFiltFIR(fir, condECG)
-		cost.fir(n, len(fir.Taps), 2)
+		condECG = dsp.FiltFiltFIRWith(ar, bank.ecgFIR, condECG)
+		cost.fir(n, len(bank.ecgFIR.Taps), 2)
 	}
 
 	// --- QRS detection.
-	ptRes, err := ecg.DetectQRS(condECG, ecg.DefaultPT(fs))
+	ptCfg := ecg.DefaultPT(fs)
+	ptCfg.BandSOS = bank.ptSOS
+	ptRes, err := ecg.DetectQRSWith(ar, condECG, ptCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -53,36 +62,24 @@ func (d *Device) Process(acq *Acquisition) (*Output, error) {
 	}
 
 	// --- ICG derivation and conditioning.
-	icgRaw := bioimp.ICGFromZ(acq.Z, fs)
+	icgRaw := bioimp.ICGFromZTo(ar.F64(len(acq.Z)), acq.Z, fs)
 	cost.derivative(n)
-	fCfg := icg.DefaultFilter(fs)
 	var icgF []float64
 	if d.cfg.CausalFilters {
-		lp, derr := dsp.DesignButterLowPass(fCfg.Order, fCfg.Cutoff, fs)
-		if derr != nil {
-			return nil, derr
-		}
-		icgF = lp.Filter(icgRaw)
-		if fCfg.HPCutoff > 0 {
-			hp, derr := dsp.DesignButterHighPass(fCfg.HPOrder, fCfg.HPCutoff, fs)
-			if derr != nil {
-				return nil, derr
-			}
-			icgF = hp.Filter(icgF)
+		icgF = bank.icgLP.FilterTo(ar.F64(len(icgRaw)), icgRaw)
+		if bank.icgHP != nil {
+			icgF = bank.icgHP.FilterTo(icgF, icgF)
 		}
 		cost.sos(n, 3, 1)
 	} else {
-		icgF, err = fCfg.Apply(icgRaw)
-		if err != nil {
-			return nil, err
-		}
+		icgF = icg.ApplyDesigned(ar, bank.icgLP, bank.icgHP, icgRaw)
 		cost.sos(n, 3, 2)
 	}
 
 	// --- T peaks (needed by the Carvalho X variant only).
 	var tPeaks []int
 	if d.cfg.XRule == icg.XCarvalho {
-		tPeaks = ecg.TPeaksForBeats(condECG, ptRes.RPeaks, fs)
+		tPeaks = ecg.TPeaksForBeatsWith(ar, bank.twaveLP, condECG, ptRes.RPeaks, fs)
 		cost.sos(n, 2, 2) // the 10 Hz T-wave low-pass
 	}
 
@@ -113,15 +110,16 @@ func (d *Device) Process(acq *Acquisition) (*Output, error) {
 	cost.radio(len(params))
 
 	out := &Output{
-		RPeaks:   ptRes.RPeaks,
-		TPeaks:   tPeaks,
-		Beats:    params,
-		Summary:  hemo.Summarize(params),
-		Yield:    icg.YieldRate(beats),
-		Z0:       z0,
-		Cost:     cost.counter,
-		CondECG:  condECG,
-		ICGTrack: icgF,
+		RPeaks:  ptRes.RPeaks,
+		TPeaks:  tPeaks,
+		Beats:   params,
+		Summary: hemo.Summarize(params),
+		Yield:   icg.YieldRate(beats),
+		Z0:      z0,
+		Cost:    cost.counter,
+		// The conditioned traces are arena-owned; the Output keeps copies.
+		CondECG:  dsp.Clone(condECG),
+		ICGTrack: dsp.Clone(icgF),
 	}
 
 	// --- Optional ensemble-averaged measurement: R-aligned averaging
@@ -130,8 +128,8 @@ func (d *Device) Process(acq *Acquisition) (*Output, error) {
 	if d.cfg.Ensemble {
 		meanRR := dsp.Mean(ecg.RRIntervals(ptRes.RPeaks, fs))
 		ensLen := int(0.9 * meanRR * fs)
-		if cap := int(0.9 * fs); ensLen > cap {
-			ensLen = cap
+		if maxLen := int(0.9 * fs); ensLen > maxLen {
+			ensLen = maxLen
 		}
 		ens := icg.EnsembleAligned(icgF, ptRes.RPeaks, ensLen)
 		cost.ensemble(len(ptRes.RPeaks), ensLen)

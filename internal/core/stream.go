@@ -27,6 +27,12 @@ type Streamer struct {
 
 	body hemo.BodyConstants
 	cal  hemo.Calibration
+
+	// A Streamer is driven from a single goroutine (sample-by-sample
+	// firmware semantics), so it owns its scratch arena directly and
+	// reuses the device's pre-designed filter bank: re-analyzing a window
+	// every hop allocates nothing beyond the beats it emits.
+	arena dsp.Arena
 }
 
 // StreamConfig tunes the rolling-window analysis.
@@ -122,23 +128,22 @@ func (s *Streamer) analyzeWindow(last bool) []hemo.BeatParams {
 	ecgW := s.ecgBuf[:window]
 	zW := s.zBuf[:window]
 
+	ar := &s.arena
+	ar.Reset()
+	bank := s.dev.bank
+
 	blCfg := ecg.DefaultBaseline(fs)
 	blCfg.Naive = s.dev.cfg.NaiveMorph
-	cond := ecg.RemoveBaseline(ecgW, blCfg)
-	fir, err := ecg.DefaultBandPass(fs).Design()
-	if err != nil {
-		return nil
-	}
-	cond = dsp.FiltFiltFIR(fir, cond)
-	pt, err := ecg.DetectQRS(cond, ecg.DefaultPT(fs))
+	cond := ecg.RemoveBaselineWith(ar, ecgW, blCfg)
+	cond = dsp.FiltFiltFIRWith(ar, bank.ecgFIR, cond)
+	ptCfg := ecg.DefaultPT(fs)
+	ptCfg.BandSOS = bank.ptSOS
+	pt, err := ecg.DetectQRSWith(ar, cond, ptCfg)
 	if err != nil || len(pt.RPeaks) < 2 {
 		return nil
 	}
-	icgRaw := bioimp.ICGFromZ(zW, fs)
-	icgF, err := icg.DefaultFilter(fs).Apply(icgRaw)
-	if err != nil {
-		return nil
-	}
+	icgRaw := bioimp.ICGFromZTo(ar.F64(len(zW)), zW, fs)
+	icgF := icg.ApplyDesigned(ar, bank.icgLP, bank.icgHP, icgRaw)
 	dCfg := icg.DefaultDetect(fs)
 	dCfg.XRule = s.dev.cfg.XRule
 	dCfg.BRule = s.dev.cfg.BRule

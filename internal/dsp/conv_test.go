@@ -1,0 +1,347 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the convolution engines: the FFT overlap-save path
+// must agree with the direct three-region path to floating-point rounding
+// on every shape the pipeline can produce, and both must agree with the
+// naive reference convolution.
+
+// naiveSame is the textbook zero-padded "same" convolution with
+// group-delay alignment, kept as an oracle.
+func naiveSame(taps, x []float64) []float64 {
+	n, k := len(x), len(taps)
+	if n == 0 || k == 0 {
+		return nil
+	}
+	delay := (k - 1) / 2
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ci := i + delay
+		acc := 0.0
+		for j := 0; j < k; j++ {
+			if xi := ci - j; xi >= 0 && xi < n {
+				acc += taps[j] * x[xi]
+			}
+		}
+		y[i] = acc
+	}
+	return y
+}
+
+func randomTaps(rng *rand.Rand, k int) []float64 {
+	taps := make([]float64, k)
+	for i := range taps {
+		taps[i] = rng.NormFloat64()
+	}
+	return taps
+}
+
+// maxRelDiff returns the maximum |a[i]-b[i]| scaled by the peak of b.
+func maxRelDiff(t *testing.T, a, b []float64) float64 {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch: %d vs %d", len(a), len(b))
+	}
+	scale := 0.0
+	for _, v := range b {
+		if av := math.Abs(v); av > scale {
+			scale = av
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	worst := 0.0
+	for i := range a {
+		if d := math.Abs(a[i]-b[i]) / scale; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestApplyFFTMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Odd and even tap counts, signals shorter than the filter, signals
+	// around block boundaries of the overlap-save engine, and long
+	// signals spanning many blocks.
+	tapCounts := []int{1, 2, 3, 8, 33, 64, 129, 251, 256}
+	sigLens := []int{1, 2, 7, 32, 100, 255, 256, 257, 1000, 4096}
+	for _, k := range tapCounts {
+		f := &FIR{Taps: randomTaps(rng, k)}
+		for _, n := range sigLens {
+			x := randomSignal(rng, n)
+			direct := f.ApplyDirect(x)
+			fft := f.ApplyFFT(x)
+			if d := maxRelDiff(t, fft, direct); d > 1e-9 {
+				t.Errorf("k=%d n=%d: |fft-direct| = %g relative", k, n, d)
+			}
+			if d := maxRelDiff(t, direct, naiveSame(f.Taps, x)); d > 1e-12 {
+				t.Errorf("k=%d n=%d: |direct-naive| = %g relative", k, n, d)
+			}
+		}
+	}
+}
+
+func TestApplyFFTEmptyAndDegenerate(t *testing.T) {
+	f := &FIR{Taps: []float64{1, 2, 1}}
+	if f.ApplyFFT(nil) != nil {
+		t.Error("empty input should return nil")
+	}
+	if f.ApplyDirect(nil) != nil {
+		t.Error("empty input should return nil (direct)")
+	}
+	empty := &FIR{}
+	if empty.Apply([]float64{1, 2, 3}) != nil {
+		t.Error("empty taps should return nil")
+	}
+}
+
+func TestApplyCrossoverConsistent(t *testing.T) {
+	// Apply must give the same answer whichever engine the cost model
+	// picks. 251 taps on a long signal exercises the FFT side.
+	rng := rand.New(rand.NewSource(11))
+	f := &FIR{Taps: randomTaps(rng, 251)}
+	x := randomSignal(rng, 7500)
+	if !useFFTConv(len(x), 251) {
+		t.Fatal("expected cost model to pick FFT for k=251, n=7500")
+	}
+	if useFFTConv(7500, 33) {
+		t.Fatal("expected cost model to keep the 33-tap ECG filter direct")
+	}
+	if d := maxRelDiff(t, f.Apply(x), f.ApplyDirect(x)); d > 1e-9 {
+		t.Errorf("crossover changed Apply output by %g relative", d)
+	}
+}
+
+func TestApplyToReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := &FIR{Taps: randomTaps(rng, 33)}
+	x := randomSignal(rng, 500)
+	dst := make([]float64, 500)
+	got := f.ApplyTo(dst, x)
+	if &got[0] != &dst[0] {
+		t.Error("ApplyTo should reuse a sufficiently large dst")
+	}
+	want := f.Apply(x)
+	if d := maxRelDiff(t, got, want); d != 0 {
+		t.Errorf("ApplyTo differs from Apply by %g", d)
+	}
+}
+
+func TestFiltFiltFIRFastPathMatchesGeneric(t *testing.T) {
+	// The convolution-based fast path must reproduce the generic
+	// state-recurrence FiltFilt bit-for-bit up to rounding, including at
+	// short signal lengths where it falls back to the generic path.
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range []int{3, 9, 33, 65} {
+		f := &FIR{Taps: randomTaps(rng, k)}
+		for _, n := range []int{2, 5, k - 1, k, 3 * k, 1000} {
+			if n < 1 {
+				continue
+			}
+			x := randomSignal(rng, n)
+			fast := FiltFiltFIR(f, x)
+			generic := FiltFilt(f.Taps, []float64{1}, x)
+			if d := maxRelDiff(t, fast, generic); d > 1e-9 {
+				t.Errorf("k=%d n=%d: fast filtfilt deviates by %g relative", k, n, d)
+			}
+		}
+	}
+}
+
+func TestFiltFiltFIRWithArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := &FIR{Taps: randomTaps(rng, 33)}
+	x := randomSignal(rng, 800)
+	want := FiltFiltFIR(f, x)
+	var a Arena
+	for round := 0; round < 3; round++ {
+		a.Reset()
+		got := FiltFiltFIRWith(&a, f, x)
+		if d := maxRelDiff(t, got, want); d != 0 {
+			t.Fatalf("round %d: arena result deviates by %g", round, d)
+		}
+	}
+}
+
+func TestSOSFilterToMatchesFilter(t *testing.T) {
+	sos, err := DesignButterLowPass(4, 20, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	x := randomSignal(rng, 600)
+	want := sos.Filter(x)
+	dst := make([]float64, 600)
+	got := sos.FilterTo(dst, x)
+	if d := maxRelDiff(t, got, want); d != 0 {
+		t.Errorf("FilterTo deviates by %g", d)
+	}
+	// In-place aliasing.
+	inPlace := Clone(x)
+	sos.FilterTo(inPlace, inPlace)
+	if d := maxRelDiff(t, inPlace, want); d != 0 {
+		t.Errorf("aliased FilterTo deviates by %g", d)
+	}
+}
+
+func TestSOSFiltFiltWithMatchesFiltFilt(t *testing.T) {
+	sos, err := DesignButterLowPass(4, 20, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	x := randomSignal(rng, 700)
+	want := sos.FiltFilt(x)
+	var a Arena
+	got := sos.FiltFiltWith(&a, x)
+	if d := maxRelDiff(t, got, want); d != 0 {
+		t.Errorf("FiltFiltWith deviates by %g", d)
+	}
+}
+
+func TestMorphWithMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	x := randomSignal(rng, 400)
+	var a Arena
+	for _, k := range []int{3, 7, 50, 51} {
+		wantO, wantC := Open(x, k), Close(x, k)
+		a.Reset()
+		gotO := OpenWith(&a, x, k)
+		gotC := CloseWith(&a, x, k)
+		if d := maxRelDiff(t, gotO, wantO); d != 0 {
+			t.Errorf("k=%d: OpenWith deviates by %g", k, d)
+		}
+		if d := maxRelDiff(t, gotC, wantC); d != 0 {
+			t.Errorf("k=%d: CloseWith deviates by %g", k, d)
+		}
+	}
+}
+
+func TestFFTPlanRoundTrip(t *testing.T) {
+	p, err := NewFFTPlan(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFFTPlan(100); err != ErrNotPow2 {
+		t.Errorf("non-pow2 plan: %v", err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	x := make([]complex128, 256)
+	orig := make([]complex128, 256)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = x[i]
+	}
+	if err := p.Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inverse(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if d := x[i] - orig[i]; math.Hypot(real(d), imag(d)) > 1e-10 {
+			t.Fatalf("round trip error at %d: %v", i, d)
+		}
+	}
+	if err := p.Forward(make([]complex128, 128)); err != ErrBadLength {
+		t.Errorf("wrong-size transform: %v", err)
+	}
+}
+
+func TestSelectKthAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		x := make([]float64, n)
+		for i := range x {
+			// Duplicates on purpose.
+			x[i] = float64(rng.Intn(20))
+		}
+		sorted := Clone(x)
+		Reverse(sorted) // arbitrary pre-state
+		k := rng.Intn(n)
+		got := SelectKth(Clone(x), k)
+		ref := Clone(x)
+		insertionSortAll(ref)
+		if got != ref[k] {
+			t.Fatalf("n=%d k=%d: SelectKth=%g want %g", n, k, got, ref[k])
+		}
+	}
+}
+
+func insertionSortAll(x []float64) {
+	for i := 1; i < len(x); i++ {
+		v := x[i]
+		j := i - 1
+		for j >= 0 && x[j] > v {
+			x[j+1] = x[j]
+			j--
+		}
+		x[j+1] = v
+	}
+}
+
+func TestPercentileInPlaceMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(200)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for _, p := range []float64{0, 10, 50, 60, 90, 100} {
+			want := Percentile(x, p)
+			got := PercentileInPlace(Clone(x), p)
+			if got != want {
+				t.Fatalf("n=%d p=%g: in-place %g vs %g", n, p, got, want)
+			}
+		}
+	}
+}
+
+func TestMedianInPlaceMatchesMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(64)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.Intn(9))
+		}
+		if got, want := MedianInPlace(Clone(x)), Median(x); got != want {
+			t.Fatalf("n=%d: MedianInPlace %g vs %g", n, got, want)
+		}
+	}
+}
+
+// The steady-state DSP kernels must be allocation-free once the arena has
+// warmed up.
+func TestArenaKernelsAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	x := randomSignal(rng, 1500)
+	fir := &FIR{Taps: randomTaps(rng, 33)}
+	fir.Prepare()
+	sos, err := DesignButterLowPass(4, 20, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Arena
+	run := func() {
+		a.Reset()
+		y := OpenWith(&a, x, 51)
+		y = CloseWith(&a, y, 77)
+		y = FiltFiltFIRWith(&a, fir, y)
+		y = sos.FiltFiltWith(&a, y)
+		_ = fir.ApplyTo(a.F64(len(y)), y)
+	}
+	run() // warm the arena
+	if allocs := testing.AllocsPerRun(20, run); allocs > 0 {
+		t.Errorf("steady-state arena kernels allocate %.1f objects/run, want 0", allocs)
+	}
+}

@@ -7,20 +7,34 @@ package dsp
 // Derivative returns the first derivative of x (units per second) using
 // central differences, with one-sided differences at the edges.
 func Derivative(x []float64, fs float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	return DerivativeTo(make([]float64, len(x)), x, fs)
+}
+
+// DerivativeTo is Derivative writing into dst (grown when shorter than x;
+// dst must not alias x). It returns the derivative slice.
+func DerivativeTo(dst, x []float64, fs float64) []float64 {
 	n := len(x)
 	if n == 0 {
 		return nil
 	}
-	y := make([]float64, n)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
 	if n == 1 {
-		return y
+		dst[0] = 0
+		return dst
 	}
-	y[0] = (x[1] - x[0]) * fs
-	y[n-1] = (x[n-1] - x[n-2]) * fs
+	dst[0] = (x[1] - x[0]) * fs
+	dst[n-1] = (x[n-1] - x[n-2]) * fs
+	half := fs / 2
 	for i := 1; i < n-1; i++ {
-		y[i] = (x[i+1] - x[i-1]) * fs / 2
+		dst[i] = (x[i+1] - x[i-1]) * half
 	}
-	return y
+	return dst
 }
 
 // DerivativeN returns the order-th derivative of x by repeated application

@@ -70,11 +70,23 @@ func Sub(a, b []float64) []float64 {
 	if len(a) != len(b) {
 		panic("dsp: Sub length mismatch")
 	}
-	y := make([]float64, len(a))
-	for i := range a {
-		y[i] = a[i] - b[i]
+	return SubTo(make([]float64, len(a)), a, b)
+}
+
+// SubTo writes the element-wise difference a-b into dst (grown when
+// shorter than a; dst may alias a or b) and returns it.
+func SubTo(dst, a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("dsp: Sub length mismatch")
 	}
-	return y
+	if cap(dst) < len(a) {
+		dst = make([]float64, len(a))
+	}
+	dst = dst[:len(a)]
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+	return dst
 }
 
 // Mul returns the element-wise product of a and b.

@@ -10,38 +10,15 @@ import (
 // the spectral synthesis of RR tachograms.
 
 // FFT computes the in-place decimation-in-time radix-2 FFT of x, whose
-// length must be a power of two. It returns x for convenience.
+// length must be a power of two. It returns x for convenience. Twiddle
+// factors come from the process-wide plan cache (see fftplan.go), so
+// repeated transforms of the same size pay only the butterflies.
 func FFT(x []complex128) ([]complex128, error) {
 	n := len(x)
 	if !IsPow2(n) {
 		return nil, ErrNotPow2
 	}
-	// Bit-reversal permutation.
-	for i, j := 1, 0; i < n; i++ {
-		bit := n >> 1
-		for ; j&bit != 0; bit >>= 1 {
-			j ^= bit
-		}
-		j ^= bit
-		if i < j {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	for length := 2; length <= n; length <<= 1 {
-		ang := -2 * math.Pi / float64(length)
-		wl := cmplx.Exp(complex(0, ang))
-		for start := 0; start < n; start += length {
-			w := complex(1, 0)
-			half := length / 2
-			for k := 0; k < half; k++ {
-				u := x[start+k]
-				v := x[start+k+half] * w
-				x[start+k] = u + v
-				x[start+k+half] = u - v
-				w *= wl
-			}
-		}
-	}
+	fftWith(x, twiddlesFor(n))
 	return x, nil
 }
 
@@ -51,16 +28,7 @@ func IFFT(x []complex128) ([]complex128, error) {
 	if !IsPow2(n) {
 		return nil, ErrNotPow2
 	}
-	for i := range x {
-		x[i] = cmplx.Conj(x[i])
-	}
-	if _, err := FFT(x); err != nil {
-		return nil, err
-	}
-	inv := complex(1/float64(n), 0)
-	for i := range x {
-		x[i] = cmplx.Conj(x[i]) * inv
-	}
+	ifftWith(x, twiddlesFor(n))
 	return x, nil
 }
 

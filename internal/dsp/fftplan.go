@@ -1,0 +1,116 @@
+package dsp
+
+import (
+	"math"
+	"sync"
+)
+
+// Cached FFT plans. The radix-2 transform spends a surprising share of its
+// time recomputing twiddle factors (cmplx.Exp plus the w *= wl recurrence,
+// which also accumulates rounding error). A plan precomputes the twiddle
+// table once per size and shares it process-wide, so repeated transforms —
+// spectral estimates on every streaming window, overlap-save convolution
+// blocks — pay only the butterflies.
+
+// twiddleCache maps a power-of-two size n to its forward twiddle table
+// (length n/2, w[k] = exp(-2*pi*i*k/n)). Tables are immutable after
+// construction and therefore safe to share between goroutines.
+var twiddleCache sync.Map
+
+// twiddlesFor returns the cached forward twiddle table for size n, which
+// must be a power of two.
+func twiddlesFor(n int) []complex128 {
+	if v, ok := twiddleCache.Load(n); ok {
+		return v.([]complex128)
+	}
+	w := make([]complex128, n/2)
+	for k := range w {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		w[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	v, _ := twiddleCache.LoadOrStore(n, w)
+	return v.([]complex128)
+}
+
+// fftWith computes the in-place decimation-in-time radix-2 FFT of x using
+// the precomputed twiddle table w (len(x)/2 entries). len(x) must be a
+// power of two.
+func fftWith(x, w []complex128) {
+	n := len(x)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		half := length >> 1
+		stride := n / length
+		for start := 0; start < n; start += length {
+			ti := 0
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w[ti]
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				ti += stride
+			}
+		}
+	}
+}
+
+// ifftWith computes the in-place inverse FFT of x using the forward
+// twiddle table w, via the conjugation identity IFFT(x) = conj(FFT(conj(x)))/n.
+func ifftWith(x, w []complex128) {
+	n := len(x)
+	for i := range x {
+		x[i] = complex(real(x[i]), -imag(x[i]))
+	}
+	fftWith(x, w)
+	inv := 1 / float64(n)
+	for i := range x {
+		x[i] = complex(real(x[i])*inv, -imag(x[i])*inv)
+	}
+}
+
+// FFTPlan is a reusable transform plan for one power-of-two size: the
+// twiddle table is fetched from the process-wide cache at construction and
+// the transforms run allocation-free.
+type FFTPlan struct {
+	n int
+	w []complex128
+}
+
+// NewFFTPlan builds (or fetches the cached tables for) a plan of size n.
+func NewFFTPlan(n int) (*FFTPlan, error) {
+	if !IsPow2(n) {
+		return nil, ErrNotPow2
+	}
+	return &FFTPlan{n: n, w: twiddlesFor(n)}, nil
+}
+
+// Size returns the transform size.
+func (p *FFTPlan) Size() int { return p.n }
+
+// Forward computes the in-place FFT of x, which must have the plan's size.
+func (p *FFTPlan) Forward(x []complex128) error {
+	if len(x) != p.n {
+		return ErrBadLength
+	}
+	fftWith(x, p.w)
+	return nil
+}
+
+// Inverse computes the in-place inverse FFT of x (the plan's size).
+func (p *FFTPlan) Inverse(x []complex128) error {
+	if len(x) != p.n {
+		return ErrBadLength
+	}
+	ifftWith(x, p.w)
+	return nil
+}

@@ -8,12 +8,56 @@ import "math"
 // design style.
 
 // FIR is a finite impulse response filter described by its taps.
+//
+// The filtering methods lazily cache derived state (reversed taps for the
+// direct convolution engine, the overlap-save plan for the FFT engine), so
+// Taps must not be modified after the first filtering call. A FIR is not
+// safe for concurrent use until Prepare has been called; afterwards the
+// cost-model-driven methods (Apply, ApplyTo, ApplyCausal, FiltFiltFIR)
+// are safe — the direct engine is read-only and the FFT engine serializes
+// on its plan's internal block buffer. Forcing ApplyFFT on a filter
+// narrow enough that Prepare skipped the plan still builds state lazily
+// and needs external synchronization.
 type FIR struct {
 	Taps []float64
+
+	rev []float64 // taps reversed, for the branch-free dot-product engine
+	cp  *convPlan // overlap-save state, built on first FFT-path use
 }
 
 // Order returns the filter order (len(taps)-1).
 func (f *FIR) Order() int { return len(f.Taps) - 1 }
+
+// reversed returns the cached reversed-tap table, building it on first
+// use.
+func (f *FIR) reversed() []float64 {
+	if len(f.rev) != len(f.Taps) {
+		f.rev = make([]float64, len(f.Taps))
+		for i, t := range f.Taps {
+			f.rev[len(f.Taps)-1-i] = t
+		}
+	}
+	return f.rev
+}
+
+// plan returns the cached overlap-save plan, building it on first use.
+func (f *FIR) plan() *convPlan {
+	if f.cp == nil {
+		f.cp = newConvPlan(f.Taps)
+	}
+	return f.cp
+}
+
+// Prepare eagerly builds the cached filtering state (reversed taps and,
+// for filters wide enough to use the FFT path, the overlap-save plan).
+// Call it once at construction when the filter will be applied from a
+// steady-state hot path or shared between goroutines.
+func (f *FIR) Prepare() {
+	f.reversed()
+	if useFFTConv(1<<20, len(f.Taps)) {
+		f.plan()
+	}
+}
 
 // lowpassKernel returns an (order+1)-tap windowed-sinc low-pass kernel with
 // normalized DC gain of exactly 1.
@@ -101,27 +145,63 @@ func DesignBandPass(order int, f1, f2, fs float64, kind WindowKind) (*FIR, error
 
 // Apply filters x with f using zero-padded ("same") convolution so that the
 // output is aligned with the input and compensated for the group delay of a
-// linear-phase filter.
+// linear-phase filter. The convolution engine — direct three-region dot
+// products or FFT overlap-save — is chosen automatically by the n*k cost
+// model of useFFTConv.
 func (f *FIR) Apply(x []float64) []float64 {
+	if len(x) == 0 || len(f.Taps) == 0 {
+		return nil
+	}
+	return f.ApplyTo(make([]float64, len(x)), x)
+}
+
+// ApplyTo is Apply writing into dst, which must not alias x and is grown
+// when shorter than x. It returns the filtered slice (dst or its
+// replacement) and allocates nothing when dst has sufficient capacity.
+func (f *FIR) ApplyTo(dst, x []float64) []float64 {
 	n := len(x)
 	k := len(f.Taps)
 	if n == 0 || k == 0 {
 		return nil
 	}
-	delay := (k - 1) / 2
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		// y[i] corresponds to full-convolution index i+delay.
-		acc := 0.0
-		ci := i + delay
-		for j := 0; j < k; j++ {
-			xi := ci - j
-			if xi >= 0 && xi < n {
-				acc += f.Taps[j] * x[xi]
-			}
-		}
-		y[i] = acc
+	if cap(dst) < n {
+		dst = make([]float64, n)
 	}
+	dst = dst[:n]
+	delay := (k - 1) / 2
+	if useFFTConv(n, k) {
+		f.plan().convFFTInto(dst, x, delay)
+	} else {
+		convDirectInto(dst, x, f.reversed(), delay)
+	}
+	return dst
+}
+
+// ApplyDirect is Apply pinned to the direct three-region engine,
+// regardless of the cost model. It exists so the FFT path can be verified
+// against it.
+func (f *FIR) ApplyDirect(x []float64) []float64 {
+	n := len(x)
+	k := len(f.Taps)
+	if n == 0 || k == 0 {
+		return nil
+	}
+	y := make([]float64, n)
+	convDirectInto(y, x, f.reversed(), (k-1)/2)
+	return y
+}
+
+// ApplyFFT is Apply pinned to the FFT overlap-save engine: identical
+// output to ApplyDirect up to floating-point rounding (~1e-12 relative),
+// asymptotically cheaper for wide filters.
+func (f *FIR) ApplyFFT(x []float64) []float64 {
+	n := len(x)
+	k := len(f.Taps)
+	if n == 0 || k == 0 {
+		return nil
+	}
+	y := make([]float64, n)
+	f.plan().convFFTInto(y, x, (k-1)/2)
 	return y
 }
 
@@ -135,14 +215,19 @@ func (f *FIR) ApplyCausal(x []float64) []float64 {
 		return nil
 	}
 	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		acc := 0.0
-		for j := 0; j < k && j <= i; j++ {
-			acc += f.Taps[j] * x[i-j]
-		}
-		y[i] = acc
-	}
+	convDirectInto(y, x, f.reversed(), 0)
 	return y
+}
+
+// applyCausalTo writes the causal (off = 0) convolution into dst (length
+// len(x), no aliasing), choosing the engine by cost. It is the kernel both
+// passes of the zero-phase FiltFiltFIR run on.
+func (f *FIR) applyCausalTo(dst, x []float64) {
+	if useFFTConv(len(x), len(f.Taps)) {
+		f.plan().convFFTInto(dst, x, 0)
+	} else {
+		convDirectInto(dst, x, f.reversed(), 0)
+	}
 }
 
 // FrequencyResponse evaluates the magnitude response |H(f)| of the filter

@@ -148,17 +148,33 @@ func normalizeBiquad(bq Biquad, normAt float64) Biquad {
 
 // Filter applies the biquad cascade causally (direct form II transposed).
 func (s SOS) Filter(x []float64) []float64 {
-	y := Clone(x)
+	if x == nil {
+		return nil
+	}
+	return s.FilterTo(make([]float64, len(x)), x)
+}
+
+// FilterTo is Filter writing into dst (grown when shorter than x; dst may
+// alias x, in which case the filtering happens fully in place). It returns
+// the filtered slice and allocates nothing when dst has sufficient
+// capacity.
+func (s SOS) FilterTo(dst, x []float64) []float64 {
+	n := len(x)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	copy(dst, x)
 	for _, bq := range s {
 		var z1, z2 float64
-		for i, v := range y {
+		for i, v := range dst {
 			out := bq.B0*v + z1
 			z1 = bq.B1*v - bq.A1*out + z2
 			z2 = bq.B2*v - bq.A2*out
-			y[i] = out
+			dst[i] = out
 		}
 	}
-	return y
+	return dst
 }
 
 // Order returns the total filter order of the cascade.

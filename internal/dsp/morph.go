@@ -90,20 +90,29 @@ func Dilate(x []float64, k int) []float64 {
 }
 
 func slideDeque(x []float64, left, right int, min bool) []float64 {
+	return slideDequeWith(nil, x, left, right, min)
+}
+
+// slideDequeWith is slideDeque drawing its output and deque storage from
+// an arena (nil falls back to the heap).
+func slideDequeWith(a *Arena, x []float64, left, right int, min bool) []float64 {
 	n := len(x)
 	if n == 0 || left < 0 || right < 0 || left+right+1 < 1 {
 		return nil
 	}
-	y := make([]float64, n)
-	// deque holds candidate indices with monotone values.
-	dq := make([]int, 0, left+right+2)
-	better := func(a, b float64) bool {
-		if min {
-			return a <= b
-		}
-		return a >= b
-	}
-	j := 0 // next index to push
+	y := arenaF64(a, n)
+	slideDequeInto(y, x, left, right, min, arenaInts(a, NextPow2(left+right+2)))
+	return y
+}
+
+// slideDequeInto runs the monotonic-deque sliding min/max into dst. The
+// live deque never exceeds the window length, so dq is a power-of-two
+// ring buffer of at least left+right+2 entries.
+func slideDequeInto(dst, x []float64, left, right int, min bool, dq []int) {
+	n := len(x)
+	mask := len(dq) - 1
+	head, tail, size := 0, 0, 0 // front index, next write index, entries
+	j := 0                      // next signal index to push
 	for i := 0; i < n; i++ {
 		hi := i + right
 		if hi > n-1 {
@@ -114,17 +123,27 @@ func slideDeque(x []float64, left, right int, min bool) []float64 {
 			lo = 0
 		}
 		for ; j <= hi; j++ {
-			for len(dq) > 0 && better(x[j], x[dq[len(dq)-1]]) {
-				dq = dq[:len(dq)-1]
+			if min {
+				for size > 0 && x[j] <= x[dq[(tail-1)&mask]] {
+					tail = (tail - 1) & mask
+					size--
+				}
+			} else {
+				for size > 0 && x[j] >= x[dq[(tail-1)&mask]] {
+					tail = (tail - 1) & mask
+					size--
+				}
 			}
-			dq = append(dq, j)
+			dq[tail] = j
+			tail = (tail + 1) & mask
+			size++
 		}
-		for len(dq) > 0 && dq[0] < lo {
-			dq = dq[1:]
+		for size > 0 && dq[head] < lo {
+			head = (head + 1) & mask
+			size--
 		}
-		y[i] = x[dq[0]]
+		dst[i] = x[dq[head]]
 	}
-	return y
 }
 
 // Open computes the morphological opening (erosion then dilation with the
@@ -132,22 +151,34 @@ func slideDeque(x []float64, left, right int, min bool) []float64 {
 // the element. Using the transposed element in the second stage keeps the
 // anti-extensivity property opening(x) <= x for even element lengths.
 func Open(x []float64, k int) []float64 {
+	return OpenWith(nil, x, k)
+}
+
+// OpenWith is Open drawing its buffers from an arena (nil falls back to
+// the heap); the returned slice is arena-owned when a is non-nil.
+func OpenWith(a *Arena, x []float64, k int) []float64 {
 	if k < 1 {
 		return nil
 	}
 	left, right := (k-1)/2, k/2
-	return slideDeque(slideDeque(x, left, right, true), right, left, false)
+	return slideDequeWith(a, slideDequeWith(a, x, left, right, true), right, left, false)
 }
 
 // Close computes the morphological closing (dilation then erosion with the
 // transposed structuring element), which suppresses pits narrower than the
 // element and satisfies closing(x) >= x.
 func Close(x []float64, k int) []float64 {
+	return CloseWith(nil, x, k)
+}
+
+// CloseWith is Close drawing its buffers from an arena (nil falls back to
+// the heap); the returned slice is arena-owned when a is non-nil.
+func CloseWith(a *Arena, x []float64, k int) []float64 {
 	if k < 1 {
 		return nil
 	}
 	left, right := (k-1)/2, k/2
-	return slideDeque(slideDeque(x, left, right, false), right, left, true)
+	return slideDequeWith(a, slideDequeWith(a, x, left, right, false), right, left, true)
 }
 
 // OpenNaive is the O(n*k) variant of Open.

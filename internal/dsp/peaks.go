@@ -1,6 +1,9 @@
 package dsp
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Peak and landmark detection helpers used by the QRS detector and the
 // ICG characteristic-point rules.
@@ -49,12 +52,15 @@ func FindPeaks(x []float64, minHeight float64, minDist int) []int {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		pa, pb := cands[order[a]], cands[order[b]]
+	slices.SortFunc(order, func(a, b int) int {
+		pa, pb := cands[a], cands[b]
 		if pa.Value != pb.Value {
-			return pa.Value > pb.Value
+			if pa.Value > pb.Value {
+				return -1
+			}
+			return 1
 		}
-		return pa.Index < pb.Index
+		return pa.Index - pb.Index
 	})
 	kept := make([]bool, len(cands))
 	removed := make([]bool, len(cands))
@@ -63,17 +69,16 @@ func FindPeaks(x []float64, minHeight float64, minDist int) []int {
 			continue
 		}
 		kept[oi] = true
-		for j := range cands {
-			if j == oi || removed[j] || kept[j] {
+		// cands is index-sorted, so the suppression neighbourhood is a
+		// contiguous window located by binary search instead of a full
+		// scan (the scan made QRS detection quadratic in the peak count).
+		ci := cands[oi].Index
+		lo := sort.Search(len(cands), func(j int) bool { return cands[j].Index > ci-minDist })
+		for j := lo; j < len(cands) && cands[j].Index < ci+minDist; j++ {
+			if j == oi || kept[j] {
 				continue
 			}
-			d := cands[j].Index - cands[oi].Index
-			if d < 0 {
-				d = -d
-			}
-			if d < minDist {
-				removed[j] = true
-			}
+			removed[j] = true
 		}
 	}
 	var idx []int

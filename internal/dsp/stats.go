@@ -1,9 +1,6 @@
 package dsp
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // Elementary statistics used throughout the study harness: the evaluation
 // correlates device and reference bioimpedance signals (Tables II-IV) and
@@ -77,12 +74,24 @@ func Median(x []float64) float64 {
 	if n == 0 {
 		return 0
 	}
-	s := Clone(x)
-	sort.Float64s(s)
-	if n%2 == 1 {
-		return s[n/2]
+	return MedianInPlace(Clone(x))
+}
+
+// MedianInPlace is Median reordering x in place: quickselect for the
+// middle order statistic(s) instead of a full sort.
+func MedianInPlace(x []float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
 	}
-	return (s[n/2-1] + s[n/2]) / 2
+	m := SelectKth(x, n/2)
+	if n%2 == 1 {
+		return m
+	}
+	// The (n/2-1)-th order statistic is the maximum of the left partition
+	// SelectKth leaves behind.
+	_, below := MinMax(x[:n/2])
+	return (below + m) / 2
 }
 
 // Pearson returns the Pearson correlation coefficient between equal-length
@@ -146,25 +155,107 @@ func RelativeError(a, b float64) float64 {
 // Percentile returns the p-th percentile (0..100) of x by linear
 // interpolation. x is not modified.
 func Percentile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return PercentileInPlace(Clone(x), p)
+}
+
+// PercentileInPlace is Percentile reordering x in place, avoiding the
+// defensive copy on hot per-beat paths. A percentile needs only two order
+// statistics, so it runs on quickselect (expected O(n)) rather than a full
+// sort; the value is identical to Percentile's.
+func PercentileInPlace(x []float64, p float64) float64 {
 	n := len(x)
 	if n == 0 {
 		return 0
 	}
-	s := Clone(x)
-	sort.Float64s(s)
 	if p <= 0 {
-		return s[0]
+		lo, _ := MinMax(x)
+		return lo
 	}
 	if p >= 100 {
-		return s[n-1]
+		_, hi := MinMax(x)
+		return hi
 	}
 	pos := p / 100 * float64(n-1)
 	lo := int(pos)
 	frac := pos - float64(lo)
+	v1 := SelectKth(x, lo)
 	if lo+1 >= n {
-		return s[n-1]
+		return v1
 	}
-	return s[lo]*(1-frac) + s[lo+1]*frac
+	if frac == 0 {
+		return v1
+	}
+	// After SelectKth, x[lo+1:] holds only values >= v1, so the next
+	// order statistic is its minimum.
+	v2, _ := MinMax(x[lo+1:])
+	return v1*(1-frac) + v2*frac
+}
+
+// SelectKth reorders x in place so that x[k] holds the k-th smallest
+// value, everything before it is <= x[k] and everything after is >= x[k]
+// (the nth_element contract), and returns x[k]. Expected O(n) via
+// median-of-three quickselect with an insertion-sort tail.
+func SelectKth(x []float64, k int) float64 {
+	lo, hi := 0, len(x)-1
+	for hi-lo > 12 {
+		// Median-of-three pivot, stored at x[lo].
+		mid := lo + (hi-lo)/2
+		if x[mid] < x[lo] {
+			x[mid], x[lo] = x[lo], x[mid]
+		}
+		if x[hi] < x[lo] {
+			x[hi], x[lo] = x[lo], x[hi]
+		}
+		if x[hi] < x[mid] {
+			x[hi], x[mid] = x[mid], x[hi]
+		}
+		x[lo], x[mid] = x[mid], x[lo]
+		pivot := x[lo]
+		// Hoare partition.
+		i, j := lo, hi+1
+		for {
+			for {
+				i++
+				if i > hi || x[i] >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if x[j] <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			x[i], x[j] = x[j], x[i]
+		}
+		x[lo], x[j] = x[j], x[lo]
+		switch {
+		case j == k:
+			return x[k]
+		case j < k:
+			lo = j + 1
+		default:
+			hi = j - 1
+		}
+	}
+	// Insertion sort the remaining small range: cheap, and it leaves the
+	// full nth_element contract intact.
+	for i := lo + 1; i <= hi; i++ {
+		v := x[i]
+		j := i - 1
+		for j >= lo && x[j] > v {
+			x[j+1] = x[j]
+			j--
+		}
+		x[j+1] = v
+	}
+	return x[k]
 }
 
 // Summary bundles descriptive statistics of a series.

@@ -13,6 +13,12 @@ package dsp
 // oddReflectPad extends x by pad samples on each side using odd reflection
 // about the end points.
 func oddReflectPad(x []float64, pad int) []float64 {
+	return oddReflectPadWith(nil, x, pad)
+}
+
+// oddReflectPadWith is oddReflectPad drawing the padded buffer from an
+// arena (nil falls back to the heap).
+func oddReflectPadWith(a *Arena, x []float64, pad int) []float64 {
 	n := len(x)
 	if n == 0 {
 		return nil
@@ -23,13 +29,13 @@ func oddReflectPad(x []float64, pad int) []float64 {
 	if pad < 0 {
 		pad = 0
 	}
-	y := make([]float64, 0, n+2*pad)
-	for i := pad; i >= 1; i-- {
-		y = append(y, 2*x[0]-x[i])
+	y := arenaF64(a, n+2*pad)
+	for i := 0; i < pad; i++ {
+		y[i] = 2*x[0] - x[pad-i]
 	}
-	y = append(y, x...)
-	for i := n - 2; i >= n-1-pad; i-- {
-		y = append(y, 2*x[n-1]-x[i])
+	copy(y[pad:], x)
+	for i := 0; i < pad; i++ {
+		y[pad+n+i] = 2*x[n-1] - x[n-2-i]
 	}
 	return y
 }
@@ -137,7 +143,47 @@ func FiltFilt(b, a, x []float64) []float64 {
 // FiltFiltFIR applies an FIR filter zero-phase via forward-backward
 // filtering with odd-reflection padding.
 func FiltFiltFIR(f *FIR, x []float64) []float64 {
-	return FiltFilt(f.Taps, []float64{1}, x)
+	return FiltFiltFIRWith(nil, f, x)
+}
+
+// FiltFiltFIRWith is FiltFiltFIR drawing every temporary from an arena
+// (nil falls back to the heap).
+//
+// Fast path: with the standard pad of 3*(k-1) samples, the first k-1
+// outputs of each causal pass — the only ones where the steady-state
+// initial conditions of the generic FiltFilt differ from plain zero-padded
+// convolution (a FIR has only k-1 samples of memory) — lie entirely inside
+// the padding that the final slice discards. Both passes therefore run on
+// the fast convolution engines (three-region direct or FFT overlap-save by
+// the n*k cost model) instead of the order-k direct-form state recurrence,
+// with identical output up to rounding. Signals too short to pad that far
+// fall back to the generic path.
+func FiltFiltFIRWith(a *Arena, f *FIR, x []float64) []float64 {
+	n := len(x)
+	k := len(f.Taps)
+	if n == 0 {
+		return nil
+	}
+	pad := 3 * (k - 1)
+	if pad < 1 {
+		pad = 1
+	}
+	realPad := pad
+	if realPad > n-1 {
+		realPad = n - 1
+	}
+	if k == 0 || realPad < k-1 {
+		return FiltFilt(f.Taps, []float64{1}, x)
+	}
+	ext := oddReflectPadWith(a, x, pad)
+	buf := arenaF64(a, len(ext))
+	f.applyCausalTo(buf, ext) // forward pass
+	Reverse(buf)
+	f.applyCausalTo(ext, buf) // backward pass, reusing ext as output
+	Reverse(ext)
+	y := arenaF64(a, n)
+	copy(y, ext[realPad:realPad+n])
+	return y
 }
 
 // biquadZi returns the steady-state DF2T state (z1, z2) of one section for
@@ -153,10 +199,10 @@ func biquadZi(bq Biquad) (z1, z2 float64) {
 	return z1, z2
 }
 
-// filterZi applies the cascade with per-section steady-state initial
-// conditions scaled by the first sample of each section's input.
-func (s SOS) filterZi(x []float64) []float64 {
-	y := Clone(x)
+// filterZiInPlace applies the cascade in place with per-section
+// steady-state initial conditions scaled by the first sample of each
+// section's input.
+func (s SOS) filterZiInPlace(y []float64) {
 	for _, bq := range s {
 		zi1, zi2 := biquadZi(bq)
 		u := 0.0
@@ -171,6 +217,13 @@ func (s SOS) filterZi(x []float64) []float64 {
 			y[i] = out
 		}
 	}
+}
+
+// filterZi applies the cascade with per-section steady-state initial
+// conditions scaled by the first sample of each section's input.
+func (s SOS) filterZi(x []float64) []float64 {
+	y := Clone(x)
+	s.filterZiInPlace(y)
 	return y
 }
 
@@ -184,9 +237,28 @@ func (s SOS) FiltFilt(x []float64) []float64 {
 	pad := 3 * (2*len(s) + 1)
 	ext := oddReflectPad(x, pad)
 	realPad := (len(ext) - len(x)) / 2
-	y := s.filterZi(ext)
-	Reverse(y)
-	y = s.filterZi(y)
-	Reverse(y)
-	return y[realPad : realPad+len(x)]
+	s.filterZiInPlace(ext)
+	Reverse(ext)
+	s.filterZiInPlace(ext)
+	Reverse(ext)
+	return ext[realPad : realPad+len(x)]
+}
+
+// FiltFiltWith is SOS.FiltFilt drawing every temporary from an arena (nil
+// falls back to the heap); the returned slice is arena-owned when a is
+// non-nil.
+func (s SOS) FiltFiltWith(a *Arena, x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	pad := 3 * (2*len(s) + 1)
+	ext := oddReflectPadWith(a, x, pad)
+	realPad := (len(ext) - len(x)) / 2
+	s.filterZiInPlace(ext)
+	Reverse(ext)
+	s.filterZiInPlace(ext)
+	Reverse(ext)
+	y := arenaF64(a, len(x))
+	copy(y, ext[realPad:realPad+len(x)])
+	return y
 }

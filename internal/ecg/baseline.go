@@ -53,14 +53,40 @@ func (c BaselineConfig) elementLengths() (l1, l2 int) {
 // then erosion, removing pits), exactly the sequence described in Section
 // IV-A.1 of the paper.
 func EstimateBaseline(x []float64, cfg BaselineConfig) []float64 {
+	return EstimateBaselineWith(nil, x, cfg)
+}
+
+// EstimateBaselineWith is EstimateBaseline drawing its buffers from an
+// arena (nil falls back to the heap); the result is arena-owned when a is
+// non-nil. The naive engine is exempt from arena reuse — it models the
+// straightforward firmware implementation for ablation A4 and is never on
+// the steady-state path.
+func EstimateBaselineWith(a *dsp.Arena, x []float64, cfg BaselineConfig) []float64 {
 	l1, l2 := cfg.elementLengths()
 	if cfg.Naive {
 		return dsp.CloseNaive(dsp.OpenNaive(x, l1), l2)
 	}
-	return dsp.Close(dsp.Open(x, l1), l2)
+	return dsp.CloseWith(a, dsp.OpenWith(a, x, l1), l2)
 }
 
 // RemoveBaseline subtracts the morphological baseline estimate from x.
 func RemoveBaseline(x []float64, cfg BaselineConfig) []float64 {
-	return dsp.Sub(x, EstimateBaseline(x, cfg))
+	return RemoveBaselineWith(nil, x, cfg)
+}
+
+// RemoveBaselineWith is RemoveBaseline drawing its buffers from an arena
+// (nil falls back to the heap); the result is arena-owned when a is
+// non-nil.
+func RemoveBaselineWith(a *dsp.Arena, x []float64, cfg BaselineConfig) []float64 {
+	est := EstimateBaselineWith(a, x, cfg)
+	if est == nil {
+		return nil
+	}
+	var dst []float64
+	if a != nil {
+		dst = a.F64(len(x))
+	} else {
+		dst = make([]float64, len(x))
+	}
+	return dsp.SubTo(dst, x, est)
 }

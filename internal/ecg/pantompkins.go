@@ -23,6 +23,42 @@ type PTConfig struct {
 	TWaveMs     float64 // T-wave discrimination window (ms), default 360
 	SearchBack  bool    // enable missed-beat search-back
 	RefineOnRaw bool    // refine R locations on the conditioned ECG
+	// BandSOS, when non-nil, is the pre-designed QRS band-pass cascade;
+	// it overrides BandLow/BandHigh and saves the per-call filter design
+	// on steady-state paths (core.Device caches it at construction).
+	BandSOS dsp.SOS
+}
+
+// normalized returns cfg with every zero field replaced by the classic
+// Pan-Tompkins default — the single source of truth for both the
+// detector and the cacheable band-pass design.
+func (cfg PTConfig) normalized() PTConfig {
+	if cfg.FS <= 0 {
+		cfg.FS = 250
+	}
+	if cfg.BandLow == 0 {
+		cfg.BandLow = 5
+	}
+	if cfg.BandHigh == 0 {
+		cfg.BandHigh = 15
+	}
+	if cfg.WindowMs == 0 {
+		cfg.WindowMs = 150
+	}
+	if cfg.RefractMs == 0 {
+		cfg.RefractMs = 200
+	}
+	if cfg.TWaveMs == 0 {
+		cfg.TWaveMs = 360
+	}
+	return cfg
+}
+
+// DesignPTBandPass designs the detector's QRS band-pass for cfg, suitable
+// for caching in PTConfig.BandSOS.
+func DesignPTBandPass(cfg PTConfig) (dsp.SOS, error) {
+	cfg = cfg.normalized()
+	return dsp.DesignButterBandPass(2, cfg.BandLow, cfg.BandHigh, cfg.FS)
 }
 
 // DefaultPT returns the classic configuration.
@@ -48,41 +84,42 @@ var ErrTooShort = errors.New("ecg: signal too short for QRS detection")
 
 // DetectQRS runs Pan-Tompkins on a conditioned ECG.
 func DetectQRS(x []float64, cfg PTConfig) (*Result, error) {
+	return DetectQRSWith(nil, x, cfg)
+}
+
+// DetectQRSWith is DetectQRS drawing its full-length stage buffers
+// (band-passed, derivative, squared, integrated) from an arena; nil falls
+// back to the heap. When a is non-nil the Filtered and Integrated fields
+// of the Result are arena-owned and valid only until the arena resets.
+func DetectQRSWith(a *dsp.Arena, x []float64, cfg PTConfig) (*Result, error) {
+	cfg = cfg.normalized()
 	fs := cfg.FS
-	if fs <= 0 {
-		fs = 250
-	}
 	if len(x) < int(fs) {
 		return nil, ErrTooShort
 	}
-	if cfg.BandLow == 0 {
-		cfg.BandLow = 5
-	}
-	if cfg.BandHigh == 0 {
-		cfg.BandHigh = 15
-	}
-	if cfg.WindowMs == 0 {
-		cfg.WindowMs = 150
-	}
-	if cfg.RefractMs == 0 {
-		cfg.RefractMs = 200
-	}
-	if cfg.TWaveMs == 0 {
-		cfg.TWaveMs = 360
-	}
 
 	// Stage 1: band-pass to the QRS band.
-	sos, err := dsp.DesignButterBandPass(2, cfg.BandLow, cfg.BandHigh, fs)
-	if err != nil {
-		return nil, err
+	sos := cfg.BandSOS
+	if sos == nil {
+		var err error
+		sos, err = dsp.DesignButterBandPass(2, cfg.BandLow, cfg.BandHigh, fs)
+		if err != nil {
+			return nil, err
+		}
 	}
-	filtered := sos.Filter(x)
+	var filtered []float64
+	if a != nil {
+		filtered = sos.FilterTo(a.F64(len(x)), x)
+	} else {
+		filtered = sos.Filter(x)
+	}
 
 	// Stage 2: five-point derivative.
-	deriv := fivePointDerivative(filtered, fs)
+	deriv := fivePointDerivative(arenaBuf(a, len(filtered)), filtered, fs)
 
-	// Stage 3: squaring.
-	squared := make([]float64, len(deriv))
+	// Stage 3: squaring (in place on the derivative, which is not needed
+	// downstream).
+	squared := deriv
 	for i, v := range deriv {
 		squared[i] = v * v
 	}
@@ -92,7 +129,7 @@ func DetectQRS(x []float64, cfg PTConfig) (*Result, error) {
 	if win < 1 {
 		win = 1
 	}
-	integrated := causalMovingAverage(squared, win)
+	integrated := causalMovingAverage(arenaBuf(a, len(squared)), squared, win)
 
 	// Stage 5: adaptive thresholding on the integrated signal.
 	res := &Result{Integrated: integrated, Filtered: filtered}
@@ -201,21 +238,34 @@ func DetectQRS(x []float64, cfg PTConfig) (*Result, error) {
 	return res, nil
 }
 
+// arenaBuf checks a buffer out of a (heap when a is nil).
+func arenaBuf(a *dsp.Arena, n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	return a.F64(n)
+}
+
 // fivePointDerivative implements the Pan-Tompkins derivative
-// y(n) = (2x(n) + x(n-1) - x(n-3) - 2x(n-4)) / 8 * fs.
-func fivePointDerivative(x []float64, fs float64) []float64 {
+// y(n) = (2x(n) + x(n-1) - x(n-3) - 2x(n-4)) / 8 * fs, written into y
+// (length len(x), must not alias x).
+func fivePointDerivative(y, x []float64, fs float64) []float64 {
 	n := len(x)
-	y := make([]float64, n)
+	y = y[:n]
+	for i := 0; i < 4 && i < n; i++ {
+		y[i] = 0
+	}
 	for i := 4; i < n; i++ {
 		y[i] = (2*x[i] + x[i-1] - x[i-3] - 2*x[i-4]) / 8 * fs
 	}
 	return y
 }
 
-// causalMovingAverage averages the last win samples.
-func causalMovingAverage(x []float64, win int) []float64 {
+// causalMovingAverage averages the last win samples into y (length
+// len(x), must not alias x: trailing-edge subtraction re-reads x[i-win]).
+func causalMovingAverage(y, x []float64, win int) []float64 {
 	n := len(x)
-	y := make([]float64, n)
+	y = y[:n]
 	acc := 0.0
 	for i := 0; i < n; i++ {
 		acc += x[i]

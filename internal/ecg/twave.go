@@ -30,14 +30,29 @@ func TPeak(x []float64, rIdx int, rr, fs float64) int {
 	return dsp.ArgMax(x, lo, hi)
 }
 
+// DesignTWaveLowPass designs the 10 Hz zero-phase low-pass that isolates
+// the T wave from QRS residue, suitable for caching at device
+// construction. A nil cascade (design failure at exotic sampling rates)
+// makes TPeaksForBeatsWith fall back to the unfiltered signal.
+func DesignTWaveLowPass(fs float64) (dsp.SOS, error) {
+	return dsp.DesignButterLowPass(4, 10, fs)
+}
+
 // TPeaksForBeats locates T peaks for every detected beat. The input
 // should be the conditioned ECG; a 10 Hz zero-phase low-pass isolates the
 // T wave from QRS residue. Returns -1 where no T wave was found.
 func TPeaksForBeats(x []float64, rPeaks []int, fs float64) []int {
-	sos, err := dsp.DesignButterLowPass(4, 10, fs)
+	sos, _ := DesignTWaveLowPass(fs)
+	return TPeaksForBeatsWith(nil, sos, x, rPeaks, fs)
+}
+
+// TPeaksForBeatsWith is TPeaksForBeats with a pre-designed low-pass (nil
+// skips smoothing) and an arena for the filtering scratch. The returned
+// index slice is always heap-allocated — callers retain it.
+func TPeaksForBeatsWith(a *dsp.Arena, sos dsp.SOS, x []float64, rPeaks []int, fs float64) []int {
 	sm := x
-	if err == nil {
-		sm = sos.FiltFilt(x)
+	if sos != nil {
+		sm = sos.FiltFiltWith(a, x)
 	}
 	out := make([]int, len(rPeaks))
 	for i, r := range rPeaks {

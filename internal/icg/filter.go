@@ -31,8 +31,11 @@ func DefaultFilter(fs float64) FilterConfig {
 	return FilterConfig{FS: fs, Order: 4, Cutoff: 20, HPOrder: 2, HPCutoff: 0.5}
 }
 
-// Apply conditions x zero-phase.
-func (c FilterConfig) Apply(x []float64) ([]float64, error) {
+// Design builds the conditioning cascades once: the low-pass Butterworth
+// and, when HPCutoff > 0, the band-edge high-pass (hp is nil otherwise).
+// Caching the designed sections (core.Device does this at construction)
+// removes the pole placement and bilinear transform from every window.
+func (c FilterConfig) Design() (lp, hp dsp.SOS, err error) {
 	order := c.Order
 	if order <= 0 {
 		order = 4
@@ -41,21 +44,53 @@ func (c FilterConfig) Apply(x []float64) ([]float64, error) {
 	if cutoff <= 0 {
 		cutoff = 20
 	}
-	sos, err := dsp.DesignButterLowPass(order, cutoff, c.FS)
+	lp, err = dsp.DesignButterLowPass(order, cutoff, c.FS)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	y := sos.FiltFilt(x)
 	if c.HPCutoff > 0 {
 		hpOrder := c.HPOrder
 		if hpOrder <= 0 {
 			hpOrder = 2
 		}
-		hp, err := dsp.DesignButterHighPass(hpOrder, c.HPCutoff, c.FS)
+		hp, err = dsp.DesignButterHighPass(hpOrder, c.HPCutoff, c.FS)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		y = hp.FiltFilt(y)
 	}
-	return y, nil
+	return lp, hp, nil
+}
+
+// Apply conditions x zero-phase.
+func (c FilterConfig) Apply(x []float64) ([]float64, error) {
+	return c.ApplyWith(nil, x)
+}
+
+// ApplyWith is Apply drawing its filtering scratch from an arena (nil
+// falls back to the heap); the result is arena-owned when a is non-nil.
+func (c FilterConfig) ApplyWith(a *dsp.Arena, x []float64) ([]float64, error) {
+	lp, hp, err := c.Design()
+	if err != nil {
+		return nil, err
+	}
+	return ApplyDesigned(a, lp, hp, x), nil
+}
+
+// ApplyDesigned runs the zero-phase conditioning with pre-designed
+// cascades (hp may be nil).
+func ApplyDesigned(a *dsp.Arena, lp, hp dsp.SOS, x []float64) []float64 {
+	if a == nil {
+		// Without an arena, FiltFilt's slice-of-padded-buffer return is
+		// cheaper than FiltFiltWith's defensive copy.
+		y := lp.FiltFilt(x)
+		if hp != nil {
+			y = hp.FiltFilt(y)
+		}
+		return y
+	}
+	y := lp.FiltFiltWith(a, x)
+	if hp != nil {
+		y = hp.FiltFiltWith(a, y)
+	}
+	return y
 }

@@ -417,29 +417,33 @@ func detrendAnchored(seg []float64, fs float64) {
 		line.Slope = (tailMed - headMed) / (x2 - x1)
 		line.Intercept = headMed - line.Slope*x1
 	}
-	xs := make([]float64, n)
-	for i := range xs {
-		xs[i] = float64(i)
-	}
 	// Robust refit: keep low-residual samples (the baseline), ignore the
 	// systolic deflections. The refit is quadratic so the in-beat
 	// curvature of the respiratory -dZ/dt component is captured, not just
-	// its mean slope.
-	baseAt := func(x float64) float64 { return line.YAt(x) }
+	// its mean slope. All per-iteration storage (residuals, their sorted
+	// copy for the percentile, the kept points) shares one scratch block —
+	// this runs on every beat of every window and dominated the pipeline's
+	// small-object churn.
+	buf := make([]float64, 4*n)
+	res := buf[:n]
+	sorted := buf[n : 2*n]
+	kx := buf[2*n : 2*n : 3*n]
+	ky := buf[3*n : 3*n : 4*n]
+	quad := dsp.Quad{B: line.Slope, C: line.Intercept} // A = 0: the anchor line
 	for iter := 0; iter < 2; iter++ {
-		res := make([]float64, n)
 		for i, v := range seg {
-			r := v - baseAt(xs[i])
+			r := v - quad.YAt(float64(i))
 			if r < 0 {
 				r = -r
 			}
 			res[i] = r
 		}
-		thresh := dsp.Percentile(res, 60)
-		var kx, ky []float64
+		copy(sorted, res)
+		thresh := dsp.PercentileInPlace(sorted, 60)
+		kx, ky = kx[:0], ky[:0]
 		for i, v := range seg {
 			if res[i] <= thresh {
-				kx = append(kx, xs[i])
+				kx = append(kx, float64(i))
 				ky = append(ky, v)
 			}
 		}
@@ -447,10 +451,10 @@ func detrendAnchored(seg []float64, fs float64) {
 			break
 		}
 		if q, ok2 := dsp.FitQuad(kx, ky); ok2 {
-			baseAt = q.YAt
+			quad = q
 		}
 	}
 	for i := range seg {
-		seg[i] -= baseAt(xs[i])
+		seg[i] -= quad.YAt(float64(i))
 	}
 }

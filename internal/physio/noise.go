@@ -55,8 +55,11 @@ func BandNoise(rng *rand.Rand, n int, fs, f1, f2, std float64) []float64 {
 	if err != nil {
 		return rescaleStd(white, std)
 	}
-	shaped := sos.Filter(white)
-	return rescaleStd(shaped, std)
+	// Shape and rescale in place: the white buffer is private, and the
+	// study sweep calls this for every (subject, frequency, position)
+	// cell, so the avoided full-length copies are a measurable share of
+	// the protocol's runtime.
+	return rescaleStd(sos.FilterTo(white, white), std)
 }
 
 // BaselineWander returns a slow drift built from a few random sinusoids in
@@ -150,16 +153,20 @@ func poisson(rng *rand.Rand, mean float64) int {
 
 // rescaleStd rescales x to have exactly the requested standard deviation
 // (and zero mean).
+// rescaleStd centers x and rescales it to the requested standard
+// deviation, in place.
 func rescaleStd(x []float64, std float64) []float64 {
 	cur := dsp.Std(x)
-	mean := dsp.Mean(x)
-	y := make([]float64, len(x))
 	if cur == 0 {
-		return y
+		for i := range x {
+			x[i] = 0
+		}
+		return x
 	}
+	mean := dsp.Mean(x)
 	k := std / cur
 	for i, v := range x {
-		y[i] = (v - mean) * k
+		x[i] = (v - mean) * k
 	}
-	return y
+	return x
 }

@@ -1,0 +1,72 @@
+package study
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// A bounded worker pool for the protocol sweep. Tasks write to disjoint,
+// pre-indexed slots of the Results arrays, so any worker count — including
+// 1 — produces byte-identical output; parallelism only reorders the
+// wall-clock interleaving, never the data.
+
+// resolveWorkers maps the Config.Workers setting to an actual pool size.
+func resolveWorkers(configured, tasks int) int {
+	w := configured
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runPool executes tasks on a pool of the given size and returns the
+// first error (by task order) that occurred, if any. After an error is
+// observed, workers stop picking up new tasks; in-flight tasks finish.
+func runPool(workers int, tasks []func() error) error {
+	if workers <= 1 {
+		for _, t := range tasks {
+			if err := t(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errIdx  = -1
+		poolErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1) - 1)
+				if i >= len(tasks) {
+					return
+				}
+				if err := tasks[i](); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, poolErr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return poolErr
+}

@@ -1,0 +1,74 @@
+package study
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// The parallel sweep must be invisible in the output: any worker count
+// yields byte-identical Results, because every task owns fixed array
+// slots and all randomness is seeded per (subject, frequency, position).
+func TestRunParallelDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 12 // enough beats for the pipeline, fast enough for CI
+
+	cfg.Workers = 1
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		cfg.Workers = workers
+		par, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Cfg differs only in the Workers knob itself; blank it out.
+		seqCopy, parCopy := *seq, *par
+		seqCopy.Cfg.Workers, parCopy.Cfg.Workers = 0, 0
+		if !reflect.DeepEqual(&seqCopy, &parCopy) {
+			t.Errorf("workers=%d: parallel Results differ from sequential", workers)
+		}
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if w := resolveWorkers(0, 100); w < 1 {
+		t.Errorf("default workers = %d", w)
+	}
+	if w := resolveWorkers(8, 3); w != 3 {
+		t.Errorf("workers capped by tasks: %d, want 3", w)
+	}
+	if w := resolveWorkers(-5, 10); w < 1 {
+		t.Errorf("negative workers = %d", w)
+	}
+}
+
+func TestRunPoolPropagatesFirstError(t *testing.T) {
+	errBoom := errors.New("boom")
+	var ran atomic.Int64
+	tasks := make([]func() error, 20)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() error {
+			ran.Add(1)
+			if i == 3 {
+				return errBoom
+			}
+			return nil
+		}
+	}
+	if err := runPool(4, tasks); !errors.Is(err, errBoom) {
+		t.Fatalf("pool error = %v, want %v", err, errBoom)
+	}
+	// Sequential path short-circuits exactly.
+	ran.Store(0)
+	if err := runPool(1, tasks); !errors.Is(err, errBoom) {
+		t.Fatalf("sequential error = %v", err)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Errorf("sequential pool ran %d tasks after error, want 4", got)
+	}
+}

@@ -22,6 +22,11 @@ type Config struct {
 	// CorrFreq is the injection frequency at which the correlation tables
 	// are computed; the paper's hemodynamic analyses use 50 kHz.
 	CorrFreq float64
+	// Workers bounds the pool that runs the subject x frequency x
+	// position sweep; 0 means runtime.GOMAXPROCS(0). Every worker count
+	// produces byte-identical Results — each task owns fixed array slots
+	// and all randomness is seeded per (subject, frequency, position).
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's protocol.
@@ -61,7 +66,10 @@ type TruthSummary struct {
 	MeanLVET float64
 }
 
-// Run executes the full protocol.
+// Run executes the full protocol. The subject x frequency x position
+// sweep fans out onto a bounded worker pool (Config.Workers, default
+// GOMAXPROCS); every task writes only its own pre-indexed Results slots,
+// so the output is byte-identical to a sequential run.
 func Run(cfg Config) (*Results, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 30
@@ -84,56 +92,88 @@ func Run(cfg Config) (*Results, error) {
 	gen.Duration = cfg.Duration
 	gen.FS = cfg.FS
 
+	// Phase 1: generate every subject's physiology once; the measurement
+	// tasks below all read the same immutable recording.
+	recs := make([]*physio.Recording, len(res.Subjects))
+	genTasks := make([]func() error, len(res.Subjects))
 	for si := range res.Subjects {
-		sub := res.Subjects[si]
-		rec := sub.Generate(gen)
-
-		// Ground truth for Fig 9 comparisons.
-		res.HemoTruth[si] = TruthSummary{
-			MeanHR:   rec.Truth.MeanHR(),
-			MeanPEP:  dsp.Mean(rec.Truth.PEP),
-			MeanLVET: dsp.Mean(rec.Truth.LVET),
+		si := si
+		genTasks[si] = func() error {
+			sub := res.Subjects[si]
+			recs[si] = sub.Generate(gen)
+			return nil
 		}
+	}
+	if err := runPool(resolveWorkers(cfg.Workers, len(genTasks)), genTasks); err != nil {
+		return nil, err
+	}
 
-		// Frequency sweep for Figs 6-8.
-		for fi, f := range res.Frequencies {
-			ref := bioimp.MeasureReference(&sub, rec, refIns, f)
-			res.RefZ0[si][fi] = ref.MeanZ()
-			var means [3]float64
-			for pi, pos := range bioimp.Positions() {
-				dev := bioimp.MeasureDevice(&sub, rec, devIns, f, pos)
-				means[pi] = dev.MeanZ()
-				res.DevZ0[si][pi][fi] = means[pi]
+	// Phase 2: per subject, one measurement-sweep task (Figs 6-8 and the
+	// correlation tables) plus one device-pipeline task per Fig 9
+	// position. 15 independent tasks over 5 subjects.
+	var tasks []func() error
+	for si := range res.Subjects {
+		si := si
+		tasks = append(tasks, func() error {
+			sub := res.Subjects[si]
+			rec := recs[si]
+
+			// Ground truth for Fig 9 comparisons.
+			res.HemoTruth[si] = TruthSummary{
+				MeanHR:   rec.Truth.MeanHR(),
+				MeanPEP:  dsp.Mean(rec.Truth.PEP),
+				MeanLVET: dsp.Mean(rec.Truth.LVET),
 			}
-			res.E21[si][fi] = dsp.RelativeError(means[1], means[0])
-			res.E23[si][fi] = dsp.RelativeError(means[1], means[2])
-			res.E31[si][fi] = dsp.RelativeError(means[2], means[0])
-		}
 
-		// Correlations at the hemodynamic frequency (Tables II-IV).
-		ref := bioimp.MeasureReference(&sub, rec, refIns, cfg.CorrFreq)
-		for pi, pos := range bioimp.Positions() {
-			dev := bioimp.MeasureDevice(&sub, rec, devIns, cfg.CorrFreq, pos)
-			res.Correlation[si][pi] = dsp.Pearson(ref.Z, dev.Z)
-		}
+			// Frequency sweep for Figs 6-8.
+			for fi, f := range res.Frequencies {
+				ref := bioimp.MeasureReference(&sub, rec, refIns, f)
+				res.RefZ0[si][fi] = ref.MeanZ()
+				var means [3]float64
+				for pi, pos := range bioimp.Positions() {
+					dev := bioimp.MeasureDevice(&sub, rec, devIns, f, pos)
+					means[pi] = dev.MeanZ()
+					res.DevZ0[si][pi][fi] = means[pi]
+				}
+				res.E21[si][fi] = dsp.RelativeError(means[1], means[0])
+				res.E23[si][fi] = dsp.RelativeError(means[1], means[2])
+				res.E31[si][fi] = dsp.RelativeError(means[2], means[0])
+			}
+
+			// Correlations at the hemodynamic frequency (Tables II-IV).
+			ref := bioimp.MeasureReference(&sub, rec, refIns, cfg.CorrFreq)
+			for pi, pos := range bioimp.Positions() {
+				dev := bioimp.MeasureDevice(&sub, rec, devIns, cfg.CorrFreq, pos)
+				res.Correlation[si][pi] = dsp.Pearson(ref.Z, dev.Z)
+			}
+			return nil
+		})
 
 		// Hemodynamics for positions 1 and 2 (Fig 9: the two positions
 		// with the highest displacement error, i.e. the worst cases).
 		for pi, pos := range []bioimp.Position{bioimp.Position1, bioimp.Position2} {
-			ccfg := core.DefaultConfig()
-			ccfg.FS = cfg.FS
-			ccfg.InjectionFreq = cfg.CorrFreq
-			ccfg.Position = pos
-			dev, err := core.NewDevice(ccfg)
-			if err != nil {
-				return nil, err
-			}
-			_, out, err := dev.Run(&sub, cfg.Duration)
-			if err != nil {
-				return nil, err
-			}
-			res.Hemo[si][pi] = out.Summary
+			pi, pos := pi, pos
+			tasks = append(tasks, func() error {
+				sub := res.Subjects[si]
+				ccfg := core.DefaultConfig()
+				ccfg.FS = cfg.FS
+				ccfg.InjectionFreq = cfg.CorrFreq
+				ccfg.Position = pos
+				dev, err := core.NewDevice(ccfg)
+				if err != nil {
+					return err
+				}
+				_, out, err := dev.Run(&sub, cfg.Duration)
+				if err != nil {
+					return err
+				}
+				res.Hemo[si][pi] = out.Summary
+				return nil
+			})
 		}
+	}
+	if err := runPool(resolveWorkers(cfg.Workers, len(tasks)), tasks); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
