@@ -4,9 +4,15 @@
 // Section V) over a TCP connection standing in for the BLE link; the
 // monitor side decodes and prints them.
 //
+// With -sessions N > 1 it instead exercises the multi-session serving
+// layer: N concurrent simulated device streams run through one
+// session.Engine on a bounded worker pool, session 0's beats stream
+// over the radio link live, and the run ends with aggregate
+// throughput figures.
+//
 // Usage:
 //
-//	icgstream [-subject 1] [-duration 30] [-loss 0.02]
+//	icgstream [-subject 1] [-duration 30] [-loss 0.02] [-sessions 1] [-workers 0]
 package main
 
 import (
@@ -15,21 +21,26 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/hemo"
 	"repro/internal/hw/radio"
 	"repro/internal/physio"
+	"repro/internal/session"
 )
 
 func main() {
 	subjectID := flag.Int("subject", 1, "subject ID (1-5)")
 	duration := flag.Float64("duration", 30, "recording duration (s)")
 	loss := flag.Float64("loss", 0.02, "simulated radio loss probability")
+	sessions := flag.Int("sessions", 1, "concurrent device streams (multi-session mode when > 1)")
+	workers := flag.Int("workers", 0, "session engine workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	sub, ok := physio.SubjectByID(*subjectID)
-	if !ok {
-		log.Fatalf("icgstream: no subject %d", *subjectID)
+	dev, err := core.NewDevice(core.DefaultConfig())
+	if err != nil {
+		log.Fatalf("icgstream: %v", err)
 	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -72,40 +83,123 @@ func main() {
 		fmt.Printf("monitor received %d beats\n", n)
 	}()
 
-	// Device side: acquire, process, transmit.
 	conn, err := net.Dial("tcp", ln.Addr().String())
 	if err != nil {
 		log.Fatalf("icgstream: %v", err)
 	}
-	dev, err := core.NewDevice(core.DefaultConfig())
-	if err != nil {
-		log.Fatalf("icgstream: %v", err)
-	}
-	_, out, err := dev.Run(&sub, *duration)
-	if err != nil {
-		log.Fatalf("icgstream: %v", err)
+
+	sub, ok := physio.SubjectByID(*subjectID)
+	if !ok {
+		log.Fatalf("icgstream: no subject %d", *subjectID)
 	}
 	link := radio.NewLink(radio.LinkConfig{
 		LossProb: *loss, MaxRetries: 3, BitRate: 1e6, Overhead: 14,
 	}, sub.Seed)
-	seq := byte(0)
-	for _, b := range out.Beats {
-		rec := radio.BeatRecord{
-			TimestampMs: uint32(b.TimeS * 1000),
-			Z0:          b.Z0, LVET: b.LVET, PEP: b.PEP, HR: b.HR,
-		}
-		f := &radio.Frame{Type: radio.TypeBeat, Seq: seq, Payload: rec.Marshal()}
-		seq++
-		if !link.Send(f) {
-			continue // lost after retries: the beat is dropped
-		}
-		if err := radio.WriteFrame(conn, f); err != nil {
-			log.Fatalf("icgstream: %v", err)
-		}
+
+	if *sessions <= 1 {
+		runSingle(dev, &sub, *duration, link, conn)
+	} else {
+		runFleet(dev, *sessions, *workers, *duration, link, conn)
 	}
 	conn.Close()
 	wg.Wait()
 	fmt.Printf("link: sent=%d delivered=%d dropped=%d retries=%d airtime=%.1f ms (duty %.4f%%)\n",
 		link.Sent, link.Delivered, link.Dropped, link.Retries,
 		link.AirtimeS*1000, link.DutyCycle(*duration)*100)
+}
+
+// runSingle is the classic path: acquire, process, transmit.
+func runSingle(dev *core.Device, sub *physio.Subject, duration float64, link *radio.Link, conn net.Conn) {
+	_, out, err := dev.Run(sub, duration)
+	if err != nil {
+		log.Fatalf("icgstream: %v", err)
+	}
+	seq := byte(0)
+	for _, b := range out.Beats {
+		transmit(link, conn, &seq, b)
+	}
+}
+
+// runFleet multiplexes n simulated streams through the session engine.
+// Session 0's beats go over the radio link as they are emitted; every
+// other session counts toward the aggregate.
+func runFleet(dev *core.Device, n, workers int, duration float64, link *radio.Link, conn net.Conn) {
+	cfg := session.DefaultConfig()
+	cfg.Workers = workers
+	cfg.Seed = 1
+	eng := session.NewEngine(dev, cfg)
+
+	var radioMu sync.Mutex
+	seq := byte(0)
+	var totalBeats int64
+	var countMu sync.Mutex
+
+	start := time.Now()
+	var push sync.WaitGroup
+	for id := 0; id < n; id++ {
+		s, err := eng.Open(uint64(id), func(b hemo.BeatParams) {
+			countMu.Lock()
+			totalBeats++
+			countMu.Unlock()
+			if id == 0 {
+				radioMu.Lock()
+				transmit(link, conn, &seq, b)
+				radioMu.Unlock()
+			}
+		})
+		if err != nil {
+			log.Fatalf("icgstream: open session %d: %v", id, err)
+		}
+		push.Add(1)
+		go func(s *session.Session) {
+			defer push.Done()
+			// Each session simulates its own subject, seeded from the
+			// engine's deterministic per-session seed.
+			sub, _ := physio.SubjectByID(1 + int(s.ID)%5)
+			sub.Seed = s.Seed()
+			acq, err := dev.Acquire(&sub, duration)
+			if err != nil {
+				log.Printf("icgstream: session %d acquire: %v", s.ID, err)
+				return
+			}
+			chunk := 50 // 200 ms, as the AFE DMA would deliver
+			for pos := 0; pos < len(acq.ECG); pos += chunk {
+				end := pos + chunk
+				if end > len(acq.ECG) {
+					end = len(acq.ECG)
+				}
+				if err := s.Push(acq.ECG[pos:end], acq.Z[pos:end]); err != nil {
+					log.Printf("icgstream: session %d push: %v", s.ID, err)
+					return
+				}
+			}
+			if err := s.Close(); err != nil {
+				log.Printf("icgstream: session %d close: %v", s.ID, err)
+			}
+		}(s)
+	}
+	push.Wait()
+	if err := eng.Close(); err != nil {
+		log.Fatalf("icgstream: engine close: %v", err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("fleet: %d sessions x %.0f s processed in %.2f s wall (%.0fx realtime), %d beats (%.0f beats/s)\n",
+		n, duration, elapsed.Seconds(),
+		float64(n)*duration/elapsed.Seconds(),
+		totalBeats, float64(totalBeats)/elapsed.Seconds())
+}
+
+func transmit(link *radio.Link, conn net.Conn, seq *byte, b hemo.BeatParams) {
+	rec := radio.BeatRecord{
+		TimestampMs: uint32(b.TimeS * 1000),
+		Z0:          b.Z0, LVET: b.LVET, PEP: b.PEP, HR: b.HR,
+	}
+	f := &radio.Frame{Type: radio.TypeBeat, Seq: *seq, Payload: rec.Marshal()}
+	*seq++
+	if !link.Send(f) {
+		return // lost after retries: the beat is dropped
+	}
+	if err := radio.WriteFrame(conn, f); err != nil {
+		log.Fatalf("icgstream: %v", err)
+	}
 }

@@ -1,9 +1,11 @@
 // Realtime: the firmware-style operating mode — samples arrive in small
-// chunks (as the AFE DMA would deliver them), the rolling-window streamer
-// emits each beat as soon as it is complete, the quality monitor grades
-// the session, and the beats are scheduled onto BLE connection events.
-// This is the mode that actually fits the STM32L151's 48 KB of RAM (see
-// the RAM budget printed at the end).
+// chunks (as the AFE DMA would deliver them), the incremental streaming
+// engine emits each beat as soon as it is complete, the quality monitor
+// grades the session, and the beats are scheduled onto BLE connection
+// events. The chunks are pushed through the multi-session serving layer
+// (session.Engine) the production path uses, here with a single
+// session; the RAM budget printed at the end is why this mode is the
+// one that fits the STM32L151's 48 KB.
 package main
 
 import (
@@ -12,9 +14,11 @@ import (
 
 	touchicg "repro"
 	"repro/internal/core"
+	"repro/internal/hemo"
 	"repro/internal/hw/mcu"
 	"repro/internal/hw/radio"
 	"repro/internal/quality"
+	"repro/internal/session"
 )
 
 func main() {
@@ -28,30 +32,40 @@ func main() {
 		log.Fatalf("realtime: %v", err)
 	}
 
-	st := dev.NewStreamer(core.DefaultStreamConfig())
-	fmt.Printf("streaming session, worst-case beat latency %.1f s\n\n", st.Latency())
+	eng := session.NewEngine(dev, session.DefaultConfig())
+	var beatTimes []float64
+	count := 0
+	sess, err := eng.Open(1, func(b hemo.BeatParams) {
+		count++
+		beatTimes = append(beatTimes, b.TimeS)
+		fmt.Printf("beat %2d @ %5.2fs  HR %5.1f  PEP %5.1f ms  LVET %5.1f ms\n",
+			count, b.TimeS, b.HR, b.PEP*1000, b.LVET*1000)
+	})
+	if err != nil {
+		log.Fatalf("realtime: %v", err)
+	}
+	// Worst-case beat latency of the incremental engine, straight from
+	// the stage lookaheads.
+	fmt.Printf("streaming session, worst-case beat latency %.1f s after the closing R\n\n", sess.Latency())
 
 	// Feed 200 ms chunks, as a DMA double buffer would.
 	chunk := 50
-	var beatTimes []float64
-	count := 0
 	for pos := 0; pos < len(acq.ECG); pos += chunk {
 		end := pos + chunk
 		if end > len(acq.ECG) {
 			end = len(acq.ECG)
 		}
-		for _, b := range st.Push(acq.ECG[pos:end], acq.Z[pos:end]) {
-			count++
-			beatTimes = append(beatTimes, b.TimeS)
-			fmt.Printf("beat %2d @ %5.2fs  HR %5.1f  PEP %5.1f ms  LVET %5.1f ms\n",
-				count, b.TimeS, b.HR, b.PEP*1000, b.LVET*1000)
+		if err := sess.Push(acq.ECG[pos:end], acq.Z[pos:end]); err != nil {
+			log.Fatalf("realtime: %v", err)
 		}
 	}
-	for _, b := range st.Flush() {
-		count++
-		beatTimes = append(beatTimes, b.TimeS)
-		fmt.Printf("beat %2d @ %5.2fs  HR %5.1f  PEP %5.1f ms  LVET %5.1f ms  (flush)\n",
-			count, b.TimeS, b.HR, b.PEP*1000, b.LVET*1000)
+	// Close flushes the stream and delivers the final beats before
+	// returning.
+	if err := sess.Close(); err != nil {
+		log.Fatalf("realtime: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatalf("realtime: %v", err)
 	}
 
 	// Quality assessment over the whole session.

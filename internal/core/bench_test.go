@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/physio"
+)
+
+// Steady-state per-hop streaming benchmarks: the incremental engine
+// versus the retained window-recompute baseline, at the default
+// 6 s / 1 s configuration and at a doubled window. The headline claim
+// is that incremental per-hop cost does not scale with WindowSeconds
+// while the window engine's does; BENCHMARKS.md records the numbers.
+
+func benchAcq(b *testing.B, d *Device) *Acquisition {
+	b.Helper()
+	sub, _ := physio.SubjectByID(1)
+	acq, err := d.Acquire(&sub, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return acq
+}
+
+// benchHops drives an engine steady-state: one 1 s hop per iteration,
+// cycling through a 30 s acquisition.
+func benchHops(b *testing.B, acq *Acquisition, push func(ecg, z []float64) int) {
+	hop := int(acq.FS)
+	n := len(acq.ECG) - hop
+	total := 0
+	// Warm up: fill windows/delay lines before measuring.
+	for i := 0; i < 8; i++ {
+		pos := (i * hop) % n
+		total += push(acq.ECG[pos:pos+hop], acq.Z[pos:pos+hop])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos := ((i + 8) * hop) % n
+		total += push(acq.ECG[pos:pos+hop], acq.Z[pos:pos+hop])
+	}
+	if b.N > 30 && total == 0 {
+		b.Fatal("no beats emitted")
+	}
+}
+
+func BenchmarkStreamHopIncremental(b *testing.B) {
+	d, err := NewDevice(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	acq := benchAcq(b, d)
+	st := d.NewStreamer(DefaultStreamConfig())
+	benchHops(b, acq, func(e, z []float64) int { return len(st.Push(e, z)) })
+}
+
+func BenchmarkStreamHopWindowed(b *testing.B) {
+	d, err := NewDevice(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	acq := benchAcq(b, d)
+	st := d.NewWindowStreamer(DefaultStreamConfig())
+	benchHops(b, acq, func(e, z []float64) int { return len(st.Push(e, z)) })
+}
+
+// Doubled analysis window: the incremental engine's per-hop cost must
+// stay flat while the window engine's doubles.
+func BenchmarkStreamHopIncremental12s(b *testing.B) {
+	d, err := NewDevice(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	acq := benchAcq(b, d)
+	sc := DefaultStreamConfig()
+	sc.WindowSeconds = 12
+	st := d.NewStreamer(sc)
+	benchHops(b, acq, func(e, z []float64) int { return len(st.Push(e, z)) })
+}
+
+func BenchmarkStreamHopWindowed12s(b *testing.B) {
+	d, err := NewDevice(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	acq := benchAcq(b, d)
+	sc := DefaultStreamConfig()
+	sc.WindowSeconds = 12
+	st := d.NewWindowStreamer(sc)
+	benchHops(b, acq, func(e, z []float64) int { return len(st.Push(e, z)) })
+}

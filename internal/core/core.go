@@ -72,11 +72,18 @@ type Device struct {
 	touch bioimp.Instrument
 	bank  *filterBank
 
+	// banks memoizes filter banks designed for acquisitions sampled at
+	// a different rate than the device configuration, keyed by fs; the
+	// whole bank design (windowed sinc, pole placement, bilinear
+	// transforms, chain assembly) runs at most once per rate.
+	banks sync.Map // float64 -> *filterBank
+
 	arenas sync.Pool // *dsp.Arena
 }
 
 // filterBank holds every filter the pipeline applies, designed once for
-// one sampling rate.
+// one sampling rate, plus the conditioning chains (stage.go) both
+// engines share.
 type filterBank struct {
 	fs      float64
 	ecgFIR  *dsp.FIR // 32nd-order 0.05-40 Hz band-pass (Section IV-A.1)
@@ -84,12 +91,17 @@ type filterBank struct {
 	icgHP   dsp.SOS  // band-edge high-pass; nil when disabled
 	twaveLP dsp.SOS  // 10 Hz T-wave low-pass (Carvalho X variant)
 	ptSOS   dsp.SOS  // Pan-Tompkins QRS band-pass
+
+	blCfg    ecg.BaselineConfig
+	ecgChain Chain // baseline removal + FIR band-pass
+	icgChain Chain // -dZ/dt + Butterworth conditioning
 }
 
-// designBank designs the full filter bank for sampling rate fs. The FIR
-// pre-builds its reversed-tap (and, when wide enough, FFT overlap-save)
-// state so steady-state filtering never mutates shared data.
-func designBank(fs float64) (*filterBank, error) {
+// designBank designs the full filter bank and conditioning chains for
+// sampling rate fs under the device configuration. The FIR pre-builds
+// its reversed-tap (and, when wide enough, FFT overlap-save) state so
+// steady-state filtering never mutates shared data.
+func designBank(cfg Config, fs float64) (*filterBank, error) {
 	b := &filterBank{fs: fs}
 	var err error
 	if b.ecgFIR, err = ecg.DefaultBandPass(fs).Design(); err != nil {
@@ -105,16 +117,26 @@ func designBank(fs float64) (*filterBank, error) {
 	if b.ptSOS, err = ecg.DesignPTBandPass(ecg.DefaultPT(fs)); err != nil {
 		return nil, err
 	}
+	buildChains(cfg, fs, b)
 	return b, nil
 }
 
-// bankFor returns the cached filter bank, or a freshly designed one for
-// acquisitions sampled at a different rate than the device configuration.
+// bankFor returns the bank for sampling rate fs: the construction-time
+// bank for the configured rate, or a memoized per-rate bank for
+// off-rate acquisitions (designed on first use, then cached).
 func (d *Device) bankFor(fs float64) (*filterBank, error) {
 	if fs == d.bank.fs {
 		return d.bank, nil
 	}
-	return designBank(fs)
+	if cached, ok := d.banks.Load(fs); ok {
+		return cached.(*filterBank), nil
+	}
+	b, err := designBank(d.cfg, fs)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := d.banks.LoadOrStore(fs, b)
+	return actual.(*filterBank), nil
 }
 
 // getArena checks a reset scratch arena out of the device pool.
@@ -165,7 +187,7 @@ func NewDevice(cfg Config) (*Device, error) {
 	d := &Device{cfg: cfg, touch: bioimp.TouchInstrument()}
 	d.arenas.New = func() any { return new(dsp.Arena) }
 	var err error
-	if d.bank, err = designBank(cfg.FS); err != nil {
+	if d.bank, err = designBank(cfg, cfg.FS); err != nil {
 		return nil, err
 	}
 	return d, nil

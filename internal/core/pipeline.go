@@ -35,17 +35,13 @@ func (d *Device) Process(acq *Acquisition) (*Output, error) {
 	ar := d.getArena()
 	defer d.arenas.Put(ar)
 
-	// --- ECG conditioning.
-	blCfg := ecg.DefaultBaseline(fs)
-	blCfg.Naive = d.cfg.NaiveMorph
-	condECG := ecg.RemoveBaselineWith(ar, acq.ECG, blCfg)
-	cost.baseline(n, blCfg)
-
+	// --- ECG conditioning (the shared stage chain: morphological
+	// baseline removal then the FIR band-pass).
+	condECG := bank.ecgChain.Apply(ar, acq.ECG)
+	cost.baseline(n, bank.blCfg)
 	if d.cfg.CausalFilters {
-		condECG = bank.ecgFIR.ApplyTo(ar.F64(n), condECG)
 		cost.fir(n, len(bank.ecgFIR.Taps), 1)
 	} else {
-		condECG = dsp.FiltFiltFIRWith(ar, bank.ecgFIR, condECG)
 		cost.fir(n, len(bank.ecgFIR.Taps), 2)
 	}
 
@@ -61,18 +57,13 @@ func (d *Device) Process(acq *Acquisition) (*Output, error) {
 		return nil, ErrNoECG
 	}
 
-	// --- ICG derivation and conditioning.
-	icgRaw := bioimp.ICGFromZTo(ar.F64(len(acq.Z)), acq.Z, fs)
+	// --- ICG derivation and conditioning (the shared stage chain:
+	// -dZ/dt then the Butterworth cascade).
+	icgF := bank.icgChain.Apply(ar, acq.Z)
 	cost.derivative(n)
-	var icgF []float64
 	if d.cfg.CausalFilters {
-		icgF = bank.icgLP.FilterTo(ar.F64(len(icgRaw)), icgRaw)
-		if bank.icgHP != nil {
-			icgF = bank.icgHP.FilterTo(icgF, icgF)
-		}
 		cost.sos(n, 3, 1)
 	} else {
-		icgF = icg.ApplyDesigned(ar, bank.icgLP, bank.icgHP, icgRaw)
 		cost.sos(n, 3, 2)
 	}
 
@@ -87,7 +78,7 @@ func (d *Device) Process(acq *Acquisition) (*Output, error) {
 	dCfg := icg.DefaultDetect(fs)
 	dCfg.XRule = d.cfg.XRule
 	dCfg.BRule = d.cfg.BRule
-	beats := icg.DetectAll(icgF, ptRes.RPeaks, tPeaks, dCfg)
+	beats := icg.DetectAllWith(ar, icgF, ptRes.RPeaks, tPeaks, dCfg)
 	avgBeat := 0
 	if len(ptRes.RPeaks) > 1 {
 		avgBeat = (ptRes.RPeaks[len(ptRes.RPeaks)-1] - ptRes.RPeaks[0]) / (len(ptRes.RPeaks) - 1)

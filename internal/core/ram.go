@@ -2,9 +2,11 @@ package core
 
 // RAM budgeting. The STM32L151 of Table I has 48 KB of RAM; a 30-second
 // two-channel acquisition at 250 Hz held as 32-bit samples already needs
-// 60 KB, so the firmware cannot process sessions in batch. The streaming
-// engine (stream.go) with its 6-second rolling window is what actually
-// fits — this file quantifies both, and the tests pin the conclusion.
+// 60 KB, so the firmware cannot process sessions in batch. The
+// incremental streaming engine (stream.go), whose history rings are
+// bounded by detector horizons rather than a recording length, is what
+// actually fits — this file quantifies both, and the tests pin the
+// conclusion.
 
 // RAMBudget itemizes the working set of a processing mode.
 type RAMBudget struct {
@@ -47,23 +49,32 @@ func BatchRAM(fs, seconds float64) RAMBudget {
 	}
 }
 
-// StreamingRAM returns the working set of the rolling-window engine.
+// StreamingRAM returns the working set of the incremental streaming
+// engine: no rolling windows are re-analyzed, but the detectors keep
+// bounded history rings (QRS search-back and refinement, ICG beat
+// history plus the per-beat refiltering context) whose sizes follow the
+// stream.go implementation at firmware float32 widths.
 func StreamingRAM(fs float64, sc StreamConfig) RAMBudget {
 	const sampleBytes = 4
-	if sc.WindowSeconds <= 0 {
-		sc = DefaultStreamConfig()
-	}
-	n := int(fs * sc.WindowSeconds)
-	buf := n * sampleBytes
+	sc = sc.withDefaults()
+	sec := func(s float64) int { return int(s*fs) * sampleBytes }
 	return RAMBudget{
 		Mode:        "streaming",
 		SampleBytes: sampleBytes,
 		Items: []RAMItem{
-			{Name: "ecg-window", Bytes: buf},
-			{Name: "z-window", Bytes: buf},
-			{Name: "work-track", Bytes: buf},
-			{Name: "filter-state", Bytes: 1 * 1024},
-			{Name: "detector-state", Bytes: 2 * 1024},
+			// Delay lines, monotonic deques and biquad registers of the
+			// conditioning chains and the QRS band-pass.
+			{Name: "filter-state", Bytes: 2 * 1024},
+			// Incremental Pan-Tompkins history (conditioned, band-passed,
+			// integrated) over the 6 s search-back horizon.
+			{Name: "qrs-history", Bytes: 3 * sec(6)},
+			// Raw -dZ/dt history: longest analyzable beat plus the
+			// refiltering context on both sides.
+			{Name: "icg-history", Bytes: sec(sc.WindowSeconds + 2*icgCtxSeconds)},
+			// Per-beat zero-phase refiltering scratch.
+			{Name: "refilter-scratch", Bytes: sec(3 + 2*icgCtxSeconds)},
+			// Base-impedance prefix sums for the causal Z0 estimate.
+			{Name: "z-prefix", Bytes: sec(8)},
 			{Name: "beat-queue", Bytes: 512},
 		},
 	}

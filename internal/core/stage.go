@@ -1,0 +1,252 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/bioimp"
+	"repro/internal/dsp"
+	"repro/internal/ecg"
+)
+
+// The conditioning chains of Fig 3 expressed as composable stages that
+// both engines share: batch Process applies each stage over the whole
+// acquisition (Stage.Apply), while the incremental Streamer drives the
+// same chain sample by sample through the stateful form returned by
+// Stage.NewStream. Keeping one chain definition guarantees the two
+// engines compute the same conditioning, and pins down the state rules:
+//
+//   - A Stage itself is immutable after construction (it may hold
+//     designed filters) and safe for concurrent Apply calls.
+//   - All mutable per-stream state (delay lines, deques, registers)
+//     lives in the StageStream, one instance per stream; StageStreams
+//     are single-goroutine objects, reusable across sessions via Reset.
+
+// Stage is one conditioning step usable by both engines.
+type Stage interface {
+	// Apply runs the stage over a complete signal; full-length
+	// intermediates come from the arena (nil falls back to the heap),
+	// and the result is arena-owned when a is non-nil. Apply is safe
+	// for concurrent use.
+	Apply(a *dsp.Arena, x []float64) []float64
+	// NewStream returns fresh streaming state for this stage.
+	NewStream() StageStream
+}
+
+// StageStream is the stateful streaming form of a Stage. Push appends
+// the newly computable outputs for a chunk (output index t corresponds
+// to input index t), Flush drains outputs waiting on future samples
+// with the batch edge treatment, Lookahead is the pipeline latency in
+// samples, and Shift is the morphological delay of the output waveform
+// relative to the input timeline (non-zero only for causal IIR stages).
+type StageStream interface {
+	Push(dst, x []float64) []float64
+	Flush(dst []float64) []float64
+	Lookahead() int
+	Shift() int
+	Reset()
+}
+
+// Chain is an ordered stage sequence.
+type Chain []Stage
+
+// Apply runs the whole chain over x.
+func (c Chain) Apply(a *dsp.Arena, x []float64) []float64 {
+	for _, st := range c {
+		x = st.Apply(a, x)
+	}
+	return x
+}
+
+// NewStream builds the streaming form of the chain.
+func (c Chain) NewStream() *ChainStream {
+	cs := &ChainStream{stages: make([]StageStream, len(c))}
+	for i, st := range c {
+		cs.stages[i] = st.NewStream()
+	}
+	return cs
+}
+
+// ChainStream pipes chunks through the stage streams, ping-ponging
+// between two persistent scratch buffers so steady state allocates
+// nothing once the buffers have grown to the chunk size.
+type ChainStream struct {
+	stages []StageStream
+	b1, b2 []float64
+}
+
+// Push consumes a chunk and appends the conditioned samples to dst.
+func (cs *ChainStream) Push(dst, x []float64) []float64 {
+	cur := x
+	useA := true
+	a, b := cs.b1, cs.b2
+	for _, st := range cs.stages {
+		if useA {
+			a = st.Push(a[:0], cur)
+			cur = a
+		} else {
+			b = st.Push(b[:0], cur)
+			cur = b
+		}
+		useA = !useA
+	}
+	cs.b1, cs.b2 = a, b
+	if len(cs.stages) == 0 {
+		return append(dst, x...)
+	}
+	return append(dst, cur...)
+}
+
+// Flush drains every stage in order, piping each stage's tail through
+// the rest of the chain, and appends the final samples to dst.
+func (cs *ChainStream) Flush(dst []float64) []float64 {
+	for i := range cs.stages {
+		tail := cs.stages[i].Flush(nil)
+		for j := i + 1; j < len(cs.stages); j++ {
+			tail = cs.stages[j].Push(nil, tail)
+		}
+		dst = append(dst, tail...)
+	}
+	return dst
+}
+
+// Lookahead returns the chain's total pipeline latency in samples.
+func (cs *ChainStream) Lookahead() int {
+	n := 0
+	for _, st := range cs.stages {
+		n += st.Lookahead()
+	}
+	return n
+}
+
+// Shift returns the chain's total morphological delay in samples.
+func (cs *ChainStream) Shift() int {
+	n := 0
+	for _, st := range cs.stages {
+		n += st.Shift()
+	}
+	return n
+}
+
+// Reset returns every stage to its initial state, keeping buffers.
+func (cs *ChainStream) Reset() {
+	for _, st := range cs.stages {
+		st.Reset()
+	}
+}
+
+// --- Concrete stages of the paper's chains. ---
+
+// baselineStage removes the morphological baseline estimate
+// (Section IV-A.1). The naive-engine ablation flag affects only the
+// batch cost model; both engines compute identical sliding extrema.
+type baselineStage struct{ cfg ecg.BaselineConfig }
+
+func (st baselineStage) Apply(a *dsp.Arena, x []float64) []float64 {
+	return ecg.RemoveBaselineWith(a, x, st.cfg)
+}
+func (st baselineStage) NewStream() StageStream { return ecg.NewBaselineStream(st.cfg) }
+
+// firZeroPhaseStage applies the pre-designed FIR forward-backward
+// (zero phase), the paper's default ECG band-pass application.
+type firZeroPhaseStage struct{ f *dsp.FIR }
+
+func (st firZeroPhaseStage) Apply(a *dsp.Arena, x []float64) []float64 {
+	return dsp.FiltFiltFIRWith(a, st.f, x)
+}
+func (st firZeroPhaseStage) NewStream() StageStream { return dsp.NewZeroPhaseFIRStream(st.f) }
+
+// firSameStage applies the FIR once with centered group-delay
+// compensation (the single-pass ablation A5).
+type firSameStage struct{ f *dsp.FIR }
+
+func (st firSameStage) Apply(a *dsp.Arena, x []float64) []float64 {
+	if a != nil {
+		return st.f.ApplyTo(a.F64(len(x)), x)
+	}
+	return st.f.Apply(x)
+}
+func (st firSameStage) NewStream() StageStream { return dsp.NewFIRSameStream(st.f) }
+
+// icgDerivStage derives ICG = -dZ/dt from the impedance channel
+// (Section IV-B).
+type icgDerivStage struct{ fs float64 }
+
+func (st icgDerivStage) Apply(a *dsp.Arena, x []float64) []float64 {
+	var dst []float64
+	if a != nil {
+		dst = a.F64(len(x))
+	} else {
+		dst = make([]float64, len(x))
+	}
+	return bioimp.ICGFromZTo(dst, x, st.fs)
+}
+func (st icgDerivStage) NewStream() StageStream { return dsp.NewDerivStream(st.fs, -1) }
+
+// sosZeroPhaseStage applies the biquad cascade forward-backward in
+// batch; its stream is the causal cascade with steady-state priming,
+// whose in-band group delay is declared as the stream's Shift so
+// downstream consumers re-align the waveform.
+type sosZeroPhaseStage struct {
+	s     dsp.SOS
+	shift int
+}
+
+func (st sosZeroPhaseStage) Apply(a *dsp.Arena, x []float64) []float64 {
+	return st.s.FiltFiltWith(a, x)
+}
+func (st sosZeroPhaseStage) NewStream() StageStream { return dsp.NewSOSStream(st.s, st.shift, true) }
+
+// sosCausalStage applies the cascade once, causally, in both engines
+// (ablation A5); batch and stream match sample for sample.
+type sosCausalStage struct{ s dsp.SOS }
+
+func (st sosCausalStage) Apply(a *dsp.Arena, x []float64) []float64 {
+	if a != nil {
+		return st.s.FilterTo(a.F64(len(x)), x)
+	}
+	return st.s.Filter(x)
+}
+func (st sosCausalStage) NewStream() StageStream { return dsp.NewSOSStream(st.s, 0, false) }
+
+// icgAlignHz is the reference frequency for the causal ICG cascade's
+// group-delay compensation: the systolic B-C-X complex concentrates its
+// energy around a few hertz.
+const icgAlignHz = 4.0
+
+// buildChains assembles the conditioning chains for a designed bank.
+func buildChains(cfg Config, fs float64, b *filterBank) {
+	blCfg := ecg.DefaultBaseline(fs)
+	blCfg.Naive = cfg.NaiveMorph
+	b.blCfg = blCfg
+	if cfg.CausalFilters {
+		b.ecgChain = Chain{baselineStage{cfg: blCfg}, firSameStage{f: b.ecgFIR}}
+		b.icgChain = Chain{icgDerivStage{fs: fs}, sosCausalStage{s: b.icgLP}}
+		if b.icgHP != nil {
+			b.icgChain = append(b.icgChain, sosCausalStage{s: b.icgHP})
+		}
+		return
+	}
+	b.ecgChain = Chain{baselineStage{cfg: blCfg}, firZeroPhaseStage{f: b.ecgFIR}}
+	// Zero-phase cascades commute, so the high-pass runs first: the
+	// incremental delineator exploits that order (the slow band-edge
+	// high-pass over the full settling context, the fast low-pass over a
+	// short guard), and keeping batch and stream on the same order keeps
+	// them numerically identical beat for beat.
+	//
+	// The chains' streaming forms are causal with steady-state priming;
+	// compensate the cascade's combined in-band group delay with one
+	// integer shift (rounded once, on the low-pass stage).
+	gd := b.icgLP.GroupDelaySamples(icgAlignHz, fs)
+	if b.icgHP != nil {
+		gd += b.icgHP.GroupDelaySamples(icgAlignHz, fs)
+	}
+	shift := int(math.Round(gd))
+	if shift < 0 {
+		shift = 0
+	}
+	b.icgChain = Chain{icgDerivStage{fs: fs}}
+	if b.icgHP != nil {
+		b.icgChain = append(b.icgChain, sosZeroPhaseStage{s: b.icgHP, shift: 0})
+	}
+	b.icgChain = append(b.icgChain, sosZeroPhaseStage{s: b.icgLP, shift: shift})
+}

@@ -1,45 +1,72 @@
 package core
 
 import (
-	"repro/internal/bioimp"
 	"repro/internal/dsp"
 	"repro/internal/ecg"
 	"repro/internal/hemo"
 	"repro/internal/icg"
 )
 
-// Streamer processes the two channels sample by sample, the way the
-// firmware runs: samples accumulate in a rolling window, the window is
-// re-analyzed on every hop, and beats are emitted exactly once as soon as
-// their full RR segment (plus a settling margin for the zero-phase
-// filters) is available. End-to-end latency is WindowSeconds —
-// HopSeconds of buffering plus the margin; with the defaults a beat is
-// reported roughly two seconds after its X point, which is what
-// "real-time beat-to-beat" means for a hand-held spot-check device.
+// Streamer processes the two channels incrementally, the way streaming
+// firmware must: every sample passes through the stateful conditioning
+// chains exactly once (stage.go), the incremental Pan-Tompkins detector
+// confirms R peaks as they appear, and the beat delineator analyzes
+// each completed RR segment exactly once. Steady-state cost is O(1) per
+// sample plus O(beat) per beat — it does not depend on any analysis
+// window — and beats are emitted exactly once, in order, with absolute
+// session TimeS.
+//
+// Reporting latency: a beat is emitted once its *closing* R peak is
+// confirmed and its ICG refiltering context has arrived, which happens
+// Latency() seconds after that R peak entered Push; the Latency method
+// computes the same per-stage sum the emission path implements, so the
+// value and the behavior cannot drift apart. End-to-end, a beat is
+// reported one RR interval plus Latency() after its own R peak — the
+// ICG side's 2.5 s settling context dominates at the paper's 250 Hz
+// configuration, matching the legacy engine's hop+margin worst case
+// while emitting per beat instead of per hop.
 type Streamer struct {
 	dev *Device
+	fs  float64
 
-	winN, hopN, marginN int
-	ecgBuf, zBuf        []float64
-	consumed            int // absolute index of ecgBuf[0]
-	lastEmittedR        int // absolute index of the last emitted beat's R
-	pushedTotal         int
+	ecgStream *ChainStream // baseline removal + zero-phase FIR
+	icgStream *ChainStream // -dZ/dt + Butterworth conditioning
+	pt        *ecg.PTStream
+	delin     *icg.Delineator
+
+	// Per-push scratch, reused across pushes.
+	condBuf, icgBuf []float64
+	rsBuf           []int
+	beatsBuf        []icg.BeatAnalysis
+
+	// Confirmed R peaks not yet consumed as beat boundaries: beat k is
+	// delimited by rHist[beatIdx], rHist[beatIdx+1].
+	rHist   []int
+	beatIdx int
+
+	// Causal base-impedance estimate: cumulative sums of the raw Z
+	// channel, so each beat reports the mean impedance of the session up
+	// to its closing R peak (deterministic regardless of chunking).
+	zPrefix *dsp.Ring
+	zSum    float64
 
 	body hemo.BodyConstants
 	cal  hemo.Calibration
-
-	// A Streamer is driven from a single goroutine (sample-by-sample
-	// firmware semantics), so it owns its scratch arena directly and
-	// reuses the device's pre-designed filter bank: re-analyzing a window
-	// every hop allocates nothing beyond the beats it emits.
-	arena dsp.Arena
 }
 
-// StreamConfig tunes the rolling-window analysis.
+// StreamConfig tunes the streaming engines.
 type StreamConfig struct {
-	WindowSeconds float64 // analysis window (default 6 s)
-	HopSeconds    float64 // re-analysis period (default 1 s)
-	MarginSeconds float64 // trailing settling margin (default 1.5 s)
+	// WindowSeconds bounds the analysis history of the incremental
+	// engine (the longest analyzable RR segment) and is the rolling
+	// window of the legacy WindowStreamer (default 6 s).
+	WindowSeconds float64
+	// HopSeconds is the re-analysis period of the legacy WindowStreamer
+	// (default 1 s); the incremental engine emits per beat and ignores it.
+	HopSeconds float64
+	// MarginSeconds is the legacy engine's trailing settling margin
+	// (default 1.5 s); the incremental engine has no unstable window
+	// tail and ignores it.
+	MarginSeconds float64
 	// Thoracic selects the identity calibration (direct thoracic
 	// measurement) instead of the touch-path calibration.
 	Thoracic bool
@@ -50,8 +77,7 @@ func DefaultStreamConfig() StreamConfig {
 	return StreamConfig{WindowSeconds: 6, HopSeconds: 1, MarginSeconds: 1.5}
 }
 
-// NewStreamer builds a streaming front end for the device.
-func (d *Device) NewStreamer(sc StreamConfig) *Streamer {
+func (sc StreamConfig) withDefaults() StreamConfig {
 	if sc.WindowSeconds <= 0 {
 		sc.WindowSeconds = 6
 	}
@@ -61,21 +87,71 @@ func (d *Device) NewStreamer(sc StreamConfig) *Streamer {
 	if sc.MarginSeconds <= 0 {
 		sc.MarginSeconds = 1.5
 	}
+	return sc
+}
+
+// defaultDetectFor builds the beat-detector configuration the device's
+// engines share.
+func defaultDetectFor(cfg Config, fs float64) icg.DetectConfig {
+	dCfg := icg.DefaultDetect(fs)
+	dCfg.XRule = cfg.XRule
+	dCfg.BRule = cfg.BRule
+	return dCfg
+}
+
+// NewStreamer builds the incremental streaming front end for the device.
+func (d *Device) NewStreamer(sc StreamConfig) *Streamer {
+	sc = sc.withDefaults()
 	fs := d.cfg.FS
 	cal := hemo.TouchCal()
 	if sc.Thoracic {
 		cal = hemo.IdentityCal()
 	}
+	bank := d.bank
+	ptCfg := ecg.DefaultPT(fs)
+	ptCfg.BandSOS = bank.ptSOS
+	pt, err := ecg.NewPTStream(ptCfg)
+	if err != nil {
+		// The cached band-pass always exists; reaching here means the
+		// device configuration was tampered with after construction.
+		panic("core: streaming QRS detector: " + err.Error())
+	}
+	dCfg := defaultDetectFor(d.cfg, fs)
+	var icgStream *ChainStream
+	var delin *icg.Delineator
+	if d.cfg.CausalFilters {
+		// The causal ablation conditions the stream itself: the chain's
+		// streaming form equals its batch form sample for sample.
+		icgStream = bank.icgChain.NewStream()
+		delin = icg.NewDelineator(dCfg, nil, nil, icgStream.Shift(), 0, sc.WindowSeconds)
+	} else {
+		// Zero-phase conditioning cannot be streamed causally; only the
+		// derivative runs per sample, and the delineator applies the
+		// Butterworth cascade forward-backward per beat segment with a
+		// settling context (see icg.Delineator).
+		icgStream = Chain{icgDerivStage{fs: fs}}.NewStream()
+		delin = icg.NewDelineator(dCfg, bank.icgLP, bank.icgHP, 0, icgCtxSeconds, sc.WindowSeconds)
+	}
 	return &Streamer{
-		dev:          d,
-		winN:         int(sc.WindowSeconds * fs),
-		hopN:         int(sc.HopSeconds * fs),
-		marginN:      int(sc.MarginSeconds * fs),
-		lastEmittedR: -1,
-		body:         d.cfg.Body,
-		cal:          cal,
+		dev:       d,
+		fs:        fs,
+		ecgStream: bank.ecgChain.NewStream(),
+		icgStream: icgStream,
+		pt:        pt,
+		delin:     delin,
+		zPrefix:   dsp.NewRing(int(8 * fs)),
+		body:      d.cfg.Body,
+		cal:       cal,
 	}
 }
+
+// icgCtxSeconds is the per-beat refiltering context. The zero-phase
+// cascade's slowest mode (the 0.5 Hz band-edge high-pass) decays by
+// ~250x over 2.5 s, which empirically makes the per-beat conditioning
+// bit-exact against the batch whole-recording filtfilt on the study
+// subjects; shorter contexts leave occasional rule-boundary flips of
+// the B/X points on single beats.
+const icgCtxSeconds = 2.5
 
 // Push appends simultaneously sampled ECG and impedance samples (equal
 // lengths) and returns the beats completed by this push, in order.
@@ -83,94 +159,92 @@ func (s *Streamer) Push(ecgSamples, zSamples []float64) []hemo.BeatParams {
 	if len(ecgSamples) != len(zSamples) {
 		panic("core: Streamer.Push requires equal-length channels")
 	}
-	s.ecgBuf = append(s.ecgBuf, ecgSamples...)
-	s.zBuf = append(s.zBuf, zSamples...)
-	s.pushedTotal += len(ecgSamples)
-
-	var out []hemo.BeatParams
-	for len(s.ecgBuf) >= s.winN {
-		out = append(out, s.analyzeWindow(false)...)
-		// Advance by one hop, keeping window-minus-hop samples of history.
-		drop := s.hopN
-		if drop > len(s.ecgBuf) {
-			drop = len(s.ecgBuf)
-		}
-		s.ecgBuf = s.ecgBuf[drop:]
-		s.zBuf = s.zBuf[drop:]
-		s.consumed += drop
+	for _, v := range zSamples {
+		s.zSum += v
+		s.zPrefix.Push(s.zSum)
 	}
-	return out
+	s.condBuf = s.ecgStream.Push(s.condBuf[:0], ecgSamples)
+	s.icgBuf = s.icgStream.Push(s.icgBuf[:0], zSamples)
+
+	s.rsBuf = s.pt.Push(s.rsBuf[:0], s.condBuf)
+	s.beatsBuf = s.delin.PushICG(s.beatsBuf[:0], s.icgBuf)
+	for _, r := range s.rsBuf {
+		s.rHist = append(s.rHist, r)
+		s.beatsBuf = s.delin.PushR(s.beatsBuf, r)
+	}
+	return s.emit(s.beatsBuf)
 }
 
-// Flush analyzes whatever remains in the buffer (end of session) and
-// returns the final beats.
+// Flush ends the session: the conditioning chains drain their lookahead
+// with the batch edge treatment, the detector confirms its tail peaks,
+// and the final completed beats are returned.
 func (s *Streamer) Flush() []hemo.BeatParams {
-	if len(s.ecgBuf) < int(s.dev.cfg.FS) {
-		return nil
+	s.condBuf = s.ecgStream.Flush(s.condBuf[:0])
+	s.rsBuf = s.pt.Push(s.rsBuf[:0], s.condBuf)
+	s.rsBuf = s.pt.Flush(s.rsBuf)
+
+	s.icgBuf = s.icgStream.Flush(s.icgBuf[:0])
+	s.beatsBuf = s.delin.PushICG(s.beatsBuf[:0], s.icgBuf)
+	for _, r := range s.rsBuf {
+		s.rHist = append(s.rHist, r)
+		s.beatsBuf = s.delin.PushR(s.beatsBuf, r)
 	}
-	return s.analyzeWindow(true)
+	s.beatsBuf = s.delin.Flush(s.beatsBuf)
+	return s.emit(s.beatsBuf)
 }
 
-// Latency returns the worst-case reporting latency in seconds.
-func (s *Streamer) Latency() float64 {
-	return float64(s.hopN+s.marginN) / s.dev.cfg.FS
-}
-
-// analyzeWindow runs the batch pipeline on the current buffer and emits
-// beats that are complete, inside the stable region, and not yet emitted.
-func (s *Streamer) analyzeWindow(last bool) []hemo.BeatParams {
-	fs := s.dev.cfg.FS
-	n := len(s.ecgBuf)
-	window := n
-	if !last && window > s.winN {
-		window = s.winN
-	}
-	ecgW := s.ecgBuf[:window]
-	zW := s.zBuf[:window]
-
-	ar := &s.arena
-	ar.Reset()
-	bank := s.dev.bank
-
-	blCfg := ecg.DefaultBaseline(fs)
-	blCfg.Naive = s.dev.cfg.NaiveMorph
-	cond := ecg.RemoveBaselineWith(ar, ecgW, blCfg)
-	cond = dsp.FiltFiltFIRWith(ar, bank.ecgFIR, cond)
-	ptCfg := ecg.DefaultPT(fs)
-	ptCfg.BandSOS = bank.ptSOS
-	pt, err := ecg.DetectQRSWith(ar, cond, ptCfg)
-	if err != nil || len(pt.RPeaks) < 2 {
-		return nil
-	}
-	icgRaw := bioimp.ICGFromZTo(ar.F64(len(zW)), zW, fs)
-	icgF := icg.ApplyDesigned(ar, bank.icgLP, bank.icgHP, icgRaw)
-	dCfg := icg.DefaultDetect(fs)
-	dCfg.XRule = s.dev.cfg.XRule
-	dCfg.BRule = s.dev.cfg.BRule
-	z0 := dsp.Mean(zW)
-
-	limit := window - s.marginN
-	if last {
-		limit = window
-	}
+// emit converts completed beat analyses into hemodynamic parameters.
+// Beat k corresponds to the R pair (rHist[beatIdx], rHist[beatIdx+1]);
+// failed beats consume their pair without emitting, exactly once.
+func (s *Streamer) emit(beats []icg.BeatAnalysis) []hemo.BeatParams {
 	var out []hemo.BeatParams
-	for i := 0; i+1 < len(pt.RPeaks); i++ {
-		rAbs := s.consumed + pt.RPeaks[i]
-		if rAbs <= s.lastEmittedR {
-			continue // already emitted by an earlier window
-		}
-		if pt.RPeaks[i+1] >= limit {
-			break // next window will see this beat in the stable region
-		}
-		pts, err := icg.DetectBeat(icgF, pt.RPeaks[i], pt.RPeaks[i+1], -1, dCfg)
-		if err != nil {
-			s.lastEmittedR = rAbs // do not retry a truly bad beat forever
+	for _, b := range beats {
+		rHi := s.rHist[s.beatIdx+1]
+		s.beatIdx++
+		if b.Err != nil || b.Points == nil {
 			continue
 		}
-		bp := hemo.FromPoints(pts, pt.RPeaks[i+1], z0, fs, s.body, s.cal)
-		bp.TimeS = float64(rAbs) / fs // absolute session time
+		// Causal base impedance: session mean up to the closing R.
+		z0 := s.zPrefix.At(rHi-1) / float64(rHi)
+		bp := hemo.FromPoints(b.Points, rHi, z0, s.fs, s.body, s.cal)
 		out = append(out, bp)
-		s.lastEmittedR = rAbs
+	}
+	// Compact the consumed R history so a long session stays O(1).
+	if s.beatIdx > 256 {
+		s.rHist = append(s.rHist[:0], s.rHist[s.beatIdx:]...)
+		s.beatIdx = 0
 	}
 	return out
+}
+
+// Latency returns the worst-case delay in seconds from a beat's closing
+// R peak entering Push to the beat being emitted: the conditioning
+// chains' lookahead plus the QRS detector's confirmation-and-refinement
+// lookahead on the ECG side, or the ICG chain's lookahead plus its
+// group-delay re-alignment on the impedance side, whichever is larger.
+// (End-to-end latency from the beat's own R peak adds one RR interval,
+// since the beat is delimited by the next R.) This is the same formula
+// the engine's emission path implements, so the value and the behavior
+// cannot drift apart.
+func (s *Streamer) Latency() float64 {
+	ecgSide := s.ecgStream.Lookahead() + s.pt.Lookahead()
+	icgSide := s.icgStream.Lookahead() + s.icgStream.Shift() + s.delin.Lookahead()
+	n := ecgSide
+	if icgSide > n {
+		n = icgSide
+	}
+	return float64(n) / s.fs
+}
+
+// Reset returns the streamer to its initial state, keeping every buffer
+// and filter allocation, so pooled engines can reuse it across sessions.
+func (s *Streamer) Reset() {
+	s.ecgStream.Reset()
+	s.icgStream.Reset()
+	s.pt.Reset()
+	s.delin.Reset()
+	s.rHist = s.rHist[:0]
+	s.beatIdx = 0
+	s.zPrefix.Reset()
+	s.zSum = 0
 }

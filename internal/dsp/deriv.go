@@ -88,16 +88,24 @@ func Integrate(x []float64, fs float64) []float64 {
 // MovingAverage returns the centered moving average of x over windows of
 // length k (edges use the available samples).
 func MovingAverage(x []float64, k int) []float64 {
+	return MovingAverageWith(nil, x, k)
+}
+
+// MovingAverageWith is MovingAverage drawing its prefix-sum scratch and
+// result from an arena (nil falls back to the heap); the result is
+// arena-owned when a is non-nil.
+func MovingAverageWith(a *Arena, x []float64, k int) []float64 {
 	n := len(x)
 	if n == 0 || k < 1 {
 		return nil
 	}
 	// Prefix sums for O(n).
-	ps := make([]float64, n+1)
+	ps := arenaF64(a, n+1)
+	ps[0] = 0
 	for i, v := range x {
 		ps[i+1] = ps[i] + v
 	}
-	y := make([]float64, n)
+	y := arenaF64(a, n)
 	for i := 0; i < n; i++ {
 		lo, hi := windowBounds(i, n, k)
 		y[i] = (ps[hi+1] - ps[lo]) / float64(hi-lo+1)

@@ -1,0 +1,592 @@
+package dsp
+
+import "math"
+
+// Streaming (stateful) counterparts of the batch kernels. The batch
+// pipeline re-runs every filter over the whole rolling window on each
+// hop; these kernels instead carry their state — delay lines, biquad
+// registers, monotonic deques — across pushes, so conditioning costs
+// O(1) per sample regardless of the analysis window. They are the
+// foundation of the incremental streaming engine in internal/core.
+//
+// Conventions shared by every kernel:
+//
+//   - Push(dst, x) consumes the next chunk of the input stream and
+//     appends the newly computable outputs to dst, returning the
+//     extended slice. Output index t always corresponds to input index
+//     t; a kernel that needs lookahead simply emits output t later.
+//   - Flush(dst) ends the stream: it appends the outputs that were
+//     waiting for future samples, using the same edge treatment as the
+//     batch kernel.
+//   - Lookahead reports how many future input samples the kernel needs
+//     before it can emit output t (its pipeline latency in samples).
+//   - Shift reports the morphological delay of the output waveform
+//     relative to the input timeline (0 for aligned/zero-phase kernels,
+//     the group delay for causal IIR kernels).
+//   - Reset returns the kernel to its initial state without freeing
+//     its buffers, so pooled engines can reuse it across sessions.
+//   - Kernels are single-stream state machines: not safe for concurrent
+//     use; use one instance per stream.
+
+// Ring retains the most recent samples of a stream, addressed by
+// absolute sample index. It backs the history-dependent streaming
+// stages (R-peak refinement, beat delineation) with O(1) memory.
+type Ring struct {
+	buf  []float64
+	mask int
+	n    int // total samples pushed
+}
+
+// NewRing returns a ring that retains at least capacity samples
+// (rounded up to a power of two).
+func NewRing(capacity int) *Ring {
+	if capacity < 2 {
+		capacity = 2
+	}
+	size := NextPow2(capacity)
+	return &Ring{buf: make([]float64, size), mask: size - 1}
+}
+
+// Push appends one sample.
+func (r *Ring) Push(v float64) {
+	r.buf[r.n&r.mask] = v
+	r.n++
+}
+
+// Append appends a chunk with at most two bulk copies per ring lap.
+func (r *Ring) Append(xs []float64) {
+	for len(xs) > 0 {
+		p := r.n & r.mask
+		n := copy(r.buf[p:], xs)
+		r.n += n
+		xs = xs[n:]
+	}
+}
+
+// N returns the total number of samples pushed so far.
+func (r *Ring) N() int { return r.n }
+
+// Start returns the oldest absolute index still retained.
+func (r *Ring) Start() int {
+	s := r.n - len(r.buf)
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// At returns the sample at absolute index i, which must be in
+// [Start(), N()).
+func (r *Ring) At(i int) float64 { return r.buf[i&r.mask] }
+
+// CopyTo appends the samples of [lo, hi) to dst with at most two bulk
+// copies. The range must be retained.
+func (r *Ring) CopyTo(dst []float64, lo, hi int) []float64 {
+	for lo < hi {
+		p := lo & r.mask
+		end := p + (hi - lo)
+		if end > len(r.buf) {
+			end = len(r.buf)
+		}
+		dst = append(dst, r.buf[p:end]...)
+		lo += end - p
+	}
+	return dst
+}
+
+// ArgMax returns the absolute index of the maximum over [lo, hi)
+// clamped to the retained window, mirroring dsp.ArgMax's clamp-to-signal
+// semantics for a stream whose ring covers the requested range; it
+// returns -1 for an empty range.
+func (r *Ring) ArgMax(lo, hi int) int {
+	lo = ClampInt(lo, r.Start(), r.n)
+	hi = ClampInt(hi, r.Start(), r.n)
+	if lo >= hi {
+		return -1
+	}
+	best := lo
+	for i := lo + 1; i < hi; i++ {
+		if r.buf[i&r.mask] > r.buf[best&r.mask] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Reset forgets all samples, keeping the allocation.
+func (r *Ring) Reset() { r.n = 0 }
+
+// FIRStream applies an FIR filter one sample at a time, carrying the
+// delay line across pushes. The alignment of the emitted outputs is
+// controlled at construction:
+//
+//   - NewFIRStream: plain causal filtering (y[t] = sum h[j] x[t-j]),
+//     matching FIR.ApplyCausal. Lookahead 0.
+//   - NewFIRSameStream: centered "same" convolution with zero padding,
+//     matching FIR.ApplyTo / Apply sample for sample. Lookahead (k-1)/2.
+//   - NewZeroPhaseFIRStream: the forward-backward (zero-phase) response
+//     of FiltFiltFIR, computed causally through the squared kernel
+//     h*reverse(h) with the same odd-reflection edge treatment, so the
+//     streamed output matches dsp.FiltFiltFIR exactly on the full
+//     signal. Lookahead k-1.
+type FIRStream struct {
+	taps []float64 // effective kernel
+	rev  []float64 // kernel reversed, for the valid-mode correlation
+	hist []float64 // the last k-1 fed samples (zero-initialized)
+	work []float64 // scratch: hist ++ chunk, reused across pushes
+
+	skip    int       // leading raw outputs dropped (alignment)
+	tailN   int       // trailing outputs recovered by Flush
+	reflect int       // odd-reflection preamble/postamble length (0 = zero pad)
+	pre     []float64 // first samples buffered until the preamble is known
+	preNeed int
+	primed  bool
+
+	fed int // samples fed through the filter (including synthetic ones)
+}
+
+// NewFIRStream returns the causal streaming form of f.
+func NewFIRStream(f *FIR) *FIRStream { return newFIRStream(f.Taps, 0, 0, 0) }
+
+// NewFIRSameStream returns the streaming form of the centered
+// zero-padded convolution FIR.Apply; output t is emitted once input
+// t+(k-1)/2 has arrived.
+func NewFIRSameStream(f *FIR) *FIRStream {
+	k := len(f.Taps)
+	return newFIRStream(f.Taps, (k-1)/2, (k-1)/2, 0)
+}
+
+// NewZeroPhaseFIRStream returns a streaming filter whose output equals
+// dsp.FiltFiltFIR(f, x) exactly: the causal squared kernel delayed by
+// k-1 samples, with the batch path's odd-reflection padding synthesized
+// at the stream edges. Output t is emitted once input t+k-1 has arrived.
+func NewZeroPhaseFIRStream(f *FIR) *FIRStream {
+	h := f.Taps
+	k := len(h)
+	// g = h convolved with reverse(h): the zero-phase composite kernel.
+	g := make([]float64, 2*k-1)
+	for i, a := range h {
+		for j, b := range h {
+			g[i+(k-1-j)] += a * b
+		}
+	}
+	return newFIRStream(g, 2*(k-1), k-1, k-1)
+}
+
+func newFIRStream(taps []float64, skip, tail, reflect int) *FIRStream {
+	k := len(taps)
+	rev := make([]float64, k)
+	for i, t := range taps {
+		rev[k-1-i] = t
+	}
+	s := &FIRStream{
+		taps:    taps,
+		rev:     rev,
+		hist:    make([]float64, k-1),
+		skip:    skip,
+		tailN:   tail,
+		reflect: reflect,
+		preNeed: reflect + 1,
+	}
+	if reflect == 0 {
+		s.primed = true
+	}
+	return s
+}
+
+// Lookahead returns the number of future input samples needed before
+// output t can be emitted.
+func (s *FIRStream) Lookahead() int { return s.tailN }
+
+// Shift returns 0: every FIRStream alignment emits outputs on the input
+// timeline (causal alignment included — its group delay is compensated
+// by the caller's choice of constructor).
+func (s *FIRStream) Shift() int { return 0 }
+
+// run feeds a batch of samples through the filter: a linear work buffer
+// (the k-1 sample history followed by the chunk) turns the delay line
+// into valid-mode correlations over contiguous memory, which the
+// four-accumulator dot product chews through at full speed.
+func (s *FIRStream) run(dst []float64, xs []float64) []float64 {
+	m := len(xs)
+	if m == 0 {
+		return dst
+	}
+	k := len(s.rev)
+	s.work = append(append(s.work[:0], s.hist...), xs...)
+	start := 0
+	if s.fed < s.skip {
+		start = s.skip - s.fed
+		if start > m {
+			start = m
+		}
+	}
+	for t := start; t < m; t++ {
+		dst = append(dst, dotValid(s.rev, s.work[t:t+k]))
+	}
+	s.fed += m
+	s.hist = append(s.hist[:0], s.work[len(s.work)-(k-1):]...)
+	return dst
+}
+
+// dotValid is the unrolled kernel-window dot product.
+func dotValid(rev, w []float64) float64 {
+	var a0, a1, a2, a3 float64
+	i := 0
+	for ; i+4 <= len(rev); i += 4 {
+		a0 += rev[i] * w[i]
+		a1 += rev[i+1] * w[i+1]
+		a2 += rev[i+2] * w[i+2]
+		a3 += rev[i+3] * w[i+3]
+	}
+	acc := a0 + a1 + a2 + a3
+	for ; i < len(rev); i++ {
+		acc += rev[i] * w[i]
+	}
+	return acc
+}
+
+// Push consumes a chunk and appends the newly computable outputs to dst.
+func (s *FIRStream) Push(dst, x []float64) []float64 {
+	if s.primed {
+		return s.run(dst, x)
+	}
+	for len(x) > 0 && !s.primed {
+		take := s.preNeed - len(s.pre)
+		if take > len(x) {
+			take = len(x)
+		}
+		s.pre = append(s.pre, x[:take]...)
+		x = x[take:]
+		if len(s.pre) < s.preNeed {
+			return dst
+		}
+		// Synthesize the odd-reflection preamble ext[-reflect..-1]
+		// (ext[-i] = 2 x[0] - x[i]) and run it plus the buffered head.
+		pre := make([]float64, s.reflect)
+		for i := 1; i <= s.reflect; i++ {
+			pre[s.reflect-i] = 2*s.pre[0] - s.pre[i]
+		}
+		dst = s.run(dst, pre)
+		dst = s.run(dst, s.pre)
+		s.primed = true
+	}
+	return s.run(dst, x)
+}
+
+// Flush ends the stream, appending the outputs that were waiting on
+// future samples using the batch kernel's edge treatment (odd
+// reflection for the zero-phase alignment, zero padding otherwise).
+func (s *FIRStream) Flush(dst []float64) []float64 {
+	if !s.primed {
+		// Degenerate stream shorter than the reflection preamble (only
+		// possible for the zero-phase alignment): approximate with the
+		// centered squared kernel on the buffered head.
+		if len(s.pre) == 0 {
+			return dst
+		}
+		f := &FIR{Taps: s.taps}
+		y := f.Apply(s.pre)
+		return append(dst, y...)
+	}
+	if s.tailN == 0 {
+		return dst
+	}
+	post := make([]float64, s.tailN)
+	if s.reflect > 0 {
+		// ext[n+i] = 2 x[n-1] - x[n-2-i]; the raw tail is the history
+		// buffer's suffix.
+		h := s.hist
+		last := h[len(h)-1]
+		for i := 0; i < s.tailN; i++ {
+			post[i] = 2*last - h[len(h)-2-i]
+		}
+	}
+	return s.run(dst, post)
+}
+
+// Reset returns the stream to its initial state.
+func (s *FIRStream) Reset() {
+	s.fed = 0
+	s.pre = s.pre[:0]
+	s.primed = s.reflect == 0
+	for i := range s.hist {
+		s.hist[i] = 0
+	}
+}
+
+// SOSStream applies a biquad cascade causally one sample at a time with
+// persistent direct-form-II-transposed registers, matching SOS.Filter /
+// SOS.FilterTo sample for sample when started from the zero state.
+//
+// With prime enabled, the registers are initialized on the first sample
+// to the steady state of a constant input (the lfilter_zi treatment),
+// which suppresses the start-up transient of the causal pass; shift
+// records the cascade's in-band group delay so downstream consumers can
+// re-align the output waveform with the input timeline.
+type SOSStream struct {
+	sos    SOS
+	z1, z2 []float64
+	prime  bool
+	shift  int
+	n      int
+}
+
+// NewSOSStream returns the causal streaming form of s. shift is the
+// morphological delay (samples) the caller wants reported by Shift —
+// use s.GroupDelaySamples at the band of interest, or 0 when the
+// output is consumed as-is.
+func NewSOSStream(s SOS, shift int, prime bool) *SOSStream {
+	return &SOSStream{sos: s, z1: make([]float64, len(s)), z2: make([]float64, len(s)), prime: prime, shift: shift}
+}
+
+// Lookahead returns 0: a causal IIR emits output t at input t.
+func (s *SOSStream) Lookahead() int { return 0 }
+
+// Shift returns the declared group delay of the cascade in samples.
+func (s *SOSStream) Shift() int { return s.shift }
+
+// PushSample advances the cascade by one sample.
+func (s *SOSStream) PushSample(v float64) float64 {
+	if s.n == 0 && s.prime {
+		u := v
+		for i, bq := range s.sos {
+			zi1, zi2 := biquadZi(bq)
+			s.z1[i], s.z2[i] = zi1*u, zi2*u
+			// A constant u produces u*Gdc from the first sample with the
+			// zi state; propagate the level to the next section.
+			den := 1 + bq.A1 + bq.A2
+			if den != 0 {
+				u *= (bq.B0 + bq.B1 + bq.B2) / den
+			}
+		}
+	}
+	s.n++
+	for i, bq := range s.sos {
+		out := bq.B0*v + s.z1[i]
+		s.z1[i] = bq.B1*v - bq.A1*out + s.z2[i]
+		s.z2[i] = bq.B2*v - bq.A2*out
+		v = out
+	}
+	return v
+}
+
+// Push consumes a chunk and appends the filtered samples to dst.
+func (s *SOSStream) Push(dst, x []float64) []float64 {
+	for _, v := range x {
+		dst = append(dst, s.PushSample(v))
+	}
+	return dst
+}
+
+// Flush is a no-op for a causal IIR: there is no pending output.
+func (s *SOSStream) Flush(dst []float64) []float64 { return dst }
+
+// Reset zeroes the filter registers.
+func (s *SOSStream) Reset() {
+	s.n = 0
+	for i := range s.z1 {
+		s.z1[i], s.z2[i] = 0, 0
+	}
+}
+
+// GroupDelaySamples estimates the cascade's group delay at frequency f
+// (Hz) for sampling rate fs, in samples, by numeric differentiation of
+// the unwrapped phase response. Streaming consumers round it to an
+// integer shift to re-align causally filtered waveforms with the input
+// timeline.
+func (s SOS) GroupDelaySamples(f, fs float64) float64 {
+	const dfRel = 1e-3
+	df := f * dfRel
+	if df == 0 {
+		df = 1e-6 * fs
+	}
+	p1 := s.phaseAt(f-df, fs)
+	p2 := s.phaseAt(f+df, fs)
+	dphi := p2 - p1
+	// The two phases are evaluated close together; fold the difference
+	// into (-pi, pi] to avoid wrap artifacts.
+	for dphi > math.Pi {
+		dphi -= 2 * math.Pi
+	}
+	for dphi <= -math.Pi {
+		dphi += 2 * math.Pi
+	}
+	dw := 2 * math.Pi * (2 * df) / fs // rad/sample
+	return -dphi / dw
+}
+
+// phaseAt returns the phase of the cascade's frequency response at f.
+func (s SOS) phaseAt(f, fs float64) float64 {
+	w := 2 * math.Pi * f / fs
+	re, im := 1.0, 0.0
+	c1, s1 := math.Cos(w), -math.Sin(w)
+	c2, s2 := math.Cos(2*w), -math.Sin(2*w)
+	for _, bq := range s {
+		nr := bq.B0 + bq.B1*c1 + bq.B2*c2
+		ni := bq.B1*s1 + bq.B2*s2
+		dr := 1 + bq.A1*c1 + bq.A2*c2
+		di := bq.A1*s1 + bq.A2*s2
+		// (nr + i ni) / (dr + i di)
+		den := dr*dr + di*di
+		hr := (nr*dr + ni*di) / den
+		hi := (ni*dr - nr*di) / den
+		re, im = re*hr-im*hi, re*hi+im*hr
+	}
+	return math.Atan2(im, re)
+}
+
+// DerivStream is the streaming form of DerivativeTo scaled by gain:
+// central differences in the interior with one-sided differences at the
+// stream edges. With gain = -1 it computes the ICG derivation
+// ICG = -dZ/dt exactly as bioimp.ICGFromZ does. Lookahead 1.
+type DerivStream struct {
+	fs, gain float64
+	x1, x2   float64 // last two inputs (x1 most recent)
+	n        int
+}
+
+// NewDerivStream returns a streaming derivative at sampling rate fs
+// with output scaled by gain.
+func NewDerivStream(fs, gain float64) *DerivStream {
+	return &DerivStream{fs: fs, gain: gain}
+}
+
+// Lookahead returns 1 (the central difference needs the next sample).
+func (s *DerivStream) Lookahead() int { return 1 }
+
+// Shift returns 0 (central differences are aligned).
+func (s *DerivStream) Shift() int { return 0 }
+
+// Push consumes a chunk and appends the computable derivatives to dst.
+func (s *DerivStream) Push(dst, x []float64) []float64 {
+	i := 0
+	if s.n == 0 && i < len(x) {
+		s.x1 = x[i]
+		s.n++
+		i++
+	}
+	if s.n == 1 && i < len(x) {
+		// First output: forward difference.
+		dst = append(dst, s.gain*(x[i]-s.x1)*s.fs)
+		s.x2, s.x1 = s.x1, x[i]
+		s.n++
+		i++
+	}
+	// Interior: central differences in a branch-free loop.
+	half := s.gain * s.fs / 2
+	p2, p1 := s.x2, s.x1
+	s.n += len(x) - i
+	for ; i < len(x); i++ {
+		v := x[i]
+		dst = append(dst, (v-p2)*half)
+		p2, p1 = p1, v
+	}
+	s.x2, s.x1 = p2, p1
+	return dst
+}
+
+// Flush appends the final one-sided difference.
+func (s *DerivStream) Flush(dst []float64) []float64 {
+	switch s.n {
+	case 0:
+		return dst
+	case 1:
+		return append(dst, 0)
+	}
+	return append(dst, s.gain*(s.x1-s.x2)*s.fs)
+}
+
+// Reset returns the stream to its initial state.
+func (s *DerivStream) Reset() { s.n = 0; s.x1, s.x2 = 0, 0 }
+
+// MovExtStream is the streaming sliding-window extremum (flat erosion or
+// dilation): output t is the min or max of the inputs in
+// [t-left, t+right] clamped to the stream, exactly matching the batch
+// monotonic-deque engine (dsp.Erode / dsp.Dilate) including its edge
+// clamping. Amortized O(1) per sample; lookahead right.
+type MovExtStream struct {
+	left, right int
+	min         bool
+
+	// Monotonic deque carrying (index, value) pairs in parallel rings,
+	// so neither admission nor emission chases a second buffer.
+	idx              []int
+	val              []float64
+	mask             int
+	head, tail, size int
+
+	in, out int
+}
+
+// NewMovExtStream returns a streaming sliding extremum over windows
+// [t-left, t+right]; min selects erosion, otherwise dilation.
+func NewMovExtStream(left, right int, min bool) *MovExtStream {
+	size := NextPow2(left + right + 2)
+	return &MovExtStream{
+		left: left, right: right, min: min,
+		idx: make([]int, size), val: make([]float64, size), mask: size - 1,
+	}
+}
+
+// Lookahead returns the window's right extent.
+func (s *MovExtStream) Lookahead() int { return s.right }
+
+// Shift returns 0 (the window is centered by construction).
+func (s *MovExtStream) Shift() int { return 0 }
+
+func (s *MovExtStream) admit(v float64) {
+	if s.min {
+		for s.size > 0 && v <= s.val[(s.tail-1)&s.mask] {
+			s.tail = (s.tail - 1) & s.mask
+			s.size--
+		}
+	} else {
+		for s.size > 0 && v >= s.val[(s.tail-1)&s.mask] {
+			s.tail = (s.tail - 1) & s.mask
+			s.size--
+		}
+	}
+	s.idx[s.tail] = s.in
+	s.val[s.tail] = v
+	s.tail = (s.tail + 1) & s.mask
+	s.size++
+	s.in++
+}
+
+func (s *MovExtStream) emit(dst []float64) []float64 {
+	lo := s.out - s.left
+	for s.size > 0 && s.idx[s.head] < lo {
+		s.head = (s.head + 1) & s.mask
+		s.size--
+	}
+	s.out++
+	return append(dst, s.val[s.head])
+}
+
+// Push consumes a chunk and appends the outputs whose full (clamped)
+// window has arrived.
+func (s *MovExtStream) Push(dst, x []float64) []float64 {
+	for _, v := range x {
+		s.admit(v)
+		for s.out+s.right < s.in {
+			dst = s.emit(dst)
+		}
+	}
+	return dst
+}
+
+// Flush appends the trailing outputs, whose windows clamp at the
+// stream's end.
+func (s *MovExtStream) Flush(dst []float64) []float64 {
+	for s.out < s.in {
+		dst = s.emit(dst)
+	}
+	return dst
+}
+
+// Reset returns the stream to its initial state.
+func (s *MovExtStream) Reset() {
+	s.head, s.tail, s.size = 0, 0, 0
+	s.in, s.out = 0, 0
+}

@@ -1,0 +1,187 @@
+package ecg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+func synthECG(n int, fs float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	// Spiky quasi-periodic train over a wandering baseline: enough QRS
+	// structure for the detector without pulling in the physio package.
+	period := int(0.8 * fs)
+	for i := range x {
+		ph := i % period
+		v := 0.05 * math.Sin(2*math.Pi*float64(i)/fs*0.3) // drift
+		if ph == period/2 {
+			v += 1.0 // R spike
+		}
+		if d := ph - period/2; d == -1 || d == 1 {
+			v += 0.4
+		}
+		v += 0.15 * math.Sin(2*math.Pi*float64(ph)/float64(period)) // P/T-ish
+		v += 0.02 * rng.NormFloat64()
+		x[i] = v
+	}
+	return x
+}
+
+func TestBaselineStreamMatchesBatch(t *testing.T) {
+	fs := 250.0
+	cfg := DefaultBaseline(fs)
+	x := synthECG(3000, fs, 7)
+	want := RemoveBaseline(x, cfg)
+	for _, chunk := range []int{1, 13, 250, 997, 3000} {
+		s := NewBaselineStream(cfg)
+		var got []float64
+		for pos := 0; pos < len(x); pos += chunk {
+			end := pos + chunk
+			if end > len(x) {
+				end = len(x)
+			}
+			got = s.Push(got, x[pos:end])
+		}
+		got = s.Flush(got)
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: %d outputs, want %d", chunk, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("chunk %d: sample %d differs: %g vs %g", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBaselineStreamReset(t *testing.T) {
+	fs := 250.0
+	cfg := DefaultBaseline(fs)
+	x := synthECG(1500, fs, 8)
+	s := NewBaselineStream(cfg)
+	first := s.Flush(s.Push(nil, x))
+	s.Reset()
+	second := s.Flush(s.Push(nil, x))
+	if len(first) != len(second) {
+		t.Fatalf("lengths differ after Reset: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("sample %d differs after Reset", i)
+		}
+	}
+}
+
+// streamRPeaks runs the incremental detector over x in the given chunk
+// size and returns all confirmed R peaks.
+func streamRPeaks(t *testing.T, cfg PTConfig, x []float64, chunk int) []int {
+	t.Helper()
+	s, err := NewPTStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs []int
+	for pos := 0; pos < len(x); pos += chunk {
+		end := pos + chunk
+		if end > len(x) {
+			end = len(x)
+		}
+		rs = s.Push(rs, x[pos:end])
+	}
+	return s.Flush(rs)
+}
+
+func TestPTStreamMatchesBatch(t *testing.T) {
+	fs := 250.0
+	x := synthECG(int(40*fs), fs, 9)
+	cfg := DefaultPT(fs)
+	batch, err := DetectQRS(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.RPeaks) < 30 {
+		t.Fatalf("batch found only %d peaks", len(batch.RPeaks))
+	}
+	for _, chunk := range []int{1, 50, 250, 1024, len(x)} {
+		rs := streamRPeaks(t, cfg, x, chunk)
+		if len(rs) != len(batch.RPeaks) {
+			t.Fatalf("chunk %d: %d peaks, batch %d", chunk, len(rs), len(batch.RPeaks))
+		}
+		for i := range rs {
+			if d := rs[i] - batch.RPeaks[i]; d < -1 || d > 1 {
+				t.Errorf("chunk %d: peak %d at %d, batch %d", chunk, i, rs[i], batch.RPeaks[i])
+			}
+		}
+	}
+}
+
+func TestPTStreamOrderingAndUniqueness(t *testing.T) {
+	fs := 250.0
+	x := synthECG(int(30*fs), fs, 10)
+	rs := streamRPeaks(t, DefaultPT(fs), x, 37)
+	for i := 1; i < len(rs); i++ {
+		if rs[i] <= rs[i-1] {
+			t.Fatalf("peaks not strictly increasing at %d: %d after %d", i, rs[i], rs[i-1])
+		}
+	}
+}
+
+func TestPTStreamUsesCachedBandSOS(t *testing.T) {
+	fs := 250.0
+	cfg := DefaultPT(fs)
+	sos, err := DesignPTBandPass(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.BandSOS = sos
+	x := synthECG(int(20*fs), fs, 11)
+	with := streamRPeaks(t, cfg, x, 100)
+	cfg.BandSOS = nil
+	without := streamRPeaks(t, cfg, x, 100)
+	if len(with) != len(without) {
+		t.Fatalf("cached band SOS changes detection: %d vs %d", len(with), len(without))
+	}
+}
+
+func TestPTStreamReset(t *testing.T) {
+	fs := 250.0
+	x := synthECG(int(15*fs), fs, 12)
+	s, err := NewPTStream(DefaultPT(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.Flush(s.Push(nil, x))
+	s.Reset()
+	second := s.Flush(s.Push(nil, x))
+	if len(first) != len(second) {
+		t.Fatalf("Reset changes peak count: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("peak %d differs after Reset", i)
+		}
+	}
+}
+
+// The streaming band-pass must agree with the batch causal filter the
+// detector runs on (same cascade, same zero state).
+func TestPTBandPassStreamConsistency(t *testing.T) {
+	fs := 250.0
+	cfg := DefaultPT(fs)
+	sos, err := DesignPTBandPass(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := synthECG(2000, fs, 13)
+	want := sos.Filter(x)
+	st := dsp.NewSOSStream(sos, 0, false)
+	got := st.Push(nil, x)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}

@@ -15,6 +15,15 @@ type BeatAnalysis struct {
 // DetectAll runs the beat detector on every RR segment. tPeaks may be nil
 // (required only for the Carvalho X variant); rPeaks must be sorted.
 func DetectAll(icg []float64, rPeaks []int, tPeaks []int, cfg DetectConfig) []BeatAnalysis {
+	return DetectAllWith(nil, icg, rPeaks, tPeaks, cfg)
+}
+
+// DetectAllWith is DetectAll drawing every per-beat intermediate from
+// an arena (nil falls back to the heap); the BeatAnalysis records and
+// their BeatPoints are heap-allocated and safe to retain. The arena is
+// not reset between beats, so its footprint converges to the beat
+// loop's peak after the first recording.
+func DetectAllWith(a *dsp.Arena, icg []float64, rPeaks []int, tPeaks []int, cfg DetectConfig) []BeatAnalysis {
 	if len(rPeaks) < 2 {
 		return nil
 	}
@@ -24,7 +33,7 @@ func DetectAll(icg []float64, rPeaks []int, tPeaks []int, cfg DetectConfig) []Be
 		if tPeaks != nil && i < len(tPeaks) {
 			tp = tPeaks[i]
 		}
-		pts, err := DetectBeat(icg, rPeaks[i], rPeaks[i+1], tp, cfg)
+		pts, err := DetectBeatWith(a, icg, rPeaks[i], rPeaks[i+1], tp, cfg)
 		out = append(out, BeatAnalysis{Points: pts, Err: err})
 	}
 	return out

@@ -90,6 +90,16 @@ var (
 // indices rLo < rHi). tPeak is the T-wave apex index for the Carvalho
 // variant (ignored by the paper rule; pass -1 when unknown).
 func DetectBeat(icg []float64, rLo, rHi, tPeak int, cfg DetectConfig) (*BeatPoints, error) {
+	return DetectBeatWith(nil, icg, rLo, rHi, tPeak, cfg)
+}
+
+// DetectBeatWith is DetectBeat drawing every per-beat intermediate (the
+// detrended segment copy, smoothing, the three derivatives, the robust
+// refit scratch) from an arena; nil falls back to the heap. The
+// returned BeatPoints is always heap-allocated and safe to retain. The
+// arena is not reset here — callers sharing one arena across a beat
+// loop converge to the loop's peak footprint after the first pass.
+func DetectBeatWith(a *dsp.Arena, icg []float64, rLo, rHi, tPeak int, cfg DetectConfig) (*BeatPoints, error) {
 	fs := cfg.FS
 	if fs <= 0 {
 		fs = 250
@@ -97,14 +107,15 @@ func DetectBeat(icg []float64, rLo, rHi, tPeak int, cfg DetectConfig) (*BeatPoin
 	if rLo < 0 || rHi > len(icg) || rHi-rLo < int(0.3*fs) {
 		return nil, ErrBeatTooShort
 	}
-	seg := dsp.Clone(icg[rLo:rHi])
+	seg := arenaF64(a, rHi-rLo)
+	copy(seg, icg[rLo:rHi])
 	// Per-beat baseline: the respiratory and motion components of -dZ/dt
 	// drift through the beat, so the "horizontal axis" of the B0 rule is
 	// re-established per beat: a line anchored on the two quiet windows
 	// of the cycle (just after R, before the upstroke, and in late
 	// diastole), polished by a robust refit that ignores the systolic
 	// complex.
-	detrendAnchored(seg, fs)
+	detrendAnchored(a, seg, fs)
 	smoothK := int(cfg.SmoothMS / 1000 * fs)
 	if smoothK < 1 {
 		smoothK = 1
@@ -113,11 +124,11 @@ func DetectBeat(icg []float64, rLo, rHi, tPeak int, cfg DetectConfig) (*BeatPoin
 	if cfg.UseSavGol {
 		smooth = dsp.SavGolSmooth(seg, smoothK/2+1)
 	} else {
-		smooth = dsp.MovingAverage(seg, smoothK)
+		smooth = dsp.MovingAverageWith(a, seg, smoothK)
 	}
-	d1 := dsp.Derivative(smooth, fs)
-	d2 := dsp.Derivative(d1, fs)
-	d3 := dsp.Derivative(d2, fs)
+	d1 := dsp.DerivativeTo(arenaF64(a, len(smooth)), smooth, fs)
+	d2 := dsp.DerivativeTo(arenaF64(a, len(d1)), d1, fs)
+	d3 := dsp.DerivativeTo(arenaF64(a, len(d2)), d2, fs)
 
 	// --- C point: maximum of the ICG inside the beat, searched within
 	// the physiological systolic window after R (PEP of 40-160 ms plus
@@ -155,7 +166,7 @@ func DetectBeat(icg []float64, rLo, rHi, tPeak int, cfg DetectConfig) (*BeatPoin
 	}
 
 	// --- B point.
-	b, b0, pattern, err := detectB(seg, d1, d2, d3, c, cAmp, fs, cfg.BRule)
+	b, b0, pattern, err := detectB(a, seg, d1, d2, d3, c, cAmp, fs, cfg.BRule)
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +217,7 @@ func DetectBeat(icg []float64, rLo, rHi, tPeak int, cfg DetectConfig) (*BeatPoin
 // detectB implements the three B rules. It returns the B index within the
 // segment, the fractional B0 estimate, and whether the second-derivative
 // pattern was found.
-func detectB(seg, d1, d2, d3 []float64, c int, cAmp, fs float64, rule BVariant) (int, float64, bool, error) {
+func detectB(a *dsp.Arena, seg, d1, d2, d3 []float64, c int, cAmp, fs float64, rule BVariant) (int, float64, bool, error) {
 	// Locate the upstroke foot: the nearest sample left of C that drops
 	// below 15% of the C amplitude (searched within 250 ms). Bounding the
 	// 40-80% collection at the foot keeps the fitted line on the true
@@ -223,7 +234,7 @@ func detectB(seg, d1, d2, d3 []float64, c int, cAmp, fs float64, rule BVariant) 
 	// Collect the 40-80% band of the upstroke between foot and C.
 	lo40 := 0.4 * cAmp
 	hi80 := 0.8 * cAmp
-	var idx []int
+	idx := arenaInts(a, c-foot+1)[:0]
 	for i := c; i >= foot; i-- {
 		v := seg[i]
 		if v < lo40 {
@@ -389,7 +400,7 @@ func maxInt(a, b int) int {
 // diastole) — and is then polished by a robust refit that keeps only the
 // samples whose residuals fall below the 60th percentile, dropping the
 // systolic complex.
-func detrendAnchored(seg []float64, fs float64) {
+func detrendAnchored(a *dsp.Arena, seg []float64, fs float64) {
 	n := len(seg)
 	if n < 16 {
 		return
@@ -424,7 +435,7 @@ func detrendAnchored(seg []float64, fs float64) {
 	// copy for the percentile, the kept points) shares one scratch block —
 	// this runs on every beat of every window and dominated the pipeline's
 	// small-object churn.
-	buf := make([]float64, 4*n)
+	buf := arenaF64(a, 4*n)
 	res := buf[:n]
 	sorted := buf[n : 2*n]
 	kx := buf[2*n : 2*n : 3*n]
@@ -457,4 +468,20 @@ func detrendAnchored(seg []float64, fs float64) {
 	for i := range seg {
 		seg[i] -= quad.YAt(float64(i))
 	}
+}
+
+// arenaF64 allocates from a when non-nil and from the heap otherwise.
+func arenaF64(a *dsp.Arena, n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	return a.F64(n)
+}
+
+// arenaInts allocates from a when non-nil and from the heap otherwise.
+func arenaInts(a *dsp.Arena, n int) []int {
+	if a == nil {
+		return make([]int, n)
+	}
+	return a.Ints(n)
 }

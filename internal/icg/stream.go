@@ -1,0 +1,211 @@
+package icg
+
+import "repro/internal/dsp"
+
+// Delineator is the incremental beat delineator: it consumes the
+// streamed -dZ/dt samples and confirmed ECG R peaks as they appear, and
+// runs the characteristic-point detector on each completed RR segment
+// exactly once — the streaming counterpart of DetectAll, with O(beat)
+// work per beat instead of re-analyzing a whole window per hop.
+//
+// The paper's ICG conditioning is a zero-phase Butterworth cascade,
+// which no causal stream can reproduce (a one-pass causal filter has
+// |H| instead of |H|^2 and a dispersive phase that visibly moves the B
+// and X points). The delineator therefore applies the cascade
+// forward-backward over each beat segment plus a bounded context on
+// both sides: the cascade's transients decay well inside the context,
+// so the segment interior matches the batch whole-recording filtfilt,
+// while the cost stays O(beat + context) per beat. Pass nil filters to
+// skip refiltering (the causal-ablation chain conditions the stream
+// itself, sample for sample equal to its batch form).
+//
+// align shifts the ICG clock: the delineator treats ICG sample r+align
+// as simultaneous with ECG sample r (non-zero only when the stream
+// comes from an uncompensated causal chain).
+type Delineator struct {
+	cfg    DetectConfig
+	lp, hp dsp.SOS
+	align  int
+	ctxN   int
+
+	icg   *dsp.Ring
+	arena dsp.Arena // per-beat refiltering scratch
+	lastR int       // previous confirmed R peak (ECG clock), -1 before the first
+	queue []beatJob // R pairs waiting for their ICG samples
+}
+
+type beatJob struct {
+	rLo, rHi int
+}
+
+// NewDelineator builds a delineator. lp and hp (either may be nil) are
+// the pre-designed conditioning cascades applied zero-phase per beat;
+// ctxSeconds is the transient-settling context on each side of the
+// segment. maxBeatSeconds bounds the longest analyzable RR interval;
+// longer "beats" are reported as failures rather than stalling the
+// queue.
+func NewDelineator(cfg DetectConfig, lp, hp dsp.SOS, align int, ctxSeconds, maxBeatSeconds float64) *Delineator {
+	fs := cfg.FS
+	if fs <= 0 {
+		fs = 250
+	}
+	if maxBeatSeconds <= 0 {
+		maxBeatSeconds = 3
+	}
+	if ctxSeconds < 0 {
+		ctxSeconds = 0
+	}
+	ctxN := 0
+	if lp != nil || hp != nil {
+		ctxN = int(ctxSeconds * fs)
+	}
+	n := int(maxBeatSeconds*fs) + 2*ctxN + align + 2
+	return &Delineator{
+		cfg:   cfg,
+		lp:    lp,
+		hp:    hp,
+		align: align,
+		ctxN:  ctxN,
+		icg:   dsp.NewRing(n),
+		lastR: -1,
+	}
+}
+
+// Lookahead returns how many ICG samples past a beat's closing R peak
+// must arrive before the beat can be analyzed (the refiltering context).
+func (d *Delineator) Lookahead() int { return d.ctxN }
+
+// PushICG appends newly streamed ICG samples (on the filter-output
+// clock) and returns the beats they complete, appended to out.
+func (d *Delineator) PushICG(out []BeatAnalysis, x []float64) []BeatAnalysis {
+	d.icg.Append(x)
+	return d.drain(out, false)
+}
+
+// PushR registers the next confirmed R peak (ECG clock) and returns any
+// beats it completes, appended to out. R peaks must arrive in strictly
+// increasing order; a non-increasing peak is ignored (defense in depth —
+// the incremental QRS detector already guarantees ordering).
+func (d *Delineator) PushR(out []BeatAnalysis, r int) []BeatAnalysis {
+	if r <= d.lastR {
+		return d.drain(out, false)
+	}
+	if d.lastR >= 0 {
+		d.queue = append(d.queue, beatJob{rLo: d.lastR, rHi: r})
+	}
+	d.lastR = r
+	return d.drain(out, false)
+}
+
+// Flush analyzes the queued beats against whatever ICG samples arrived
+// (end of session), clamping the trailing context like the batch
+// filter clamps at the recording's end.
+func (d *Delineator) Flush(out []BeatAnalysis) []BeatAnalysis {
+	return d.drain(out, true)
+}
+
+// drain runs the detector on every queued RR pair whose aligned ICG
+// samples (segment plus trailing context) are available.
+func (d *Delineator) drain(out []BeatAnalysis, last bool) []BeatAnalysis {
+	done := 0
+	for _, j := range d.queue {
+		hi := j.rHi + d.align + d.ctxN
+		if hi > d.icg.N() {
+			if !last {
+				break
+			}
+			hi = d.icg.N()
+		}
+		lo := j.rLo + d.align - d.ctxN
+		if lo < 0 {
+			lo = 0
+		}
+		segLo := j.rLo + d.align // absolute segment bounds on the ICG clock
+		segHi := j.rHi + d.align
+		if segHi > hi {
+			segHi = hi
+		}
+		if lo < d.icg.Start() || segLo >= segHi {
+			// Beat longer than the history ring (or starved stream):
+			// report it as unanalyzable rather than stalling the queue.
+			out = append(out, BeatAnalysis{Err: ErrBeatTooShort})
+			done++
+			continue
+		}
+		d.arena.Reset()
+		buf := d.icg.CopyTo(d.arena.F64(hi - lo)[:0], lo, hi)
+		cond, trim := d.refilter(buf, segLo-lo, segHi-lo)
+		relLo := segLo - lo - trim
+		pts, err := DetectBeatWith(&d.arena, cond, relLo, segHi-lo-trim, -1, d.cfg)
+		if err != nil {
+			out = append(out, BeatAnalysis{Err: err})
+			done++
+			continue
+		}
+		// Back onto the ECG clock: conditioned index relLo == ECG index rLo.
+		off := j.rLo - relLo
+		pts.R += off
+		pts.B += off
+		pts.C += off
+		pts.X += off
+		pts.X0 += off
+		pts.B0 += float64(off)
+		out = append(out, BeatAnalysis{Points: pts})
+		done++
+	}
+	if done > 0 {
+		d.queue = append(d.queue[:0], d.queue[done:]...)
+	}
+	return out
+}
+
+// refilter applies the conditioning cascades zero-phase over the
+// context-padded segment (no-op when the stream is already
+// conditioned). It returns the conditioned buffer and the offset of
+// buf[0] within it (the low-pass runs over a trimmed sub-span).
+//
+// The slow filter — the band-edge high-pass, whose transients motivate
+// the long context — runs first over the whole padded window; the
+// low-pass's transients die within tens of milliseconds, so it runs
+// over just the segment plus a short guard. The order swap relative to
+// the batch lp-then-hp is exact for LTI cascades up to edge transients,
+// which both contexts absorb.
+func (d *Delineator) refilter(buf []float64, segLo, segHi int) ([]float64, int) {
+	if d.hp != nil {
+		buf = d.hp.FiltFiltWith(&d.arena, buf)
+	}
+	if d.lp == nil {
+		return buf, 0
+	}
+	guard := lpGuardSamples(d.cfg.FS)
+	lo := segLo - guard
+	if lo < 0 {
+		lo = 0
+	}
+	hi := segHi + guard
+	if hi > len(buf) {
+		hi = len(buf)
+	}
+	return d.lp.FiltFiltWith(&d.arena, buf[lo:hi]), lo
+}
+
+// lpGuardSamples is the low-pass settling guard (~0.3 s): dozens of
+// time constants of a 20 Hz Butterworth.
+func lpGuardSamples(fs float64) int {
+	if fs <= 0 {
+		fs = 250
+	}
+	return int(0.3 * fs)
+}
+
+// Pending returns how many confirmed beats are still waiting for ICG
+// samples.
+func (d *Delineator) Pending() int { return len(d.queue) }
+
+// Reset returns the delineator to its initial state, keeping buffers.
+func (d *Delineator) Reset() {
+	d.icg.Reset()
+	d.arena.Reset()
+	d.lastR = -1
+	d.queue = d.queue[:0]
+}

@@ -1,0 +1,350 @@
+// Package session is the multi-session serving layer on top of the
+// incremental streaming engine: one Engine multiplexes thousands of
+// concurrent device streams (one Session per subject or connection)
+// over a bounded worker pool, with pooled per-stream filter state and
+// deterministic per-session seeding.
+//
+// Determinism contract: a session's emitted beat stream is a pure
+// function of its own input chunks in arrival order — independent of
+// the worker count, of scheduling, and of what every other session
+// does. The engine preserves per-session FIFO ordering (chunks are
+// processed in Push order, one worker at a time per session) and the
+// underlying core.Streamer is chunk-invariant, so replaying the same
+// samples always reproduces byte-identical parameters. The tests pin
+// this with 1000+ concurrent sessions hashed across worker counts.
+package session
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hemo"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Workers bounds the processing pool (default GOMAXPROCS).
+	Workers int
+	// Stream configures every session's streaming engine.
+	Stream core.StreamConfig
+	// MaxPending bounds each session's queued-chunk backlog; Push blocks
+	// once the backlog is full (backpressure; default 64).
+	MaxPending int
+	// Seed is the engine's base seed; each session derives its own seed
+	// deterministically from Seed and its ID.
+	Seed int64
+}
+
+// DefaultConfig returns the serving defaults.
+func DefaultConfig() Config {
+	return Config{Workers: runtime.GOMAXPROCS(0), MaxPending: 64}
+}
+
+// Engine multiplexes concurrent device streams over a worker pool.
+type Engine struct {
+	dev *core.Device
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[uint64]*Session
+	closed   bool
+
+	runq chan *Session
+	wg   sync.WaitGroup
+
+	// streamers pools Reset streaming state across session lifetimes:
+	// a closed session's delay lines, rings and detector state are
+	// recycled into the next Open instead of being reallocated.
+	streamers sync.Pool
+	// chunks pools the copied input buffers.
+	chunks sync.Pool
+}
+
+// Session is one device stream.
+type Session struct {
+	ID   uint64
+	eng  *Engine
+	st   *core.Streamer
+	seed int64
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   []chunk
+	scheduled bool
+	closing   bool
+	done      chan struct{}
+
+	onBeat func(hemo.BeatParams)
+	beats  []hemo.BeatParams // collected when no callback is set
+}
+
+type chunk struct {
+	buf   []float64 // ecg is buf[:n], z is buf[n:]
+	n     int
+	flush bool
+}
+
+// Engine errors.
+var (
+	ErrEngineClosed  = errors.New("session: engine closed")
+	ErrSessionClosed = errors.New("session: session closed")
+	ErrDuplicateID   = errors.New("session: duplicate session id")
+)
+
+// NewEngine starts an engine serving streams of the given device.
+func NewEngine(dev *core.Device, cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 64
+	}
+	e := &Engine{
+		dev:      dev,
+		cfg:      cfg,
+		sessions: make(map[uint64]*Session),
+		// The run queue only ever holds each session once (the scheduled
+		// flag), so any comfortable buffer avoids enqueue stalls.
+		runq: make(chan *Session, 1024),
+	}
+	e.streamers.New = func() any { return dev.NewStreamer(cfg.Stream) }
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// SessionSeed returns the deterministic seed for a session ID
+// (splitmix64 over the engine seed and the ID).
+func (e *Engine) SessionSeed(id uint64) int64 {
+	x := uint64(e.cfg.Seed) ^ (id + 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x >> 1)
+}
+
+// Open creates a session. onBeat, when non-nil, is invoked for every
+// emitted beat from a worker goroutine (one call at a time per session,
+// in order); when nil the beats accumulate for Drain.
+func (e *Engine) Open(id uint64, onBeat func(hemo.BeatParams)) (*Session, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrEngineClosed
+	}
+	if _, dup := e.sessions[id]; dup {
+		return nil, ErrDuplicateID
+	}
+	s := &Session{
+		ID:     id,
+		eng:    e,
+		st:     e.streamers.Get().(*core.Streamer),
+		seed:   e.SessionSeed(id),
+		done:   make(chan struct{}),
+		onBeat: onBeat,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	e.sessions[id] = s
+	return s, nil
+}
+
+// Len returns the number of open sessions.
+func (e *Engine) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.sessions)
+}
+
+// Close flushes and closes every open session, waits for the queue to
+// drain, and stops the workers. The engine cannot be reused.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrEngineClosed
+	}
+	// Mark closed before flushing so a racing Open cannot slip a new,
+	// never-flushed session in behind the snapshot.
+	e.closed = true
+	open := make([]*Session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		open = append(open, s)
+	}
+	e.mu.Unlock()
+	for _, s := range open {
+		if err := s.Close(); err != nil {
+			// A concurrent user Close got there first; wait for its
+			// flush (and any in-flight run-queue send) to finish before
+			// the queue is torn down.
+			<-s.done
+		}
+	}
+	close(e.runq)
+	e.wg.Wait()
+	return nil
+}
+
+// worker drains sessions from the run queue; the scheduled flag
+// guarantees a session is held by at most one worker at a time, so
+// per-session processing is strictly serial and FIFO.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	var batch []chunk
+	for s := range e.runq {
+		batch = s.run(batch[:0])
+		for i := range batch {
+			batch[i] = chunk{}
+		}
+	}
+}
+
+// getBuf checks a combined two-channel buffer out of the pool.
+func (e *Engine) getBuf(n int) []float64 {
+	if v := e.chunks.Get(); v != nil {
+		if buf := v.([]float64); cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// Seed returns the session's deterministic seed (drive simulated
+// subjects, noise, or load shaping from this).
+func (s *Session) Seed() int64 { return s.seed }
+
+// Push copies the chunk (equal-length channels) into pooled buffers and
+// queues it; it blocks only when the session's backlog is full. Beats
+// appear at the session's callback or Drain asynchronously.
+func (s *Session) Push(ecgSamples, zSamples []float64) error {
+	if len(ecgSamples) != len(zSamples) {
+		panic("session: Push requires equal-length channels")
+	}
+	n := len(ecgSamples)
+	buf := s.eng.getBuf(2 * n)
+	copy(buf[:n], ecgSamples)
+	copy(buf[n:], zSamples)
+	return s.enqueue(chunk{buf: buf, n: n})
+}
+
+// Close flushes the stream, recycles the session's streaming state into
+// the engine pool, and removes the session from the engine. It blocks
+// until the final beats have been delivered.
+func (s *Session) Close() error {
+	if err := s.enqueue(chunk{flush: true}); err != nil {
+		return err
+	}
+	<-s.done
+	return nil
+}
+
+// Drain returns the beats collected so far (callback-less sessions) and
+// resets the collection.
+func (s *Session) Drain() []hemo.BeatParams {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.beats
+	s.beats = nil
+	return out
+}
+
+func (s *Session) enqueue(c chunk) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	for len(s.pending) >= s.eng.cfg.MaxPending && !c.flush {
+		s.cond.Wait()
+		if s.closing {
+			s.mu.Unlock()
+			return ErrSessionClosed
+		}
+	}
+	if c.flush {
+		s.closing = true
+	}
+	s.pending = append(s.pending, c)
+	sched := !s.scheduled
+	s.scheduled = true
+	s.mu.Unlock()
+	if sched {
+		s.eng.runq <- s
+	}
+	return nil
+}
+
+// run processes the session's backlog until it is empty, then either
+// reschedules (more arrived meanwhile) or parks. Returns the batch
+// slice for reuse.
+func (s *Session) run(batch []chunk) []chunk {
+	for {
+		s.mu.Lock()
+		if len(s.pending) == 0 {
+			s.scheduled = false
+			s.mu.Unlock()
+			return batch
+		}
+		batch = append(batch[:0], s.pending...)
+		s.pending = s.pending[:0]
+		s.cond.Broadcast()
+		s.mu.Unlock()
+
+		for _, c := range batch {
+			if c.flush {
+				s.deliver(s.st.Flush())
+				s.finish()
+				return batch
+			}
+			s.deliver(s.st.Push(c.buf[:c.n], c.buf[c.n:]))
+			s.eng.chunks.Put(c.buf[:0])
+		}
+	}
+}
+
+// deliver hands beats to the callback or the collection buffer.
+func (s *Session) deliver(beats []hemo.BeatParams) {
+	if len(beats) == 0 {
+		return
+	}
+	if s.onBeat != nil {
+		for _, b := range beats {
+			s.onBeat(b)
+		}
+		return
+	}
+	s.mu.Lock()
+	s.beats = append(s.beats, beats...)
+	s.mu.Unlock()
+}
+
+// finish recycles the streamer and detaches the session.
+func (s *Session) finish() {
+	s.mu.Lock()
+	st := s.st
+	s.st = nil
+	s.mu.Unlock()
+	st.Reset()
+	s.eng.streamers.Put(st)
+	e := s.eng
+	e.mu.Lock()
+	delete(e.sessions, s.ID)
+	e.mu.Unlock()
+	close(s.done)
+}
+
+// Latency reports the session's worst-case beat-reporting latency in
+// seconds (core.Streamer.Latency); 0 after the session closed.
+func (s *Session) Latency() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.st == nil {
+		return 0
+	}
+	return s.st.Latency()
+}
