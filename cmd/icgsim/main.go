@@ -1,7 +1,9 @@
 // Command icgsim generates a synthetic touch-device recording and writes
 // it as CSV: time, the device ECG and impedance channels, the derived ICG,
 // and the ground-truth beat annotations — useful for inspecting waveforms
-// or feeding external tools.
+// or feeding external tools. On stderr it reports the per-beat quality
+// gate's verdict on the recording: the accept rate and the gated versus
+// raw hemodynamic summaries.
 //
 // Usage:
 //
@@ -49,6 +51,21 @@ func main() {
 		log.Fatalf("icgsim: %v", err)
 	}
 	icgTrack := bioimp.ICGFromZ(acq.Z, acq.FS)
+
+	// Per-beat quality report on stderr (the CSV goes to -o/stdout).
+	if out, perr := dev.Process(acq); perr != nil {
+		fmt.Fprintf(os.Stderr, "icgsim: pipeline: %v\n", perr)
+	} else {
+		g := out.Gated
+		fmt.Fprintf(os.Stderr, "quality gate: %d/%d beats accepted (%.0f%%)\n",
+			g.Gated.Beats, g.Raw.Beats, out.AcceptRate*100)
+		fmt.Fprintf(os.Stderr, "  raw  : HR %5.1f bpm  PEP %5.1f ms  LVET %5.1f ms  SV %5.1f mL\n",
+			g.Raw.HR.Mean, g.Raw.PEP.Mean*1000, g.Raw.LVET.Mean*1000, g.Raw.SVKub.Mean)
+		fmt.Fprintf(os.Stderr, "  gated: HR %5.1f bpm  PEP %5.1f ms  LVET %5.1f ms  SV %5.1f mL\n",
+			g.Gated.HR.Mean, g.Gated.PEP.Mean*1000, g.Gated.LVET.Mean*1000, g.Gated.SVKub.Mean)
+		fmt.Fprintf(os.Stderr, "  quality-weighted: HR %5.1f bpm  PEP %5.1f ms  LVET %5.1f ms\n",
+			g.WHR, g.WPEP*1000, g.WLVET*1000)
+	}
 
 	var w io.Writer = os.Stdout
 	if *output != "-" {

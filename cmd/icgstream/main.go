@@ -4,11 +4,15 @@
 // Section V) over a TCP connection standing in for the BLE link; the
 // monitor side decodes and prints them.
 //
+// Every beat carries its per-beat quality-gate verdict; only accepted
+// beats are spent on the radio (rejected beats would waste airtime on
+// artifact numbers), and the run reports the gate's accept rate.
+//
 // With -sessions N > 1 it instead exercises the multi-session serving
 // layer: N concurrent simulated device streams run through one
-// session.Engine on a bounded worker pool, session 0's beats stream
-// over the radio link live, and the run ends with aggregate
-// throughput figures.
+// session.Engine on a bounded worker pool, session 0's accepted beats
+// stream over the radio link live, and the run ends with aggregate
+// throughput figures plus the per-session accept-rate spread.
 //
 // Usage:
 //
@@ -108,16 +112,24 @@ func main() {
 		link.AirtimeS*1000, link.DutyCycle(*duration)*100)
 }
 
-// runSingle is the classic path: acquire, process, transmit.
+// runSingle is the classic path: acquire, process, transmit the beats
+// that passed the quality gate.
 func runSingle(dev *core.Device, sub *physio.Subject, duration float64, link *radio.Link, conn net.Conn) {
 	_, out, err := dev.Run(sub, duration)
 	if err != nil {
 		log.Fatalf("icgstream: %v", err)
 	}
 	seq := byte(0)
+	sent := 0
 	for _, b := range out.Beats {
+		if !b.Accepted {
+			continue
+		}
 		transmit(link, conn, &seq, b)
+		sent++
 	}
+	fmt.Printf("quality gate: %d/%d beats accepted and transmitted (%.0f%%)\n",
+		sent, len(out.Beats), out.AcceptRate*100)
 }
 
 // runFleet multiplexes n simulated streams through the session engine.
@@ -131,8 +143,9 @@ func runFleet(dev *core.Device, n, workers int, duration float64, link *radio.Li
 
 	var radioMu sync.Mutex
 	seq := byte(0)
-	var totalBeats int64
+	var totalBeats, acceptedBeats int64
 	var countMu sync.Mutex
+	rates := make([]float64, 0, n) // per-session accept rates at close
 
 	start := time.Now()
 	var push sync.WaitGroup
@@ -140,8 +153,11 @@ func runFleet(dev *core.Device, n, workers int, duration float64, link *radio.Li
 		s, err := eng.Open(uint64(id), func(b hemo.BeatParams) {
 			countMu.Lock()
 			totalBeats++
+			if b.Accepted {
+				acceptedBeats++
+			}
 			countMu.Unlock()
-			if id == 0 {
+			if id == 0 && b.Accepted {
 				radioMu.Lock()
 				transmit(link, conn, &seq, b)
 				radioMu.Unlock()
@@ -175,6 +191,14 @@ func runFleet(dev *core.Device, n, workers int, duration float64, link *radio.Li
 			}
 			if err := s.Close(); err != nil {
 				log.Printf("icgstream: session %d close: %v", s.ID, err)
+				return
+			}
+			// Final per-session gate tally (stable after Close).
+			acc, emitted := s.AcceptStats()
+			if emitted > 0 {
+				countMu.Lock()
+				rates = append(rates, float64(acc)/float64(emitted))
+				countMu.Unlock()
 			}
 		}(s)
 	}
@@ -187,6 +211,26 @@ func runFleet(dev *core.Device, n, workers int, duration float64, link *radio.Li
 		n, duration, elapsed.Seconds(),
 		float64(n)*duration/elapsed.Seconds(),
 		totalBeats, float64(totalBeats)/elapsed.Seconds())
+	if totalBeats > 0 {
+		lo, hi := 1.0, 0.0
+		sum := 0.0
+		for _, r := range rates {
+			if r < lo {
+				lo = r
+			}
+			if r > hi {
+				hi = r
+			}
+			sum += r
+		}
+		mean := 0.0
+		if len(rates) > 0 {
+			mean = sum / float64(len(rates))
+		}
+		fmt.Printf("fleet gate: %d/%d beats accepted (%.0f%%); per-session accept rate min %.0f%% mean %.0f%% max %.0f%%\n",
+			acceptedBeats, totalBeats, 100*float64(acceptedBeats)/float64(totalBeats),
+			lo*100, mean*100, hi*100)
+	}
 }
 
 func transmit(link *radio.Link, conn net.Conn, seq *byte, b hemo.BeatParams) {

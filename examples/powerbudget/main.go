@@ -42,20 +42,22 @@ func main() {
 		}
 	}
 
-	fmt.Println("\nadaptive PMU decisions:")
+	fmt.Println("\nadaptive PMU decisions (yield + quality-gate accept rate):")
 	pmu := core.DefaultPMU()
 	cases := []struct {
-		batteryPct, yield float64
-		label             string
+		batteryPct, yield, accept float64
+		label                     string
 	}{
-		{90, 0.95, "fresh battery, good contact"},
-		{90, 0.30, "fresh battery, poor contact"},
-		{25, 0.95, "low battery"},
-		{8, 0.95, "critical battery"},
+		{90, 0.95, out.AcceptRate, "fresh battery, this recording"},
+		{90, 0.95, 0.95, "fresh battery, good contact"},
+		{90, 0.30, 0.95, "fresh battery, poor contact (yield)"},
+		{90, 0.95, 0.30, "fresh battery, artifact-ridden (gate)"},
+		{25, 0.95, 0.95, "low battery"},
+		{8, 0.95, 0.95, "critical battery"},
 	}
 	for _, c := range cases {
-		mode := pmu.Decide(c.batteryPct, c.yield)
-		fmt.Printf("  %-32s -> %-12s (%.0f h remaining at this rate)\n",
+		mode := pmu.DecideGated(c.batteryPct, c.yield, c.accept)
+		fmt.Printf("  %-38s -> %-12s (%.0f h remaining at this rate)\n",
 			c.label, mode, core.LifetimeHours(mode, duty)*c.batteryPct/100)
 	}
 }

@@ -24,14 +24,18 @@ func main() {
 		log.Fatalf("quickstart: %v", err)
 	}
 
-	fmt.Printf("subject %s: %d beats analyzed (yield %.0f%%), Z0 = %.1f Ohm\n\n",
-		sub.Name, len(out.Beats), out.Yield*100, out.Z0)
-	fmt.Printf("%6s %8s %9s %10s %9s %9s\n", "t(s)", "HR(bpm)", "PEP(ms)", "LVET(ms)", "SV(mL)", "CO(L/m)")
+	fmt.Printf("subject %s: %d beats analyzed (yield %.0f%%, gate accepted %.0f%%), Z0 = %.1f Ohm\n\n",
+		sub.Name, len(out.Beats), out.Yield*100, out.AcceptRate*100, out.Z0)
+	fmt.Printf("%6s %8s %9s %10s %9s %9s %6s\n", "t(s)", "HR(bpm)", "PEP(ms)", "LVET(ms)", "SV(mL)", "CO(L/m)", "gate")
 	for _, b := range out.Beats {
-		fmt.Printf("%6.2f %8.1f %9.1f %10.1f %9.1f %9.2f\n",
-			b.TimeS, b.HR, b.PEP*1000, b.LVET*1000, b.SVKub, b.CO)
+		mark := "ok"
+		if !b.Accepted {
+			mark = "rej" // per-beat quality gate: excluded from the means
+		}
+		fmt.Printf("%6.2f %8.1f %9.1f %10.1f %9.1f %9.2f %6s\n",
+			b.TimeS, b.HR, b.PEP*1000, b.LVET*1000, b.SVKub, b.CO, mark)
 	}
 	s := out.Summary
-	fmt.Printf("\nmeans: HR %.1f bpm, PEP %.1f ms, LVET %.1f ms, SV %.1f mL, CO %.2f L/min\n",
+	fmt.Printf("\ngated means: HR %.1f bpm, PEP %.1f ms, LVET %.1f ms, SV %.1f mL, CO %.2f L/min\n",
 		s.HR.Mean, s.PEP.Mean*1000, s.LVET.Mean*1000, s.SVKub.Mean, s.COKub.Mean)
 }

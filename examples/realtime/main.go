@@ -38,8 +38,12 @@ func main() {
 	sess, err := eng.Open(1, func(b hemo.BeatParams) {
 		count++
 		beatTimes = append(beatTimes, b.TimeS)
-		fmt.Printf("beat %2d @ %5.2fs  HR %5.1f  PEP %5.1f ms  LVET %5.1f ms\n",
-			count, b.TimeS, b.HR, b.PEP*1000, b.LVET*1000)
+		mark := ""
+		if !b.Accepted {
+			mark = "  [gate: rejected]"
+		}
+		fmt.Printf("beat %2d @ %5.2fs  HR %5.1f  PEP %5.1f ms  LVET %5.1f ms  q %.2f%s\n",
+			count, b.TimeS, b.HR, b.PEP*1000, b.LVET*1000, b.Quality, mark)
 	})
 	if err != nil {
 		log.Fatalf("realtime: %v", err)

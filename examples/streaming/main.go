@@ -52,11 +52,17 @@ func main() {
 			dsp.Mean(hrs), dsp.Mean(peps), dsp.Mean(lvets))
 	}()
 
-	// Device side: frame and send every beat through the lossy link.
+	// Device side: frame and send every gate-accepted beat through the
+	// lossy link (out.Beats carries every analyzable beat flagged by
+	// the per-beat quality gate; rejected beats would waste airtime on
+	// artifact numbers).
 	link := radio.NewLink(radio.DefaultLink(), sub.Seed)
 	seq := byte(0)
 	sent := 0
 	for _, b := range out.Beats {
+		if !b.Accepted {
+			continue
+		}
 		rec := radio.BeatRecord{
 			TimestampMs: uint32(b.TimeS * 1000),
 			Z0:          b.Z0, LVET: b.LVET, PEP: b.PEP, HR: b.HR,

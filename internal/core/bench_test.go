@@ -54,6 +54,22 @@ func BenchmarkStreamHopIncremental(b *testing.B) {
 	benchHops(b, acq, func(e, z []float64) int { return len(st.Push(e, z)) })
 }
 
+// The same hop with per-beat quality gating disabled: the difference
+// against BenchmarkStreamHopIncremental is the gate's per-hop cost
+// (one ring append per sample plus one beat scoring per beat), which
+// BENCHMARKS.md pins within 15% of the ungated PR-2 numbers.
+func BenchmarkStreamHopIncrementalUngated(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.DisableGate = true
+	d, err := NewDevice(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acq := benchAcq(b, d)
+	st := d.NewStreamer(DefaultStreamConfig())
+	benchHops(b, acq, func(e, z []float64) int { return len(st.Push(e, z)) })
+}
+
 func BenchmarkStreamHopWindowed(b *testing.B) {
 	d, err := NewDevice(DefaultConfig())
 	if err != nil {

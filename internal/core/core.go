@@ -21,6 +21,7 @@ import (
 	"repro/internal/hw/mcu"
 	"repro/internal/icg"
 	"repro/internal/physio"
+	"repro/internal/quality"
 )
 
 // Config selects the acquisition and processing options of Fig 3's
@@ -42,6 +43,12 @@ type Config struct {
 	ICGFrontEnd afe.ICGConfig
 	MCU         mcu.STM32L151
 	OutlierK    float64 // MAD multiplier for beat rejection (default 4)
+	// Gate configures the per-beat signal-quality gate both engines
+	// route beats through (zero fields fall back to
+	// quality.DefaultGate(FS)); DisableGate turns gating off, emitting
+	// every analyzable beat as Accepted.
+	Gate        quality.GateConfig
+	DisableGate bool
 }
 
 // DefaultConfig returns the device configuration used throughout the
@@ -71,6 +78,11 @@ type Device struct {
 	cfg   Config
 	touch bioimp.Instrument
 	bank  *filterBank
+	// gate is the per-beat quality gate both engines share (nil when
+	// Config.DisableGate); gateStreams pools its Reset streaming state
+	// for concurrent batch Process calls.
+	gate        *quality.BeatGate
+	gateStreams sync.Pool
 
 	// banks memoizes filter banks designed for acquisitions sampled at
 	// a different rate than the device configuration, keyed by fs; the
@@ -186,11 +198,32 @@ func NewDevice(cfg Config) (*Device, error) {
 	}
 	d := &Device{cfg: cfg, touch: bioimp.TouchInstrument()}
 	d.arenas.New = func() any { return new(dsp.Arena) }
+	if !cfg.DisableGate {
+		gcfg := cfg.Gate
+		gcfg.FS = cfg.FS
+		d.gate = quality.NewBeatGate(gcfg)
+		d.cfg.Gate = d.gate.Config()
+		d.gateStreams.New = func() any { return d.gate.NewStream() }
+	}
 	var err error
 	if d.bank, err = designBank(cfg, cfg.FS); err != nil {
 		return nil, err
 	}
 	return d, nil
+}
+
+// Gate returns the device's per-beat quality gate (nil when disabled).
+func (d *Device) Gate() *quality.BeatGate { return d.gate }
+
+// getGateStream checks a reset gate stream out of the device pool; it
+// returns nil when gating is disabled.
+func (d *Device) getGateStream() *quality.GateStream {
+	if d.gate == nil {
+		return nil
+	}
+	gs := d.gateStreams.Get().(*quality.GateStream)
+	gs.Reset()
+	return gs
 }
 
 // Config returns the resolved configuration.
@@ -256,14 +289,33 @@ func (d *Device) AcquireReference(sub *physio.Subject, duration float64) (*Acqui
 	return &Acquisition{FS: d.cfg.FS, ECG: ecgQ, Z: zQ, Meas: meas, Rec: rec}, nil
 }
 
-// Output is the result of processing one acquisition.
+// Output is the result of processing one acquisition. Beats carries
+// every analyzable beat with its Quality score and the gate's Accepted
+// flag; Summary (and Gated.Gated) aggregate only the accepted beats.
+// Accepted is the per-beat signal-quality decision alone: the residual
+// k-MAD STI screen inside SummarizeGated narrows the Summary but never
+// clears Accepted, because a series-level screen cannot be applied
+// beat-by-beat and the batch and streaming flags must agree. Consumers
+// filtering on Accepted (radio transmission) therefore match the
+// streaming engine's behavior, not the pre-gate RejectOutliers batch
+// behavior.
 type Output struct {
-	RPeaks   []int
-	TPeaks   []int
-	Beats    []hemo.BeatParams
-	Summary  hemo.Summary
-	Yield    float64 // fraction of RR segments successfully analyzed
-	Z0       float64 // mean measured base impedance (Ohm)
+	RPeaks []int
+	TPeaks []int
+	Beats  []hemo.BeatParams
+	// Summary aggregates the accepted beats (with the residual k-MAD
+	// STI screen); Gated pairs it with the ungated Raw view and the
+	// quality-weighted means.
+	Summary hemo.Summary
+	Gated   hemo.GatedSummary
+	// AcceptRate is the gate's acceptance over every delineated beat —
+	// failed delineations count as rejected, exactly like
+	// Streamer.AcceptRate, so both engines feed PMU.DecideGated the
+	// same number (1 when gating is disabled). Gated.AcceptRate is the
+	// narrower emitted-beat measure (accepted / analyzable).
+	AcceptRate float64
+	Yield      float64 // fraction of RR segments successfully analyzed
+	Z0         float64 // mean measured base impedance (Ohm)
 	Cost     *mcu.Counter
 	CondECG  []float64 // conditioned ECG (after the Section IV-A chain)
 	ICGTrack []float64 // filtered ICG (-dZ/dt after 20 Hz low-pass)

@@ -104,6 +104,24 @@ func (c *costEstimator) pointDetect(beats, avgBeatLen int) {
 	c.counter.Add("icg-points", mcu.OpBranch, b*2*m)
 }
 
+// gate prices the per-beat quality gate: the running-extreme scan is
+// one compare per raw sample (amortized here per beat at the mean RR),
+// plus the segment resample-and-correlate against the 64-point ensemble
+// template, the saturation count and the second-difference noise scan.
+func (c *costEstimator) gate(beats int) {
+	if beats <= 0 {
+		return
+	}
+	b := int64(beats)
+	seg := int64(c.cfg.FS) // ~one RR interval of samples per beat
+	tmpl := int64(64)
+	c.counter.Add("quality-gate", mcu.OpFloatCmp, b*(3*seg+tmpl))
+	c.counter.Add("quality-gate", mcu.OpFloatAdd, b*(3*seg+6*tmpl))
+	c.counter.Add("quality-gate", mcu.OpFloatMul, b*(2*seg+5*tmpl))
+	c.counter.Add("quality-gate", mcu.OpMemory, b*(4*seg+4*tmpl))
+	c.counter.Add("quality-gate", mcu.OpBranch, b*seg)
+}
+
 // hemo prices the parameter computation (a handful of float ops per beat).
 func (c *costEstimator) hemo(beats int) {
 	b := int64(beats)

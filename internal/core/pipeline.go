@@ -6,6 +6,7 @@ import (
 	"repro/internal/ecg"
 	"repro/internal/hemo"
 	"repro/internal/icg"
+	"repro/internal/quality"
 )
 
 // Process runs the embedded pipeline of Fig 3 on an acquisition:
@@ -85,6 +86,22 @@ func (d *Device) Process(acq *Acquisition) (*Output, error) {
 	}
 	cost.pointDetect(len(beats), avgBeat)
 
+	// --- Per-beat quality gating: the raw impedance channel and the
+	// delineated beats run through the device gate in beat order — the
+	// same gate chain the incremental Streamer drives, so batch and
+	// streaming acceptance decisions share one definition.
+	var sqis []quality.BeatSQI
+	acceptRate := 1.0
+	if gs := d.getGateStream(); gs != nil {
+		sqis = gs.Apply(make([]quality.BeatSQI, 0, len(beats)), acq.Z, beats, ptRes.RPeaks)
+		// Same definition as Streamer.AcceptRate: failed delineations
+		// count as rejected, so both engines feed PMU.DecideGated the
+		// same number for the same data.
+		acceptRate = gs.AcceptRate()
+		cost.gate(len(beats))
+		d.gateStreams.Put(gs)
+	}
+
 	// --- Hemodynamic parameters. Touch-path acquisitions apply the
 	// hand-to-hand -> thoracic calibration before the volume formulas.
 	z0 := dsp.Mean(acq.Z)
@@ -92,22 +109,24 @@ func (d *Device) Process(acq *Acquisition) (*Output, error) {
 	if acq.Meas == nil || acq.Meas.Path == bioimp.PathHandToHand {
 		cal = hemo.TouchCal()
 	}
-	params, err := hemo.Series(beats, ptRes.RPeaks, z0, fs, d.cfg.Body, cal)
+	params, err := hemo.SeriesWith(nil, beats, sqis, ptRes.RPeaks, z0, fs, d.cfg.Body, cal)
 	if err != nil {
 		return nil, err
 	}
-	params = hemo.RejectOutliers(params, d.cfg.OutlierK)
+	gated := hemo.SummarizeGated(params, d.cfg.OutlierK)
 	cost.hemo(len(params))
-	cost.radio(len(params))
+	cost.radio(gated.Gated.Beats)
 
 	out := &Output{
-		RPeaks:  ptRes.RPeaks,
-		TPeaks:  tPeaks,
-		Beats:   params,
-		Summary: hemo.Summarize(params),
-		Yield:   icg.YieldRate(beats),
-		Z0:      z0,
-		Cost:    cost.counter,
+		RPeaks:     ptRes.RPeaks,
+		TPeaks:     tPeaks,
+		Beats:      params,
+		Summary:    gated.Gated,
+		Gated:      gated,
+		AcceptRate: acceptRate,
+		Yield:      icg.YieldRate(beats),
+		Z0:         z0,
+		Cost:       cost.counter,
 		// The conditioned traces are arena-owned; the Output keeps copies.
 		CondECG:  dsp.Clone(condECG),
 		ICGTrack: dsp.Clone(icgF),

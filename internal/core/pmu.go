@@ -49,22 +49,37 @@ type PMU struct {
 	// process full waveforms is wasted energy (bad contact); the PMU
 	// drops to ModeEco until contact improves.
 	MinYield float64
+	// MinAcceptRate is the quality-gate acceptance rate (internal/
+	// quality, Output.AcceptRate / Streamer.AcceptRate) below which the
+	// PMU treats the contact as unusable: beats are being delineated
+	// but their signal quality is too poor to trust, so full per-beat
+	// processing and radio are wasted energy.
+	MinAcceptRate float64
 }
 
 // DefaultPMU returns the policy used by the examples.
 func DefaultPMU() PMU {
-	return PMU{EcoBelowPct: 30, SpotBelowPct: 10, MinYield: 0.5}
+	return PMU{EcoBelowPct: 30, SpotBelowPct: 10, MinYield: 0.5, MinAcceptRate: 0.5}
 }
 
 // Decide returns the operating mode for the given battery percentage
 // (0-100) and recent beat-analysis yield (0-1).
 func (p PMU) Decide(batteryPct, yield float64) PowerMode {
+	return p.DecideGated(batteryPct, yield, 1)
+}
+
+// DecideGated is Decide additionally fed the per-beat quality gate's
+// acceptance rate (0-1): a session whose beats delineate fine but fail
+// the signal-quality gate drops to ModeEco just like a low-yield one.
+func (p PMU) DecideGated(batteryPct, yield, acceptRate float64) PowerMode {
 	switch {
 	case batteryPct <= p.SpotBelowPct:
 		return ModeSpotCheck
 	case batteryPct <= p.EcoBelowPct:
 		return ModeEco
 	case yield < p.MinYield:
+		return ModeEco
+	case p.MinAcceptRate > 0 && acceptRate < p.MinAcceptRate:
 		return ModeEco
 	default:
 		return ModeContinuous

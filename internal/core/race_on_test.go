@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; its write barriers and shadow state add heap allocations, so
+// the allocation-budget tests skip themselves under -race.
+const raceEnabled = true

@@ -5,6 +5,7 @@ import (
 	"repro/internal/ecg"
 	"repro/internal/hemo"
 	"repro/internal/icg"
+	"repro/internal/quality"
 )
 
 // Streamer processes the two channels incrementally, the way streaming
@@ -33,6 +34,10 @@ type Streamer struct {
 	icgStream *ChainStream // -dZ/dt + Butterworth conditioning
 	pt        *ecg.PTStream
 	delin     *icg.Delineator
+	// gate is the per-beat quality gate state (nil when gating is
+	// disabled): the same quality.BeatGate the batch Process applies,
+	// in streaming form, scoring each beat as its delineation completes.
+	gate *quality.GateStream
 
 	// Per-push scratch, reused across pushes.
 	condBuf, icgBuf []float64
@@ -132,6 +137,10 @@ func (d *Device) NewStreamer(sc StreamConfig) *Streamer {
 		icgStream = Chain{icgDerivStage{fs: fs}}.NewStream()
 		delin = icg.NewDelineator(dCfg, bank.icgLP, bank.icgHP, 0, icgCtxSeconds, sc.WindowSeconds)
 	}
+	var gate *quality.GateStream
+	if d.gate != nil {
+		gate = d.gate.NewStream()
+	}
 	return &Streamer{
 		dev:       d,
 		fs:        fs,
@@ -139,6 +148,7 @@ func (d *Device) NewStreamer(sc StreamConfig) *Streamer {
 		icgStream: icgStream,
 		pt:        pt,
 		delin:     delin,
+		gate:      gate,
 		zPrefix:   dsp.NewRing(int(8 * fs)),
 		body:      d.cfg.Body,
 		cal:       cal,
@@ -162,6 +172,9 @@ func (s *Streamer) Push(ecgSamples, zSamples []float64) []hemo.BeatParams {
 	for _, v := range zSamples {
 		s.zSum += v
 		s.zPrefix.Push(s.zSum)
+	}
+	if s.gate != nil {
+		s.gate.Push(zSamples)
 	}
 	s.condBuf = s.ecgStream.Push(s.condBuf[:0], ecgSamples)
 	s.icgBuf = s.icgStream.Push(s.icgBuf[:0], zSamples)
@@ -193,20 +206,31 @@ func (s *Streamer) Flush() []hemo.BeatParams {
 	return s.emit(s.beatsBuf)
 }
 
-// emit converts completed beat analyses into hemodynamic parameters.
-// Beat k corresponds to the R pair (rHist[beatIdx], rHist[beatIdx+1]);
-// failed beats consume their pair without emitting, exactly once.
+// emit converts completed beat analyses into hemodynamic parameters,
+// each scored by the quality gate as it completes. Beat k corresponds
+// to the R pair (rHist[beatIdx], rHist[beatIdx+1]); failed beats
+// consume their pair without emitting, exactly once (the gate counts
+// them against the acceptance rate).
 func (s *Streamer) emit(beats []icg.BeatAnalysis) []hemo.BeatParams {
 	var out []hemo.BeatParams
-	for _, b := range beats {
-		rHi := s.rHist[s.beatIdx+1]
+	for i := range beats {
+		b := &beats[i]
+		rLo, rHi := s.rHist[s.beatIdx], s.rHist[s.beatIdx+1]
 		s.beatIdx++
 		if b.Err != nil || b.Points == nil {
+			if s.gate != nil {
+				s.gate.PushFailed()
+			}
 			continue
 		}
 		// Causal base impedance: session mean up to the closing R.
 		z0 := s.zPrefix.At(rHi-1) / float64(rHi)
 		bp := hemo.FromPoints(b.Points, rHi, z0, s.fs, s.body, s.cal)
+		if s.gate != nil {
+			sqi := s.gate.PushBeat(rLo, rHi, b)
+			bp.Quality = sqi.Score
+			bp.Accepted = sqi.Accepted
+		}
 		out = append(out, bp)
 	}
 	// Compact the consumed R history so a long session stays O(1).
@@ -236,6 +260,26 @@ func (s *Streamer) Latency() float64 {
 	return float64(n) / s.fs
 }
 
+// AcceptRate returns the quality gate's acceptance rate over the beats
+// processed so far — failed delineations count as rejected — or 1 when
+// gating is disabled. Feed it to PMU.DecideGated: sustained low
+// acceptance means bad contact is wasting processing energy.
+func (s *Streamer) AcceptRate() float64 {
+	if s.gate == nil {
+		return 1
+	}
+	return s.gate.AcceptRate()
+}
+
+// AcceptCounts returns how many beats the gate accepted out of all it
+// saw (0, 0 when gating is disabled).
+func (s *Streamer) AcceptCounts() (accepted, total int) {
+	if s.gate == nil {
+		return 0, 0
+	}
+	return s.gate.Counts()
+}
+
 // Reset returns the streamer to its initial state, keeping every buffer
 // and filter allocation, so pooled engines can reuse it across sessions.
 func (s *Streamer) Reset() {
@@ -243,6 +287,9 @@ func (s *Streamer) Reset() {
 	s.icgStream.Reset()
 	s.pt.Reset()
 	s.delin.Reset()
+	if s.gate != nil {
+		s.gate.Reset()
+	}
 	s.rHist = s.rHist[:0]
 	s.beatIdx = 0
 	s.zPrefix.Reset()

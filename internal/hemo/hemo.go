@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dsp"
 	"repro/internal/icg"
+	"repro/internal/quality"
 )
 
 // BodyConstants carries the anthropometric constants of the stroke-volume
@@ -106,6 +107,12 @@ type BeatParams struct {
 	SVSram     float64 // stroke volume, Sramek-Bernstein (mL)
 	CO         float64 // cardiac output, Kubicek (L/min)
 	TFC        float64 // thoracic fluid content (1/kOhm)
+	// Quality is the composite per-beat signal-quality score in [0,1]
+	// (quality.BeatSQI.Score) and Accepted the gate's decision; ungated
+	// paths emit Quality 1 / Accepted true so the zero-configuration
+	// behavior is accept-all.
+	Quality  float64
+	Accepted bool
 }
 
 // ErrNoBeats is returned when no analyzable beats are available.
@@ -144,12 +151,36 @@ func FromPoints(p *icg.BeatPoints, rNext int, z0, fs float64, body BodyConstants
 		SVSram:     svS,
 		CO:         svK * hr / 1000,
 		TFC:        TFC(z0Th),
+		Quality:    1,
+		Accepted:   true,
 	}
 }
 
 // Series converts a beat sequence into parameters, skipping failed beats.
 func Series(beats []icg.BeatAnalysis, rPeaks []int, z0, fs float64, body BodyConstants, cal Calibration) ([]BeatParams, error) {
-	var out []BeatParams
+	return SeriesWith(nil, beats, nil, rPeaks, z0, fs, body, cal)
+}
+
+// SeriesWith is Series writing into dst (a caller buffer reused across
+// calls; nil allocates exactly once at the analyzable-beat count). sqis,
+// when non-nil, must be aligned with beats (quality.BeatGate.Apply
+// order) and stamps each emitted beat's Quality and Accepted fields;
+// when nil every beat is emitted as Quality 1 / Accepted true.
+func SeriesWith(dst []BeatParams, beats []icg.BeatAnalysis, sqis []quality.BeatSQI, rPeaks []int, z0, fs float64, body BodyConstants, cal Calibration) ([]BeatParams, error) {
+	n := 0
+	for i, b := range beats {
+		if b.Err == nil && b.Points != nil && i+1 < len(rPeaks) {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, ErrNoBeats
+	}
+	if cap(dst) < n {
+		dst = make([]BeatParams, 0, n)
+	} else {
+		dst = dst[:0]
+	}
 	for i, b := range beats {
 		if b.Err != nil || b.Points == nil {
 			continue
@@ -157,12 +188,14 @@ func Series(beats []icg.BeatAnalysis, rPeaks []int, z0, fs float64, body BodyCon
 		if i+1 >= len(rPeaks) {
 			break
 		}
-		out = append(out, FromPoints(b.Points, rPeaks[i+1], z0, fs, body, cal))
+		bp := FromPoints(b.Points, rPeaks[i+1], z0, fs, body, cal)
+		if sqis != nil && i < len(sqis) {
+			bp.Quality = sqis[i].Score
+			bp.Accepted = sqis[i].Accepted
+		}
+		dst = append(dst, bp)
 	}
-	if len(out) == 0 {
-		return nil, ErrNoBeats
-	}
-	return out, nil
+	return dst, nil
 }
 
 // Field extracts one named series from beat parameters.
@@ -228,16 +261,164 @@ func Summarize(params []BeatParams) Summary {
 	if len(params) == 0 {
 		return Summary{}
 	}
-	return Summary{
-		Beats:    len(params),
-		HR:       dsp.Summarize(Field(params, func(p BeatParams) float64 { return p.HR })),
-		PEP:      dsp.Summarize(Field(params, func(p BeatParams) float64 { return p.PEP })),
-		LVET:     dsp.Summarize(Field(params, func(p BeatParams) float64 { return p.LVET })),
-		Z0:       dsp.Mean(Field(params, func(p BeatParams) float64 { return p.Z0 })),
-		SVKub:    dsp.Summarize(Field(params, func(p BeatParams) float64 { return p.SVKub })),
-		COKub:    dsp.Summarize(Field(params, func(p BeatParams) float64 { return p.CO })),
-		MeanTFC:  dsp.Mean(Field(params, func(p BeatParams) float64 { return p.TFC })),
-		MeanSTR:  dsp.Mean(Field(params, func(p BeatParams) float64 { return p.STR })),
-		DZdtMean: dsp.Mean(Field(params, func(p BeatParams) float64 { return p.DZdtMax })),
+	return summarizeWhere(make([]float64, 0, len(params)), params,
+		func(BeatParams) bool { return true })
+}
+
+// WeightedMean returns the quality-weighted mean of one field over the
+// accepted beats — the beat-parameter analogue of ensemble averaging,
+// where cleaner beats count for more. It falls back to the unweighted
+// accepted mean when all weights are zero, and 0 with no accepted beats.
+func WeightedMean(params []BeatParams, get func(BeatParams) float64) float64 {
+	var ws, s, us float64
+	n := 0
+	for _, p := range params {
+		if !p.Accepted {
+			continue
+		}
+		v := get(p)
+		ws += p.Quality
+		s += p.Quality * v
+		us += v
+		n++
 	}
+	if ws > 0 {
+		return s / ws
+	}
+	if n > 0 {
+		return us / float64(n)
+	}
+	return 0
+}
+
+// GatedSummary pairs the raw and the quality-gated views of a beat
+// series: Raw aggregates every analyzable beat, Gated only the beats
+// the per-beat quality gate accepted (additionally MAD-screened, see
+// SummarizeGated), and the W* fields are quality-weighted means over
+// the accepted beats.
+type GatedSummary struct {
+	Raw        Summary
+	Gated      Summary
+	AcceptRate float64 // accepted / analyzable
+	// Quality-weighted means over the accepted beats.
+	WHR, WPEP, WLVET, WSVKub float64
+}
+
+// SummarizeGated aggregates a flagged beat series: the Raw summary over
+// every beat, and the Gated summary over the accepted beats with a
+// final k-MAD screen on PEP and LVET (k <= 0 disables it). This
+// replaces the blunt MAD-only RejectOutliers path for gated pipelines:
+// the gate removes signal-quality failures with per-beat evidence, and
+// the MAD screen only sweeps up the residual delineation flukes among
+// accepted beats. The whole aggregation reuses one scratch buffer, so
+// it allocates O(1) regardless of the field count.
+func SummarizeGated(params []BeatParams, k float64) GatedSummary {
+	if len(params) == 0 {
+		return GatedSummary{}
+	}
+	scratch := make([]float64, 0, len(params))
+	all := func(BeatParams) bool { return true }
+	acc := func(p BeatParams) bool { return p.Accepted }
+
+	// The final MAD screen over the accepted beats' STIs.
+	keep := acc
+	if k > 0 {
+		mp, dp := fieldMedianMAD(scratch, params, acc, func(p BeatParams) float64 { return p.PEP })
+		ml, dl := fieldMedianMAD(scratch, params, acc, func(p BeatParams) float64 { return p.LVET })
+		keep = func(p BeatParams) bool {
+			if !p.Accepted {
+				return false
+			}
+			if dp > 0 && math.Abs(p.PEP-mp) > k*dp {
+				return false
+			}
+			if dl > 0 && math.Abs(p.LVET-ml) > k*dl {
+				return false
+			}
+			return true
+		}
+		// A gate+screen combination that rejects everything degrades to
+		// the plain accepted set (mirrors RejectOutliers' fallback).
+		n := 0
+		for _, p := range params {
+			if keep(p) {
+				n++
+			}
+		}
+		if n == 0 {
+			keep = acc
+		}
+	}
+
+	g := GatedSummary{
+		Raw:    summarizeWhere(scratch, params, all),
+		Gated:  summarizeWhere(scratch, params, keep),
+		WHR:    WeightedMean(params, func(p BeatParams) float64 { return p.HR }),
+		WPEP:   WeightedMean(params, func(p BeatParams) float64 { return p.PEP }),
+		WLVET:  WeightedMean(params, func(p BeatParams) float64 { return p.LVET }),
+		WSVKub: WeightedMean(params, func(p BeatParams) float64 { return p.SVKub }),
+	}
+	nAcc := 0
+	for _, p := range params {
+		if p.Accepted {
+			nAcc++
+		}
+	}
+	g.AcceptRate = float64(nAcc) / float64(len(params))
+	return g
+}
+
+// summarizeWhere computes the Summary over the beats passing pred,
+// gathering each field into the shared scratch buffer.
+func summarizeWhere(scratch []float64, params []BeatParams, pred func(BeatParams) bool) Summary {
+	gather := func(get func(BeatParams) float64) []float64 {
+		scratch = scratch[:0]
+		for _, p := range params {
+			if pred(p) {
+				scratch = append(scratch, get(p))
+			}
+		}
+		return scratch
+	}
+	stat := func(get func(BeatParams) float64) dsp.Summary {
+		x := gather(get)
+		s := dsp.Summary{N: len(x), Mean: dsp.Mean(x), Std: dsp.Std(x)}
+		s.Min, s.Max = dsp.MinMax(x)
+		s.Median = dsp.MedianInPlace(x)
+		return s
+	}
+	var out Summary
+	out.HR = stat(func(p BeatParams) float64 { return p.HR })
+	out.Beats = out.HR.N
+	if out.Beats == 0 {
+		return Summary{}
+	}
+	out.PEP = stat(func(p BeatParams) float64 { return p.PEP })
+	out.LVET = stat(func(p BeatParams) float64 { return p.LVET })
+	out.SVKub = stat(func(p BeatParams) float64 { return p.SVKub })
+	out.COKub = stat(func(p BeatParams) float64 { return p.CO })
+	out.Z0 = dsp.Mean(gather(func(p BeatParams) float64 { return p.Z0 }))
+	out.MeanTFC = dsp.Mean(gather(func(p BeatParams) float64 { return p.TFC }))
+	out.MeanSTR = dsp.Mean(gather(func(p BeatParams) float64 { return p.STR }))
+	out.DZdtMean = dsp.Mean(gather(func(p BeatParams) float64 { return p.DZdtMax }))
+	return out
+}
+
+// fieldMedianMAD computes median and MAD of one field over the beats
+// passing pred, using the shared scratch buffer.
+func fieldMedianMAD(scratch []float64, params []BeatParams, pred func(BeatParams) bool, get func(BeatParams) float64) (median, mad float64) {
+	x := scratch[:0]
+	for _, p := range params {
+		if pred(p) {
+			x = append(x, get(p))
+		}
+	}
+	if len(x) == 0 {
+		return 0, 0
+	}
+	median = dsp.MedianInPlace(x)
+	for i, v := range x {
+		x[i] = math.Abs(v - median)
+	}
+	return median, dsp.MedianInPlace(x)
 }

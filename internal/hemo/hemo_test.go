@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/icg"
+	"repro/internal/quality"
 )
 
 func TestKubicekSVKnownValue(t *testing.T) {
@@ -203,5 +204,116 @@ func TestAssessFluidTrend(t *testing.T) {
 	}
 	if tr := AssessFluidTrend(nil, 0.3, 5); tr.Alert {
 		t.Error("empty series")
+	}
+}
+
+func TestSeriesWithCallerBufferAndSQIs(t *testing.T) {
+	fs := 250.0
+	beats := []icg.BeatAnalysis{
+		{Points: &icg.BeatPoints{R: 0, B: 20, C: 40, X: 90, CAmp: 1.2}},
+		{Err: icg.ErrNoCPoint},
+		{Points: &icg.BeatPoints{R: 500, B: 522, C: 545, X: 595, CAmp: 1.3}},
+	}
+	rPeaks := []int{0, 250, 500, 750}
+	sqis := []quality.BeatSQI{
+		{Score: 0.9, Accepted: true},
+		{}, // failed beat slot
+		{Score: 0.2, Accepted: false},
+	}
+	buf := make([]BeatParams, 0, 8)
+	params, err := SeriesWith(buf, beats, sqis, rPeaks, 30, fs, DefaultBody(), IdentityCal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(params) != 2 {
+		t.Fatalf("params = %d, want 2", len(params))
+	}
+	if &params[0] != &buf[:1][0] {
+		t.Error("SeriesWith did not reuse the caller buffer")
+	}
+	if params[0].Quality != 0.9 || !params[0].Accepted {
+		t.Errorf("beat 0 flags: %+v", params[0])
+	}
+	if params[1].Quality != 0.2 || params[1].Accepted {
+		t.Errorf("beat 1 flags: %+v", params[1])
+	}
+	// nil sqis = accept-all defaults.
+	params, err = SeriesWith(nil, beats, nil, rPeaks, 30, fs, DefaultBody(), IdentityCal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range params {
+		if !p.Accepted || p.Quality != 1 {
+			t.Fatalf("ungated defaults wrong: %+v", p)
+		}
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	params := []BeatParams{
+		{HR: 60, Quality: 1, Accepted: true},
+		{HR: 90, Quality: 0.5, Accepted: true},
+		{HR: 300, Quality: 1, Accepted: false}, // rejected: ignored
+	}
+	got := WeightedMean(params, func(p BeatParams) float64 { return p.HR })
+	want := (60*1 + 90*0.5) / 1.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("weighted mean = %g, want %g", got, want)
+	}
+	// Zero weights fall back to the unweighted accepted mean.
+	zw := []BeatParams{{HR: 50, Accepted: true}, {HR: 70, Accepted: true}}
+	if got := WeightedMean(zw, func(p BeatParams) float64 { return p.HR }); math.Abs(got-60) > 1e-12 {
+		t.Errorf("zero-weight fallback = %g", got)
+	}
+	if WeightedMean(nil, func(p BeatParams) float64 { return p.HR }) != 0 {
+		t.Error("empty weighted mean")
+	}
+}
+
+func TestSummarizeGated(t *testing.T) {
+	mk := func(hr, pep, lvet, q float64, acc bool) BeatParams {
+		return BeatParams{HR: hr, PEP: pep, LVET: lvet, Quality: q, Accepted: acc}
+	}
+	params := []BeatParams{
+		mk(60, 0.100, 0.300, 0.9, true),
+		mk(61, 0.101, 0.302, 0.9, true),
+		mk(62, 0.099, 0.298, 0.8, true),
+		mk(60, 0.102, 0.301, 0.9, true),
+		mk(61, 0.098, 0.299, 0.9, true),
+		mk(200, 0.020, 0.100, 0.1, false), // gate-rejected garbage
+		mk(61, 0.400, 0.300, 0.9, true),   // accepted but a PEP outlier: MAD screen catches it
+	}
+	g := SummarizeGated(params, 4)
+	if g.Raw.Beats != 7 {
+		t.Errorf("raw beats = %d", g.Raw.Beats)
+	}
+	if g.Gated.Beats != 5 {
+		t.Errorf("gated beats = %d, want 5 (gate + MAD)", g.Gated.Beats)
+	}
+	if math.Abs(g.AcceptRate-6.0/7) > 1e-12 {
+		t.Errorf("accept rate = %g", g.AcceptRate)
+	}
+	if g.Gated.PEP.Max > 0.2 {
+		t.Errorf("MAD screen missed the PEP outlier: max %g", g.Gated.PEP.Max)
+	}
+	if g.Raw.HR.Max < 200 {
+		t.Error("raw summary should include the garbage beat")
+	}
+	if g.WHR < 60 || g.WHR > 62 {
+		t.Errorf("weighted HR = %g", g.WHR)
+	}
+	// k <= 0 disables the MAD screen: all accepted beats survive.
+	g = SummarizeGated(params, 0)
+	if g.Gated.Beats != 6 {
+		t.Errorf("screen-disabled gated beats = %d, want 6", g.Gated.Beats)
+	}
+	if SummarizeGated(nil, 4).Raw.Beats != 0 {
+		t.Error("empty gated summary")
+	}
+	// All-rejected degrades to an empty gated view, not a panic.
+	allRej := []BeatParams{mk(60, 0.1, 0.3, 0, false), mk(61, 0.1, 0.3, 0, false)}
+	g = SummarizeGated(allRej, 4)
+	if g.Gated.Beats != 0 || g.AcceptRate != 0 {
+		t.Errorf("all-rejected: %+v", g.Gated)
 	}
 }

@@ -1,0 +1,62 @@
+package icg
+
+import "repro/internal/dsp"
+
+// MorphScore grades the physiological plausibility of a delineated beat
+// in [0,1]: the systolic time intervals implied by the detected points
+// must land in (generous) physiological windows and the C point must
+// stand out of the beat's amplitude range. It is computed by both the
+// batch detector (DetectAllWith) and the streaming Delineator on the
+// conditioned segment, so the two engines grade beats identically, and
+// feeds the per-beat quality gate (internal/quality) as the
+// morphology component of the composite score.
+//
+// x is the conditioned ICG signal the points index into and rHi the
+// beat's closing R peak on the same clock.
+func MorphScore(x []float64, pts *BeatPoints, rHi int, fs float64) float64 {
+	if pts == nil {
+		return 0
+	}
+	if fs <= 0 {
+		fs = 250 // the same fallback rate as DetectBeatInto
+	}
+	pep := float64(pts.B-pts.R) / fs
+	lvet := float64(pts.X-pts.B) / fs
+	s := trapezoid(pep, 0.01, 0.04, 0.20, 0.30) *
+		trapezoid(lvet, 0.06, 0.12, 0.50, 0.65)
+	if s == 0 {
+		return 0
+	}
+	lo := pts.R
+	hi := rHi
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(x) {
+		hi = len(x)
+	}
+	if hi-lo < 2 {
+		return 0
+	}
+	segLo, segHi := dsp.MinMax(x[lo:hi])
+	span := segHi - segLo
+	if span <= 0 || pts.CAmp <= 0 {
+		return 0
+	}
+	return s * dsp.Clamp(pts.CAmp/(0.25*span), 0, 1)
+}
+
+// trapezoid maps v onto [0,1]: 0 outside [z0, z1], 1 inside [f0, f1],
+// linear in between.
+func trapezoid(v, z0, f0, f1, z1 float64) float64 {
+	switch {
+	case v <= z0 || v >= z1:
+		return 0
+	case v >= f0 && v <= f1:
+		return 1
+	case v < f0:
+		return (v - z0) / (f0 - z0)
+	default:
+		return (z1 - v) / (z1 - f1)
+	}
+}

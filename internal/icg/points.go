@@ -100,12 +100,23 @@ func DetectBeat(icg []float64, rLo, rHi, tPeak int, cfg DetectConfig) (*BeatPoin
 // arena is not reset here — callers sharing one arena across a beat
 // loop converge to the loop's peak footprint after the first pass.
 func DetectBeatWith(a *dsp.Arena, icg []float64, rLo, rHi, tPeak int, cfg DetectConfig) (*BeatPoints, error) {
+	bp := new(BeatPoints)
+	if err := DetectBeatInto(bp, a, icg, rLo, rHi, tPeak, cfg); err != nil {
+		return nil, err
+	}
+	return bp, nil
+}
+
+// DetectBeatInto is DetectBeatWith writing the result into a
+// caller-provided BeatPoints (e.g. one slot of a block allocated for a
+// whole recording); bp is only valid when the returned error is nil.
+func DetectBeatInto(bp *BeatPoints, a *dsp.Arena, icg []float64, rLo, rHi, tPeak int, cfg DetectConfig) error {
 	fs := cfg.FS
 	if fs <= 0 {
 		fs = 250
 	}
 	if rLo < 0 || rHi > len(icg) || rHi-rLo < int(0.3*fs) {
-		return nil, ErrBeatTooShort
+		return ErrBeatTooShort
 	}
 	seg := arenaF64(a, rHi-rLo)
 	copy(seg, icg[rLo:rHi])
@@ -146,11 +157,11 @@ func DetectBeatWith(a *dsp.Arena, icg []float64, rLo, rHi, tPeak int, cfg Detect
 	}
 	c := dsp.ArgMax(seg, cLo, cHi)
 	if c < 0 || seg[c] <= 0 {
-		return nil, ErrNoCPoint
+		return ErrNoCPoint
 	}
 	cAmp := seg[c]
 
-	bp := &BeatPoints{R: rLo, C: rLo + c, CAmp: cAmp}
+	*bp = BeatPoints{R: rLo, C: rLo + c, CAmp: cAmp}
 
 	// Physiological X-search window: the aortic valve closes within
 	// ~0.06-0.32 s after the dZ/dt maximum (LVET is 0.18-0.42 s and C
@@ -168,7 +179,7 @@ func DetectBeatWith(a *dsp.Arena, icg []float64, rLo, rHi, tPeak int, cfg Detect
 	// --- B point.
 	b, b0, pattern, err := detectB(a, seg, d1, d2, d3, c, cAmp, fs, cfg.BRule)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	bp.B = rLo + b
 	bp.B0 = float64(rLo) + b0
@@ -211,7 +222,7 @@ func DetectBeatWith(a *dsp.Arena, icg []float64, rLo, rHi, tPeak int, cfg Detect
 	}
 	bp.X = rLo + x
 
-	return bp, nil
+	return nil
 }
 
 // detectB implements the three B rules. It returns the B index within the

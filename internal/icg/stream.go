@@ -142,6 +142,13 @@ func (d *Delineator) drain(out []BeatAnalysis, last bool) []BeatAnalysis {
 			done++
 			continue
 		}
+		// Morphology quality and shape signature on the conditioned
+		// segment, before the points leave its clock — the same calls
+		// the batch detector makes on the whole-recording conditioned
+		// signal.
+		ba := BeatAnalysis{Points: pts}
+		ba.Quality = MorphScore(cond, pts, segHi-lo-trim, d.cfg.FS)
+		ba.Shape, ba.ShapeOK = BeatShapeOf(cond, relLo, segHi-lo-trim)
 		// Back onto the ECG clock: conditioned index relLo == ECG index rLo.
 		off := j.rLo - relLo
 		pts.R += off
@@ -150,7 +157,7 @@ func (d *Delineator) drain(out []BeatAnalysis, last bool) []BeatAnalysis {
 		pts.X += off
 		pts.X0 += off
 		pts.B0 += float64(off)
-		out = append(out, BeatAnalysis{Points: pts})
+		out = append(out, ba)
 		done++
 	}
 	if done > 0 {

@@ -1,9 +1,17 @@
-// Package quality computes signal-quality indices (SQIs) for the acquired
-// channels. The device's PMU (Section III-A) adapts the duty cycle to the
-// "requirements of the target application"; contact quality is the
-// dominant requirement for a touch measurement, so these indices feed the
-// PMU policy (core.PMU) and flag unusable sessions before they waste
-// radio and CPU budget.
+// Package quality computes signal-quality indices (SQIs) for the
+// acquired channels, at two granularities:
+//
+//   - Per beat (gate.go): BeatGate / GateStream score every delineated
+//     beat — template correlation against a running ensemble,
+//     saturation, flatline, SNR, and the delineator's morphology score
+//     — and gate it before it reaches the hemodynamic estimates. Both
+//     core engines (batch Process and the incremental Streamer) route
+//     beats through this gate, and its acceptance rate feeds the PMU
+//     policy (core.PMU.DecideGated): sustained low acceptance means a
+//     bad touch contact is wasting CPU and radio budget.
+//   - Per window (this file): whole-acquisition indices (spectral ECG
+//     SQI, beat-consistency ICG SQI, saturation fraction) for flagging
+//     unusable sessions up front.
 package quality
 
 import (

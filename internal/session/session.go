@@ -78,12 +78,20 @@ type Session struct {
 
 	onBeat func(hemo.BeatParams)
 	beats  []hemo.BeatParams // collected when no callback is set
+
+	// Quality-gate accounting over the emitted beats (under mu):
+	// accepted/emitted are readable via AcceptStats even after Close.
+	accepted, emitted int
 }
 
+// chunk is one queued input: either a pooled combined buffer (Push —
+// ecg is buf[:n], z is buf[n:]) or caller-owned slices (PushOwned —
+// ecg/z, never returned to the pool).
 type chunk struct {
-	buf   []float64 // ecg is buf[:n], z is buf[n:]
-	n     int
-	flush bool
+	buf    []float64
+	n      int
+	ecg, z []float64
+	flush  bool
 }
 
 // Engine errors.
@@ -232,6 +240,25 @@ func (s *Session) Push(ecgSamples, zSamples []float64) error {
 	return s.enqueue(chunk{buf: buf, n: n})
 }
 
+// PushOwned is Push transferring ownership of the slices instead of
+// copying them — the zero-copy path for radio-packet-sized chunks,
+// where the per-push copy dominates the enqueue cost.
+//
+// Ownership contract: by calling PushOwned the caller hands ecgSamples
+// and zSamples (their backing arrays) to the engine until the session
+// processes the chunk, which happens asynchronously on a worker — the
+// caller must never modify, reuse or pool them afterwards. The engine
+// only reads the slices and drops them when the chunk is done (they are
+// garbage-collected, never recycled into the engine's buffer pool).
+// Each call must pass freshly-owned slices; aliasing a previous
+// PushOwned chunk is a data race.
+func (s *Session) PushOwned(ecgSamples, zSamples []float64) error {
+	if len(ecgSamples) != len(zSamples) {
+		panic("session: PushOwned requires equal-length channels")
+	}
+	return s.enqueue(chunk{ecg: ecgSamples, z: zSamples})
+}
+
 // Close flushes the stream, recycles the session's streaming state into
 // the engine pool, and removes the session from the engine. It blocks
 // until the final beats have been delivered.
@@ -301,26 +328,52 @@ func (s *Session) run(batch []chunk) []chunk {
 				s.finish()
 				return batch
 			}
-			s.deliver(s.st.Push(c.buf[:c.n], c.buf[c.n:]))
-			s.eng.chunks.Put(c.buf[:0])
+			if c.buf != nil {
+				s.deliver(s.st.Push(c.buf[:c.n], c.buf[c.n:]))
+				s.eng.chunks.Put(c.buf[:0])
+			} else {
+				// Owned chunk (PushOwned): read in place, drop after.
+				s.deliver(s.st.Push(c.ecg, c.z))
+			}
 		}
 	}
 }
 
-// deliver hands beats to the callback or the collection buffer.
+// deliver hands beats to the callback or the collection buffer, and
+// keeps the session's quality-gate tally (every emitted beat carries
+// its gate decision in BeatParams.Accepted).
 func (s *Session) deliver(beats []hemo.BeatParams) {
 	if len(beats) == 0 {
 		return
 	}
-	if s.onBeat != nil {
-		for _, b := range beats {
-			s.onBeat(b)
+	nAcc := 0
+	for _, b := range beats {
+		if b.Accepted {
+			nAcc++
 		}
-		return
 	}
 	s.mu.Lock()
-	s.beats = append(s.beats, beats...)
+	s.emitted += len(beats)
+	s.accepted += nAcc
+	if s.onBeat == nil {
+		s.beats = append(s.beats, beats...)
+		s.mu.Unlock()
+		return
+	}
 	s.mu.Unlock()
+	for _, b := range beats {
+		s.onBeat(b)
+	}
+}
+
+// AcceptStats returns how many of the session's emitted beats passed
+// the per-beat quality gate, out of all emitted so far. It stays
+// readable after Close (final values), so fleet drivers can tally
+// per-session accept rates as sessions finish.
+func (s *Session) AcceptStats() (accepted, emitted int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.accepted, s.emitted
 }
 
 // finish recycles the streamer and detaches the session.

@@ -346,3 +346,83 @@ func TestEngineCloseOpenRace(t *testing.T) {
 		wg.Wait()
 	}
 }
+
+// PushOwned must produce byte-identical output to Push for the same
+// data — the zero-copy path changes ownership, not semantics — and the
+// session's accept stats must tally the gate decisions of the emitted
+// beats.
+func TestPushOwnedMatchesPush(t *testing.T) {
+	dev, err := core.NewDevice(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := makeInputs(t, dev, 8)
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.Seed = 42
+	eng := NewEngine(dev, cfg)
+	defer eng.Close()
+
+	run := func(id uint64, owned bool) (uint64, int, int) {
+		s, err := eng.Open(id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ecg, z := in.channels(s.Seed(), s.ID)
+		for pos := 0; pos < len(ecg); pos += 40 { // radio-packet-sized chunks
+			end := pos + 40
+			if end > len(ecg) {
+				end = len(ecg)
+			}
+			if owned {
+				// Fresh copies: ownership transfers to the engine.
+				oe := append([]float64(nil), ecg[pos:end]...)
+				oz := append([]float64(nil), z[pos:end]...)
+				err = s.PushOwned(oe, oz)
+			} else {
+				err = s.Push(ecg[pos:end], z[pos:end])
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		acc, emitted := s.AcceptStats()
+		return hashBeats(s.Drain()), acc, emitted
+	}
+	hCopy, accC, emC := run(3, false)
+	hOwn, accO, emO := run(3, true) // same ID after close: same seed and data
+	if hCopy != hOwn {
+		t.Fatalf("PushOwned hash %x != Push hash %x", hOwn, hCopy)
+	}
+	if emC == 0 {
+		t.Fatal("no beats emitted")
+	}
+	if accC != accO || emC != emO {
+		t.Fatalf("accept stats differ: %d/%d vs %d/%d", accC, emC, accO, emO)
+	}
+	if accC > emC {
+		t.Fatalf("accepted %d > emitted %d", accC, emC)
+	}
+}
+
+func TestPushOwnedAfterCloseFails(t *testing.T) {
+	dev, err := core.NewDevice(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(dev, DefaultConfig())
+	defer eng.Close()
+	s, err := eng.Open(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PushOwned([]float64{1}, []float64{1}); err != ErrSessionClosed {
+		t.Fatalf("PushOwned after close: %v", err)
+	}
+}

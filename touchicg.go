@@ -26,6 +26,7 @@ import (
 	"repro/internal/hemo"
 	"repro/internal/icg"
 	"repro/internal/physio"
+	"repro/internal/quality"
 	"repro/internal/study"
 )
 
@@ -51,6 +52,12 @@ type (
 	StudyConfig = study.Config
 	// StudyResults carries the data behind every table and figure.
 	StudyResults = study.Results
+	// GateConfig parameterizes the per-beat signal-quality gate.
+	GateConfig = quality.GateConfig
+	// BeatSQI is the per-beat signal-quality assessment.
+	BeatSQI = quality.BeatSQI
+	// GatedSummary pairs raw and quality-gated aggregate views.
+	GatedSummary = hemo.GatedSummary
 )
 
 // Protocol arm positions.
@@ -91,3 +98,7 @@ func RunStudy(cfg StudyConfig) (*StudyResults, error) { return study.Run(cfg) }
 // StudyFrequencies returns the paper's injected-current frequencies:
 // 2, 10, 50 and 100 kHz.
 func StudyFrequencies() []float64 { return bioimp.StudyFrequencies() }
+
+// DefaultGate returns the per-beat quality-gate thresholds the device
+// applies by default (see Config.Gate / Config.DisableGate).
+func DefaultGate(fs float64) GateConfig { return quality.DefaultGate(fs) }

@@ -34,6 +34,14 @@ func TestPublicQuickstartFlow(t *testing.T) {
 		if b.SVKub <= 0 || b.CO <= 0 {
 			t.Errorf("non-positive SV/CO")
 		}
+		if b.Quality < 0 || b.Quality > 1 {
+			t.Errorf("quality %g out of [0,1]", b.Quality)
+		}
+	}
+	// The per-beat quality gate runs by default and accepts the bulk of
+	// a clean simulated recording.
+	if out.AcceptRate < 0.5 || out.AcceptRate > 1 {
+		t.Errorf("accept rate = %g", out.AcceptRate)
 	}
 }
 
