@@ -14,9 +14,16 @@
 // stream over the radio link live, and the run ends with aggregate
 // throughput figures plus the per-session accept-rate spread.
 //
+// -dead injects dead-contact streams (flat impedance, noise-only ECG —
+// a lifted finger) into the fleet, and -evict-below arms the engine's
+// session-health eviction (session.HealthConfig): dead sessions are cut
+// once their accept-rate EWMA dwells below the floor, shedding their
+// remaining load, and the run reports how much work eviction saved.
+//
 // Usage:
 //
 //	icgstream [-subject 1] [-duration 30] [-loss 0.02] [-sessions 1] [-workers 0]
+//	          [-dead 0] [-evict-below 0] [-evict-after 20]
 package main
 
 import (
@@ -40,6 +47,9 @@ func main() {
 	loss := flag.Float64("loss", 0.02, "simulated radio loss probability")
 	sessions := flag.Int("sessions", 1, "concurrent device streams (multi-session mode when > 1)")
 	workers := flag.Int("workers", 0, "session engine workers (0 = GOMAXPROCS)")
+	dead := flag.Int("dead", 0, "dead-contact streams injected into the fleet")
+	evictBelow := flag.Float64("evict-below", 0, "accept-rate EWMA eviction floor (0 = eviction off)")
+	evictAfter := flag.Float64("evict-after", 20, "signal seconds below the floor before eviction")
 	flag.Parse()
 
 	dev, err := core.NewDevice(core.DefaultConfig())
@@ -103,7 +113,8 @@ func main() {
 	if *sessions <= 1 {
 		runSingle(dev, &sub, *duration, link, conn)
 	} else {
-		runFleet(dev, *sessions, *workers, *duration, link, conn)
+		health := session.HealthConfig{EvictBelowRate: *evictBelow, EvictAfterS: *evictAfter}
+		runFleet(dev, *sessions, *workers, *dead, *duration, health, link, conn)
 	}
 	conn.Close()
 	wg.Wait()
@@ -132,20 +143,47 @@ func runSingle(dev *core.Device, sub *physio.Subject, duration float64, link *ra
 		sent, len(out.Beats), out.AcceptRate*100)
 }
 
-// runFleet multiplexes n simulated streams through the session engine.
-// Session 0's beats go over the radio link as they are emitted; every
-// other session counts toward the aggregate.
-func runFleet(dev *core.Device, n, workers int, duration float64, link *radio.Link, conn net.Conn) {
+// runFleet multiplexes n simulated streams through the session engine;
+// the last dead of them carry dead-contact input. Session 0's beats go
+// over the radio link as they are emitted; every other session counts
+// toward the aggregate. With health eviction armed the engine cuts the
+// dead streams and the run reports the load it shed.
+func runFleet(dev *core.Device, n, workers, dead int, duration float64, health session.HealthConfig, link *radio.Link, conn net.Conn) {
+	if dead > n {
+		dead = n
+	}
 	cfg := session.DefaultConfig()
 	cfg.Workers = workers
 	cfg.Seed = 1
+	cfg.Health = health
+
+	var countMu sync.Mutex
+	rates := make([]float64, 0, n) // per-session accept rates at close
+	var evictions int
+	var evictedAtS float64 // summed eviction signal times
+	var shedSamples int64
+	// Every session is offered exactly duration seconds of signal, so
+	// an evicted session's shed load is what the engine never consumed
+	// (offered minus the streamer's sample clock at the cut) — computed
+	// from the close event, which is deterministic per input order, so
+	// the reported shed does not depend on how far the pusher had run
+	// ahead of the worker.
+	perSession := int64(dev.Config().FS * duration)
+	cfg.OnClose = func(ev session.CloseEvent) {
+		if ev.Reason != session.ReasonDeadContact {
+			return
+		}
+		countMu.Lock()
+		evictions++
+		evictedAtS += ev.Health.SignalS
+		shedSamples += perSession - int64(ev.Health.Samples)
+		countMu.Unlock()
+	}
 	eng := session.NewEngine(dev, cfg)
 
 	var radioMu sync.Mutex
 	seq := byte(0)
-	var totalBeats, acceptedBeats int64
-	var countMu sync.Mutex
-	rates := make([]float64, 0, n) // per-session accept rates at close
+	var totalBeats, acceptedBeats, offeredSamples int64
 
 	start := time.Now()
 	var push sync.WaitGroup
@@ -167,30 +205,50 @@ func runFleet(dev *core.Device, n, workers int, duration float64, link *radio.Li
 			log.Fatalf("icgstream: open session %d: %v", id, err)
 		}
 		push.Add(1)
-		go func(s *session.Session) {
+		go func(s *session.Session, isDead bool) {
 			defer push.Done()
-			// Each session simulates its own subject, seeded from the
-			// engine's deterministic per-session seed.
-			sub, _ := physio.SubjectByID(1 + int(s.ID)%5)
-			sub.Seed = s.Seed()
-			acq, err := dev.Acquire(&sub, duration)
-			if err != nil {
-				log.Printf("icgstream: session %d acquire: %v", s.ID, err)
-				return
-			}
-			chunk := 50 // 200 ms, as the AFE DMA would deliver
-			for pos := 0; pos < len(acq.ECG); pos += chunk {
-				end := pos + chunk
-				if end > len(acq.ECG) {
-					end = len(acq.ECG)
+			var ecg, z []float64
+			if isDead {
+				// The shared lifted-finger model (physio.DeadContact) —
+				// identical to what the eviction tests pin.
+				ecg, z = physio.DeadContact(s.Seed(), int(dev.Config().FS*duration))
+			} else {
+				// Each session simulates its own subject, seeded from
+				// the engine's deterministic per-session seed.
+				sub, _ := physio.SubjectByID(1 + int(s.ID)%5)
+				sub.Seed = s.Seed()
+				acq, err := dev.Acquire(&sub, duration)
+				if err != nil {
+					log.Printf("icgstream: session %d acquire: %v", s.ID, err)
+					return
 				}
-				if err := s.Push(acq.ECG[pos:end], acq.Z[pos:end]); err != nil {
-					log.Printf("icgstream: session %d push: %v", s.ID, err)
+				ecg, z = acq.ECG, acq.Z
+			}
+			countMu.Lock()
+			offeredSamples += int64(len(ecg))
+			countMu.Unlock()
+			chunk := 50 // 200 ms, as the AFE DMA would deliver
+			for pos := 0; pos < len(ecg); pos += chunk {
+				end := pos + chunk
+				if end > len(ecg) {
+					end = len(ecg)
+				}
+				if err := s.Push(ecg[pos:end], z[pos:end]); err != nil {
+					if err != session.ErrSessionEvicted {
+						log.Printf("icgstream: session %d push: %v", s.ID, err)
+					}
+					// Evicted: the close event accounts the shed load.
 					return
 				}
 			}
+			// Close reports an eviction even when it overtook the flush,
+			// so evicted sessions are excluded from the accept-rate
+			// spread on BOTH eviction paths (mid-push and at close) —
+			// the spread describes the surviving fleet.
 			if err := s.Close(); err != nil {
-				log.Printf("icgstream: session %d close: %v", s.ID, err)
+				if err != session.ErrSessionEvicted {
+					log.Printf("icgstream: session %d close: %v", s.ID, err)
+				}
 				return
 			}
 			// Final per-session gate tally (stable after Close).
@@ -200,7 +258,7 @@ func runFleet(dev *core.Device, n, workers int, duration float64, link *radio.Li
 				rates = append(rates, float64(acc)/float64(emitted))
 				countMu.Unlock()
 			}
-		}(s)
+		}(s, id >= n-dead)
 	}
 	push.Wait()
 	if err := eng.Close(); err != nil {
@@ -230,6 +288,15 @@ func runFleet(dev *core.Device, n, workers int, duration float64, link *radio.Li
 		fmt.Printf("fleet gate: %d/%d beats accepted (%.0f%%); per-session accept rate min %.0f%% mean %.0f%% max %.0f%%\n",
 			acceptedBeats, totalBeats, 100*float64(acceptedBeats)/float64(totalBeats),
 			lo*100, mean*100, hi*100)
+	}
+	if dead > 0 || health.Enabled() {
+		meanCut := 0.0
+		if evictions > 0 {
+			meanCut = evictedAtS / float64(evictions)
+		}
+		fmt.Printf("fleet health: %d dead-contact streams injected, %d evicted (mean cut at %.1f s); shed %d of %d offered samples (%.0f%%)\n",
+			dead, evictions, meanCut,
+			shedSamples, offeredSamples, 100*float64(shedSamples)/float64(max(offeredSamples, 1)))
 	}
 }
 

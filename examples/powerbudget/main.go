@@ -60,4 +60,33 @@ func main() {
 		fmt.Printf("  %-38s -> %-12s (%.0f h remaining at this rate)\n",
 			c.label, mode, core.LifetimeHours(mode, duty)*c.batteryPct/100)
 	}
+
+	// Hysteresis: the stateless policy bounces on a flapping contact —
+	// every marginal 10 s window flips the duty cycle, and every flip
+	// costs radio/MCU mode-switch overhead. The governor smooths the
+	// accept rate and holds each mode for a minimum dwell, so the same
+	// trace produces at most one transition per sustained episode.
+	fmt.Println("\nflapping contact (accept rate bounces 0.9/0.2 every 10 s window):")
+	gov := pmu.NewGovernor()
+	statelessFlips, governorFlips := 0, 0
+	prev := core.ModeContinuous
+	prevGov := core.ModeContinuous
+	for i := 0; i < 30; i++ {
+		rate := 0.9
+		if i%2 == 1 {
+			rate = 0.2
+		}
+		if m := pmu.DecideGated(90, 0.95, rate); m != prev {
+			statelessFlips++
+			prev = m
+		}
+		if m := gov.Decide(float64(i)*10, 90, 0.95, rate); m != prevGov {
+			governorFlips++
+			prevGov = m
+		}
+	}
+	fmt.Printf("  stateless DecideGated: %2d mode flips in 300 s\n", statelessFlips)
+	fmt.Printf("  hysteresis governor:   %2d mode flips (EWMA %.2f, enter<%.2f exit>=%.2f, dwell %.0f s)\n",
+		governorFlips, gov.AcceptEWMA(), pmu.MinAcceptRate,
+		pmu.ExitAcceptRate, pmu.MinDwellS)
 }

@@ -32,7 +32,12 @@ func main() {
 		log.Fatalf("realtime: %v", err)
 	}
 
-	eng := session.NewEngine(dev, session.DefaultConfig())
+	// Health eviction armed with the serving defaults: a live recording
+	// sails through, but the same engine would cut a dead-contact stream
+	// (lifted finger) after ~30 s below the accept-rate floor.
+	scfg := session.DefaultConfig()
+	scfg.Health = session.HealthConfig{EvictBelowRate: 0.2}
+	eng := session.NewEngine(dev, scfg)
 	var beatTimes []float64
 	count := 0
 	sess, err := eng.Open(1, func(b hemo.BeatParams) {
@@ -68,6 +73,11 @@ func main() {
 	if err := sess.Close(); err != nil {
 		log.Fatalf("realtime: %v", err)
 	}
+	// Per-session health verdict: the gate's accept rate over the
+	// emitted beats (exactly 1 before any beat — the pinned zero-beats
+	// contract) and why the session ended.
+	fmt.Printf("\nsession: accept rate %.0f%%, closed (%v), survived the dead-contact eviction policy\n",
+		sess.AcceptRate()*100, sess.Reason())
 	if err := eng.Close(); err != nil {
 		log.Fatalf("realtime: %v", err)
 	}

@@ -316,9 +316,9 @@ type Output struct {
 	AcceptRate float64
 	Yield      float64 // fraction of RR segments successfully analyzed
 	Z0         float64 // mean measured base impedance (Ohm)
-	Cost     *mcu.Counter
-	CondECG  []float64 // conditioned ECG (after the Section IV-A chain)
-	ICGTrack []float64 // filtered ICG (-dZ/dt after 20 Hz low-pass)
+	Cost       *mcu.Counter
+	CondECG    []float64 // conditioned ECG (after the Section IV-A chain)
+	ICGTrack   []float64 // filtered ICG (-dZ/dt after 20 Hz low-pass)
 	// Ensemble carries the parameters measured on the R-aligned averaged
 	// beat when Config.Ensemble is set (RR and HR are session means).
 	Ensemble *hemo.BeatParams

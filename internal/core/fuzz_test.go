@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/hemo"
+	"repro/internal/physio"
+)
+
+// fuzzEnv lazily builds the shared device and base acquisitions the
+// streamer fuzzer perturbs; acquisition is far too slow to run per
+// fuzz iteration.
+var fuzzEnv struct {
+	once sync.Once
+	dev  *Device
+	base [][2][]float64 // {ecg, z} per subject
+	err  error
+}
+
+func fuzzSetup() error {
+	fuzzEnv.once.Do(func() {
+		dev, err := NewDevice(DefaultConfig())
+		if err != nil {
+			fuzzEnv.err = err
+			return
+		}
+		fuzzEnv.dev = dev
+		for sid := 1; sid <= 3; sid++ {
+			sub, _ := physio.SubjectByID(sid)
+			acq, err := dev.Acquire(&sub, 8)
+			if err != nil {
+				fuzzEnv.err = err
+				return
+			}
+			fuzzEnv.base = append(fuzzEnv.base, [2][]float64{acq.ECG, acq.Z})
+		}
+	})
+	return fuzzEnv.err
+}
+
+// FuzzStreamerPush pins the streaming engine's chunk invariance under
+// fuzzing: for study-subject signals with fuzz-chosen gain/offset
+// perturbations, any chunking of the input — including degenerate 1-
+// sample and empty pushes — must produce exactly the beat stream of a
+// single whole-recording push, never panic, and leave identical
+// health/acceptance state.
+func FuzzStreamerPush(f *testing.F) {
+	f.Add(uint8(0), int64(1), []byte{125})
+	f.Add(uint8(1), int64(42), []byte{1, 0, 7, 250})
+	f.Add(uint8(2), int64(-3), []byte{40, 3, 90})
+	f.Fuzz(func(t *testing.T, subject uint8, perturbSeed int64, chunks []byte) {
+		if err := fuzzSetup(); err != nil {
+			t.Skip("no device:", err)
+		}
+		base := fuzzEnv.base[int(subject)%len(fuzzEnv.base)]
+		rng := physio.NewRNG(perturbSeed)
+		gain := 1 + 0.02*(rng.Float64()-0.5)  // ±1% channel gain
+		offset := 0.5 * (rng.Float64() - 0.5) // baseline shift (Ohm)
+		n := len(base[0])
+		ecg := make([]float64, n)
+		z := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ecg[i] = base[0][i] * gain
+			z[i] = base[1][i]*gain + offset
+		}
+
+		run := func(chunked bool) ([]hemo.BeatParams, StreamHealth, float64) {
+			st := fuzzEnv.dev.NewStreamer(StreamConfig{})
+			var beats []hemo.BeatParams
+			if !chunked {
+				beats = append(beats, st.Push(ecg, z)...)
+			} else {
+				ci, pos := 0, 0
+				for pos < n {
+					c := 0 // empty pushes must be harmless
+					if len(chunks) > 0 {
+						c = int(chunks[ci%len(chunks)]) * 2
+						ci++
+					}
+					if c == 0 && len(chunks) == 0 {
+						c = 1
+					}
+					end := pos + c
+					if end > n {
+						end = n
+					}
+					beats = append(beats, st.Push(ecg[pos:end], z[pos:end])...)
+					pos = end
+					if c == 0 {
+						// Still consume input eventually: alternate an
+						// empty push with a 1-sample push.
+						beats = append(beats, st.Push(ecg[pos:pos+min(1, n-pos)], z[pos:pos+min(1, n-pos)])...)
+						pos += min(1, n-pos)
+					}
+				}
+			}
+			beats = append(beats, st.Flush()...)
+			return beats, st.Health(), st.AcceptRate()
+		}
+
+		ref, refHealth, refRate := run(false)
+		got, gotHealth, gotRate := run(true)
+		if len(got) != len(ref) {
+			t.Fatalf("chunked run emitted %d beats, whole-push %d", len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("beat %d differs: chunked %+v != whole %+v", i, got[i], ref[i])
+			}
+		}
+		if gotHealth != refHealth {
+			t.Fatalf("health differs: chunked %+v != whole %+v", gotHealth, refHealth)
+		}
+		if gotRate != refRate || math.IsNaN(gotRate) {
+			t.Fatalf("accept rate differs: chunked %g != whole %g", gotRate, refRate)
+		}
+	})
+}

@@ -55,11 +55,50 @@ type PMU struct {
 	// but their signal quality is too poor to trust, so full per-beat
 	// processing and radio are wasted energy.
 	MinAcceptRate float64
+
+	// The three fields below configure the stateful Governor (NewGovernor):
+	// the stateless Decide/DecideGated ignore them.
+	//
+	// ExitAcceptRate is the smoothed accept rate at or above which a
+	// quality-driven ModeEco reverts to ModeContinuous. Keeping it above
+	// MinAcceptRate (the enter threshold) opens a hysteresis band, so an
+	// accept rate hovering at the threshold cannot bounce the mode.
+	ExitAcceptRate float64
+	// RateBeta is the EWMA weight each Observe/Decide reading of the
+	// accept rate gets; the EWMA starts at 1 (the zero-beats contract of
+	// the gate layer), so a cold governor begins in ModeContinuous.
+	RateBeta float64
+	// MinDwellS is the minimum time (seconds) the governor stays in a
+	// mode before a *quality-driven* flip; battery transitions are
+	// immediate (the battery does not bounce).
+	MinDwellS float64
 }
 
 // DefaultPMU returns the policy used by the examples.
 func DefaultPMU() PMU {
-	return PMU{EcoBelowPct: 30, SpotBelowPct: 10, MinYield: 0.5, MinAcceptRate: 0.5}
+	return PMU{
+		EcoBelowPct: 30, SpotBelowPct: 10, MinYield: 0.5, MinAcceptRate: 0.5,
+		ExitAcceptRate: 0.65, RateBeta: 0.25, MinDwellS: 20,
+	}
+}
+
+// withGovernorDefaults fills unset governor fields (the stateless
+// Decide path never reads them, so zero values are common).
+func (p PMU) withGovernorDefaults() PMU {
+	d := DefaultPMU()
+	if p.ExitAcceptRate <= 0 {
+		p.ExitAcceptRate = p.MinAcceptRate + 0.15
+	}
+	if p.ExitAcceptRate < p.MinAcceptRate {
+		p.ExitAcceptRate = p.MinAcceptRate
+	}
+	if p.RateBeta <= 0 || p.RateBeta > 1 {
+		p.RateBeta = d.RateBeta
+	}
+	if p.MinDwellS <= 0 {
+		p.MinDwellS = d.MinDwellS
+	}
+	return p
 }
 
 // Decide returns the operating mode for the given battery percentage
@@ -85,6 +124,93 @@ func (p PMU) DecideGated(batteryPct, yield, acceptRate float64) PowerMode {
 		return ModeContinuous
 	}
 }
+
+// Governor is the stateful form of DecideGated: it smooths the accept
+// rate with an EWMA and applies enter/exit hysteresis plus a minimum
+// dwell time to the quality-driven ModeContinuous<->ModeEco transitions,
+// so one bad accept-rate window cannot flip the mode and no quality
+// signal can flip it back and forth faster than once per MinDwellS.
+// The yield input is taken at face value (a yield dip below MinYield
+// enters eco as soon as the dwell allows — smooth yield upstream if
+// your estimator is noisy); battery transitions stay immediate (the
+// battery does not bounce).
+//
+// It is a single-goroutine object; feed Decide periodically with a
+// monotonically non-decreasing session time.
+type Governor struct {
+	pmu PMU
+
+	ewma    float64
+	started bool
+
+	// qMode is the quality-driven half of the decision (ModeContinuous
+	// or ModeEco); the battery overlay is applied on top of it each
+	// Decide and carries no state.
+	qMode  PowerMode
+	qSince float64 // session time qMode was entered
+	flips  int
+}
+
+// NewGovernor builds a hysteresis governor over this policy, filling
+// unset governor fields (ExitAcceptRate, RateBeta, MinDwellS) with
+// defaults derived from DefaultPMU.
+func (p PMU) NewGovernor() *Governor {
+	return &Governor{pmu: p.withGovernorDefaults(), ewma: 1, qMode: ModeContinuous}
+}
+
+// Decide folds one accept-rate reading into the EWMA and returns the
+// operating mode at session time tS (seconds). Quality-driven
+// transitions obey the hysteresis band — enter ModeEco when the EWMA
+// falls below MinAcceptRate (or yield below MinYield), return to
+// ModeContinuous only once the EWMA reaches ExitAcceptRate and yield
+// recovered — and the MinDwellS dwell: a mode entered at time t cannot
+// be left for quality reasons before t+MinDwellS. Battery thresholds
+// (EcoBelowPct, SpotBelowPct) override immediately, exactly like the
+// stateless DecideGated.
+func (g *Governor) Decide(tS, batteryPct, yield, acceptRate float64) PowerMode {
+	p := g.pmu
+	g.ewma = (1-p.RateBeta)*g.ewma + p.RateBeta*acceptRate
+	if !g.started {
+		g.started = true
+		g.qSince = tS
+	}
+	// MinAcceptRate <= 0 disables the accept-rate criterion entirely
+	// (matching DecideGated) — the exit path must ignore it too, or a
+	// yield-driven eco could demand an accept-rate recovery the
+	// configuration never asked for.
+	bad := yield < p.MinYield || (p.MinAcceptRate > 0 && g.ewma < p.MinAcceptRate)
+	good := yield >= p.MinYield && (p.MinAcceptRate <= 0 || g.ewma >= p.ExitAcceptRate)
+	dwelled := tS-g.qSince >= p.MinDwellS
+	switch g.qMode {
+	case ModeContinuous:
+		if bad && dwelled {
+			g.qMode = ModeEco
+			g.qSince = tS
+			g.flips++
+		}
+	case ModeEco:
+		if good && dwelled {
+			g.qMode = ModeContinuous
+			g.qSince = tS
+			g.flips++
+		}
+	}
+	switch {
+	case batteryPct <= p.SpotBelowPct:
+		return ModeSpotCheck
+	case batteryPct <= p.EcoBelowPct:
+		return ModeEco
+	}
+	return g.qMode
+}
+
+// AcceptEWMA returns the governor's smoothed accept rate (1 before any
+// reading — the shared zero-beats contract).
+func (g *Governor) AcceptEWMA() float64 { return g.ewma }
+
+// Flips returns how many quality-driven mode transitions the governor
+// has made (battery-forced overlays do not count).
+func (g *Governor) Flips() int { return g.flips }
 
 // ModeBudget maps an operating mode to a component duty-cycle budget,
 // given the measured continuous-processing MCU duty.

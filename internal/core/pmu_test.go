@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// govPMU returns a policy with round governor numbers so the table
+// tests can pin exact threshold and dwell edges: enter eco below EWMA
+// 0.5, exit at 0.7, 10 s dwell, and beta 1 so the EWMA equals the last
+// reading (threshold edges are then exact).
+func govPMU() PMU {
+	return PMU{
+		EcoBelowPct: 30, SpotBelowPct: 10, MinYield: 0.5, MinAcceptRate: 0.5,
+		ExitAcceptRate: 0.7, RateBeta: 1, MinDwellS: 10,
+	}
+}
+
+// Table-driven hysteresis semantics: each step feeds one reading at a
+// time and expects a mode, exercising enter/exit threshold edges and
+// dwell-time boundaries.
+func TestGovernorHysteresisTable(t *testing.T) {
+	type step struct {
+		t, battery, yield, rate float64
+		want                    PowerMode
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			// Rates exactly AT the enter threshold do not enter (strict <);
+			// just below does — but only after the initial dwell.
+			name: "enter-threshold-edge",
+			steps: []step{
+				{0, 100, 1, 0.50, ModeContinuous}, // at threshold: stays
+				{5, 100, 1, 0.49, ModeContinuous}, // below, but dwell (10 s from t=0) not met
+				{10, 100, 1, 0.49, ModeEco},       // dwell met exactly at boundary
+				{12, 100, 1, 0.49, ModeEco},       // stays
+			},
+		},
+		{
+			// Exit requires the EWMA to REACH ExitAcceptRate; the band
+			// between enter and exit holds the current mode.
+			name: "exit-threshold-edge",
+			steps: []step{
+				{0, 100, 1, 0.4, ModeContinuous},
+				{10, 100, 1, 0.4, ModeEco},         // entered after dwell
+				{21, 100, 1, 0.69, ModeEco},        // inside the band: holds eco
+				{22, 100, 1, 0.70, ModeContinuous}, // at exit threshold: leaves
+			},
+		},
+		{
+			// Dwell boundary on the way out: a recovery one instant
+			// before the dwell elapses must not flip.
+			name: "exit-dwell-boundary",
+			steps: []step{
+				{0, 100, 1, 0.4, ModeContinuous},
+				{10, 100, 1, 0.4, ModeEco},        // eco entered at t=10
+				{19.9, 100, 1, 0.9, ModeEco},      // good again, 9.9 s dwelled: holds
+				{20, 100, 1, 0.9, ModeContinuous}, // 10 s dwelled: flips
+			},
+		},
+		{
+			// Yield is part of the same state machine: low yield enters
+			// eco, and exit requires BOTH yield and rate recovered.
+			name: "yield-enter-and-joint-exit",
+			steps: []step{
+				{0, 100, 0.2, 1, ModeContinuous},
+				{10, 100, 0.2, 1, ModeEco},
+				{25, 100, 0.9, 0.6, ModeEco}, // yield back, rate in band: holds
+				{26, 100, 0.9, 0.95, ModeContinuous},
+			},
+		},
+		{
+			// Battery thresholds override immediately in both directions
+			// and do not count as quality flips.
+			name: "battery-immediate",
+			steps: []step{
+				{0, 100, 1, 1, ModeContinuous},
+				{1, 25, 1, 1, ModeEco},        // battery eco, no dwell needed
+				{2, 8, 1, 1, ModeSpotCheck},   // battery spot-check
+				{3, 80, 1, 1, ModeContinuous}, // recharged: quality state was never eco
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := govPMU().NewGovernor()
+			for i, st := range tc.steps {
+				if got := g.Decide(st.t, st.battery, st.yield, st.rate); got != st.want {
+					t.Fatalf("step %d (t=%g): got %v, want %v", i, st.t, got, st.want)
+				}
+			}
+		})
+	}
+}
+
+// A synthetic bouncing accept-rate trace — alternating good and bad
+// windows around the thresholds — must produce at most one mode flip
+// through the governor, while the stateless DecideGated bounces on
+// every window.
+func TestGovernorBouncingTraceOneFlip(t *testing.T) {
+	p := DefaultPMU() // beta 0.25, enter <0.5, exit >=0.65, dwell 20 s
+	g := p.NewGovernor()
+	statelessFlips := 0
+	prev := ModeContinuous
+	// 5 s windows for 300 s, accept rate bouncing 0.2 / 0.9.
+	for i := 0; i < 60; i++ {
+		rate := 0.9
+		if i%2 == 1 {
+			rate = 0.2
+		}
+		tS := float64(i) * 5
+		g.Decide(tS, 100, 1, rate)
+		m := p.DecideGated(100, 1, rate)
+		if m != prev {
+			statelessFlips++
+			prev = m
+		}
+	}
+	if g.Flips() > 1 {
+		t.Fatalf("governor flipped %d times on the bouncing trace, want <= 1", g.Flips())
+	}
+	if statelessFlips < 10 {
+		t.Fatalf("stateless baseline only flipped %d times; trace not actually bouncing", statelessFlips)
+	}
+}
+
+// A sustained dead contact must still flip the governor to eco (the
+// hysteresis delays, it does not suppress), and a sustained recovery
+// must bring it back: exactly two flips across the whole episode.
+func TestGovernorSustainedEpisode(t *testing.T) {
+	g := DefaultPMU().NewGovernor()
+	var modes []PowerMode
+	for i := 0; i < 120; i++ {
+		tS := float64(i) * 5
+		rate := 0.9
+		if i >= 20 && i < 70 {
+			rate = 0.1 // 250 s of dead contact
+		}
+		modes = append(modes, g.Decide(tS, 100, 1, rate))
+	}
+	if g.Flips() != 2 {
+		t.Fatalf("sustained bad episode: %d flips, want exactly 2 (down, up)", g.Flips())
+	}
+	if modes[0] != ModeContinuous || modes[len(modes)-1] != ModeContinuous {
+		t.Fatalf("episode must start and end continuous: %v ... %v", modes[0], modes[len(modes)-1])
+	}
+	sawEco := false
+	for _, m := range modes {
+		if m == ModeEco {
+			sawEco = true
+		}
+	}
+	if !sawEco {
+		t.Fatal("dead-contact episode never reached eco")
+	}
+}
+
+// Governor defaults: zero governor fields resolve from the policy, the
+// EWMA honors the zero-beats contract, and an exit threshold below the
+// enter threshold is clamped (the band may collapse, never invert).
+func TestGovernorDefaults(t *testing.T) {
+	p := PMU{EcoBelowPct: 30, SpotBelowPct: 10, MinYield: 0.5, MinAcceptRate: 0.5}
+	g := p.NewGovernor()
+	if g.AcceptEWMA() != 1 {
+		t.Fatalf("cold governor EWMA %g, want 1", g.AcceptEWMA())
+	}
+	if g.pmu.ExitAcceptRate <= g.pmu.MinAcceptRate {
+		t.Fatalf("default exit %g must sit above enter %g", g.pmu.ExitAcceptRate, g.pmu.MinAcceptRate)
+	}
+	if g.pmu.RateBeta <= 0 || g.pmu.MinDwellS <= 0 {
+		t.Fatalf("governor defaults unresolved: %+v", g.pmu)
+	}
+	inverted := PMU{MinAcceptRate: 0.8, ExitAcceptRate: 0.2}.withGovernorDefaults()
+	if inverted.ExitAcceptRate < inverted.MinAcceptRate {
+		t.Fatalf("inverted band survived: enter %g exit %g", inverted.MinAcceptRate, inverted.ExitAcceptRate)
+	}
+	// EWMA actually smooths.
+	g2 := DefaultPMU().NewGovernor()
+	g2.Decide(0, 100, 1, 0)
+	if e := g2.AcceptEWMA(); math.Abs(e-0.75) > 1e-12 {
+		t.Fatalf("EWMA after one 0 reading with beta 0.25: %g, want 0.75", e)
+	}
+}

@@ -49,6 +49,21 @@ type Streamer struct {
 	rHist   []int
 	beatIdx int
 
+	// Contact-health signals (Health): the sample clock, the number of
+	// beat attempts consumed (scored and failed), and the closing R of
+	// the last one. All three advance deterministically with the input,
+	// never with the chunking.
+	nSamples    int
+	nBeats      int
+	lastBeatEnd int
+	// healthFloor, when > 0, makes emit track the onset of the gate
+	// EWMA sitting below it (belowSince, a sample index; -1 while at or
+	// above). The onset is updated exactly where the EWMA changes — per
+	// beat — so a recovery between two beats inside one push chunk is
+	// never missed and the below-floor window is chunking-invariant.
+	healthFloor float64
+	belowSince  int
+
 	// Causal base-impedance estimate: cumulative sums of the raw Z
 	// channel, so each beat reports the mean impedance of the session up
 	// to its closing R peak (deterministic regardless of chunking).
@@ -142,16 +157,17 @@ func (d *Device) NewStreamer(sc StreamConfig) *Streamer {
 		gate = d.gate.NewStream()
 	}
 	return &Streamer{
-		dev:       d,
-		fs:        fs,
-		ecgStream: bank.ecgChain.NewStream(),
-		icgStream: icgStream,
-		pt:        pt,
-		delin:     delin,
-		gate:      gate,
-		zPrefix:   dsp.NewRing(int(8 * fs)),
-		body:      d.cfg.Body,
-		cal:       cal,
+		belowSince: -1,
+		dev:        d,
+		fs:         fs,
+		ecgStream:  bank.ecgChain.NewStream(),
+		icgStream:  icgStream,
+		pt:         pt,
+		delin:      delin,
+		gate:       gate,
+		zPrefix:    dsp.NewRing(int(8 * fs)),
+		body:       d.cfg.Body,
+		cal:        cal,
 	}
 }
 
@@ -169,6 +185,7 @@ func (s *Streamer) Push(ecgSamples, zSamples []float64) []hemo.BeatParams {
 	if len(ecgSamples) != len(zSamples) {
 		panic("core: Streamer.Push requires equal-length channels")
 	}
+	s.nSamples += len(zSamples)
 	for _, v := range zSamples {
 		s.zSum += v
 		s.zPrefix.Push(s.zSum)
@@ -217,10 +234,13 @@ func (s *Streamer) emit(beats []icg.BeatAnalysis) []hemo.BeatParams {
 		b := &beats[i]
 		rLo, rHi := s.rHist[s.beatIdx], s.rHist[s.beatIdx+1]
 		s.beatIdx++
+		s.nBeats++
+		s.lastBeatEnd = rHi
 		if b.Err != nil || b.Points == nil {
 			if s.gate != nil {
 				s.gate.PushFailed()
 			}
+			s.observeHealth(rHi)
 			continue
 		}
 		// Causal base impedance: session mean up to the closing R.
@@ -231,6 +251,7 @@ func (s *Streamer) emit(beats []icg.BeatAnalysis) []hemo.BeatParams {
 			bp.Quality = sqi.Score
 			bp.Accepted = sqi.Accepted
 		}
+		s.observeHealth(rHi)
 		out = append(out, bp)
 	}
 	// Compact the consumed R history so a long session stays O(1).
@@ -264,11 +285,96 @@ func (s *Streamer) Latency() float64 {
 // processed so far — failed delineations count as rejected — or 1 when
 // gating is disabled. Feed it to PMU.DecideGated: sustained low
 // acceptance means bad contact is wasting processing energy.
+//
+// Zero-beats contract: before any beat has been processed the rate is
+// exactly 1 — never 0 or NaN — matching quality.GateStream.AcceptRate,
+// Output.AcceptRate and session.Session.AcceptRate. A fresh stream has
+// shown no evidence of bad contact; the optimistic default keeps PMU
+// policies in ModeContinuous through warmup.
 func (s *Streamer) AcceptRate() float64 {
 	if s.gate == nil {
 		return 1
 	}
 	return s.gate.AcceptRate()
+}
+
+// SetHealthFloor arms per-beat tracking of the accept-rate EWMA
+// sitting below floor (StreamHealth.RateBelowSinceS); 0 disarms it.
+// The session engine sets it from HealthConfig.EvictBelowRate when a
+// streamer enters its pool; it survives Reset (the floor is an
+// engine-lifetime constant, not per-stream state). Changing the floor
+// discards any tracked onset — it was measured against the old floor
+// and would otherwise report a stale (or, after re-arming, instantly
+// evictable) window.
+func (s *Streamer) SetHealthFloor(floor float64) {
+	s.healthFloor = floor
+	s.belowSince = -1
+}
+
+// observeHealth runs once per consumed beat attempt, right after the
+// gate state advanced: the only points where the EWMA can change, so
+// the below-floor onset is exact regardless of chunking.
+func (s *Streamer) observeHealth(rHi int) {
+	if s.healthFloor <= 0 || s.gate == nil {
+		return
+	}
+	if s.gate.AcceptEWMA() < s.healthFloor {
+		if s.belowSince < 0 {
+			s.belowSince = rHi
+		}
+	} else {
+		s.belowSince = -1
+	}
+}
+
+// StreamHealth is a snapshot of a streamer's contact-health signals.
+// Every field is a pure function of the samples pushed so far — the
+// EWMA advances per beat, the clocks per sample — so two streamers fed
+// the same input under any chunking report identical snapshots at the
+// same sample position (the gate parity law lifted to the health layer).
+type StreamHealth struct {
+	// AcceptEWMA is the per-beat accept-rate EWMA
+	// (quality.GateStream.AcceptEWMA); 1 before any beat or when gating
+	// is disabled.
+	AcceptEWMA float64
+	// Beats counts beat attempts consumed so far, scored and failed.
+	Beats int
+	// Samples is the exact sample count pushed (SignalS is this divided
+	// by the rate; consumers needing integers should use Samples rather
+	// than re-deriving them from seconds, which truncates).
+	Samples int
+	// LastBeatS is the signal time (seconds) of the last consumed
+	// beat's closing R peak; 0 before any beat.
+	LastBeatS float64
+	// SignalS is the total signal time pushed (seconds).
+	SignalS float64
+	// RateBelowSinceS is the signal time (seconds) of the beat at which
+	// the EWMA last dropped below the armed health floor
+	// (SetHealthFloor) and has stayed below since — updated per beat,
+	// the only points where the EWMA changes, so an intra-chunk
+	// recovery always resets it. -1 while at/above the floor, when no
+	// floor is armed, or when gating is disabled.
+	RateBelowSinceS float64
+}
+
+// Health reports the streamer's contact-health signals; the session
+// engine's eviction policy (session.HealthConfig) is built on it.
+func (s *Streamer) Health() StreamHealth {
+	h := StreamHealth{
+		AcceptEWMA:      1,
+		Beats:           s.nBeats,
+		Samples:         s.nSamples,
+		LastBeatS:       float64(s.lastBeatEnd) / s.fs,
+		SignalS:         float64(s.nSamples) / s.fs,
+		RateBelowSinceS: -1,
+	}
+	if s.gate != nil {
+		h.AcceptEWMA = s.gate.AcceptEWMA()
+	}
+	if s.belowSince >= 0 {
+		h.RateBelowSinceS = float64(s.belowSince) / s.fs
+	}
+	return h
 }
 
 // AcceptCounts returns how many beats the gate accepted out of all it
@@ -292,6 +398,10 @@ func (s *Streamer) Reset() {
 	}
 	s.rHist = s.rHist[:0]
 	s.beatIdx = 0
+	s.nSamples = 0
+	s.nBeats = 0
+	s.lastBeatEnd = 0
+	s.belowSince = -1 // healthFloor deliberately survives Reset
 	s.zPrefix.Reset()
 	s.zSum = 0
 }

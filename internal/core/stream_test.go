@@ -195,3 +195,38 @@ func TestEnsembleMode(t *testing.T) {
 		t.Error("ensemble output without the flag")
 	}
 }
+
+// The zero-beats contract: a streamer that has processed no beats —
+// fresh, or fed samples that complete none — reports AcceptRate exactly
+// 1 (never 0 or NaN) and an optimistic health snapshot, gated or not.
+func TestStreamerAcceptRateZeroBeats(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		d := device(t, func(c *Config) { c.DisableGate = disable })
+		st := d.NewStreamer(StreamConfig{})
+		if r := st.AcceptRate(); r != 1 {
+			t.Fatalf("fresh streamer (gate disabled=%v) AcceptRate %g, want exactly 1", disable, r)
+		}
+		h := st.Health()
+		if h.AcceptEWMA != 1 || h.Beats != 0 || h.SignalS != 0 || h.LastBeatS != 0 {
+			t.Fatalf("fresh health snapshot not zeroed/optimistic: %+v", h)
+		}
+		// A short beatless push keeps the contract and advances only the
+		// sample clock.
+		buf := make([]float64, 100)
+		st.Push(buf, buf)
+		if r := st.AcceptRate(); r != 1 {
+			t.Fatalf("beatless streamer AcceptRate %g, want exactly 1", r)
+		}
+		h = st.Health()
+		if h.Beats != 0 || h.AcceptEWMA != 1 {
+			t.Fatalf("beatless health snapshot changed: %+v", h)
+		}
+		if want := 100 / d.Config().FS; h.SignalS != want {
+			t.Fatalf("SignalS %g, want %g", h.SignalS, want)
+		}
+		st.Reset()
+		if h := st.Health(); h.SignalS != 0 || h.AcceptEWMA != 1 {
+			t.Fatalf("Reset did not clear health: %+v", h)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package goldentest holds the golden beat-trace format shared by the
+// core and session golden regression tests: one formatter and one block
+// reader, so the two tests can never drift apart and silently compare
+// different encodings of the same committed file
+// (internal/core/testdata/golden_subject*.txt; regenerate with
+// `go test ./internal/core/ -run TestGolden -update`).
+package goldentest
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/hemo"
+)
+
+// Line formats one beat as a golden-file line: R index, then LVET, PEP,
+// SVKub and Quality as hex floats (%x — bit-exact and locale-proof),
+// then Accepted as 0/1. R is recovered from TimeS*fs (TimeS is R/fs by
+// construction, exact in binary floating point).
+func Line(fs float64, b hemo.BeatParams) string {
+	acc := 0
+	if b.Accepted {
+		acc = 1
+	}
+	return fmt.Sprintf("%d %x %x %x %x %d",
+		int(math.Round(b.TimeS*fs)), b.LVET, b.PEP, b.SVKub, b.Quality, acc)
+}
+
+// ReadBlock returns the raw lines of the named block ("batch" or
+// "stream") of a golden file.
+func ReadBlock(path, name string) ([]string, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	sc := bufio.NewScanner(fh)
+	var lines []string
+	remaining := -1
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if remaining > 0 {
+			lines = append(lines, line)
+			remaining--
+			continue
+		}
+		if remaining == 0 {
+			break
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("goldentest: bad block header %q: %v", line, err)
+			}
+			remaining = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("goldentest: block %q not found or truncated in %s", name, path)
+	}
+	return lines, nil
+}

@@ -40,6 +40,22 @@ type GateConfig struct {
 	// TemplateAlpha is the EWMA weight a newly accepted beat gets when
 	// folded into the ensemble template.
 	TemplateAlpha float64
+	// TemplateFastAlpha is the template weight used instead of
+	// TemplateAlpha while the running accept-rate EWMA sits below
+	// FastBelowRate: after a posture change rejects a streak of beats,
+	// the first re-accepted morphologies fold in fast so the ensemble
+	// re-locks onto the new shape, then the weight reverts to
+	// TemplateAlpha once acceptance recovers. Setting it equal to
+	// TemplateAlpha disables the adaptation.
+	TemplateFastAlpha float64
+	// FastBelowRate is the accept-rate EWMA threshold below which
+	// TemplateFastAlpha applies.
+	FastBelowRate float64
+	// RateBeta is the per-beat weight of the accept-rate EWMA (every
+	// scored or failed beat contributes its 0/1 acceptance); the EWMA
+	// starts at 1, matching the optimistic zero-beats AcceptRate
+	// contract.
+	RateBeta float64
 	// TemplateWarmup is how many accepted beats must seed the template
 	// before the correlation check starts rejecting.
 	TemplateWarmup int
@@ -88,17 +104,20 @@ func DefaultGate(fs float64) GateConfig {
 		fs = 250
 	}
 	return GateConfig{
-		FS:             fs,
-		TemplateAlpha:  0.15,
-		TemplateWarmup: 4,
-		MinTemplateR:   0.05,
-		MaxSaturation:  0.2,
-		RailTolFrac:    1e-3,
-		FlatFrac:       1e-3,
-		MaxFlatRun:     0.25,
-		MinSNR:         0.5,
-		MinMorph:       0.1,
-		HistorySamples: int(16 * fs),
+		FS:                fs,
+		TemplateAlpha:     0.15,
+		TemplateFastAlpha: 0.5,
+		FastBelowRate:     0.35,
+		RateBeta:          0.15,
+		TemplateWarmup:    4,
+		MinTemplateR:      0.05,
+		MaxSaturation:     0.2,
+		RailTolFrac:       1e-3,
+		FlatFrac:          1e-3,
+		MaxFlatRun:        0.25,
+		MinSNR:            0.5,
+		MinMorph:          0.1,
+		HistorySamples:    int(16 * fs),
 	}
 }
 
@@ -107,6 +126,15 @@ func (c GateConfig) withDefaults() GateConfig {
 	d := DefaultGate(c.FS)
 	if c.TemplateAlpha <= 0 {
 		c.TemplateAlpha = d.TemplateAlpha
+	}
+	if c.TemplateFastAlpha <= 0 {
+		c.TemplateFastAlpha = d.TemplateFastAlpha
+	}
+	if c.FastBelowRate == 0 {
+		c.FastBelowRate = d.FastBelowRate
+	}
+	if c.RateBeta <= 0 {
+		c.RateBeta = d.RateBeta
 	}
 	if c.TemplateWarmup <= 0 {
 		c.TemplateWarmup = d.TemplateWarmup
@@ -169,8 +197,9 @@ func (g *BeatGate) Config() GateConfig { return g.cfg }
 // NewStream returns fresh streaming gate state.
 func (g *BeatGate) NewStream() *GateStream {
 	return &GateStream{
-		cfg:  g.cfg,
-		ring: dsp.NewRing(g.cfg.HistorySamples),
+		cfg:      g.cfg,
+		ring:     dsp.NewRing(g.cfg.HistorySamples),
+		rateEWMA: 1,
 	}
 }
 
@@ -205,6 +234,11 @@ type GateStream struct {
 	tmplN    int                    // accepted beats folded in so far
 
 	accepted, total int
+	// rateEWMA tracks recent acceptance (RateBeta per beat, scored and
+	// failed alike, starting at 1). It adapts the template weight and is
+	// the chunking-invariant health signal the serving layer evicts on:
+	// it advances only when a beat is pushed, never on raw samples.
+	rateEWMA float64
 
 	segBuf []float64 // per-beat scratch
 }
@@ -215,7 +249,20 @@ func (gs *GateStream) Push(z []float64) { gs.ring.Append(z) }
 
 // PushFailed records a beat that failed delineation: it counts against
 // the acceptance rate but is not scored and does not touch the template.
-func (gs *GateStream) PushFailed() { gs.total++ }
+func (gs *GateStream) PushFailed() {
+	gs.total++
+	gs.observe(false)
+}
+
+// observe folds one beat's acceptance into the running accept-rate EWMA.
+func (gs *GateStream) observe(accepted bool) {
+	x := 0.0
+	if accepted {
+		x = 1
+	}
+	b := gs.cfg.RateBeta
+	gs.rateEWMA = (1-b)*gs.rateEWMA + b*x
+}
 
 // PushBeat scores the beat delimited by [rLo, rHi) on the raw sample
 // clock, carrying the delineator's morphology score and conditioned
@@ -308,7 +355,14 @@ func (gs *GateStream) PushBeat(rLo, rHi int, b *icg.BeatAnalysis) BeatSQI {
 	}
 
 	if sqi.Accepted && b.ShapeOK {
+		// Accept-rate-adaptive weight: while recent acceptance (the EWMA
+		// as of the previous beat) is poor, a re-accepted morphology
+		// folds in fast so the ensemble re-locks after posture changes;
+		// once acceptance recovers the slow weight resumes.
 		a := c.TemplateAlpha
+		if gs.rateEWMA < c.FastBelowRate {
+			a = c.TemplateFastAlpha
+		}
 		if gs.tmplN == 0 {
 			a = 1
 		}
@@ -320,11 +374,12 @@ func (gs *GateStream) PushBeat(rLo, rHi int, b *icg.BeatAnalysis) BeatSQI {
 	return gs.record(sqi)
 }
 
-// record updates the acceptance counters.
+// record updates the acceptance counters and the accept-rate EWMA.
 func (gs *GateStream) record(sqi BeatSQI) BeatSQI {
 	if sqi.Accepted {
 		gs.accepted++
 	}
+	gs.observe(sqi.Accepted)
 	return sqi
 }
 
@@ -355,14 +410,29 @@ func (gs *GateStream) Apply(dst []BeatSQI, z []float64, beats []icg.BeatAnalysis
 // (scored and failed).
 func (gs *GateStream) Counts() (accepted, total int) { return gs.accepted, gs.total }
 
-// AcceptRate returns the fraction of pushed beats accepted so far
-// (1 before any beat arrived).
+// AcceptRate returns the fraction of pushed beats accepted so far.
+//
+// Zero-beats contract (pinned across every layer — GateStream,
+// core.Streamer.AcceptRate, core.Output.AcceptRate and
+// session.Session.AcceptRate all share it): before any beat has been
+// pushed the rate is exactly 1, never 0 or NaN. A stream that has seen
+// no beats has shown no evidence of bad contact, and the optimistic
+// default keeps PMU policies in ModeContinuous during warmup.
 func (gs *GateStream) AcceptRate() float64 {
 	if gs.total == 0 {
 		return 1
 	}
 	return float64(gs.accepted) / float64(gs.total)
 }
+
+// AcceptEWMA returns the running accept-rate EWMA: RateBeta-weighted
+// over every pushed beat (scored and failed), 1 before any beat (the
+// same zero-beats contract as AcceptRate). Unlike the cumulative
+// AcceptRate it forgets, so it tracks the *current* contact; it
+// advances only on beats, never on raw samples, so it is
+// chunking-invariant per the gate parity law and safe to build serving
+// decisions (session eviction, PMU hysteresis) on.
+func (gs *GateStream) AcceptEWMA() float64 { return gs.rateEWMA }
 
 // TemplateSeeded reports how many accepted beats shaped the ensemble.
 func (gs *GateStream) TemplateSeeded() int { return gs.tmplN }
@@ -376,6 +446,7 @@ func (gs *GateStream) Reset() {
 	gs.template = [icg.ShapeBins]float64{}
 	gs.tmplN = 0
 	gs.accepted, gs.total = 0, 0
+	gs.rateEWMA = 1
 }
 
 // beatSNR is the per-beat noise measure: endpoint-detrended signal

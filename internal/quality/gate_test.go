@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/dsp"
 	"repro/internal/icg"
 	"repro/internal/physio"
 )
@@ -248,6 +249,122 @@ func TestGateExtremesAfterRingWrap(t *testing.T) {
 	}
 	if sqi.Flat {
 		t.Errorf("live beat flagged flat after ring wrap: %+v", sqi)
+	}
+}
+
+// The accept-rate EWMA: starts at exactly 1 (the shared zero-beats
+// contract), decays by RateBeta per rejected/failed beat, and Reset
+// restores it.
+func TestGateAcceptEWMAContract(t *testing.T) {
+	g := NewBeatGate(DefaultGate(250))
+	gs := g.NewStream()
+	if e := gs.AcceptEWMA(); e != 1 {
+		t.Fatalf("fresh stream AcceptEWMA %g, want exactly 1", e)
+	}
+	gs.PushFailed()
+	gs.PushFailed()
+	want := 0.85 * 0.85 // two zero observations at beta 0.15
+	if e := gs.AcceptEWMA(); math.Abs(e-want) > 1e-12 {
+		t.Fatalf("AcceptEWMA after two failures %g, want %g", e, want)
+	}
+	if r := gs.AcceptRate(); r != 0 {
+		t.Fatalf("cumulative AcceptRate %g, want 0", r)
+	}
+	gs.Reset()
+	if e := gs.AcceptEWMA(); e != 1 {
+		t.Fatalf("AcceptEWMA after Reset %g, want 1", e)
+	}
+	// Full recordings keep the EWMA in [0,1] and consistent with the
+	// parity law (Apply drives the same stream, so no separate check).
+	f := makeFixture(t)
+	gs.Apply(nil, f.z, f.beats, f.rPeaks)
+	if e := gs.AcceptEWMA(); e < 0 || e > 1 {
+		t.Fatalf("AcceptEWMA out of range: %g", e)
+	}
+}
+
+// relockFixture builds a posture-change scenario: clean beats of shape
+// A seed the template, a streak of failed beats drives the accept-rate
+// EWMA below FastBelowRate, then beats of a related-but-different shape
+// B arrive. Returns the gate stream state after the B beats were folded.
+func runRelock(t *testing.T, cfg GateConfig) (gs *GateStream, shapeB [icg.ShapeBins]float64) {
+	t.Helper()
+	const fs = 250
+	beatLen := 200
+	nBeats := 18
+	n := beatLen*nBeats + 100
+	rng := physio.NewRNG(7)
+	z := make([]float64, n)
+	for i := range z {
+		tt := float64(i) / fs
+		z[i] = 250 + 1.5*math.Sin(2*math.Pi*0.25*tt) +
+			0.4*math.Sin(2*math.Pi*1.25*tt) + 0.02*rng.NormFloat64()
+	}
+	// Conditioned traces: shape A for the first stretch, a correlated
+	// but distinct shape B for the tail (same C bump, shifted X trough —
+	// the correlation stays well above MinTemplateR so B beats are
+	// accepted and can re-lock the ensemble).
+	cond := make([]float64, n)
+	for i := range cond {
+		ph := float64(i%beatLen) / float64(beatLen)
+		if i/beatLen < 14 {
+			cond[i] = math.Exp(-40*(ph-0.3)*(ph-0.3)) - 0.4*math.Exp(-60*(ph-0.6)*(ph-0.6))
+		} else {
+			cond[i] = 0.8*math.Exp(-40*(ph-0.35)*(ph-0.35)) - 0.7*math.Exp(-30*(ph-0.75)*(ph-0.75))
+		}
+	}
+	g := NewBeatGate(cfg)
+	gs = g.NewStream()
+	gs.Push(z)
+	for b := 0; b+1 <= nBeats; b++ {
+		lo, hi := b*beatLen, (b+1)*beatLen
+		if b >= 6 && b < 14 {
+			// Posture change: eight straight delineation failures.
+			gs.PushFailed()
+			continue
+		}
+		ba := &icg.BeatAnalysis{Quality: 0.9, Points: &icg.BeatPoints{R: lo, B: lo + 30, C: lo + 60, X: lo + 110, CAmp: 1}}
+		ba.Shape, ba.ShapeOK = icg.BeatShapeOf(cond, lo, hi)
+		if b == 14 {
+			if e := gs.AcceptEWMA(); e >= g.Config().FastBelowRate {
+				t.Fatalf("failure streak left EWMA at %g, not below FastBelowRate %g",
+					e, g.Config().FastBelowRate)
+			}
+		}
+		if b >= 14 {
+			shapeB = ba.Shape
+		}
+		sqi := gs.PushBeat(lo, hi, ba)
+		if !sqi.Accepted {
+			t.Fatalf("beat %d rejected (%+v); fixture must keep re-lock beats acceptable", b, sqi)
+		}
+	}
+	return gs, shapeB
+}
+
+// Accept-rate-adaptive template weight: after a rejection streak, the
+// default gate must re-lock its ensemble onto the new morphology
+// measurably faster than a gate whose fast weight is pinned to the slow
+// one, and both must converge back to the same slow-weight behavior as
+// acceptance recovers (the EWMA climbs with each accepted beat).
+func TestTemplateFastRelock(t *testing.T) {
+	adaptive := DefaultGate(250)
+	fixed := DefaultGate(250)
+	fixed.TemplateFastAlpha = fixed.TemplateAlpha // adaptation off
+
+	gsA, shapeB := runRelock(t, adaptive)
+	gsF, _ := runRelock(t, fixed)
+
+	rA := dsp.Pearson(gsA.template[:], shapeB[:])
+	rF := dsp.Pearson(gsF.template[:], shapeB[:])
+	if rA <= rF+0.01 {
+		t.Fatalf("adaptive template correlation to the new shape %.4f, fixed %.4f: no faster re-lock", rA, rF)
+	}
+	// The accepted re-lock beats push the EWMA back up; once it clears
+	// FastBelowRate the slow weight resumes (observable: the EWMA state
+	// itself recovered).
+	if e := gsA.AcceptEWMA(); e <= adaptive.FastBelowRate {
+		t.Fatalf("EWMA did not recover after re-accepted beats: %g", e)
 	}
 }
 

@@ -1,0 +1,67 @@
+package session
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/goldentest"
+	"repro/internal/physio"
+)
+
+// The serving layer must reproduce the committed golden beat trace
+// (internal/core/testdata, regenerated with `go test ./internal/core/
+// -run TestGolden -update`) byte for byte: a real session.Engine with
+// concurrent workers, health eviction armed, and radio-packet-sized
+// chunks emits exactly the stream-block beats for the golden subject.
+func TestGoldenEngineMatchesStreamTrace(t *testing.T) {
+	const goldenSeconds = 12.0
+	want, err := goldentest.ReadBlock(filepath.Join("..", "core", "testdata", "golden_subject1.txt"), "stream")
+	if err != nil {
+		t.Fatalf("golden stream block (go test ./internal/core/ -run TestGolden -update): %v", err)
+	}
+
+	dev, err := core.NewDevice(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := physio.SubjectByID(1)
+	acq, err := dev.Acquire(&sub, goldenSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	cfg.Seed = 42
+	// Health armed with the serving defaults: a golden (live) subject
+	// must never trip eviction.
+	cfg.Health = HealthConfig{EvictBelowRate: 0.2}
+	eng := NewEngine(dev, cfg)
+	defer eng.Close()
+	s, err := eng.Open(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(acq.ECG); pos += 50 {
+		end := pos + 50
+		if end > len(acq.ECG) {
+			end = len(acq.ECG)
+		}
+		if err := s.Push(acq.ECG[pos:end], acq.Z[pos:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	beats := s.Drain()
+	if len(beats) != len(want) {
+		t.Fatalf("engine emitted %d beats, golden stream block has %d", len(beats), len(want))
+	}
+	fs := dev.Config().FS
+	for i, b := range beats {
+		if line := goldentest.Line(fs, b); line != want[i] {
+			t.Fatalf("beat %d: engine %q != golden %q", i, line, want[i])
+		}
+	}
+}

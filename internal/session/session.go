@@ -35,6 +35,14 @@ type Config struct {
 	// Seed is the engine's base seed; each session derives its own seed
 	// deterministically from Seed and its ID.
 	Seed int64
+	// Health configures engine-level eviction of dead-contact sessions
+	// (health.go); the zero value disables it.
+	Health HealthConfig
+	// OnClose, when non-nil, receives a CloseEvent exactly once per
+	// session as it finishes — client closes and evictions alike — from
+	// the worker goroutine that finished it. It must not call back into
+	// the engine or the session.
+	OnClose func(CloseEvent)
 }
 
 // DefaultConfig returns the serving defaults.
@@ -46,6 +54,8 @@ func DefaultConfig() Config {
 type Engine struct {
 	dev *core.Device
 	cfg Config
+	// health is the resolved eviction policy; nil when disabled.
+	health *HealthConfig
 
 	mu       sync.Mutex
 	sessions map[uint64]*Session
@@ -82,6 +92,11 @@ type Session struct {
 	// Quality-gate accounting over the emitted beats (under mu):
 	// accepted/emitted are readable via AcceptStats even after Close.
 	accepted, emitted int
+
+	// Health-eviction state, written under mu (the below-floor window
+	// itself lives in the streamer, tracked per beat — health.go).
+	evicted bool
+	reason  CloseReason
 }
 
 // chunk is one queued input: either a pooled combined buffer (Push —
@@ -99,6 +114,10 @@ var (
 	ErrEngineClosed  = errors.New("session: engine closed")
 	ErrSessionClosed = errors.New("session: session closed")
 	ErrDuplicateID   = errors.New("session: duplicate session id")
+	// ErrSessionEvicted is returned by Push/PushOwned/Close after the
+	// engine evicted the session for dead contact (HealthConfig); the
+	// beats emitted before the eviction stay available via Drain.
+	ErrSessionEvicted = errors.New("session: session evicted (dead contact)")
 )
 
 // NewEngine starts an engine serving streams of the given device.
@@ -117,7 +136,26 @@ func NewEngine(dev *core.Device, cfg Config) *Engine {
 		// flag), so any comfortable buffer avoids enqueue stalls.
 		runq: make(chan *Session, 1024),
 	}
-	e.streamers.New = func() any { return dev.NewStreamer(cfg.Stream) }
+	if cfg.Health.Enabled() {
+		h := cfg.Health.withDefaults()
+		e.health = &h
+		if h.EvictBelowRate > 0 && dev.Gate() == nil {
+			// With the quality gate disabled the accept-rate EWMA is
+			// pinned to 1, so the rate rule could never fire: the
+			// operator would believe eviction is armed while dead
+			// sessions run forever. Refuse the combination loudly.
+			panic("session: HealthConfig.EvictBelowRate requires the device quality gate (core.Config.DisableGate must be false)")
+		}
+	}
+	e.streamers.New = func() any {
+		st := dev.NewStreamer(cfg.Stream)
+		if e.health != nil {
+			// Arm per-beat below-floor tracking; the floor is an
+			// engine-lifetime constant and survives streamer Reset.
+			st.SetHealthFloor(e.health.EvictBelowRate)
+		}
+		return st
+	}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker()
@@ -237,7 +275,13 @@ func (s *Session) Push(ecgSamples, zSamples []float64) error {
 	buf := s.eng.getBuf(2 * n)
 	copy(buf[:n], ecgSamples)
 	copy(buf[n:], zSamples)
-	return s.enqueue(chunk{buf: buf, n: n})
+	if err := s.enqueue(chunk{buf: buf, n: n}); err != nil {
+		// Closed or evicted mid-push: recycle the copy instead of
+		// dropping it — with eviction armed this is a routine path.
+		s.eng.chunks.Put(buf[:0])
+		return err
+	}
+	return nil
 }
 
 // PushOwned is Push transferring ownership of the slices instead of
@@ -261,12 +305,22 @@ func (s *Session) PushOwned(ecgSamples, zSamples []float64) error {
 
 // Close flushes the stream, recycles the session's streaming state into
 // the engine pool, and removes the session from the engine. It blocks
-// until the final beats have been delivered.
+// until the final beats have been delivered. It returns
+// ErrSessionEvicted when the engine evicted the session for dead
+// contact — including when the eviction overtakes an already-enqueued
+// flush (the evicted stream was never flushed, so its lookahead-tail
+// beats were dropped; reporting success there would be a lie). Drain
+// still works after an eviction.
 func (s *Session) Close() error {
 	if err := s.enqueue(chunk{flush: true}); err != nil {
 		return err
 	}
 	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.evicted {
+		return ErrSessionEvicted
+	}
 	return nil
 }
 
@@ -280,17 +334,28 @@ func (s *Session) Drain() []hemo.BeatParams {
 	return out
 }
 
+// closedErr reports why the session no longer accepts input (callers
+// hold mu).
+func (s *Session) closedErr() error {
+	if s.evicted {
+		return ErrSessionEvicted
+	}
+	return ErrSessionClosed
+}
+
 func (s *Session) enqueue(c chunk) error {
 	s.mu.Lock()
 	if s.closing {
+		err := s.closedErr()
 		s.mu.Unlock()
-		return ErrSessionClosed
+		return err
 	}
 	for len(s.pending) >= s.eng.cfg.MaxPending && !c.flush {
 		s.cond.Wait()
 		if s.closing {
+			err := s.closedErr()
 			s.mu.Unlock()
-			return ErrSessionClosed
+			return err
 		}
 	}
 	if c.flush {
@@ -322,10 +387,10 @@ func (s *Session) run(batch []chunk) []chunk {
 		s.cond.Broadcast()
 		s.mu.Unlock()
 
-		for _, c := range batch {
+		for i, c := range batch {
 			if c.flush {
 				s.deliver(s.st.Flush())
-				s.finish()
+				s.finish(ReasonClient)
 				return batch
 			}
 			if c.buf != nil {
@@ -334,6 +399,13 @@ func (s *Session) run(batch []chunk) []chunk {
 			} else {
 				// Owned chunk (PushOwned): read in place, drop after.
 				s.deliver(s.st.Push(c.ecg, c.z))
+			}
+			// Health check after every consumed chunk: the signals are
+			// pure functions of the input consumed so far, so the
+			// eviction point is the same for any worker count.
+			if h := s.eng.health; h != nil && s.healthCheck(h) {
+				s.evict(batch[i+1:])
+				return batch
 			}
 		}
 	}
@@ -370,24 +442,66 @@ func (s *Session) deliver(beats []hemo.BeatParams) {
 // the per-beat quality gate, out of all emitted so far. It stays
 // readable after Close (final values), so fleet drivers can tally
 // per-session accept rates as sessions finish.
+//
+// Zero-beats case: before any beat has been emitted both counts are 0;
+// use AcceptRate when you need a ratio — it pins the 0/0 case to 1
+// instead of leaving callers to divide into NaN.
 func (s *Session) AcceptStats() (accepted, emitted int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.accepted, s.emitted
 }
 
-// finish recycles the streamer and detaches the session.
-func (s *Session) finish() {
+// AcceptRate returns the fraction of the session's emitted beats that
+// passed the quality gate, or exactly 1 before any beat was emitted —
+// the zero-beats contract shared with quality.GateStream.AcceptRate and
+// core.Streamer.AcceptRate (a session with no beats has shown no
+// evidence of bad contact). Note it counts emitted beats only; the
+// engine-internal eviction signal additionally counts failed
+// delineations (core.StreamHealth).
+func (s *Session) AcceptRate() float64 {
+	acc, em := s.AcceptStats()
+	if em == 0 {
+		return 1
+	}
+	return float64(acc) / float64(em)
+}
+
+// Done returns a channel closed when the session has fully finished —
+// final beats delivered, streaming state recycled, close event emitted.
+// Useful for observing asynchronous health evictions, which can finish
+// a session between two pushes.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Reason reports why the session ended (meaningful once Close returned
+// or a Push failed with ErrSessionEvicted): ReasonClient for ordinary
+// closes, ReasonDeadContact for health evictions.
+func (s *Session) Reason() CloseReason {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reason
+}
+
+// finish recycles the streamer, detaches the session and emits the
+// close event. It runs on the session's worker, exactly once.
+func (s *Session) finish(reason CloseReason) {
 	s.mu.Lock()
 	st := s.st
 	s.st = nil
+	s.reason = reason
+	acc, em := s.accepted, s.emitted
 	s.mu.Unlock()
+	// Snapshot the health signals before Reset wipes them.
+	ev := CloseEvent{ID: s.ID, Reason: reason, Accepted: acc, Emitted: em, Health: st.Health()}
 	st.Reset()
 	s.eng.streamers.Put(st)
 	e := s.eng
 	e.mu.Lock()
 	delete(e.sessions, s.ID)
 	e.mu.Unlock()
+	if e.cfg.OnClose != nil {
+		e.cfg.OnClose(ev)
+	}
 	close(s.done)
 }
 

@@ -46,6 +46,16 @@ func (in *testInputs) channels(seed int64, id uint64) (ecg, z []float64) {
 	return ecg, z
 }
 
+// deadChannels returns a dead-contact stream of the same length as the
+// session's live recording would have been: the shared lifted-finger
+// model (physio.DeadContact — flat impedance, noise-only ECG), so the
+// eviction tests and the cmd/icgstream fleet benchmark stress the
+// health policy with the same signal.
+func (in *testInputs) deadChannels(seed int64, id uint64) (ecg, z []float64) {
+	n := len(in.base[id%uint64(len(in.base))][0])
+	return physio.DeadContact(seed, n)
+}
+
 func hashBeats(beats []hemo.BeatParams) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -74,13 +84,31 @@ func hashBeats(beats []hemo.BeatParams) uint64 {
 	return h.Sum64()
 }
 
+// fleetOpts tunes runFleet beyond the defaults.
+type fleetOpts struct {
+	health  HealthConfig
+	deadMod uint64 // id%deadMod == deadMod-1 gets dead-contact input (0 = none)
+	onClose func(CloseEvent)
+}
+
+// isDead reports whether session id carries dead-contact input.
+func (o *fleetOpts) isDead(id uint64) bool {
+	return o != nil && o.deadMod > 0 && id%o.deadMod == o.deadMod-1
+}
+
 // runFleet drives n concurrent sessions through an engine with the
 // given worker count and returns the per-session beat-stream hashes.
-func runFleet(t testing.TB, dev *core.Device, in *testInputs, n, workers, chunk int) []uint64 {
+// Pushers tolerate health evictions: an evicted session stops pushing
+// and hashes whatever it emitted before the engine cut it off.
+func runFleet(t testing.TB, dev *core.Device, in *testInputs, n, workers, chunk int, opts *fleetOpts) []uint64 {
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.Workers = workers
 	cfg.Seed = 42
+	if opts != nil {
+		cfg.Health = opts.health
+		cfg.OnClose = opts.onClose
+	}
 	eng := NewEngine(dev, cfg)
 	hashes := make([]uint64, n)
 
@@ -105,20 +133,35 @@ func runFleet(t testing.TB, dev *core.Device, in *testInputs, n, workers, chunk 
 			defer wg.Done()
 			for i := p; i < n; i += pushers {
 				s := sessions[i]
-				ecg, z := in.channels(s.Seed(), s.ID)
+				var ecg, z []float64
+				if opts.isDead(s.ID) {
+					ecg, z = in.deadChannels(s.Seed(), s.ID)
+				} else {
+					ecg, z = in.channels(s.Seed(), s.ID)
+				}
+				evicted := false
 				for pos := 0; pos < len(ecg); pos += chunk {
 					end := pos + chunk
 					if end > len(ecg) {
 						end = len(ecg)
 					}
 					if err := s.Push(ecg[pos:end], z[pos:end]); err != nil {
+						if err == ErrSessionEvicted {
+							evicted = true
+							break
+						}
 						t.Error(err)
 						return
 					}
 				}
-				if err := s.Close(); err != nil {
-					t.Error(err)
-					return
+				if !evicted {
+					// The engine may still have evicted after the last
+					// push; Close then reports it (or the flush already
+					// won the race and Close succeeds normally).
+					if err := s.Close(); err != nil && err != ErrSessionEvicted {
+						t.Error(err)
+						return
+					}
 				}
 				hashes[i] = hashBeats(s.Drain())
 			}
@@ -132,35 +175,80 @@ func runFleet(t testing.TB, dev *core.Device, in *testInputs, n, workers, chunk 
 }
 
 // The headline scale/determinism test: >= 1000 concurrent sessions,
-// byte-identical per-session beat streams across worker counts.
+// byte-identical per-session beat streams across worker counts — now
+// with every 8th session carrying dead-contact input and health
+// eviction enabled, so the eviction decisions themselves are pinned as
+// a pure function of each session's own input order.
 func TestEngineThousandSessionsDeterministic(t *testing.T) {
 	dev, err := core.NewDevice(core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	n := 1024
+	// 8 s inputs even under -short: eviction needs the EWMA to decay and
+	// dwell below the floor AFTER the ~2.5 s delineation latency, which
+	// a 6 s recording cannot fit.
 	seconds := 8.0
 	if testing.Short() {
-		n, seconds = 128, 6.0
+		n = 128
 	}
 	in := makeInputs(t, dev, seconds)
 
-	ref := runFleet(t, dev, in, n, 1, 125)
+	// Eviction thresholds scaled to the short inputs: a dead session
+	// must be cut well before its stream ends. Dead-contact noise yields
+	// sparse spurious beats that are all rejected, so the EWMA decays
+	// below 0.45 by ~3.5 s of analyzable signal.
+	health := HealthConfig{EvictBelowRate: 0.45, EvictAfterS: 1.5, GraceS: 1, NoBeatS: 3}
+
+	run := func(workers int) ([]uint64, map[uint64]bool) {
+		var mu sync.Mutex
+		evicted := make(map[uint64]bool)
+		opts := &fleetOpts{
+			health:  health,
+			deadMod: 8,
+			onClose: func(ev CloseEvent) {
+				if ev.Reason == ReasonDeadContact {
+					mu.Lock()
+					evicted[ev.ID] = true
+					mu.Unlock()
+				}
+			},
+		}
+		return runFleet(t, dev, in, n, workers, 125, opts), evicted
+	}
+
+	ref, refEvicted := run(1)
 	nonEmpty := 0
 	for _, h := range ref {
 		if h != hashBeats(nil) {
 			nonEmpty++
 		}
 	}
-	if nonEmpty < n*9/10 {
+	if nonEmpty < (n-n/8)*9/10 {
 		t.Fatalf("only %d/%d sessions produced beats", nonEmpty, n)
 	}
+	if len(refEvicted) < n/8/2 {
+		t.Fatalf("only %d/%d dead-contact sessions evicted", len(refEvicted), n/8)
+	}
+	for id := range refEvicted {
+		if id%8 != 7 {
+			t.Fatalf("live session %d evicted", id)
+		}
+	}
 	for _, workers := range []int{3, 8} {
-		got := runFleet(t, dev, in, n, workers, 125)
+		got, gotEvicted := run(workers)
 		for i := range ref {
 			if got[i] != ref[i] {
 				t.Fatalf("session %d: hash %x with %d workers, %x with 1 worker",
 					i, got[i], workers, ref[i])
+			}
+		}
+		if len(gotEvicted) != len(refEvicted) {
+			t.Fatalf("%d evictions with %d workers, %d with 1", len(gotEvicted), workers, len(refEvicted))
+		}
+		for id := range refEvicted {
+			if !gotEvicted[id] {
+				t.Fatalf("session %d evicted with 1 worker but not with %d", id, workers)
 			}
 		}
 	}
@@ -174,8 +262,8 @@ func TestEngineChunkInvariance(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := makeInputs(t, dev, 8)
-	a := runFleet(t, dev, in, 32, 4, 50)
-	b := runFleet(t, dev, in, 32, 4, 501)
+	a := runFleet(t, dev, in, 32, 4, 50, nil)
+	b := runFleet(t, dev, in, 32, 4, 501, nil)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("session %d: chunk 50 hash %x != chunk 501 hash %x", i, a[i], b[i])

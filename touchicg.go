@@ -27,6 +27,7 @@ import (
 	"repro/internal/icg"
 	"repro/internal/physio"
 	"repro/internal/quality"
+	"repro/internal/session"
 	"repro/internal/study"
 )
 
@@ -58,6 +59,34 @@ type (
 	BeatSQI = quality.BeatSQI
 	// GatedSummary pairs raw and quality-gated aggregate views.
 	GatedSummary = hemo.GatedSummary
+
+	// Engine is the multi-session serving layer: one engine multiplexes
+	// thousands of concurrent device streams over a bounded worker pool.
+	Engine = session.Engine
+	// Session is one device stream served by an Engine.
+	Session = session.Session
+	// EngineConfig tunes the serving engine (workers, backpressure,
+	// health eviction).
+	EngineConfig = session.Config
+	// HealthConfig arms engine-level eviction of dead-contact sessions.
+	HealthConfig = session.HealthConfig
+	// CloseEvent reports why a session ended (client close or
+	// dead-contact eviction) with its final health snapshot.
+	CloseEvent = session.CloseEvent
+	// StreamHealth is a streamer's contact-health snapshot.
+	StreamHealth = core.StreamHealth
+
+	// PMU is the power-management policy of Section III-A.
+	PMU = core.PMU
+	// Governor is the stateful PMU: accept-rate EWMA smoothing plus
+	// enter/exit hysteresis and dwell on quality-driven mode flips.
+	Governor = core.Governor
+)
+
+// Session close reasons (CloseEvent.Reason / Session.Reason).
+const (
+	ReasonClient      = session.ReasonClient
+	ReasonDeadContact = session.ReasonDeadContact
 )
 
 // Protocol arm positions.
@@ -102,3 +131,14 @@ func StudyFrequencies() []float64 { return bioimp.StudyFrequencies() }
 // DefaultGate returns the per-beat quality-gate thresholds the device
 // applies by default (see Config.Gate / Config.DisableGate).
 func DefaultGate(fs float64) GateConfig { return quality.DefaultGate(fs) }
+
+// NewEngine starts a multi-session serving engine for the device.
+func NewEngine(dev *Device, cfg EngineConfig) *Engine { return session.NewEngine(dev, cfg) }
+
+// DefaultEngineConfig returns the serving defaults (health eviction
+// disabled; arm it via EngineConfig.Health).
+func DefaultEngineConfig() EngineConfig { return session.DefaultConfig() }
+
+// DefaultPMU returns the power-management policy used by the examples;
+// call NewGovernor on it for hysteresis-stabilized mode decisions.
+func DefaultPMU() PMU { return core.DefaultPMU() }
