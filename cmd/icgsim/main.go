@@ -5,9 +5,15 @@
 // gate's verdict on the recording: the accept rate and the gated versus
 // raw hemodynamic summaries.
 //
+// -events additionally replays the recording through the serving
+// engine's typed event stream and prints every event (beats, health
+// transitions, the session close) to stderr — the subscription-surface
+// view of the same recording.
+//
 // Usage:
 //
 //	icgsim [-subject 1] [-duration 30] [-position 1] [-freq 50000] [-o out.csv]
+//	       [-events]
 package main
 
 import (
@@ -20,7 +26,9 @@ import (
 
 	"repro/internal/bioimp"
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/physio"
+	"repro/internal/session"
 )
 
 func main() {
@@ -29,6 +37,7 @@ func main() {
 	position := flag.Int("position", 1, "arm position (1-3)")
 	freq := flag.Float64("freq", 50e3, "injection frequency (Hz)")
 	output := flag.String("o", "-", "output file (- for stdout)")
+	events := flag.Bool("events", false, "print the typed event-stream replay to stderr")
 	flag.Parse()
 
 	sub, ok := physio.SubjectByID(*subjectID)
@@ -65,6 +74,12 @@ func main() {
 			g.Gated.HR.Mean, g.Gated.PEP.Mean*1000, g.Gated.LVET.Mean*1000, g.Gated.SVKub.Mean)
 		fmt.Fprintf(os.Stderr, "  quality-weighted: HR %5.1f bpm  PEP %5.1f ms  LVET %5.1f ms\n",
 			g.WHR, g.WPEP*1000, g.WLVET*1000)
+	}
+
+	if *events {
+		if err := replayEvents(dev, acq); err != nil {
+			log.Fatalf("icgsim: events: %v", err)
+		}
 	}
 
 	var w io.Writer = os.Stdout
@@ -110,4 +125,55 @@ func b2i(b bool) int {
 		return 1
 	}
 	return 0
+}
+
+// replayEvents pushes the recording through a subscribed serving-engine
+// session in DMA-sized chunks and prints the full typed event stream —
+// what a radio, dashboard or alerting consumer would see.
+func replayEvents(dev *core.Device, acq *core.Acquisition) error {
+	fmt.Fprintln(os.Stderr, "event stream (session 1, 200 ms chunks):")
+	cfg := session.DefaultConfig()
+	cfg.Health = session.HealthConfig{EvictBelowRate: 0.2}
+	eng := session.NewEngine(dev, cfg)
+	s, err := eng.Subscribe(1, event.Func(func(e event.Event) {
+		switch e.Kind {
+		case event.KindBeat:
+			verdict := "ok"
+			if !e.Params.Accepted {
+				verdict = "REJ"
+			}
+			fmt.Fprintf(os.Stderr, "  %-14s beat %3d @ %6.2fs  HR %5.1f  PEP %5.1f ms  LVET %5.1f ms  q %.2f %s\n",
+				e.Kind, e.Beat, e.TimeS, e.Params.HR, e.Params.PEP*1000,
+				e.Params.LVET*1000, e.Params.Quality, verdict)
+		case event.KindHealth:
+			dir := ">="
+			if e.Below {
+				dir = "<"
+			}
+			fmt.Fprintf(os.Stderr, "  %-14s beat %3d @ %6.2fs  accept EWMA %.2f %s floor %.2f\n",
+				e.Kind, e.Beat, e.TimeS, e.AcceptEWMA, dir, e.Floor)
+		case event.KindMode:
+			fmt.Fprintf(os.Stderr, "  %-14s beat %3d @ %6.2fs  %v -> %v\n",
+				e.Kind, e.Beat, e.TimeS,
+				core.PowerMode(e.PrevMode), core.PowerMode(e.Mode))
+		case event.KindEviction, event.KindSessionClosed:
+			fmt.Fprintf(os.Stderr, "  %-14s beat %3d @ %6.2fs  %v, %d/%d accepted\n",
+				e.Kind, e.Beat, e.TimeS, session.CloseReason(e.Reason),
+				e.Accepted, e.Emitted)
+		}
+	}))
+	if err != nil {
+		return err
+	}
+	chunk := 50
+	for pos := 0; pos < len(acq.ECG); pos += chunk {
+		end := min(pos+chunk, len(acq.ECG))
+		if err := s.Push(acq.ECG[pos:end], acq.Z[pos:end]); err != nil {
+			return err
+		}
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	return eng.Close()
 }

@@ -1,24 +1,29 @@
 // Command icgstream demonstrates the wireless path of the system: the
-// device processes a touch recording beat by beat and streams the
-// resulting records (Z0, LVET, PEP, HR — exactly the parameter set of
-// Section V) over a TCP connection standing in for the BLE link; the
-// monitor side decodes and prints them.
+// device processes a touch recording beat by beat through the serving
+// engine's typed event stream and sends the resulting records (Z0,
+// LVET, PEP, HR — exactly the parameter set of Section V) over a TCP
+// connection standing in for the BLE link; the monitor side decodes and
+// prints them.
 //
-// Every beat carries its per-beat quality-gate verdict; only accepted
-// beats are spent on the radio (rejected beats would waste airtime on
-// artifact numbers), and the run reports the gate's accept rate.
+// Every KindBeat event carries its per-beat quality-gate verdict; only
+// accepted beats are spent on the radio (rejected beats would waste
+// airtime on artifact numbers), and the run reports the gate's accept
+// rate.
 //
 // With -sessions N > 1 it instead exercises the multi-session serving
 // layer: N concurrent simulated device streams run through one
-// session.Engine on a bounded worker pool, session 0's accepted beats
-// stream over the radio link live, and the run ends with aggregate
-// throughput figures plus the per-session accept-rate spread.
+// session.Engine on a bounded worker pool, every session subscribed to
+// its event stream, session 0's accepted beats stream over the radio
+// link live, and the run ends with aggregate throughput figures plus
+// the per-session accept-rate spread (from the KindSessionClosed
+// tallies).
 //
 // -dead injects dead-contact streams (flat impedance, noise-only ECG —
 // a lifted finger) into the fleet, and -evict-below arms the engine's
 // session-health eviction (session.HealthConfig): dead sessions are cut
-// once their accept-rate EWMA dwells below the floor, shedding their
-// remaining load, and the run reports how much work eviction saved.
+// once their accept-rate EWMA dwells below the floor — reported by
+// their KindEviction events — shedding their remaining load, and the
+// run reports how much work eviction saved.
 //
 // Usage:
 //
@@ -35,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/hemo"
 	"repro/internal/hw/radio"
 	"repro/internal/physio"
@@ -123,24 +129,59 @@ func main() {
 		link.AirtimeS*1000, link.DutyCycle(*duration)*100)
 }
 
-// runSingle is the classic path: acquire, process, transmit the beats
-// that passed the quality gate.
+// runSingle is the classic path, on the serving surface: one session
+// subscribed to the typed event stream, each accepted KindBeat spent on
+// the radio as it is emitted, the KindSessionClosed tally reported at
+// the end. The TCP write can block, so it lives on a consumer
+// goroutine behind an event.Chan — the non-blocking Sink contract: the
+// session worker never waits on the radio.
 func runSingle(dev *core.Device, sub *physio.Subject, duration float64, link *radio.Link, conn net.Conn) {
-	_, out, err := dev.Run(sub, duration)
+	acq, err := dev.Acquire(sub, duration)
 	if err != nil {
 		log.Fatalf("icgstream: %v", err)
 	}
-	seq := byte(0)
-	sent := 0
-	for _, b := range out.Beats {
-		if !b.Accepted {
-			continue
+	eng := session.NewEngine(dev, session.DefaultConfig())
+	ch := event.NewChan(1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		seq := byte(0)
+		sent := 0
+		for e := range ch.C {
+			switch e.Kind {
+			case event.KindBeat:
+				if e.Params.Accepted {
+					transmit(link, conn, &seq, e.Params)
+					sent++
+				}
+			case event.KindSessionClosed:
+				fmt.Printf("quality gate: %d/%d beats accepted, %d transmitted\n",
+					e.Accepted, e.Emitted, sent)
+			}
 		}
-		transmit(link, conn, &seq, b)
-		sent++
+	}()
+	s, err := eng.Subscribe(0, ch)
+	if err != nil {
+		log.Fatalf("icgstream: %v", err)
 	}
-	fmt.Printf("quality gate: %d/%d beats accepted and transmitted (%.0f%%)\n",
-		sent, len(out.Beats), out.AcceptRate*100)
+	chunk := 50 // 200 ms, as the AFE DMA would deliver
+	for pos := 0; pos < len(acq.ECG); pos += chunk {
+		end := min(pos+chunk, len(acq.ECG))
+		if err := s.Push(acq.ECG[pos:end], acq.Z[pos:end]); err != nil {
+			log.Fatalf("icgstream: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		log.Fatalf("icgstream: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatalf("icgstream: %v", err)
+	}
+	close(ch.C) // all events delivered (engine closed); drain and report
+	<-done
+	if n := ch.Dropped(); n > 0 {
+		fmt.Printf("radio consumer lagged: %d events dropped at the sink\n", n)
+	}
 }
 
 // runFleet multiplexes n simulated streams through the session engine;
@@ -164,43 +205,65 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 	var shedSamples int64
 	// Every session is offered exactly duration seconds of signal, so
 	// an evicted session's shed load is what the engine never consumed
-	// (offered minus the streamer's sample clock at the cut) — computed
-	// from the close event, which is deterministic per input order, so
+	// (offered minus the signal clock at the cut) — computed from the
+	// KindEviction event, which is deterministic per input order, so
 	// the reported shed does not depend on how far the pusher had run
 	// ahead of the worker.
-	perSession := int64(dev.Config().FS * duration)
-	cfg.OnClose = func(ev session.CloseEvent) {
-		if ev.Reason != session.ReasonDeadContact {
-			return
-		}
-		countMu.Lock()
-		evictions++
-		evictedAtS += ev.Health.SignalS
-		shedSamples += perSession - int64(ev.Health.Samples)
-		countMu.Unlock()
-	}
+	fs := dev.Config().FS
+	perSession := int64(fs * duration)
 	eng := session.NewEngine(dev, cfg)
 
-	var radioMu sync.Mutex
-	seq := byte(0)
+	// Session 0's accepted beats go over the TCP radio link; the write
+	// can block, so it runs on a consumer goroutine behind a
+	// non-blocking event.Chan (the Sink contract: a slow radio must
+	// never stall a session worker — the link's own loss model already
+	// prices dropped records).
+	radioCh := event.NewChan(1024)
+	radioDone := make(chan struct{})
+	go func() {
+		defer close(radioDone)
+		seq := byte(0)
+		for e := range radioCh.C {
+			transmit(link, conn, &seq, e.Params)
+		}
+	}()
 	var totalBeats, acceptedBeats, offeredSamples int64
 
 	start := time.Now()
 	var push sync.WaitGroup
 	for id := 0; id < n; id++ {
-		s, err := eng.Open(uint64(id), func(b hemo.BeatParams) {
-			countMu.Lock()
-			totalBeats++
-			if b.Accepted {
-				acceptedBeats++
+		sid := uint64(id)
+		// One subscription carries everything the fleet driver needs:
+		// beats (tally + radio), evictions (shed accounting) and the
+		// final close tally (accept-rate spread of the surviving fleet).
+		s, err := eng.Subscribe(sid, event.Func(func(e event.Event) {
+			switch e.Kind {
+			case event.KindBeat:
+				countMu.Lock()
+				totalBeats++
+				if e.Params.Accepted {
+					acceptedBeats++
+				}
+				countMu.Unlock()
+				if sid == 0 && e.Params.Accepted {
+					radioCh.Emit(e)
+				}
+			case event.KindEviction:
+				countMu.Lock()
+				evictions++
+				evictedAtS += e.TimeS
+				shedSamples += perSession - int64(e.TimeS*fs+0.5)
+				countMu.Unlock()
+			case event.KindSessionClosed:
+				// Evicted sessions are excluded from the accept-rate
+				// spread — it describes the surviving fleet.
+				if e.Reason == int(session.ReasonClient) && e.Emitted > 0 {
+					countMu.Lock()
+					rates = append(rates, float64(e.Accepted)/float64(e.Emitted))
+					countMu.Unlock()
+				}
 			}
-			countMu.Unlock()
-			if id == 0 && b.Accepted {
-				radioMu.Lock()
-				transmit(link, conn, &seq, b)
-				radioMu.Unlock()
-			}
-		})
+		}))
 		if err != nil {
 			log.Fatalf("icgstream: open session %d: %v", id, err)
 		}
@@ -241,22 +304,11 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 					return
 				}
 			}
-			// Close reports an eviction even when it overtook the flush,
-			// so evicted sessions are excluded from the accept-rate
-			// spread on BOTH eviction paths (mid-push and at close) —
-			// the spread describes the surviving fleet.
-			if err := s.Close(); err != nil {
-				if err != session.ErrSessionEvicted {
-					log.Printf("icgstream: session %d close: %v", s.ID, err)
-				}
-				return
-			}
-			// Final per-session gate tally (stable after Close).
-			acc, emitted := s.AcceptStats()
-			if emitted > 0 {
-				countMu.Lock()
-				rates = append(rates, float64(acc)/float64(emitted))
-				countMu.Unlock()
+			// Close reports an eviction even when it overtook the flush;
+			// either way the session's KindSessionClosed event above
+			// carries the final tally, reason-tagged.
+			if err := s.Close(); err != nil && err != session.ErrSessionEvicted {
+				log.Printf("icgstream: session %d close: %v", s.ID, err)
 			}
 		}(s, id >= n-dead)
 	}
@@ -264,6 +316,8 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 	if err := eng.Close(); err != nil {
 		log.Fatalf("icgstream: engine close: %v", err)
 	}
+	close(radioCh.C) // all events delivered (engine closed)
+	<-radioDone
 	elapsed := time.Since(start)
 	fmt.Printf("fleet: %d sessions x %.0f s processed in %.2f s wall (%.0fx realtime), %d beats (%.0f beats/s)\n",
 		n, duration, elapsed.Seconds(),

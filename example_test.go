@@ -1,0 +1,72 @@
+package touchicg_test
+
+import (
+	"fmt"
+	"log"
+
+	touchicg "repro"
+)
+
+// The compiled twin of the package doc's batch quick start (and of
+// examples/quickstart): if the facade drifts, this stops building and
+// CI fails, instead of the doc comment rotting. No Output comment —
+// the beat numbers are implementation-pinned, not doc-pinned.
+func Example() {
+	sub, ok := touchicg.SubjectByID(1)
+	if !ok {
+		log.Fatal("subject 1 missing")
+	}
+	dev, err := touchicg.NewDevice(touchicg.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, out, err := dev.Run(&sub, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range out.Beats {
+		fmt.Printf("HR %.0f bpm  PEP %.0f ms  LVET %.0f ms\n",
+			b.HR, b.PEP*1000, b.LVET*1000)
+	}
+}
+
+// The compiled twin of the package doc's streaming quick start: one
+// session subscribed to the unified typed event stream — beats, health
+// transitions, mode changes and the final session-closed through one
+// sink.
+func ExampleEngine_Subscribe() {
+	sub, _ := touchicg.SubjectByID(1)
+	dev, err := touchicg.NewDevice(touchicg.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	acq, err := dev.Acquire(&sub, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := touchicg.NewEngine(dev, touchicg.DefaultEngineConfig())
+	sess, err := eng.Subscribe(1, touchicg.EventFunc(func(e touchicg.Event) {
+		switch e.Kind {
+		case touchicg.KindBeat:
+			fmt.Printf("beat @ %.2fs  HR %.0f bpm  accepted=%v\n",
+				e.TimeS, e.Params.HR, e.Params.Accepted)
+		case touchicg.KindSessionClosed:
+			fmt.Printf("closed: %d/%d beats accepted\n", e.Accepted, e.Emitted)
+		}
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for pos := 0; pos < len(acq.ECG); pos += 50 {
+		end := min(pos+50, len(acq.ECG))
+		if err := sess.Push(acq.ECG[pos:end], acq.Z[pos:end]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

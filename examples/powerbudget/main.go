@@ -1,7 +1,8 @@
 // Power budget: explore the battery-life trade-offs of the device — the
 // paper's 106-hour headline number, how it moves with MCU and radio duty,
-// and what the adaptive PMU policy buys at low battery or bad skin
-// contact.
+// what the adaptive PMU policy buys at low battery or bad skin contact,
+// and how the governor's duty-cycle decisions surface as typed KindMode
+// events on the streaming engine's unified event stream.
 package main
 
 import (
@@ -10,6 +11,7 @@ import (
 
 	touchicg "repro"
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/hw/power"
 )
 
@@ -89,4 +91,36 @@ func main() {
 	fmt.Printf("  hysteresis governor:   %2d mode flips (EWMA %.2f, enter<%.2f exit>=%.2f, dwell %.0f s)\n",
 		governorFlips, gov.AcceptEWMA(), pmu.MinAcceptRate,
 		pmu.ExitAcceptRate, pmu.MinDwellS)
+
+	// The serving path: the same governor armed on a streamer, its
+	// decisions delivered as typed KindMode events on the unified event
+	// stream — here on a recording whose impedance contact drops out
+	// mid-session (the gate rejects the dropout beats, the accept EWMA
+	// collapses, the governor cuts the duty cycle).
+	fmt.Println("\nmode events from a streamed recording with a mid-session contact dropout:")
+	acq, err := dev.Acquire(&sub, 26)
+	if err != nil {
+		log.Fatalf("powerbudget: %v", err)
+	}
+	z := append([]float64(nil), acq.Z...)
+	lo := int(10 * acq.FS)
+	for i := lo; i < int(17*acq.FS); i++ {
+		z[i] = z[lo-1] // finger off the ICG electrodes for 7 s
+	}
+	streamPMU := pmu
+	streamPMU.MinDwellS = 4 // demo-scale dwell; serving default is 20 s
+	streamPMU.RateBeta = 0.4
+	st := dev.NewStreamer(core.DefaultStreamConfig())
+	st.ArmGovernor(streamPMU)
+	st.Emit(event.Func(func(e event.Event) {
+		if e.Kind == event.KindMode {
+			fmt.Printf("  @ %5.2fs beat %2d: %v -> %v (accept EWMA %.2f)\n",
+				e.TimeS, e.Beat, core.PowerMode(e.PrevMode), core.PowerMode(e.Mode), e.AcceptEWMA)
+		}
+	}), 0)
+	for pos := 0; pos < len(acq.ECG); pos += 50 {
+		end := min(pos+50, len(acq.ECG))
+		st.Push(acq.ECG[pos:end], z[pos:end])
+	}
+	st.Flush()
 }

@@ -3,9 +3,11 @@
 // engine emits each beat as soon as it is complete, the quality monitor
 // grades the session, and the beats are scheduled onto BLE connection
 // events. The chunks are pushed through the multi-session serving layer
-// (session.Engine) the production path uses, here with a single
-// session; the RAM budget printed at the end is why this mode is the
-// one that fits the STM32L151's 48 KB.
+// (session.Engine) the production path uses, here with a single session
+// subscribed to the unified typed event stream — beats, health
+// transitions, PMU mode changes and the session close all arrive
+// through one sink, in order. The RAM budget printed at the end is why
+// this mode is the one that fits the STM32L151's 48 KB.
 package main
 
 import (
@@ -14,7 +16,7 @@ import (
 
 	touchicg "repro"
 	"repro/internal/core"
-	"repro/internal/hemo"
+	"repro/internal/event"
 	"repro/internal/hw/mcu"
 	"repro/internal/hw/radio"
 	"repro/internal/quality"
@@ -34,22 +36,43 @@ func main() {
 
 	// Health eviction armed with the serving defaults: a live recording
 	// sails through, but the same engine would cut a dead-contact stream
-	// (lifted finger) after ~30 s below the accept-rate floor.
+	// (lifted finger) after ~30 s below the accept-rate floor. The PMU
+	// policy arms a per-session governor, so quality-driven duty-cycle
+	// decisions arrive on the same event stream as the beats.
+	pmu := core.DefaultPMU()
 	scfg := session.DefaultConfig()
 	scfg.Health = session.HealthConfig{EvictBelowRate: 0.2}
+	scfg.PMU = &pmu
 	eng := session.NewEngine(dev, scfg)
 	var beatTimes []float64
 	count := 0
-	sess, err := eng.Open(1, func(b hemo.BeatParams) {
-		count++
-		beatTimes = append(beatTimes, b.TimeS)
-		mark := ""
-		if !b.Accepted {
-			mark = "  [gate: rejected]"
+	sess, err := eng.Subscribe(1, event.Func(func(e event.Event) {
+		switch e.Kind {
+		case event.KindBeat:
+			count++
+			beatTimes = append(beatTimes, e.Params.TimeS)
+			mark := ""
+			if !e.Params.Accepted {
+				mark = "  [gate: rejected]"
+			}
+			fmt.Printf("beat %2d @ %5.2fs  HR %5.1f  PEP %5.1f ms  LVET %5.1f ms  q %.2f%s\n",
+				count, e.Params.TimeS, e.Params.HR, e.Params.PEP*1000,
+				e.Params.LVET*1000, e.Params.Quality, mark)
+		case event.KindHealth:
+			dir := "recovered above"
+			if e.Below {
+				dir = "dropped below"
+			}
+			fmt.Printf("health @ %5.2fs  accept EWMA %.2f %s the %.2f eviction floor\n",
+				e.TimeS, e.AcceptEWMA, dir, e.Floor)
+		case event.KindMode:
+			fmt.Printf("pmu    @ %5.2fs  %v -> %v (accept EWMA %.2f)\n",
+				e.TimeS, core.PowerMode(e.PrevMode), core.PowerMode(e.Mode), e.AcceptEWMA)
+		case event.KindSessionClosed:
+			fmt.Printf("closed @ %5.2fs  %d/%d beats accepted (%v)\n",
+				e.TimeS, e.Accepted, e.Emitted, session.CloseReason(e.Reason))
 		}
-		fmt.Printf("beat %2d @ %5.2fs  HR %5.1f  PEP %5.1f ms  LVET %5.1f ms  q %.2f%s\n",
-			count, b.TimeS, b.HR, b.PEP*1000, b.LVET*1000, b.Quality, mark)
-	})
+	}))
 	if err != nil {
 		log.Fatalf("realtime: %v", err)
 	}
@@ -68,8 +91,8 @@ func main() {
 			log.Fatalf("realtime: %v", err)
 		}
 	}
-	// Close flushes the stream and delivers the final beats before
-	// returning.
+	// Close flushes the stream and delivers the final events (including
+	// KindSessionClosed above) before returning.
 	if err := sess.Close(); err != nil {
 		log.Fatalf("realtime: %v", err)
 	}

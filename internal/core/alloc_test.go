@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/event"
 	"repro/internal/physio"
 )
 
@@ -77,5 +78,59 @@ func TestStreamerSteadyStateAllocations(t *testing.T) {
 	allocs := testing.AllocsPerRun(10, push)
 	if allocs > 40 {
 		t.Errorf("steady-state Push allocates %.0f objects/hop, budget 40 (window engine: ~50)", allocs)
+	}
+}
+
+// Typed event delivery must add ZERO allocations per beat on the
+// streaming hot path: an Event is a flat value built on the stack and
+// copied into the Buffer sink's preallocated ring, so the armed path
+// allocates no more than the legacy path (which pays for the returned
+// beat slice the sink path does not build). Both streamers replay the
+// identical hop schedule, so the comparison is exact, not statistical.
+func TestStreamerEventDeliveryAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	sub, _ := physio.SubjectByID(1)
+	d := device(t, nil)
+	acq, err := d.Acquire(&sub, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hop := 250
+	run := func(st *Streamer, push func(e, z []float64)) float64 {
+		pos := 0
+		step := func() {
+			end := pos + hop
+			if end > len(acq.ECG) {
+				pos = 0
+				end = hop
+			}
+			push(acq.ECG[pos:end], acq.Z[pos:end])
+			pos = end
+		}
+		for i := 0; i < 10; i++ {
+			step()
+		}
+		return testing.AllocsPerRun(10, step)
+	}
+	legacy := d.NewStreamer(DefaultStreamConfig())
+	legacyAllocs := run(legacy, func(e, z []float64) { legacy.Push(e, z) })
+
+	st := d.NewStreamer(DefaultStreamConfig())
+	buf := event.NewBuffer(256)
+	st.Emit(buf, 1)
+	st.SetHealthFloor(0.2)
+	dst := make([]event.Event, 0, 256)
+	evAllocs := run(st, func(e, z []float64) {
+		st.Push(e, z)
+		dst = buf.Drain(dst[:0])
+	})
+	if evAllocs > legacyAllocs {
+		t.Errorf("event-armed Push allocates %.0f objects/hop, legacy path %.0f — event delivery must be free",
+			evAllocs, legacyAllocs)
+	}
+	if evAllocs > 40 {
+		t.Errorf("event-armed Push allocates %.0f objects/hop, budget 40", evAllocs)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/event"
 	"repro/internal/physio"
 )
 
@@ -68,6 +69,28 @@ func BenchmarkStreamHopIncrementalUngated(b *testing.B) {
 	acq := benchAcq(b, d)
 	st := d.NewStreamer(DefaultStreamConfig())
 	benchHops(b, acq, func(e, z []float64) int { return len(st.Push(e, z)) })
+}
+
+// The same steady-state hop delivered through the typed event path: a
+// pooled ring Buffer sink armed via Emit, drained into a reused slice
+// each hop (the serving pattern). BENCHMARKS.md compares this row
+// against BenchmarkStreamHopIncremental — per-beat event delivery must
+// cost nothing over the returned-slice path.
+func BenchmarkStreamHopIncrementalEvents(b *testing.B) {
+	d, err := NewDevice(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	acq := benchAcq(b, d)
+	st := d.NewStreamer(DefaultStreamConfig())
+	buf := event.NewBuffer(256)
+	st.Emit(buf, 1)
+	dst := make([]event.Event, 0, 256)
+	benchHops(b, acq, func(e, z []float64) int {
+		st.Push(e, z)
+		dst = buf.Drain(dst[:0])
+		return len(dst)
+	})
 }
 
 func BenchmarkStreamHopWindowed(b *testing.B) {

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/hemo"
+	"repro/internal/physio"
+)
+
+// Event-layer laws at the streamer level:
+//
+//   - Event/legacy parity: every BeatParams the returned-slice path
+//     yields appears exactly once as a KindBeat event with identical
+//     fields, in identical order — for every chunking including
+//     1-sample pushes.
+//   - Event-sequence chunk invariance: the FULL typed stream (beats,
+//     health-floor transitions, governor mode flips) is byte-identical
+//     for any chunking, because every event is emitted at the beat
+//     where it became true.
+//   - Reset rewinds the per-session event state (sink, stamp, governor)
+//     so pooled streamers carry no residue.
+
+// pushAll drives a streamer over a whole two-channel recording in fixed
+// chunks and returns whatever the legacy path emitted.
+func pushAll(st *Streamer, ecg, z []float64, chunk int) []hemo.BeatParams {
+	var out []hemo.BeatParams
+	for pos := 0; pos < len(ecg); pos += chunk {
+		end := pos + chunk
+		if end > len(ecg) {
+			end = len(ecg)
+		}
+		out = append(out, st.Push(ecg[pos:end], z[pos:end])...)
+	}
+	return append(out, st.Flush()...)
+}
+
+func TestStreamerEventLegacyParity(t *testing.T) {
+	dev, err := NewDevice(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := physio.SubjectByID(1)
+	acq, err := dev.Acquire(&sub, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 7, 50, 250, len(acq.ECG)} {
+		legacy := dev.NewStreamer(StreamConfig{})
+		want := pushAll(legacy, acq.ECG, acq.Z, chunk)
+
+		buf := event.NewBuffer(4096)
+		st := dev.NewStreamer(StreamConfig{})
+		st.Emit(buf, 17)
+		for pos := 0; pos < len(acq.ECG); pos += chunk {
+			end := pos + chunk
+			if end > len(acq.ECG) {
+				end = len(acq.ECG)
+			}
+			if got := st.Push(acq.ECG[pos:end], acq.Z[pos:end]); got != nil {
+				t.Fatalf("chunk %d: Push returned %d beats with a sink armed", chunk, len(got))
+			}
+		}
+		if got := st.Flush(); got != nil {
+			t.Fatalf("chunk %d: Flush returned %d beats with a sink armed", chunk, len(got))
+		}
+		evs := buf.Drain(nil)
+		var beats []event.Event
+		lastBeatIdx := 0
+		for _, e := range evs {
+			if e.Session != 17 {
+				t.Fatalf("chunk %d: event stamped session %d, want 17", chunk, e.Session)
+			}
+			if e.Beat < lastBeatIdx {
+				t.Fatalf("chunk %d: beat index went backwards (%d after %d)", chunk, e.Beat, lastBeatIdx)
+			}
+			lastBeatIdx = e.Beat
+			if e.Kind == event.KindBeat {
+				beats = append(beats, e)
+			}
+		}
+		if len(beats) != len(want) {
+			t.Fatalf("chunk %d: %d beat events, legacy path emitted %d beats", chunk, len(beats), len(want))
+		}
+		for i, e := range beats {
+			if e.Params != want[i] {
+				t.Fatalf("chunk %d beat %d: event params differ from legacy\nevent:  %+v\nlegacy: %+v",
+					chunk, i, e.Params, want[i])
+			}
+			// The stamp: signal time of the closing R — strictly after
+			// the beat's own (opening) R anchor.
+			if e.TimeS <= e.Params.TimeS {
+				t.Fatalf("chunk %d beat %d: stamp %.3f s not after beat anchor %.3f s", chunk, i, e.TimeS, e.Params.TimeS)
+			}
+		}
+	}
+}
+
+// eventKey flattens an event for byte-comparison across runs.
+func eventKey(e event.Event) [10]float64 {
+	below := 0.0
+	if e.Below {
+		below = 1
+	}
+	return [10]float64{
+		float64(e.Kind), float64(e.Session), float64(e.Beat), e.TimeS,
+		e.Params.TimeS, e.AcceptEWMA, below, e.Floor,
+		float64(e.Mode), float64(e.PrevMode),
+	}
+}
+
+// dropoutTrace builds the event-layer stimulus: a live recording whose
+// impedance channel flattens for a mid-session stretch (a finger
+// lifting off the ICG electrodes while the ECG lead holds), so beats
+// keep arriving but the gate rejects them — the accept EWMA decays
+// below the floor, the governor drops to eco, and the EWMA recovers
+// once contact returns.
+func dropoutTrace(t *testing.T, dev *Device) (ecg, z []float64) {
+	t.Helper()
+	sub, _ := physio.SubjectByID(2)
+	acq, err := dev.Acquire(&sub, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := dev.Config().FS
+	z = append([]float64(nil), acq.Z...)
+	lo, hi := int(10*fs), int(17*fs)
+	for i := lo; i < hi; i++ {
+		z[i] = z[lo-1]
+	}
+	return acq.ECG, z
+}
+
+// eventRun streams the trace with the health floor and governor armed
+// and returns the full typed event sequence.
+func eventRun(t *testing.T, dev *Device, ecg, z []float64, chunk int) []event.Event {
+	t.Helper()
+	st := dev.NewStreamer(StreamConfig{})
+	st.SetHealthFloor(0.45)
+	// A governor tight enough to flip inside the 26 s trace: short
+	// dwell, fast smoothing (the default 20 s dwell is a serving-scale
+	// setting).
+	pmu := DefaultPMU()
+	pmu.MinDwellS = 4
+	pmu.RateBeta = 0.4
+	st.ArmGovernor(pmu)
+	buf := event.NewBuffer(1 << 14)
+	st.Emit(buf, 1)
+	for pos := 0; pos < len(ecg); pos += chunk {
+		end := pos + chunk
+		if end > len(ecg) {
+			end = len(ecg)
+		}
+		st.Push(ecg[pos:end], z[pos:end])
+	}
+	st.Flush()
+	return buf.Drain(nil)
+}
+
+func TestStreamerEventSequenceChunkInvariant(t *testing.T) {
+	dev, err := NewDevice(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecg, z := dropoutTrace(t, dev)
+
+	ref := eventRun(t, dev, ecg, z, 125)
+	var nBeat, nHealth, nMode int
+	for _, e := range ref {
+		switch e.Kind {
+		case event.KindBeat:
+			nBeat++
+		case event.KindHealth:
+			nHealth++
+		case event.KindMode:
+			nMode++
+		}
+	}
+	if nBeat == 0 || nHealth == 0 || nMode == 0 {
+		t.Fatalf("trace must exercise all streamer kinds: %d beats, %d health, %d mode", nBeat, nHealth, nMode)
+	}
+	// The dead tail must have produced a below-floor transition and a
+	// continuous->eco governor flip, in that order within their beat.
+	for _, chunk := range []int{1, 33, 250, 1000} {
+		got := eventRun(t, dev, ecg, z, chunk)
+		if len(got) != len(ref) {
+			t.Fatalf("chunk %d: %d events, reference has %d", chunk, len(got), len(ref))
+		}
+		for i := range got {
+			if eventKey(got[i]) != eventKey(ref[i]) || got[i].Params != ref[i].Params {
+				t.Fatalf("chunk %d event %d deviates\ngot: %+v\nref: %+v", chunk, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// Per-attempt ordering law: KindBeat, then KindHealth, then KindMode —
+// never interleaved otherwise within one beat index.
+func TestStreamerEventOrderWithinBeat(t *testing.T) {
+	dev, err := NewDevice(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecg, z := dropoutTrace(t, dev)
+	evs := eventRun(t, dev, ecg, z, 125)
+	rank := map[event.Kind]int{event.KindBeat: 0, event.KindHealth: 1, event.KindMode: 2}
+	for i := 1; i < len(evs); i++ {
+		a, b := evs[i-1], evs[i]
+		if a.Beat == b.Beat && rank[a.Kind] >= rank[b.Kind] {
+			t.Fatalf("events %d,%d violate the per-beat order law: %v then %v at beat %d",
+				i-1, i, a.Kind, b.Kind, a.Beat)
+		}
+	}
+}
+
+// Reset must clear the per-session event state (sink and stamp) and
+// rewind the armed governor, so a pooled streamer replays its input to
+// an identical event stream.
+func TestStreamerEventStateAcrossReset(t *testing.T) {
+	dev, err := NewDevice(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := physio.SubjectByID(1)
+	acq, err := dev.Acquire(&sub, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dev.NewStreamer(StreamConfig{})
+	st.SetHealthFloor(0.45)
+	st.ArmGovernor(DefaultPMU())
+	buf := event.NewBuffer(1024)
+	st.Emit(buf, 5)
+	st.Push(acq.ECG, acq.Z)
+	st.Flush()
+	first := buf.Drain(nil)
+
+	st.Reset()
+	// After Reset the sink is disarmed: the legacy path returns beats.
+	if got := st.Push(acq.ECG, acq.Z); len(got) == 0 {
+		t.Fatal("Reset did not restore the returned-slice path")
+	}
+	st.Flush()
+
+	// Re-armed, the recycled streamer reproduces the event stream.
+	st.Reset()
+	st.Emit(buf, 5)
+	st.Push(acq.ECG, acq.Z)
+	st.Flush()
+	second := buf.Drain(nil)
+	if len(first) != len(second) {
+		t.Fatalf("recycled streamer emitted %d events, first run %d", len(second), len(first))
+	}
+	for i := range first {
+		if eventKey(first[i]) != eventKey(second[i]) || first[i].Params != second[i].Params {
+			t.Fatalf("event %d differs across Reset\nfirst:  %+v\nsecond: %+v", i, first[i], second[i])
+		}
+	}
+}

@@ -208,6 +208,17 @@ func (g *Governor) Decide(tS, batteryPct, yield, acceptRate float64) PowerMode {
 // reading — the shared zero-beats contract).
 func (g *Governor) AcceptEWMA() float64 { return g.ewma }
 
+// Reset returns the governor to its initial state — EWMA 1, quality
+// mode continuous, no flips — keeping the policy, so a pooled streamer
+// can carry its armed governor across sessions without residue.
+func (g *Governor) Reset() {
+	g.ewma = 1
+	g.started = false
+	g.qMode = ModeContinuous
+	g.qSince = 0
+	g.flips = 0
+}
+
 // Flips returns how many quality-driven mode transitions the governor
 // has made (battery-forced overlays do not count).
 func (g *Governor) Flips() int { return g.flips }

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/dsp"
 	"repro/internal/ecg"
+	"repro/internal/event"
 	"repro/internal/hemo"
 	"repro/internal/icg"
 	"repro/internal/quality"
@@ -63,6 +64,17 @@ type Streamer struct {
 	// never missed and the below-floor window is chunking-invariant.
 	healthFloor float64
 	belowSince  int
+
+	// Typed event delivery (Emit): when sink is non-nil, Push/Flush
+	// deliver beats, floor transitions and governor mode changes as
+	// event.Events instead of returning beat slices. The sink and
+	// session stamp are per-session state (cleared by Reset); the armed
+	// governor, like healthFloor, is an engine-lifetime policy that
+	// survives Reset with its mutable state rewound.
+	sink     event.Sink
+	sess     uint64
+	gov      *Governor
+	lastMode PowerMode
 
 	// Causal base-impedance estimate: cumulative sums of the raw Z
 	// channel, so each beat reports the mean impedance of the session up
@@ -181,6 +193,10 @@ const icgCtxSeconds = 2.5
 
 // Push appends simultaneously sampled ECG and impedance samples (equal
 // lengths) and returns the beats completed by this push, in order.
+// When an event sink is armed (Emit) the beats are delivered as
+// KindBeat events instead and Push returns nil — the two delivery paths
+// carry byte-identical parameters in identical order (the event/legacy
+// parity law).
 func (s *Streamer) Push(ecgSamples, zSamples []float64) []hemo.BeatParams {
 	if len(ecgSamples) != len(zSamples) {
 		panic("core: Streamer.Push requires equal-length channels")
@@ -228,6 +244,12 @@ func (s *Streamer) Flush() []hemo.BeatParams {
 // to the R pair (rHist[beatIdx], rHist[beatIdx+1]); failed beats
 // consume their pair without emitting, exactly once (the gate counts
 // them against the acceptance rate).
+//
+// Event ordering law (pinned by the parity tests): per beat attempt the
+// sink receives at most one KindBeat, then at most one KindHealth
+// (floor transition), then at most one KindMode (governor flip) — all
+// stamped with the attempt index and the closing R's signal time, all
+// pure functions of the samples pushed so far.
 func (s *Streamer) emit(beats []icg.BeatAnalysis) []hemo.BeatParams {
 	var out []hemo.BeatParams
 	for i := range beats {
@@ -240,7 +262,7 @@ func (s *Streamer) emit(beats []icg.BeatAnalysis) []hemo.BeatParams {
 			if s.gate != nil {
 				s.gate.PushFailed()
 			}
-			s.observeHealth(rHi)
+			s.afterBeat(rHi)
 			continue
 		}
 		// Causal base impedance: session mean up to the closing R.
@@ -251,8 +273,18 @@ func (s *Streamer) emit(beats []icg.BeatAnalysis) []hemo.BeatParams {
 			bp.Quality = sqi.Score
 			bp.Accepted = sqi.Accepted
 		}
-		s.observeHealth(rHi)
-		out = append(out, bp)
+		if s.sink != nil {
+			s.sink.Emit(event.Event{
+				Kind:    event.KindBeat,
+				Session: s.sess,
+				Beat:    s.nBeats,
+				TimeS:   float64(rHi) / s.fs,
+				Params:  bp,
+			})
+		} else {
+			out = append(out, bp)
+		}
+		s.afterBeat(rHi)
 	}
 	// Compact the consumed R history so a long session stays O(1).
 	if s.beatIdx > 256 {
@@ -260,6 +292,84 @@ func (s *Streamer) emit(beats []icg.BeatAnalysis) []hemo.BeatParams {
 		s.beatIdx = 0
 	}
 	return out
+}
+
+// afterBeat runs once per consumed beat attempt, after the gate state
+// advanced: health-floor tracking (with its transition event) and the
+// armed governor's per-beat step (with its mode-change event). These
+// are the only points where the EWMA — and hence either decision — can
+// change, so the resulting event stream is chunking-invariant.
+func (s *Streamer) afterBeat(rHi int) {
+	wasBelow := s.belowSince >= 0
+	s.observeHealth(rHi)
+	isBelow := s.belowSince >= 0
+	tS := float64(rHi) / s.fs
+	if s.sink != nil && isBelow != wasBelow {
+		s.sink.Emit(event.Event{
+			Kind:       event.KindHealth,
+			Session:    s.sess,
+			Beat:       s.nBeats,
+			TimeS:      tS,
+			AcceptEWMA: s.acceptEWMA(),
+			Below:      isBelow,
+			Floor:      s.healthFloor,
+		})
+	}
+	if s.gov != nil {
+		// Quality-only governor step: full battery and full yield, so
+		// the mode is a pure function of the pushed samples (the gate's
+		// per-beat accept EWMA). Battery-aware policies belong to the
+		// caller, who has the battery state the stream does not.
+		mode := s.gov.Decide(tS, 100, 1, s.acceptEWMA())
+		if mode != s.lastMode {
+			if s.sink != nil {
+				s.sink.Emit(event.Event{
+					Kind:       event.KindMode,
+					Session:    s.sess,
+					Beat:       s.nBeats,
+					TimeS:      tS,
+					AcceptEWMA: s.gov.AcceptEWMA(),
+					Mode:       int(mode),
+					PrevMode:   int(s.lastMode),
+				})
+			}
+			s.lastMode = mode
+		}
+	}
+}
+
+// acceptEWMA is the gate's per-beat accept-rate EWMA, honoring the
+// zero-beats contract when gating is disabled.
+func (s *Streamer) acceptEWMA() float64 {
+	if s.gate == nil {
+		return 1
+	}
+	return s.gate.AcceptEWMA()
+}
+
+// Emit arms typed event delivery: subsequent Push and Flush calls
+// return nil and instead deliver each completed beat as a KindBeat
+// event to sink, along with KindHealth floor transitions (when
+// SetHealthFloor armed a floor) and KindMode governor flips (when
+// ArmGovernor armed a policy) — at the point they become true, in
+// per-beat order, synchronously on the pushing goroutine. session
+// stamps every event (0 for a bare streamer). Passing a nil sink
+// disarms delivery and restores the returned-slice behavior. The sink
+// is per-session state: Reset clears it.
+func (s *Streamer) Emit(sink event.Sink, session uint64) {
+	s.sink = sink
+	s.sess = session
+}
+
+// ArmGovernor attaches a PMU policy whose hysteresis governor is
+// stepped once per beat attempt on the gate's accept-rate EWMA (battery
+// and yield pinned to their best case — the stream has no battery);
+// quality-driven mode changes are delivered as KindMode events when a
+// sink is armed. Like the health floor, the policy is engine-lifetime
+// configuration: it survives Reset with its mutable state rewound.
+func (s *Streamer) ArmGovernor(p PMU) {
+	s.gov = p.NewGovernor()
+	s.lastMode = ModeContinuous
 }
 
 // Latency returns the worst-case delay in seconds from a beat's closing
@@ -404,4 +514,10 @@ func (s *Streamer) Reset() {
 	s.belowSince = -1 // healthFloor deliberately survives Reset
 	s.zPrefix.Reset()
 	s.zSum = 0
+	s.sink = nil // the sink and stamp are per-session; the armed
+	s.sess = 0   // governor POLICY survives, its state rewinds
+	if s.gov != nil {
+		s.gov.Reset()
+		s.lastMode = ModeContinuous
+	}
 }

@@ -1,0 +1,140 @@
+package event
+
+import (
+	"testing"
+
+	"repro/internal/hemo"
+)
+
+func beat(i int) Event {
+	return Event{Kind: KindBeat, Beat: i, TimeS: float64(i), Params: hemo.BeatParams{TimeS: float64(i)}}
+}
+
+func TestBufferFIFO(t *testing.T) {
+	b := NewBuffer(8)
+	for i := 0; i < 5; i++ {
+		b.Emit(beat(i))
+	}
+	if b.Len() != 5 || b.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", b.Len(), b.Dropped())
+	}
+	got := b.Drain(nil)
+	if len(got) != 5 {
+		t.Fatalf("drained %d", len(got))
+	}
+	for i, e := range got {
+		if e.Beat != i {
+			t.Fatalf("event %d: beat %d out of order", i, e.Beat)
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatal("drain did not empty")
+	}
+	// Refill after drain: the ring restarts cleanly.
+	b.Emit(beat(9))
+	if got := b.Drain(got[:0]); len(got) != 1 || got[0].Beat != 9 {
+		t.Fatalf("after refill: %+v", got)
+	}
+}
+
+func TestBufferOverwritesOldest(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		b.Emit(beat(i))
+	}
+	if b.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", b.Dropped())
+	}
+	got := b.Drain(nil)
+	if len(got) != 4 {
+		t.Fatalf("drained %d, want 4", len(got))
+	}
+	// The NEWEST events survive, in order.
+	for i, e := range got {
+		if e.Beat != 6+i {
+			t.Fatalf("slot %d: beat %d, want %d", i, e.Beat, 6+i)
+		}
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Dropped() != 0 {
+		t.Fatal("Reset left residue")
+	}
+}
+
+func TestBufferMinimumCapacity(t *testing.T) {
+	b := NewBuffer(0)
+	if b.Cap() != 1 {
+		t.Fatalf("cap = %d", b.Cap())
+	}
+	b.Emit(beat(1))
+	b.Emit(beat(2))
+	if got := b.Drain(nil); len(got) != 1 || got[0].Beat != 2 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// Emit and Drain must be allocation-free after construction — the
+// property the streaming hot path's zero-allocation budget rests on.
+func TestBufferEmitDoesNotAllocate(t *testing.T) {
+	b := NewBuffer(16)
+	dst := make([]Event, 0, 16)
+	e := beat(1)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 8; i++ {
+			b.Emit(e)
+		}
+		dst = b.Drain(dst[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit+Drain allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+func TestFuncAndTee(t *testing.T) {
+	var a, b []int
+	tee := Tee{
+		Func(func(e Event) { a = append(a, e.Beat) }),
+		Func(func(e Event) { b = append(b, e.Beat) }),
+	}
+	tee.Emit(beat(1))
+	tee.Emit(beat(2))
+	if len(a) != 2 || len(b) != 2 || a[1] != 2 || b[0] != 1 {
+		t.Fatalf("tee fan-out broken: a=%v b=%v", a, b)
+	}
+	Discard.Emit(beat(3)) // must not panic
+}
+
+func TestChanDropsWhenFull(t *testing.T) {
+	c := NewChan(2)
+	c.Emit(beat(1))
+	c.Emit(beat(2))
+	c.Emit(beat(3)) // full: dropped, not blocked
+	if c.Dropped() != 1 {
+		t.Fatalf("dropped = %d", c.Dropped())
+	}
+	if e := <-c.C; e.Beat != 1 {
+		t.Fatalf("first = %d", e.Beat)
+	}
+	c.Emit(beat(4)) // room again
+	if e := <-c.C; e.Beat != 2 {
+		t.Fatalf("second = %d", e.Beat)
+	}
+	if e := <-c.C; e.Beat != 4 {
+		t.Fatalf("third = %d", e.Beat)
+	}
+	if c.Dropped() != 1 {
+		t.Fatalf("dropped = %d after recovery", c.Dropped())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindBeat: "beat", KindHealth: "health", KindMode: "mode",
+		KindEviction: "eviction", KindSessionClosed: "session-closed",
+		Kind(99): "kind-?",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

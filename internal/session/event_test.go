@@ -1,0 +1,368 @@
+package session
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/hemo"
+	"repro/internal/physio"
+)
+
+// Event/legacy parity at the serving layer: every BeatParams the legacy
+// surfaces deliver (Drain collection, per-beat callback) appears
+// exactly once as a KindBeat event with identical fields and ordering
+// on the Subscribe path — for every chunking including 1-sample pushes.
+func TestSessionEventLegacyParity(t *testing.T) {
+	dev, err := core.NewDevice(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := makeInputs(t, dev, 8)
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.Seed = 42
+	eng := NewEngine(dev, cfg)
+	defer eng.Close()
+
+	const id = 11 // same ID each pass: same seed, same data
+	feed := func(s *Session, chunk int) {
+		t.Helper()
+		ecg, z := in.channels(s.Seed(), s.ID)
+		for pos := 0; pos < len(ecg); pos += chunk {
+			end := pos + chunk
+			if end > len(ecg) {
+				end = len(ecg)
+			}
+			if err := s.Push(ecg[pos:end], z[pos:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, chunk := range []int{1, 40, 333} {
+		// Legacy Drain collection.
+		s, err := eng.Open(id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(s, chunk)
+		drained := s.Drain()
+
+		// Legacy per-beat callback.
+		var viaCallback []hemo.BeatParams
+		s, err = eng.Open(id, func(b hemo.BeatParams) { viaCallback = append(viaCallback, b) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(s, chunk)
+
+		// The typed event stream.
+		buf := event.NewBuffer(4096)
+		s, err = eng.Subscribe(id, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(s, chunk)
+		var beats []hemo.BeatParams
+		for _, e := range buf.Drain(nil) {
+			if e.Kind == event.KindBeat {
+				beats = append(beats, e.Params)
+			}
+		}
+
+		if len(drained) == 0 {
+			t.Fatalf("chunk %d: no beats", chunk)
+		}
+		if len(beats) != len(drained) || len(viaCallback) != len(drained) {
+			t.Fatalf("chunk %d: %d beat events, %d callback beats, %d drained",
+				chunk, len(beats), len(viaCallback), len(drained))
+		}
+		for i := range drained {
+			if beats[i] != drained[i] {
+				t.Fatalf("chunk %d beat %d: event != drained\n%+v\n%+v", chunk, i, beats[i], drained[i])
+			}
+			if viaCallback[i] != drained[i] {
+				t.Fatalf("chunk %d beat %d: callback != drained", chunk, i)
+			}
+		}
+	}
+}
+
+// Lifecycle events: a client close ends the stream with exactly one
+// KindSessionClosed (ReasonClient) whose tallies match AcceptStats; a
+// health eviction inserts KindEviction immediately before it
+// (ReasonDeadContact), and no event follows KindSessionClosed.
+func TestSessionLifecycleEvents(t *testing.T) {
+	dev, err := core.NewDevice(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := makeInputs(t, dev, 8)
+
+	t.Run("client-close", func(t *testing.T) {
+		eng := NewEngine(dev, DefaultConfig())
+		defer eng.Close()
+		buf := event.NewBuffer(4096)
+		s, err := eng.Subscribe(3, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ecg, z := in.channels(s.Seed(), s.ID)
+		for pos := 0; pos < len(ecg); pos += 125 {
+			end := min(pos+125, len(ecg))
+			if err := s.Push(ecg[pos:end], z[pos:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		evs := buf.Drain(nil)
+		if len(evs) == 0 {
+			t.Fatal("no events")
+		}
+		last := evs[len(evs)-1]
+		if last.Kind != event.KindSessionClosed || last.Reason != int(ReasonClient) {
+			t.Fatalf("last event %v reason %d, want session-closed/client", last.Kind, last.Reason)
+		}
+		acc, em := s.AcceptStats()
+		if last.Accepted != acc || last.Emitted != em {
+			t.Fatalf("closed event tallies %d/%d, AcceptStats %d/%d", last.Accepted, last.Emitted, acc, em)
+		}
+		for _, e := range evs[:len(evs)-1] {
+			if e.Kind == event.KindSessionClosed || e.Kind == event.KindEviction {
+				t.Fatalf("premature lifecycle event %v", e.Kind)
+			}
+		}
+	})
+
+	t.Run("eviction", func(t *testing.T) {
+		cfg := DefaultConfig()
+		cfg.Health = HealthConfig{EvictBelowRate: 0.45, EvictAfterS: 1.5, GraceS: 1, NoBeatS: 3}
+		eng := NewEngine(dev, cfg)
+		defer eng.Close()
+		buf := event.NewBuffer(4096)
+		s, err := eng.Subscribe(4, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ecg, z := physio.DeadContact(s.Seed(), len(in.base[0][0]))
+		evicted := false
+		for pos := 0; pos < len(ecg); pos += 125 {
+			end := min(pos+125, len(ecg))
+			if err := s.Push(ecg[pos:end], z[pos:end]); err == ErrSessionEvicted {
+				evicted = true
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !evicted {
+			if err := s.Close(); err != ErrSessionEvicted {
+				t.Fatalf("dead-contact session not evicted (close: %v)", err)
+			}
+		}
+		<-s.Done()
+		evs := buf.Drain(nil)
+		if len(evs) < 2 {
+			t.Fatalf("%d events, want at least eviction+closed", len(evs))
+		}
+		last, prev := evs[len(evs)-1], evs[len(evs)-2]
+		if prev.Kind != event.KindEviction || prev.Reason != int(ReasonDeadContact) {
+			t.Fatalf("penultimate event %v reason %d, want eviction/dead-contact", prev.Kind, prev.Reason)
+		}
+		if last.Kind != event.KindSessionClosed || last.Reason != int(ReasonDeadContact) {
+			t.Fatalf("last event %v reason %d, want session-closed/dead-contact", last.Kind, last.Reason)
+		}
+		if prev.Beat != last.Beat || prev.TimeS != last.TimeS {
+			t.Fatalf("eviction and closed stamps disagree: %+v vs %+v", prev, last)
+		}
+	})
+}
+
+// KindMode events flow through the engine when Config.PMU arms the
+// per-session governor, and the per-session event order is preserved.
+func TestSessionModeEvents(t *testing.T) {
+	dev, err := core.NewDevice(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmu := core.DefaultPMU()
+	pmu.MinDwellS = 2
+	pmu.RateBeta = 0.5
+	cfg := DefaultConfig()
+	cfg.PMU = &pmu
+	eng := NewEngine(dev, cfg)
+	defer eng.Close()
+
+	buf := event.NewBuffer(4096)
+	s, err := eng.Subscribe(6, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live prefix then an impedance dropout: beats keep coming, the gate
+	// rejects them, the governor must drop to eco.
+	sub, _ := physio.SubjectByID(2)
+	acq, err := dev.Acquire(&sub, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := append([]float64(nil), acq.Z...)
+	lo := int(8 * dev.Config().FS)
+	for i := lo; i < len(z); i++ {
+		z[i] = z[lo-1]
+	}
+	for pos := 0; pos < len(acq.ECG); pos += 125 {
+		end := min(pos+125, len(acq.ECG))
+		if err := s.Push(acq.ECG[pos:end], z[pos:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sawEco := false
+	for _, e := range buf.Drain(nil) {
+		if e.Kind == event.KindMode && core.PowerMode(e.Mode) == core.ModeEco {
+			sawEco = true
+			if core.PowerMode(e.PrevMode) != core.ModeContinuous {
+				t.Fatalf("eco entered from %v", core.PowerMode(e.PrevMode))
+			}
+		}
+	}
+	if !sawEco {
+		t.Fatal("no ModeEco event on a collapsing accept rate")
+	}
+}
+
+// The legacy Drain collection is a bounded ring: at most DrainCap beats
+// are retained (newest win), the overflow is counted, and the ring is
+// recycled by the first post-close Drain.
+func TestSessionDrainRingBounded(t *testing.T) {
+	dev, err := core.NewDevice(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := makeInputs(t, dev, 8)
+	cfg := DefaultConfig()
+	cfg.DrainCap = 3
+	eng := NewEngine(dev, cfg)
+	defer eng.Close()
+	s, err := eng.Open(21, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecg, z := in.channels(s.Seed(), s.ID)
+	for pos := 0; pos < len(ecg); pos += 250 {
+		end := min(pos+250, len(ecg))
+		if err := s.Push(ecg[pos:end], z[pos:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, em := s.AcceptStats()
+	if em <= cfg.DrainCap {
+		t.Fatalf("input too short to overflow the ring (%d beats)", em)
+	}
+	if got := s.DroppedBeats(); got != uint64(em-cfg.DrainCap) {
+		t.Fatalf("DroppedBeats = %d, want %d", got, em-cfg.DrainCap)
+	}
+	beats := s.Drain()
+	if len(beats) != cfg.DrainCap {
+		t.Fatalf("Drain returned %d beats, cap %d", len(beats), cfg.DrainCap)
+	}
+	// The ring keeps the NEWEST beats, still in order.
+	for i := 1; i < len(beats); i++ {
+		if beats[i].TimeS <= beats[i-1].TimeS {
+			t.Fatalf("drained beats out of order")
+		}
+	}
+	if again := s.Drain(); again != nil {
+		t.Fatalf("second post-close Drain returned %d beats", len(again))
+	}
+	// The final tally survives the post-close Drain recycling the ring.
+	if got := s.DroppedBeats(); got != uint64(em-cfg.DrainCap) {
+		t.Fatalf("DroppedBeats after recycle = %d, want %d", got, em-cfg.DrainCap)
+	}
+}
+
+// A subscriber must receive events for concurrent sessions without
+// interleaving violations: per-session beat indices strictly increase
+// and every session ends with KindSessionClosed.
+func TestSubscribeManySessions(t *testing.T) {
+	dev, err := core.NewDevice(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := makeInputs(t, dev, 8)
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	cfg.Seed = 42
+	eng := NewEngine(dev, cfg)
+	defer eng.Close()
+
+	const n = 16
+	var mu sync.Mutex
+	lastBeat := make(map[uint64]int)
+	closed := make(map[uint64]bool)
+	sink := event.Func(func(e event.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if closed[e.Session] {
+			t.Errorf("session %d: event %v after session-closed", e.Session, e.Kind)
+		}
+		if e.Beat < lastBeat[e.Session] {
+			t.Errorf("session %d: beat index %d after %d", e.Session, e.Beat, lastBeat[e.Session])
+		}
+		lastBeat[e.Session] = e.Beat
+		if e.Kind == event.KindSessionClosed {
+			closed[e.Session] = true
+		}
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		s, err := eng.Subscribe(uint64(i), sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(s *Session) {
+			defer wg.Done()
+			ecg, z := in.channels(s.Seed(), s.ID)
+			for pos := 0; pos < len(ecg); pos += 125 {
+				end := min(pos+125, len(ecg))
+				if err := s.Push(ecg[pos:end], z[pos:end]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Error(err)
+			}
+		}(s)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(closed) != n {
+		t.Fatalf("%d sessions closed, want %d", len(closed), n)
+	}
+}
+
+func TestSubscribeNilSinkRejected(t *testing.T) {
+	dev, err := core.NewDevice(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(dev, DefaultConfig())
+	defer eng.Close()
+	if _, err := eng.Subscribe(1, nil); err == nil {
+		t.Fatal("nil sink accepted")
+	}
+}

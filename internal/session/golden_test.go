@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/goldentest"
 	"repro/internal/physio"
 )
@@ -38,22 +39,27 @@ func TestGoldenEngineMatchesStreamTrace(t *testing.T) {
 	cfg.Health = HealthConfig{EvictBelowRate: 0.2}
 	eng := NewEngine(dev, cfg)
 	defer eng.Close()
+
+	feed := func(s *Session) {
+		t.Helper()
+		for pos := 0; pos < len(acq.ECG); pos += 50 {
+			end := pos + 50
+			if end > len(acq.ECG) {
+				end = len(acq.ECG)
+			}
+			if err := s.Push(acq.ECG[pos:end], acq.Z[pos:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
 	s, err := eng.Open(1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for pos := 0; pos < len(acq.ECG); pos += 50 {
-		end := pos + 50
-		if end > len(acq.ECG) {
-			end = len(acq.ECG)
-		}
-		if err := s.Push(acq.ECG[pos:end], acq.Z[pos:end]); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := s.Close(); err != nil {
-		t.Fatal(err)
-	}
+	feed(s)
 	beats := s.Drain()
 	if len(beats) != len(want) {
 		t.Fatalf("engine emitted %d beats, golden stream block has %d", len(beats), len(want))
@@ -63,5 +69,36 @@ func TestGoldenEngineMatchesStreamTrace(t *testing.T) {
 		if line := goldentest.Line(fs, b); line != want[i] {
 			t.Fatalf("beat %d: engine %q != golden %q", i, line, want[i])
 		}
+	}
+
+	// The typed event stream must pin the SAME golden trace: every
+	// KindBeat of a subscribed session is byte-identical to the
+	// committed stream block (same ID: same seed, same pooled-reuse
+	// path), and the stream ends with exactly one KindSessionClosed.
+	buf := event.NewBuffer(4096)
+	s, err = eng.Subscribe(1, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(s)
+	evs := buf.Drain(nil)
+	if len(evs) == 0 || evs[len(evs)-1].Kind != event.KindSessionClosed {
+		t.Fatal("subscribed session did not end with session-closed")
+	}
+	i := 0
+	for _, e := range evs {
+		if e.Kind != event.KindBeat {
+			continue
+		}
+		if i >= len(want) {
+			t.Fatalf("more beat events than the %d golden lines", len(want))
+		}
+		if line := goldentest.Line(fs, e.Params); line != want[i] {
+			t.Fatalf("beat event %d: %q != golden %q", i, line, want[i])
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("%d beat events, golden stream block has %d", i, len(want))
 	}
 }

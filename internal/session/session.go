@@ -4,14 +4,24 @@
 // over a bounded worker pool, with pooled per-stream filter state and
 // deterministic per-session seeding.
 //
-// Determinism contract: a session's emitted beat stream is a pure
+// Output delivery is the typed event stream of internal/event: a
+// subscriber (Engine.Subscribe) receives every beat, health transition,
+// governor mode change, eviction and session close as event.Events, in
+// per-session FIFO order, synchronously on the session's worker. The
+// historical surfaces — Open's per-beat callback, the polled Drain, and
+// Config.OnClose — remain as thin adapters over that one path for one
+// release.
+//
+// Determinism contract: a session's emitted event stream is a pure
 // function of its own input chunks in arrival order — independent of
 // the worker count, of scheduling, and of what every other session
 // does. The engine preserves per-session FIFO ordering (chunks are
 // processed in Push order, one worker at a time per session) and the
 // underlying core.Streamer is chunk-invariant, so replaying the same
-// samples always reproduces byte-identical parameters. The tests pin
-// this with 1000+ concurrent sessions hashed across worker counts.
+// samples always reproduces byte-identical parameters, health
+// transitions and eviction points. The tests pin this with 1000+
+// concurrent sessions hashing their full event sequences across worker
+// counts.
 package session
 
 import (
@@ -20,6 +30,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/hemo"
 )
 
@@ -38,16 +49,32 @@ type Config struct {
 	// Health configures engine-level eviction of dead-contact sessions
 	// (health.go); the zero value disables it.
 	Health HealthConfig
+	// PMU, when non-nil, arms every session's streamer with a
+	// hysteresis governor (core.PMU.NewGovernor) stepped once per beat
+	// on the gate's accept-rate EWMA; quality-driven mode changes reach
+	// the session's subscriber as KindMode events. The governor state
+	// rides the pooled streamers and rewinds between sessions.
+	PMU *core.PMU
+	// DrainCap bounds the Drain ring of legacy callback-less sessions:
+	// at most DrainCap beats are buffered between Drain calls, the
+	// oldest dropped and counted beyond it (Session.DroppedBeats, and
+	// Dropped on the final KindSessionClosed event). Subscribed and
+	// callback sessions deliver every event as it fires and buffer
+	// nothing. Default 4096.
+	DrainCap int
 	// OnClose, when non-nil, receives a CloseEvent exactly once per
 	// session as it finishes — client closes and evictions alike — from
 	// the worker goroutine that finished it. It must not call back into
 	// the engine or the session.
+	//
+	// Legacy adapter: subscribers get the same information as the
+	// session's final KindEviction/KindSessionClosed events.
 	OnClose func(CloseEvent)
 }
 
 // DefaultConfig returns the serving defaults.
 func DefaultConfig() Config {
-	return Config{Workers: runtime.GOMAXPROCS(0), MaxPending: 64}
+	return Config{Workers: runtime.GOMAXPROCS(0), MaxPending: 64, DrainCap: 4096}
 }
 
 // Engine multiplexes concurrent device streams over a worker pool.
@@ -70,6 +97,10 @@ type Engine struct {
 	streamers sync.Pool
 	// chunks pools the copied input buffers.
 	chunks sync.Pool
+	// evbufs pools the bounded Drain rings (event.Buffer, DrainCap
+	// events each) of legacy callback-less sessions; a ring returns to
+	// the pool on the first Drain after the session finished.
+	evbufs sync.Pool
 }
 
 // Session is one device stream.
@@ -86,8 +117,19 @@ type Session struct {
 	closing   bool
 	done      chan struct{}
 
-	onBeat func(hemo.BeatParams)
-	beats  []hemo.BeatParams // collected when no callback is set
+	// sink is the session's event subscriber (Subscribe), or the thin
+	// Func adapter wrapping a legacy Open callback; nil for legacy
+	// callback-less sessions, which collect beats in buf instead. Both
+	// are set before the first chunk can be processed and never mutated
+	// afterwards, so the worker reads them without locking.
+	sink event.Sink
+	// buf is the bounded Drain ring (Config.DrainCap beats, oldest
+	// dropped and counted) of a legacy callback-less session; pooled
+	// across sessions via Engine.evbufs. dropped is the ring's final
+	// overflow tally, snapshotted by finish before the ring can be
+	// recycled, so DroppedBeats stays correct after Close.
+	buf     *event.Buffer
+	dropped uint64
 
 	// Quality-gate accounting over the emitted beats (under mu):
 	// accepted/emitted are readable via AcceptStats even after Close.
@@ -128,6 +170,9 @@ func NewEngine(dev *core.Device, cfg Config) *Engine {
 	if cfg.MaxPending <= 0 {
 		cfg.MaxPending = 64
 	}
+	if cfg.DrainCap <= 0 {
+		cfg.DrainCap = 4096
+	}
 	e := &Engine{
 		dev:      dev,
 		cfg:      cfg,
@@ -154,8 +199,14 @@ func NewEngine(dev *core.Device, cfg Config) *Engine {
 			// engine-lifetime constant and survives streamer Reset.
 			st.SetHealthFloor(e.health.EvictBelowRate)
 		}
+		if cfg.PMU != nil {
+			// Engine-lifetime policy like the floor: the governor rides
+			// the pooled streamer, its state rewound by Reset.
+			st.ArmGovernor(*cfg.PMU)
+		}
 		return st
 	}
+	e.evbufs.New = func() any { return event.NewBuffer(cfg.DrainCap) }
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker()
@@ -175,10 +226,44 @@ func (e *Engine) SessionSeed(id uint64) int64 {
 	return int64(x >> 1)
 }
 
-// Open creates a session. onBeat, when non-nil, is invoked for every
-// emitted beat from a worker goroutine (one call at a time per session,
-// in order); when nil the beats accumulate for Drain.
+// Subscribe creates a session delivering its full typed event stream —
+// KindBeat per completed beat, KindHealth on accept-EWMA floor
+// transitions, KindMode on governor flips (Config.PMU), and the final
+// KindEviction/KindSessionClosed — to sink: in per-session FIFO order,
+// one event at a time, synchronously on the session's worker. The sink
+// must not block and must not call back into the engine or the session
+// (the Sink contract); put a bounded event.Buffer or event.Chan in
+// front of slow consumers. A KindSessionClosed event is always the
+// session's last. This is THE output surface of the serving layer;
+// Open's callback, Drain and Config.OnClose are adapters over it.
+func (e *Engine) Subscribe(id uint64, sink event.Sink) (*Session, error) {
+	if sink == nil {
+		return nil, errors.New("session: Subscribe requires a sink (use Open for legacy Drain collection)")
+	}
+	return e.open(id, sink, false)
+}
+
+// Open creates a session on the legacy beat-callback surface. onBeat,
+// when non-nil, is invoked for every emitted beat from a worker
+// goroutine (one call at a time per session, in order); when nil the
+// beats accumulate for Drain in a bounded ring of Config.DrainCap
+// beats (oldest dropped and counted beyond that). Both are thin
+// adapters over the typed event stream — prefer Subscribe.
 func (e *Engine) Open(id uint64, onBeat func(hemo.BeatParams)) (*Session, error) {
+	if onBeat == nil {
+		return e.open(id, nil, true)
+	}
+	return e.open(id, event.Func(func(ev event.Event) {
+		if ev.Kind == event.KindBeat {
+			onBeat(ev.Params)
+		}
+	}), false)
+}
+
+// open creates a session wired to the given sink (drain selects the
+// buffered legacy collection instead) and arms its pooled streamer to
+// emit typed events through the session's forwarder.
+func (e *Engine) open(id uint64, sink event.Sink, drain bool) (*Session, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -188,13 +273,17 @@ func (e *Engine) Open(id uint64, onBeat func(hemo.BeatParams)) (*Session, error)
 		return nil, ErrDuplicateID
 	}
 	s := &Session{
-		ID:     id,
-		eng:    e,
-		st:     e.streamers.Get().(*core.Streamer),
-		seed:   e.SessionSeed(id),
-		done:   make(chan struct{}),
-		onBeat: onBeat,
+		ID:   id,
+		eng:  e,
+		st:   e.streamers.Get().(*core.Streamer),
+		seed: e.SessionSeed(id),
+		done: make(chan struct{}),
+		sink: sink,
 	}
+	if drain {
+		s.buf = e.evbufs.Get().(*event.Buffer)
+	}
+	s.st.Emit(forwarder{s}, id)
 	s.cond = sync.NewCond(&s.mu)
 	e.sessions[id] = s
 	return s, nil
@@ -324,14 +413,58 @@ func (s *Session) Close() error {
 	return nil
 }
 
-// Drain returns the beats collected so far (callback-less sessions) and
-// resets the collection.
+// Drain returns the beats collected so far (legacy callback-less
+// sessions) and resets the collection. The collection is a bounded ring
+// (Config.DrainCap): beats beyond the cap were dropped oldest-first and
+// are counted by DroppedBeats. The first Drain after the session
+// finished recycles the ring into the engine pool; subscribed and
+// callback sessions always drain empty.
 func (s *Session) Drain() []hemo.BeatParams {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := s.beats
-	s.beats = nil
+	buf := s.buf
+	finished := false
+	select {
+	case <-s.done:
+		finished = true
+		// The worker is done emitting: this drain is the last, so the
+		// ring can go back to the pool afterwards.
+		s.buf = nil
+	default:
+	}
+	s.mu.Unlock()
+	if buf == nil {
+		return nil
+	}
+	evs := buf.Drain(nil)
+	var out []hemo.BeatParams
+	if len(evs) > 0 {
+		out = make([]hemo.BeatParams, len(evs))
+		for i := range evs {
+			out[i] = evs[i].Params
+		}
+	}
+	if finished {
+		buf.Reset()
+		s.eng.evbufs.Put(buf)
+	}
 	return out
+}
+
+// DroppedBeats returns how many beats the bounded Drain ring discarded
+// because Drain was not called often enough; 0 for subscribed and
+// callback sessions (they deliver every beat as it fires). While the
+// session is live it reads the ring's running counter; once the
+// session finished it returns the final tally snapshotted by the
+// close path, so the value survives the post-close Drain recycling the
+// ring. The same final count is stamped on the KindSessionClosed
+// event (Dropped) for subscribed consumers.
+func (s *Session) DroppedBeats() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.buf != nil && s.st != nil {
+		return s.buf.Dropped()
+	}
+	return s.dropped
 }
 
 // closedErr reports why the session no longer accepts input (callers
@@ -389,16 +522,20 @@ func (s *Session) run(batch []chunk) []chunk {
 
 		for i, c := range batch {
 			if c.flush {
-				s.deliver(s.st.Flush())
+				s.st.Flush()
 				s.finish(ReasonClient)
 				return batch
 			}
+			// The streamer has the session's forwarder armed as its
+			// event sink, so Push/Flush return nil and every beat,
+			// health transition and mode change flows through
+			// Session.forward on this worker, in order.
 			if c.buf != nil {
-				s.deliver(s.st.Push(c.buf[:c.n], c.buf[c.n:]))
+				s.st.Push(c.buf[:c.n], c.buf[c.n:])
 				s.eng.chunks.Put(c.buf[:0])
 			} else {
 				// Owned chunk (PushOwned): read in place, drop after.
-				s.deliver(s.st.Push(c.ecg, c.z))
+				s.st.Push(c.ecg, c.z)
 			}
 			// Health check after every consumed chunk: the signals are
 			// pure functions of the input consumed so far, so the
@@ -411,30 +548,34 @@ func (s *Session) run(batch []chunk) []chunk {
 	}
 }
 
-// deliver hands beats to the callback or the collection buffer, and
-// keeps the session's quality-gate tally (every emitted beat carries
-// its gate decision in BeatParams.Accepted).
-func (s *Session) deliver(beats []hemo.BeatParams) {
-	if len(beats) == 0 {
-		return
-	}
-	nAcc := 0
-	for _, b := range beats {
-		if b.Accepted {
-			nAcc++
+// forwarder is the event.Sink the session arms on its pooled streamer;
+// it routes every streamer event through Session.forward on the
+// session's worker.
+type forwarder struct{ s *Session }
+
+// Emit implements event.Sink.
+func (f forwarder) Emit(e event.Event) { f.s.forward(e) }
+
+// forward is the single delivery point of the session: it keeps the
+// quality-gate tally (every KindBeat carries its gate decision in
+// Params.Accepted), then hands the event to the subscriber sink, or
+// buffers beats in the bounded Drain ring for legacy callback-less
+// sessions. It runs on the session's worker — one event at a time, in
+// per-session FIFO order — and also carries the lifecycle events finish
+// emits from that same worker.
+func (s *Session) forward(e event.Event) {
+	if e.Kind == event.KindBeat {
+		s.mu.Lock()
+		s.emitted++
+		if e.Params.Accepted {
+			s.accepted++
 		}
-	}
-	s.mu.Lock()
-	s.emitted += len(beats)
-	s.accepted += nAcc
-	if s.onBeat == nil {
-		s.beats = append(s.beats, beats...)
 		s.mu.Unlock()
-		return
 	}
-	s.mu.Unlock()
-	for _, b := range beats {
-		s.onBeat(b)
+	if s.sink != nil {
+		s.sink.Emit(e)
+	} else if s.buf != nil && e.Kind == event.KindBeat {
+		s.buf.Emit(e)
 	}
 }
 
@@ -483,16 +624,45 @@ func (s *Session) Reason() CloseReason {
 }
 
 // finish recycles the streamer, detaches the session and emits the
-// close event. It runs on the session's worker, exactly once.
+// lifecycle events — KindEviction for dead-contact cuts, then the
+// final KindSessionClosed, then the legacy OnClose adapter. It runs on
+// the session's worker, exactly once, after the session's last beat.
 func (s *Session) finish(reason CloseReason) {
 	s.mu.Lock()
 	st := s.st
 	s.st = nil
 	s.reason = reason
 	acc, em := s.accepted, s.emitted
+	if s.buf != nil {
+		// Snapshot the Drain ring's overflow tally before the ring can
+		// be recycled, in the same critical section that marks the
+		// session finished (st = nil), so DroppedBeats never races the
+		// post-close Drain.
+		s.dropped = s.buf.Dropped()
+	}
+	dropped := s.dropped
 	s.mu.Unlock()
 	// Snapshot the health signals before Reset wipes them.
-	ev := CloseEvent{ID: s.ID, Reason: reason, Accepted: acc, Emitted: em, Health: st.Health()}
+	hs := st.Health()
+	ev := CloseEvent{ID: s.ID, Reason: reason, Accepted: acc, Emitted: em, Health: hs}
+	lifecycle := event.Event{
+		Session:    s.ID,
+		Beat:       hs.Beats,
+		TimeS:      hs.SignalS,
+		AcceptEWMA: hs.AcceptEWMA,
+		Reason:     int(reason),
+		Accepted:   acc,
+		Emitted:    em,
+	}
+	if reason == ReasonDeadContact {
+		evict := lifecycle
+		evict.Kind = event.KindEviction
+		s.forward(evict)
+	}
+	closed := lifecycle
+	closed.Kind = event.KindSessionClosed
+	closed.Dropped = dropped
+	s.forward(closed)
 	st.Reset()
 	s.eng.streamers.Put(st)
 	e := s.eng

@@ -1,12 +1,14 @@
 package session
 
 import (
+	"hash"
 	"hash/fnv"
 	"math"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/hemo"
 	"repro/internal/physio"
 )
@@ -84,6 +86,66 @@ func hashBeats(beats []hemo.BeatParams) uint64 {
 	return h.Sum64()
 }
 
+// evHasher is the determinism test's subscriber: it folds EVERY field
+// of every event — beats, health transitions, mode flips, evictions,
+// the final close — into a running FNV hash (the same stdlib fold
+// hashBeats uses), so two runs agree iff their full typed event
+// sequences are byte-identical. Events arrive one at a time on the
+// session's worker (the Sink contract), so no locking is needed; read
+// the hash only after the session finished.
+type evHasher struct {
+	h     hash.Hash64
+	beats int
+}
+
+func newEvHasher() *evHasher { return &evHasher{h: fnv.New64a()} }
+
+func (r *evHasher) word(v uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	r.h.Write(buf[:])
+}
+
+func (r *evHasher) float(f float64) { r.word(math.Float64bits(f)) }
+
+func (r *evHasher) Emit(e event.Event) {
+	r.word(uint64(e.Kind))
+	r.word(e.Session)
+	r.word(uint64(e.Beat))
+	r.float(e.TimeS)
+	for _, f := range []float64{
+		e.Params.TimeS, e.Params.RR, e.Params.HR, e.Params.PEP,
+		e.Params.LVET, e.Params.STR, e.Params.Z0, e.Params.Z0Thoracic,
+		e.Params.DZdtMax, e.Params.SVKub, e.Params.SVSram, e.Params.CO,
+		e.Params.TFC, e.Params.Quality,
+	} {
+		r.float(f)
+	}
+	acc := uint64(0)
+	if e.Params.Accepted {
+		acc = 1
+	}
+	below := uint64(0)
+	if e.Below {
+		below = 1
+	}
+	r.word(acc)
+	r.float(e.AcceptEWMA)
+	r.word(below)
+	r.float(e.Floor)
+	r.word(uint64(e.Mode))
+	r.word(uint64(e.PrevMode))
+	r.word(uint64(e.Reason))
+	r.word(uint64(e.Accepted))
+	r.word(uint64(e.Emitted))
+	r.word(e.Dropped)
+	if e.Kind == event.KindBeat {
+		r.beats++
+	}
+}
+
 // fleetOpts tunes runFleet beyond the defaults.
 type fleetOpts struct {
 	health  HealthConfig
@@ -97,10 +159,15 @@ func (o *fleetOpts) isDead(id uint64) bool {
 }
 
 // runFleet drives n concurrent sessions through an engine with the
-// given worker count and returns the per-session beat-stream hashes.
-// Pushers tolerate health evictions: an evicted session stops pushing
-// and hashes whatever it emitted before the engine cut it off.
-func runFleet(t testing.TB, dev *core.Device, in *testInputs, n, workers, chunk int, opts *fleetOpts) []uint64 {
+// given worker count, every session subscribed to the typed event
+// stream, and returns the per-session hashes of the FULL event
+// sequence (beats, health transitions, mode flips, evictions, close)
+// plus the per-session beat-event counts. Pushers tolerate health
+// evictions: an evicted session stops pushing and hashes whatever the
+// engine emitted before the cut — including the eviction events
+// themselves, so the eviction point and ordering are pinned, not just
+// the beats.
+func runFleet(t testing.TB, dev *core.Device, in *testInputs, n, workers, chunk int, opts *fleetOpts) ([]uint64, []int) {
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.Workers = workers
@@ -110,7 +177,7 @@ func runFleet(t testing.TB, dev *core.Device, in *testInputs, n, workers, chunk 
 		cfg.OnClose = opts.onClose
 	}
 	eng := NewEngine(dev, cfg)
-	hashes := make([]uint64, n)
+	hashers := make([]*evHasher, n)
 
 	var wg sync.WaitGroup
 	// A modest number of pusher goroutines cycling over the sessions
@@ -119,7 +186,8 @@ func runFleet(t testing.TB, dev *core.Device, in *testInputs, n, workers, chunk 
 	wg.Add(pushers)
 	sessions := make([]*Session, n)
 	for i := 0; i < n; i++ {
-		s, err := eng.Open(uint64(i), nil)
+		hashers[i] = newEvHasher()
+		s, err := eng.Subscribe(uint64(i), hashers[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,7 +231,9 @@ func runFleet(t testing.TB, dev *core.Device, in *testInputs, n, workers, chunk 
 						return
 					}
 				}
-				hashes[i] = hashBeats(s.Drain())
+				// An evicted session's worker may still be emitting its
+				// lifecycle events; the hash is read only after Done.
+				<-s.Done()
 			}
 		}(p)
 	}
@@ -171,14 +241,22 @@ func runFleet(t testing.TB, dev *core.Device, in *testInputs, n, workers, chunk 
 	if err := eng.Close(); err != nil {
 		t.Fatal(err)
 	}
-	return hashes
+	hashes := make([]uint64, n)
+	beats := make([]int, n)
+	for i, r := range hashers {
+		hashes[i] = r.h.Sum64()
+		beats[i] = r.beats
+	}
+	return hashes, beats
 }
 
 // The headline scale/determinism test: >= 1000 concurrent sessions,
-// byte-identical per-session beat streams across worker counts — now
-// with every 8th session carrying dead-contact input and health
-// eviction enabled, so the eviction decisions themselves are pinned as
-// a pure function of each session's own input order.
+// byte-identical per-session TYPED EVENT sequences across worker
+// counts — every beat, health transition, eviction and close event
+// hashed in order — with every 8th session carrying dead-contact input
+// and health eviction enabled, so the eviction decisions (and their
+// position in the event stream) are pinned as a pure function of each
+// session's own input order.
 func TestEngineThousandSessionsDeterministic(t *testing.T) {
 	dev, err := core.NewDevice(core.DefaultConfig())
 	if err != nil {
@@ -200,7 +278,7 @@ func TestEngineThousandSessionsDeterministic(t *testing.T) {
 	// below 0.45 by ~3.5 s of analyzable signal.
 	health := HealthConfig{EvictBelowRate: 0.45, EvictAfterS: 1.5, GraceS: 1, NoBeatS: 3}
 
-	run := func(workers int) ([]uint64, map[uint64]bool) {
+	run := func(workers int) ([]uint64, []int, map[uint64]bool) {
 		var mu sync.Mutex
 		evicted := make(map[uint64]bool)
 		opts := &fleetOpts{
@@ -214,13 +292,14 @@ func TestEngineThousandSessionsDeterministic(t *testing.T) {
 				}
 			},
 		}
-		return runFleet(t, dev, in, n, workers, 125, opts), evicted
+		hashes, beats := runFleet(t, dev, in, n, workers, 125, opts)
+		return hashes, beats, evicted
 	}
 
-	ref, refEvicted := run(1)
+	ref, refBeats, refEvicted := run(1)
 	nonEmpty := 0
-	for _, h := range ref {
-		if h != hashBeats(nil) {
+	for _, b := range refBeats {
+		if b > 0 {
 			nonEmpty++
 		}
 	}
@@ -236,10 +315,10 @@ func TestEngineThousandSessionsDeterministic(t *testing.T) {
 		}
 	}
 	for _, workers := range []int{3, 8} {
-		got, gotEvicted := run(workers)
+		got, _, gotEvicted := run(workers)
 		for i := range ref {
 			if got[i] != ref[i] {
-				t.Fatalf("session %d: hash %x with %d workers, %x with 1 worker",
+				t.Fatalf("session %d: event-stream hash %x with %d workers, %x with 1 worker",
 					i, got[i], workers, ref[i])
 			}
 		}
@@ -254,16 +333,17 @@ func TestEngineThousandSessionsDeterministic(t *testing.T) {
 	}
 }
 
-// Chunking must not affect a session's output either (the streamer is
-// chunk-invariant and the engine preserves FIFO order).
+// Chunking must not affect a session's event stream either (the
+// streamer is chunk-invariant, every event is stamped on the signal
+// clock, and the engine preserves FIFO order).
 func TestEngineChunkInvariance(t *testing.T) {
 	dev, err := core.NewDevice(core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	in := makeInputs(t, dev, 8)
-	a := runFleet(t, dev, in, 32, 4, 50, nil)
-	b := runFleet(t, dev, in, 32, 4, 501, nil)
+	a, _ := runFleet(t, dev, in, 32, 4, 50, nil)
+	b, _ := runFleet(t, dev, in, 32, 4, 501, nil)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("session %d: chunk 50 hash %x != chunk 501 hash %x", i, a[i], b[i])

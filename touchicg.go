@@ -5,11 +5,13 @@
 //
 // The package re-exports the device (acquisition + embedded processing
 // pipeline), the synthetic subject models that substitute for the paper's
-// five volunteers, and the evaluation protocol that regenerates every
-// table and figure of the paper. See DESIGN.md for the system inventory
-// and EXPERIMENTS.md for paper-vs-measured results.
+// five volunteers, the evaluation protocol that regenerates every
+// table and figure of the paper, and the serving stack's unified typed
+// event stream (beats, contact-health transitions, PMU mode changes and
+// session lifecycle through one Sink). See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
 //
-// Quick start:
+// Quick start (batch; example_test.go keeps it compiling):
 //
 //	sub, _ := touchicg.SubjectByID(1)
 //	dev, _ := touchicg.NewDevice(touchicg.DefaultConfig())
@@ -18,11 +20,25 @@
 //		fmt.Printf("HR %.0f bpm  PEP %.0f ms  LVET %.0f ms\n",
 //			b.HR, b.PEP*1000, b.LVET*1000)
 //	}
+//
+// Streaming, the serving surface — subscribe a sink to a session and
+// receive every beat, health transition and lifecycle event in order:
+//
+//	eng := touchicg.NewEngine(dev, touchicg.DefaultEngineConfig())
+//	sess, _ := eng.Subscribe(1, touchicg.EventFunc(func(e touchicg.Event) {
+//		if e.Kind == touchicg.KindBeat {
+//			fmt.Printf("beat @ %.2fs HR %.0f\n", e.TimeS, e.Params.HR)
+//		}
+//	}))
+//	sess.Push(ecgChunk, zChunk)
+//	sess.Close()
+//	eng.Close()
 package touchicg
 
 import (
 	"repro/internal/bioimp"
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/hemo"
 	"repro/internal/icg"
 	"repro/internal/physio"
@@ -81,12 +97,43 @@ type (
 	// Governor is the stateful PMU: accept-rate EWMA smoothing plus
 	// enter/exit hysteresis and dwell on quality-driven mode flips.
 	Governor = core.Governor
+
+	// Event is the typed event union every serving-layer output flows
+	// through: beats, health transitions, mode changes, evictions and
+	// session closes, each stamped with session ID, beat index and
+	// signal time.
+	Event = event.Event
+	// EventKind tags the Event union (KindBeat, KindHealth, ...).
+	EventKind = event.Kind
+	// Sink receives events (Engine.Subscribe, Streamer.Emit); Emit must
+	// not block and must not call back into the producer.
+	Sink = event.Sink
+	// EventFunc adapts a function to the Sink interface.
+	EventFunc = event.Func
+	// EventBuffer is the bounded, drop-counting ring sink — the
+	// zero-allocation delivery path and the buffer to put in front of
+	// slow consumers.
+	EventBuffer = event.Buffer
+	// EventTee fans events out to several sinks in order.
+	EventTee = event.Tee
+	// EventChan bridges events to a consumer goroutine without ever
+	// blocking the producer (full channel: drop and count).
+	EventChan = event.Chan
 )
 
 // Session close reasons (CloseEvent.Reason / Session.Reason).
 const (
 	ReasonClient      = session.ReasonClient
 	ReasonDeadContact = session.ReasonDeadContact
+)
+
+// Event kinds (Event.Kind).
+const (
+	KindBeat          = event.KindBeat
+	KindHealth        = event.KindHealth
+	KindMode          = event.KindMode
+	KindEviction      = event.KindEviction
+	KindSessionClosed = event.KindSessionClosed
 )
 
 // Protocol arm positions.
@@ -142,3 +189,11 @@ func DefaultEngineConfig() EngineConfig { return session.DefaultConfig() }
 // DefaultPMU returns the power-management policy used by the examples;
 // call NewGovernor on it for hysteresis-stabilized mode decisions.
 func DefaultPMU() PMU { return core.DefaultPMU() }
+
+// NewEventBuffer returns a bounded ring sink retaining the newest
+// capacity events (oldest dropped and counted).
+func NewEventBuffer(capacity int) *EventBuffer { return event.NewBuffer(capacity) }
+
+// NewEventChan returns a non-blocking channel sink with the given
+// buffer depth.
+func NewEventChan(depth int) *EventChan { return event.NewChan(depth) }
