@@ -25,18 +25,36 @@
 // their KindEviction events — shedding their remaining load, and the
 // run reports how much work eviction saved.
 //
+// -wal-dir arms the crash-safe write-ahead event log (internal/wal):
+// every session's typed events and periodic snapshots persist to the
+// directory, evicted sessions are re-admitted through the durable
+// restore path at the end of the fleet run (their KindReadmit events
+// are on the log), and the summary reports per-session retained bytes,
+// full-replay lag and re-admit counts. -replay DIR replays a log and
+// prints its summary instead of running anything; with -prefix-of REF
+// it additionally verifies the recovery prefix law — every session's
+// replayed event stream must be a byte prefix of the same session's
+// stream in REF — which is what the CI crash-restart step checks after
+// a -kill-after run (the self-test flag SIGKILLs the process mid-run,
+// exactly like a power cut).
+//
 // Usage:
 //
 //	icgstream [-subject 1] [-duration 30] [-loss 0.02] [-sessions 1] [-workers 0]
 //	          [-dead 0] [-evict-below 0] [-evict-after 20]
+//	          [-wal-dir DIR] [-kill-after 0]
+//	icgstream -replay DIR [-prefix-of REF]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -45,6 +63,7 @@ import (
 	"repro/internal/hw/radio"
 	"repro/internal/physio"
 	"repro/internal/session"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -56,11 +75,39 @@ func main() {
 	dead := flag.Int("dead", 0, "dead-contact streams injected into the fleet")
 	evictBelow := flag.Float64("evict-below", 0, "accept-rate EWMA eviction floor (0 = eviction off)")
 	evictAfter := flag.Float64("evict-after", 20, "signal seconds below the floor before eviction")
+	walDir := flag.String("wal-dir", "", "write-ahead event log directory (arms crash-safe durability)")
+	replayDir := flag.String("replay", "", "replay a WAL directory and print its summary, then exit")
+	prefixOf := flag.String("prefix-of", "", "with -replay: verify the log is a per-session event prefix of this reference WAL directory")
+	killAfter := flag.Float64("kill-after", 0, "self-test: SIGKILL the process after this many wall seconds (models a power cut; use with -wal-dir)")
 	flag.Parse()
+
+	if *replayDir != "" {
+		if err := replayMain(*replayDir, *prefixOf); err != nil {
+			log.Fatalf("icgstream: %v", err)
+		}
+		return
+	}
 
 	dev, err := core.NewDevice(core.DefaultConfig())
 	if err != nil {
 		log.Fatalf("icgstream: %v", err)
+	}
+
+	var wlog *wal.Log
+	if *walDir != "" {
+		wlog, err = wal.Open(*walDir, wal.Config{})
+		if err != nil {
+			log.Fatalf("icgstream: %v", err)
+		}
+	}
+	if *killAfter > 0 {
+		go func() {
+			time.Sleep(time.Duration(*killAfter * float64(time.Second)))
+			// SIGKILL, not a graceful shutdown: no flush, no final
+			// snapshots, no lifecycle events — the WAL's recovery laws are
+			// exactly what makes the survivors usable.
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		}()
 	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -117,10 +164,16 @@ func main() {
 	}, sub.Seed)
 
 	if *sessions <= 1 {
-		runSingle(dev, &sub, *duration, link, conn)
+		runSingle(dev, &sub, *duration, link, conn, wlog)
 	} else {
 		health := session.HealthConfig{EvictBelowRate: *evictBelow, EvictAfterS: *evictAfter}
-		runFleet(dev, *sessions, *workers, *dead, *duration, health, link, conn)
+		runFleet(dev, *sessions, *workers, *dead, *duration, health, link, conn, wlog)
+	}
+	if wlog != nil {
+		walSummary(wlog)
+		if err := wlog.Close(); err != nil {
+			log.Fatalf("icgstream: wal close: %v", err)
+		}
 	}
 	conn.Close()
 	wg.Wait()
@@ -135,12 +188,14 @@ func main() {
 // the end. The TCP write can block, so it lives on a consumer
 // goroutine behind an event.Chan — the non-blocking Sink contract: the
 // session worker never waits on the radio.
-func runSingle(dev *core.Device, sub *physio.Subject, duration float64, link *radio.Link, conn net.Conn) {
+func runSingle(dev *core.Device, sub *physio.Subject, duration float64, link *radio.Link, conn net.Conn, wlog *wal.Log) {
 	acq, err := dev.Acquire(sub, duration)
 	if err != nil {
 		log.Fatalf("icgstream: %v", err)
 	}
-	eng := session.NewEngine(dev, session.DefaultConfig())
+	cfg := session.DefaultConfig()
+	cfg.WAL = wlog
+	eng := session.NewEngine(dev, cfg)
 	ch := event.NewChan(1024)
 	done := make(chan struct{})
 	go func() {
@@ -189,7 +244,7 @@ func runSingle(dev *core.Device, sub *physio.Subject, duration float64, link *ra
 // over the radio link as they are emitted; every other session counts
 // toward the aggregate. With health eviction armed the engine cuts the
 // dead streams and the run reports the load it shed.
-func runFleet(dev *core.Device, n, workers, dead int, duration float64, health session.HealthConfig, link *radio.Link, conn net.Conn) {
+func runFleet(dev *core.Device, n, workers, dead int, duration float64, health session.HealthConfig, link *radio.Link, conn net.Conn, wlog *wal.Log) {
 	if dead > n {
 		dead = n
 	}
@@ -197,10 +252,12 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 	cfg.Workers = workers
 	cfg.Seed = 1
 	cfg.Health = health
+	cfg.WAL = wlog
 
 	var countMu sync.Mutex
 	rates := make([]float64, 0, n) // per-session accept rates at close
 	var evictions int
+	var evictedIDs []uint64
 	var evictedAtS float64 // summed eviction signal times
 	var shedSamples int64
 	// Every session is offered exactly duration seconds of signal, so
@@ -251,6 +308,7 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 			case event.KindEviction:
 				countMu.Lock()
 				evictions++
+				evictedIDs = append(evictedIDs, e.Session)
 				evictedAtS += e.TimeS
 				shedSamples += perSession - int64(e.TimeS*fs+0.5)
 				countMu.Unlock()
@@ -313,6 +371,28 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 		}(s, id >= n-dead)
 	}
 	push.Wait()
+	// With the WAL armed, evicted sessions come back through the durable
+	// re-admit path: each Reopen rehydrates the session from its newest
+	// snapshot (clocks and governor continue; a quarantine-poisoned gate
+	// re-locks cold) and logs a KindReadmit event — the same path a
+	// post-crash restore takes, exercised here end-to-end.
+	readmits := 0
+	if wlog != nil {
+		countMu.Lock()
+		ids := append([]uint64(nil), evictedIDs...)
+		countMu.Unlock()
+		for _, id := range ids {
+			s, err := eng.Reopen(id, event.Discard, session.ReopenOptions{})
+			if err != nil {
+				log.Printf("icgstream: reopen session %d: %v", id, err)
+				continue
+			}
+			readmits++
+			if err := s.Close(); err != nil && err != session.ErrSessionEvicted {
+				log.Printf("icgstream: session %d close after re-admit: %v", id, err)
+			}
+		}
+	}
 	if err := eng.Close(); err != nil {
 		log.Fatalf("icgstream: engine close: %v", err)
 	}
@@ -351,7 +431,107 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 		fmt.Printf("fleet health: %d dead-contact streams injected, %d evicted (mean cut at %.1f s); shed %d of %d offered samples (%.0f%%)\n",
 			dead, evictions, meanCut,
 			shedSamples, offeredSamples, 100*float64(shedSamples)/float64(max(offeredSamples, 1)))
+		if wlog != nil {
+			fmt.Printf("fleet readmit: %d of %d evicted sessions re-admitted through the WAL restore path\n",
+				readmits, evictions)
+		}
 	}
+}
+
+// walSummary reports what the run left on the log: per-session
+// retained-byte spread, how long a full replay of the retained tail
+// takes (the cost a restarting process pays before it is caught up),
+// and the re-admit count the replay observed.
+func walSummary(w *wal.Log) {
+	if err := w.Sync(); err != nil {
+		log.Printf("icgstream: wal sync: %v", err)
+	}
+	start := time.Now()
+	events, readmits := 0, 0
+	if err := w.ReplayAll(func(e event.Event) {
+		events++
+		if e.Kind == event.KindReadmit {
+			readmits++
+		}
+	}); err != nil {
+		log.Printf("icgstream: wal replay: %v", err)
+		return
+	}
+	lag := time.Since(start)
+	st := w.Stats()
+	var minB, maxB, sumB int64
+	minB = -1
+	for _, s := range st.Sessions {
+		if minB < 0 || s.Bytes < minB {
+			minB = s.Bytes
+		}
+		if s.Bytes > maxB {
+			maxB = s.Bytes
+		}
+		sumB += s.Bytes
+	}
+	if minB < 0 {
+		minB = 0
+	}
+	meanB := sumB / int64(max(len(st.Sessions), 1))
+	fmt.Printf("wal: %d sessions, %d segments, %d bytes retained (per-session bytes min %d mean %d max %d)\n",
+		len(st.Sessions), st.Segments, st.RetainedBytes, minB, meanB, maxB)
+	fmt.Printf("wal: replayed %d events in %.1f ms (%d re-admits); %d appends dropped\n",
+		events, lag.Seconds()*1000, readmits, st.Dropped)
+}
+
+// replayMain is the -replay mode: open an existing WAL directory,
+// replay its retained events, print the recovery summary, and — with
+// -prefix-of — verify the recovery prefix law against a reference
+// directory: every session's replayed event stream here must be a byte
+// prefix of the same session's stream there. That is the contract a
+// killed run's log holds against an uninterrupted run over the same
+// input, and the CI crash-restart step fails the build if it breaks.
+func replayMain(dir, refDir string) error {
+	perSession, stats, lag, err := replayDirBytes(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wal %s: %d sessions, %d segments, %d bytes retained; recovered %d records (%d bytes truncated)\n",
+		dir, len(stats.Sessions), stats.Segments, stats.RetainedBytes, stats.Recovered, stats.TruncatedBytes)
+	events := 0
+	for _, b := range perSession {
+		events += len(b) / wal.EventSize
+	}
+	fmt.Printf("wal %s: replayed %d events in %.1f ms\n", dir, events, lag.Seconds()*1000)
+	if refDir == "" {
+		return nil
+	}
+	refBytes, _, _, err := replayDirBytes(refDir)
+	if err != nil {
+		return err
+	}
+	for id, b := range perSession {
+		if !bytes.HasPrefix(refBytes[id], b) {
+			return fmt.Errorf("prefix law violated: session %d in %s is not an event prefix of %s", id, dir, refDir)
+		}
+	}
+	fmt.Printf("prefix law holds: every session in %s is an event prefix of %s\n", dir, refDir)
+	return nil
+}
+
+// replayDirBytes opens a WAL directory and returns each session's
+// replayed event stream in canonical encoding, with the log's stats
+// and the wall time the replay took.
+func replayDirBytes(dir string) (map[uint64][]byte, wal.Stats, time.Duration, error) {
+	w, err := wal.Open(dir, wal.Config{})
+	if err != nil {
+		return nil, wal.Stats{}, 0, err
+	}
+	defer w.Close()
+	perSession := make(map[uint64][]byte)
+	start := time.Now()
+	if err := w.ReplayAll(func(e event.Event) {
+		perSession[e.Session] = wal.EncodeEvent(perSession[e.Session], &e)
+	}); err != nil {
+		return nil, wal.Stats{}, 0, err
+	}
+	return perSession, w.Stats(), time.Since(start), nil
 }
 
 func transmit(link *radio.Link, conn net.Conn, seq *byte, b hemo.BeatParams) {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/hw/radio"
 	"repro/internal/quality"
 	"repro/internal/session"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -43,6 +44,17 @@ func main() {
 	scfg := session.DefaultConfig()
 	scfg.Health = session.HealthConfig{EvictBelowRate: 0.2}
 	scfg.PMU = &pmu
+	// Crash-safe durability: every event the session emits is appended
+	// to a write-ahead log before delivery (here on an in-memory FS; a
+	// real deployment passes a directory on disk — see cmd/icgstream
+	// -wal-dir). The log is what lets a dashboard attach mid-session
+	// with full history (SubscribeFrom below) and a crashed process
+	// restore its sessions (Engine.Reopen).
+	wlog, err := wal.Open("realtime-wal", wal.Config{FS: wal.NewMemFS()})
+	if err != nil {
+		log.Fatalf("realtime: %v", err)
+	}
+	scfg.WAL = wlog
 	eng := session.NewEngine(dev, scfg)
 	var beatTimes []float64
 	count := 0
@@ -80,9 +92,22 @@ func main() {
 	// the stage lookaheads.
 	fmt.Printf("streaming session, worst-case beat latency %.1f s after the closing R\n\n", sess.Latency())
 
-	// Feed 200 ms chunks, as a DMA double buffer would.
+	// Feed 200 ms chunks, as a DMA double buffer would. Halfway through,
+	// a dashboard attaches late: SubscribeFrom replays the session's
+	// retained WAL tail and splices into the live stream with no gap and
+	// no duplicate, so the late subscriber ends up with the same event
+	// count as the one attached from the start.
 	chunk := 50
+	half := (len(acq.ECG) / (2 * chunk)) * chunk
+	late := 0
 	for pos := 0; pos < len(acq.ECG); pos += chunk {
+		if pos == half {
+			err := eng.SubscribeFrom(1, event.Func(func(event.Event) { late++ }),
+				session.SubscribeOptions{})
+			if err != nil {
+				log.Fatalf("realtime: %v", err)
+			}
+		}
 		end := pos + chunk
 		if end > len(acq.ECG) {
 			end = len(acq.ECG)
@@ -102,6 +127,14 @@ func main() {
 	fmt.Printf("\nsession: accept rate %.0f%%, closed (%v), survived the dead-contact eviction policy\n",
 		sess.AcceptRate()*100, sess.Reason())
 	if err := eng.Close(); err != nil {
+		log.Fatalf("realtime: %v", err)
+	}
+	// The late dashboard saw the whole history: backfilled events plus
+	// the live tail, no gap, no duplicate.
+	st := wlog.Stats()
+	fmt.Printf("wal: late subscriber saw %d events (backfill + live); log retains %d bytes across %d segment(s)\n",
+		late, st.RetainedBytes, st.Segments)
+	if err := wlog.Close(); err != nil {
 		log.Fatalf("realtime: %v", err)
 	}
 

@@ -223,6 +223,35 @@ func (g *Governor) Reset() {
 // has made (battery-forced overlays do not count).
 func (g *Governor) Flips() int { return g.flips }
 
+// GovernorSnapshot is the compact durable state of a Governor: the
+// smoothed accept rate, the quality-driven mode and the dwell anchor.
+// QSince is on the same session-time axis the governor is fed, so a
+// restored governor continues its dwell window rather than restarting
+// it — the restoring layer must keep the time axis monotonic across
+// the restore (core.Streamer does, via its restored clock bases).
+type GovernorSnapshot struct {
+	EWMA    float64
+	Started bool
+	QMode   PowerMode
+	QSince  float64
+	Flips   int
+}
+
+// Snapshot captures the governor's durable state (the policy is
+// configuration, not state, and is not captured).
+func (g *Governor) Snapshot() GovernorSnapshot {
+	return GovernorSnapshot{EWMA: g.ewma, Started: g.started, QMode: g.qMode, QSince: g.qSince, Flips: g.flips}
+}
+
+// Restore rehydrates a fresh (or Reset) governor from a snapshot.
+func (g *Governor) Restore(s GovernorSnapshot) {
+	g.ewma = s.EWMA
+	g.started = s.Started
+	g.qMode = s.QMode
+	g.qSince = s.QSince
+	g.flips = s.Flips
+}
+
 // ModeBudget maps an operating mode to a component duty-cycle budget,
 // given the measured continuous-processing MCU duty.
 func ModeBudget(mode PowerMode, mcuDuty float64) *power.Budget {

@@ -57,6 +57,14 @@ type Streamer struct {
 	nSamples    int
 	nBeats      int
 	lastBeatEnd int
+	// beatBase/timeBase offset the *stamps* of emitted events after a
+	// snapshot Restore: detector-local indices restart at zero (the DSP
+	// state is rebuilt from new samples), but the session's beat count
+	// and signal clock continue where the snapshot left them, so the
+	// restored event stream and the governor's dwell axis stay
+	// monotonic. Zero for a never-restored streamer; Reset clears them.
+	beatBase int
+	timeBase float64
 	// healthFloor, when > 0, makes emit track the onset of the gate
 	// EWMA sitting below it (belowSince, a sample index; -1 while at or
 	// above). The onset is updated exactly where the EWMA changes — per
@@ -277,8 +285,8 @@ func (s *Streamer) emit(beats []icg.BeatAnalysis) []hemo.BeatParams {
 			s.sink.Emit(event.Event{
 				Kind:    event.KindBeat,
 				Session: s.sess,
-				Beat:    s.nBeats,
-				TimeS:   float64(rHi) / s.fs,
+				Beat:    s.beatBase + s.nBeats,
+				TimeS:   s.timeBase + float64(rHi)/s.fs,
 				Params:  bp,
 			})
 		} else {
@@ -303,12 +311,12 @@ func (s *Streamer) afterBeat(rHi int) {
 	wasBelow := s.belowSince >= 0
 	s.observeHealth(rHi)
 	isBelow := s.belowSince >= 0
-	tS := float64(rHi) / s.fs
+	tS := s.timeBase + float64(rHi)/s.fs
 	if s.sink != nil && isBelow != wasBelow {
 		s.sink.Emit(event.Event{
 			Kind:       event.KindHealth,
 			Session:    s.sess,
-			Beat:       s.nBeats,
+			Beat:       s.beatBase + s.nBeats,
 			TimeS:      tS,
 			AcceptEWMA: s.acceptEWMA(),
 			Below:      isBelow,
@@ -326,7 +334,7 @@ func (s *Streamer) afterBeat(rHi int) {
 				s.sink.Emit(event.Event{
 					Kind:       event.KindMode,
 					Session:    s.sess,
-					Beat:       s.nBeats,
+					Beat:       s.beatBase + s.nBeats,
 					TimeS:      tS,
 					AcceptEWMA: s.gov.AcceptEWMA(),
 					Mode:       int(mode),
@@ -511,6 +519,8 @@ func (s *Streamer) Reset() {
 	s.nSamples = 0
 	s.nBeats = 0
 	s.lastBeatEnd = 0
+	s.beatBase = 0
+	s.timeBase = 0
 	s.belowSince = -1 // healthFloor deliberately survives Reset
 	s.zPrefix.Reset()
 	s.zSum = 0

@@ -57,6 +57,13 @@ const (
 	// KindSessionClosed: the session finished — client close and
 	// eviction alike; the final event of every session's stream.
 	KindSessionClosed
+	// KindReadmit: an evicted session was re-admitted after its
+	// quarantine cool-down (session.Engine.Reopen); the first event of
+	// the re-admitted stream. Restored reports whether the session was
+	// rehydrated from a durable snapshot (warm template fast re-lock)
+	// or cold-started; Beat/TimeS carry the restored clocks, AcceptEWMA
+	// the restored contact-health reading.
+	KindReadmit
 )
 
 // String names the kind.
@@ -72,6 +79,8 @@ func (k Kind) String() string {
 		return "eviction"
 	case KindSessionClosed:
 		return "session-closed"
+	case KindReadmit:
+		return "readmit"
 	default:
 		return "kind-?"
 	}
@@ -120,6 +129,10 @@ type Event struct {
 	// Dropped counts beats the session's bounded Drain ring discarded
 	// (KindSessionClosed; 0 for subscribed and callback sessions).
 	Dropped uint64
+
+	// Restored reports whether a re-admitted session was rehydrated
+	// from a durable snapshot rather than cold-started (KindReadmit).
+	Restored bool
 }
 
 // Sink receives events. Emit is synchronous, must not block, and must

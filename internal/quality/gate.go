@@ -437,6 +437,49 @@ func (gs *GateStream) AcceptEWMA() float64 { return gs.rateEWMA }
 // TemplateSeeded reports how many accepted beats shaped the ensemble.
 func (gs *GateStream) TemplateSeeded() int { return gs.tmplN }
 
+// GateSnapshot is the compact durable state of a GateStream: the
+// ensemble template, the acceptance tallies and the running session
+// extremes — everything needed to rehydrate the warm re-lock path
+// after a restart, and nothing sample-sized. The raw-history ring is
+// deliberately not captured: a restored stream rebuilds its rails from
+// the snapshot extremes and scores new beats against the restored
+// template immediately.
+type GateSnapshot struct {
+	Template        [icg.ShapeBins]float64
+	TemplateN       int
+	Accepted, Total int
+	AcceptEWMA      float64
+	RunLo, RunHi    float64
+	HaveExt         bool
+}
+
+// Snapshot captures the stream's durable state.
+func (gs *GateStream) Snapshot() GateSnapshot {
+	return GateSnapshot{
+		Template:   gs.template,
+		TemplateN:  gs.tmplN,
+		Accepted:   gs.accepted,
+		Total:      gs.total,
+		AcceptEWMA: gs.rateEWMA,
+		RunLo:      gs.runLo,
+		RunHi:      gs.runHi,
+		HaveExt:    gs.haveExt,
+	}
+}
+
+// Restore rehydrates a fresh (or Reset) stream from a snapshot. The
+// sample cursor restarts at zero — the restored extremes seed the
+// rails, and the new sample feed extends them from there.
+func (gs *GateStream) Restore(s GateSnapshot) {
+	gs.template = s.Template
+	gs.tmplN = s.TemplateN
+	gs.accepted, gs.total = s.Accepted, s.Total
+	gs.rateEWMA = s.AcceptEWMA
+	gs.runLo, gs.runHi = s.RunLo, s.RunHi
+	gs.haveExt = s.HaveExt
+	gs.cursor = 0
+}
+
 // Reset returns the stream to its initial state, keeping allocations.
 func (gs *GateStream) Reset() {
 	gs.ring.Reset()

@@ -77,6 +77,12 @@ const (
 	// ReasonDeadContact: the engine evicted the session because its
 	// health signals said the contact was dead (HealthConfig).
 	ReasonDeadContact
+	// ReasonInternalError: a panic while processing the session's input
+	// (a corrupted stage, a faulting subscriber sink) was recovered on
+	// the worker and closed only this session — the process and every
+	// other session continue untouched. The session's streaming state
+	// is discarded, not pooled.
+	ReasonInternalError
 )
 
 // String names the reason.
@@ -86,6 +92,8 @@ func (r CloseReason) String() string {
 		return "client"
 	case ReasonDeadContact:
 		return "dead-contact"
+	case ReasonInternalError:
+		return "internal-error"
 	default:
 		return "reason-?"
 	}
@@ -143,18 +151,10 @@ func (s *Session) evict(rest []chunk) {
 	s.mu.Lock()
 	s.closing = true
 	s.evicted = true
-	for _, c := range s.pending {
-		if c.buf != nil {
-			s.eng.chunks.Put(c.buf[:0])
-		}
-	}
+	s.discard(s.pending, ErrSessionEvicted)
 	s.pending = s.pending[:0]
 	s.cond.Broadcast()
 	s.mu.Unlock()
-	for _, c := range rest {
-		if c.buf != nil {
-			s.eng.chunks.Put(c.buf[:0])
-		}
-	}
+	s.discard(rest, ErrSessionEvicted)
 	s.finish(ReasonDeadContact)
 }

@@ -26,12 +26,15 @@ package session
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/hemo"
+	"repro/internal/wal"
 )
 
 // Config tunes the engine.
@@ -70,6 +73,33 @@ type Config struct {
 	// Legacy adapter: subscribers get the same information as the
 	// session's final KindEviction/KindSessionClosed events.
 	OnClose func(CloseEvent)
+
+	// WAL, when non-nil, arms crash-safe durability: every event of
+	// every session is appended to the log — write-ahead, on the
+	// session's worker, before subscriber delivery, drop-counted on log
+	// failure per the wal contract — and compact session snapshots
+	// (gate template/EWMA, governor mode/dwell, session clocks) are
+	// appended every SnapshotEveryS signal seconds plus at session
+	// finish. The engine never closes the log; its owner does, after
+	// Engine.Close. The log also powers SubscribeFrom backfill and
+	// Reopen restore.
+	WAL *wal.Log
+	// SnapshotEveryS is the snapshot cadence in signal seconds
+	// (default 10; meaningful only with WAL). Restore staleness is
+	// bounded by it: a killed session rehydrates from its newest
+	// snapshot, at most this much signal time behind its logged events.
+	SnapshotEveryS float64
+	// QuarantineS arms the re-admit cool-down: a dead-contact-evicted
+	// session ID cannot be opened again (Subscribe, Open or Reopen
+	// return ErrQuarantined) until this many wall-clock seconds after
+	// its eviction. 0 disables quarantine tracking entirely.
+	QuarantineS float64
+	// Clock injects the wall clock the quarantine uses (default
+	// time.Now; tests inject a fake).
+	Clock func() time.Time
+	// NonFinite selects the Push/PushOwned policy for NaN/Inf samples
+	// (validate.go); the default rejects them with ErrNonFiniteSample.
+	NonFinite NonFinitePolicy
 }
 
 // DefaultConfig returns the serving defaults.
@@ -87,9 +117,21 @@ type Engine struct {
 	mu       sync.Mutex
 	sessions map[uint64]*Session
 	closed   bool
+	// quarantined maps a dead-contact-evicted session ID to its
+	// eviction time while Config.QuarantineS is armed; the entry clears
+	// on the first successful reopen after the cool-down.
+	quarantined map[uint64]time.Time
+
+	now       func() time.Time
+	snapEvery float64
 
 	runq chan *Session
 	wg   sync.WaitGroup
+
+	// chunkHook, when non-nil, runs before each data chunk is processed
+	// (session ID, per-session chunk index). Test seam for the panic
+	// isolation suite — a hook that panics models a corrupted stage.
+	chunkHook func(id uint64, chunk int)
 
 	// streamers pools Reset streaming state across session lifetimes:
 	// a closed session's delay lines, rings and detector state are
@@ -139,16 +181,47 @@ type Session struct {
 	// itself lives in the streamer, tracked per beat — health.go).
 	evicted bool
 	reason  CloseReason
+	// failed marks a worker-panic close (ReasonInternalError): the
+	// streamer was discarded, not pooled, and pushers see
+	// ErrSessionFailed.
+	failed bool
+
+	// extras are late subscribers spliced in by SubscribeFrom; appended
+	// and read only on the session's worker, so no lock is needed.
+	extras []event.Sink
+	// nextSnapS is the signal time of the next periodic WAL snapshot;
+	// nChunks counts processed data chunks (the chunkHook index).
+	nextSnapS float64
+	nChunks   int
+	snapBuf   []byte
+	// lastE/lastZ carry the last finite sample of each channel for the
+	// NonFiniteSanitize policy (under mu; carry follows Push call
+	// order).
+	lastE, lastZ float64
 }
 
 // chunk is one queued input: either a pooled combined buffer (Push —
 // ecg is buf[:n], z is buf[n:]) or caller-owned slices (PushOwned —
-// ecg/z, never returned to the pool).
+// ecg/z, never returned to the pool). A ctl chunk carries no samples:
+// it is the FIFO splice point of SubscribeFrom (and the test barrier),
+// processed in order with the data around it.
 type chunk struct {
 	buf    []float64
 	n      int
 	ecg, z []float64
 	flush  bool
+	ctl    *attachCtl
+}
+
+// attachCtl is the control payload of a SubscribeFrom splice: the
+// worker replays the WAL tail into sink, attaches it to the live
+// stream, then closes done. A nil sink is a pure processing barrier.
+// err (set before done closes) reports a splice that could not happen
+// because the session ended first.
+type attachCtl struct {
+	sink event.Sink
+	done chan struct{}
+	err  error
 }
 
 // Engine errors.
@@ -160,6 +233,24 @@ var (
 	// engine evicted the session for dead contact (HealthConfig); the
 	// beats emitted before the eviction stay available via Drain.
 	ErrSessionEvicted = errors.New("session: session evicted (dead contact)")
+	// ErrSessionFailed is returned by Push/PushOwned/Close after a
+	// worker panic closed the session (ReasonInternalError). The
+	// process survives; only the panicking session dies.
+	ErrSessionFailed = errors.New("session: session failed (internal error)")
+	// ErrChannelMismatch is returned by Push/PushOwned for unequal
+	// channel lengths — a typed error, not a panic: the lengths arrive
+	// from the network boundary, not from programmer-controlled code.
+	ErrChannelMismatch = errors.New("session: push requires equal-length ecg/z channels")
+	// ErrNonFiniteSample is returned under the default NonFiniteReject
+	// policy when a pushed chunk contains NaN or ±Inf; the chunk is not
+	// consumed and the session remains usable.
+	ErrNonFiniteSample = errors.New("session: non-finite sample rejected")
+	// ErrQuarantined is returned when opening a session ID still inside
+	// its post-eviction cool-down (Config.QuarantineS).
+	ErrQuarantined = errors.New("session: session quarantined after eviction")
+	// ErrNoWAL is returned by SubscribeFrom and Reopen when the engine
+	// has no write-ahead log armed (Config.WAL).
+	ErrNoWAL = errors.New("session: engine has no WAL armed")
 )
 
 // NewEngine starts an engine serving streams of the given device.
@@ -173,13 +264,24 @@ func NewEngine(dev *core.Device, cfg Config) *Engine {
 	if cfg.DrainCap <= 0 {
 		cfg.DrainCap = 4096
 	}
+	if cfg.SnapshotEveryS <= 0 {
+		cfg.SnapshotEveryS = 10
+	}
 	e := &Engine{
-		dev:      dev,
-		cfg:      cfg,
-		sessions: make(map[uint64]*Session),
+		dev:       dev,
+		cfg:       cfg,
+		sessions:  make(map[uint64]*Session),
+		now:       cfg.Clock,
+		snapEvery: cfg.SnapshotEveryS,
 		// The run queue only ever holds each session once (the scheduled
 		// flag), so any comfortable buffer avoids enqueue stalls.
 		runq: make(chan *Session, 1024),
+	}
+	if e.now == nil {
+		e.now = time.Now
+	}
+	if cfg.QuarantineS > 0 {
+		e.quarantined = make(map[uint64]time.Time)
 	}
 	if cfg.Health.Enabled() {
 		h := cfg.Health.withDefaults()
@@ -272,13 +374,20 @@ func (e *Engine) open(id uint64, sink event.Sink, drain bool) (*Session, error) 
 	if _, dup := e.sessions[id]; dup {
 		return nil, ErrDuplicateID
 	}
+	if at, ok := e.quarantined[id]; ok {
+		if e.now().Sub(at).Seconds() < e.cfg.QuarantineS {
+			return nil, ErrQuarantined
+		}
+		delete(e.quarantined, id)
+	}
 	s := &Session{
-		ID:   id,
-		eng:  e,
-		st:   e.streamers.Get().(*core.Streamer),
-		seed: e.SessionSeed(id),
-		done: make(chan struct{}),
-		sink: sink,
+		ID:        id,
+		eng:       e,
+		st:        e.streamers.Get().(*core.Streamer),
+		seed:      e.SessionSeed(id),
+		done:      make(chan struct{}),
+		sink:      sink,
+		nextSnapS: e.snapEvery,
 	}
 	if drain {
 		s.buf = e.evbufs.Get().(*event.Buffer)
@@ -356,14 +465,28 @@ func (s *Session) Seed() int64 { return s.seed }
 // Push copies the chunk (equal-length channels) into pooled buffers and
 // queues it; it blocks only when the session's backlog is full. Beats
 // appear at the session's callback or Drain asynchronously.
+//
+// Push is a network-facing boundary, so malformed input is a typed
+// error, never a panic: unequal lengths return ErrChannelMismatch, and
+// NaN/Inf samples follow Config.NonFinite (reject with
+// ErrNonFiniteSample by default, or sanitize — see NonFinitePolicy).
+// A rejected chunk is not consumed and the session remains usable.
 func (s *Session) Push(ecgSamples, zSamples []float64) error {
 	if len(ecgSamples) != len(zSamples) {
-		panic("session: Push requires equal-length channels")
+		return ErrChannelMismatch
+	}
+	if s.eng.cfg.NonFinite == NonFiniteReject {
+		if err := checkFinite(ecgSamples, zSamples); err != nil {
+			return err
+		}
 	}
 	n := len(ecgSamples)
 	buf := s.eng.getBuf(2 * n)
 	copy(buf[:n], ecgSamples)
 	copy(buf[n:], zSamples)
+	if s.eng.cfg.NonFinite == NonFiniteSanitize {
+		s.sanitize(buf[:n], buf[n:])
+	}
 	if err := s.enqueue(chunk{buf: buf, n: n}); err != nil {
 		// Closed or evicted mid-push: recycle the copy instead of
 		// dropping it — with eviction armed this is a routine path.
@@ -385,9 +508,20 @@ func (s *Session) Push(ecgSamples, zSamples []float64) error {
 // garbage-collected, never recycled into the engine's buffer pool).
 // Each call must pass freshly-owned slices; aliasing a previous
 // PushOwned chunk is a data race.
+// Like Push, PushOwned validates instead of panicking; under the
+// sanitize policy the owned slices are rewritten in place (they are
+// the engine's to mutate once handed over).
 func (s *Session) PushOwned(ecgSamples, zSamples []float64) error {
 	if len(ecgSamples) != len(zSamples) {
-		panic("session: PushOwned requires equal-length channels")
+		return ErrChannelMismatch
+	}
+	switch s.eng.cfg.NonFinite {
+	case NonFiniteReject:
+		if err := checkFinite(ecgSamples, zSamples); err != nil {
+			return err
+		}
+	case NonFiniteSanitize:
+		s.sanitize(ecgSamples, zSamples)
 	}
 	return s.enqueue(chunk{ecg: ecgSamples, z: zSamples})
 }
@@ -407,6 +541,9 @@ func (s *Session) Close() error {
 	<-s.done
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.failed {
+		return ErrSessionFailed
+	}
 	if s.evicted {
 		return ErrSessionEvicted
 	}
@@ -470,6 +607,9 @@ func (s *Session) DroppedBeats() uint64 {
 // closedErr reports why the session no longer accepts input (callers
 // hold mu).
 func (s *Session) closedErr() error {
+	if s.failed {
+		return ErrSessionFailed
+	}
 	if s.evicted {
 		return ErrSessionEvicted
 	}
@@ -483,7 +623,7 @@ func (s *Session) enqueue(c chunk) error {
 		s.mu.Unlock()
 		return err
 	}
-	for len(s.pending) >= s.eng.cfg.MaxPending && !c.flush {
+	for len(s.pending) >= s.eng.cfg.MaxPending && !c.flush && c.ctl == nil {
 		s.cond.Wait()
 		if s.closing {
 			err := s.closedErr()
@@ -521,21 +661,34 @@ func (s *Session) run(batch []chunk) []chunk {
 		s.mu.Unlock()
 
 		for i, c := range batch {
+			if c.ctl != nil {
+				s.splice(c.ctl)
+				continue
+			}
 			if c.flush {
-				s.st.Flush()
+				if err := s.guard(func() { s.st.Flush() }); err != nil {
+					s.fail(batch[i+1:])
+					return batch
+				}
 				s.finish(ReasonClient)
 				return batch
 			}
 			// The streamer has the session's forwarder armed as its
 			// event sink, so Push/Flush return nil and every beat,
 			// health transition and mode change flows through
-			// Session.forward on this worker, in order.
+			// Session.forward on this worker, in order. A panic inside
+			// the stage pipeline (or a subscriber sink) is recovered
+			// here and closes only this session (ReasonInternalError):
+			// one corrupted stream must never take down the process or
+			// the other sessions' determinism.
+			if err := s.guard(func() { s.process(c) }); err != nil {
+				// The chunk buffer is deliberately not recycled: the
+				// panic may have left aliases into it.
+				s.fail(batch[i+1:])
+				return batch
+			}
 			if c.buf != nil {
-				s.st.Push(c.buf[:c.n], c.buf[c.n:])
 				s.eng.chunks.Put(c.buf[:0])
-			} else {
-				// Owned chunk (PushOwned): read in place, drop after.
-				s.st.Push(c.ecg, c.z)
 			}
 			// Health check after every consumed chunk: the signals are
 			// pure functions of the input consumed so far, so the
@@ -544,8 +697,100 @@ func (s *Session) run(batch []chunk) []chunk {
 				s.evict(batch[i+1:])
 				return batch
 			}
+			// Periodic WAL snapshot, on the same per-chunk cadence as
+			// the health check and for the same reason: the snapshot
+			// points are pure functions of the input consumed so far,
+			// identical for any worker count.
+			if w := s.eng.cfg.WAL; w != nil {
+				if _, tS := s.st.Clock(); tS >= s.nextSnapS {
+					s.snapshot(w, s.st)
+					s.nextSnapS = tS + s.eng.snapEvery
+				}
+			}
 		}
 	}
+}
+
+// process consumes one data chunk on the session's worker.
+func (s *Session) process(c chunk) {
+	if h := s.eng.chunkHook; h != nil {
+		h(s.ID, s.nChunks)
+	}
+	s.nChunks++
+	if c.buf != nil {
+		s.st.Push(c.buf[:c.n], c.buf[c.n:])
+	} else {
+		// Owned chunk (PushOwned): read in place, drop after.
+		s.st.Push(c.ecg, c.z)
+	}
+}
+
+// guard runs f, converting a panic into an error (satellite of the
+// durability work: worker panic isolation).
+func (s *Session) guard(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrSessionFailed, r)
+		}
+	}()
+	f()
+	return nil
+}
+
+// splice attaches a SubscribeFrom subscriber at an exact point of the
+// per-session FIFO: every event of the retained WAL tail is replayed
+// into the sink first, then the sink joins the live stream — no gap
+// (events for this session are only ever produced on this worker,
+// which is busy right here) and no duplicate (the replay reads the log
+// strictly before the next live append). A nil sink is a pure barrier.
+func (s *Session) splice(ctl *attachCtl) {
+	if ctl.sink != nil {
+		if w := s.eng.cfg.WAL; w != nil {
+			ctl.err = w.ReplaySession(s.ID, func(ev event.Event) { ctl.sink.Emit(ev) })
+		}
+		s.extras = append(s.extras, ctl.sink)
+	}
+	close(ctl.done)
+}
+
+// fail closes the session after a worker panic: pending and unbatched
+// chunks are discarded, pushers are woken with ErrSessionFailed, and
+// the session finishes with ReasonInternalError. The streamer is
+// poisoned mid-panic, so it is discarded rather than pooled.
+func (s *Session) fail(rest []chunk) {
+	s.mu.Lock()
+	s.closing = true
+	s.failed = true
+	s.discard(s.pending, ErrSessionFailed)
+	s.pending = s.pending[:0]
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.discard(rest, ErrSessionFailed)
+	s.finishWith(ReasonInternalError, true)
+}
+
+// discard drops queued chunks, recycling pooled buffers and releasing
+// any control chunks' waiters with err.
+func (s *Session) discard(chunks []chunk, err error) {
+	for _, c := range chunks {
+		if c.buf != nil {
+			s.eng.chunks.Put(c.buf[:0])
+		}
+		if c.ctl != nil {
+			c.ctl.err = err
+			close(c.ctl.done)
+		}
+	}
+}
+
+// snapshot appends the session's compact durable state to the log.
+func (s *Session) snapshot(w *wal.Log, st *core.Streamer) {
+	s.mu.Lock()
+	acc, em := s.accepted, s.emitted
+	s.mu.Unlock()
+	snap := st.Snapshot()
+	s.snapBuf = appendSessionSnapshot(s.snapBuf[:0], snap, acc, em)
+	w.AppendSnapshot(s.ID, snap.TimeS, s.snapBuf)
 }
 
 // forwarder is the event.Sink the session arms on its pooled streamer;
@@ -572,10 +817,20 @@ func (s *Session) forward(e event.Event) {
 		}
 		s.mu.Unlock()
 	}
+	// Write-ahead: the event reaches the log before any subscriber —
+	// what a consumer saw is always recoverable. Append is synchronous
+	// on this worker, bounded and drop-counted on log failure (the wal
+	// contract), exactly like a bounded sink.
+	if w := s.eng.cfg.WAL; w != nil {
+		w.AppendEvent(e)
+	}
 	if s.sink != nil {
 		s.sink.Emit(e)
 	} else if s.buf != nil && e.Kind == event.KindBeat {
 		s.buf.Emit(e)
+	}
+	for _, x := range s.extras {
+		x.Emit(e)
 	}
 }
 
@@ -624,10 +879,16 @@ func (s *Session) Reason() CloseReason {
 }
 
 // finish recycles the streamer, detaches the session and emits the
-// lifecycle events — KindEviction for dead-contact cuts, then the
+// lifecycle events — KindEviction for any non-client close, then the
 // final KindSessionClosed, then the legacy OnClose adapter. It runs on
 // the session's worker, exactly once, after the session's last beat.
-func (s *Session) finish(reason CloseReason) {
+func (s *Session) finish(reason CloseReason) { s.finishWith(reason, false) }
+
+// finishWith is finish with the panic-close variant: corrupt marks the
+// streamer as poisoned mid-panic, so its state is read defensively,
+// never snapshotted, and discarded instead of pooled; event delivery
+// is guarded too (the panic source may be the subscriber sink itself).
+func (s *Session) finishWith(reason CloseReason, corrupt bool) {
 	s.mu.Lock()
 	st := s.st
 	s.st = nil
@@ -642,32 +903,64 @@ func (s *Session) finish(reason CloseReason) {
 	}
 	dropped := s.dropped
 	s.mu.Unlock()
-	// Snapshot the health signals before Reset wipes them.
-	hs := st.Health()
+	// Snapshot the health signals and session clocks before Reset
+	// wipes them (defensively when the streamer is mid-panic).
+	var hs core.StreamHealth
+	var beat int
+	var tS float64
+	readState := func() {
+		hs = st.Health()
+		beat, tS = st.Clock()
+	}
+	if corrupt {
+		func() {
+			defer func() { recover() }()
+			readState()
+		}()
+	} else {
+		readState()
+	}
+	// Final durable snapshot before the lifecycle events, so a later
+	// Reopen restores the state the session ended with (the quarantine
+	// re-admit path rehydrates the eviction-time template).
+	if w := s.eng.cfg.WAL; w != nil && !corrupt {
+		s.snapshot(w, st)
+	}
 	ev := CloseEvent{ID: s.ID, Reason: reason, Accepted: acc, Emitted: em, Health: hs}
 	lifecycle := event.Event{
 		Session:    s.ID,
-		Beat:       hs.Beats,
-		TimeS:      hs.SignalS,
+		Beat:       beat,
+		TimeS:      tS,
 		AcceptEWMA: hs.AcceptEWMA,
 		Reason:     int(reason),
 		Accepted:   acc,
 		Emitted:    em,
 	}
-	if reason == ReasonDeadContact {
+	deliver := func(ev event.Event) {
+		if corrupt {
+			defer func() { recover() }()
+		}
+		s.forward(ev)
+	}
+	if reason != ReasonClient {
 		evict := lifecycle
 		evict.Kind = event.KindEviction
-		s.forward(evict)
+		deliver(evict)
 	}
 	closed := lifecycle
 	closed.Kind = event.KindSessionClosed
 	closed.Dropped = dropped
-	s.forward(closed)
-	st.Reset()
-	s.eng.streamers.Put(st)
+	deliver(closed)
+	if !corrupt {
+		st.Reset()
+		s.eng.streamers.Put(st)
+	}
 	e := s.eng
 	e.mu.Lock()
 	delete(e.sessions, s.ID)
+	if reason == ReasonDeadContact && e.quarantined != nil {
+		e.quarantined[s.ID] = e.now()
+	}
 	e.mu.Unlock()
 	if e.cfg.OnClose != nil {
 		e.cfg.OnClose(ev)

@@ -141,6 +141,11 @@ func (r *evHasher) Emit(e event.Event) {
 	r.word(uint64(e.Accepted))
 	r.word(uint64(e.Emitted))
 	r.word(e.Dropped)
+	restored := uint64(0)
+	if e.Restored {
+		restored = 1
+	}
+	r.word(restored)
 	if e.Kind == event.KindBeat {
 		r.beats++
 	}

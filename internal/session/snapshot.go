@@ -1,0 +1,137 @@
+package session
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/icg"
+)
+
+// Session snapshot codec: the fixed-size binary form of a
+// core.StreamSnapshot plus the session's own gate tally, stored as the
+// opaque payload of a wal snapshot record. Fixed layout, little
+// endian, version-prefixed; decode validates the version and the exact
+// length and never panics on arbitrary bytes (the same law as the
+// event codec).
+//
+// Layout: version u8 | Beat i64 | TimeS f64 | LastMode i64 |
+// accepted i64 | emitted i64 | HasGate u8 | gate (AcceptEWMA f64,
+// Accepted i64, Total i64, RunLo f64, RunHi f64, HaveExt u8,
+// TemplateN i64, Template ShapeBins × f64) | HasGov u8 | gov (EWMA
+// f64, Started u8, QMode i64, QSince f64, Flips i64).
+
+const (
+	snapVersion = 1
+	snapLen     = 1 + 8 + 8 + 8 + 8 + 8 + 1 + (8 + 8 + 8 + 8 + 8 + 1 + 8 + icg.ShapeBins*8) + 1 + (8 + 1 + 8 + 8 + 8)
+)
+
+func appendSessionSnapshot(dst []byte, snap core.StreamSnapshot, accepted, emitted int) []byte {
+	n := len(dst)
+	dst = append(dst, make([]byte, snapLen)...)
+	b := dst[n:]
+	b[0] = snapVersion
+	o := 1
+	o = putI64(b, o, int64(snap.Beat))
+	o = putF64(b, o, snap.TimeS)
+	o = putI64(b, o, int64(snap.LastMode))
+	o = putI64(b, o, int64(accepted))
+	o = putI64(b, o, int64(emitted))
+	o = putBool(b, o, snap.HasGate)
+	g := &snap.Gate
+	o = putF64(b, o, g.AcceptEWMA)
+	o = putI64(b, o, int64(g.Accepted))
+	o = putI64(b, o, int64(g.Total))
+	o = putF64(b, o, g.RunLo)
+	o = putF64(b, o, g.RunHi)
+	o = putBool(b, o, g.HaveExt)
+	o = putI64(b, o, int64(g.TemplateN))
+	for _, v := range g.Template {
+		o = putF64(b, o, v)
+	}
+	o = putBool(b, o, snap.HasGov)
+	gv := &snap.Gov
+	o = putF64(b, o, gv.EWMA)
+	o = putBool(b, o, gv.Started)
+	o = putI64(b, o, int64(gv.QMode))
+	o = putF64(b, o, gv.QSince)
+	putI64(b, o, int64(gv.Flips))
+	return dst
+}
+
+func decodeSessionSnapshot(b []byte) (snap core.StreamSnapshot, accepted, emitted int, ok bool) {
+	if len(b) != snapLen || b[0] != snapVersion {
+		return core.StreamSnapshot{}, 0, 0, false
+	}
+	o := 1
+	var v int64
+	v, o = getI64(b, o)
+	snap.Beat = int(v)
+	snap.TimeS, o = getF64(b, o)
+	v, o = getI64(b, o)
+	snap.LastMode = core.PowerMode(v)
+	v, o = getI64(b, o)
+	accepted = int(v)
+	v, o = getI64(b, o)
+	emitted = int(v)
+	snap.HasGate, o, ok = getBool(b, o, true)
+	g := &snap.Gate
+	g.AcceptEWMA, o = getF64(b, o)
+	v, o = getI64(b, o)
+	g.Accepted = int(v)
+	v, o = getI64(b, o)
+	g.Total = int(v)
+	g.RunLo, o = getF64(b, o)
+	g.RunHi, o = getF64(b, o)
+	g.HaveExt, o, ok = getBool(b, o, ok)
+	v, o = getI64(b, o)
+	g.TemplateN = int(v)
+	for i := range g.Template {
+		g.Template[i], o = getF64(b, o)
+	}
+	snap.HasGov, o, ok = getBool(b, o, ok)
+	gv := &snap.Gov
+	gv.EWMA, o = getF64(b, o)
+	gv.Started, o, ok = getBool(b, o, ok)
+	v, o = getI64(b, o)
+	gv.QMode = core.PowerMode(v)
+	gv.QSince, o = getF64(b, o)
+	v, _ = getI64(b, o)
+	gv.Flips = int(v)
+	if !ok {
+		return core.StreamSnapshot{}, 0, 0, false
+	}
+	return snap, accepted, emitted, true
+}
+
+func putI64(b []byte, o int, v int64) int {
+	binary.LittleEndian.PutUint64(b[o:], uint64(v))
+	return o + 8
+}
+
+func putF64(b []byte, o int, v float64) int {
+	binary.LittleEndian.PutUint64(b[o:], math.Float64bits(v))
+	return o + 8
+}
+
+func putBool(b []byte, o int, v bool) int {
+	if v {
+		b[o] = 1
+	}
+	return o + 1
+}
+
+func getI64(b []byte, o int) (int64, int) {
+	return int64(binary.LittleEndian.Uint64(b[o:])), o + 8
+}
+
+func getF64(b []byte, o int) (float64, int) {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[o:])), o + 8
+}
+
+func getBool(b []byte, o int, ok bool) (bool, int, bool) {
+	if b[o] > 1 {
+		return false, o + 1, false
+	}
+	return b[o] == 1, o + 1, ok
+}

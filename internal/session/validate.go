@@ -1,0 +1,91 @@
+package session
+
+import (
+	"fmt"
+	"math"
+)
+
+// Input validation at the network-facing boundary. Push/PushOwned are
+// where radio packets enter the engine, so malformed input must be a
+// typed error, never a panic — and degenerate samples must not poison
+// downstream state: a single NaN propagates through the conditioning
+// chains, and a ±Inf would pin the quality gate's running session
+// extremes (runLo/runHi), silently flattening every later beat's
+// saturation and span checks. Neither is allowed past this boundary.
+
+// NonFinitePolicy selects what Push/PushOwned do with NaN/±Inf
+// samples (Config.NonFinite).
+type NonFinitePolicy int
+
+const (
+	// NonFiniteReject (default): the chunk is refused with
+	// ErrNonFiniteSample before anything is consumed — the session
+	// clocks do not advance and the session remains usable. The right
+	// policy when the transport should retransmit.
+	NonFiniteReject NonFinitePolicy = iota
+	// NonFiniteSanitize: each non-finite sample is replaced by the
+	// last finite sample of the same channel (0 before any), and the
+	// chunk is consumed. Sample-and-hold is the right policy for lossy
+	// radio links where a retransmit is worth less than continuity;
+	// the held samples look like a brief flat dropout, which the gate
+	// scores — not like infinities, which it must never see. The carry
+	// follows Push call order (deterministic for the per-session
+	// single-pusher the ordering contract assumes).
+	NonFiniteSanitize
+)
+
+// String names the policy.
+func (p NonFinitePolicy) String() string {
+	switch p {
+	case NonFiniteReject:
+		return "reject"
+	case NonFiniteSanitize:
+		return "sanitize"
+	default:
+		return "non-finite-?"
+	}
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// checkFinite implements NonFiniteReject: the first offending sample
+// is named in the error (wrapped around ErrNonFiniteSample for
+// errors.Is).
+func checkFinite(ecg, z []float64) error {
+	for i, v := range ecg {
+		if !finite(v) {
+			return fmt.Errorf("%w: ecg[%d]=%v", ErrNonFiniteSample, i, v)
+		}
+	}
+	for i, v := range z {
+		if !finite(v) {
+			return fmt.Errorf("%w: z[%d]=%v", ErrNonFiniteSample, i, v)
+		}
+	}
+	return nil
+}
+
+// sanitize implements NonFiniteSanitize in place, carrying the last
+// finite sample per channel across chunks (under mu).
+func (s *Session) sanitize(ecg, z []float64) {
+	s.mu.Lock()
+	le, lz := s.lastE, s.lastZ
+	for i, v := range ecg {
+		if finite(v) {
+			le = v
+		} else {
+			ecg[i] = le
+		}
+	}
+	for i, v := range z {
+		if finite(v) {
+			lz = v
+		} else {
+			z[i] = lz
+		}
+	}
+	s.lastE, s.lastZ = le, lz
+	s.mu.Unlock()
+}

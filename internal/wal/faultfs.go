@@ -1,0 +1,160 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+)
+
+// FaultFS wraps any FS with a deterministic fault schedule, modeling
+// the three ways real media betrays an append-only writer:
+//
+//   - Power cut with data in flight (KillAfterBytes): once the global
+//     applied-byte budget is spent, writes report success but the
+//     bytes silently never reach the media — exactly what a crash
+//     before writeback looks like to the next Open. The budget can
+//     land mid-record, producing torn tails at any seeded offset.
+//   - Short write surfaced by the OS (ShortWriteOp): the scheduled
+//     write applies a prefix and returns ErrInjected; the log must go
+//     dead rather than leave a hole.
+//   - Fsync failure (SyncErrOp): the scheduled sync returns
+//     ErrInjected; same law.
+//
+// Bit flips don't need FaultFS — they corrupt media at rest, so the
+// tests flip bytes directly via MemFS.SetBytes between crash and
+// recovery.
+//
+// Schedules are plain op-indexed maps, so a seeded sweep is just a
+// loop constructing schedules from a PRNG — deterministic and
+// replayable by seed.
+type FaultFS struct {
+	inner FS
+
+	mu        sync.Mutex
+	killAfter int64 // applied-byte budget; <0 = unlimited
+	applied   int64
+	shortW    map[int]int
+	syncErr   map[int]bool
+	writeOps  int
+	syncOps   int
+}
+
+// ErrInjected is the error FaultFS returns for scheduled write/sync
+// faults.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultSchedule is a deterministic fault plan for one FaultFS.
+type FaultSchedule struct {
+	// KillAfterBytes is the total number of written bytes that reach
+	// the media before the simulated power cut; 0 or negative means no
+	// cut.
+	KillAfterBytes int64
+	// ShortWriteOp maps a 0-based global write-op index to the number
+	// of bytes that op applies before returning ErrInjected.
+	ShortWriteOp map[int]int
+	// SyncErrOp marks 0-based global sync-op indices that fail with
+	// ErrInjected.
+	SyncErrOp map[int]bool
+}
+
+// NewFaultFS wraps inner with the schedule.
+func NewFaultFS(inner FS, sched FaultSchedule) *FaultFS {
+	kill := sched.KillAfterBytes
+	if kill <= 0 {
+		kill = -1
+	}
+	return &FaultFS{inner: inner, killAfter: kill, shortW: sched.ShortWriteOp, syncErr: sched.SyncErrOp}
+}
+
+// Applied returns how many written bytes actually reached the media.
+func (f *FaultFS) Applied() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.applied
+}
+
+func (f *FaultFS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
+
+func (f *FaultFS) Create(name string) (File, error) {
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	file, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) { return f.inner.Open(name) }
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+
+func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+func (f *FaultFS) Truncate(name string, size int64) error { return f.inner.Truncate(name, size) }
+
+func (f *FaultFS) Size(name string) (int64, error) { return f.inner.Size(name) }
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (h *faultFile) Write(p []byte) (int, error) {
+	f := h.fs
+	f.mu.Lock()
+	op := f.writeOps
+	f.writeOps++
+	if k, ok := f.shortW[op]; ok {
+		if k > len(p) {
+			k = len(p)
+		}
+		f.applied += int64(k)
+		f.mu.Unlock()
+		if k > 0 {
+			h.inner.Write(p[:k])
+		}
+		return k, ErrInjected
+	}
+	apply := len(p)
+	if f.killAfter >= 0 {
+		if room := f.killAfter - f.applied; int64(apply) > room {
+			if room < 0 {
+				room = 0
+			}
+			apply = int(room)
+		}
+	}
+	f.applied += int64(apply)
+	f.mu.Unlock()
+	if apply > 0 {
+		if n, err := h.inner.Write(p[:apply]); err != nil || n < apply {
+			return n, err
+		}
+	}
+	// Past the kill point the remainder is "accepted" but lost — the
+	// caller sees success, the media never does.
+	return len(p), nil
+}
+
+func (h *faultFile) ReadAt(p []byte, off int64) (int, error) { return h.inner.ReadAt(p, off) }
+
+func (h *faultFile) Sync() error {
+	f := h.fs
+	f.mu.Lock()
+	op := f.syncOps
+	f.syncOps++
+	fail := f.syncErr[op]
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return h.inner.Sync()
+}
+
+func (h *faultFile) Close() error { return h.inner.Close() }

@@ -1,0 +1,36 @@
+package wal
+
+import (
+	"encoding/binary"
+
+	"repro/internal/event"
+)
+
+// Event is the logged unit — an alias so wal callers and event.Sink
+// implementations line up without conversion.
+type Event = event.Event
+
+// Snapshot record payload framing: the log treats session snapshots as
+// opaque blobs owned by the session layer, stamped with the session ID
+// and signal time it needs for keying, retention carry-forward and
+// staleness reporting:
+//
+//	[0:8)   session (uint64, little endian)
+//	[8:16)  timeS (float64 bits, little endian)
+//	[16:)   opaque payload
+const snapHeader = 16
+
+func appendSnapshotPayload(dst []byte, sess uint64, timeS float64, payload []byte) []byte {
+	n := len(dst)
+	dst = append(dst, make([]byte, snapHeader)...)
+	binary.LittleEndian.PutUint64(dst[n:], sess)
+	putF(dst[n+8:], timeS)
+	return append(dst, payload...)
+}
+
+func parseSnapshot(p []byte) (sess uint64, timeS float64, payload []byte, ok bool) {
+	if len(p) < snapHeader {
+		return 0, 0, nil, false
+	}
+	return binary.LittleEndian.Uint64(p), getF(p[8:]), p[snapHeader:], true
+}

@@ -1,0 +1,587 @@
+// Package wal is the crash-safe durability layer of the serving stack:
+// an append-only, per-engine write-ahead log of the typed event stream,
+// keyed by session, plus periodic compact session snapshots. It is what
+// lets a killed or restarted engine rehydrate sessions on the warm
+// re-lock path, lets a dashboard attach mid-session with a gapless
+// backfill (session.Engine.SubscribeFrom), and lets an evicted session
+// Reopen through quarantine with its template intact.
+//
+// Layout: a log directory holds numbered segment files (wal-%08d.seg),
+// each a concatenation of CRC32-framed records (see record.go). Events
+// use the canonical fixed-size codec (codec.go); snapshots are opaque
+// session-stamped payloads owned by the session layer. Segments rotate
+// at Config.SegmentBytes and are retired by signal-time retention; the
+// newest snapshot of every session is carried forward across retirement
+// so restore never depends on retention.
+//
+// Recovery laws, pinned by the fault-injection suite in this package:
+//
+//   - The recovered record sequence is always a prefix of the true
+//     append sequence. Open scans segments in order, truncates the
+//     first torn/corrupt record and everything after it (later
+//     segments included — keeping them would leave a gap), and never
+//     surfaces a partial record.
+//   - Appending never blocks and never propagates an I/O error into
+//     the hot path: on the first write or sync failure the log goes
+//     permanently dead and every later append is dropped and counted
+//     (Dropped/Err). Durability degrades; the prefix law never does.
+//
+// Concurrency: all methods are safe for concurrent use; the log
+// serializes internally. Appends are synchronous on the caller (the
+// session's worker) — one buffered write, one fsync every SyncEvery
+// records — so durability of a record is bounded by the sync cadence,
+// exactly like the event contract's bounded sinks.
+package wal
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Config tunes a Log. The zero value gives OS files, 1 MiB segments,
+// unlimited retention and an fsync every 64 records.
+type Config struct {
+	// SegmentBytes rotates the active segment once it reaches this many
+	// bytes (default 1 MiB).
+	SegmentBytes int
+	// RetentionS retires sealed segments whose newest record stamp is
+	// older than the log's newest stamp by more than this many signal
+	// seconds. 0 retains everything. The newest snapshot per session
+	// survives retirement (it is re-appended to the active segment), so
+	// restore works at any retention; only the replayable event tail
+	// shortens.
+	RetentionS float64
+	// SyncEvery fsyncs the active segment after this many records
+	// (default 64; 1 syncs every record).
+	SyncEvery int
+	// FS is the injectable file layer (default OS; tests use MemFS and
+	// FaultFS).
+	FS FS
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 1 << 20
+	}
+	if c.SyncEvery <= 0 {
+		c.SyncEvery = 64
+	}
+	if c.FS == nil {
+		c.FS = OS
+	}
+	return c
+}
+
+// SessionStats is the per-session append tally of a Log.
+type SessionStats struct {
+	// Events and Bytes count the event records appended for the session
+	// over the log's lifetime (recovered records included).
+	Events int
+	Bytes  int64
+	// LastTimeS is the signal-time stamp of the newest event (-1 when
+	// none).
+	LastTimeS float64
+	// SnapshotTimeS is the signal-time stamp of the newest snapshot
+	// (-1 when none).
+	SnapshotTimeS float64
+}
+
+// Stats is a point-in-time summary of a Log.
+type Stats struct {
+	// Sessions maps session ID to its append tally.
+	Sessions map[uint64]SessionStats
+	// Segments and RetainedBytes describe what is currently on media.
+	Segments      int
+	RetainedBytes int64
+	// Dropped counts appends discarded after the log went dead.
+	Dropped uint64
+	// Recovered counts the records accepted by the recovery scan at
+	// Open; TruncatedBytes the torn/corrupt bytes it cut.
+	Recovered      int
+	TruncatedBytes int64
+}
+
+type segInfo struct {
+	idx  int
+	size int64
+	maxT float64
+}
+
+type snapRef struct {
+	timeS   float64
+	payload []byte
+	segIdx  int
+}
+
+// Log is one append-only write-ahead event log rooted at a directory.
+type Log struct {
+	dir string
+	cfg Config
+	fs  FS
+
+	mu        sync.Mutex
+	seg       File // active segment, nil once dead or closed
+	segIdx    int
+	segSize   int64
+	segMaxT   float64
+	sealed    []segInfo
+	maxT      float64
+	sinceSync int
+	dead      error
+	closed    bool
+	dropped   uint64
+	stats     map[uint64]*SessionStats
+	snaps     map[uint64]snapRef
+	recovered int
+	truncated int64
+
+	pbuf []byte // payload scratch
+	rbuf []byte // record scratch
+}
+
+func segName(idx int) string { return fmt.Sprintf("wal-%08d.seg", idx) }
+
+// Open opens (creating if needed) the log rooted at dir and runs the
+// recovery scan: every segment is CRC-verified in order, the first
+// torn or corrupt record is truncated away along with every later
+// segment (prefix law), and the tail segment is reopened for append.
+func Open(dir string, cfg Config) (*Log, error) {
+	cfg = cfg.withDefaults()
+	l := &Log{
+		dir:   dir,
+		cfg:   cfg,
+		fs:    cfg.FS,
+		stats: make(map[uint64]*SessionStats),
+		snaps: make(map[uint64]snapRef),
+	}
+	if err := l.fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	names, err := l.fs.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	var idxs []int
+	for _, name := range names {
+		var idx int
+		if _, err := fmt.Sscanf(name, "wal-%08d.seg", &idx); err == nil && segName(idx) == name {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Ints(idxs)
+	intact := true
+	for _, idx := range idxs {
+		name := l.path(idx)
+		if !intact {
+			// Past the first corruption: a record here would follow a
+			// hole in the sequence, so the prefix law demands it go.
+			if err := l.fs.Remove(name); err != nil {
+				return nil, fmt.Errorf("wal: recover %s: %w", name, err)
+			}
+			continue
+		}
+		data, err := l.readAll(name)
+		if err != nil {
+			return nil, fmt.Errorf("wal: recover %s: %w", name, err)
+		}
+		off := l.scan(data, idx)
+		if off < int64(len(data)) {
+			l.truncated += int64(len(data)) - off
+			if err := l.fs.Truncate(name, off); err != nil {
+				return nil, fmt.Errorf("wal: recover %s: %w", name, err)
+			}
+			intact = false
+		}
+		l.sealed = append(l.sealed, segInfo{idx: idx, size: off, maxT: l.segMaxT})
+	}
+	// Reopen the tail segment for append, or start fresh. A truncated
+	// tail is still appendable: the cut is exactly at the last valid
+	// record, so new appends keep the sequence contiguous.
+	if n := len(l.sealed); n > 0 && l.sealed[n-1].size < int64(cfg.SegmentBytes) {
+		tail := l.sealed[n-1]
+		l.sealed = l.sealed[:n-1]
+		f, err := l.fs.OpenAppend(l.path(tail.idx))
+		if err != nil {
+			return nil, fmt.Errorf("wal: open %s: %w", l.path(tail.idx), err)
+		}
+		l.seg, l.segIdx, l.segSize, l.segMaxT = f, tail.idx, tail.size, tail.maxT
+	} else {
+		next := 0
+		if n := len(l.sealed); n > 0 {
+			next = l.sealed[n-1].idx + 1
+		}
+		if err := l.newSegment(next); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+func (l *Log) path(idx int) string { return l.dir + "/" + segName(idx) }
+
+// scan verifies records from data into the stats/snapshot maps and
+// returns the byte offset of the valid prefix.
+func (l *Log) scan(data []byte, segIdx int) int64 {
+	l.segMaxT = 0
+	var off int64
+	for {
+		kind, payload, n, ok := parseRecord(data[off:])
+		if !ok {
+			return off
+		}
+		switch kind {
+		case recEvent:
+			if e, ok := DecodeEvent(payload); ok {
+				st := l.stat(e.Session)
+				st.Events++
+				st.Bytes += int64(n)
+				st.LastTimeS = e.TimeS
+				l.stamp(e.TimeS)
+			}
+		case recSnapshot:
+			if sess, timeS, blob, ok := parseSnapshot(payload); ok {
+				l.snaps[sess] = snapRef{timeS: timeS, payload: append([]byte(nil), blob...), segIdx: segIdx}
+				l.stat(sess).SnapshotTimeS = timeS
+			}
+		}
+		l.recovered++
+		off += int64(n)
+	}
+}
+
+func (l *Log) stat(sess uint64) *SessionStats {
+	st := l.stats[sess]
+	if st == nil {
+		st = &SessionStats{LastTimeS: -1, SnapshotTimeS: -1}
+		l.stats[sess] = st
+	}
+	return st
+}
+
+func (l *Log) stamp(timeS float64) {
+	if timeS > l.segMaxT {
+		l.segMaxT = timeS
+	}
+	if timeS > l.maxT {
+		l.maxT = timeS
+	}
+}
+
+func (l *Log) newSegment(idx int) error {
+	f, err := l.fs.Create(l.path(idx))
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", l.path(idx), err)
+	}
+	l.seg, l.segIdx, l.segSize, l.segMaxT = f, idx, 0, 0
+	return nil
+}
+
+func (l *Log) readAll(name string) ([]byte, error) {
+	size, err := l.fs.Size(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := l.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, size)
+	var off int64
+	for off < size {
+		n, err := f.ReadAt(buf[off:], off)
+		off += int64(n)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf[:off], nil
+}
+
+// AppendEvent appends one event record. It never blocks beyond the
+// write itself and never fails loudly: a dead log drops the event and
+// counts it (the hot path must not see I/O errors).
+func (l *Log) AppendEvent(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead != nil || l.closed {
+		l.dropped++
+		return
+	}
+	l.pbuf = EncodeEvent(l.pbuf[:0], &e)
+	n := l.write(recEvent, l.pbuf, e.TimeS)
+	if n > 0 {
+		st := l.stat(e.Session)
+		st.Events++
+		st.Bytes += int64(n)
+		st.LastTimeS = e.TimeS
+	}
+}
+
+// AppendSnapshot appends an opaque session snapshot stamped with its
+// signal time. Only the newest snapshot per session matters: it is the
+// one Snapshot returns and the one carried forward across retention.
+func (l *Log) AppendSnapshot(sess uint64, timeS float64, payload []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.appendSnapshotLocked(sess, timeS, payload)
+}
+
+func (l *Log) appendSnapshotLocked(sess uint64, timeS float64, payload []byte) {
+	if l.dead != nil || l.closed {
+		l.dropped++
+		return
+	}
+	l.pbuf = appendSnapshotPayload(l.pbuf[:0], sess, timeS, payload)
+	if l.write(recSnapshot, l.pbuf, timeS) > 0 {
+		l.snaps[sess] = snapRef{timeS: timeS, payload: append([]byte(nil), payload...), segIdx: l.segIdx}
+		l.stat(sess).SnapshotTimeS = timeS
+	}
+}
+
+// write frames and appends one record, returning its on-media size (0
+// when the log died on the way). Caller holds l.mu.
+func (l *Log) write(kind byte, payload []byte, timeS float64) int {
+	l.rbuf = appendRecord(l.rbuf[:0], kind, payload)
+	n, err := l.seg.Write(l.rbuf)
+	if err == nil && n < len(l.rbuf) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		l.fail(err)
+		return 0
+	}
+	l.segSize += int64(len(l.rbuf))
+	l.stamp(timeS)
+	l.sinceSync++
+	if l.sinceSync >= l.cfg.SyncEvery {
+		if err := l.seg.Sync(); err != nil {
+			l.fail(err)
+			return 0
+		}
+		l.sinceSync = 0
+	}
+	if l.segSize >= int64(l.cfg.SegmentBytes) {
+		l.rotate()
+	}
+	return len(l.rbuf)
+}
+
+// fail marks the log permanently dead: correctness over durability —
+// appending past an I/O error could leave a hole mid-sequence, which
+// would break the recovered-prefix law.
+func (l *Log) fail(err error) {
+	if l.dead == nil {
+		l.dead = err
+	}
+	if l.seg != nil {
+		l.seg.Close()
+		l.seg = nil
+	}
+	l.dropped++
+}
+
+// rotate seals the active segment, opens the next one, re-appends any
+// snapshot whose home segment is about to be retired, and applies
+// signal-time retention. Caller holds l.mu.
+func (l *Log) rotate() {
+	if err := l.seg.Sync(); err != nil {
+		l.fail(err)
+		return
+	}
+	l.seg.Close()
+	l.sinceSync = 0
+	l.sealed = append(l.sealed, segInfo{idx: l.segIdx, size: l.segSize, maxT: l.segMaxT})
+	if err := l.newSegment(l.segIdx + 1); err != nil {
+		l.fail(err)
+		return
+	}
+	if l.cfg.RetentionS <= 0 {
+		return
+	}
+	cutoff := l.maxT - l.cfg.RetentionS
+	var retire []segInfo
+	keep := l.sealed[:0]
+	for _, s := range l.sealed {
+		if s.maxT < cutoff {
+			retire = append(retire, s)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	if len(retire) == 0 {
+		return
+	}
+	l.sealed = keep
+	maxRetired := retire[len(retire)-1].idx
+	// Carry the newest snapshot of every session out of the retired
+	// range before deleting it, so a restart can still restore sessions
+	// whose snapshots were old.
+	for sess, ref := range l.snaps {
+		if ref.segIdx <= maxRetired {
+			l.appendSnapshotLocked(sess, ref.timeS, ref.payload)
+			if l.dead != nil {
+				return
+			}
+		}
+	}
+	for _, s := range retire {
+		l.fs.Remove(l.path(s.idx))
+	}
+}
+
+// Snapshot returns the newest snapshot payload appended for the
+// session (a copy), with its signal-time stamp.
+func (l *Log) Snapshot(sess uint64) (timeS float64, payload []byte, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ref, ok := l.snaps[sess]
+	if !ok {
+		return 0, nil, false
+	}
+	return ref.timeS, append([]byte(nil), ref.payload...), true
+}
+
+// ReplaySession streams every retained event of one session, oldest
+// first, into fn. Replay reads the media (the same bytes recovery
+// would see), so it composes with a concurrently appending log: the
+// scan is a consistent prefix as of the call.
+func (l *Log) ReplaySession(sess uint64, fn func(Event)) error {
+	return l.replay(func(e Event) {
+		if e.Session == sess {
+			fn(e)
+		}
+	})
+}
+
+// ReplayAll streams every retained event, oldest first, into fn.
+func (l *Log) ReplayAll(fn func(Event)) error { return l.replay(fn) }
+
+func (l *Log) replay(fn func(Event)) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs := make([]segInfo, 0, len(l.sealed)+1)
+	segs = append(segs, l.sealed...)
+	if l.seg != nil {
+		segs = append(segs, segInfo{idx: l.segIdx, size: l.segSize})
+	}
+	for _, s := range segs {
+		data, err := l.readAll(l.path(s.idx))
+		if err != nil {
+			return fmt.Errorf("wal: replay %s: %w", l.path(s.idx), err)
+		}
+		var off int64
+		for {
+			kind, payload, n, ok := parseRecord(data[off:])
+			if !ok {
+				break
+			}
+			if kind == recEvent {
+				if e, ok := DecodeEvent(payload); ok {
+					fn(e)
+				}
+			}
+			off += int64(n)
+		}
+	}
+	return nil
+}
+
+// Sessions returns the IDs with any retained record, sorted.
+func (l *Log) Sessions() []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ids := make([]uint64, 0, len(l.stats))
+	for id := range l.stats {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Stats returns a copy of the log's tallies.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Sessions:       make(map[uint64]SessionStats, len(l.stats)),
+		RetainedBytes:  l.segSize,
+		Dropped:        l.dropped,
+		Recovered:      l.recovered,
+		TruncatedBytes: l.truncated,
+	}
+	for id, s := range l.stats {
+		st.Sessions[id] = *s
+	}
+	st.Segments = len(l.sealed)
+	if l.seg != nil {
+		st.Segments++
+	}
+	for _, s := range l.sealed {
+		st.RetainedBytes += s.size
+	}
+	return st
+}
+
+// Err returns the error that killed the log, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dead
+}
+
+// Dropped returns how many appends were discarded (dead log).
+func (l *Log) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Sync forces an fsync of the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead != nil {
+		return l.dead
+	}
+	if l.seg == nil {
+		return nil
+	}
+	if err := l.seg.Sync(); err != nil {
+		l.fail(err)
+		return err
+	}
+	l.sinceSync = 0
+	return nil
+}
+
+// Close syncs and closes the active segment. The log drops (and
+// counts) any append after Close.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	if l.seg == nil {
+		return l.dead
+	}
+	err := l.seg.Sync()
+	l.seg.Close()
+	l.seg = nil
+	return err
+}
+
+// Sink adapts the log to the event.Sink contract, for teeing a bare
+// core.Streamer's stream to disk (the serving engine appends directly).
+func (l *Log) Sink() Sink { return Sink{l} }
+
+// Sink is the event.Sink adapter of a Log.
+type Sink struct{ l *Log }
+
+// Emit appends e (synchronous, non-blocking, drop-counted — the event
+// contract for sinks).
+func (s Sink) Emit(e Event) { s.l.AppendEvent(e) }

@@ -45,6 +45,7 @@ import (
 	"repro/internal/quality"
 	"repro/internal/session"
 	"repro/internal/study"
+	"repro/internal/wal"
 )
 
 // Core device types.
@@ -91,6 +92,25 @@ type (
 	CloseEvent = session.CloseEvent
 	// StreamHealth is a streamer's contact-health snapshot.
 	StreamHealth = core.StreamHealth
+	// NonFinitePolicy selects how Push treats NaN/Inf samples
+	// (EngineConfig.NonFinite): reject the chunk or sanitize by
+	// sample-and-hold.
+	NonFinitePolicy = session.NonFinitePolicy
+	// SubscribeOptions tunes Engine.SubscribeFrom.
+	SubscribeOptions = session.SubscribeOptions
+	// ReopenOptions tunes Engine.Reopen (Backfill replays the retained
+	// WAL tail before the re-admit event).
+	ReopenOptions = session.ReopenOptions
+
+	// WAL is the crash-safe write-ahead event log an engine persists
+	// its sessions to (EngineConfig.WAL): CRC-framed records in
+	// rotating segments, torn-tail recovery, snapshot retention.
+	WAL = wal.Log
+	// WALConfig tunes the log (segment size, retention, sync cadence).
+	WALConfig = wal.Config
+	// WALStats is a point-in-time summary of a log (per-session byte
+	// tallies, retained media, recovery counters).
+	WALStats = wal.Stats
 
 	// PMU is the power-management policy of Section III-A.
 	PMU = core.PMU
@@ -123,8 +143,9 @@ type (
 
 // Session close reasons (CloseEvent.Reason / Session.Reason).
 const (
-	ReasonClient      = session.ReasonClient
-	ReasonDeadContact = session.ReasonDeadContact
+	ReasonClient        = session.ReasonClient
+	ReasonDeadContact   = session.ReasonDeadContact
+	ReasonInternalError = session.ReasonInternalError
 )
 
 // Event kinds (Event.Kind).
@@ -134,7 +155,41 @@ const (
 	KindMode          = event.KindMode
 	KindEviction      = event.KindEviction
 	KindSessionClosed = event.KindSessionClosed
+	KindReadmit       = event.KindReadmit
 )
+
+// Non-finite sample policies (EngineConfig.NonFinite).
+const (
+	NonFiniteReject   = session.NonFiniteReject
+	NonFiniteSanitize = session.NonFiniteSanitize
+)
+
+// Serving-layer errors.
+var (
+	// ErrSessionClosed: the session (or engine) is closed.
+	ErrSessionClosed = session.ErrSessionClosed
+	// ErrSessionEvicted: the engine evicted the session for dead
+	// contact (re-admit later via Engine.Reopen).
+	ErrSessionEvicted = session.ErrSessionEvicted
+	// ErrSessionFailed: a processing stage panicked; the failure is
+	// confined to this session (ReasonInternalError).
+	ErrSessionFailed = session.ErrSessionFailed
+	// ErrChannelMismatch: Push requires equal-length ECG/Z chunks.
+	ErrChannelMismatch = session.ErrChannelMismatch
+	// ErrNonFiniteSample: NaN/Inf sample rejected (the chunk is not
+	// consumed) under the default NonFiniteReject policy.
+	ErrNonFiniteSample = session.ErrNonFiniteSample
+	// ErrQuarantined: the evicted session's re-admit cool-down
+	// (EngineConfig.QuarantineS) has not elapsed yet.
+	ErrQuarantined = session.ErrQuarantined
+	// ErrNoWAL: SubscribeFrom/Reopen need EngineConfig.WAL armed.
+	ErrNoWAL = session.ErrNoWAL
+)
+
+// OpenWAL opens (or creates) a crash-safe write-ahead event log in
+// dir, recovering any valid prefix a previous process left behind;
+// hand it to EngineConfig.WAL to arm session durability.
+func OpenWAL(dir string, cfg WALConfig) (*WAL, error) { return wal.Open(dir, cfg) }
 
 // Protocol arm positions.
 const (
