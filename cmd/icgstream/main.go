@@ -42,8 +42,14 @@
 //
 //	icgstream [-subject 1] [-duration 30] [-loss 0.02] [-sessions 1] [-workers 0]
 //	          [-dead 0] [-evict-below 0] [-evict-after 20]
-//	          [-wal-dir DIR] [-kill-after 0]
+//	          [-wal-dir DIR] [-kill-after 0] [-legacy-refilter]
 //	icgstream -replay DIR [-prefix-of REF]
+//
+// -legacy-refilter selects the windowed per-beat zero-phase refilter
+// instead of the delineator's rolling filtfilt cache in every session's
+// streaming engine. The fleet summary reports per-hop ns and the
+// realtime multiple, so running the same fleet with and without the
+// flag demonstrates the cache win end-to-end.
 package main
 
 import (
@@ -79,6 +85,7 @@ func main() {
 	replayDir := flag.String("replay", "", "replay a WAL directory and print its summary, then exit")
 	prefixOf := flag.String("prefix-of", "", "with -replay: verify the log is a per-session event prefix of this reference WAL directory")
 	killAfter := flag.Float64("kill-after", 0, "self-test: SIGKILL the process after this many wall seconds (models a power cut; use with -wal-dir)")
+	legacyRefilter := flag.Bool("legacy-refilter", false, "use the windowed per-beat refilter instead of the rolling filtfilt cache (A/B baseline)")
 	flag.Parse()
 
 	if *replayDir != "" {
@@ -164,10 +171,10 @@ func main() {
 	}, sub.Seed)
 
 	if *sessions <= 1 {
-		runSingle(dev, &sub, *duration, link, conn, wlog)
+		runSingle(dev, &sub, *duration, link, conn, wlog, *legacyRefilter)
 	} else {
 		health := session.HealthConfig{EvictBelowRate: *evictBelow, EvictAfterS: *evictAfter}
-		runFleet(dev, *sessions, *workers, *dead, *duration, health, link, conn, wlog)
+		runFleet(dev, *sessions, *workers, *dead, *duration, health, link, conn, wlog, *legacyRefilter)
 	}
 	if wlog != nil {
 		walSummary(wlog)
@@ -188,13 +195,14 @@ func main() {
 // the end. The TCP write can block, so it lives on a consumer
 // goroutine behind an event.Chan — the non-blocking Sink contract: the
 // session worker never waits on the radio.
-func runSingle(dev *core.Device, sub *physio.Subject, duration float64, link *radio.Link, conn net.Conn, wlog *wal.Log) {
+func runSingle(dev *core.Device, sub *physio.Subject, duration float64, link *radio.Link, conn net.Conn, wlog *wal.Log, legacyRefilter bool) {
 	acq, err := dev.Acquire(sub, duration)
 	if err != nil {
 		log.Fatalf("icgstream: %v", err)
 	}
 	cfg := session.DefaultConfig()
 	cfg.WAL = wlog
+	cfg.Stream.LegacyRefilter = legacyRefilter
 	eng := session.NewEngine(dev, cfg)
 	ch := event.NewChan(1024)
 	done := make(chan struct{})
@@ -244,7 +252,7 @@ func runSingle(dev *core.Device, sub *physio.Subject, duration float64, link *ra
 // over the radio link as they are emitted; every other session counts
 // toward the aggregate. With health eviction armed the engine cuts the
 // dead streams and the run reports the load it shed.
-func runFleet(dev *core.Device, n, workers, dead int, duration float64, health session.HealthConfig, link *radio.Link, conn net.Conn, wlog *wal.Log) {
+func runFleet(dev *core.Device, n, workers, dead int, duration float64, health session.HealthConfig, link *radio.Link, conn net.Conn, wlog *wal.Log, legacyRefilter bool) {
 	if dead > n {
 		dead = n
 	}
@@ -253,6 +261,7 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 	cfg.Seed = 1
 	cfg.Health = health
 	cfg.WAL = wlog
+	cfg.Stream.LegacyRefilter = legacyRefilter
 
 	var countMu sync.Mutex
 	rates := make([]float64, 0, n) // per-session accept rates at close
@@ -284,10 +293,13 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 			transmit(link, conn, &seq, e.Params)
 		}
 	}()
-	var totalBeats, acceptedBeats, offeredSamples int64
+	var totalBeats, acceptedBeats, offeredSamples, totalHops int64
 
-	start := time.Now()
-	var push sync.WaitGroup
+	// Every pusher synthesizes its input first and then waits on the
+	// start barrier, so the wall clock (and the per-hop figure derived
+	// from it) measures the serving engine, not the signal simulator.
+	startCh := make(chan struct{})
+	var ready, push sync.WaitGroup
 	for id := 0; id < n; id++ {
 		sid := uint64(id)
 		// One subscription carries everything the fleet driver needs:
@@ -326,6 +338,7 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 			log.Fatalf("icgstream: open session %d: %v", id, err)
 		}
 		push.Add(1)
+		ready.Add(1)
 		go func(s *session.Session, isDead bool) {
 			defer push.Done()
 			var ecg, z []float64
@@ -341,6 +354,7 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 				acq, err := dev.Acquire(&sub, duration)
 				if err != nil {
 					log.Printf("icgstream: session %d acquire: %v", s.ID, err)
+					ready.Done()
 					return
 				}
 				ecg, z = acq.ECG, acq.Z
@@ -348,6 +362,14 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 			countMu.Lock()
 			offeredSamples += int64(len(ecg))
 			countMu.Unlock()
+			ready.Done()
+			<-startCh
+			hops := int64(0)
+			defer func() {
+				countMu.Lock()
+				totalHops += hops
+				countMu.Unlock()
+			}()
 			chunk := 50 // 200 ms, as the AFE DMA would deliver
 			for pos := 0; pos < len(ecg); pos += chunk {
 				end := pos + chunk
@@ -361,6 +383,7 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 					// Evicted: the close event accounts the shed load.
 					return
 				}
+				hops++
 			}
 			// Close reports an eviction even when it overtook the flush;
 			// either way the session's KindSessionClosed event above
@@ -370,6 +393,9 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 			}
 		}(s, id >= n-dead)
 	}
+	ready.Wait()
+	start := time.Now()
+	close(startCh)
 	push.Wait()
 	// With the WAL armed, evicted sessions come back through the durable
 	// re-admit path: each Reopen rehydrates the session from its newest
@@ -399,10 +425,21 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 	close(radioCh.C) // all events delivered (engine closed)
 	<-radioDone
 	elapsed := time.Since(start)
+	engine := "rolling-cache refilter"
+	if legacyRefilter {
+		engine = "legacy windowed refilter"
+	}
 	fmt.Printf("fleet: %d sessions x %.0f s processed in %.2f s wall (%.0fx realtime), %d beats (%.0f beats/s)\n",
 		n, duration, elapsed.Seconds(),
 		float64(n)*duration/elapsed.Seconds(),
 		totalBeats, float64(totalBeats)/elapsed.Seconds())
+	if totalHops > 0 {
+		// Inputs are synthesized before the clock starts, so this is the
+		// serving engine's cost per 200 ms hop — the A/B figure for
+		// -legacy-refilter.
+		fmt.Printf("fleet engine: %s, %d hops, %.0f ns/hop\n",
+			engine, totalHops, float64(elapsed.Nanoseconds())/float64(totalHops))
+	}
 	if totalBeats > 0 {
 		lo, hi := 1.0, 0.0
 		sum := 0.0

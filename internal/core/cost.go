@@ -45,7 +45,21 @@ func (c *costEstimator) baseline(n int, cfg ecg.BaselineConfig) {
 }
 
 // fir prices an FIR filter of the given tap count over n samples, passes
-// = 1 (causal) or 2 (forward-backward).
+// = 1 (causal) or 2 (forward-backward), as direct-form MACs.
+//
+// The host DSP layer runs wide kernels through real-input FFT
+// overlap-save instead (dsp.useFFTConv: one half-size transform pair
+// per block, roughly 20*log2(N/2)+30 real flops per output at block
+// size N against 2*taps direct, handicapped 1.5x — crossover a little
+// above 32 taps), but the MCU model deliberately keeps direct-form
+// pricing: the
+// STM32L151 has no FPU, a soft-float radix-2 butterfly costs ~10x a
+// soft-float MAC (function-call overhead per float op dwarfs the
+// multiply-count saving), and the firmware's widest kernel — the 33-tap
+// QRS band-pass — sits at the crossover where the transform bookkeeping
+// erases the asymptotic win. E8's duty-cycle calibration therefore
+// remains anchored to the direct implementation the paper's firmware
+// ships.
 func (c *costEstimator) fir(n, taps, passes int) {
 	mac := int64(n) * int64(taps) * int64(passes)
 	c.counter.Add("ecg-bandpass", mcu.OpFloatMul, mac)

@@ -110,6 +110,11 @@ type StreamConfig struct {
 	// Thoracic selects the identity calibration (direct thoracic
 	// measurement) instead of the touch-path calibration.
 	Thoracic bool
+	// LegacyRefilter selects the windowed per-beat high-pass filtfilt in
+	// the incremental delineator instead of the rolling forward-pass
+	// cache (icg.Delineator.SetLegacyRefilter) — the benchmark baseline
+	// for the cache, kept for A/B comparison.
+	LegacyRefilter bool
 }
 
 // DefaultStreamConfig returns the firmware defaults.
@@ -171,6 +176,7 @@ func (d *Device) NewStreamer(sc StreamConfig) *Streamer {
 		// settling context (see icg.Delineator).
 		icgStream = Chain{icgDerivStage{fs: fs}}.NewStream()
 		delin = icg.NewDelineator(dCfg, bank.icgLP, bank.icgHP, 0, icgCtxSeconds, sc.WindowSeconds)
+		delin.SetLegacyRefilter(sc.LegacyRefilter)
 	}
 	var gate *quality.GateStream
 	if d.gate != nil {

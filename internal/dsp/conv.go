@@ -13,9 +13,14 @@ import (
 //     edge, a boundary-free middle and a right edge — so the middle (all
 //     of the signal, in practice) runs as a branch-free dot product with
 //     four accumulators instead of the classic per-tap bounds test;
-//   - an FFT overlap-save path that processes two real blocks per complex
-//     transform (signal in the real part, the next block in the imaginary
-//     part) against the cached spectrum of the taps.
+//   - an FFT overlap-save path on the real-input split kernels of
+//     rfft.go: each real block is packed into a half-size complex
+//     transform, and the spectrum product with the cached tap
+//     half-spectrum is fused into the split/merge recombination pass, so
+//     a block costs one forward and one inverse transform of size
+//     fftN/2 plus a single O(fftN/2) pass — half the working set and
+//     none of the zero-fill/read-modify-write traffic of a full complex
+//     transform over real data.
 //
 // Both compute the zero-padded linear convolution
 //
@@ -81,9 +86,9 @@ func convDirectInto(dst, x, rev []float64, off int) {
 	convEdge(dst, x, rev, off, midHi, cnt)
 }
 
-// fftSizeForTaps picks the overlap-save block size for k taps: long enough
-// that the k-1 overlap is a small fraction of each block, capped so blocks
-// stay cache-resident.
+// fftSizeForTaps picks the overlap-save real block size for k taps: long
+// enough that the k-1 overlap is a small fraction of each block, capped
+// so blocks stay cache-resident (the complex working set is half this).
 func fftSizeForTaps(k int) int {
 	n := NextPow2(8 * (k - 1))
 	if n < 128 {
@@ -109,47 +114,60 @@ func useFFTConv(n, k int) bool {
 		return false
 	}
 	N := fftSizeForTaps(k)
-	lg := bits.Len(uint(N)) - 1
+	M := N / 2 // half-size complex transform per real block
+	lg := bits.Len(uint(M)) - 1
 	step := N - (k - 1)
-	// Two real blocks per complex forward+inverse transform pair.
-	fftPerOut := float64(10*N*lg+8*N) / float64(2*step)
+	// One half-size forward+inverse transform pair per block (~10*M*lg(M)
+	// flops each at radix 2) plus the fused pack/split-multiply-merge
+	// passes (~30*M) for step fresh outputs.
+	fftPerOut := float64(20*M*lg+30*M) / float64(step)
 	directPerOut := float64(2 * k)
 	return fftPerOut*1.5 < directPerOut
 }
 
 // convPlan caches everything the overlap-save engine needs for one tap
-// set: the block spectrum of the taps and a reusable block buffer. A plan
-// is built lazily by the first FFT-path filtering call (or eagerly by
-// FIR.Prepare) and reused afterwards. The block buffer is guarded by mu so
-// a prepared FIR can be shared between goroutines regardless of which
-// engine the cost model picks; the lock costs nothing next to the
-// transforms it protects.
+// set: the half-spectrum of the taps and a reusable half-size block
+// buffer. A plan is built lazily by the first FFT-path filtering call (or
+// eagerly by FIR.Prepare) and reused afterwards. The block buffer is
+// guarded by mu so a prepared FIR can be shared between goroutines
+// regardless of which engine the cost model picks; the lock costs nothing
+// next to the transforms it protects.
 type convPlan struct {
-	fftN int
-	step int // fresh output samples per block: fftN - (k-1)
-	km1  int // len(taps) - 1
-	h    []complex128
-	w    []complex128
+	fftN int          // real block length
+	half int          // fftN/2: complex transform size
+	step int          // fresh output samples per block: fftN - (k-1)
+	km1  int          // len(taps) - 1
+	h    []complex128 // tap half-spectrum H[0..half]
+	w    []complex128 // butterfly twiddles for the half-size FFT
+	wr   []complex128 // split twiddles exp(-2*pi*i*k/fftN)
 
 	mu  sync.Mutex
-	blk []complex128
+	blk []complex128 // half+1 scratch: spectrum workspace per block
 }
 
 func newConvPlan(taps []float64) *convPlan {
 	k := len(taps)
 	fftN := fftSizeForTaps(k)
+	rp, _ := NewRFFTPlan(fftN) // fftN is a power of two by construction
 	p := &convPlan{
 		fftN: fftN,
+		half: fftN / 2,
 		step: fftN - (k - 1),
 		km1:  k - 1,
-		h:    make([]complex128, fftN),
-		blk:  make([]complex128, fftN),
-		w:    twiddlesFor(fftN),
+		h:    make([]complex128, fftN/2+1),
+		blk:  make([]complex128, fftN/2+1),
+		w:    rp.w,
+		wr:   rp.wr,
 	}
-	for i, t := range taps {
-		p.h[i] = complex(t, 0)
+	padded := make([]float64, fftN)
+	copy(padded, taps)
+	rp.Forward(p.h, padded)
+	// Fold the inverse transform's 1/N normalization into the cached tap
+	// spectrum: the per-block inverse then runs without its scaling pass.
+	inv := 1 / float64(p.half)
+	for i := range p.h {
+		p.h[i] = scaleC(p.h[i], inv)
 	}
-	fftWith(p.h, p.w)
 	return p
 }
 
@@ -161,47 +179,112 @@ func clampLoad(start, n, fftN int) (lo, hi int) {
 	return lo, hi
 }
 
-// convFFTInto fills dst with the overlap-save convolution. Two
-// consecutive blocks share each transform: block A rides the real part,
-// block B the imaginary part, and by linearity the inverse transform's
-// real/imaginary parts are their respective convolutions with the real
-// taps.
-func (p *convPlan) convFFTInto(dst, x []float64, off int) {
+// packReal loads the real block starting at source index start into the
+// complex buffer blk (adjacent pairs per complex sample), zero-padding
+// positions that fall outside x. Every element is written exactly once.
+func packReal(blk []complex128, x []float64, start int) {
+	m := len(blk)
+	lo, hi := clampLoad(start, len(x), 2*m)
+	cLo := lo >> 1       // first complex index holding any valid sample
+	cHi := (hi + 1) >> 1 // one past the last
+	for c := 0; c < cLo; c++ {
+		blk[c] = 0
+	}
+	for c := cHi; c < m; c++ {
+		blk[c] = 0
+	}
+	// Interior: both halves of the pair in bounds.
+	cA := ClampInt((lo+1)>>1, cLo, cHi)
+	cB := ClampInt(hi>>1, cA, cHi)
+	for c := cLo; c < cA; c++ {
+		blk[c] = packEdge(x, start+2*c)
+	}
+	base := start + 2*cA
+	for c := cA; c < cB; c++ {
+		blk[c] = complex(x[base], x[base+1])
+		base += 2
+	}
+	for c := cB; c < cHi; c++ {
+		blk[c] = packEdge(x, start+2*c)
+	}
+}
+
+// packEdge builds one boundary pair with per-sample clamps.
+func packEdge(x []float64, p0 int) complex128 {
 	n := len(x)
+	re, im := 0.0, 0.0
+	if p0 >= 0 && p0 < n {
+		re = x[p0]
+	}
+	if p0+1 >= 0 && p0+1 < n {
+		im = x[p0+1]
+	}
+	return complex(re, im)
+}
+
+// mulSpectrum multiplies the packed block's implicit half-spectrum by the
+// tap half-spectrum h, entirely in the packed domain: for each bin pair
+// it disentangles X[k], X[m-k] from the half-size transform (the split of
+// rfft.go), applies Y = X*H, and folds the result straight back (the
+// merge), so the spectrum is never materialized and the whole product is
+// one pass over half the bins.
+func (p *convPlan) mulSpectrum(blk []complex128) {
+	m := p.half
+	// DC and Nyquist bins are real; z[0] carries both.
+	x0 := real(blk[0]) + imag(blk[0])
+	xm := real(blk[0]) - imag(blk[0])
+	y0 := x0 * real(p.h[0])
+	ym := xm * real(p.h[m])
+	blk[0] = complex((y0+ym)*0.5, (y0-ym)*0.5)
+	h := p.h
+	wr := p.wr
+	for k := 1; k <= m/2; k++ {
+		a, b := blk[k], conjC(blk[m-k])
+		fe := scaleC(a+b, 0.5)
+		fo := scaleC(mulNegI(a-b), 0.5)
+		wk := wr[k]
+		t := wk * fo
+		xk := fe + t
+		xmk := conjC(fe - t)
+		yk := xk * h[k]
+		ymk := xmk * h[m-k]
+		// Fold back (merge): Zy[k] = Ey + i Oy with the W^{-k} unrotation.
+		fey := scaleC(yk+conjC(ymk), 0.5)
+		foy := scaleC(yk-conjC(ymk), 0.5) * conjC(wk)
+		blk[k] = fey + mulI(foy)
+		blk[m-k] = conjC(fey) + mulI(conjC(foy))
+	}
+}
+
+// convFFTInto fills dst with the overlap-save convolution: per block, one
+// half-size forward transform of the packed real samples, the fused
+// spectrum product, and one half-size inverse transform; the valid
+// outputs occupy real block positions [k-1, fftN).
+func (p *convPlan) convFFTInto(dst, x []float64, off int) {
 	cnt := len(dst)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for b0 := 0; b0 < cnt; b0 += 2 * p.step {
-		b1 := b0 + p.step
-		startA := off + b0 - p.km1
-		startB := off + b1 - p.km1
-		blk := p.blk
-		for i := range blk {
-			blk[i] = 0
-		}
-		lo, hi := clampLoad(startA, n, p.fftN)
-		for t := lo; t < hi; t++ {
-			blk[t] = complex(x[startA+t], 0)
-		}
-		if b1 < cnt {
-			lo, hi = clampLoad(startB, n, p.fftN)
-			for t := lo; t < hi; t++ {
-				blk[t] = complex(real(blk[t]), x[startB+t])
-			}
-		}
+	blk := p.blk[:p.half]
+	for b0 := 0; b0 < cnt; b0 += p.step {
+		packReal(blk, x, off+b0-p.km1)
 		fftWith(blk, p.w)
-		for i := range blk {
-			blk[i] *= p.h[i]
+		p.mulSpectrum(blk)
+		ifftNoScale(blk, p.w)
+		// Unpack real positions [km1, km1+tEnd) from the complex pairs.
+		tEnd := ClampInt(cnt-b0, 0, p.step)
+		pos := p.km1
+		t := 0
+		if pos&1 == 1 {
+			dst[b0] = imag(blk[pos>>1])
+			t = 1
 		}
-		ifftWith(blk, p.w)
-		// Valid outputs occupy block positions [k-1, fftN).
-		tEndA := ClampInt(cnt-b0, 0, p.step)
-		for t := 0; t < tEndA; t++ {
-			dst[b0+t] = real(blk[p.km1+t])
+		for ; t+1 < tEnd; t += 2 {
+			c := blk[(pos+t)>>1]
+			dst[b0+t] = real(c)
+			dst[b0+t+1] = imag(c)
 		}
-		tEndB := ClampInt(cnt-b1, 0, p.step)
-		for t := 0; t < tEndB; t++ {
-			dst[b1+t] = imag(blk[p.km1+t])
+		if t < tEnd {
+			dst[b0+t] = real(blk[(pos+t)>>1])
 		}
 	}
 }

@@ -2,6 +2,7 @@ package dsp
 
 import (
 	"math"
+	"math/bits"
 	"sync"
 )
 
@@ -32,12 +33,30 @@ func twiddlesFor(n int) []complex128 {
 	return v.([]complex128)
 }
 
-// fftWith computes the in-place decimation-in-time radix-2 FFT of x using
-// the precomputed twiddle table w (len(x)/2 entries). len(x) must be a
-// power of two.
-func fftWith(x, w []complex128) {
+// invTwiddleCache holds the conjugated (inverse) twiddle tables, so the
+// inverse transform can run the same branch-free butterfly kernel as the
+// forward one instead of paying two full conjugation passes over the
+// data (the old conj/transform/conj identity).
+var invTwiddleCache sync.Map
+
+// invTwiddlesFor returns the cached inverse twiddle table for size n
+// (w[k] = exp(+2*pi*i*k/n)), the elementwise conjugate of twiddlesFor.
+func invTwiddlesFor(n int) []complex128 {
+	if v, ok := invTwiddleCache.Load(n); ok {
+		return v.([]complex128)
+	}
+	fwd := twiddlesFor(n)
+	w := make([]complex128, len(fwd))
+	for k, c := range fwd {
+		w[k] = complex(real(c), -imag(c))
+	}
+	v, _ := invTwiddleCache.LoadOrStore(n, w)
+	return v.([]complex128)
+}
+
+// bitrev applies the bit-reversal permutation in place.
+func bitrev(x []complex128) {
 	n := len(x)
-	// Bit-reversal permutation.
 	for i, j := 1, 0; i < n; i++ {
 		bit := n >> 1
 		for ; j&bit != 0; bit >>= 1 {
@@ -48,10 +67,46 @@ func fftWith(x, w []complex128) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	for length := 2; length <= n; length <<= 1 {
-		half := length >> 1
-		stride := n / length
-		for start := 0; start < n; start += length {
+}
+
+// butterflies runs the decimation-in-time radix-2 stages over
+// bit-reversed input. The first two stages carry only trivial twiddles
+// (1 and -i — or +i when w is an inverse table, selected by s = -imag of
+// the quarter twiddle), so they run as dedicated multiply-free loops;
+// the generic stages read the table with stride indexing.
+func butterflies(x, w []complex128) {
+	n := len(x)
+	for i := 0; i+1 < n; i += 2 {
+		u, v := x[i], x[i+1]
+		x[i], x[i+1] = u+v, u-v
+	}
+	if n < 4 {
+		return
+	}
+	// Quarter-turn sign: -1 for the forward table (twiddle -i), +1 for
+	// the inverse table (+i). Using the exact unit value instead of the
+	// table's cos/sin pair costs nothing and loses no accuracy.
+	s := 1.0
+	if imag(w[len(w)/2]) < 0 {
+		s = -1
+	}
+	for i := 0; i+3 < n; i += 4 {
+		u0, u1 := x[i], x[i+2]
+		x[i], x[i+2] = u0+u1, u0-u1
+		u2, u3 := x[i+1], x[i+3]
+		t := complex(-s*imag(u3), s*real(u3)) // s*i * u3
+		x[i+1], x[i+3] = u2+t, u2-t
+	}
+	// Remaining stages, fused two at a time into radix-4 quads: one pass
+	// over the data per stage pair instead of two, which matters more
+	// than the flop count — the kernel is bound by loop and memory
+	// overhead per butterfly, not multiplies.
+	length := 8
+	if stages := bits.Len(uint(n)) - 3; stages&1 == 1 {
+		// Odd stage count past the specials: burn one plain radix-2
+		// stage so the fused loop ends exactly at n.
+		half, stride := 4, n/8
+		for start := 0; start < n; start += 8 {
 			ti := 0
 			for k := 0; k < half; k++ {
 				u := x[start+k]
@@ -61,21 +116,63 @@ func fftWith(x, w []complex128) {
 				ti += stride
 			}
 		}
+		length = 16
+	}
+	for L := length; 2*L <= n; L <<= 2 {
+		h := L >> 1
+		quad := L << 1
+		strideA := n / L
+		strideB := strideA >> 1
+		for start := 0; start < n; start += quad {
+			tA, tB := 0, 0
+			for j := start; j < start+h; j++ {
+				w1, w2 := w[tA], w[tB]
+				a, b := x[j], x[j+h]
+				c, d := x[j+2*h], x[j+3*h]
+				vb := b * w1
+				vd := d * w1
+				a0, b0 := a+vb, a-vb
+				c0, d0 := c+vd, c-vd
+				vc := c0 * w2
+				vd2 := d0 * w2
+				rd := complex(-s*imag(vd2), s*real(vd2)) // s*i * (w2*d0)
+				x[j], x[j+2*h] = a0+vc, a0-vc
+				x[j+h], x[j+3*h] = b0+rd, b0-rd
+				tA += strideA
+				tB += strideB
+			}
+		}
 	}
 }
 
+// fftWith computes the in-place decimation-in-time radix-2 FFT of x using
+// the precomputed twiddle table w (len(x)/2 entries). len(x) must be a
+// power of two.
+func fftWith(x, w []complex128) {
+	bitrev(x)
+	butterflies(x, w)
+}
+
 // ifftWith computes the in-place inverse FFT of x using the forward
-// twiddle table w, via the conjugation identity IFFT(x) = conj(FFT(conj(x)))/n.
+// twiddle table w: the butterflies run on the cached conjugate table and
+// a single pass applies the 1/n normalization.
 func ifftWith(x, w []complex128) {
 	n := len(x)
-	for i := range x {
-		x[i] = complex(real(x[i]), -imag(x[i]))
-	}
-	fftWith(x, w)
+	ifftNoScale(x, w)
 	inv := 1 / float64(n)
 	for i := range x {
-		x[i] = complex(real(x[i])*inv, -imag(x[i])*inv)
+		x[i] = complex(real(x[i])*inv, imag(x[i])*inv)
 	}
+}
+
+// ifftNoScale is the inverse transform without the 1/n normalization,
+// for callers (the overlap-save engine) that fold the scale into a
+// spectrum they multiply by anyway.
+func ifftNoScale(x, w []complex128) {
+	n := len(x)
+	_ = w
+	bitrev(x)
+	butterflies(x, invTwiddlesFor(n))
 }
 
 // FFTPlan is a reusable transform plan for one power-of-two size: the

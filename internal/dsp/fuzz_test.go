@@ -1,0 +1,107 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzDSPStreamChunkInvariance pins the streaming kernels' chunk
+// invariance under fuzzing: for fuzz-chosen filter designs, signals and
+// chunkings — including degenerate 1-sample and empty pushes — the
+// batched fast paths must be bit-identical to their per-sample / whole-
+// push references. This covers the three kernels with dedicated batch
+// engines: SOSStream.Push (the 4-lane software-pipelined sosPipeRun vs
+// the scalar PushSample recurrence), FIRStream (the blocked convSeqInto
+// group kernel across arbitrary chunk boundaries, via the zero-phase
+// composite), and MovExtStream (the hoisted-deque batch loop vs the
+// admit/emit reference path Flush still uses).
+func FuzzDSPStreamChunkInvariance(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(20), true, []byte{7, 1, 250})
+	f.Add(int64(-42), uint8(2), uint8(3), false, []byte{1})
+	f.Add(int64(9), uint8(8), uint8(77), true, []byte{0, 64, 3})
+	f.Fuzz(func(t *testing.T, seed int64, orderSel, widthSel uint8, prime bool, chunks []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 600 + rng.Intn(600)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 2*rng.Float64() - 1
+		}
+
+		cmpExact := func(name string, got, want []float64) {
+			t.Helper()
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d samples, want %d", name, len(got), len(want))
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s: sample %d differs: %x != %x", name,
+						i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+		}
+
+		// chunked drives a stream through the fuzz-chosen chunking. A
+		// zero byte becomes an empty push (which must be harmless),
+		// followed by a 1-sample push so the loop still consumes input.
+		chunked := func(push func(dst, c []float64) []float64) []float64 {
+			var out []float64
+			ci, pos := 0, 0
+			for pos < n {
+				c := 1
+				if len(chunks) > 0 {
+					c = int(chunks[ci%len(chunks)])
+					ci++
+				}
+				end := pos + c
+				if end > n {
+					end = n
+				}
+				out = push(out, x[pos:end])
+				pos = end
+				if c == 0 && pos < n {
+					out = push(out, x[pos:pos+1])
+					pos++
+				}
+			}
+			return out
+		}
+
+		// SOS cascade: 1-4 sections at a fuzz-chosen cutoff.
+		order := 2 + int(orderSel)%7
+		cutoff := 1 + float64(widthSel%100)
+		sos, err := DesignButterLowPass(order, cutoff, 250)
+		if err != nil {
+			t.Fatalf("lowpass design(%d, %g): %v", order, cutoff, err)
+		}
+		ref := NewSOSStream(sos, 0, prime)
+		scalar := make([]float64, n)
+		for i, v := range x {
+			scalar[i] = ref.PushSample(v)
+		}
+		whole := NewSOSStream(sos, 0, prime)
+		cmpExact("sos whole-push vs per-sample", whole.Push(nil, x), scalar)
+		st := NewSOSStream(sos, 0, prime)
+		cmpExact("sos chunked vs per-sample", chunked(st.Push), scalar)
+
+		// Zero-phase FIR: odd tap count 9-65, whole-push vs chunked
+		// (both finished by Flush, which drains the composite lookahead).
+		taps := 9 + 2*(int(orderSel)%29)
+		fir, err := DesignLowPass(taps-1, 30, 250, WindowHamming)
+		if err != nil {
+			t.Fatalf("FIR design(%d): %v", taps, err)
+		}
+		zw := NewZeroPhaseFIRStream(fir)
+		wantFIR := zw.Flush(zw.Push(nil, x))
+		zc := NewZeroPhaseFIRStream(fir)
+		cmpExact("fir chunked vs whole-push", zc.Flush(chunked(zc.Push)), wantFIR)
+
+		// Moving extremum: fuzz-chosen asymmetric window, both polarities
+		// via prime.
+		left, right := int(widthSel)%30, int(orderSel)%30
+		mw := NewMovExtStream(left, right, prime)
+		wantExt := mw.Flush(mw.Push(nil, x))
+		mc := NewMovExtStream(left, right, prime)
+		cmpExact("movext chunked vs whole-push", mc.Flush(chunked(mc.Push)), wantExt)
+	})
+}

@@ -164,16 +164,10 @@ func (s SOS) FilterTo(dst, x []float64) []float64 {
 		dst = make([]float64, n)
 	}
 	dst = dst[:n]
+	// The copy makes the pipelined kernels run fully in place on dst,
+	// which is alias-safe for any dst/x overlap (writes trail reads).
 	copy(dst, x)
-	for _, bq := range s {
-		var z1, z2 float64
-		for i, v := range dst {
-			out := bq.B0*v + z1
-			z1 = bq.B1*v - bq.A1*out + z2
-			z2 = bq.B2*v - bq.A2*out
-			dst[i] = out
-		}
-	}
+	sosPipeRun(dst, dst, s, nil, nil, false)
 	return dst
 }
 

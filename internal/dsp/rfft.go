@@ -1,0 +1,153 @@
+package dsp
+
+// Real-input FFT. A real signal's spectrum is conjugate-symmetric, so
+// only the half-spectrum X[0..n/2] carries information; computing it
+// through a complex transform wastes half the butterflies. RFFTPlan uses
+// the classic split trick instead: pack adjacent real pairs
+// x[2k], x[2k+1] into one complex sample, run a half-size complex FFT,
+// and disentangle the even/odd sub-spectra with one O(n) recombination
+// pass. Both twiddle tables (the half-size butterfly table and the
+// length-n split table) come from the process-wide cache in fftplan.go,
+// so a warm plan allocates nothing and plans are free to construct.
+//
+// The overlap-save convolution engine (conv.go) runs on the same split
+// kernels with the spectrum product fused into the recombination pass,
+// which is where the half-size transforms pay off on wide FIR filters.
+
+// RFFTPlan is a reusable real-input transform plan for one power-of-two
+// size n >= 2. Plans are stateless after construction and safe for
+// concurrent use; the caller owns all buffers.
+type RFFTPlan struct {
+	n    int          // real transform length
+	half int          // n/2: size of the underlying complex transform
+	w    []complex128 // butterfly twiddles for the half-size complex FFT
+	wr   []complex128 // split twiddles exp(-2*pi*i*k/n), k in [0, n/2)
+}
+
+// NewRFFTPlan builds (or fetches the cached tables for) a real-input
+// plan of size n, which must be a power of two >= 2.
+func NewRFFTPlan(n int) (*RFFTPlan, error) {
+	if !IsPow2(n) || n < 2 {
+		return nil, ErrNotPow2
+	}
+	return &RFFTPlan{n: n, half: n / 2, w: twiddlesFor(n / 2), wr: twiddlesFor(n)}, nil
+}
+
+// Size returns the real transform length n.
+func (p *RFFTPlan) Size() int { return p.n }
+
+// SpectrumLen returns the half-spectrum length n/2 + 1.
+func (p *RFFTPlan) SpectrumLen() int { return p.half + 1 }
+
+// Forward computes the half-spectrum X[0..n/2] of the real signal x
+// (length n) into dst (length >= n/2+1) and returns dst[:n/2+1]. The
+// remaining bins follow from conjugate symmetry: X[n-k] = conj(X[k]).
+// Allocation-free; dst doubles as the transform workspace.
+func (p *RFFTPlan) Forward(dst []complex128, x []float64) ([]complex128, error) {
+	m := p.half
+	if len(x) != p.n || len(dst) < m+1 {
+		return nil, ErrBadLength
+	}
+	dst = dst[:m+1]
+	for k := 0; k < m; k++ {
+		dst[k] = complex(x[2*k], x[2*k+1])
+	}
+	fftWith(dst[:m], p.w)
+	p.split(dst)
+	return dst, nil
+}
+
+// split disentangles the half-size transform Z (in z[:half]) into the
+// real signal's half-spectrum X[0..half], in place. With E and O the
+// sub-spectra of the even and odd samples, Z[k] = E[k] + i O[k], so
+//
+//	E[k] = (Z[k] + conj(Z[m-k]))/2, O[k] = -i (Z[k] - conj(Z[m-k]))/2,
+//	X[k] = E[k] + W^k O[k],         W = exp(-2*pi*i/n),
+//
+// and the upper half follows as X[m-k] = conj(E[k] - W^k O[k]).
+func (p *RFFTPlan) split(z []complex128) {
+	m := p.half
+	re0, im0 := real(z[0]), imag(z[0])
+	z[0] = complex(re0+im0, 0)
+	z[m] = complex(re0-im0, 0)
+	for k := 1; k <= m/2; k++ {
+		a, b := z[k], conjC(z[m-k])
+		fe := scaleC(a+b, 0.5)
+		fo := mulNegI(a - b) // -i (a-b); the 1/2 is folded into fe/fo below
+		fo = scaleC(fo, 0.5)
+		t := p.wr[k] * fo
+		z[k] = fe + t
+		z[m-k] = conjC(fe - t)
+	}
+}
+
+// Inverse reconstructs the real signal from the half-spectrum spec
+// (length n/2+1) into dst (length n). spec is used as the transform
+// workspace and is destroyed. The imaginary parts of spec[0] and
+// spec[n/2] are ignored (they are zero for any real signal's spectrum).
+// Allocation-free.
+func (p *RFFTPlan) Inverse(dst []float64, spec []complex128) error {
+	m := p.half
+	if len(dst) != p.n || len(spec) < m+1 {
+		return ErrBadLength
+	}
+	p.merge(spec)
+	ifftWith(spec[:m], p.w)
+	for k := 0; k < m; k++ {
+		dst[2*k] = real(spec[k])
+		dst[2*k+1] = imag(spec[k])
+	}
+	return nil
+}
+
+// merge is the inverse of split: it folds the half-spectrum X[0..half]
+// back into the half-size transform Z[0..half), in place, so one
+// half-size inverse FFT reproduces the packed real pairs.
+func (p *RFFTPlan) merge(x []complex128) {
+	m := p.half
+	x0, xm := real(x[0]), real(x[m])
+	x[0] = complex((x0+xm)*0.5, (x0-xm)*0.5)
+	for k := 1; k <= m/2; k++ {
+		a, b := x[k], conjC(x[m-k])
+		fe := scaleC(a+b, 0.5)
+		fo := scaleC(a-b, 0.5) * conjC(p.wr[k]) // W^{-k} undoes the split rotation
+		x[k] = fe + mulI(fo)
+		x[m-k] = conjC(fe) + mulI(conjC(fo))
+	}
+}
+
+// RFFT computes the half-spectrum X[0..n/2] of the real signal x, whose
+// length must be a power of two >= 2.
+func RFFT(x []float64) ([]complex128, error) {
+	p, err := NewRFFTPlan(len(x))
+	if err != nil {
+		return nil, err
+	}
+	return p.Forward(make([]complex128, p.SpectrumLen()), x)
+}
+
+// IRFFT reconstructs the length-2*(len(spec)-1) real signal from a
+// half-spectrum produced by RFFT. spec is not modified.
+func IRFFT(spec []complex128) ([]float64, error) {
+	n := 2 * (len(spec) - 1)
+	p, err := NewRFFTPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	dst := make([]float64, n)
+	work := make([]complex128, len(spec))
+	copy(work, spec)
+	if err := p.Inverse(dst, work); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// Small complex helpers, inlined by the compiler; cmplx.Conj and friends
+// go through float64 function calls that the hot split/merge loops cannot
+// afford.
+
+func conjC(c complex128) complex128             { return complex(real(c), -imag(c)) }
+func scaleC(c complex128, s float64) complex128 { return complex(real(c)*s, imag(c)*s) }
+func mulI(c complex128) complex128              { return complex(-imag(c), real(c)) }
+func mulNegI(c complex128) complex128           { return complex(imag(c), -real(c)) }

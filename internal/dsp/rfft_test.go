@@ -1,0 +1,183 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// relTol compares against the spectrum's largest magnitude so the
+// tolerance is meaningful for bins near zero.
+func specMaxAbs(s []complex128) float64 {
+	m := 0.0
+	for _, c := range s {
+		if a := cmplx.Abs(c); a > m {
+			m = a
+		}
+	}
+	if m == 0 {
+		return 1
+	}
+	return m
+}
+
+// TestRFFTMatchesFFT pins the half-spectrum against the full complex
+// transform to 1e-12 relative across sizes, including the degenerate
+// n = 2 plan.
+func TestRFFTMatchesFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{2, 4, 8, 16, 64, 256, 1024, 4096} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got, err := RFFT(x)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != n/2+1 {
+			t.Fatalf("n=%d: half-spectrum length %d, want %d", n, len(got), n/2+1)
+		}
+		c := make([]complex128, n)
+		for i, v := range x {
+			c[i] = complex(v, 0)
+		}
+		want, _ := FFT(c)
+		scale := specMaxAbs(want)
+		for k := 0; k <= n/2; k++ {
+			if d := cmplx.Abs(got[k]-want[k]) / scale; d > 1e-12 {
+				t.Fatalf("n=%d bin %d: rfft %v, fft %v (rel %g)", n, k, got[k], want[k], d)
+			}
+		}
+	}
+}
+
+// TestIRFFTRoundTrip pins forward-then-inverse reconstruction to 1e-12
+// relative.
+func TestIRFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 4, 32, 512, 2048} {
+		x := make([]float64, n)
+		maxAbs := 0.0
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			if a := math.Abs(x[i]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		spec, err := RFFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := IRFFT(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if d := math.Abs(back[i]-x[i]) / maxAbs; d > 1e-12 {
+				t.Fatalf("n=%d sample %d: %g back as %g (rel %g)", n, i, x[i], back[i], d)
+			}
+		}
+	}
+}
+
+// TestRFFTNonWarmPlan exercises a plan size no other test (or the
+// overlap-save engine) uses, so construction runs the full twiddle
+// build rather than a cache hit — the parity must not depend on a warm
+// process-wide cache.
+func TestRFFTNonWarmPlan(t *testing.T) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(99))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got, err := RFFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := make([]complex128, n)
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	want, _ := FFT(c)
+	scale := specMaxAbs(want)
+	for k := 0; k <= n/2; k++ {
+		if d := cmplx.Abs(got[k]-want[k]) / scale; d > 1e-12 {
+			t.Fatalf("bin %d: rel error %g", k, d)
+		}
+	}
+}
+
+// TestIFFTRoundTripExact pins the conjugate-table inverse against the
+// forward transform: IFFT(FFT(x)) must reconstruct to 1e-12.
+func TestIFFTRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{4, 64, 1024} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		orig := append([]complex128(nil), x...)
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if d := cmplx.Abs(x[i] - orig[i]); d > 1e-12*float64(n) {
+				t.Fatalf("n=%d sample %d: %v back as %v", n, i, orig[i], x[i])
+			}
+		}
+	}
+}
+
+// TestRFFTPlanWarmAllocFree is the CI alloc guard for the plan's warm
+// path: Forward and Inverse with caller-owned buffers must not allocate.
+func TestRFFTPlanWarmAllocFree(t *testing.T) {
+	const n = 1024
+	p, err := NewRFFTPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i) / 9)
+	}
+	spec := make([]complex128, p.SpectrumLen())
+	dst := make([]float64, n)
+	if allocs := testing.AllocsPerRun(100, func() {
+		p.Forward(spec, x)
+		p.Inverse(dst, spec)
+	}); allocs != 0 {
+		t.Fatalf("warm RFFT plan allocated %v times per round trip, want 0", allocs)
+	}
+	// Warm plan construction itself must be allocation-light: the
+	// tables come from the process-wide cache.
+	if allocs := testing.AllocsPerRun(100, func() {
+		NewRFFTPlan(n)
+	}); allocs > 1 {
+		t.Fatalf("warm NewRFFTPlan allocated %v times, want <= 1", allocs)
+	}
+}
+
+// TestRFFTBadSizes pins the error contract.
+func TestRFFTBadSizes(t *testing.T) {
+	if _, err := NewRFFTPlan(0); err == nil {
+		t.Fatal("NewRFFTPlan(0) should fail")
+	}
+	if _, err := NewRFFTPlan(1); err == nil {
+		t.Fatal("NewRFFTPlan(1) should fail")
+	}
+	if _, err := NewRFFTPlan(12); err == nil {
+		t.Fatal("NewRFFTPlan(12) should fail")
+	}
+	if _, err := RFFT(make([]float64, 6)); err == nil {
+		t.Fatal("RFFT of non-power-of-two length should fail")
+	}
+	p, _ := NewRFFTPlan(8)
+	if _, err := p.Forward(make([]complex128, 4), make([]float64, 8)); err == nil {
+		t.Fatal("short dst should fail")
+	}
+	if err := p.Inverse(make([]float64, 4), make([]complex128, 5)); err == nil {
+		t.Fatal("short dst should fail")
+	}
+}

@@ -221,29 +221,76 @@ func (s *FIRStream) run(dst []float64, xs []float64) []float64 {
 			start = m
 		}
 	}
-	for t := start; t < m; t++ {
-		dst = append(dst, dotValid(s.rev, s.work[t:t+k]))
+	base := len(dst)
+	mm := m - start
+	if cap(dst)-base < mm {
+		grown := make([]float64, base, base+mm+base/2)
+		copy(grown, dst)
+		dst = grown
 	}
+	dst = dst[:base+mm]
+	convSeqInto(dst[base:], s.rev, s.work[start:])
 	s.fed += m
 	s.hist = append(s.hist[:0], s.work[len(s.work)-(k-1):]...)
 	return dst
 }
 
-// dotValid is the unrolled kernel-window dot product.
-func dotValid(rev, w []float64) float64 {
-	var a0, a1, a2, a3 float64
-	i := 0
-	for ; i+4 <= len(rev); i += 4 {
-		a0 += rev[i] * w[i]
-		a1 += rev[i+1] * w[i+1]
-		a2 += rev[i+2] * w[i+2]
-		a3 += rev[i+3] * w[i+3]
+// convSeqInto computes out[t] = sum_j rev[j]*w[t+j] for every t. Outputs
+// run four at a time so each tap is loaded once per group instead of once
+// per output; the trailing <4 outputs use the scalar dotSeq. Both paths
+// accumulate each output in the same two-lane order (even taps, odd taps,
+// then one combine), so a given output's value is bit-identical no matter
+// which path produced it — chunk boundaries cannot perturb the stream.
+func convSeqInto(out, rev, w []float64) {
+	k := len(rev)
+	n4 := len(out) &^ 3
+	for t := 0; t < n4; t += 4 {
+		ww := w[t : t+k+3]
+		var a0, b0, a1, b1, a2, b2, a3, b3 float64
+		j := 0
+		for ; j+2 <= k; j += 2 {
+			h0, h1 := rev[j], rev[j+1]
+			w0, w1, w2, w3, w4 := ww[j], ww[j+1], ww[j+2], ww[j+3], ww[j+4]
+			a0 += h0 * w0
+			b0 += h1 * w1
+			a1 += h0 * w1
+			b1 += h1 * w2
+			a2 += h0 * w2
+			b2 += h1 * w3
+			a3 += h0 * w3
+			b3 += h1 * w4
+		}
+		if j < k {
+			h := rev[j]
+			a0 += h * ww[j]
+			a1 += h * ww[j+1]
+			a2 += h * ww[j+2]
+			a3 += h * ww[j+3]
+		}
+		out[t] = a0 + b0
+		out[t+1] = a1 + b1
+		out[t+2] = a2 + b2
+		out[t+3] = a3 + b3
 	}
-	acc := a0 + a1 + a2 + a3
-	for ; i < len(rev); i++ {
-		acc += rev[i] * w[i]
+	for t := n4; t < len(out); t++ {
+		out[t] = dotSeq(rev, w[t:t+k])
 	}
-	return acc
+}
+
+// dotSeq is the scalar counterpart of convSeqInto's group kernel: even
+// taps into one accumulator, odd taps into another, one final combine —
+// the exact accumulation order each grouped output uses.
+func dotSeq(rev, w []float64) float64 {
+	var a, b float64
+	j := 0
+	for ; j+2 <= len(rev); j += 2 {
+		a += rev[j] * w[j]
+		b += rev[j+1] * w[j+1]
+	}
+	if j < len(rev) {
+		a += rev[j] * w[j]
+	}
+	return a + b
 }
 
 // Push consumes a chunk and appends the newly computable outputs to dst.
@@ -373,9 +420,24 @@ func (s *SOSStream) PushSample(v float64) float64 {
 
 // Push consumes a chunk and appends the filtered samples to dst.
 func (s *SOSStream) Push(dst, x []float64) []float64 {
-	for _, v := range x {
-		dst = append(dst, s.PushSample(v))
+	if len(x) == 0 {
+		return dst
 	}
+	// The zi priming on the very first sample touches every section at
+	// once; route it through PushSample, then run the pipelined kernels
+	// with the persistent registers for the rest of the chunk.
+	if s.n == 0 && s.prime {
+		dst = append(dst, s.PushSample(x[0]))
+		x = x[1:]
+		if len(x) == 0 {
+			return dst
+		}
+	}
+	base := len(dst)
+	dst = append(dst, x...)
+	out := dst[base:]
+	sosPipeRun(out, out, s.sos, s.z1, s.z2, false)
+	s.n += len(x)
 	return dst
 }
 
@@ -565,14 +627,43 @@ func (s *MovExtStream) emit(dst []float64) []float64 {
 }
 
 // Push consumes a chunk and appends the outputs whose full (clamped)
-// window has arrived.
+// window has arrived. The deque state lives in locals for the whole
+// chunk — the admit/emit helpers reload their fields through the
+// pointer on every call, which costs ~30% of the cascade's time at
+// this call rate — with the exact same operation sequence.
 func (s *MovExtStream) Push(dst, x []float64) []float64 {
+	idx, val, mask := s.idx, s.val, s.mask
+	head, tail, size := s.head, s.tail, s.size
+	in, out := s.in, s.out
 	for _, v := range x {
-		s.admit(v)
-		for s.out+s.right < s.in {
-			dst = s.emit(dst)
+		if s.min {
+			for size > 0 && v <= val[(tail-1)&mask] {
+				tail = (tail - 1) & mask
+				size--
+			}
+		} else {
+			for size > 0 && v >= val[(tail-1)&mask] {
+				tail = (tail - 1) & mask
+				size--
+			}
+		}
+		idx[tail] = in
+		val[tail] = v
+		tail = (tail + 1) & mask
+		size++
+		in++
+		for out+s.right < in {
+			lo := out - s.left
+			for size > 0 && idx[head] < lo {
+				head = (head + 1) & mask
+				size--
+			}
+			out++
+			dst = append(dst, val[head])
 		}
 	}
+	s.head, s.tail, s.size = head, tail, size
+	s.in, s.out = in, out
 	return dst
 }
 

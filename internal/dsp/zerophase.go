@@ -203,21 +203,18 @@ func biquadZi(bq Biquad) (z1, z2 float64) {
 // steady-state initial conditions scaled by the first sample of each
 // section's input.
 func (s SOS) filterZiInPlace(y []float64) {
-	for _, bq := range s {
-		zi1, zi2 := biquadZi(bq)
-		u := 0.0
-		if len(y) > 0 {
-			u = y[0]
-		}
-		z1, z2 := zi1*u, zi2*u
-		for i, v := range y {
-			out := bq.B0*v + z1
-			z1 = bq.B1*v - bq.A1*out + z2
-			z2 = bq.B2*v - bq.A2*out
-			y[i] = out
-		}
+	if len(y) == 0 {
+		return
 	}
+	sosPipeRun(y, y, s, nil, nil, true)
 }
+
+// FilterZiInPlace applies the cascade causally in place with per-section
+// steady-state initial conditions scaled by each section's first input —
+// one directional pass of FiltFilt. The streaming delineator uses it
+// (after a Reverse) as the backward half of its split zero-phase scheme,
+// where the forward half is a persistent causal stream.
+func (s SOS) FilterZiInPlace(y []float64) { s.filterZiInPlace(y) }
 
 // filterZi applies the cascade with per-section steady-state initial
 // conditions scaled by the first sample of each section's input.
@@ -231,22 +228,14 @@ func (s SOS) filterZi(x []float64) []float64 {
 // filtering with odd-reflection padding and steady-state initial
 // conditions.
 func (s SOS) FiltFilt(x []float64) []float64 {
-	if len(x) == 0 {
-		return nil
-	}
-	pad := 3 * (2*len(s) + 1)
-	ext := oddReflectPad(x, pad)
-	realPad := (len(ext) - len(x)) / 2
-	s.filterZiInPlace(ext)
-	Reverse(ext)
-	s.filterZiInPlace(ext)
-	Reverse(ext)
-	return ext[realPad : realPad+len(x)]
+	return s.FiltFiltWith(nil, x)
 }
 
-// FiltFiltWith is SOS.FiltFilt drawing every temporary from an arena (nil
-// falls back to the heap); the returned slice is arena-owned when a is
-// non-nil.
+// FiltFiltWith is SOS.FiltFilt drawing every temporary from an arena
+// (nil falls back to the heap). The result is a sub-slice of the padded
+// filtering scratch — arena-owned when a is non-nil, private otherwise —
+// so no trailing copy is paid; callers that need the buffer to outlive
+// the arena must copy it themselves.
 func (s SOS) FiltFiltWith(a *Arena, x []float64) []float64 {
 	if len(x) == 0 {
 		return nil
@@ -258,7 +247,5 @@ func (s SOS) FiltFiltWith(a *Arena, x []float64) []float64 {
 	Reverse(ext)
 	s.filterZiInPlace(ext)
 	Reverse(ext)
-	y := arenaF64(a, len(x))
-	copy(y, ext[realPad:realPad+len(x)])
-	return y
+	return ext[realPad : realPad+len(x)]
 }

@@ -124,6 +124,7 @@ type PTStream struct {
 	cfg  PTConfig
 	fs   float64
 	band *dsp.SOSStream
+	fbuf []float64 // per-chunk band-pass scratch, reused across pushes
 
 	// Five-point derivative + squaring + moving integration state.
 	d0, d1, d2, d3 float64 // last four band-passed samples
@@ -200,8 +201,9 @@ func NewPTStream(cfg PTConfig) (*PTStream, error) {
 		win = 1
 	}
 	// Six seconds of history covers the search-back horizon (1.66x the
-	// slowest physiological RR) plus the refinement window.
-	histN := int(6 * fs)
+	// slowest physiological RR) plus the refinement window; one extra
+	// sub-chunk absorbs the batched band-pass lookahead.
+	histN := int(6*fs) + ptSubChunk
 	s := &PTStream{
 		cfg:         cfg,
 		fs:          fs,
@@ -231,18 +233,42 @@ func (s *PTStream) Lookahead() int { return s.refractory + s.halfRefine }
 // Push consumes conditioned ECG samples and returns the R peaks
 // confirmed by this chunk (absolute indices into the conditioned
 // stream), appended to rs.
+//
+// The band-pass runs over the whole chunk through the pipelined SOS
+// kernel before the per-sample detection loop; a chunked causal Push is
+// bit-identical to the per-sample recurrence, so detection sees exactly
+// the samples it would have one at a time.
 func (s *PTStream) Push(rs []int, x []float64) []int {
-	for _, v := range x {
-		rs = s.pushSample(rs, v)
+	if len(x) == 0 {
+		return rs
+	}
+	for len(x) > 0 {
+		sub := x
+		if len(sub) > ptSubChunk {
+			sub = x[:ptSubChunk]
+		}
+		x = x[len(sub):]
+		s.fbuf = s.band.Push(s.fbuf[:0], sub)
+		s.raw.Append(sub)
+		s.filt.Append(s.fbuf)
+		for k := range sub {
+			rs = s.pushSample(rs, s.fbuf[k])
+		}
 	}
 	return rs
 }
 
-func (s *PTStream) pushSample(rs []int, v float64) []int {
+// ptSubChunk bounds how far the raw/filtered rings run ahead of the
+// per-sample detection loop; the rings are sized for the search-back
+// horizon plus this lookahead, so batching never overwrites history the
+// detector can still read.
+const ptSubChunk = 256
+
+// pushSample advances the per-sample detection state machines with one
+// band-passed sample f (the raw and filtered rings were already extended
+// by Push).
+func (s *PTStream) pushSample(rs []int, f float64) []int {
 	i := s.n
-	s.raw.Push(v)
-	f := s.band.PushSample(v)
-	s.filt.Push(f)
 
 	// Five-point derivative (zero for the first four samples), squared.
 	var d float64

@@ -77,17 +77,11 @@ func (c FilterConfig) ApplyWith(a *dsp.Arena, x []float64) ([]float64, error) {
 }
 
 // ApplyDesigned runs the zero-phase conditioning with pre-designed
-// cascades (hp may be nil).
+// cascades (hp may be nil). One arena-aware path serves both modes:
+// FiltFiltWith returns a sub-slice of its padded scratch with no
+// trailing copy, so a nil arena is no longer more expensive than the
+// heap path it used to fork to.
 func ApplyDesigned(a *dsp.Arena, lp, hp dsp.SOS, x []float64) []float64 {
-	if a == nil {
-		// Without an arena, FiltFilt's slice-of-padded-buffer return is
-		// cheaper than FiltFiltWith's defensive copy.
-		y := lp.FiltFilt(x)
-		if hp != nil {
-			y = hp.FiltFilt(y)
-		}
-		return y
-	}
 	y := lp.FiltFiltWith(a, x)
 	if hp != nil {
 		y = hp.FiltFiltWith(a, y)

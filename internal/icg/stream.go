@@ -22,16 +22,39 @@ import "repro/internal/dsp"
 // align shifts the ICG clock: the delineator treats ICG sample r+align
 // as simultaneous with ECG sample r (non-zero only when the stream
 // comes from an uncompensated causal chain).
+//
+// Rolling filtfilt cache: the dominant per-beat cost used to be the
+// high-pass forward-backward pass over segment + 2*ctxN samples, where
+// consecutive beats' windows overlap by almost the full context — the
+// same samples were forward-filtered again for every beat. The default
+// mode instead runs the high-pass *forward* pass exactly once per
+// sample, as a persistent causal stream (zi-primed at the stream start,
+// the same steady-state initialization filtfilt uses), and caches its
+// output in the history ring. Per beat only the *backward* pass remains,
+// over [segLo-guard, segHi+ctxN): its transient enters at the right
+// edge and dies inside the trailing context, so the segment interior
+// matches; the leading context is not needed at all, because the cached
+// forward pass has no left-edge transient. The result is the same
+// zero-phase |H|^2 conditioning at roughly a third of the
+// biquad-samples per beat. SetLegacyRefilter restores the windowed
+// per-beat filtfilt for A/B comparison.
 type Delineator struct {
 	cfg    DetectConfig
 	lp, hp dsp.SOS
 	align  int
 	ctxN   int
+	legacy bool           // windowed per-beat hp filtfilt instead of the rolling cache
+	fwd    *dsp.SOSStream // persistent causal hp forward pass (rolling mode)
+	pad    int            // filtfilt's reflect-pad length for hp
+	warmed bool           // forward pass started (reflected prefix consumed)
+	warm   []float64      // samples buffered before the forward pass starts
 
-	icg   *dsp.Ring
-	arena dsp.Arena // per-beat refiltering scratch
-	lastR int       // previous confirmed R peak (ECG clock), -1 before the first
-	queue []beatJob // R pairs waiting for their ICG samples
+	icg     *dsp.Ring // raw -dZ/dt, or its cached hp-forward pass in rolling mode
+	arena   dsp.Arena // per-beat refiltering scratch
+	pushBuf []float64 // forward-pass input scratch per push, reused
+	fltBuf  []float64 // forward-pass output scratch per push, reused
+	lastR   int       // previous confirmed R peak (ECG clock), -1 before the first
+	queue   []beatJob // R pairs waiting for their ICG samples
 }
 
 type beatJob struct {
@@ -60,7 +83,7 @@ func NewDelineator(cfg DetectConfig, lp, hp dsp.SOS, align int, ctxSeconds, maxB
 		ctxN = int(ctxSeconds * fs)
 	}
 	n := int(maxBeatSeconds*fs) + 2*ctxN + align + 2
-	return &Delineator{
+	d := &Delineator{
 		cfg:   cfg,
 		lp:    lp,
 		hp:    hp,
@@ -69,17 +92,75 @@ func NewDelineator(cfg DetectConfig, lp, hp dsp.SOS, align int, ctxSeconds, maxB
 		icg:   dsp.NewRing(n),
 		lastR: -1,
 	}
+	if hp != nil {
+		d.fwd = dsp.NewSOSStream(hp, 0, true)
+		d.pad = 3 * (2*len(hp) + 1) // FiltFilt's reflect-pad formula
+	}
+	return d
 }
+
+// SetLegacyRefilter selects the windowed per-beat high-pass filtfilt
+// (the pre-cache engine) instead of the rolling forward-pass cache. It
+// must be called before the first PushICG: the two modes store different
+// signals in the history ring.
+func (d *Delineator) SetLegacyRefilter(on bool) { d.legacy = on }
+
+// rolling reports whether the forward-pass cache is active.
+func (d *Delineator) rolling() bool { return d.hp != nil && !d.legacy }
 
 // Lookahead returns how many ICG samples past a beat's closing R peak
 // must arrive before the beat can be analyzed (the refiltering context).
 func (d *Delineator) Lookahead() int { return d.ctxN }
 
 // PushICG appends newly streamed ICG samples (on the filter-output
-// clock) and returns the beats they complete, appended to out.
+// clock) and returns the beats they complete, appended to out. In
+// rolling mode each sample passes through the persistent high-pass
+// forward filter exactly once here, and the ring caches the result.
 func (d *Delineator) PushICG(out []BeatAnalysis, x []float64) []BeatAnalysis {
-	d.icg.Append(x)
+	if d.rolling() {
+		d.pushRolling(x, false)
+	} else {
+		d.icg.Append(x)
+	}
 	return d.drain(out, false)
+}
+
+// pushRolling feeds samples through the persistent forward filter into
+// the ring. The first pad+1 samples are buffered so the filter can start
+// on an odd-reflected prefix of the stream head — the same left-edge
+// treatment, zi priming and therefore the same startup transient as the
+// batch filtfilt forward pass; the cached forward signal then matches
+// the batch one over the whole session, not just in steady state. last
+// clamps the pad for a sub-pad-length session the way FiltFilt clamps
+// on short inputs.
+func (d *Delineator) pushRolling(x []float64, last bool) {
+	if d.warmed {
+		if len(x) > 0 {
+			d.fltBuf = d.fwd.Push(d.fltBuf[:0], x)
+			d.icg.Append(d.fltBuf)
+		}
+		return
+	}
+	d.warm = append(d.warm, x...)
+	if len(d.warm) == 0 {
+		return
+	}
+	pad := d.pad
+	if last && pad >= len(d.warm) {
+		pad = len(d.warm) - 1
+	}
+	if pad >= len(d.warm) {
+		return // still buffering the reflected prefix
+	}
+	d.pushBuf = d.pushBuf[:0]
+	for i := pad; i >= 1; i-- {
+		d.pushBuf = append(d.pushBuf, 2*d.warm[0]-d.warm[i])
+	}
+	d.pushBuf = append(d.pushBuf, d.warm...)
+	d.fltBuf = d.fwd.Push(d.fltBuf[:0], d.pushBuf)
+	d.icg.Append(d.fltBuf[pad:])
+	d.warmed = true
+	d.warm = d.warm[:0]
 }
 
 // PushR registers the next confirmed R peak (ECG clock) and returns any
@@ -101,6 +182,9 @@ func (d *Delineator) PushR(out []BeatAnalysis, r int) []BeatAnalysis {
 // (end of session), clamping the trailing context like the batch
 // filter clamps at the recording's end.
 func (d *Delineator) Flush(out []BeatAnalysis) []BeatAnalysis {
+	if d.rolling() && !d.warmed {
+		d.pushRolling(nil, true) // drain a sub-pad-length session's buffer
+	}
 	return d.drain(out, true)
 }
 
@@ -116,12 +200,20 @@ func (d *Delineator) drain(out []BeatAnalysis, last bool) []BeatAnalysis {
 			}
 			hi = d.icg.N()
 		}
-		lo := j.rLo + d.align - d.ctxN
+		segLo := j.rLo + d.align // absolute segment bounds on the ICG clock
+		segHi := j.rHi + d.align
+		var lo int
+		if d.rolling() {
+			// The cached forward pass has no left-edge transient, so the
+			// window starts at the low-pass guard instead of the full
+			// high-pass context.
+			lo = segLo - lpGuardSamples(d.cfg.FS)
+		} else {
+			lo = j.rLo + d.align - d.ctxN
+		}
 		if lo < 0 {
 			lo = 0
 		}
-		segLo := j.rLo + d.align // absolute segment bounds on the ICG clock
-		segHi := j.rHi + d.align
 		if segHi > hi {
 			segHi = hi
 		}
@@ -178,7 +270,14 @@ func (d *Delineator) drain(out []BeatAnalysis, last bool) []BeatAnalysis {
 // the batch lp-then-hp is exact for LTI cascades up to edge transients,
 // which both contexts absorb.
 func (d *Delineator) refilter(buf []float64, segLo, segHi int) ([]float64, int) {
-	if d.hp != nil {
+	if d.rolling() {
+		// buf already holds the cached forward pass; only the backward
+		// pass remains. Its zi-primed transient enters at the right edge
+		// and is absorbed by the trailing context before the segment.
+		dsp.Reverse(buf)
+		d.hp.FilterZiInPlace(buf)
+		dsp.Reverse(buf)
+	} else if d.hp != nil {
 		buf = d.hp.FiltFiltWith(&d.arena, buf)
 	}
 	if d.lp == nil {
@@ -213,6 +312,11 @@ func (d *Delineator) Pending() int { return len(d.queue) }
 func (d *Delineator) Reset() {
 	d.icg.Reset()
 	d.arena.Reset()
+	if d.fwd != nil {
+		d.fwd.Reset()
+	}
+	d.warmed = false
+	d.warm = d.warm[:0]
 	d.lastR = -1
 	d.queue = d.queue[:0]
 }

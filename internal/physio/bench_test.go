@@ -1,0 +1,36 @@
+package physio
+
+import "testing"
+
+// Generator benchmarks: WhiteNoise is the raw Gaussian source, BandNoise
+// the RNG + biquad shape that dominates the study sweep (one call per
+// subject x frequency x position cell), Generate the full recording
+// synthesis.
+
+func BenchmarkWhiteNoise30s(b *testing.B) {
+	rng := NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WhiteNoise(rng, 7500, 0.02)
+	}
+}
+
+func BenchmarkBandNoise30s(b *testing.B) {
+	rng := NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BandNoise(rng, 7500, 250, 0.5, 8, 0.02)
+	}
+}
+
+func BenchmarkGenerate30s(b *testing.B) {
+	s := Subjects()[0]
+	cfg := DefaultGenConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Generate(cfg)
+	}
+}

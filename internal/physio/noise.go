@@ -13,14 +13,17 @@ import (
 // reproduce those bands.
 
 // WhiteNoise returns n samples of Gaussian noise with the given standard
-// deviation.
+// deviation. The variates come from the ziggurat sampler in ziggurat.go,
+// seeded by a single draw from rng, so the output is still a fixed
+// function of the caller's seed and call order.
 func WhiteNoise(rng *rand.Rand, n int, std float64) []float64 {
 	x := make([]float64, n)
 	if std == 0 {
 		return x
 	}
+	z := newZigRand(rng)
 	for i := range x {
-		x[i] = rng.NormFloat64() * std
+		x[i] = z.Norm() * std
 	}
 	return x
 }
@@ -51,7 +54,7 @@ func BandNoise(rng *rand.Rand, n int, fs, f1, f2, std float64) []float64 {
 		return make([]float64, n)
 	}
 	white := WhiteNoise(rng, n, 1)
-	sos, err := dsp.DesignButterBandPass(2, f1, f2, fs)
+	sos, err := bandDesign(f1, f2, fs)
 	if err != nil {
 		return rescaleStd(white, std)
 	}

@@ -1,0 +1,154 @@
+package physio
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/dsp"
+)
+
+// Ziggurat Gaussian sampler over an inlined splitmix64 stream.
+//
+// The stock rng.NormFloat64 is itself a ziggurat, but every draw funnels
+// through the rand.Source interface (two virtual Int63 calls on the
+// common path), which dominates the cost of bulk noise synthesis — the
+// study sweep draws hundreds of thousands of Gaussians per protocol
+// cell. The sampler below keeps the 128-layer Marsaglia-Tsang structure
+// but runs on a local splitmix64 state (three xor-shift-multiply ops per
+// 64-bit draw, no interface dispatch) and float64 tables, so the common
+// path is one PRNG step, one table compare and one multiply.
+//
+// Determinism: a generator is seeded with a single Uint64 draw from the
+// caller's *rand.Rand, so every (seed, call-order) pair still yields one
+// fixed output stream. The stream differs from the NormFloat64 one —
+// golden traces were regenerated when this landed (see BENCHMARKS.md,
+// PR 7).
+
+// zigLayers is the canonical 128-layer configuration: zigTailR is the
+// base-strip boundary and zigV the common strip area.
+const (
+	zigTailR = 3.442619855899
+	zigV     = 9.91256303526217e-3
+)
+
+// zigX[i] is the x-coordinate of layer i's outer edge (decreasing,
+// zigX[128] = 0); zigF[i] = exp(-zigX[i]^2/2). zigXs[i] = zigX[i]*2^-52
+// pre-folds the mantissa scaling into the layer width: multiplying by a
+// power of two is exact, so float64(u>>12)*zigXs[i] rounds to the same
+// bits as (float64(u>>12)*2^-52)*zigX[i] while saving a multiply on the
+// common path.
+var (
+	zigX  [129]float64
+	zigF  [129]float64
+	zigXs [128]float64
+
+	zigInit sync.Once
+)
+
+func zigTables() {
+	f := math.Exp(-0.5 * zigTailR * zigTailR)
+	zigX[0] = zigV / f // stretched base strip: rectangle area matches tail + base
+	zigX[1] = zigTailR
+	for i := 2; i < 128; i++ {
+		xi := zigX[i-1]
+		zigX[i] = math.Sqrt(-2 * math.Log(zigV/xi+math.Exp(-0.5*xi*xi)))
+	}
+	zigX[128] = 0
+	for i := range zigX {
+		zigF[i] = math.Exp(-0.5 * zigX[i] * zigX[i])
+	}
+	for i := range zigXs {
+		zigXs[i] = zigX[i] * 0x1p-52
+	}
+}
+
+// zigRand is a splitmix64 state feeding the ziggurat sampler.
+type zigRand struct{ s uint64 }
+
+// newZigRand seeds the sampler with one draw from rng, preserving the
+// caller's seed-determinism contract.
+func newZigRand(rng *rand.Rand) zigRand {
+	zigInit.Do(zigTables)
+	return zigRand{s: rng.Uint64()}
+}
+
+func (z *zigRand) next() uint64 {
+	z.s += 0x9e3779b97f4a7c15
+	x := z.s
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// u01 maps the top 52 bits of a draw to [0, 1).
+func u01(u uint64) float64 { return float64(u>>12) * 0x1p-52 }
+
+// Norm returns one standard Gaussian variate.
+func (z *zigRand) Norm() float64 {
+	for {
+		u := z.next()
+		i := int(u & 0x7f)             // layer index, bits 0-6
+		x := float64(u>>12) * zigXs[i] // candidate, uniform on [0, x_i)
+		if x < zigX[i+1] {
+			// Inside the layer's inner rectangle: accept without
+			// touching the pdf. ~98% of draws end here. The sign (bit 7)
+			// is OR-ed into the result — exact negation without the
+			// 50/50 branch a signed test would mispredict every other
+			// draw.
+			return math.Float64frombits(math.Float64bits(x) | (u&0x80)<<56)
+		}
+		neg := u&0x80 != 0 // sign, bit 7 (rare paths below)
+		if i == 0 {
+			// Tail beyond zigTailR: Marsaglia's exponential wedge.
+			for {
+				e1 := -math.Log(1-u01(z.next())) / zigTailR
+				e2 := -math.Log(1 - u01(z.next()))
+				if e1*e1 <= 2*e2 {
+					x = zigTailR + e1
+					break
+				}
+			}
+			if neg {
+				return -x
+			}
+			return x
+		}
+		// Wedge between the rectangle and the curve: uniform height
+		// between the strip's bounding densities.
+		f0, f1 := zigF[i], zigF[i+1]
+		if f0+u01(z.next())*(f1-f0) < math.Exp(-0.5*x*x) {
+			if neg {
+				return -x
+			}
+			return x
+		}
+	}
+}
+
+// bandDesignCache memoizes the Butterworth band-pass designs BandNoise
+// shapes its white noise with. The study sweep calls BandNoise for every
+// (subject, frequency, position) cell with a handful of distinct bands,
+// so designing per call was pure overhead (and all of the function's
+// allocations).
+var bandDesignCache sync.Map // bandKey -> dsp.SOS
+
+type bandKey struct{ f1, f2, fs float64 }
+
+// bandDesign returns the cached order-2 band-pass cascade for [f1, f2]
+// at fs, designing it on first use.
+func bandDesign(f1, f2, fs float64) (dsp.SOS, error) {
+	k := bandKey{f1, f2, fs}
+	if v, ok := bandDesignCache.Load(k); ok {
+		return v.(dsp.SOS), nil
+	}
+	sos, err := dsp.DesignButterBandPass(2, f1, f2, fs)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := bandDesignCache.LoadOrStore(k, sos)
+	return v.(dsp.SOS), nil
+}

@@ -1,0 +1,101 @@
+package physio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestZigguratMoments checks the sampler against the first four moments
+// of the standard normal. With n = 2e6 the standard errors are ~7e-4
+// (mean), ~1e-3 (variance), so 1e-2 tolerances are > 10 sigma.
+func TestZigguratMoments(t *testing.T) {
+	z := newZigRand(rand.New(rand.NewSource(1234)))
+	const n = 2_000_000
+	var m1, m2, m3, m4 float64
+	for i := 0; i < n; i++ {
+		v := z.Norm()
+		m1 += v
+		m2 += v * v
+		m3 += v * v * v
+		m4 += v * v * v * v
+	}
+	m1 /= n
+	m2 /= n
+	m3 /= n
+	m4 /= n
+	if math.Abs(m1) > 1e-2 {
+		t.Errorf("mean %g, want ~0", m1)
+	}
+	if math.Abs(m2-1) > 1e-2 {
+		t.Errorf("variance %g, want ~1", m2)
+	}
+	if math.Abs(m3) > 3e-2 {
+		t.Errorf("skewness moment %g, want ~0", m3)
+	}
+	if math.Abs(m4-3) > 8e-2 {
+		t.Errorf("kurtosis moment %g, want ~3", m4)
+	}
+}
+
+// TestZigguratTail verifies the tail path produces values beyond the
+// base strip with about the right frequency: P(|X| > 3.4426) ~ 5.75e-4.
+func TestZigguratTail(t *testing.T) {
+	z := newZigRand(rand.New(rand.NewSource(77)))
+	const n = 4_000_000
+	count := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(z.Norm()) > zigTailR {
+			count++
+		}
+	}
+	got := float64(count) / n
+	want := 2 * 0.5 * math.Erfc(zigTailR/math.Sqrt2)
+	if got < want/2 || got > want*2 {
+		t.Errorf("tail fraction %g, want ~%g", got, want)
+	}
+}
+
+// TestWhiteNoiseDeterministic pins the seed contract: same seed, same
+// stream; different seed, different stream.
+func TestWhiteNoiseDeterministic(t *testing.T) {
+	a := WhiteNoise(NewRNG(5), 64, 1)
+	b := WhiteNoise(NewRNG(5), 64, 1)
+	c := WhiteNoise(NewRNG(6), 64, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs across identical seeds", i)
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestBandNoiseDesignCached pins the memoized Butterworth design:
+// repeated calls must not allocate a fresh cascade per call (the
+// per-call design was all of BandNoise's allocations beyond the output
+// buffer).
+func TestBandNoiseDesignCached(t *testing.T) {
+	s1, err := bandDesign(0.5, 8, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := bandDesign(0.5, 8, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &s1[0] != &s2[0] {
+		t.Fatal("bandDesign did not return the cached cascade")
+	}
+	if _, err := bandDesign(8, 0.5, 250); err == nil {
+		t.Fatal("inverted band should fail design")
+	}
+}

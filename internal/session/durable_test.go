@@ -319,7 +319,7 @@ func TestWorkerPanicIsolation(t *testing.T) {
 			hashes[i] = h.h.Sum64()
 		}
 		// The engine keeps serving after the panic.
-		s, err := eng.Subscribe(uint64(n + 1), event.Discard)
+		s, err := eng.Subscribe(uint64(n+1), event.Discard)
 		if err != nil {
 			t.Fatal(err)
 		}
