@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/dsp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkZeroPhaseFIRStream30s-8         	   10000	    103195 ns/op	     512 B/op	       2 allocs/op
+BenchmarkZeroPhaseFIRStream30sDirect-8   	    5000	    205582 ns/op	     512 B/op	       2 allocs/op
+PASS
+ok  	repro/internal/dsp	3.554s
+pkg: repro/internal/icg
+BenchmarkDetectBeat/movavg-8         	  349345	      6393 ns/op	       0 B/op	       0 allocs/op
+BenchmarkThroughput 	     100	     12345 ns/op	       81.5 MB/s
+garbage line that should be ignored
+PASS
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GoOS != "linux" || snap.GoArch != "amd64" || !strings.Contains(snap.CPU, "Xeon") {
+		t.Errorf("header: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(snap.Benchmarks))
+	}
+	b := snap.Benchmarks[0]
+	if b.Name != "BenchmarkZeroPhaseFIRStream30s" || b.Package != "repro/internal/dsp" {
+		t.Errorf("first bench: %+v", b)
+	}
+	if b.Iterations != 10000 || b.NsPerOp != 103195 || b.BytesPerOp != 512 || b.AllocsOp != 2 {
+		t.Errorf("first bench metrics: %+v", b)
+	}
+	sub := snap.Benchmarks[2]
+	if sub.Name != "BenchmarkDetectBeat/movavg" || sub.Package != "repro/internal/icg" {
+		t.Errorf("sub-bench name/pkg: %+v", sub)
+	}
+	if sub.AllocsOp != 0 || sub.Metrics["allocs/op"] != 0 {
+		t.Errorf("sub-bench allocs: %+v", sub)
+	}
+	th := snap.Benchmarks[3]
+	if th.Name != "BenchmarkThroughput" || th.Metrics["MB/s"] != 81.5 {
+		t.Errorf("throughput bench: %+v", th)
+	}
+}
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(snap.Benchmarks) != 4 {
+		t.Errorf("round-trip lost benchmarks: %d", len(snap.Benchmarks))
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	snap, err := parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 0 {
+		t.Errorf("got %d benchmarks from empty input", len(snap.Benchmarks))
+	}
+}

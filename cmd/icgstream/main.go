@@ -42,14 +42,22 @@
 //
 //	icgstream [-subject 1] [-duration 30] [-loss 0.02] [-sessions 1] [-workers 0]
 //	          [-dead 0] [-evict-below 0] [-evict-after 20]
-//	          [-wal-dir DIR] [-kill-after 0] [-legacy-refilter]
+//	          [-wal-dir DIR] [-kill-after 0] [-legacy-refilter] [-direct-fir]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //	icgstream -replay DIR [-prefix-of REF]
 //
 // -legacy-refilter selects the windowed per-beat zero-phase refilter
 // instead of the delineator's rolling filtfilt cache in every session's
 // streaming engine. The fleet summary reports per-hop ns and the
 // realtime multiple, so running the same fleet with and without the
-// flag demonstrates the cache win end-to-end.
+// flag demonstrates the cache win end-to-end. -direct-fir is the same
+// kind of A/B switch for the streaming ECG band-pass: it pins the
+// direct per-sample recurrence (the MCU deployment profile) instead of
+// the block-carried overlap-save engine.
+//
+// -cpuprofile/-memprofile write standard pprof profiles of the run, so
+// fleet-mode hot paths can be inspected with `go tool pprof` without a
+// custom build.
 package main
 
 import (
@@ -59,6 +67,8 @@ import (
 	"log"
 	"net"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"syscall"
 	"time"
@@ -86,7 +96,39 @@ func main() {
 	prefixOf := flag.String("prefix-of", "", "with -replay: verify the log is a per-session event prefix of this reference WAL directory")
 	killAfter := flag.Float64("kill-after", 0, "self-test: SIGKILL the process after this many wall seconds (models a power cut; use with -wal-dir)")
 	legacyRefilter := flag.Bool("legacy-refilter", false, "use the windowed per-beat refilter instead of the rolling filtfilt cache (A/B baseline)")
+	directFIR := flag.Bool("direct-fir", false, "pin the streaming ECG band-pass to the direct recurrence instead of overlap-save (MCU profile; A/B baseline)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("icgstream: -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("icgstream: -cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				log.Printf("icgstream: -memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile shows retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("icgstream: -memprofile: %v", err)
+			}
+		}()
+	}
 
 	if *replayDir != "" {
 		if err := replayMain(*replayDir, *prefixOf); err != nil {
@@ -171,10 +213,10 @@ func main() {
 	}, sub.Seed)
 
 	if *sessions <= 1 {
-		runSingle(dev, &sub, *duration, link, conn, wlog, *legacyRefilter)
+		runSingle(dev, &sub, *duration, link, conn, wlog, *legacyRefilter, *directFIR)
 	} else {
 		health := session.HealthConfig{EvictBelowRate: *evictBelow, EvictAfterS: *evictAfter}
-		runFleet(dev, *sessions, *workers, *dead, *duration, health, link, conn, wlog, *legacyRefilter)
+		runFleet(dev, *sessions, *workers, *dead, *duration, health, link, conn, wlog, *legacyRefilter, *directFIR)
 	}
 	if wlog != nil {
 		walSummary(wlog)
@@ -195,7 +237,7 @@ func main() {
 // the end. The TCP write can block, so it lives on a consumer
 // goroutine behind an event.Chan — the non-blocking Sink contract: the
 // session worker never waits on the radio.
-func runSingle(dev *core.Device, sub *physio.Subject, duration float64, link *radio.Link, conn net.Conn, wlog *wal.Log, legacyRefilter bool) {
+func runSingle(dev *core.Device, sub *physio.Subject, duration float64, link *radio.Link, conn net.Conn, wlog *wal.Log, legacyRefilter, directFIR bool) {
 	acq, err := dev.Acquire(sub, duration)
 	if err != nil {
 		log.Fatalf("icgstream: %v", err)
@@ -203,6 +245,7 @@ func runSingle(dev *core.Device, sub *physio.Subject, duration float64, link *ra
 	cfg := session.DefaultConfig()
 	cfg.WAL = wlog
 	cfg.Stream.LegacyRefilter = legacyRefilter
+	cfg.Stream.DirectFIR = directFIR
 	eng := session.NewEngine(dev, cfg)
 	ch := event.NewChan(1024)
 	done := make(chan struct{})
@@ -252,7 +295,7 @@ func runSingle(dev *core.Device, sub *physio.Subject, duration float64, link *ra
 // over the radio link as they are emitted; every other session counts
 // toward the aggregate. With health eviction armed the engine cuts the
 // dead streams and the run reports the load it shed.
-func runFleet(dev *core.Device, n, workers, dead int, duration float64, health session.HealthConfig, link *radio.Link, conn net.Conn, wlog *wal.Log, legacyRefilter bool) {
+func runFleet(dev *core.Device, n, workers, dead int, duration float64, health session.HealthConfig, link *radio.Link, conn net.Conn, wlog *wal.Log, legacyRefilter, directFIR bool) {
 	if dead > n {
 		dead = n
 	}
@@ -262,6 +305,7 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 	cfg.Health = health
 	cfg.WAL = wlog
 	cfg.Stream.LegacyRefilter = legacyRefilter
+	cfg.Stream.DirectFIR = directFIR
 
 	var countMu sync.Mutex
 	rates := make([]float64, 0, n) // per-session accept rates at close
@@ -428,6 +472,11 @@ func runFleet(dev *core.Device, n, workers, dead int, duration float64, health s
 	engine := "rolling-cache refilter"
 	if legacyRefilter {
 		engine = "legacy windowed refilter"
+	}
+	if directFIR {
+		engine += ", direct FIR"
+	} else {
+		engine += ", overlap-save FIR"
 	}
 	fmt.Printf("fleet: %d sessions x %.0f s processed in %.2f s wall (%.0fx realtime), %d beats (%.0f beats/s)\n",
 		n, duration, elapsed.Seconds(),

@@ -1,0 +1,131 @@
+package bioimp
+
+import (
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/physio"
+)
+
+// NoiseBank pre-synthesizes the unit-std noise tracks of one subject's
+// protocol sweep so measurement cells that share a band reuse one
+// stream. The study protocol measures every subject at 4-5 injection
+// frequencies per position, and the synthesized noise differs between
+// those cells only by its calibrated standard deviation — the band
+// shaping (ziggurat draws, SOS pass, exact-std rescale over a
+// full-length buffer) is identical work repeated per cell. The bank
+// extends the spirit of physio's bandDesignCache from the filter design
+// to the filtered-noise state itself: 13 synthesized streams per
+// subject (3 positions x 4 device tracks + 1 reference track) replace
+// the ~65 per-cell syntheses of a full sweep, and each cell applies its
+// exact sigma as a scalar multiply at mix time.
+//
+// Determinism: every track is seeded only from the subject seed and the
+// position, so a bank is a pure function of the subject — independent
+// of frequency order, worker count or how many cells consume it. The
+// reference track and the device tracks come from disjoint seed streams
+// (as the per-cell generators did), keeping the reference/device
+// correlation free of shared-noise bias. Tracks are read-only after
+// construction and safe to share across goroutines.
+type NoiseBank struct {
+	// RefWhite is the thoracic reference instrument noise at unit
+	// nominal std.
+	RefWhite []float64
+	// Per-position device tracks, indexed by Position-1.
+	Artifact [3][]float64 // respiratory/postural band (0.05-0.9 Hz), unit empirical std
+	Contact  [3][]float64 // ICG-band contact noise (2-10 Hz), unit empirical std
+	DevWhite [3][]float64 // device instrument noise, unit nominal std
+	EMG      [3][]float64 // touch-ECG EMG band (20-95 Hz), unit empirical std
+}
+
+// NewNoiseBank synthesizes the shared tracks for one subject at the
+// given recording length and sampling rate.
+func NewNoiseBank(s *physio.Subject, n int, fs float64) *NoiseBank {
+	b := &NoiseBank{
+		RefWhite: physio.WhiteNoise(physio.NewRNG(s.Seed*7907), n, 1),
+	}
+	for pi := 0; pi < 3; pi++ {
+		// One rng per position, drawing the four tracks in a fixed order,
+		// mirrors the per-cell generators' single-rng draw sequence.
+		rng := physio.NewRNG(s.Seed*104729 + int64(pi+1))
+		b.Artifact[pi] = physio.BandNoise(rng, n, fs, 0.05, 0.9, 1)
+		b.Contact[pi] = physio.BandNoise(rng, n, fs, 2.0, 10.0, 1)
+		b.DevWhite[pi] = physio.WhiteNoise(rng, n, 1)
+		b.EMG[pi] = physio.BandNoise(rng, n, fs, 20, 95, 1)
+	}
+	return b
+}
+
+// MeasureReferenceWith is MeasureReference drawing the instrument noise
+// from the bank's shared reference track instead of synthesizing a
+// fresh stream: one pass mixes base, gained physiology and scaled noise
+// into the output buffer. MeasureReference itself is untouched (its
+// per-cell draws are pinned by goldens); the bank variant is the study
+// sweep's path.
+func MeasureReferenceWith(bank *NoiseBank, s *physio.Subject, rec *physio.Recording, ins Instrument, freq float64) *Measurement {
+	n := len(rec.DZ)
+	base := MeasuredZ0(s, ins, PathThoracic, freq)
+	g := ins.Gain(freq)
+	z := make([]float64, n)
+	w := bank.RefWhite
+	for i := 0; i < n; i++ {
+		z[i] = base + g*(rec.DZ[i]+rec.Resp[i]) + ins.NoiseStd*w[i]
+	}
+	return &Measurement{
+		Subject: s.ID, Freq: freq, Position: Position1, Path: PathThoracic,
+		FS: rec.FS, Z: z, ECG: dsp.Clone(rec.ECG), BaseZ: base,
+	}
+}
+
+// MeasureDeviceWith is MeasureDevice drawing all four noise components
+// from the bank's per-position shared tracks. The cell's calibration is
+// unchanged — sigma_n still comes from the position's correlation
+// target via sigma_n = sigma_s*sqrt(1/r^2-1), and the band tracks carry
+// exactly unit empirical std, so the scalar mix reproduces the exact-std
+// calibration of the per-cell path — but the synthesis cost is paid
+// once per subject instead of once per (frequency, position) cell.
+func MeasureDeviceWith(bank *NoiseBank, s *physio.Subject, rec *physio.Recording, ins Instrument, freq float64, pos Position) *Measurement {
+	n := len(rec.DZ)
+	pi := int(pos) - 1
+	if pi < 0 || pi > 2 {
+		pi = 0
+	}
+	shift := s.PosMeanScale[pi] - 1
+	kf := 1 + 0.15*math.Log10(freq/50e3)
+	if kf < 0.5 {
+		kf = 0.5
+	}
+	base := MeasuredZ0(s, ins, PathHandToHand, freq) * (1 + shift*kf)
+	g := ins.Gain(freq)
+	coupling := cardiacCoupling * g
+
+	// Clean coupled physiological signal; the buffer becomes Z after the
+	// mix below.
+	signal := make([]float64, n)
+	for i := 0; i < n; i++ {
+		signal[i] = coupling * (rec.DZ[i] + rec.Resp[i])
+	}
+	sigmaS := dsp.Std(signal)
+	r := s.PosCorrTarget[pi]
+	var sigmaN float64
+	if r > 0 && r < 1 {
+		sigmaN = sigmaS * math.Sqrt(1/(r*r)-1)
+	}
+	sigmaC := 0.004 * s.PosMotion[pi]
+	art, con, w := bank.Artifact[pi], bank.Contact[pi], bank.DevWhite[pi]
+	for i := 0; i < n; i++ {
+		signal[i] += base + sigmaN*art[i] + sigmaC*con[i] + ins.NoiseStd*w[i]
+	}
+
+	sigmaE := 0.008 * s.PosMotion[pi]
+	emg := bank.EMG[pi]
+	ecg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ecg[i] = sigmaE*emg[i] + 0.6*rec.ECG[i]
+	}
+
+	return &Measurement{
+		Subject: s.ID, Freq: freq, Position: pos, Path: PathHandToHand,
+		FS: rec.FS, Z: signal, ECG: ecg, BaseZ: base, ArtifactN: sigmaN,
+	}
+}

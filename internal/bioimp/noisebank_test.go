@@ -1,0 +1,80 @@
+package bioimp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/physio"
+)
+
+func TestNoiseBankDeterministicAndUnitStd(t *testing.T) {
+	s := testSubject()
+	a := NewNoiseBank(s, 2000, 250)
+	b := NewNoiseBank(s, 2000, 250)
+	for i := range a.RefWhite {
+		if a.RefWhite[i] != b.RefWhite[i] {
+			t.Fatal("bank nondeterministic")
+		}
+	}
+	for pi := 0; pi < 3; pi++ {
+		for i := range a.Artifact[pi] {
+			if a.Artifact[pi][i] != b.Artifact[pi][i] || a.EMG[pi][i] != b.EMG[pi][i] {
+				t.Fatal("bank nondeterministic")
+			}
+		}
+		// Band tracks carry exactly unit empirical std (rescaleStd), the
+		// white tracks unit nominal std.
+		for _, track := range [][]float64{a.Artifact[pi], a.Contact[pi], a.EMG[pi]} {
+			if got := dsp.Std(track); math.Abs(got-1) > 1e-9 {
+				t.Fatalf("band track std = %g, want exactly 1", got)
+			}
+		}
+		if got := dsp.Std(a.DevWhite[pi]); math.Abs(got-1) > 0.1 {
+			t.Fatalf("white track std = %g", got)
+		}
+		// Positions must not share a stream.
+		if pi > 0 && dsp.Pearson(a.Artifact[pi], a.Artifact[0]) > 0.5 {
+			t.Fatal("positions share artifact noise")
+		}
+	}
+	// Reference and device noise must be uncorrelated: shared noise
+	// would bias the reference/device Pearson targets upward.
+	for pi := 0; pi < 3; pi++ {
+		if r := dsp.Pearson(a.RefWhite, a.DevWhite[pi]); math.Abs(r) > 0.1 {
+			t.Fatalf("ref/dev white correlated: %g", r)
+		}
+	}
+}
+
+// TestMeasureWithBankKeepsCalibration pins the bank variants to the
+// same statistical contract as the per-cell generators: the measured
+// reference/device correlation stays near the position's Tables II-IV
+// target, and the artifact std matches the sigma_n calibration exactly.
+func TestMeasureWithBankKeepsCalibration(t *testing.T) {
+	for _, id := range []int{1, 4} {
+		sub, _ := physio.SubjectByID(id)
+		s := &sub
+		rec := s.Generate(physio.DefaultGenConfig())
+		bank := NewNoiseBank(s, len(rec.DZ), rec.FS)
+		ref := MeasureReferenceWith(bank, s, rec, TraditionalInstrument(), 50e3)
+		refCell := MeasureReference(s, rec, TraditionalInstrument(), 50e3)
+		// Same base, same physiology: only the noise draws differ.
+		if math.Abs(ref.MeanZ()-refCell.MeanZ()) > 0.1 {
+			t.Errorf("subject %d: bank ref mean %g vs cell %g", id, ref.MeanZ(), refCell.MeanZ())
+		}
+		for pi, pos := range Positions() {
+			dev := MeasureDeviceWith(bank, s, rec, TouchInstrument(), 50e3, pos)
+			devCell := MeasureDevice(s, rec, TouchInstrument(), 50e3, pos)
+			if dev.BaseZ != devCell.BaseZ || dev.ArtifactN != devCell.ArtifactN {
+				t.Fatalf("subject %d %v: calibration drifted: base %g/%g sigmaN %g/%g",
+					id, pos, dev.BaseZ, devCell.BaseZ, dev.ArtifactN, devCell.ArtifactN)
+			}
+			r := dsp.Pearson(ref.Z, dev.Z)
+			target := s.PosCorrTarget[pi]
+			if math.Abs(r-target) > 0.09 {
+				t.Errorf("subject %d %v: r = %.4f, target %.4f", id, pos, r, target)
+			}
+		}
+	}
+}

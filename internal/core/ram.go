@@ -54,6 +54,12 @@ func BatchRAM(fs, seconds float64) RAMBudget {
 // bounded history rings (QRS search-back and refinement, ICG beat
 // history plus the per-beat refiltering context) whose sizes follow the
 // stream.go implementation at firmware float32 widths.
+//
+// The model describes the MCU deployment profile, which pins the ECG
+// band-pass to the direct recurrence (StreamConfig.DirectFIR): the
+// server-side overlap-save engine adds an FFT working set (~10 KB of
+// carry block, spectra and twiddles per stream) that buys 2x throughput
+// on wide kernels but has no place in a 48 KB budget.
 func StreamingRAM(fs float64, sc StreamConfig) RAMBudget {
 	const sampleBytes = 4
 	sc = sc.withDefaults()

@@ -115,6 +115,12 @@ type StreamConfig struct {
 	// cache (icg.Delineator.SetLegacyRefilter) — the benchmark baseline
 	// for the cache, kept for A/B comparison.
 	LegacyRefilter bool
+	// DirectFIR pins the streaming zero-phase ECG band-pass to the
+	// direct per-sample recurrence instead of the block-carried
+	// overlap-save engine (dsp.NewZeroPhaseFIRStreamDirect): the MCU
+	// deployment profile, which has no FFT working set in its RAM model
+	// (see StreamingRAM), and the A/B baseline for the crossover.
+	DirectFIR bool
 }
 
 // DefaultStreamConfig returns the firmware defaults.
@@ -182,11 +188,18 @@ func (d *Device) NewStreamer(sc StreamConfig) *Streamer {
 	if d.gate != nil {
 		gate = d.gate.NewStream()
 	}
+	ecgStream := bank.ecgChain.NewStream()
+	if sc.DirectFIR && !d.cfg.CausalFilters {
+		// MCU profile / A/B baseline: same chain, FIR stage pinned to the
+		// direct engine. The chain definition still lives in buildChains;
+		// only the engine choice differs, never the alignment or edges.
+		ecgStream = Chain{baselineStage{cfg: bank.blCfg}, firZeroPhaseDirectStage{f: bank.ecgFIR}}.NewStream()
+	}
 	return &Streamer{
 		belowSince: -1,
 		dev:        d,
 		fs:         fs,
-		ecgStream:  bank.ecgChain.NewStream(),
+		ecgStream:  ecgStream,
 		icgStream:  icgStream,
 		pt:         pt,
 		delin:      delin,

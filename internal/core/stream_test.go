@@ -108,6 +108,51 @@ func TestStreamerLatency(t *testing.T) {
 	}
 }
 
+// TestStreamerDirectFIRParity pins the DirectFIR A/B switch: the direct
+// recurrence and the overlap-save engine compute the same conditioning
+// to FFT rounding, so the two configurations must deliver the same
+// beats; and the overlap-save engine's block-emission lag on the ECG
+// side must stay hidden behind the ICG delineation context, leaving the
+// reported Latency unchanged.
+func TestStreamerDirectFIRParity(t *testing.T) {
+	s, _ := physio.SubjectByID(3)
+	d := device(t, nil)
+	acq, err := d.Acquire(&s, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(direct bool) []hemo.BeatParams {
+		sc := DefaultStreamConfig()
+		sc.DirectFIR = direct
+		st := d.NewStreamer(sc)
+		var out []hemo.BeatParams
+		for pos := 0; pos < len(acq.ECG); pos += 200 {
+			end := pos + 200
+			if end > len(acq.ECG) {
+				end = len(acq.ECG)
+			}
+			out = append(out, st.Push(acq.ECG[pos:end], acq.Z[pos:end])...)
+		}
+		return append(out, st.Flush()...)
+	}
+	os, direct := run(false), run(true)
+	if len(os) == 0 || len(os) != len(direct) {
+		t.Fatalf("overlap-save %d beats, direct %d", len(os), len(direct))
+	}
+	for i := range os {
+		if math.Abs(os[i].TimeS-direct[i].TimeS) > 1e-9 ||
+			math.Abs(os[i].PEP-direct[i].PEP) > 1e-9 ||
+			math.Abs(os[i].LVET-direct[i].LVET) > 1e-9 {
+			t.Fatalf("beat %d differs between engines: %+v vs %+v", i, os[i], direct[i])
+		}
+	}
+	scD := DefaultStreamConfig()
+	scD.DirectFIR = true
+	if lo, ld := d.NewStreamer(DefaultStreamConfig()).Latency(), d.NewStreamer(scD).Latency(); lo != ld {
+		t.Errorf("overlap-save changed Latency: %g vs direct %g", lo, ld)
+	}
+}
+
 func TestStreamerPanicsOnLengthMismatch(t *testing.T) {
 	d := device(t, nil)
 	st := d.NewStreamer(DefaultStreamConfig())

@@ -76,6 +76,26 @@ func BenchmarkZeroPhaseFIRStream30s(b *testing.B) {
 	}
 }
 
+// BenchmarkZeroPhaseFIRStream30sDirect is the same path pinned to the
+// direct per-sample recurrence (the pre-PR-8 engine and the MCU
+// profile): the A/B baseline for the streaming overlap-save crossover.
+func BenchmarkZeroPhaseFIRStream30sDirect(b *testing.B) {
+	f := benchFIR(b, 33)
+	x := benchSignal(7500)
+	s := NewZeroPhaseFIRStreamDirect(f)
+	dst := make([]float64, 0, len(x))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		dst = dst[:0]
+		for pos := 0; pos < len(x); pos += 250 {
+			dst = s.Push(dst, x[pos:pos+250])
+		}
+		dst = s.Flush(dst)
+	}
+}
+
 // BenchmarkFiltFiltWide251 is the zero-phase double pass over the wide
 // filter — two overlap-save convolutions plus the reflection padding.
 func BenchmarkFiltFiltWide251(b *testing.B) {

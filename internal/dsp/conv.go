@@ -125,6 +125,46 @@ func useFFTConv(n, k int) bool {
 	return fftPerOut*1.5 < directPerOut
 }
 
+// streamFFTSizeForTaps picks the overlap-save block size for the
+// STREAMING engine. It is deliberately smaller than the batch
+// fftSizeForTaps: a streaming block is only computed once step =
+// fftN-(k-1) input samples have accumulated, so the block size bounds
+// the kernel's worst-case emission lag (Lookahead grows by step-1).
+// 4x the overlap keeps that lag under a second at the paper's rate
+// while giving up only ~10% of the larger block's per-output savings.
+func streamFFTSizeForTaps(k int) int {
+	n := NextPow2(4 * (k - 1))
+	if n < 128 {
+		n = 128
+	}
+	if n > 1<<11 {
+		n = 1 << 11
+	}
+	if min := NextPow2(2 * k); n < min {
+		n = min
+	}
+	return n
+}
+
+// useFFTStream is the streaming-engine crossover. Unlike useFFTConv it
+// carries no handicap on the FFT path: the streaming direct engine
+// already pays a history+chunk copy into its work buffer per push, and
+// measurement (BENCHMARKS.md, PR 8) shows the packed-real block engine
+// sustains a higher flop rate than the model's batch handicap assumed —
+// the 65-tap zero-phase ECG composite kernel, right at the batch
+// model's crossover, runs 1.5x faster under streaming overlap-save.
+func useFFTStream(k int) bool {
+	if k < 48 {
+		return false
+	}
+	N := streamFFTSizeForTaps(k)
+	M := N / 2
+	lg := bits.Len(uint(M)) - 1
+	step := N - (k - 1)
+	fftPerOut := float64(20*M*lg+30*M) / float64(step)
+	return fftPerOut < float64(2*k)
+}
+
 // convPlan caches everything the overlap-save engine needs for one tap
 // set: the half-spectrum of the taps and a reusable half-size block
 // buffer. A plan is built lazily by the first FFT-path filtering call (or
@@ -229,15 +269,20 @@ func packEdge(x []float64, p0 int) complex128 {
 // merge), so the spectrum is never materialized and the whole product is
 // one pass over half the bins.
 func (p *convPlan) mulSpectrum(blk []complex128) {
-	m := p.half
+	mulSpectrumPacked(blk, p.h, p.wr, p.half)
+}
+
+// mulSpectrumPacked is the engine behind mulSpectrum, shared with the
+// streaming overlap-save kernel (FIRStream's block engine): blk is the
+// packed half-size transform of a real block, h the tap half-spectrum
+// (inverse normalization folded in), wr the split twiddles, m = fftN/2.
+func mulSpectrumPacked(blk, h, wr []complex128, m int) {
 	// DC and Nyquist bins are real; z[0] carries both.
 	x0 := real(blk[0]) + imag(blk[0])
 	xm := real(blk[0]) - imag(blk[0])
-	y0 := x0 * real(p.h[0])
-	ym := xm * real(p.h[m])
+	y0 := x0 * real(h[0])
+	ym := xm * real(h[m])
 	blk[0] = complex((y0+ym)*0.5, (y0-ym)*0.5)
-	h := p.h
-	wr := p.wr
 	for k := 1; k <= m/2; k++ {
 		a, b := blk[k], conjC(blk[m-k])
 		fe := scaleC(a+b, 0.5)

@@ -1,0 +1,116 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// legacySmoothDeriv3 is the literal four-pass composition the fused
+// kernels replace; the parity tests hold them bit-identical.
+func legacySmoothDeriv3(x []float64, fs float64, savgol bool, kOrM int) (d1, d2, d3 []float64) {
+	var sm []float64
+	if savgol {
+		sm = SavGolSmooth(x, kOrM)
+	} else {
+		sm = MovingAverageWith(nil, x, kOrM)
+	}
+	if len(sm) == 0 {
+		return nil, nil, nil
+	}
+	d1 = DerivativeTo(make([]float64, len(sm)), sm, fs)
+	d2 = DerivativeTo(make([]float64, len(d1)), d1, fs)
+	d3 = DerivativeTo(make([]float64, len(d2)), d2, fs)
+	return
+}
+
+func cmpBits(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d]: %v != %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+func TestSmoothDeriv3FusedMatchesLegacyBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	a := new(Arena)
+	fss := []float64{250, 173.5}
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 12, 31, 75, 300} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 2*rng.Float64() - 1
+		}
+		for _, fs := range fss {
+			for _, k := range []int{1, 2, 3, 4, 5, 9, 16} {
+				w1, w2, w3 := legacySmoothDeriv3(x, fs, false, k)
+				a.Reset()
+				g1, g2, g3 := SmoothDeriv3MovAvgWith(a, x, k, fs)
+				cmpBits(t, "movavg d1", g1, w1)
+				cmpBits(t, "movavg d2", g2, w2)
+				cmpBits(t, "movavg d3", g3, w3)
+				// Heap path too.
+				h1, h2, h3 := SmoothDeriv3MovAvgWith(nil, x, k, fs)
+				cmpBits(t, "movavg heap d1", h1, w1)
+				cmpBits(t, "movavg heap d2", h2, w2)
+				cmpBits(t, "movavg heap d3", h3, w3)
+			}
+			for _, m := range []int{0, 1, 2, 3, 5, 8} {
+				w1, w2, w3 := legacySmoothDeriv3(x, fs, true, m)
+				a.Reset()
+				g1, g2, g3 := SmoothDeriv3SavGolWith(a, x, m, fs)
+				cmpBits(t, "savgol d1", g1, w1)
+				cmpBits(t, "savgol d2", g2, w2)
+				cmpBits(t, "savgol d3", g3, w3)
+			}
+		}
+	}
+	// Degenerate inputs mirror the legacy chain's nil results.
+	if d1, d2, d3 := SmoothDeriv3MovAvgWith(nil, nil, 3, 250); d1 != nil || d2 != nil || d3 != nil {
+		t.Error("empty input should yield nils")
+	}
+	if d1, _, _ := SmoothDeriv3MovAvgWith(nil, []float64{1, 2}, 0, 250); d1 != nil {
+		t.Error("k<1 should yield nils")
+	}
+}
+
+func BenchmarkSmoothDeriv3(b *testing.B) {
+	const n = 300 // a beat segment plus margin at 250 Hz
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 2*rng.Float64() - 1
+	}
+	a := new(Arena)
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a.Reset()
+			sm := MovingAverageWith(a, x, 4)
+			d1 := DerivativeTo(a.F64(n), sm, 250)
+			d2 := DerivativeTo(a.F64(n), d1, 250)
+			d3 := DerivativeTo(a.F64(n), d2, 250)
+			_ = d3
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a.Reset()
+			_, _, d3 := SmoothDeriv3MovAvgWith(a, x, 4, 250)
+			_ = d3
+		}
+	})
+	b.Run("fused-savgol", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a.Reset()
+			_, _, d3 := SmoothDeriv3SavGolWith(a, x, 3, 250)
+			_ = d3
+		}
+	})
+}

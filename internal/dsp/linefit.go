@@ -39,8 +39,15 @@ func FitLine(xs, ys []float64) (Line, bool) {
 
 // FitLineIndices fits a line to (float64(idx[i]), y[idx[i]]).
 func FitLineIndices(y []float64, idx []int) (Line, bool) {
-	xs := make([]float64, len(idx))
-	ys := make([]float64, len(idx))
+	return FitLineIndicesWith(nil, y, idx)
+}
+
+// FitLineIndicesWith is FitLineIndices drawing the coordinate scratch
+// from an arena (nil falls back to the heap). This runs on every beat
+// of the delineator's B rule.
+func FitLineIndicesWith(a *Arena, y []float64, idx []int) (Line, bool) {
+	buf := arenaF64(a, 2*len(idx))
+	xs, ys := buf[:len(idx)], buf[len(idx):]
 	for i, j := range idx {
 		xs[i] = float64(j)
 		ys[i] = y[j]

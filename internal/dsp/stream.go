@@ -128,7 +128,14 @@ func (r *Ring) Reset() { r.n = 0 }
 //     of FiltFiltFIR, computed causally through the squared kernel
 //     h*reverse(h) with the same odd-reflection edge treatment, so the
 //     streamed output matches dsp.FiltFiltFIR exactly on the full
-//     signal. Lookahead k-1.
+//     signal. Lookahead k-1 (direct engine).
+//
+// Wide kernels switch the inner engine from the direct valid-mode
+// correlation to block-carried overlap-save on the packed real-input
+// FFT (see osState); the engine choice never affects WHICH outputs a
+// push emits being a pure function of the cumulative sample count, so
+// every chunking of a stream — including 1-sample pushes — produces a
+// bit-identical output sequence.
 type FIRStream struct {
 	taps []float64 // effective kernel
 	rev  []float64 // kernel reversed, for the valid-mode correlation
@@ -143,6 +150,61 @@ type FIRStream struct {
 	primed  bool
 
 	fed int // samples fed through the filter (including synthetic ones)
+
+	os *osState // overlap-save engine for wide kernels (nil = direct)
+}
+
+// osState is the streaming overlap-save engine: a carry buffer holding
+// the k-1 sample overlap followed by the pending (not yet transformed)
+// input, processed one fixed-size block at a time on an ABSOLUTE block
+// grid — block b always covers raw output indices [b*step, (b+1)*step),
+// regardless of how the input was chunked. A block runs exactly when
+// its last input sample arrives, so which block computes a given output
+// (and hence its floating-point value) is a pure function of the
+// cumulative input count: chunk boundaries cannot perturb the stream.
+// The final partial block (run by Flush) zero-pads the unfilled tail,
+// which is exact for the outputs it emits — a causal convolution output
+// never reads past its own index.
+type osState struct {
+	fftN int          // real block length
+	half int          // fftN/2: complex transform size
+	step int          // fresh outputs per block: fftN - (k-1)
+	km1  int          // len(taps) - 1
+	h    []complex128 // tap half-spectrum, inverse normalization folded in
+	w    []complex128 // butterfly twiddles for the half-size FFT
+	wr   []complex128 // split twiddles exp(-2*pi*i*k/fftN)
+	blk  []complex128 // half-size block workspace
+
+	carry []float64 // fftN: [0,km1) overlap, [km1,km1+pend) pending input
+	pend  int       // pending samples not yet transformed
+	base  int       // raw output index of the next block's first output
+}
+
+// enableOS switches the stream's inner engine to overlap-save. Must be
+// called at construction time, before any samples are pushed.
+func (s *FIRStream) enableOS() {
+	k := len(s.taps)
+	fftN := streamFFTSizeForTaps(k)
+	rp, _ := NewRFFTPlan(fftN) // power of two by construction
+	o := &osState{
+		fftN:  fftN,
+		half:  fftN / 2,
+		step:  fftN - (k - 1),
+		km1:   k - 1,
+		h:     make([]complex128, fftN/2+1),
+		blk:   make([]complex128, fftN/2),
+		w:     rp.w,
+		wr:    rp.wr,
+		carry: make([]float64, fftN),
+	}
+	padded := make([]float64, fftN)
+	copy(padded, s.taps)
+	rp.Forward(o.h, padded)
+	inv := 1 / float64(o.half)
+	for i := range o.h {
+		o.h[i] = scaleC(o.h[i], inv)
+	}
+	s.os = o
 }
 
 // NewFIRStream returns the causal streaming form of f.
@@ -161,6 +223,22 @@ func NewFIRSameStream(f *FIR) *FIRStream {
 // k-1 samples, with the batch path's odd-reflection padding synthesized
 // at the stream edges. Output t is emitted once input t+k-1 has arrived.
 func NewZeroPhaseFIRStream(f *FIR) *FIRStream {
+	s := newZeroPhaseFIRStream(f)
+	if useFFTStream(len(s.taps)) {
+		s.enableOS()
+	}
+	return s
+}
+
+// NewZeroPhaseFIRStreamDirect is NewZeroPhaseFIRStream pinned to the
+// direct (per-sample recurrence) engine regardless of kernel width: the
+// MCU deployment profile (no FFT working set, see core's RAM model) and
+// the -direct-fir A/B baseline in cmd/icgstream.
+func NewZeroPhaseFIRStreamDirect(f *FIR) *FIRStream {
+	return newZeroPhaseFIRStream(f)
+}
+
+func newZeroPhaseFIRStream(f *FIR) *FIRStream {
 	h := f.Taps
 	k := len(h)
 	// g = h convolved with reverse(h): the zero-phase composite kernel.
@@ -195,8 +273,19 @@ func newFIRStream(taps []float64, skip, tail, reflect int) *FIRStream {
 }
 
 // Lookahead returns the number of future input samples needed before
-// output t can be emitted.
-func (s *FIRStream) Lookahead() int { return s.tailN }
+// output t can be emitted. The overlap-save engine emits in blocks, so
+// its worst-case lag adds the block advance: output t waits for its
+// block's last input, up to step-1 samples past the direct engine's
+// requirement.
+func (s *FIRStream) Lookahead() int {
+	if s.os != nil {
+		la := s.os.step + s.skip - s.reflect - 1
+		if la > s.tailN {
+			return la
+		}
+	}
+	return s.tailN
+}
 
 // Shift returns 0: every FIRStream alignment emits outputs on the input
 // timeline (causal alignment included — its group delay is compensated
@@ -211,6 +300,9 @@ func (s *FIRStream) run(dst []float64, xs []float64) []float64 {
 	m := len(xs)
 	if m == 0 {
 		return dst
+	}
+	if s.os != nil {
+		return s.osRun(dst, xs)
 	}
 	k := len(s.rev)
 	s.work = append(append(s.work[:0], s.hist...), xs...)
@@ -232,6 +324,76 @@ func (s *FIRStream) run(dst []float64, xs []float64) []float64 {
 	convSeqInto(dst[base:], s.rev, s.work[start:])
 	s.fed += m
 	s.hist = append(s.hist[:0], s.work[len(s.work)-(k-1):]...)
+	return dst
+}
+
+// osRun feeds samples into the overlap-save carry buffer, running one
+// block each time step pending samples have accumulated. Raw output
+// index == raw input index (causal alignment), so the absolute block
+// grid is a pure function of the cumulative fed count.
+func (s *FIRStream) osRun(dst []float64, xs []float64) []float64 {
+	o := s.os
+	for len(xs) > 0 {
+		n := copy(o.carry[o.km1+o.pend:], xs)
+		o.pend += n
+		xs = xs[n:]
+		s.fed += n
+		if o.pend == o.step {
+			dst = s.osBlock(dst, o.step)
+			// Slide: the block's last km1 inputs become the next overlap.
+			copy(o.carry[:o.km1], o.carry[o.step:])
+			o.base += o.step
+			o.pend = 0
+		}
+	}
+	return dst
+}
+
+// osBlock transforms the current carry block and appends its first
+// emitN fresh outputs (raw indices [base, base+emitN)), dropping those
+// below the alignment skip. The carry buffer is left untouched.
+func (s *FIRStream) osBlock(dst []float64, emitN int) []float64 {
+	o := s.os
+	blk := o.blk
+	carry := o.carry
+	for c := range blk {
+		blk[c] = complex(carry[2*c], carry[2*c+1])
+	}
+	fftWith(blk, o.w)
+	mulSpectrumPacked(blk, o.h, o.wr, o.half)
+	ifftNoScale(blk, o.w)
+	lo := o.base
+	if lo < s.skip {
+		lo = s.skip
+	}
+	cnt := o.base + emitN - lo
+	if cnt <= 0 {
+		return dst
+	}
+	base := len(dst)
+	if cap(dst)-base < cnt {
+		grown := make([]float64, base, base+cnt+base/2)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+cnt]
+	out := dst[base:]
+	// Valid outputs sit at real block positions [km1, fftN); unpack the
+	// complex pairs for raw indices [lo, lo+cnt).
+	p := o.km1 + (lo - o.base)
+	t := 0
+	if p&1 == 1 {
+		out[0] = imag(blk[p>>1])
+		t = 1
+	}
+	for ; t+1 < cnt; t += 2 {
+		c := blk[(p+t)>>1]
+		out[t] = real(c)
+		out[t+1] = imag(c)
+	}
+	if t < cnt {
+		out[t] = real(blk[(p+t)>>1])
+	}
 	return dst
 }
 
@@ -342,14 +504,31 @@ func (s *FIRStream) Flush(dst []float64) []float64 {
 	post := make([]float64, s.tailN)
 	if s.reflect > 0 {
 		// ext[n+i] = 2 x[n-1] - x[n-2-i]; the raw tail is the history
-		// buffer's suffix.
+		// buffer's suffix. Under overlap-save the last k-1 fed samples
+		// live in the carry buffer (overlap ++ pending, both zero-backed
+		// at the stream start, exactly like hist).
 		h := s.hist
+		if o := s.os; o != nil {
+			h = o.carry[o.pend : o.pend+o.km1]
+		}
 		last := h[len(h)-1]
 		for i := 0; i < s.tailN; i++ {
 			post[i] = 2*last - h[len(h)-2-i]
 		}
 	}
-	return s.run(dst, post)
+	dst = s.run(dst, post)
+	if o := s.os; o != nil && o.pend > 0 {
+		// Final partial block: zero-pad the unfilled tail (exact for the
+		// pend outputs emitted — causal outputs never read past their own
+		// index) and emit the stragglers.
+		for i := o.km1 + o.pend; i < len(o.carry); i++ {
+			o.carry[i] = 0
+		}
+		dst = s.osBlock(dst, o.pend)
+		o.base += o.pend
+		o.pend = 0
+	}
+	return dst
 }
 
 // Reset returns the stream to its initial state.
@@ -359,6 +538,13 @@ func (s *FIRStream) Reset() {
 	s.primed = s.reflect == 0
 	for i := range s.hist {
 		s.hist[i] = 0
+	}
+	if o := s.os; o != nil {
+		for i := range o.carry {
+			o.carry[i] = 0
+		}
+		o.pend = 0
+		o.base = 0
 	}
 }
 

@@ -1,0 +1,131 @@
+package icg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+// FuzzDetectBeatFusedParity pins the delineator's fused smooth+deriv
+// kernel (dsp.SmoothDeriv3MovAvgWith / SmoothDeriv3SavGolWith) against
+// the literal legacy composition — smooth, then three DerivativeTo
+// passes — under fuzzing: for fuzz-chosen signals, lengths, window
+// widths and both smoothing modes the two must be bit-identical, so
+// switching DetectBeatInto to the fused pass cannot move a single
+// detected point. The alloc-free sign-pattern matcher is held to its
+// run-list reference the same way, and a full DetectBeatInto call on
+// the fuzzed segment must stay panic-free and deterministic.
+func FuzzDetectBeatFusedParity(f *testing.F) {
+	f.Add(int64(1), uint8(4), false, uint16(300))
+	f.Add(int64(-7), uint8(0), true, uint16(75))
+	f.Add(int64(99), uint8(31), true, uint16(2))
+	f.Add(int64(1234), uint8(9), false, uint16(1000))
+	f.Fuzz(func(t *testing.T, seed int64, widthSel uint8, savgol bool, nSel uint16) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nSel)%1200
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 2*rng.Float64() - 1
+		}
+		fs := 250.0
+
+		cmp := func(name string, got, want []float64) {
+			t.Helper()
+			if len(got) != len(want) {
+				t.Fatalf("%s: len %d, want %d", name, len(got), len(want))
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s[%d]: %v != %v", name, i, got[i], want[i])
+				}
+			}
+		}
+
+		// Legacy composition, exactly as DetectBeatInto ran it pre-fusion.
+		var sm []float64
+		var g1, g2, g3 []float64
+		a := new(dsp.Arena)
+		if savgol {
+			m := int(widthSel)/2 + 1
+			sm = dsp.SavGolSmooth(x, m)
+			g1, g2, g3 = dsp.SmoothDeriv3SavGolWith(a, x, m, fs)
+		} else {
+			k := int(widthSel)%32 + 1
+			sm = dsp.MovingAverageWith(nil, x, k)
+			g1, g2, g3 = dsp.SmoothDeriv3MovAvgWith(a, x, k, fs)
+		}
+		w1 := dsp.DerivativeTo(make([]float64, len(sm)), sm, fs)
+		w2 := dsp.DerivativeTo(make([]float64, len(w1)), w1, fs)
+		w3 := dsp.DerivativeTo(make([]float64, len(w2)), w2, fs)
+		cmp("d1", g1, w1)
+		cmp("d2", g2, w2)
+		cmp("d3", g3, w3)
+
+		// Sign-pattern matcher vs the run-list reference on the fuzzed d2.
+		lo := int(widthSel) % (n + 4)
+		hi := lo + int(nSel)%(n+8)
+		if got, want := hasSignPattern(w2, lo, hi), refSignPattern(w2, lo, hi); got != want {
+			t.Fatalf("hasSignPattern(%d,%d) = %v, reference %v", lo, hi, got, want)
+		}
+
+		// The full delineator must not panic on fuzzed input and must be
+		// deterministic: two runs (fresh arena each) agree exactly.
+		cfg := DefaultDetect(fs)
+		cfg.UseSavGol = savgol
+		var bpA, bpB BeatPoints
+		errA := DetectBeatInto(&bpA, new(dsp.Arena), x, 0, n, -1, cfg)
+		errB := DetectBeatInto(&bpB, new(dsp.Arena), x, 0, n, -1, cfg)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("nondeterministic error: %v vs %v", errA, errB)
+		}
+		if errA == nil && bpA != bpB {
+			t.Fatalf("nondeterministic points: %+v vs %+v", bpA, bpB)
+		}
+	})
+}
+
+// refSignPattern is the original run-list form of hasSignPattern, kept
+// as the fuzz oracle for the streaming matcher.
+func refSignPattern(d2 []float64, lo, hi int) bool {
+	lo = dsp.ClampInt(lo, 0, len(d2))
+	hi = dsp.ClampInt(hi, 0, len(d2))
+	var runs []int
+	runLen := 0
+	cur := 0
+	for i := lo; i < hi; i++ {
+		s := 0
+		if d2[i] > 0 {
+			s = 1
+		} else if d2[i] < 0 {
+			s = -1
+		}
+		if s == 0 {
+			continue
+		}
+		if s == cur {
+			runLen++
+			continue
+		}
+		if cur != 0 && runLen >= 2 {
+			runs = append(runs, cur)
+		}
+		cur = s
+		runLen = 1
+	}
+	if cur != 0 && runLen >= 2 {
+		runs = append(runs, cur)
+	}
+	want := []int{1, -1, 1, -1}
+	w := 0
+	for _, r := range runs {
+		if r == want[w] {
+			w++
+			if w == len(want) {
+				return true
+			}
+		}
+	}
+	return false
+}

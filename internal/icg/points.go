@@ -131,15 +131,16 @@ func DetectBeatInto(bp *BeatPoints, a *dsp.Arena, icg []float64, rLo, rHi, tPeak
 	if smoothK < 1 {
 		smoothK = 1
 	}
-	var smooth []float64
+	// The point rules only consume derivatives of the smoothed beat, so
+	// the smoothed track itself is never materialized: the fused kernel
+	// emits d1/d2/d3 in one pipelined pass (bit-identical to the legacy
+	// smooth -> DerivativeTo x3 chain; see dsp/fused.go).
+	var d1, d2, d3 []float64
 	if cfg.UseSavGol {
-		smooth = dsp.SavGolSmooth(seg, smoothK/2+1)
+		d1, d2, d3 = dsp.SmoothDeriv3SavGolWith(a, seg, smoothK/2+1, fs)
 	} else {
-		smooth = dsp.MovingAverageWith(a, seg, smoothK)
+		d1, d2, d3 = dsp.SmoothDeriv3MovAvgWith(a, seg, smoothK, fs)
 	}
-	d1 := dsp.DerivativeTo(arenaF64(a, len(smooth)), smooth, fs)
-	d2 := dsp.DerivativeTo(arenaF64(a, len(d1)), d1, fs)
-	d3 := dsp.DerivativeTo(arenaF64(a, len(d2)), d2, fs)
 
 	// --- C point: maximum of the ICG inside the beat, searched within
 	// the physiological systolic window after R (PEP of 40-160 ms plus
@@ -262,7 +263,7 @@ func detectB(a *dsp.Arena, seg, d1, d2, d3 []float64, c int, cAmp, fs float64, r
 	for i, j := 0, len(idx)-1; i < j; i, j = i+1, j-1 {
 		idx[i], idx[j] = idx[j], idx[i]
 	}
-	line, ok := dsp.FitLineIndices(seg, idx)
+	line, ok := dsp.FitLineIndicesWith(a, seg, idx)
 	if !ok {
 		return 0, 0, false, ErrNoUpstroke
 	}
@@ -273,7 +274,9 @@ func detectB(a *dsp.Arena, seg, d1, d2, d3 []float64, c int, cAmp, fs float64, r
 	baseLo := maxInt(foot-int(0.05*fs), 0)
 	localBase := 0.0
 	if foot > baseLo+2 {
-		localBase = dsp.Median(seg[baseLo:foot])
+		scratch := arenaF64(a, foot-baseLo)
+		copy(scratch, seg[baseLo:foot])
+		localBase = dsp.MedianInPlace(scratch)
 	}
 	if localBase > 0.3*cAmp { // implausible baseline: fall back to zero
 		localBase = 0
@@ -344,7 +347,12 @@ func prevPersistentZeroCross(d1 []float64, start, floor int) int {
 func hasSignPattern(d2 []float64, lo, hi int) bool {
 	lo = dsp.ClampInt(lo, 0, len(d2))
 	hi = dsp.ClampInt(hi, 0, len(d2))
-	var runs []int // +1 / -1 per run
+	// Streaming subsequence matcher: each completed run (>= 2 samples)
+	// is tested against the next wanted sign the moment it ends, so no
+	// run list is materialized — this runs once per candidate beat and
+	// used to be the only per-beat heap allocation of the B rule.
+	want := [4]int{1, -1, 1, -1}
+	w := 0
 	runLen := 0
 	cur := 0
 	for i := lo; i < hi; i++ {
@@ -361,27 +369,19 @@ func hasSignPattern(d2 []float64, lo, hi int) bool {
 			runLen++
 			continue
 		}
-		if cur != 0 && runLen >= 2 {
-			runs = append(runs, cur)
-		}
-		cur = s
-		runLen = 1
-	}
-	if cur != 0 && runLen >= 2 {
-		runs = append(runs, cur)
-	}
-	want := []int{1, -1, 1, -1}
-	// Subsequence search over the run signs.
-	w := 0
-	for _, r := range runs {
-		if r == want[w] {
+		if cur != 0 && runLen >= 2 && cur == want[w] {
 			w++
 			if w == len(want) {
 				return true
 			}
 		}
+		cur = s
+		runLen = 1
 	}
-	return false
+	if cur != 0 && runLen >= 2 && cur == want[w] {
+		w++
+	}
+	return w == len(want)
 }
 
 // prevLocalMinAfter returns the nearest local-minimum index of x strictly
@@ -430,8 +430,17 @@ func detrendAnchored(a *dsp.Arena, seg []float64, fs float64) {
 	if tailLen > n/3 {
 		tailLen = n / 3
 	}
-	headMed := dsp.Median(seg[:headLen])
-	tailMed := dsp.Median(seg[n-tailLen:])
+	// All per-beat storage — the two anchor-median scratch copies and,
+	// per refit iteration, the residuals, their sorted copy for the
+	// percentile, and the kept points — shares one scratch block: this
+	// runs on every beat of every window and dominated the pipeline's
+	// small-object churn.
+	buf := arenaF64(a, 4*n)
+	sorted := buf[n : 2*n]
+	copy(sorted, seg[:headLen])
+	headMed := dsp.MedianInPlace(sorted[:headLen])
+	copy(sorted, seg[n-tailLen:])
+	tailMed := dsp.MedianInPlace(sorted[:tailLen])
 	x1 := float64(headLen-1) / 2
 	x2 := float64(n-1) - float64(tailLen-1)/2
 	line := dsp.Line{}
@@ -442,13 +451,8 @@ func detrendAnchored(a *dsp.Arena, seg []float64, fs float64) {
 	// Robust refit: keep low-residual samples (the baseline), ignore the
 	// systolic deflections. The refit is quadratic so the in-beat
 	// curvature of the respiratory -dZ/dt component is captured, not just
-	// its mean slope. All per-iteration storage (residuals, their sorted
-	// copy for the percentile, the kept points) shares one scratch block —
-	// this runs on every beat of every window and dominated the pipeline's
-	// small-object churn.
-	buf := arenaF64(a, 4*n)
+	// its mean slope.
 	res := buf[:n]
-	sorted := buf[n : 2*n]
 	kx := buf[2*n : 2*n : 3*n]
 	ky := buf[3*n : 3*n : 4*n]
 	quad := dsp.Quad{B: line.Slope, C: line.Intercept} // A = 0: the anchor line

@@ -100,7 +100,11 @@ func (s *Subject) Generate(cfg GenConfig) *Recording {
 	// 5. Respiration.
 	resp := Respiration(rng, RespConfig{Rate: s.RespRate, DepthOhm: s.RespDepth}, n, fs)
 
-	// 6. Artifacts on the measured tracks.
+	// 6. Artifacts on the measured tracks. The white components share one
+	// scratch buffer (WhiteNoiseTo) and sum into the tracks in place —
+	// same draws, same sums, three fewer full-length slices per
+	// recording.
+	var scratch []float64
 	if cfg.ECGBaselineDrift > 0 {
 		ecg = dsp.Add(ecg, BaselineWander(rng, n, fs, cfg.ECGBaselineDrift))
 	}
@@ -108,14 +112,20 @@ func (s *Subject) Generate(cfg GenConfig) *Recording {
 		ecg = dsp.Add(ecg, Powerline(rng, n, fs, cfg.PowerlineAmp))
 	}
 	if cfg.ECGNoiseStd > 0 {
-		ecg = dsp.Add(ecg, WhiteNoise(rng, n, cfg.ECGNoiseStd))
+		scratch = WhiteNoiseTo(scratch, rng, n, cfg.ECGNoiseStd)
+		for i := range ecg {
+			ecg[i] += scratch[i]
+		}
 	}
 	if cfg.MotionBurstRate > 0 && cfg.MotionBurstAmp > 0 {
 		ecg = dsp.Add(ecg, MotionBursts(rng, n, fs, cfg.MotionBurstRate, cfg.MotionBurstAmp))
 		icg = dsp.Add(icg, MotionBursts(rng, n, fs, cfg.MotionBurstRate, cfg.MotionBurstAmp))
 	}
 	if cfg.ICGNoiseStd > 0 {
-		icg = dsp.Add(icg, WhiteNoise(rng, n, cfg.ICGNoiseStd))
+		scratch = WhiteNoiseTo(scratch, rng, n, cfg.ICGNoiseStd)
+		for i := range icg {
+			icg[i] += scratch[i]
+		}
 	}
 
 	return &Recording{

@@ -17,15 +17,29 @@ import (
 // seeded by a single draw from rng, so the output is still a fixed
 // function of the caller's seed and call order.
 func WhiteNoise(rng *rand.Rand, n int, std float64) []float64 {
-	x := make([]float64, n)
+	return WhiteNoiseTo(make([]float64, n), rng, n, std)
+}
+
+// WhiteNoiseTo is WhiteNoise writing into dst (grown when shorter than
+// n): draw-for-draw identical to WhiteNoise, including leaving rng
+// untouched when std is 0, so swapping one for the other cannot move a
+// seeded recording.
+func WhiteNoiseTo(dst []float64, rng *rand.Rand, n int, std float64) []float64 {
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
 	if std == 0 {
-		return x
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
 	}
 	z := newZigRand(rng)
-	for i := range x {
-		x[i] = z.Norm() * std
+	for i := range dst {
+		dst[i] = z.Norm() * std
 	}
-	return x
+	return dst
 }
 
 // PinkNoise returns n samples of approximately 1/f noise with the given
@@ -50,19 +64,34 @@ func BandNoise(rng *rand.Rand, n int, fs, f1, f2, std float64) []float64 {
 	if n == 0 {
 		return nil
 	}
-	if std == 0 {
-		return make([]float64, n)
+	return BandNoiseTo(make([]float64, n), rng, n, fs, f1, f2, std)
+}
+
+// BandNoiseTo is BandNoise writing into dst (grown when shorter than
+// n), value-identical to BandNoise for the same rng state. The shaping
+// filter comes from bandDesignCache and the white draws, the in-place
+// SOS pass and the exact-std rescale all happen in dst, so a reused
+// buffer makes the call allocation-free.
+func BandNoiseTo(dst []float64, rng *rand.Rand, n int, fs, f1, f2, std float64) []float64 {
+	if cap(dst) < n {
+		dst = make([]float64, n)
 	}
-	white := WhiteNoise(rng, n, 1)
+	dst = dst[:n]
+	if n == 0 {
+		return dst
+	}
+	if std == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	dst = WhiteNoiseTo(dst, rng, n, 1)
 	sos, err := bandDesign(f1, f2, fs)
 	if err != nil {
-		return rescaleStd(white, std)
+		return rescaleStd(dst, std)
 	}
-	// Shape and rescale in place: the white buffer is private, and the
-	// study sweep calls this for every (subject, frequency, position)
-	// cell, so the avoided full-length copies are a measurable share of
-	// the protocol's runtime.
-	return rescaleStd(sos.FilterTo(white, white), std)
+	return rescaleStd(sos.FilterTo(dst, dst), std)
 }
 
 // BaselineWander returns a slow drift built from a few random sinusoids in

@@ -125,13 +125,21 @@ func Run(cfg Config) (*Results, error) {
 				MeanLVET: dsp.Mean(rec.Truth.LVET),
 			}
 
+			// One noise bank per subject: the 20 sweep cells below differ
+			// only in the noise's calibrated std, so the band synthesis is
+			// shared and each cell applies its sigma as a scalar mix
+			// (bioimp.NoiseBank). The bank is built inside this task and
+			// seeded off the subject alone, keeping Results byte-identical
+			// across worker counts.
+			bank := bioimp.NewNoiseBank(&sub, len(rec.DZ), rec.FS)
+
 			// Frequency sweep for Figs 6-8.
 			for fi, f := range res.Frequencies {
-				ref := bioimp.MeasureReference(&sub, rec, refIns, f)
+				ref := bioimp.MeasureReferenceWith(bank, &sub, rec, refIns, f)
 				res.RefZ0[si][fi] = ref.MeanZ()
 				var means [3]float64
 				for pi, pos := range bioimp.Positions() {
-					dev := bioimp.MeasureDevice(&sub, rec, devIns, f, pos)
+					dev := bioimp.MeasureDeviceWith(bank, &sub, rec, devIns, f, pos)
 					means[pi] = dev.MeanZ()
 					res.DevZ0[si][pi][fi] = means[pi]
 				}
@@ -141,9 +149,9 @@ func Run(cfg Config) (*Results, error) {
 			}
 
 			// Correlations at the hemodynamic frequency (Tables II-IV).
-			ref := bioimp.MeasureReference(&sub, rec, refIns, cfg.CorrFreq)
+			ref := bioimp.MeasureReferenceWith(bank, &sub, rec, refIns, cfg.CorrFreq)
 			for pi, pos := range bioimp.Positions() {
-				dev := bioimp.MeasureDevice(&sub, rec, devIns, cfg.CorrFreq, pos)
+				dev := bioimp.MeasureDeviceWith(bank, &sub, rec, devIns, cfg.CorrFreq, pos)
 				res.Correlation[si][pi] = dsp.Pearson(ref.Z, dev.Z)
 			}
 			return nil
