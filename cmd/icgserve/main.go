@@ -1,0 +1,359 @@
+// Command icgserve runs the network ingest gateway: a TCP server
+// speaking the radio-framed chunk protocol (internal/gateway),
+// multiplexing many device streams per connection into consistent-hashed
+// session.Engine shards and fanning each session's typed event stream
+// back out to its subscribers.
+//
+// Three modes:
+//
+//	icgserve [-addr HOST:PORT] [-shards N] [-workers N] [-evict-below R]
+//	    serve until SIGINT/SIGTERM, then print the load summary
+//
+//	icgserve -drive HOST:PORT [-sessions N] [-conns N] [-chunk N]
+//	         [-duration S] [-workers N] [-verify]
+//	    client fleet driver: N sessions multiplexed over -conns TCP
+//	    connections, each streaming -duration seconds of simulated touch
+//	    signal in -chunk-sample pushes, every session subscribed to its
+//	    event stream. With -verify it replays the exact same chunk-framed
+//	    stream into an identically-configured in-process engine and
+//	    demands hash-identical per-session event streams — the
+//	    determinism law across the network hop (-workers must match the
+//	    server's).
+//
+//	icgserve -selfcheck [-sessions N] [-shards N] [-workers N] [-chunk N]
+//	    one-process loopback: serve on an ephemeral port, drive, verify.
+//
+// The driver's throughput figures (sessions, beats, samples/s, drops)
+// are the BENCHMARKS.md gateway fleet numbers; backpressure engages in
+// both directions — ingest blocks on each session's bounded backlog via
+// TCP flow control, egress drops (counted) at each subscriber's bounded
+// queue — so no load level can grow a queue without bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/gateway"
+	"repro/internal/physio"
+	"repro/internal/session"
+	"repro/internal/wal"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9750", "listen address (serve) ")
+	drive := flag.String("drive", "", "drive a running gateway at this address instead of serving")
+	selfcheck := flag.Bool("selfcheck", false, "serve on an ephemeral port, drive it, verify, exit")
+	shards := flag.Int("shards", 1, "session engine shards (serve/selfcheck)")
+	workers := flag.Int("workers", 0, "engine workers per shard (0 = GOMAXPROCS); drive -verify must match the server")
+	sessions := flag.Int("sessions", 8, "driver: concurrent sessions")
+	conns := flag.Int("conns", 4, "driver: TCP connections the sessions multiplex over")
+	chunk := flag.Int("chunk", 50, "driver: samples per push (50 = 200 ms AFE DMA)")
+	duration := flag.Float64("duration", 8, "driver: seconds of signal per session")
+	verify := flag.Bool("verify", false, "driver: verify per-session event hashes against an in-process engine")
+	evictBelow := flag.Float64("evict-below", 0, "serve: accept-rate EWMA eviction floor (0 = off)")
+	flag.Parse()
+
+	switch {
+	case *selfcheck:
+		scfg := session.Config{Workers: *workers, MaxPending: 64}
+		g := gateway.New(mustDevice(), gateway.Config{Shards: *shards, Session: scfg})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("icgserve: %v", err)
+		}
+		go g.Serve(ln)
+		ok := runDriver(ln.Addr().String(), *sessions, *conns, *chunk, *duration, *workers, true)
+		printStats(g.Stats())
+		if err := g.Close(); err != nil {
+			log.Fatalf("icgserve: close: %v", err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	case *drive != "":
+		if !runDriver(*drive, *sessions, *conns, *chunk, *duration, *workers, *verify) {
+			os.Exit(1)
+		}
+	default:
+		runServe(*addr, *shards, *workers, *evictBelow)
+	}
+}
+
+func mustDevice() *core.Device {
+	dev, err := core.NewDevice(core.DefaultConfig())
+	if err != nil {
+		log.Fatalf("icgserve: %v", err)
+	}
+	return dev
+}
+
+// runServe listens until SIGINT/SIGTERM, then prints the load summary.
+func runServe(addr string, shards, workers int, evictBelow float64) {
+	scfg := session.Config{Workers: workers, MaxPending: 64}
+	if evictBelow > 0 {
+		scfg.Health = session.HealthConfig{EvictBelowRate: evictBelow, EvictAfterS: 20}
+	}
+	g := gateway.New(mustDevice(), gateway.Config{Shards: shards, Session: scfg})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("icgserve: %v", err)
+	}
+	fmt.Printf("gateway listening on %s (%d shards)\n", ln.Addr(), shards)
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		if err := g.Serve(ln); err != nil {
+			log.Fatalf("icgserve: serve: %v", err)
+		}
+	}()
+	<-done
+	printStats(g.Stats())
+	if err := g.Close(); err != nil {
+		log.Fatalf("icgserve: close: %v", err)
+	}
+}
+
+func printStats(st gateway.Stats) {
+	fmt.Printf("gateway: %d conns served (%d open), %d chunk frames, %d sample pairs in\n",
+		st.ConnsTotal, st.ConnsOpen, st.FramesIn, st.SamplesIn)
+	fmt.Printf("gateway: %d events out, %d dropped at subscriber queues, %d protocol errors\n",
+		st.EventsOut, st.EventsDropped, st.ProtocolErrs)
+	for i, sh := range st.Shards {
+		fmt.Printf("gateway shard %d: %d open, %d opened, %d finished, %d evicted\n",
+			i, sh.Open, sh.Opened, sh.Finished, sh.Evicted)
+	}
+}
+
+// baseInputs synthesizes a few base acquisitions the whole fleet
+// shares; per-session variation comes from the chunk interleaving, not
+// per-session copies, so a 10k-session fleet costs megabytes, not
+// gigabytes, of input.
+func baseInputs(dev *core.Device, seconds float64) [][2][]float64 {
+	var base [][2][]float64
+	for sid := 1; sid <= 3; sid++ {
+		sub, _ := physio.SubjectByID(sid)
+		acq, err := dev.Acquire(&sub, seconds)
+		if err != nil {
+			log.Fatalf("icgserve: acquire: %v", err)
+		}
+		base = append(base, [2][]float64{acq.ECG, acq.Z})
+	}
+	return base
+}
+
+// sessionHashes folds each session's events — in their canonical wal
+// encoding, the exact bytes the gateway ships — into a per-session FNV
+// chain.
+type sessionHashes struct {
+	mu    sync.Mutex
+	h     map[uint64]uint64
+	buf   []byte
+	beats uint64
+}
+
+func newSessionHashes() *sessionHashes { return &sessionHashes{h: make(map[uint64]uint64)} }
+
+func (r *sessionHashes) add(e *event.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.Kind == event.KindBeat {
+		r.beats++
+	}
+	r.buf = wal.EncodeEvent(r.buf[:0], e)
+	h := fnv.New64a()
+	var seed [8]byte
+	prev := r.h[e.Session]
+	for i := 0; i < 8; i++ {
+		seed[i] = byte(prev >> (8 * i))
+	}
+	h.Write(seed[:])
+	h.Write(r.buf)
+	r.h[e.Session] = h.Sum64()
+}
+
+// dialRetry dials the gateway, retrying while the server comes up (the
+// CI smoke starts icgserve and the driver back-to-back).
+func dialRetry(addr string, depth int) (*gateway.Client, error) {
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		c, err := gateway.Dial(addr, depth)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		time.Sleep(100 * time.Millisecond)
+	}
+	return nil, lastErr
+}
+
+// runDriver streams the fleet through a gateway at addr and returns
+// whether the run (and, with verify, the determinism proof) passed.
+func runDriver(addr string, sessions, conns, chunk int, duration float64, workers int, verify bool) bool {
+	if conns < 1 {
+		conns = 1
+	}
+	if conns > sessions {
+		conns = sessions
+	}
+	dev := mustDevice()
+	base := baseInputs(dev, duration)
+	input := func(id uint64) ([]float64, []float64) {
+		b := base[id%uint64(len(base))]
+		return b[0], b[1]
+	}
+
+	got := newSessionHashes()
+	clients := make([]*gateway.Client, conns)
+	var consumers sync.WaitGroup
+	for i := range clients {
+		c, err := dialRetry(addr, 1024)
+		if err != nil {
+			log.Printf("icgserve: dial %s: %v", addr, err)
+			return false
+		}
+		clients[i] = c
+		consumers.Add(1)
+		go func(c *gateway.Client) {
+			defer consumers.Done()
+			for e := range c.Events() {
+				got.add(&e)
+			}
+		}(c)
+	}
+
+	// Open every stream first so the wall clock measures streaming, not
+	// handshakes. Streams are distributed round-robin across the conns;
+	// the per-connection stream id is the session's index on that conn.
+	type lane struct {
+		cs *gateway.ClientStream
+		id uint64
+	}
+	lanes := make([]lane, 0, sessions)
+	perConn := make([]uint16, conns)
+	for i := 0; i < sessions; i++ {
+		id := uint64(i + 1)
+		ci := i % conns
+		cs, err := clients[ci].Open(perConn[ci]+1, id, true)
+		if err != nil {
+			log.Printf("icgserve: open session %d: %v", id, err)
+			return false
+		}
+		perConn[ci]++
+		lanes = append(lanes, lane{cs, id})
+	}
+
+	start := time.Now()
+	var push sync.WaitGroup
+	var pushErrs sync.Map
+	var samples int64
+	var sampleMu sync.Mutex
+	for _, l := range lanes {
+		push.Add(1)
+		go func(l lane) {
+			defer push.Done()
+			ecg, z := input(l.id)
+			for pos := 0; pos < len(ecg); pos += chunk {
+				end := pos + chunk
+				if end > len(ecg) {
+					end = len(ecg)
+				}
+				if err := l.cs.Push(ecg[pos:end], z[pos:end]); err != nil {
+					pushErrs.Store(l.id, err)
+					return
+				}
+			}
+			if err := l.cs.Close(); err != nil {
+				pushErrs.Store(l.id, err)
+				return
+			}
+			sampleMu.Lock()
+			samples += int64(len(ecg))
+			sampleMu.Unlock()
+		}(l)
+	}
+	push.Wait()
+	elapsed := time.Since(start)
+	for _, c := range clients {
+		c.Close()
+	}
+	consumers.Wait()
+
+	failed := 0
+	pushErrs.Range(func(id, err any) bool {
+		log.Printf("icgserve: session %v: %v", id, err)
+		failed++
+		return true
+	})
+	fmt.Printf("drive: %d sessions x %.0f s over %d conns in %.2f s wall (%.1fx realtime, %.0f sample pairs/s), %d beats\n",
+		sessions, duration, conns, elapsed.Seconds(),
+		float64(sessions)*duration/elapsed.Seconds(),
+		float64(samples)/elapsed.Seconds(), got.beats)
+	if failed > 0 {
+		fmt.Printf("drive: %d sessions FAILED\n", failed)
+		return false
+	}
+
+	if !verify {
+		return true
+	}
+	want := referenceHashes(dev, session.Config{Workers: workers, MaxPending: 64}, sessions, chunk, input)
+	bad := 0
+	for i := 0; i < sessions; i++ {
+		id := uint64(i + 1)
+		g, w := got.h[id], want[id]
+		if g != w || g == 0 {
+			log.Printf("icgserve: session %d: gateway hash %x != in-process %x", id, g, w)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("determinism proof FAILED for %d of %d sessions\n", bad, sessions)
+		return false
+	}
+	fmt.Printf("determinism proof: %d sessions hash-identical to the in-process engine\n", sessions)
+	return true
+}
+
+// referenceHashes replays the fleet in-process: the same chunk-framed
+// stream (identical frame boundaries, identical bits — the codec is
+// lossless and its packing depends only on the sample bits) delivered
+// by PushOwned to an identically-configured engine.
+func referenceHashes(dev *core.Device, scfg session.Config, sessions, chunk int, input func(uint64) ([]float64, []float64)) map[uint64]uint64 {
+	eng := session.NewEngine(dev, scfg)
+	hashes := newSessionHashes()
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		id := uint64(i + 1)
+		s, err := eng.Subscribe(id, event.Func(func(e event.Event) { hashes.add(&e) }))
+		if err != nil {
+			log.Fatalf("icgserve: reference open %d: %v", id, err)
+		}
+		wg.Add(1)
+		go func(s *session.Session, id uint64) {
+			defer wg.Done()
+			ecg, z := input(id)
+			if err := gateway.ReplayChunks(s, ecg, z, chunk); err != nil {
+				log.Fatalf("icgserve: reference session %d: %v", id, err)
+			}
+			if err := s.Close(); err != nil {
+				log.Fatalf("icgserve: reference close %d: %v", id, err)
+			}
+		}(s, id)
+	}
+	wg.Wait()
+	if err := eng.Close(); err != nil {
+		log.Fatalf("icgserve: reference engine close: %v", err)
+	}
+	return hashes.h
+}

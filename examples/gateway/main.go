@@ -1,0 +1,95 @@
+// Gateway: the network ingest path end-to-end — a TCP gateway server
+// (internal/gateway) hosting sharded session engines, and a client that
+// multiplexes two device streams over one connection using the
+// radio-framed chunk protocol (lossless XOR-delta sample encoding),
+// subscribing to each session's typed event stream coming back.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/gateway"
+	"repro/internal/physio"
+	"repro/internal/session"
+)
+
+func main() {
+	dev, err := core.NewDevice(core.DefaultConfig())
+	if err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
+
+	// Server side: two engine shards behind one TCP listener.
+	g := gateway.New(dev, gateway.Config{
+		Shards:  2,
+		Session: session.Config{Workers: 2, MaxPending: 32},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
+	go g.Serve(ln)
+
+	// Client side: one connection, two sessions multiplexed over it.
+	c, err := gateway.Dial(ln.Addr().String(), 256)
+	if err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
+
+	// Consume the merged event stream as it arrives.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		beats := map[uint64]int{}
+		for e := range c.Events() {
+			switch e.Kind {
+			case event.KindBeat:
+				beats[e.Session]++
+				if e.Params.Accepted && beats[e.Session]%5 == 0 {
+					fmt.Printf("session %d  beat %2d  t=%5.2fs  HR=%5.1f bpm  PEP=%5.1f ms  LVET=%5.1f ms\n",
+						e.Session, beats[e.Session], e.Params.TimeS,
+						e.Params.HR, e.Params.PEP*1000, e.Params.LVET*1000)
+				}
+			case event.KindSessionClosed:
+				fmt.Printf("session %d closed: %d/%d beats accepted\n",
+					e.Session, e.Accepted, e.Emitted)
+			}
+		}
+	}()
+
+	// Stream two subjects' recordings, 50-sample (200 ms) pushes — the
+	// cadence an AFE DMA would deliver.
+	for i, sid := range []int{2, 4} {
+		sub, _ := physio.SubjectByID(sid)
+		acq, err := dev.Acquire(&sub, 20)
+		if err != nil {
+			log.Fatalf("gateway: %v", err)
+		}
+		cs, err := c.Open(uint16(i+1), uint64(100+i), true)
+		if err != nil {
+			log.Fatalf("gateway: %v", err)
+		}
+		for pos := 0; pos < len(acq.ECG); pos += 50 {
+			end := min(pos+50, len(acq.ECG))
+			if err := cs.Push(acq.ECG[pos:end], acq.Z[pos:end]); err != nil {
+				log.Fatalf("gateway: %v", err)
+			}
+		}
+		if err := cs.Close(); err != nil {
+			log.Fatalf("gateway: %v", err)
+		}
+	}
+	c.Close()
+	<-done
+
+	st := g.Stats()
+	if err := g.Close(); err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
+	fmt.Printf("gateway served %d chunk frames, %d sample pairs, %d events (%d dropped)\n",
+		st.FramesIn, st.SamplesIn, st.EventsOut, st.EventsDropped)
+}

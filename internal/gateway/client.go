@@ -1,0 +1,347 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/hw/radio"
+	"repro/internal/wal"
+)
+
+// Client is the device side of the gateway protocol: it multiplexes
+// many sample streams over one TCP connection and surfaces the
+// subscribed sessions' event streams on Events. A background reader
+// dispatches acks and events; Events delivery is blocking, so the
+// caller must drain Events (or not subscribe to anything).
+type Client struct {
+	nc net.Conn
+
+	wMu  sync.Mutex // serializes frame writes across streams
+	wbuf []byte
+
+	mu      sync.Mutex
+	streams map[uint16]*ClientStream
+	subAcks map[uint64]chan byte
+	err     error // fatal connection error, set once
+	closed  bool
+
+	events chan event.Event
+	done   chan struct{}
+}
+
+// ClientStream is one open session stream on a Client.
+type ClientStream struct {
+	c   *Client
+	id  uint16
+	enc chunkEncoder
+
+	ack     chan byte // HelloAck / CloseAck codes, in order
+	mu      sync.Mutex
+	dead    error // set by a TypeErr stream notice (eviction)
+	closing bool
+}
+
+// Dial connects a client to a gateway address. eventDepth sizes the
+// Events channel (minimum 1).
+func Dial(addr string, eventDepth int) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc, eventDepth), nil
+}
+
+// NewClient wraps an established connection. The client owns nc.
+func NewClient(nc net.Conn, eventDepth int) *Client {
+	if eventDepth < 1 {
+		eventDepth = 1
+	}
+	c := &Client{
+		nc:      nc,
+		streams: make(map[uint16]*ClientStream),
+		subAcks: make(map[uint64]chan byte),
+		events:  make(chan event.Event, eventDepth),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Events is the merged event stream of every session this client
+// subscribed to (HelloSubscribe or Subscribe). The channel closes when
+// the connection dies.
+func (c *Client) Events() <-chan event.Event { return c.events }
+
+// Err returns the fatal connection error, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close tears the connection down. Open sessions are flush-closed by
+// the gateway on disconnect.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.nc.Close()
+	<-c.done
+	return err
+}
+
+// writeFrame frames and writes one message (seq is per-stream and
+// stamped by the caller for chunks; control frames carry seq 0).
+func (c *Client) writeFrame(typ, seq byte, payload []byte) error {
+	c.wMu.Lock()
+	defer c.wMu.Unlock()
+	c.wbuf = c.wbuf[:0]
+	f := radio.Frame{Type: typ, Seq: seq, Payload: payload}
+	var err error
+	c.wbuf, err = f.AppendTo(c.wbuf)
+	if err != nil {
+		return err
+	}
+	_, err = c.nc.Write(c.wbuf)
+	return err
+}
+
+// writeRaw writes pre-framed bytes (the chunk fast path).
+func (c *Client) writeRaw(b []byte) error {
+	c.wMu.Lock()
+	defer c.wMu.Unlock()
+	_, err := c.nc.Write(b)
+	return err
+}
+
+// codeErr maps a non-OK ack code to an error.
+func codeErr(code byte) error {
+	if code == CodeOK {
+		return nil
+	}
+	return fmt.Errorf("%w (code %d)", ErrRejected, code)
+}
+
+// Open opens session id as stream (a client-chosen per-connection
+// handle; 0xFFFF is reserved). With subscribe set, the session's events
+// arrive on Events.
+func (c *Client) Open(stream uint16, id uint64, subscribe bool) (*ClientStream, error) {
+	if stream == fatalStream {
+		return nil, errors.New("gateway: stream id 0xFFFF is reserved")
+	}
+	cs := &ClientStream{c: c, id: stream, ack: make(chan byte, 1)}
+	cs.enc.stream = stream
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if _, dup := c.streams[stream]; dup {
+		c.mu.Unlock()
+		return nil, errors.New("gateway: stream id already open on this client")
+	}
+	c.streams[stream] = cs
+	c.mu.Unlock()
+
+	var flags byte
+	if subscribe {
+		flags = HelloSubscribe
+	}
+	payload := make([]byte, 0, 12)
+	payload = append(payload, ProtocolVersion, flags)
+	payload = putU16(payload, stream)
+	payload = putU64(payload, id)
+	if err := c.writeFrame(TypeHello, 0, payload); err != nil {
+		c.dropStream(stream)
+		return nil, err
+	}
+	code, err := c.waitAck(cs.ack)
+	if err != nil {
+		c.dropStream(stream)
+		return nil, err
+	}
+	if err := codeErr(code); err != nil {
+		c.dropStream(stream)
+		return nil, err
+	}
+	return cs, nil
+}
+
+// Subscribe joins a live session's event stream without owning it.
+func (c *Client) Subscribe(id uint64) error {
+	ack := make(chan byte, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.subAcks[id] = ack
+	c.mu.Unlock()
+	if err := c.writeFrame(TypeSub, 0, putU64(nil, id)); err != nil {
+		return err
+	}
+	code, err := c.waitAck(ack)
+	if err != nil {
+		return err
+	}
+	return codeErr(code)
+}
+
+func (c *Client) waitAck(ack chan byte) (byte, error) {
+	select {
+	case code := <-ack:
+		return code, nil
+	case <-c.done:
+		if err := c.Err(); err != nil {
+			return 0, err
+		}
+		return 0, io.ErrUnexpectedEOF
+	}
+}
+
+func (c *Client) dropStream(stream uint16) {
+	c.mu.Lock()
+	delete(c.streams, stream)
+	c.mu.Unlock()
+}
+
+// Push encodes the sample pairs into chunk frames (delta chains
+// continuous with every previous Push on this stream) and writes them.
+func (s *ClientStream) Push(ecg, z []float64) error {
+	if len(ecg) != len(z) {
+		return errors.New("gateway: push requires equal-length ecg/z channels")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead != nil {
+		return s.dead
+	}
+	if s.closing {
+		return ErrStreamClosed
+	}
+	if len(ecg) == 0 {
+		return nil
+	}
+	frames, err := s.enc.appendChunks(nil, ecg, z)
+	if err != nil {
+		return err
+	}
+	return s.c.writeRaw(frames)
+}
+
+// Close flush-closes the stream's session and waits for the gateway's
+// ack, which the server queues strictly after the session's final
+// event.
+func (s *ClientStream) Close() error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return ErrStreamClosed
+	}
+	s.closing = true
+	s.mu.Unlock()
+	if err := s.c.writeFrame(TypeCloseStream, 0, putU16(nil, s.id)); err != nil {
+		return err
+	}
+	code, err := s.c.waitAck(s.ack)
+	s.c.dropStream(s.id)
+	if err != nil {
+		return err
+	}
+	return codeErr(code)
+}
+
+// readLoop dispatches inbound frames: ack codes to their waiters,
+// events to the Events channel (blocking — the merged stream is the
+// client's to drain), stream notices onto their streams.
+func (c *Client) readLoop() {
+	sc := radio.NewScannerLimit(c.nc, radio.MaxPayloadExt)
+	var err error
+	for {
+		var f *radio.Frame
+		f, err = sc.Next()
+		if err != nil {
+			break
+		}
+		switch f.Type {
+		case TypeHelloAck, TypeCloseAck:
+			if len(f.Payload) != 3 {
+				err = ErrBadPayload
+			} else {
+				c.mu.Lock()
+				cs := c.streams[getU16(f.Payload)]
+				c.mu.Unlock()
+				if cs != nil {
+					select {
+					case cs.ack <- f.Payload[2]:
+					default:
+					}
+				}
+			}
+		case TypeSubAck:
+			if len(f.Payload) != 9 {
+				err = ErrBadPayload
+			} else {
+				id := getU64(f.Payload)
+				c.mu.Lock()
+				ack := c.subAcks[id]
+				delete(c.subAcks, id)
+				c.mu.Unlock()
+				if ack != nil {
+					select {
+					case ack <- f.Payload[8]:
+					default:
+					}
+				}
+			}
+		case TypeEvent:
+			ev, ok := wal.DecodeEvent(f.Payload)
+			if !ok {
+				err = ErrBadPayload
+			} else {
+				c.events <- ev
+			}
+		case TypeErr:
+			if len(f.Payload) != 3 {
+				err = ErrBadPayload
+				break
+			}
+			stream := getU16(f.Payload)
+			if stream == fatalStream {
+				err = fmt.Errorf("gateway: connection condemned: %w", codeErr(f.Payload[2]))
+			} else {
+				c.mu.Lock()
+				cs := c.streams[stream]
+				c.mu.Unlock()
+				if cs != nil {
+					cs.mu.Lock()
+					cs.dead = fmt.Errorf("gateway: stream closed by server: %w", codeErr(f.Payload[2]))
+					cs.mu.Unlock()
+				}
+			}
+		default:
+			err = ErrBadPayload
+		}
+		if err != nil {
+			break
+		}
+	}
+	c.mu.Lock()
+	if c.err == nil && !errors.Is(err, io.EOF) && !c.closed {
+		c.err = err
+	}
+	c.mu.Unlock()
+	c.nc.Close()
+	close(c.events)
+	close(c.done)
+}

@@ -1,0 +1,259 @@
+package gateway
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/hw/radio"
+)
+
+// testSamples derives a deterministic pseudo-physiological pair of
+// channels: smooth-ish floats whose consecutive bit patterns share high
+// bits (the case the XOR-delta codec is built for), salted by seed.
+func testSamples(seed uint64, n int) (ecg, z []float64) {
+	ecg = make([]float64, n)
+	z = make([]float64, n)
+	x := seed
+	for i := 0; i < n; i++ {
+		x = splitmix64(x)
+		jitter := float64(x%1000) * 1e-6
+		ecg[i] = math.Sin(float64(i)*0.07) + jitter
+		z[i] = 42 + 0.3*math.Sin(float64(i)*0.011) + jitter/3
+	}
+	return ecg, z
+}
+
+// decodeStream scans every chunk frame out of an encoded byte stream
+// and decodes it through one chunkDecoder, returning the concatenated
+// channels and the number of frames.
+func decodeStream(t *testing.T, stream []byte) (ecg, z []float64, frames int) {
+	t.Helper()
+	sc := radio.NewScannerLimit(bytes.NewReader(stream), radio.MaxPayloadExt)
+	var dec chunkDecoder
+	for {
+		f, err := sc.Next()
+		if err == io.EOF {
+			return ecg, z, frames
+		}
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		if f.Type != TypeChunk {
+			t.Fatalf("unexpected frame type %#x", f.Type)
+		}
+		if len(f.Payload) > radio.MaxPayloadExt {
+			t.Fatalf("frame payload %d exceeds budget", len(f.Payload))
+		}
+		e, zz, err := dec.decodeChunk(f)
+		if err != nil {
+			t.Fatalf("decode frame %d: %v", frames, err)
+		}
+		ecg = append(ecg, e...)
+		z = append(z, zz...)
+		frames++
+	}
+}
+
+// TestChunkCodecRoundTrip pins the codec's losslessness: any push
+// pattern — including 1-sample pushes and enough frames to wrap the
+// seq byte several times — decodes to bit-identical channels.
+func TestChunkCodecRoundTrip(t *testing.T) {
+	for _, chunk := range []int{1, 3, 7, 50, 113} {
+		enc := chunkEncoder{stream: 7}
+		const total = 700 // 700 one-sample frames wraps seq twice
+		ecg, z := testSamples(uint64(chunk), total)
+		var stream []byte
+		for i := 0; i < total; i += chunk {
+			end := i + chunk
+			if end > total {
+				end = total
+			}
+			var err error
+			stream, err = enc.appendChunks(stream, ecg[i:end], z[i:end])
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		gotE, gotZ, frames := decodeStream(t, stream)
+		if len(gotE) != total || len(gotZ) != total {
+			t.Fatalf("chunk %d: decoded %d/%d samples, want %d", chunk, len(gotE), len(gotZ), total)
+		}
+		for i := range gotE {
+			if math.Float64bits(gotE[i]) != math.Float64bits(ecg[i]) ||
+				math.Float64bits(gotZ[i]) != math.Float64bits(z[i]) {
+				t.Fatalf("chunk %d: sample %d not bit-identical", chunk, i)
+			}
+		}
+		if chunk == 1 && frames != total {
+			t.Fatalf("1-sample pushes must emit one frame each, got %d for %d", frames, total)
+		}
+	}
+}
+
+// TestChunkCodecWorstCase feeds bit-noise (every delta near 10 bytes)
+// and checks the packer splits frames without ever busting the payload
+// budget, still losslessly.
+func TestChunkCodecWorstCase(t *testing.T) {
+	const total = 300
+	ecg := make([]float64, total)
+	z := make([]float64, total)
+	x := uint64(99)
+	for i := range ecg {
+		x = splitmix64(x)
+		ecg[i] = math.Float64frombits(x)
+		x = splitmix64(x)
+		z[i] = math.Float64frombits(x)
+	}
+	enc := chunkEncoder{stream: 1}
+	stream, err := enc.appendChunks(nil, ecg, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotE, gotZ, frames := decodeStream(t, stream)
+	if frames < 2 {
+		t.Fatalf("worst-case deltas must split frames, got %d", frames)
+	}
+	for i := range gotE {
+		if math.Float64bits(gotE[i]) != math.Float64bits(ecg[i]) ||
+			math.Float64bits(gotZ[i]) != math.Float64bits(z[i]) {
+			t.Fatalf("sample %d not bit-identical", i)
+		}
+	}
+	if len(gotE) != total {
+		t.Fatalf("decoded %d samples, want %d", len(gotE), total)
+	}
+}
+
+// TestChunkCodecSeqGap pins gap detection: dropping one frame out of a
+// stream trips ErrSeqGap on the next (the delta chain is broken, so
+// decoding must refuse rather than emit garbage samples).
+func TestChunkCodecSeqGap(t *testing.T) {
+	enc := chunkEncoder{stream: 2}
+	ecg, z := testSamples(5, 9)
+	var frames [][]byte
+	for i := 0; i < 9; i += 3 {
+		b, err := enc.appendChunks(nil, ecg[i:i+3], z[i:i+3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, b)
+	}
+	// Frame 0 then frame 2: the decoder must flag the gap.
+	stream := append(append([]byte(nil), frames[0]...), frames[2]...)
+	sc := radio.NewScannerLimit(bytes.NewReader(stream), radio.MaxPayloadExt)
+	var dec chunkDecoder
+	f, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dec.decodeChunk(f); err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	f, err = sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dec.decodeChunk(f); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("skipped frame decoded with err=%v, want ErrSeqGap", err)
+	}
+}
+
+// TestChunkCodecMalformed pins the decoder's refusal of truncated and
+// padded bodies.
+func TestChunkCodecMalformed(t *testing.T) {
+	enc := chunkEncoder{stream: 3}
+	ecg, z := testSamples(1, 4)
+	stream, err := enc.appendChunks(nil, ecg, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := radio.NewScannerLimit(bytes.NewReader(stream), radio.MaxPayloadExt)
+	f, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := *f
+	trunc.Payload = f.Payload[:len(f.Payload)-1]
+	if _, _, err := (&chunkDecoder{}).decodeChunk(&trunc); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("truncated body: err=%v, want ErrBadPayload", err)
+	}
+	padded := *f
+	padded.Payload = append(append([]byte(nil), f.Payload...), 0)
+	if _, _, err := (&chunkDecoder{}).decodeChunk(&padded); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("padded body: err=%v, want ErrBadPayload", err)
+	}
+	short := *f
+	short.Payload = f.Payload[:2]
+	if _, _, err := (&chunkDecoder{}).decodeChunk(&short); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("short header: err=%v, want ErrBadPayload", err)
+	}
+}
+
+// TestJumpHashConsistency pins the consistent-hash property the shard
+// map depends on: adding a bucket moves keys ONLY into the new bucket,
+// and roughly 1/(K+1) of them; everything else stays put.
+func TestJumpHashConsistency(t *testing.T) {
+	const keys = 20000
+	counts := make([]int, 4)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := splitmix64(uint64(i))
+		b4 := jumpHash(k, 4)
+		if b4 < 0 || b4 > 3 {
+			t.Fatalf("bucket %d out of range", b4)
+		}
+		counts[b4]++
+		b5 := jumpHash(k, 5)
+		if b5 != b4 {
+			if b5 != 4 {
+				t.Fatalf("key %d moved %d→%d, not to the new bucket", i, b4, b5)
+			}
+			moved++
+		}
+	}
+	mean := keys / 4
+	for b, c := range counts {
+		if c < mean*8/10 || c > mean*12/10 {
+			t.Fatalf("bucket %d holds %d of %d keys (mean %d): not uniform", b, c, keys, mean)
+		}
+	}
+	frac := float64(moved) / keys
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("4→5 buckets moved %.3f of keys, want ≈0.20", frac)
+	}
+}
+
+// BenchmarkChunkCodec measures the wire codec round trip per 50-sample
+// push: delta-encode into frames plus scan-and-decode back out — the
+// per-chunk CPU cost the gateway adds over an in-process PushOwned.
+func BenchmarkChunkCodec(b *testing.B) {
+	ecg, z := testSamples(1, 50)
+	enc := chunkEncoder{stream: 1}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = enc.appendChunks(buf[:0], ecg, z)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var dec chunkDecoder
+		dec.seq = enc.seq - byte((len(buf)+radio.MaxPayloadExt)/radio.MaxPayloadExt) // align to first frame
+		sc := radio.NewScannerLimit(bytes.NewReader(buf), radio.MaxPayloadExt)
+		for {
+			f, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := dec.decodeChunk(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package gateway
+
+import (
+	"bytes"
+	"io"
+
+	"repro/internal/hw/radio"
+	"repro/internal/session"
+)
+
+// ReplayChunks pushes the channels into an in-process session through
+// the EXACT chunk framing the network path applies: chunkSize-sample
+// pushes encoded into chunk frames, scanned back out, delta-decoded and
+// delivered by PushOwned. The codec is lossless and its frame packing
+// depends only on the sample bits, so this is the reference half of the
+// gateway's loopback determinism proof: a session driven over TCP must
+// produce an event stream hash-identical to the same channels replayed
+// here into an identically-configured engine.
+func ReplayChunks(s *session.Session, ecg, z []float64, chunkSize int) error {
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	enc := chunkEncoder{stream: 1}
+	var dec chunkDecoder
+	var buf []byte
+	for i := 0; i < len(ecg); i += chunkSize {
+		end := i + chunkSize
+		if end > len(ecg) {
+			end = len(ecg)
+		}
+		var err error
+		buf, err = enc.appendChunks(buf[:0], ecg[i:end], z[i:end])
+		if err != nil {
+			return err
+		}
+		sc := radio.NewScannerLimit(bytes.NewReader(buf), radio.MaxPayloadExt)
+		for {
+			f, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			e, zz, err := dec.decodeChunk(f)
+			if err != nil {
+				return err
+			}
+			if err := s.PushOwned(e, zz); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

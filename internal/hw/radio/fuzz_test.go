@@ -1,0 +1,131 @@
+package radio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzRadioDecode pins the codec laws on arbitrary bytes: Decode never
+// panics; a successful decode consumes a frame that re-encodes to
+// exactly the consumed prefix (decode∘encode bijection); every error
+// except ErrShortFrame returns a positive in-range skip (the resync
+// law); and a skip-consumed scan over the input always terminates.
+func FuzzRadioDecode(f *testing.F) {
+	valid, _ := (&Frame{Type: TypeBeat, Seq: 3, Payload: []byte{1, 2, 3}}).Encode()
+	f.Add(valid)
+	corrupt := append([]byte(nil), valid...)
+	corrupt[5] ^= 1
+	f.Add(corrupt)
+	f.Add([]byte{syncByte, 0, 0, 255, 0, 0})
+	f.Add([]byte{0, 1, 2, syncByte})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := Decode(data)
+		if err == nil {
+			if n < frameOverhead || n > len(data) {
+				t.Fatalf("valid frame consumed %d of %d", n, len(data))
+			}
+			re, err := fr.Encode()
+			if err != nil {
+				t.Fatalf("re-encode of decoded frame: %v", err)
+			}
+			if !bytes.Equal(re, data[:n]) {
+				t.Fatalf("decode∘encode not a bijection: % x vs % x", re, data[:n])
+			}
+		} else {
+			if errors.Is(err, ErrShortFrame) {
+				if n != 0 {
+					t.Fatalf("short frame consumed %d", n)
+				}
+			} else if n <= 0 || n > len(data) {
+				t.Fatalf("error %v consumed %d of %d, want positive skip", err, n, len(data))
+			}
+		}
+		// Termination: a resync scan makes progress on every step.
+		steps := 0
+		for off := 0; off < len(data); {
+			_, n, err := Decode(data[off:])
+			if err != nil && n == 0 {
+				break // short tail: needs more bytes that will never come
+			}
+			off += n
+			if steps++; steps > len(data)+1 {
+				t.Fatal("resync scan did not terminate")
+			}
+		}
+	})
+}
+
+// FuzzRadioScanner drives the Scanner over an arbitrary interleaving of
+// garbage and valid frames derived from the fuzz input: the scanner
+// must never panic, must terminate, and must recover EVERY injected
+// frame in order (the garbage is sanitized to contain no sync byte, so
+// the injected frames are the only candidates).
+func FuzzRadioScanner(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{0xFF, 0x00})
+	f.Add([]byte{}, []byte{0xA5, 0xA5, 0xA5})
+	f.Add(bytes.Repeat([]byte{0x42}, 64), bytes.Repeat([]byte{0x13}, 9))
+	f.Fuzz(func(t *testing.T, payloads, garbage []byte) {
+		// Raw pass: arbitrary bytes, tolerant loop, must terminate.
+		raw := append(append([]byte(nil), garbage...), payloads...)
+		s := NewScanner(bytes.NewReader(raw))
+		for steps := 0; ; steps++ {
+			_, err := s.Next()
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break
+			}
+			if steps > len(raw)+8 {
+				t.Fatal("raw scan did not terminate")
+			}
+		}
+
+		// Structured pass: frames carved from payloads, separated by
+		// sync-free garbage runs.
+		clean := append([]byte(nil), garbage...)
+		for i, b := range clean {
+			if b == syncByte {
+				clean[i] = 0
+			}
+		}
+		var stream []byte
+		var want []byte // expected Seq sequence
+		seq := byte(0)
+		for off := 0; off < len(payloads); {
+			plen := int(payloads[off]) % (MaxPayload + 1)
+			off++
+			if off+plen > len(payloads) {
+				plen = len(payloads) - off
+			}
+			fr := &Frame{Type: TypeBeat, Seq: seq, Payload: payloads[off : off+plen]}
+			off += plen
+			enc, err := fr.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(clean) > 0 {
+				stream = append(stream, clean[:1+int(seq)%len(clean)]...)
+			}
+			stream = append(stream, enc...)
+			want = append(want, seq)
+			seq++
+		}
+		stream = append(stream, clean...)
+
+		s = NewScanner(bytes.NewReader(stream))
+		var got []byte
+		for {
+			fr, err := s.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("structured stream must scan clean: %v", err)
+			}
+			got = append(got, fr.Seq)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("recovered seqs %v, want %v", got, want)
+		}
+	})
+}

@@ -10,11 +10,22 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 )
 
 // BLE ATT payload limit used for framing (nRF8001-era 20-byte payloads).
 const MaxPayload = 20
+
+// MaxPayloadExt is the framing format's own payload ceiling: the length
+// field is one byte. BLE links enforce MaxPayload; wired transports
+// reusing the same framing (the network ingest gateway) may run the
+// full range via AppendTo/NewScannerLimit.
+const MaxPayloadExt = 255
+
+// frameOverhead is the fixed per-frame byte cost: sync, type, seq,
+// length, CRC16.
+const frameOverhead = 6
 
 // Frame types.
 const (
@@ -39,58 +50,128 @@ var (
 
 const syncByte = 0xA5
 
-// crc16 computes CRC-16/CCITT-FALSE over data.
-func crc16(data []byte) uint16 {
-	crc := uint16(0xFFFF)
-	for _, b := range data {
-		crc ^= uint16(b) << 8
-		for i := 0; i < 8; i++ {
+// crcTable is the byte-at-a-time table for CRC-16/CCITT-FALSE
+// (polynomial 0x1021). The bitwise loop was 93% of the gateway's frame
+// encode cost — every byte CRCs on encode and again on scan, so the
+// framing checksum is the hottest loop on the network path.
+var crcTable = func() (t [256]uint16) {
+	for i := range t {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
 			if crc&0x8000 != 0 {
 				crc = crc<<1 ^ 0x1021
 			} else {
 				crc <<= 1
 			}
 		}
+		t[i] = crc
+	}
+	return
+}()
+
+// crc16 computes CRC-16/CCITT-FALSE over data.
+func crc16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc = crc<<8 ^ crcTable[byte(crc>>8)^b]
 	}
 	return crc
 }
 
-// Encode serializes a frame: sync, type, seq, len, payload, crc16.
+// Encode serializes a frame: sync, type, seq, len, payload, crc16. The
+// BLE payload limit applies; wired transports append with AppendTo.
 func (f *Frame) Encode() ([]byte, error) {
-	if len(f.Payload) > MaxPayload {
-		return nil, ErrPayloadTooLarge
+	return f.appendTo(make([]byte, 0, frameOverhead+len(f.Payload)), MaxPayload)
+}
+
+// AppendTo appends the frame's encoding to dst and returns the extended
+// slice — the allocation-free encode path. It accepts payloads up to
+// MaxPayloadExt (the framing format's own ceiling), not just the BLE
+// ATT limit: the network gateway runs the same framing over TCP with
+// full-size payloads.
+func (f *Frame) AppendTo(dst []byte) ([]byte, error) {
+	return f.appendTo(dst, MaxPayloadExt)
+}
+
+func (f *Frame) appendTo(dst []byte, limit int) ([]byte, error) {
+	if len(f.Payload) > limit {
+		return dst, ErrPayloadTooLarge
 	}
-	buf := make([]byte, 0, 6+len(f.Payload))
-	buf = append(buf, syncByte, f.Type, f.Seq, byte(len(f.Payload)))
-	buf = append(buf, f.Payload...)
-	crc := crc16(buf[1:]) // CRC over everything after the sync byte
-	buf = binary.BigEndian.AppendUint16(buf, crc)
-	return buf, nil
+	start := len(dst)
+	dst = append(dst, syncByte, f.Type, f.Seq, byte(len(f.Payload)))
+	dst = append(dst, f.Payload...)
+	crc := crc16(dst[start+1:]) // CRC over everything after the sync byte
+	dst = binary.BigEndian.AppendUint16(dst, crc)
+	return dst, nil
 }
 
 // Decode parses one frame from buf and returns it together with the
 // number of bytes consumed.
+//
+// Error contract (the resync law): consumed is 0 only for ErrShortFrame
+// — a plausible frame head that needs more bytes. Every other error
+// returns a POSITIVE skip: the distance from buf[0] to the next
+// candidate sync byte inside the span the decoder examined (or past the
+// span when it holds none), so a skip-consumed resync loop always makes
+// progress and never walks past an embedded valid frame. The old
+// contract returned 0 for ErrBadCRC/ErrPayloadTooLarge too, which
+// looped such scanners forever.
 func Decode(buf []byte) (*Frame, int, error) {
-	if len(buf) < 6 {
-		return nil, 0, ErrShortFrame
+	f, n, err := decodeInto(buf, MaxPayload)
+	if err != nil {
+		return nil, n, err
+	}
+	f.Payload = append([]byte(nil), f.Payload...)
+	return &f, n, nil
+}
+
+// decodeInto is Decode without the payload copy: the returned frame's
+// payload aliases buf and is valid only while buf is. limit is the
+// payload ceiling in force (MaxPayload on BLE, up to MaxPayloadExt on
+// wired transports).
+func decodeInto(buf []byte, limit int) (Frame, int, error) {
+	if len(buf) == 0 {
+		return Frame{}, 0, ErrShortFrame
 	}
 	if buf[0] != syncByte {
-		return nil, 0, ErrBadSync
+		return Frame{}, resyncSkip(buf, len(buf)), ErrBadSync
+	}
+	if len(buf) < frameOverhead {
+		return Frame{}, 0, ErrShortFrame
 	}
 	plen := int(buf[3])
-	total := 6 + plen
-	if plen > MaxPayload {
-		return nil, 0, ErrPayloadTooLarge
+	if plen > limit {
+		// Only the 4 header bytes were examined; skip within them.
+		return Frame{}, resyncSkip(buf, 4), ErrPayloadTooLarge
 	}
+	total := frameOverhead + plen
 	if len(buf) < total {
-		return nil, 0, ErrShortFrame
+		return Frame{}, 0, ErrShortFrame
 	}
 	want := binary.BigEndian.Uint16(buf[total-2 : total])
 	if crc16(buf[1:total-2]) != want {
-		return nil, 0, ErrBadCRC
+		return Frame{}, resyncSkip(buf, total), ErrBadCRC
 	}
-	f := &Frame{Type: buf[1], Seq: buf[2], Payload: append([]byte(nil), buf[4:4+plen]...)}
-	return f, total, nil
+	return Frame{Type: buf[1], Seq: buf[2], Payload: buf[4 : 4+plen : 4+plen]}, total, nil
+}
+
+// resyncSkip returns how many bytes a resync scanner should skip after
+// a failed decode at buf[0]: the distance to the next candidate sync
+// byte inside the examined span buf[1:span], or the whole span when it
+// holds none. Always at least 1 — errors must consume.
+func resyncSkip(buf []byte, span int) int {
+	if span > len(buf) {
+		span = len(buf)
+	}
+	for i := 1; i < span; i++ {
+		if buf[i] == syncByte {
+			return i
+		}
+	}
+	if span < 1 {
+		return 1
+	}
+	return span
 }
 
 // WriteFrame encodes and writes a frame to w.
@@ -103,34 +184,26 @@ func WriteFrame(w io.Writer, f *Frame) error {
 	return err
 }
 
-// ReadFrame reads one frame from r, resynchronizing on the sync byte.
+// ReadFrame reads the next valid frame from r, resynchronizing on the
+// sync byte. It is a thin wrapper over Scanner in exact-read mode: a
+// corrupt frame's bytes are rescanned for an embedded sync instead of
+// being discarded (the old implementation threw them away, permanently
+// desyncing the stream), and only io errors are surfaced — corrupt
+// candidates are skipped. Streaming consumers should hold a Scanner
+// instead: it keeps one persistent buffer across calls (0 allocs/frame
+// steady-state) where this per-call wrapper cannot.
 func ReadFrame(r io.Reader) (*Frame, error) {
-	one := make([]byte, 1)
-	// Hunt for sync.
+	s := newScanner(r, MaxPayload, true)
 	for {
-		if _, err := io.ReadFull(r, one); err != nil {
-			return nil, err
+		f, err := s.Next()
+		if err == nil {
+			return &Frame{Type: f.Type, Seq: f.Seq, Payload: append([]byte(nil), f.Payload...)}, nil
 		}
-		if one[0] == syncByte {
-			break
+		if errors.Is(err, ErrBadCRC) || errors.Is(err, ErrPayloadTooLarge) {
+			continue // resynchronize past the corrupt candidate
 		}
-	}
-	head := make([]byte, 3)
-	if _, err := io.ReadFull(r, head); err != nil {
 		return nil, err
 	}
-	plen := int(head[2])
-	if plen > MaxPayload {
-		return nil, ErrPayloadTooLarge
-	}
-	rest := make([]byte, plen+2)
-	if _, err := io.ReadFull(r, rest); err != nil {
-		return nil, err
-	}
-	buf := append([]byte{syncByte}, head...)
-	buf = append(buf, rest...)
-	f, _, err := Decode(buf)
-	return f, err
 }
 
 // BeatRecord is the per-beat result transmitted to the physician's side:
@@ -264,15 +337,38 @@ func (l *Link) DutyCycle(sessionSeconds float64) float64 {
 	return l.AirtimeS / sessionSeconds
 }
 
+// ExpectedTransmissions returns the mean number of times one frame goes
+// on air under the link's loss/retry policy: Link.Send retries up to
+// MaxRetries times, stopping at the first success, so the expectation
+// is the partial geometric sum Σ p^a over a = 0..MaxRetries.
+func ExpectedTransmissions(cfg LinkConfig) float64 {
+	p := cfg.LossProb
+	attempts := 1 + cfg.MaxRetries
+	if attempts < 1 {
+		attempts = 1
+	}
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return float64(attempts)
+	}
+	return (1 - math.Pow(p, float64(attempts))) / (1 - p)
+}
+
 // BeatStreamDuty computes the analytic TX duty cycle for beats arriving at
 // hrBPM with the given link parameters: the paper's claim that sending
-// only {Z0, LVET, PEP, HR} keeps the radio near 0.1-1% duty.
+// only {Z0, LVET, PEP, HR} keeps the radio near 0.1-1% duty. Per-beat
+// airtime is scaled by the expected transmissions under the link's
+// loss/retry policy, so the figure matches Link.Send's airtime
+// accounting in expectation — the old formula priced every beat at
+// exactly one transmission and understated the duty on lossy links.
 func BeatStreamDuty(hrBPM float64, cfg LinkConfig) float64 {
 	if cfg.BitRate <= 0 {
 		return 0
 	}
-	frameBytes := 6 + beatPayloadLen + cfg.Overhead
-	perBeat := float64(frameBytes) * 8 / cfg.BitRate
+	frameBytes := frameOverhead + beatPayloadLen + cfg.Overhead
+	perBeat := float64(frameBytes) * 8 / cfg.BitRate * ExpectedTransmissions(cfg)
 	beatsPerSecond := hrBPM / 60
 	return perBeat * beatsPerSecond
 }

@@ -90,6 +90,47 @@ func TestCRCDetectsAllSingleBitFlipsProperty(t *testing.T) {
 	}
 }
 
+// TestCRC16KnownAnswer pins the checksum to the CRC-16/CCITT-FALSE
+// specification. The roundtrip and fuzz tests only prove encode and
+// decode agree with EACH OTHER — a wrong-but-self-consistent checksum
+// (the classic table-generation bug) would sail through them, so the
+// table-driven implementation is checked against the published check
+// value and against the definitional bitwise form.
+func TestCRC16KnownAnswer(t *testing.T) {
+	// The standard check input for every CRC catalogue entry.
+	if got := crc16([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("crc16(123456789) = %#04x, want 0x29B1", got)
+	}
+	if got := crc16(nil); got != 0xFFFF {
+		t.Fatalf("crc16(empty) = %#04x, want init value 0xFFFF", got)
+	}
+	bitwise := func(data []byte) uint16 {
+		crc := uint16(0xFFFF)
+		for _, b := range data {
+			crc ^= uint16(b) << 8
+			for i := 0; i < 8; i++ {
+				if crc&0x8000 != 0 {
+					crc = crc<<1 ^ 0x1021
+				} else {
+					crc <<= 1
+				}
+			}
+		}
+		return crc
+	}
+	data := make([]byte, 1024)
+	x := uint32(1)
+	for i := range data {
+		x = x*1664525 + 1013904223
+		data[i] = byte(x >> 24)
+	}
+	for _, n := range []int{0, 1, 2, 3, 7, 20, 255, 1024} {
+		if got, want := crc16(data[:n]), bitwise(data[:n]); got != want {
+			t.Fatalf("len %d: table crc %#04x != bitwise %#04x", n, got, want)
+		}
+	}
+}
+
 func TestStreamReadWrite(t *testing.T) {
 	var buf bytes.Buffer
 	frames := []*Frame{

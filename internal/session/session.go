@@ -117,6 +117,9 @@ type Engine struct {
 	mu       sync.Mutex
 	sessions map[uint64]*Session
 	closed   bool
+	// Lifetime load tallies (under mu) behind Stats: the serving
+	// layer's per-shard load metrics.
+	opened, finished, evictedN uint64
 	// quarantined maps a dead-contact-evicted session ID to its
 	// eviction time while Config.QuarantineS is armed; the entry clears
 	// on the first successful reopen after the cool-down.
@@ -395,6 +398,7 @@ func (e *Engine) open(id uint64, sink event.Sink, drain bool) (*Session, error) 
 	s.st.Emit(forwarder{s}, id)
 	s.cond = sync.NewCond(&s.mu)
 	e.sessions[id] = s
+	e.opened++
 	return s, nil
 }
 
@@ -403,6 +407,23 @@ func (e *Engine) Len() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.sessions)
+}
+
+// EngineStats is an engine's lifetime load tally — the per-shard load
+// metric of the serving layer (the network gateway reports one per
+// Engine shard).
+type EngineStats struct {
+	Open     int    // sessions open right now
+	Opened   uint64 // sessions ever opened (re-admits included)
+	Finished uint64 // sessions fully finished (client closes, evictions, failures)
+	Evicted  uint64 // finished by dead-contact eviction
+}
+
+// Stats returns the engine's lifetime load tally.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EngineStats{Open: len(e.sessions), Opened: e.opened, Finished: e.finished, Evicted: e.evictedN}
 }
 
 // Close flushes and closes every open session, waits for the queue to
@@ -958,8 +979,12 @@ func (s *Session) finishWith(reason CloseReason, corrupt bool) {
 	e := s.eng
 	e.mu.Lock()
 	delete(e.sessions, s.ID)
-	if reason == ReasonDeadContact && e.quarantined != nil {
-		e.quarantined[s.ID] = e.now()
+	e.finished++
+	if reason == ReasonDeadContact {
+		e.evictedN++
+		if e.quarantined != nil {
+			e.quarantined[s.ID] = e.now()
+		}
 	}
 	e.mu.Unlock()
 	if e.cfg.OnClose != nil {
