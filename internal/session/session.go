@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -281,7 +282,7 @@ func NewEngine(dev *core.Device, cfg Config) *Engine {
 		runq: make(chan *Session, 1024),
 	}
 	if e.now == nil {
-		e.now = time.Now
+		e.now = time.Now //icg:allow nodeterm -- injected-clock default: quarantine and health windows are wall time by contract; tests inject a fake
 	}
 	if cfg.QuarantineS > 0 {
 		e.quarantined = make(map[uint64]time.Time)
@@ -441,6 +442,10 @@ func (e *Engine) Close() error {
 	for _, s := range e.sessions {
 		open = append(open, s)
 	}
+	// Close in session-ID order, not map order: each close flushes the
+	// session's final events into the shared WAL, so the shutdown
+	// record's layout must not depend on map iteration randomization.
+	sort.Slice(open, func(i, j int) bool { return open[i].ID < open[j].ID })
 	e.mu.Unlock()
 	for _, s := range open {
 		if err := s.Close(); err != nil {
