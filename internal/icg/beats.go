@@ -93,7 +93,7 @@ func DetectAllWith(a *dsp.Arena, icg []float64, rPeaks []int, tPeaks []int, cfg 
 		return nil
 	}
 	out := make([]BeatAnalysis, 0, len(rPeaks)-1)
-	block := make([]BeatPoints, len(rPeaks)-1)
+	block := make([]BeatPoints, len(rPeaks)-1) //icg:allow hotalloc -- retained: one backing block of BeatPoints pointed into by the returned analyses, never arena scratch
 	for i := 0; i+1 < len(rPeaks); i++ {
 		tp := -1
 		if tPeaks != nil && i < len(tPeaks) {
