@@ -31,6 +31,18 @@ import "math"
 // Ring retains the most recent samples of a stream, addressed by
 // absolute sample index. It backs the history-dependent streaming
 // stages (R-peak refinement, beat delineation) with O(1) memory.
+//
+// Aliasing invariant: r.buf is allocated once and never reallocated or
+// resized, so the power-of-two index masking in At/CopyTo/ArgMax always
+// lands inside the same backing array for the life of the ring; Reset
+// rewinds the logical stream without touching the storage, which is
+// what lets pooled engines hand rings across sessions while old
+// absolute indices go stale rather than dangle. Any future widening of
+// this contract — e.g. unsafe reinterpretation of the ring storage as
+// raw bytes for WAL spills — is confined to this file: it is one of the
+// two files on the unsafeguard analyzer's safelist, and the invariant
+// it would lean on (stable, never-reallocated backing array) is the one
+// stated here.
 type Ring struct {
 	buf  []float64
 	mask int

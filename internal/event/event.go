@@ -90,6 +90,13 @@ func (k Kind) String() string {
 // the stamp (Kind, Session, Beat, TimeS) is meaningful for all kinds;
 // the payload fields are grouped by the kinds that set them and are
 // zero otherwise. It is a plain value — copy freely, never shared.
+//
+// The icg:wal marker pins the WAL codec contract: Event (and every
+// type it embeds) must stay flat — fixed-size, pointer-free — so the
+// fixed-width codec in internal/wal can encode it without indirection.
+// The eventflat analyzer enforces this structurally at lint time.
+//
+//icg:wal
 type Event struct {
 	Kind Kind
 	// Session is the serving-layer session ID (0 for a bare

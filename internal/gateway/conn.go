@@ -149,6 +149,18 @@ func (c *conn) fatal(code byte, err error) error {
 	return err
 }
 
+// readLoop drains frames off the wire and dispatches them.
+//
+// Aliasing invariant: every frame returned by sc.Next aliases the
+// scanner's internal read buffer and is valid ONLY until the following
+// Next call. The handlers below run synchronously inside this loop and
+// must fully consume f.Payload (decode it, or copy the bytes) before
+// returning; retaining a sub-slice of f.Payload past the handler is a
+// use-after-overwrite bug that no test can catch deterministically.
+// This zero-copy ingest path is why this file is on the unsafeguard
+// analyzer's safelist: if pinned-buffer tricks (unsafe casts of the
+// payload into sample slices) ever become necessary, they live here,
+// under this invariant, and nowhere else.
 func (c *conn) readLoop() error {
 	sc := radio.NewScannerLimit(c.nc, radio.MaxPayloadExt)
 	for {
