@@ -1,0 +1,279 @@
+// Command icglint runs the repo's invariant analyzers (internal/lint)
+// over the module: the pinned conventions in ROADMAP.md — flat WAL
+// events, deterministic packages, allocation-free hot paths,
+// non-blocking sinks, pure stages, the unsafe safelist — enforced at
+// lint time instead of by review.
+//
+// Standalone:
+//
+//	icglint [-json] [-list] [packages]
+//
+// packages default to ./... (every package in the enclosing module).
+// Unsuppressed findings print as file:line:col: analyzer: message and
+// exit 1; the //icg:allow inventory prints as a summary so CI logs show
+// every live suppression and its reason.
+//
+// As a vet tool (go vet -vettool=$(which icglint) ./...), it speaks the
+// unitchecker protocol: -V=full prints the content-addressed version,
+// -flags prints the (empty) flag schema, and a *.cfg argument runs one
+// unit the go command prepared. Unused-allow detection only runs in
+// standalone mode — a vet unit sees one package, so it cannot tell a
+// stale allow from one that fires in a neighbor.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func runMain(args []string, stdout, stderr io.Writer) int {
+	// The go command probes the vettool before passing normal flags;
+	// these two must be handled ahead of flag parsing because their
+	// spellings (-V=full) collide with the standard flag package only
+	// by luck.
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full", "--V=full":
+			printVersion(stdout)
+			return 0
+		case "-flags", "--flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("icglint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listMode := fs.Bool("list", false, "list the analyzers and exit")
+	jsonMode := fs.Bool("json", false, "emit findings, suppressions and the allow inventory as JSON")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: icglint [-list] [-json] [packages]\n       go vet -vettool=$(which icglint) ./...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *listMode {
+		if *jsonMode {
+			type item struct {
+				Name string `json:"name"`
+				Doc  string `json:"doc"`
+			}
+			var items []item
+			for _, a := range lint.Analyzers() {
+				items = append(items, item{a.Name, a.Doc})
+			}
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(items)
+			return 0
+		}
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnit(rest[0], stderr)
+	}
+	return runStandalone(rest, *jsonMode, stdout, stderr)
+}
+
+// printVersion implements -V=full: the go command caches vet results
+// keyed on this string, so it must change whenever the tool's behavior
+// can — hashing the executable itself is the simplest sound key.
+func printVersion(w io.Writer) {
+	exe, err := os.Executable()
+	if err == nil {
+		if data, rerr := os.ReadFile(exe); rerr == nil {
+			fmt.Fprintf(w, "icglint version devel buildID=%x\n", sha256.Sum256(data))
+			return
+		}
+	}
+	fmt.Fprintln(w, "icglint version devel buildID=unknown")
+}
+
+// runStandalone lints the named packages (./... by default) with the
+// whole-module view: unused allows are findings, and the suppression
+// inventory is printed for the CI summary.
+func runStandalone(args []string, jsonMode bool, stdout, stderr io.Writer) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "icglint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintf(stderr, "icglint: %v\n", err)
+		return 2
+	}
+	paths, err := resolvePatterns(loader, wd, args)
+	if err != nil {
+		fmt.Fprintf(stderr, "icglint: %v\n", err)
+		return 2
+	}
+	res, err := lint.Run(loader, paths, lint.Analyzers(), true)
+	if err != nil {
+		fmt.Fprintf(stderr, "icglint: %v\n", err)
+		return 2
+	}
+	if jsonMode {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(res)
+		if len(res.Findings) > 0 {
+			return 1
+		}
+		return 0
+	}
+	for _, te := range res.TypeErrors {
+		fmt.Fprintf(stderr, "icglint: type error: %s\n", te)
+	}
+	for _, f := range res.Findings {
+		fmt.Fprintf(stdout, "%s\n", f)
+	}
+	if len(res.Allows) > 0 {
+		fmt.Fprintf(stdout, "icglint: %d active suppression(s):\n", len(res.Allows))
+		for _, a := range res.Allows {
+			fmt.Fprintf(stdout, "  %s:%d: //icg:allow %s -- %s\n",
+				a.File, a.Line, strings.Join(a.Analyzers, ","), a.Reason)
+		}
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(stdout, "icglint: %d finding(s)\n", len(res.Findings))
+		return 1
+	}
+	return 0
+}
+
+// resolvePatterns maps command-line package patterns to import paths:
+// "./..." expands to the module, relative directories resolve against
+// the module path, anything else is taken as an import path.
+func resolvePatterns(l *lint.Loader, wd string, args []string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var paths []string
+	for _, a := range args {
+		switch {
+		case a == "./..." || a == "...":
+			all, err := l.ModulePackages()
+			if err != nil {
+				return nil, err
+			}
+			paths = append(paths, all...)
+		case strings.HasPrefix(a, "./") || a == ".":
+			abs, err := filepath.Abs(filepath.Join(wd, a))
+			if err != nil {
+				return nil, err
+			}
+			rel, err := filepath.Rel(l.ModRoot, abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("directory %s is outside module %s", a, l.ModPath)
+			}
+			if rel == "." {
+				paths = append(paths, l.ModPath)
+			} else {
+				paths = append(paths, l.ModPath+"/"+filepath.ToSlash(rel))
+			}
+		default:
+			paths = append(paths, a)
+		}
+	}
+	return paths, nil
+}
+
+// vetConfig is the subset of the go command's unit config (vet.cfg)
+// icglint needs. The go command writes one per package and invokes the
+// vettool with its path as the sole argument.
+type vetConfig struct {
+	ImportPath                string
+	Dir                       string
+	GoFiles                   []string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit lints one go-vet unit. Findings exit 2 (the unitchecker
+// convention go vet maps to failure); test units and fact-only units
+// succeed immediately — the laws govern production code, and icglint
+// carries no cross-package facts.
+func runUnit(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "icglint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "icglint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command expects the facts file regardless of outcome.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "icglint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
+	}
+	prod := cfg.GoFiles[:0:0]
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			prod = append(prod, f)
+		}
+	}
+	if len(prod) == 0 {
+		return 0
+	}
+	loader, err := lint.NewLoader(cfg.Dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "icglint: %v\n", err)
+		return 1
+	}
+	if _, err := loader.LoadFiles(cfg.ImportPath, cfg.Dir, prod); err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "icglint: %v\n", err)
+		return 1
+	}
+	// Unit mode sees one package, so unused allows are not decidable
+	// here; the standalone CI run owns that check.
+	res, err := lint.Run(loader, []string{cfg.ImportPath}, lint.Analyzers(), false)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "icglint: %v\n", err)
+		return 1
+	}
+	if len(res.TypeErrors) > 0 && cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	for _, f := range res.Findings {
+		fmt.Fprintf(stderr, "%s\n", f)
+	}
+	if len(res.Findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module with one violating package:
+// a deterministic-marked file that reads the wall clock.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.24\n",
+		"bad.go": `// Package tmpmod is a lint fixture.
+//
+//icg:deterministic
+package tmpmod
+
+import "time"
+
+// Now reads the wall clock in a deterministic package.
+func Now() time.Time { return time.Now() }
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestListMode(t *testing.T) {
+	var out, errb strings.Builder
+	if code := runMain([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errb.String())
+	}
+	for _, name := range []string{"eventflat", "nodeterm", "hotalloc", "sinksafe", "stagepure", "unsafeguard"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+
+	out.Reset()
+	if code := runMain([]string{"-list", "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("-list -json exited %d", code)
+	}
+	var items []struct{ Name, Doc string }
+	if err := json.Unmarshal([]byte(out.String()), &items); err != nil {
+		t.Fatalf("-list -json is not JSON: %v\n%s", err, out.String())
+	}
+	if len(items) != 6 {
+		t.Fatalf("-list -json returned %d analyzers, want 6", len(items))
+	}
+}
+
+func TestVettoolProbes(t *testing.T) {
+	var out, errb strings.Builder
+	if code := runMain([]string{"-V=full"}, &out, &errb); code != 0 {
+		t.Fatalf("-V=full exited %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "icglint version ") || !strings.Contains(out.String(), "buildID=") {
+		t.Errorf("-V=full output not in vettool form: %q", out.String())
+	}
+
+	out.Reset()
+	if code := runMain([]string{"-flags"}, &out, &errb); code != 0 {
+		t.Fatalf("-flags exited %d", code)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("-flags printed %q, want []", out.String())
+	}
+}
+
+func TestStandaloneFindsAndFails(t *testing.T) {
+	dir := writeModule(t)
+	t.Chdir(dir)
+
+	var out, errb strings.Builder
+	code := runMain(nil, &out, &errb)
+	if code != 1 {
+		t.Fatalf("standalone run on a dirty module exited %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "nodeterm") || !strings.Contains(out.String(), "bad.go:9") {
+		t.Errorf("findings output missing the violation:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = runMain([]string{"-json"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("-json run exited %d, want 1", code)
+	}
+	var res struct {
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(res.Findings) != 1 || res.Findings[0].Analyzer != "nodeterm" || res.Findings[0].Line != 9 {
+		t.Errorf("-json findings = %+v, want one nodeterm at bad.go:9", res.Findings)
+	}
+}
+
+func TestUnitMode(t *testing.T) {
+	dir := writeModule(t)
+	vetx := filepath.Join(dir, "unit.vetx")
+	cfg := map[string]any{
+		"ImportPath": "tmpmod",
+		"Dir":        dir,
+		"GoFiles":    []string{filepath.Join(dir, "bad.go")},
+		"VetxOutput": vetx,
+	}
+	data, _ := json.Marshal(cfg)
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb strings.Builder
+	code := runMain([]string{cfgPath}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("unit run exited %d, want 2 (findings)\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "nodeterm") {
+		t.Errorf("unit diagnostics missing the finding:\n%s", errb.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("unit run did not write the facts file: %v", err)
+	}
+}
+
+func TestUnitModeSkipsTestUnits(t *testing.T) {
+	dir := writeModule(t)
+	vetx := filepath.Join(dir, "test.vetx")
+	cfg := map[string]any{
+		"ImportPath": "tmpmod [tmpmod.test]",
+		"Dir":        dir,
+		"GoFiles":    []string{filepath.Join(dir, "bad.go")},
+		"VetxOutput": vetx,
+	}
+	data, _ := json.Marshal(cfg)
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb strings.Builder
+	if code := runMain([]string{cfgPath}, &out, &errb); code != 0 {
+		t.Fatalf("test unit exited %d, want 0 (skipped)\nstderr: %s", code, errb.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("skipped unit must still write the facts file: %v", err)
+	}
+}

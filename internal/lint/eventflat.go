@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EventFlat pins the event contract's representation law: every type
+// that reaches the WAL codec — event.Event and everything it embeds by
+// value, transitively and across packages — must stay a flat,
+// pointer-free, fixed-size struct. The wal codec (EncodeEvent /
+// DecodeEvent) is a hand-written fixed-width bijection over exactly
+// that shape; a slice, string, map, pointer, interface, channel or
+// function field would compile cleanly and silently break both the
+// codec and the zero-allocation ring sinks.
+//
+// Root types are declared with an `//icg:wal` marker in their doc
+// comment; <module>/internal/event.Event is always a root. The check is
+// structural (go/types), so renaming or wrapping a field cannot dodge
+// it.
+var EventFlat = &Analyzer{
+	Name: "eventflat",
+	Doc:  "types reaching the WAL codec must be flat, pointer-free, fixed-size structs",
+	Run:  runEventFlat,
+}
+
+const walMarker = "icg:wal"
+
+func runEventFlat(pass *Pass) {
+	backstop := pass.ModPath + "/internal/event.Event"
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				marked := hasMarker(gd.Doc, walMarker) || hasMarker(ts.Doc, walMarker) || hasMarker(ts.Comment, walMarker)
+				if !marked && typeName(obj.Type()) != backstop {
+					continue
+				}
+				seen := make(map[*types.Named]bool)
+				checkFlat(pass, obj.Name(), "", ts.Pos(), obj.Type(), seen)
+			}
+		}
+	}
+}
+
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFlat walks the value representation of t, reporting every
+// non-flat component at the declaration of the offending field (which
+// may live in another package — positions stay valid because the whole
+// module is loaded into one FileSet). pos anchors findings for
+// components that have no own declaration, e.g. array elements.
+func checkFlat(pass *Pass, root, path string, pos token.Pos, t types.Type, seen map[*types.Named]bool) {
+	if bad := flatViolation(t); bad != "" {
+		name := path
+		if name == "" {
+			name = root
+		}
+		pass.Reportf(pos,
+			"%s reaches the WAL codec but field %s is %s: wal codec types must stay flat, pointer-free and fixed-size (see internal/wal/codec.go)",
+			root, name, bad)
+		return
+	}
+	if n, ok := t.(*types.Named); ok {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			fpath := f.Name()
+			if path != "" {
+				fpath = path + "." + f.Name()
+			}
+			checkFlat(pass, root, fpath, f.Pos(), f.Type(), seen)
+		}
+	case *types.Array:
+		checkFlat(pass, root, path+"[...]", pos, u.Elem(), seen)
+	}
+}
+
+// flatViolation names the representation problem of a field type, or
+// returns "" when the type is flat at this level (containers of the
+// type are still descended into separately).
+func flatViolation(t types.Type) string {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return fmt.Sprintf("a pointer (%s)", types.TypeString(t, nil))
+	case *types.Slice:
+		return fmt.Sprintf("a slice (%s)", types.TypeString(t, nil))
+	case *types.Map:
+		return fmt.Sprintf("a map (%s)", types.TypeString(t, nil))
+	case *types.Chan:
+		return fmt.Sprintf("a channel (%s)", types.TypeString(t, nil))
+	case *types.Signature:
+		return fmt.Sprintf("a function (%s)", types.TypeString(t, nil))
+	case *types.Interface:
+		return fmt.Sprintf("an interface (%s)", types.TypeString(t, nil))
+	case *types.Basic:
+		switch {
+		case u.Info()&types.IsString != 0:
+			return "a string (variable-size, pointer-backed)"
+		case u.Kind() == types.UnsafePointer:
+			return "an unsafe.Pointer"
+		case u.Kind() == types.Uintptr:
+			return "a uintptr (address-carrying)"
+		case u.Kind() == types.Int || u.Kind() == types.Uint:
+			// Platform-width ints are tolerated: the codec pins them to
+			// 64-bit on the wire (see EncodeEvent), which every
+			// supported platform round-trips.
+			return ""
+		}
+	}
+	return ""
+}

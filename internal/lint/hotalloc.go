@@ -1,0 +1,394 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc pins the perf-hygiene convention: the arena/dst function
+// families (`*With(a *dsp.Arena, ...)`, `*To(dst, ...)`) and anything
+// annotated `//icg:hotpath` are the zero-allocation hot paths whose
+// alloc budgets CI enforces after the fact; this analyzer rejects the
+// allocation sources at review time instead. Inside a hot function:
+//
+//   - no fmt calls (every fmt call allocates and boxes),
+//   - no `new`, and no `make`, outside the sanctioned idioms — the
+//     arena-nil heap fallback (a branch of an `if` whose condition
+//     mentions the *Arena parameter), cap-guarded amortized growth (a
+//     branch of an `if` whose condition calls cap or len), and
+//     retained results (an allocation the function returns: callers
+//     keep it, so it must be heap memory, never arena scratch),
+//   - no append to a slice variable born nil in this function (`var x
+//     []T` then append guarantees a heap grow per call — take a dst or
+//     draw from the arena),
+//   - no closures that capture locals (an escaping capture allocates
+//     the closure and the variable),
+//   - no explicit conversions of concrete values to interface types
+//     (boxing allocates).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "hot-path functions (*With/*To, //icg:hotpath) must not introduce allocation sources",
+	Run:  runHotAlloc,
+}
+
+const hotMarker = "icg:hotpath"
+
+func runHotAlloc(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !isHotFunc(pass, fn) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+}
+
+// isHotFunc reports whether fn is bound by the hot-path convention: an
+// explicit //icg:hotpath annotation, or the *With/*To naming hygiene
+// backed by its signature (an *Arena parameter or a dst parameter —
+// a name suffix alone is not enough, so e.g. session.finishWith, which
+// takes neither, is not conscripted).
+func isHotFunc(pass *Pass, fn *ast.FuncDecl) bool {
+	if hasMarker(fn.Doc, hotMarker) {
+		return true
+	}
+	name := fn.Name.Name
+	if !strings.HasSuffix(name, "With") && !strings.HasSuffix(name, "To") {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, pname := range field.Names {
+			if pname.Name == "dst" {
+				return true
+			}
+		}
+		if tv, ok := pass.Info.Types[field.Type]; ok {
+			if ptr, ok := tv.Type.(*types.Pointer); ok {
+				if n, ok := ptr.Elem().(*types.Named); ok && n.Obj().Name() == "Arena" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	freshNil := freshNilSlices(pass, fn)
+	retained := retainedAllocs(pass, fn)
+	var walk func(n ast.Node, guarded bool)
+	inspect := func(n ast.Node, guarded bool) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			g := guarded || guardsAllocation(pass, n.Cond)
+			if n.Init != nil {
+				walk(n.Init, guarded)
+			}
+			walk(n.Cond, guarded)
+			walk(n.Body, g)
+			if n.Else != nil {
+				walk(n.Else, g)
+			}
+			return false
+		case *ast.CallExpr:
+			checkHotCall(pass, fn, n, guarded, freshNil, retained)
+		case *ast.FuncLit:
+			if capt := captured(pass, fn, n); capt != "" {
+				pass.Reportf(n.Pos(),
+					"closure capturing %q in hot function %s: escaping captures allocate — pass state explicitly or hoist the function",
+					capt, fn.Name.Name)
+			}
+		case *ast.SelectorExpr:
+			if obj, ok := pass.Info.Uses[n.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+				pass.Reportf(n.Pos(),
+					"fmt.%s in hot function %s: fmt formats through reflection and boxes every operand — hot paths must not call fmt",
+					obj.Name(), fn.Name.Name)
+			}
+		}
+		return true
+	}
+	walk = func(n ast.Node, guarded bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil {
+				return false
+			}
+			return inspect(m, guarded)
+		})
+	}
+	walk(fn.Body, false)
+}
+
+func checkHotCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, guarded bool, freshNil map[types.Object]bool, retained map[*ast.CallExpr]bool) {
+	// Explicit conversion to an interface type: boxing.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			if atv, ok := pass.Info.Types[call.Args[0]]; ok {
+				if _, argIface := atv.Type.Underlying().(*types.Interface); !argIface {
+					pass.Reportf(call.Pos(),
+						"conversion to interface %s in hot function %s: boxing a concrete value allocates",
+						types.TypeString(tv.Type, nil), fn.Name.Name)
+				}
+			}
+		}
+		return
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+		switch b.Name() {
+		case "make":
+			if !guarded && !retained[call] {
+				pass.Reportf(call.Pos(),
+					"make in hot function %s outside the sanctioned idioms: draw scratch from the arena, or guard the allocation with the arena-nil fallback / cap-growth check",
+					fn.Name.Name)
+			}
+		case "new":
+			if !retained[call] {
+				pass.Reportf(call.Pos(),
+					"new in hot function %s: hot paths allocate scratch through the arena or caller-provided dst, never new",
+					fn.Name.Name)
+			}
+		case "append":
+			if len(call.Args) == 0 {
+				return
+			}
+			if aid, ok := call.Args[0].(*ast.Ident); ok {
+				if obj := pass.Info.Uses[aid]; obj != nil && freshNil[obj] {
+					pass.Reportf(call.Pos(),
+						"append to %s, which is born nil in hot function %s: every call re-grows from zero — append into a caller-provided dst or preallocate with known cap",
+						aid.Name, fn.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+// guardsAllocation reports whether an if-condition sanctions allocation
+// beneath it: it mentions an *Arena value (the documented heap fallback
+// for a nil arena) or measures cap/len (amortized growth).
+func guardsAllocation(pass *Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if tv, ok := pass.Info.Types[n]; ok {
+				if ptr, ok := tv.Type.(*types.Pointer); ok {
+					if nm, ok := ptr.Elem().(*types.Named); ok && nm.Obj().Name() == "Arena" {
+						found = true
+					}
+				}
+			}
+			if b, ok := pass.Info.Uses[n].(*types.Builtin); ok && (b.Name() == "cap" || b.Name() == "len") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// retainedAllocs collects the make/new call expressions whose result
+// the function returns — directly (`return make(...)`) or through a
+// variable that reaches a return statement (plain, sliced or
+// address-taken). A retained result is the one thing a hot function
+// must NOT draw from the arena (the arena is reused scratch), so heap
+// allocation there is the convention, not a violation.
+func retainedAllocs(pass *Pass, fn *ast.FuncDecl) map[*ast.CallExpr]bool {
+	returned := make(map[types.Object]bool)
+	// Named results are retained by definition.
+	if fn.Type.Results != nil {
+		for _, f := range fn.Type.Results.List {
+			for _, n := range f.Names {
+				if obj := pass.Info.Defs[n]; obj != nil {
+					returned[obj] = true
+				}
+			}
+		}
+	}
+	mark := func(e ast.Expr) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[e]; obj != nil {
+				returned[obj] = true
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						returned[obj] = true
+					}
+				}
+			}
+		case *ast.SliceExpr:
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					returned[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A return inside a literal returns from the literal, not
+			// from fn.
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				mark(r)
+			}
+		}
+		return true
+	})
+	// Fixed point over field stores: a value assigned into a field (or
+	// element) of a retained object is itself retained — the
+	// `res.RPeaks = qrs; return res` shape.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				base := baseIdent(ast.Unparen(lhs))
+				if base == nil || ast.Unparen(lhs) == ast.Expr(base) {
+					continue // plain ident stores are handled by mark
+				}
+				if obj := pass.Info.Uses[base]; obj == nil || !returned[obj] {
+					continue
+				}
+				if id, ok := ast.Unparen(as.Rhs[i]).(*ast.Ident); ok {
+					if o := pass.Info.Uses[id]; o != nil && !returned[o] {
+						returned[o] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	out := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj != nil && returned[obj] {
+					out[call] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+					out[call] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// baseIdent walks selector/index/star/paren chains down to the root
+// identifier (nil when the expression is not rooted in one).
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// freshNilSlices collects the function's `var x []T` declarations: the
+// locals guaranteed to start nil, so appending to them allocates.
+func freshNilSlices(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		decl, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := decl.Decl.(*ast.GenDecl)
+		if !ok {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := pass.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// captured returns the name of a local of the enclosing function that
+// the func literal closes over ("" when it captures nothing).
+func captured(pass *Pass, fn *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Pos() >= fn.Pos() && obj.Pos() < fn.End() &&
+			!(obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()) {
+			name = id.Name
+		}
+		return true
+	})
+	return name
+}

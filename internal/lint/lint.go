@@ -1,0 +1,135 @@
+// Package lint is the repo's static-enforcement layer: a suite of
+// analyzers that pin the conventions in ROADMAP.md ("Pinned
+// conventions") at compile-review time instead of minutes later in a
+// fuzzer or an alloc budget. Each analyzer encodes one law:
+//
+//   - eventflat: types reaching the WAL codec (event.Event and
+//     everything it embeds by value) stay flat, pointer-free and
+//     fixed-size, so the canonical byte codec stays a bijection.
+//   - nodeterm: the determinism-law package set (session, core, dsp,
+//     quality, wal) may not read the wall clock, use the global
+//     math/rand source, or emit output ordered by a map iteration.
+//   - hotalloc: `*With(arena)` / `*To(dst)` functions and
+//     `//icg:hotpath`-annotated functions may not allocate outside the
+//     sanctioned idioms (arena-nil heap fallback, cap-guarded amortized
+//     growth), call fmt, build closures over locals, or box values into
+//     interfaces.
+//   - sinksafe: event.Sink implementations are non-blocking — no bare
+//     channel operations, no I/O, no sleeping, and no dynamic callback
+//     invoked while a sync lock is held.
+//   - stagepure: core.Stage implementations are immutable — methods
+//     never write the stage's own fields; mutable state belongs in the
+//     StageStream.
+//   - unsafeguard: the `unsafe` package is importable only from an
+//     explicit safelist of files whose aliasing invariants are
+//     documented in place.
+//
+// The suite is a deliberate, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis shape (Analyzer/Pass/Diagnostic, an
+// analysistest-style fixture harness in linttest, and a go vet
+// -vettool driver in cmd/icglint): the build environment pins the repo
+// to the standard library, so the framework is vendored in spirit, not
+// in bytes. Findings are suppressed line-by-line with
+//
+//	//icg:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// where the reason is mandatory and surfaced in the CI summary; an
+// allow that suppresses nothing is itself a finding, so the safelist
+// can only shrink.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check: a name (the suppression key), a doc
+// string, and a Run function invoked once per package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer, mirroring golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's parsed syntax, non-test files only: the
+	// pinned laws govern production code (tests exercise wall clocks
+	// and ad-hoc allocation legitimately).
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// ModPath and ModRoot describe the enclosing module ("" when
+	// analyzing a fixture tree).
+	ModPath string
+	ModRoot string
+	report  func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one raw finding, before suppression filtering.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic: position flattened to
+// file/line/column and stamped with the analyzer that produced it.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the conventional file:line:col: analyzer: message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzers returns the full suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		EventFlat,
+		NoDeterm,
+		HotAlloc,
+		SinkSafe,
+		StagePure,
+		UnsafeGuard,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// typeName returns the fully qualified name of a named type or "" for
+// unnamed types; the analyzers use it to anchor checks on well-known
+// contract types without importing their packages.
+func typeName(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

@@ -1,0 +1,112 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func fixtureRoot(t *testing.T) string {
+	t.Helper()
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Join(filepath.Dir(self), "testdata", "src")
+}
+
+func TestEventFlat(t *testing.T) {
+	linttest.Run(t, fixtureRoot(t), "eventflat", lint.EventFlat)
+}
+
+func TestNoDeterm(t *testing.T) {
+	linttest.Run(t, fixtureRoot(t), "nodeterm", lint.NoDeterm)
+}
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, fixtureRoot(t), "hotalloc", lint.HotAlloc)
+}
+
+func TestSinkSafe(t *testing.T) {
+	linttest.Run(t, fixtureRoot(t), "sinksafe", lint.SinkSafe)
+}
+
+func TestStagePure(t *testing.T) {
+	linttest.Run(t, fixtureRoot(t), "stagepure", lint.StagePure)
+}
+
+func TestUnsafeGuard(t *testing.T) {
+	linttest.Run(t, fixtureRoot(t), "unsafeguard", lint.UnsafeGuard)
+}
+
+// TestSuiteNames pins the analyzer names: they are the suppression
+// vocabulary in //icg:allow comments and the CI summary, so a rename is
+// a breaking change to every annotation in the tree.
+func TestSuiteNames(t *testing.T) {
+	want := []string{"eventflat", "nodeterm", "hotalloc", "sinksafe", "stagepure", "unsafeguard"}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d named %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc", a.Name)
+		}
+		if lint.ByName(want[i]) != a {
+			t.Errorf("ByName(%q) does not round-trip", want[i])
+		}
+	}
+	if lint.ByName("nope") != nil {
+		t.Error("ByName of unknown name should be nil")
+	}
+}
+
+// TestRepoClean is the gate itself: the full suite over the full module
+// must produce zero unsuppressed findings. CI runs the icglint binary
+// too, but this keeps `go test ./...` sufficient to catch a violation
+// (and keeps the gate alive on machines without the vettool wired).
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	root := filepath.Join(filepath.Dir(self), "..", "..")
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatalf("enumerate: %v", err)
+	}
+	if len(paths) < 20 {
+		t.Fatalf("module enumeration found only %d packages: %v", len(paths), paths)
+	}
+	res, err := lint.Run(loader, paths, lint.Analyzers(), true)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, te := range res.TypeErrors {
+		t.Errorf("type error: %s", te)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("unsuppressed finding: %s", f)
+	}
+	// Every live suppression must carry its reason (collectAllows
+	// enforces the syntax; this pins that the inventory survives to the
+	// summary).
+	for _, a := range res.Allows {
+		if a.Reason == "" {
+			t.Errorf("allow at %s:%d with empty reason escaped the parser", a.File, a.Line)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package linttest is the fixture harness for the icglint analyzers —
+// the stdlib stand-in for golang.org/x/tools/go/analysis/analysistest.
+// A fixture is a package under a testdata/src root; expected findings
+// are `// want "regexp"` comments on the offending line. The harness
+// loads the fixture through the real loader and driver (so //icg:allow
+// suppression, reason enforcement and unused-allow detection behave
+// exactly as in CI), then diffs findings against the want comments.
+package linttest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// want comments accept double-quoted or backquoted regexp patterns,
+// like analysistest: // want "pattern" `pattern`
+var wantRE = regexp.MustCompile("//\\s*want\\s+((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+var wantArgRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads srcRoot/<pkg> and applies the analyzers, comparing the
+// driver's output (after suppression) against the fixture's want
+// comments.
+func Run(t *testing.T, srcRoot, pkg string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	loader, err := lint.NewLoader(srcRoot)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	loader.ExtraRoot = srcRoot
+	res, err := lint.Run(loader, []string{pkg}, analyzers, true)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.TypeErrors) > 0 {
+		t.Fatalf("fixture %s does not type-check: %v", pkg, res.TypeErrors)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	wantSrc := make(map[key][]string)
+	// Wants are collected recursively: a fixture may include
+	// sub-packages (e.g. eventflat descending into an embedded struct
+	// from another package) whose files carry their own want comments.
+	dir := filepath.Join(srcRoot, filepath.FromSlash(pkg))
+	err = filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".go") {
+			return err
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			k := key{d.Name(), i + 1}
+			for _, qm := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+				pat := qm[2]
+				if qm[1] != "" || qm[2] == "" {
+					pat = strings.ReplaceAll(qm[1], `\"`, `"`)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", d.Name(), i+1, pat, err)
+				}
+				wants[k] = append(wants[k], re)
+				wantSrc[k] = append(wantSrc[k], pat)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("fixture walk: %v", err)
+	}
+
+	matched := make(map[key][]bool)
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, f := range res.Findings {
+		k := key{filepath.Base(f.File), f.Line}
+		hit := false
+		for i, re := range wants[k] {
+			if !matched[k][i] && re.MatchString(f.Message) {
+				matched[k][i] = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected finding at %s:%d: %s: %s", k.file, k.line, f.Analyzer, f.Message)
+		}
+	}
+	for k, ms := range matched {
+		for i, ok := range ms {
+			if !ok {
+				t.Errorf("missing finding at %s:%d: want match for %q", k.file, k.line, wantSrc[k][i])
+			}
+		}
+	}
+}

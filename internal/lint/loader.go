@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the analysis unit.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checker complaints for module packages;
+	// analysis still runs on the partial information, and drivers
+	// decide whether to surface them.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages from source with no
+// dependencies outside the standard library. Resolution order for an
+// import path: the fixture tree (ExtraRoot), the enclosing module, then
+// GOROOT/src. Standard-library dependencies are checked with function
+// bodies ignored (declarations are all the analyzers need), module
+// packages fully. One Loader shares one FileSet and one package cache,
+// so type identities agree across every package it loads.
+type Loader struct {
+	Fset    *token.FileSet
+	ModPath string
+	ModRoot string
+	// ExtraRoot, when set, is a directory of fixture packages (the
+	// linttest "src" root) consulted before the module and GOROOT.
+	ExtraRoot string
+
+	ctx  build.Context
+	pkgs map[string]*pkgEntry
+}
+
+type pkgEntry struct {
+	pkg     *Package
+	err     error
+	loading bool
+}
+
+// NewLoader returns a loader rooted at the module containing dir (dir
+// itself when no go.mod is found upward of it).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modRoot, modPath := findModule(abs)
+	ctx := build.Default
+	// Cgo-free file selection: the source type-checker cannot expand
+	// import "C", and every package in this repo (and the std
+	// declarations the analyzers need) has a pure-Go form.
+	ctx.CgoEnabled = false
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		ModPath: modPath,
+		ModRoot: modRoot,
+		ctx:     ctx,
+		pkgs:    make(map[string]*pkgEntry),
+	}, nil
+}
+
+// findModule walks up from dir looking for go.mod, returning the module
+// root and path ("", "" when absent).
+func findModule(dir string) (root, path string) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest)
+				}
+			}
+			return d, ""
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", ""
+		}
+		d = parent
+	}
+}
+
+// ModulePackages enumerates the import paths of every package in the
+// module (the "./..." pattern): directories under ModRoot holding at
+// least one non-test Go file, skipping testdata, vendor and hidden
+// trees.
+func (l *Loader) ModulePackages() ([]string, error) {
+	if l.ModRoot == "" {
+		return nil, fmt.Errorf("lint: no module root (go.mod not found)")
+	}
+	var paths []string
+	err := filepath.WalkDir(l.ModRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.ModRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				rel, err := filepath.Rel(l.ModRoot, p)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					paths = append(paths, l.ModPath)
+				} else {
+					paths = append(paths, l.ModPath+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Load returns the type-checked package for an import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	if e, ok := l.pkgs[path]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("lint: import cycle through %q", path)
+		}
+		return e.pkg, e.err
+	}
+	e := &pkgEntry{loading: true}
+	l.pkgs[path] = e
+	e.pkg, e.err = l.loadUncached(path)
+	e.loading = false
+	return e.pkg, e.err
+}
+
+// LoadFiles type-checks an explicitly listed set of files as the
+// package at path (the go vet unit-config mode, where the go command
+// names the files). Test files in the list are ignored.
+func (l *Loader) LoadFiles(path, dir string, files []string) (*Package, error) {
+	var keep []string
+	for _, f := range files {
+		if !strings.HasSuffix(f, "_test.go") {
+			keep = append(keep, f)
+		}
+	}
+	pkg, err := l.check(path, dir, keep, false)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = &pkgEntry{pkg: pkg}
+	return pkg, nil
+}
+
+func (l *Loader) loadUncached(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{Path: path, Types: types.Unsafe}, nil
+	}
+	dir, std, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	names := make([]string, 0, len(bp.GoFiles))
+	for _, f := range bp.GoFiles {
+		names = append(names, filepath.Join(dir, f))
+	}
+	return l.check(path, dir, names, std)
+}
+
+// resolve maps an import path to its source directory; std reports a
+// GOROOT package.
+func (l *Loader) resolve(path string) (dir string, std bool, err error) {
+	if l.ExtraRoot != "" {
+		d := filepath.Join(l.ExtraRoot, filepath.FromSlash(path))
+		if hasGoFiles(d) {
+			return d, false, nil
+		}
+	}
+	if l.ModPath != "" {
+		if path == l.ModPath {
+			return l.ModRoot, false, nil
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+			d := filepath.Join(l.ModRoot, filepath.FromSlash(rest))
+			if hasGoFiles(d) {
+				return d, false, nil
+			}
+			return "", false, fmt.Errorf("lint: no Go files in module package %q", path)
+		}
+	}
+	d := filepath.Join(l.ctx.GOROOT, "src", filepath.FromSlash(path))
+	if hasGoFiles(d) {
+		return d, true, nil
+	}
+	// Std packages import their vendored dependencies by unprefixed path
+	// (net → golang.org/x/net/dns/dnsmessage lives in GOROOT/src/vendor).
+	d = filepath.Join(l.ctx.GOROOT, "src", "vendor", filepath.FromSlash(path))
+	if hasGoFiles(d) {
+		return d, true, nil
+	}
+	return "", false, fmt.Errorf("lint: cannot resolve import %q (not in fixtures, module or GOROOT)", path)
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// check parses and type-checks one package. Standard-library packages
+// are checked declarations-only and without AST/Info retention; module
+// and fixture packages keep full syntax, comments and type facts for
+// the analyzers.
+func (l *Loader) check(path, dir string, filenames []string, std bool) (*Package, error) {
+	mode := parser.ParseComments
+	if std {
+		mode = parser.SkipObjectResolution
+	}
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.Fset, name, nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files}
+	var info *types.Info
+	if !std {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+	}
+	cfg := types.Config{
+		Importer:         importerFunc(func(p string) (*types.Package, error) { return l.importTypes(p) }),
+		IgnoreFuncBodies: std,
+	}
+	if std {
+		// A std declaration that fails to check is a loader bug, not a
+		// finding; fail loudly.
+	} else {
+		cfg.Error = func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) }
+	}
+	tpkg, err := cfg.Check(path, l.Fset, files, info)
+	if std && err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	if std {
+		pkg.Files = nil // declarations only; free the syntax
+	}
+	return pkg, nil
+}
+
+func (l *Loader) importTypes(path string) (*types.Package, error) {
+	p, err := l.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoDeterm pins the determinism law: inside the deterministic package
+// set (internal/session, internal/core, internal/dsp, internal/quality,
+// internal/wal — the packages whose per-session output must be a pure
+// function of the input chunks in arrival order), code may not
+//
+//   - read the wall clock (time.Now / Since / Until) or arm wall-clock
+//     timers (time.After / Tick / NewTimer / NewTicker / AfterFunc),
+//   - draw from the global math/rand source (seeded *rand.Rand values
+//     threaded explicitly are fine — they are part of the input),
+//   - emit ordered output from a map iteration (append, channel send,
+//     or an Emit/Write/Push/Encode call inside `for range m`): map
+//     order is randomized per run, so any output it orders is
+//     nondeterministic by construction. The one sanctioned shape is
+//     collect-then-sort: an append whose slice is passed to a
+//     sort/slices sorting call later in the same function is the remedy,
+//     not the disease.
+//
+// Fixture packages opt in with an `//icg:deterministic` comment.
+var NoDeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc:  "deterministic packages must not read wall clocks, global rand, or map order",
+	Run:  runNoDeterm,
+}
+
+const determMarker = "icg:deterministic"
+
+// determPkgs are the module-relative package paths bound by the
+// determinism law (ROADMAP "Determinism law").
+var determPkgs = []string{
+	"internal/session",
+	"internal/core",
+	"internal/dsp",
+	"internal/quality",
+	"internal/wal",
+}
+
+// wallClock are the time-package functions that observe or schedule
+// wall time. Referencing one (not just calling it — assigning time.Now
+// to a field smuggles the clock just as well) is a finding.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// globalRand are the package-level math/rand (and v2) functions backed
+// by the shared global source.
+var globalRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true, "Int63": true, "Int63n": true,
+	"Uint32": true, "Uint64": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true, "Uint16": true, "Uint8": true,
+}
+
+func runNoDeterm(pass *Pass) {
+	if !inDetermSet(pass) {
+		return
+	}
+	for _, file := range pass.Files {
+		// Sort calls are collected per file: a map-range append is
+		// sanctioned when its slice reaches a sorting call afterwards.
+		sorted := sortCallSites(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				fn, ok := pass.Info.Uses[n.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // method, e.g. (*rand.Rand).Intn: explicit source, fine
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if wallClock[fn.Name()] {
+						pass.Reportf(n.Pos(),
+							"time.%s in deterministic package %s: per-session output must be a pure function of the input chunks (inject a clock at the boundary if wall time is genuinely needed)",
+							fn.Name(), pass.Pkg.Path())
+					}
+				case "math/rand", "math/rand/v2":
+					if globalRand[fn.Name()] {
+						pass.Reportf(n.Pos(),
+							"global %s.%s in deterministic package %s: draw from an explicitly seeded *rand.Rand threaded through the call instead",
+							fn.Pkg().Name(), fn.Name(), pass.Pkg.Path())
+					}
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, sorted)
+			}
+			return true
+		})
+	}
+}
+
+// sortOK is the set of sort-package functions that actually sort their
+// argument (sort.Search, for one, does not).
+var sortOK = map[string]bool{
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+}
+
+// sortCallSites maps each object passed (anywhere in an argument) to a
+// sorting call from package sort or slices, to the positions of those
+// calls. checkMapRange uses it to recognize the collect-then-sort idiom.
+func sortCallSites(pass *Pass, file *ast.File) map[types.Object][]token.Pos {
+	sites := make(map[types.Object][]token.Pos)
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort":
+			if !sortOK[fn.Name()] {
+				return true
+			}
+		case "slices":
+			if !strings.HasPrefix(fn.Name(), "Sort") {
+				return true
+			}
+		default:
+			return true
+		}
+		for _, a := range call.Args {
+			ast.Inspect(a, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						sites[obj] = append(sites[obj], call.Pos())
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return sites
+}
+
+func inDetermSet(pass *Pass) bool {
+	if pass.ModPath != "" {
+		for _, p := range determPkgs {
+			if pass.Pkg.Path() == pass.ModPath+"/"+p {
+				return true
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			if hasMarker(cg, determMarker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkMapRange flags `for range m` over a map whose body produces
+// ordered output. Order-insensitive bodies (sums, counts, building
+// another map, deleting) pass: the law is about ordered output, not
+// about touching maps. An append collecting into a slice that is sorted
+// after the loop (the canonical remedy) is sanctioned.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, sorted map[types.Object][]token.Pos) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside a map range: map iteration order is randomized, so the receiver observes a nondeterministic sequence — iterate sorted keys instead")
+			return true
+		case *ast.CallExpr:
+			name := calleeName(n)
+			switch {
+			case name == "append":
+				if len(n.Args) > 0 {
+					if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
+						if obj := pass.Info.Uses[id]; obj != nil {
+							for _, p := range sorted[obj] {
+								if p > rng.End() {
+									return true // collect-then-sort idiom
+								}
+							}
+						}
+					}
+				}
+				pass.Reportf(n.Pos(),
+					"append inside a map range: map iteration order is randomized, so the slice order is nondeterministic — collect then sort, or iterate sorted keys")
+			case strings.HasPrefix(name, "Emit") || strings.HasPrefix(name, "Write") ||
+				strings.HasPrefix(name, "Push") || strings.HasPrefix(name, "Encode") ||
+				strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+				strings.HasPrefix(name, "Append"):
+				pass.Reportf(n.Pos(),
+					"%s call inside a map range: map iteration order is randomized, so the emitted sequence is nondeterministic — iterate sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+// calleeName extracts the bare called identifier (append, Emit, x.Write)
+// for the map-range heuristic.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}

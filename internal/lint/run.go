@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// Result is one driver run: what fired, what an allow absorbed, and the
+// live suppression inventory for the CI summary.
+type Result struct {
+	// Findings are the unsuppressed violations, sorted by position; a
+	// non-empty list fails the gate.
+	Findings []Finding `json:"findings"`
+	// Suppressed are the findings //icg:allow comments absorbed,
+	// with their stated reasons.
+	Suppressed []Suppressed `json:"suppressed"`
+	// Allows is every parsed suppression comment (used or not).
+	Allows []*Allow `json:"allows"`
+	// TypeErrors are module-package type-check failures; analysis still
+	// ran on partial information.
+	TypeErrors []string `json:"type_errors,omitempty"`
+}
+
+// Run loads the packages at the given import paths and applies the
+// analyzers, resolving //icg:allow suppressions across every loaded
+// module file. When the full suite runs (checkUnused), an allow that
+// suppressed nothing is itself a finding — with a single analyzer
+// selected that would misfire, so it is the caller's choice.
+func Run(l *Loader, paths []string, analyzers []*Analyzer, checkUnused bool) (*Result, error) {
+	res := &Result{}
+	valid := make(map[string]bool)
+	for _, a := range Analyzers() {
+		valid[a.Name] = true
+	}
+	var raw []Finding
+	seenFile := make(map[string]bool)
+	var allFiles []*ast.File
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, te := range pkg.TypeErrors {
+			res.TypeErrors = append(res.TypeErrors, te.Error())
+		}
+		for _, f := range pkg.Files {
+			name := l.Fset.Position(f.Package).Filename
+			if !seenFile[name] {
+				seenFile[name] = true
+				allFiles = append(allFiles, f)
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     l.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				ModPath:  l.ModPath,
+				ModRoot:  l.ModRoot,
+			}
+			pass.report = func(d Diagnostic) {
+				p := l.Fset.Position(d.Pos)
+				raw = append(raw, Finding{
+					File: p.Filename, Line: p.Line, Col: p.Column,
+					Analyzer: a.Name, Message: d.Message,
+				})
+			}
+			a.Run(pass)
+		}
+	}
+	// A finding can anchor in a file of another loaded package (e.g.
+	// eventflat descending into an embedded struct), so allows are
+	// collected from every module file the loader has seen.
+	for _, e := range l.pkgs {
+		if e.pkg == nil {
+			continue
+		}
+		for _, f := range e.pkg.Files {
+			name := l.Fset.Position(f.Package).Filename
+			if !seenFile[name] {
+				seenFile[name] = true
+				allFiles = append(allFiles, f)
+			}
+		}
+	}
+	allows, badAllows := collectAllows(l.Fset, allFiles, valid)
+	kept, suppressed := applyAllows(raw, allows)
+	kept = append(kept, badAllows...)
+	if checkUnused {
+		for _, a := range allows {
+			if !a.Used {
+				kept = append(kept, Finding{
+					File: a.File, Line: a.Line, Col: 1, Analyzer: "icglint",
+					Message: fmt.Sprintf("unused //icg:allow %s: nothing to suppress here, delete it",
+						strings.Join(a.Analyzers, ",")),
+				})
+			}
+		}
+	}
+	res.Findings = relativize(kept, l.ModRoot)
+	res.Suppressed = relativizeSuppressed(suppressed, l.ModRoot)
+	res.Allows = allows
+	for _, a := range res.Allows {
+		a.File = relPath(a.File, l.ModRoot)
+	}
+	sortFindings(res.Findings)
+	return res, nil
+}
+
+func relPath(name, root string) string {
+	if root == "" {
+		return name
+	}
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return name
+}
+
+func relativize(fs []Finding, root string) []Finding {
+	for i := range fs {
+		fs[i].File = relPath(fs[i].File, root)
+	}
+	return fs
+}
+
+func relativizeSuppressed(fs []Suppressed, root string) []Suppressed {
+	for i := range fs {
+		fs[i].File = relPath(fs[i].File, root)
+	}
+	return fs
+}

@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SinkSafe pins the event contract's delivery law: Sink.Emit is
+// synchronous, non-blocking and runs on the producer's worker
+// goroutine, so an implementation that blocks stalls the session hot
+// path for every session behind that worker. Inside an Emit
+// method with an event.Event parameter — and everything it calls in
+// the same package — the analyzer rejects:
+//
+//   - bare channel sends or receives (use select with default: a full
+//     consumer must cost a counted drop, never a stall),
+//   - blocking select statements (every select needs a default),
+//   - I/O (os, net, io, bufio, syscall, fmt.Fprint*, log): file and
+//     socket writes block arbitrarily — put them behind a bounded
+//     drop-counting sink on a consumer goroutine,
+//   - time.Sleep and sync waits (WaitGroup.Wait, Cond.Wait),
+//   - dynamic calls (func values, interface methods) made while a sync
+//     lock is held: a user callback under the sink's lock can deadlock
+//     the producer against its own consumer.
+var SinkSafe = &Analyzer{
+	Name: "sinksafe",
+	Doc:  "event.Sink implementations must be non-blocking: no bare channel ops, no I/O, no callback under a lock",
+	Run:  runSinkSafe,
+}
+
+// ioPkgs are packages whose package-level functions and methods mean
+// the sink is doing I/O or blocking.
+var ioPkgs = map[string]bool{
+	"os": true, "net": true, "io": true, "bufio": true,
+	"syscall": true, "os/exec": true, "log": true,
+}
+
+func runSinkSafe(pass *Pass) {
+	decls := packageFuncDecls(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isSinkEmit(pass, fn) {
+				continue
+			}
+			recvName := types.TypeString(recvType(pass, fn), types.RelativeTo(pass.Pkg))
+			visited := make(map[*ast.FuncDecl]bool)
+			checkSinkFunc(pass, fn, recvName, decls, visited)
+		}
+	}
+}
+
+// isSinkEmit reports whether fn is an Emit method taking a single
+// event.Event-shaped parameter — the structural signature of the Sink
+// contract (checking by shape instead of types.Implements keeps the
+// analyzer anchored even on fixture stubs).
+func isSinkEmit(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || fn.Name.Name != "Emit" {
+		return false
+	}
+	params := fn.Type.Params.List
+	if len(params) != 1 || len(params[0].Names) > 1 {
+		return false
+	}
+	tv, ok := pass.Info.Types[params[0].Type]
+	if !ok {
+		return false
+	}
+	n, ok := tv.Type.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Event" && n.Obj().Pkg().Name() == "event"
+}
+
+func recvType(pass *Pass, fn *ast.FuncDecl) types.Type {
+	tv, ok := pass.Info.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return types.Typ[types.Invalid]
+	}
+	return tv.Type
+}
+
+// packageFuncDecls indexes the package's function declarations by their
+// type-checker object, so the checker can follow same-package calls
+// from Emit into helpers.
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+					m[obj] = fn
+				}
+			}
+		}
+	}
+	return m
+}
+
+// checkSinkFunc walks one function reachable from a Sink's Emit,
+// tracking whether a sync lock is held across each statement.
+func checkSinkFunc(pass *Pass, fn *ast.FuncDecl, sink string, decls map[*types.Func]*ast.FuncDecl, visited map[*ast.FuncDecl]bool) {
+	if visited[fn] {
+		return
+	}
+	visited[fn] = true
+	locked := false
+	var walk func(n ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(),
+					"blocking channel send in event.Sink %s (via %s): Emit must not block — send under select with default and count the drop",
+					sink, fn.Name.Name)
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					pass.Reportf(n.Pos(),
+						"blocking channel receive in event.Sink %s (via %s): Emit must not block",
+						sink, fn.Name.Name)
+				}
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, cl := range n.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					pass.Reportf(n.Pos(),
+						"select without default in event.Sink %s (via %s): Emit must not block — add a default that counts the drop",
+						sink, fn.Name.Name)
+				}
+				// Comm clauses are the sanctioned non-blocking channel
+				// ops; walk only the clause bodies.
+				for _, cl := range n.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok {
+						for _, st := range cc.Body {
+							walk(st)
+						}
+					}
+				}
+				return false
+			case *ast.DeferStmt:
+				// defer mu.Unlock() does not release for the rest of
+				// the body; the lock state stands. Other defers are
+				// walked normally.
+				if isLockCall(pass, n.Call, "Unlock", "RUnlock") {
+					return false
+				}
+			case *ast.CallExpr:
+				checkSinkCall(pass, n, fn, sink, &locked, decls, visited, walk)
+				return false
+			}
+			return true
+		})
+	}
+	walk(fn.Body)
+}
+
+func checkSinkCall(pass *Pass, call *ast.CallExpr, fn *ast.FuncDecl, sink string, locked *bool, decls map[*types.Func]*ast.FuncDecl, visited map[*ast.FuncDecl]bool, walk func(ast.Node)) {
+	// Walk arguments first (they may contain nested calls/closures),
+	// and the receiver chain of a method call (x.f().Emit(...)).
+	for _, a := range call.Args {
+		walk(a)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		walk(sel.X)
+	}
+	// Builtins (len, cap, append, ...) and type conversions are not
+	// calls that can block or call back into user code.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		return
+	}
+	switch {
+	case isLockCall(pass, call, "Lock", "RLock"):
+		*locked = true
+		return
+	case isLockCall(pass, call, "Unlock", "RUnlock"):
+		*locked = false
+		return
+	}
+	if obj := staticCallee(pass, call); obj != nil {
+		if pkg := obj.Pkg(); pkg != nil {
+			if ioPkgs[pkg.Path()] {
+				pass.Reportf(call.Pos(),
+					"%s.%s in event.Sink %s (via %s): I/O blocks arbitrarily — move it behind a bounded drop-counting sink on a consumer goroutine",
+					pkg.Name(), obj.Name(), sink, fn.Name.Name)
+				return
+			}
+			if pkg.Path() == "time" && obj.Name() == "Sleep" {
+				pass.Reportf(call.Pos(),
+					"time.Sleep in event.Sink %s (via %s): Emit must not block", sink, fn.Name.Name)
+				return
+			}
+			if pkg.Path() == "fmt" && len(obj.Name()) >= 6 && obj.Name()[:6] == "Fprint" {
+				pass.Reportf(call.Pos(),
+					"fmt.%s in event.Sink %s (via %s): writer I/O blocks arbitrarily — buffer through a bounded sink instead",
+					obj.Name(), sink, fn.Name.Name)
+				return
+			}
+			if pkg.Path() == "sync" && obj.Name() == "Wait" {
+				pass.Reportf(call.Pos(),
+					"sync %s.Wait in event.Sink %s (via %s): Emit must not block", recvOf(obj), sink, fn.Name.Name)
+				return
+			}
+		}
+		// Same-package helper: follow it so the law cannot be dodged by
+		// one level of indirection.
+		if callee, ok := decls[obj]; ok {
+			checkSinkFunc(pass, callee, sink, decls, visited)
+		}
+		return
+	}
+	// Dynamic call: a func value or interface method. Fine on its own
+	// (that is how sinks compose, e.g. Tee fanning out to Sinks) — but
+	// never while holding a lock.
+	if *locked {
+		pass.Reportf(call.Pos(),
+			"dynamic call while a sync lock is held in event.Sink %s (via %s): a callback under the sink's lock can deadlock producer against consumer — release the lock first",
+			sink, fn.Name.Name)
+	}
+}
+
+func recvOf(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "?"
+	}
+	return types.TypeString(sig.Recv().Type(), func(p *types.Package) string { return "" })
+}
+
+// staticCallee resolves a call to its static *types.Func target, or nil
+// for dynamic calls (func values, interface methods).
+func staticCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[f]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				// An interface method selection is a dynamic call.
+				if _, iface := sel.Recv().Underlying().(*types.Interface); iface {
+					return nil
+				}
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := pass.Info.Uses[f.Sel].(*types.Func); ok {
+			return fn // package-qualified call
+		}
+	}
+	return nil
+}
+
+// isLockCall reports whether call is one of the named methods on a sync
+// type (sync.Mutex.Lock, sync.RWMutex.RUnlock, ...), including through
+// embedding.
+func isLockCall(pass *Pass, call *ast.CallExpr, names ...string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}

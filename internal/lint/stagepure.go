@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StagePure pins the Stage contract's state rule: a core.Stage is
+// immutable after construction and safe for concurrent Apply — all
+// mutable per-stream state lives in the StageStream it returns. A Stage
+// method that writes its own fields compiles cleanly and works in every
+// single-threaded test, then corrupts state the first time two sessions
+// share the device's chain. The analyzer finds every type in the
+// package with both an Apply and a NewStream method (the structural
+// Stage shape, so fixture stubs anchor it too) and rejects any method
+// on it that assigns through the receiver.
+var StagePure = &Analyzer{
+	Name: "stagepure",
+	Doc:  "core.Stage implementations must not write their own fields; mutable state belongs in the StageStream",
+	Run:  runStagePure,
+}
+
+func runStagePure(pass *Pass) {
+	stages := stageTypes(pass)
+	if len(stages) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			named := namedRecv(pass, fn)
+			if named == nil || !stages[named.Obj()] {
+				continue
+			}
+			var recvObjs []types.Object
+			for _, name := range fn.Recv.List[0].Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					recvObjs = append(recvObjs, obj)
+				}
+			}
+			if len(recvObjs) == 0 {
+				continue
+			}
+			checkStageMethod(pass, fn, named.Obj().Name(), recvObjs)
+		}
+	}
+}
+
+// stageTypes collects the package's named types whose method set has
+// both Apply and NewStream — the structural shape of core.Stage.
+func stageTypes(pass *Pass) map[*types.TypeName]bool {
+	stages := make(map[*types.TypeName]bool)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		ms := types.NewMethodSet(types.NewPointer(named))
+		hasApply, hasNewStream := false, false
+		for i := 0; i < ms.Len(); i++ {
+			switch ms.At(i).Obj().Name() {
+			case "Apply":
+				hasApply = true
+			case "NewStream":
+				hasNewStream = true
+			}
+		}
+		if hasApply && hasNewStream {
+			stages[tn] = true
+		}
+	}
+	return stages
+}
+
+func namedRecv(pass *Pass, fn *ast.FuncDecl) *types.Named {
+	tv, ok := pass.Info.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// checkStageMethod flags writes through the receiver: direct field
+// assignment, compound assignment, ++/--, and whole-receiver
+// overwrites. Writes through a field's pointed-to or indexed storage
+// (st.buf[i] = v) are flagged too: sharing mutable storage through an
+// immutable struct is the same law broken one dereference later.
+func checkStageMethod(pass *Pass, fn *ast.FuncDecl, stage string, recvObjs []types.Object) {
+	report := func(n ast.Node, what string) {
+		pass.Reportf(n.Pos(),
+			"%s in Stage method (%s).%s: a Stage is immutable after construction and shared by every session — move mutable state into the StageStream (ROADMAP: Stage contract)",
+			what, stage, fn.Name.Name)
+	}
+	rootedInRecv := func(e ast.Expr) bool {
+		for {
+			switch x := e.(type) {
+			case *ast.Ident:
+				obj := pass.Info.Uses[x]
+				for _, r := range recvObjs {
+					if obj == r {
+						return true
+					}
+				}
+				return false
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			default:
+				return false
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if rootedInRecv(lhs) {
+					report(lhs, "receiver write")
+				}
+			}
+		case *ast.IncDecStmt:
+			if rootedInRecv(n.X) {
+				report(n.X, "receiver write")
+			}
+		case *ast.UnaryExpr:
+			// &st.field escaping hands out a mutable window into the
+			// shared stage.
+			if n.Op.String() == "&" && rootedInRecv(n.X) {
+				report(n, "address of receiver field")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Allow is one parsed suppression comment:
+//
+//	//icg:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// It suppresses findings of the named analyzers on its own line and on
+// the line directly below it (so it can trail the offending line or sit
+// above it as its own comment line). The reason is mandatory and is
+// surfaced verbatim in the CI summary; an allow that suppresses nothing
+// is itself reported, so stale suppressions cannot accumulate.
+type Allow struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason"`
+	Used      bool     `json:"used"`
+}
+
+const allowPrefix = "//icg:allow"
+
+// collectAllows parses every suppression comment in the files. Malformed
+// allows (missing reason, unknown analyzer name) are reported as
+// findings under the "icglint" pseudo-analyzer: a suppression that does
+// not say why, or names a check that does not exist, is a hole in the
+// gate, not a suppression.
+func collectAllows(fset *token.FileSet, files []*ast.File, valid map[string]bool) (allows []*Allow, bad []Finding) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				mk := func(msg string) {
+					bad = append(bad, Finding{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Analyzer: "icglint", Message: msg,
+					})
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other icg:allow-prefixed marker
+				}
+				names, reason, hasReason := strings.Cut(rest, " -- ")
+				if !hasReason || strings.TrimSpace(reason) == "" {
+					mk("//icg:allow without a reason: write `//icg:allow <analyzer> -- <why this line may break the law>`")
+					continue
+				}
+				var list []string
+				for _, n := range strings.Split(names, ",") {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						continue
+					}
+					if !valid[n] {
+						mk("//icg:allow names unknown analyzer \"" + n + "\"")
+						continue
+					}
+					list = append(list, n)
+				}
+				if len(list) == 0 {
+					mk("//icg:allow lists no analyzer: write `//icg:allow <analyzer> -- <reason>`")
+					continue
+				}
+				allows = append(allows, &Allow{
+					File: pos.Filename, Line: pos.Line,
+					Analyzers: list, Reason: strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return allows, bad
+}
+
+// applyAllows partitions findings into kept and suppressed, marking the
+// allows that fired.
+func applyAllows(findings []Finding, allows []*Allow) (kept []Finding, suppressed []Suppressed) {
+	type key struct {
+		file string
+		line int
+	}
+	idx := make(map[key][]*Allow)
+	for _, a := range allows {
+		idx[key{a.File, a.Line}] = append(idx[key{a.File, a.Line}], a)
+		idx[key{a.File, a.Line + 1}] = append(idx[key{a.File, a.Line + 1}], a)
+	}
+	for _, f := range findings {
+		var hit *Allow
+		for _, a := range idx[key{f.File, f.Line}] {
+			for _, name := range a.Analyzers {
+				if name == f.Analyzer {
+					hit = a
+					break
+				}
+			}
+			if hit != nil {
+				break
+			}
+		}
+		if hit != nil {
+			hit.Used = true
+			suppressed = append(suppressed, Suppressed{Finding: f, Reason: hit.Reason})
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	return kept, suppressed
+}
+
+// Suppressed is a finding an //icg:allow comment absorbed, paired with
+// the stated reason for the CI summary.
+type Suppressed struct {
+	Finding
+	Reason string `json:"reason"`
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,15 @@
+// Package event is the fixture stand-in for the repo's internal/event:
+// the sinksafe analyzer anchors on the Emit(event.Event) method shape.
+package event
+
+// Event mirrors the flat tagged union.
+type Event struct {
+	Kind    uint8
+	Session uint64
+	TimeS   float64
+}
+
+// Sink is the delivery contract under test.
+type Sink interface {
+	Emit(e Event)
+}

@@ -1,0 +1,49 @@
+// Package eventflat is the eventflat analyzer fixture: wal-marked
+// types must stay flat, pointer-free and fixed-size.
+package eventflat
+
+import "eventflat/sub"
+
+// Event is the fixture's wal-codec root.
+//
+//icg:wal
+type Event struct {
+	Kind    uint8
+	Session uint64
+	Beat    int
+	TimeS   float64
+	Fixed   [4]float64
+
+	Name    string            // want "field Name is a string"
+	Samples []float64         // want "field Samples is a slice"
+	Tags    map[string]int    // want "field Tags is a map"
+	Next    *Event            // want "field Next is a pointer"
+	Done    chan struct{}     // want "field Done is a channel"
+	OnEmit  func()            // want "field OnEmit is a function"
+	Any     interface{ M() }  // want "field Any is an interface"
+	Raw     [2][]byte         // want `field Raw\[\.\.\.\] is a slice`
+	Nested  nested            // the struct itself is fine; its bad field is flagged below
+	Sub     sub.Payload       // cross-package descent: flagged in sub/sub.go
+	Legacy  map[uint64]string //icg:allow eventflat -- inherited debug field, scheduled for removal, never encoded
+}
+
+// nested is reached by value from Event, so its fields are checked too.
+type nested struct {
+	OK  float64
+	Ptr *int // want "field Nested.Ptr is a pointer"
+}
+
+// Flat is wal-marked and fully flat: no findings.
+//
+//icg:wal
+type Flat struct {
+	A, B float64
+	C    [8]uint32
+	D    bool
+}
+
+// Unmarked is not a codec type: anything goes.
+type Unmarked struct {
+	S []string
+	M map[int]int
+}

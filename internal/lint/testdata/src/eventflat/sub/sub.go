@@ -1,0 +1,11 @@
+// Package sub holds a struct embedded by value in the fixture's
+// wal-marked Event, proving the flatness check crosses package
+// boundaries (the real-tree analogue: hemo.BeatParams inside
+// event.Event).
+package sub
+
+// Payload rides inside eventflat.Event.
+type Payload struct {
+	Value float64
+	Hist  []float64 // want "field Sub.Hist is a slice"
+}

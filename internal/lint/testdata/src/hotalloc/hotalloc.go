@@ -1,0 +1,149 @@
+// Package hotalloc is the hotalloc analyzer fixture: *With/*To
+// functions and //icg:hotpath annotations pin the zero-allocation
+// rules.
+package hotalloc
+
+import "fmt"
+
+// Arena mimics dsp.Arena for the fixture (detection is by type name,
+// matching the repo's single arena type).
+type Arena struct{ bufs [][]float64 }
+
+// F64 checks out a buffer.
+func (a *Arena) F64(n int) []float64 {
+	// Not a hot-named function: the arena's own amortized growth is the
+	// sanctioned allocation site.
+	return make([]float64, n)
+}
+
+// SmoothWith is a hot function by naming + arena parameter.
+func SmoothWith(a *Arena, x []float64) []float64 {
+	var y []float64
+	if a != nil {
+		y = a.F64(len(x))
+	} else {
+		y = make([]float64, len(x)) // arena-nil fallback: sanctioned
+	}
+	copy(y, x)
+	return y
+}
+
+// GrowTo is hot via the dst parameter; cap-guarded growth is sanctioned.
+func GrowTo(dst, x []float64) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x)) // cap-guarded: sanctioned
+	}
+	copy(dst[:len(x)], x)
+	return dst[:len(x)]
+}
+
+// BadMakeWith allocates scratch it never returns: that is what the
+// arena is for.
+func BadMakeWith(a *Arena, x []float64) float64 {
+	scratch := make([]float64, len(x)) // want "make in hot function BadMakeWith"
+	copy(scratch, x)
+	sum := 0.0
+	for _, v := range scratch {
+		sum += v
+	}
+	return sum
+}
+
+// BadNewTo news per-call scratch.
+func BadNewTo(dst []float64) float64 {
+	p := new(float64) // want "new in hot function BadNewTo"
+	for _, v := range dst {
+		*p += v
+	}
+	return *p
+}
+
+// BadFmtWith formats in the hot path.
+func BadFmtWith(a *Arena, v float64) string {
+	return fmt.Sprintf("%v", v) // want "fmt.Sprintf in hot function BadFmtWith"
+}
+
+// BadAppendWith grows a nil local every call.
+func BadAppendWith(a *Arena, x []float64) []float64 {
+	var out []float64
+	for _, v := range x {
+		out = append(out, v*2) // want "append to out, which is born nil in hot function BadAppendWith"
+	}
+	return out
+}
+
+// BadClosureWith builds a capturing closure.
+func BadClosureWith(a *Arena, x []float64) func() float64 {
+	total := 0.0
+	return func() float64 { // want `closure capturing "x" in hot function BadClosureWith`
+		for _, v := range x {
+			total += v
+		}
+		return total
+	}
+}
+
+// BadBoxWith boxes into an interface.
+func BadBoxWith(a *Arena, v float64) any {
+	return any(v) // want "conversion to interface any in hot function BadBoxWith"
+}
+
+// hot is annotated, so the rules apply despite the name.
+//
+//icg:hotpath
+func hot(x []float64) float64 {
+	y := make([]float64, len(x)) // want "make in hot function hot"
+	copy(y, x)
+	return y[0]
+}
+
+// finishWith has the suffix but neither an arena nor a dst parameter:
+// not conscripted (mirrors session.finishWith).
+func finishWith(reason int) []float64 {
+	out := make([]float64, reason)
+	for i := range out {
+		out[i] = float64(reason)
+	}
+	return out
+}
+
+// ResultWith heap-allocates its returned slice: callers retain it, so
+// arena scratch would be a use-after-reset bug — the retained-result
+// exception, not a violation.
+func ResultWith(a *Arena, x []float64) []float64 {
+	out := make([]float64, 0, len(x))
+	for _, v := range x {
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// NewStateWith returns a heap record the caller keeps (mirrors
+// icg.DetectBeatWith returning *BeatPoints).
+func NewStateWith(a *Arena, v float64) *float64 {
+	p := new(float64)
+	*p = v
+	return p
+}
+
+// record mimics a result struct whose fields are built up before
+// returning.
+type record struct{ vals []float64 }
+
+// FillWith stores its allocation into a field of the returned record:
+// retained through the field, so heap allocation is the convention.
+func FillWith(a *Arena, x []float64) *record {
+	r := &record{}
+	vals := make([]float64, len(x))
+	copy(vals, x)
+	r.vals = vals
+	return r
+}
+
+// AllowedWith documents its one-off scratch allocation.
+func AllowedWith(a *Arena, n int) float64 {
+	tmp := make([]float64, n) //icg:allow hotalloc -- fixture: documented construction-time scratch, called once per session
+	return float64(len(tmp))
+}

@@ -1,0 +1,112 @@
+// Package nodeterm is the nodeterm analyzer fixture: a package in the
+// determinism set must not read wall clocks, the global rand source, or
+// order output by map iteration.
+//
+//icg:deterministic
+package nodeterm
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock smuggling: references are findings, not just calls.
+var bootTime = time.Now() // want `time\.Now in deterministic package`
+
+type engine struct {
+	now func() time.Time
+}
+
+func newEngine() *engine {
+	return &engine{now: time.Now} // want `time\.Now in deterministic package`
+}
+
+func elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want `time\.Since in deterministic package`
+}
+
+func delay() <-chan time.Time {
+	return time.After(time.Second) // want `time\.After in deterministic package`
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `global rand\.Float64 in deterministic package`
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want `global rand\.Intn in deterministic package`
+}
+
+// Seeded sources threaded explicitly are part of the input: fine.
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// Durations and time arithmetic without a wall-clock read: fine.
+func window(d time.Duration) float64 { return d.Seconds() }
+
+func emitAll(m map[uint64]float64, out []float64) []float64 {
+	for _, v := range m {
+		out = append(out, v) // want "append inside a map range"
+	}
+	return out
+}
+
+func sendAll(m map[uint64]float64, ch chan float64) {
+	for _, v := range m {
+		ch <- v // want "channel send inside a map range"
+	}
+}
+
+type sink struct{}
+
+func (sink) Emit(float64) {}
+
+func emitEach(m map[uint64]float64, s sink) {
+	for _, v := range m {
+		s.Emit(v) // want "Emit call inside a map range"
+	}
+}
+
+// Order-insensitive map use: fine.
+func total(m map[uint64]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// The sanctioned pattern: collect, sort, then emit. The collect append
+// is recognized because keys reaches sort.Slice after the loop.
+func emitSorted(m map[uint64]float64, out []float64) []float64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Collecting without sorting is still a finding: the sort must come
+// after the loop, sorting a different slice does not help.
+func emitUnsorted(m map[uint64]float64, other []float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v) // want "append inside a map range"
+	}
+	sort.Float64s(other)
+	return vals
+}
+
+func quarantine(clock func() time.Time) time.Time {
+	if clock == nil {
+		clock = time.Now //icg:allow nodeterm -- injected wall clock default; quarantine windows are wall time by contract
+	}
+	return clock()
+}

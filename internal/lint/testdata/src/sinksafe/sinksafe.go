@@ -1,0 +1,143 @@
+// Package sinksafe is the sinksafe analyzer fixture: Sink.Emit
+// implementations must be non-blocking.
+package sinksafe
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"event"
+)
+
+// GoodChan is the sanctioned non-blocking bridge.
+type GoodChan struct {
+	C       chan event.Event
+	dropped uint64
+}
+
+func (c *GoodChan) Emit(e event.Event) {
+	select {
+	case c.C <- e:
+	default:
+		c.dropped++
+	}
+}
+
+// GoodRing locks only around its own ring state: fine.
+type GoodRing struct {
+	mu   sync.Mutex
+	ring []event.Event
+	n    int
+}
+
+func (b *GoodRing) Emit(e event.Event) {
+	b.mu.Lock()
+	if b.n < len(b.ring) {
+		b.ring[b.n] = e
+		b.n++
+	}
+	b.mu.Unlock()
+}
+
+// GoodTee fans out through dynamic calls with no lock held: that is how
+// sinks compose.
+type GoodTee []event.Sink
+
+func (t GoodTee) Emit(e event.Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
+}
+
+// BadSend blocks on a bare channel send.
+type BadSend struct{ C chan event.Event }
+
+func (s *BadSend) Emit(e event.Event) {
+	s.C <- e // want "blocking channel send in event.Sink"
+}
+
+// BadRecv blocks on a receive.
+type BadRecv struct{ ready chan struct{} }
+
+func (s *BadRecv) Emit(e event.Event) {
+	<-s.ready // want "blocking channel receive in event.Sink"
+}
+
+// BadSelect has no default.
+type BadSelect struct{ a, b chan event.Event }
+
+func (s *BadSelect) Emit(e event.Event) {
+	select { // want "select without default in event.Sink"
+	case s.a <- e:
+	case s.b <- e:
+	}
+}
+
+// BadFile does file I/O on the producer's worker.
+type BadFile struct{ f *os.File }
+
+func (s *BadFile) Emit(e event.Event) {
+	fmt.Fprintf(s.f, "%v\n", e) // want "fmt.Fprintf in event.Sink"
+}
+
+// BadSleep throttles by sleeping.
+type BadSleep struct{}
+
+func (BadSleep) Emit(e event.Event) {
+	time.Sleep(time.Millisecond) // want "time.Sleep in event.Sink"
+}
+
+// BadCallback invokes a user callback with its lock held.
+type BadCallback struct {
+	mu sync.Mutex
+	fn func(event.Event)
+}
+
+func (s *BadCallback) Emit(e event.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fn(e) // want "dynamic call while a sync lock is held in event.Sink"
+}
+
+// GoodCallback releases the lock before calling out.
+type GoodCallback struct {
+	mu sync.Mutex
+	fn func(event.Event)
+	n  int
+}
+
+func (s *GoodCallback) Emit(e event.Event) {
+	s.mu.Lock()
+	s.n++
+	fn := s.fn
+	s.mu.Unlock()
+	fn(e)
+}
+
+// BadHelper hides the blocking send one call deep: the checker follows
+// same-package calls.
+type BadHelper struct{ C chan event.Event }
+
+func (s *BadHelper) Emit(e event.Event) {
+	s.deliver(e)
+}
+
+func (s *BadHelper) deliver(e event.Event) {
+	s.C <- e // want "blocking channel send in event.Sink"
+}
+
+// BadWait blocks on a WaitGroup.
+type BadWait struct{ wg sync.WaitGroup }
+
+func (s *BadWait) Emit(e event.Event) {
+	s.wg.Wait() // want `sync .?WaitGroup.Wait in event.Sink`
+}
+
+// AllowedStderr documents why its write is tolerable.
+type AllowedStderr struct{}
+
+func (AllowedStderr) Emit(e event.Event) {
+	os.Stderr.WriteString("x") //icg:allow sinksafe -- crash-path diagnostic sink, never armed in production engines
+}

@@ -1,0 +1,83 @@
+// Package stagepure is the stagepure analyzer fixture: types with the
+// Stage shape (Apply + NewStream) must not write their own fields.
+package stagepure
+
+// Stream is the mutable per-stream state: mutation here is the design.
+type Stream struct {
+	hist []float64
+	n    int
+}
+
+func (s *Stream) Push(dst, x []float64) []float64 {
+	s.hist = append(s.hist, x...) // StageStream state: fine
+	s.n += len(x)
+	return append(dst, x...)
+}
+
+func (s *Stream) Reset() { s.n = 0 }
+
+// GoodStage is immutable: Apply only reads, NewStream builds state.
+type GoodStage struct {
+	taps []float64
+}
+
+func (st GoodStage) Apply(x []float64) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = v * st.taps[0]
+	}
+	return y
+}
+
+func (st GoodStage) NewStream() *Stream { return &Stream{} }
+
+// BadStage caches into its own fields from Apply.
+type BadStage struct {
+	scratch []float64
+	calls   int
+}
+
+func (st *BadStage) Apply(x []float64) []float64 {
+	st.calls++ // want "receiver write in Stage method"
+	if cap(st.scratch) < len(x) {
+		st.scratch = make([]float64, len(x)) // want "receiver write in Stage method"
+	}
+	copy(st.scratch, x)
+	return st.scratch[:len(x)]
+}
+
+func (st *BadStage) NewStream() *Stream { return &Stream{} }
+
+// BadAlias hands out a mutable window into the shared stage.
+type BadAlias struct {
+	state [4]float64
+}
+
+func (st *BadAlias) Apply(x []float64) []float64 {
+	p := &st.state[0] // want "address of receiver field in Stage method"
+	*p = x[0]
+	return x
+}
+
+func (st *BadAlias) NewStream() *Stream { return &Stream{} }
+
+// BadValueRecv writes through a value receiver: mutates a copy, which
+// is its own bug — flagged all the same.
+type BadValueRecv struct{ n int }
+
+func (st BadValueRecv) Apply(x []float64) []float64 {
+	st.n = len(x) // want "receiver write in Stage method"
+	return x
+}
+
+func (st BadValueRecv) NewStream() *Stream { return &Stream{} }
+
+// AllowedStage documents a sanctioned lazy init.
+type AllowedStage struct{ cached []float64 }
+
+func (st *AllowedStage) Apply(x []float64) []float64 {
+	st.cached = x //icg:allow stagepure -- fixture: documents the suppression path for a sanctioned write
+	return x
+}
+
+func (st *AllowedStage) NewStream() *Stream { return &Stream{} }

@@ -1,0 +1,10 @@
+package unsafeguard
+
+// The suppression path: a justified unsafe import outside the safelist.
+
+import (
+	"unsafe" //icg:allow unsafeguard -- fixture: pinned-buffer aliasing documented at the use site
+)
+
+// Align uses the import so the fixture compiles.
+func Align(x uint32) uintptr { return unsafe.Alignof(x) }

@@ -1,0 +1,8 @@
+// Package unsafeguard is the unsafeguard analyzer fixture: unsafe
+// imports outside the documented aliasing safelist are findings.
+package unsafeguard
+
+import "unsafe" // want `import "unsafe" outside the aliasing safelist`
+
+// Size uses the import so the fixture compiles.
+func Size(x uint64) uintptr { return unsafe.Sizeof(x) }
